@@ -1,0 +1,87 @@
+(* APXB: the Appendix B comparison, generated from the implemented
+   codecs rather than transcribed — each row comes from a module's
+   profile, and the behavioural claims are demonstrated live. *)
+
+open Baselines
+
+let profiles =
+  [
+    Framing_info.chunks_profile;
+    Aal5.profile;
+    Hdlc_like.profile;
+    Ipfrag.profile;
+    Vmtp_like.profile;
+    Axon_like.profile;
+    Delta_t_like.profile;
+    Xtp_like.profile;
+  ]
+
+let run () =
+  Printf.printf
+    "\n=== EXP APXB === comparison of chunks with other protocols (Appendix \
+     B)\n";
+  Printf.printf
+    "  (per level: ID/SN/ST presence; expl = explicit field, impl = derived)\n\n";
+  List.iter (fun p -> Format.printf "  %a@." Framing_info.pp_row p) profiles;
+
+  (* behavioural demonstrations *)
+  Printf.printf "\n  behavioural checks:\n";
+
+  (* HDLC: misordering is fatal *)
+  let rx = Hdlc_like.Rx.create () in
+  let f seq = { Hdlc_like.address = 1; seq; pf = false; payload = Bytes.create 8 } in
+  let accept0 = Hdlc_like.Rx.on_frame rx (f 0) in
+  let reject2 = Hdlc_like.Rx.on_frame rx (f 2) in
+  assert (accept0 = `Accept && reject2 = `Out_of_sequence);
+  Printf.printf
+    "    hdlc:    frame 2 after frame 0 rejected (implicit framing needs \
+     order)\n";
+
+  (* Delta-t: flags force a sequential scan of every byte *)
+  let frames = List.init 8 (fun i -> Bytes.make 100 (Char.chr (65 + i))) in
+  let marked = Delta_t_like.mark_frames frames in
+  let drx = Delta_t_like.Rx.create () in
+  let out = Delta_t_like.Rx.on_ordered_stream drx marked in
+  assert (List.length out = 8);
+  Printf.printf
+    "    delta-t: recovering 8 frames scanned %d bytes for in-band symbols\n"
+    (Delta_t_like.Rx.bytes_scanned drx);
+
+  (* VMTP: transaction segments reassemble out of order, but each packet
+     carries full per-packet overhead *)
+  let vrx = Vmtp_like.Rx.create () in
+  let segs =
+    [ (200, false); (0, false); (100, false); (300, true) ]
+    |> List.map (fun (off, eom) ->
+           { Vmtp_like.transaction = 9; seg_offset = off; eom;
+             payload = Bytes.make 100 (Char.chr (48 + (off / 100))) })
+  in
+  let complete =
+    List.filter_map (Vmtp_like.Rx.on_segment vrx) segs |> List.length
+  in
+  assert (complete = 1);
+  Printf.printf
+    "    vmtp:    4 disordered segments reassembled (explicit X framing)\n";
+
+  (* Axon: disordered placement works, but the only protection is the
+     per-packet CRC — no end-to-end PDU code survives refragmentation *)
+  let pkt =
+    { Axon_like.conn = 3; levels = [| (7, false); (2, true) |];
+      payload = Bytes.make 64 'x' }
+  in
+  let image = Axon_like.encode pkt in
+  (match Axon_like.decode image with
+  | Ok p -> assert (Array.length p.Axon_like.levels = 2)
+  | Error e -> failwith e);
+  let corrupted = Bytes.copy image in
+  Bytes.set corrupted 20 'Z';
+  (match Axon_like.decode corrupted with
+  | Error _ -> ()
+  | Ok _ -> failwith "Axon per-packet CRC must catch this");
+  Printf.printf
+    "    axon:    per-level SN/ST placement + per-packet CRC (no e2e PDU \
+     code)\n";
+  Printf.printf
+    "  -> chunks are the only row with explicit, independent framing at\n\
+    \     every level — processable in any order without parsing the data\n\
+    \     stream for flags (the 'best of both worlds' claim).\n"

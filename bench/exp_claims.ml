@@ -1,0 +1,656 @@
+(* CLM-* experiments: the paper's performance claims measured on the
+   simulated substrate.  Shapes — who wins and by roughly what factor —
+   are the reproduction target (EXPERIMENTS.md records them). *)
+
+open Labelling
+
+let seed = 0x5EED
+
+let section id title = Printf.printf "\n=== EXP %s === %s (seed %#x)\n" id title seed
+
+let transfer_data n =
+  Bytes.init n (fun i -> Char.chr ((i * 31 + i / 977) land 0xFF))
+
+let pp_summary label scale unit_ = function
+  | Some s ->
+      Printf.printf "  %-34s mean %8.3f%s  p50 %8.3f%s  p99 %8.3f%s\n" label
+        (s.Netsim.Stats.mean *. scale) unit_ (s.Netsim.Stats.p50 *. scale)
+        unit_ (s.Netsim.Stats.p99 *. scale) unit_
+  | None -> Printf.printf "  %-34s (no samples)\n" label
+
+(* CLM-LAT: application-visible latency, chunk vs buffered, under loss
+   and multipath skew. *)
+let clm_lat () =
+  section "CLM-LAT" "immediate processing vs reassemble-then-process latency";
+  let data = transfer_data 262144 in
+  Printf.printf "  %-8s %-12s %-28s %-28s\n" "loss" "transport"
+    "element avail. delay (ms)" "tpdu latency (ms)";
+  List.iter
+    (fun loss ->
+      let c = Transport.Chunk_transport.run ~seed ~loss ~paths:8 ~data () in
+      let b = Transport.Buffered_transport.run ~seed ~loss ~paths:8 ~data () in
+      assert c.Transport.Chunk_transport.ok;
+      assert b.Transport.Buffered_transport.ok;
+      let f = function
+        | Some s -> Printf.sprintf "mean %.3f p99 %.3f" (s.Netsim.Stats.mean *. 1e3) (s.Netsim.Stats.p99 *. 1e3)
+        | None -> "-"
+      in
+      Printf.printf "  %-8.2f %-12s %-28s %-28s\n" loss "chunks"
+        (f c.element_delay)
+        (f c.tpdu_latency);
+      Printf.printf "  %-8.2f %-12s %-28s %-28s\n" loss "buffered"
+        (f b.Transport.Buffered_transport.element_delay)
+        (f b.Transport.Buffered_transport.tpdu_latency))
+    [ 0.0; 0.01; 0.03; 0.05 ];
+  Printf.printf
+    "  -> chunk element delay is identically 0 (processed on arrival);\n\
+    \     the buffered receiver holds data for the reassembly time, growing\n\
+    \     with loss.\n"
+
+(* CLM-TOUCH: bus crossings per delivered byte. *)
+let clm_touch () =
+  section "CLM-TOUCH" "memory-bus crossings per delivered byte";
+  let data = transfer_data (4 * 1024 * 1024) in
+  let c = Transport.Chunk_transport.run ~seed ~data () in
+  let b = Transport.Buffered_transport.run ~seed ~data () in
+  Printf.printf "  chunks   (ILP, no buffering):   %.2f crossings/byte\n"
+    c.Transport.Chunk_transport.bus_crossings_per_byte;
+  Printf.printf "  buffered (reassemble first):    %.2f crossings/byte\n"
+    b.Transport.Buffered_transport.bus_crossings_per_byte;
+  Printf.printf "  ratio: %.2fx (paper: buffering moves data across the bus \
+                 twice\n  before processing — 1 DMA + 2-crossing copy vs 1 \
+                 DMA)\n"
+    (b.Transport.Buffered_transport.bus_crossings_per_byte
+    /. c.Transport.Chunk_transport.bus_crossings_per_byte)
+
+(* CLM-1STEP: reassembly work vs number of fragmentation stages. *)
+let clm_1step () =
+  section "CLM-1STEP" "one-step reassembly regardless of fragmentation depth";
+  let data = transfer_data 65536 in
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:1024 ~conn_id:1 () in
+  let chunks = Result.get_ok (Framer.frames_of_stream f ~frame_bytes:4096 data) in
+  Printf.printf "  %-8s %-14s %-18s %-20s\n" "stages" "mtu path"
+    "chunks arriving" "merge ops to rebuild";
+  let mtus_for k = List.filteri (fun i _ -> i < k) [ 2048; 1024; 512; 256 ] in
+  List.iter
+    (fun stages ->
+      let arrived =
+        List.fold_left
+          (fun cs mtu ->
+            let ps = Result.get_ok (Repack.repack ~policy:Repack.Combine ~mtu cs) in
+            List.concat_map Packet.chunks ps)
+          chunks (mtus_for stages)
+      in
+      let merged = Reassemble.coalesce arrived in
+      let merge_ops = List.length arrived - List.length merged in
+      Printf.printf "  %-8d %-14s %-18d %-20d\n" stages
+        (String.concat ">" (List.map string_of_int (mtus_for stages)))
+        (List.length arrived) merge_ops;
+      assert (Bytes.equal (Util_bench.stream_prefix merged (Bytes.length data)) data))
+    [ 0; 1; 2; 3; 4 ];
+  Printf.printf
+    "  -> merge operations grow with the *final* fragment count only; the\n\
+    \     number of fragmentation stages crossed is irrelevant (one-step\n\
+    \     reassembly, §3.1).  IP needs a reassembly pass per stage or an\n\
+    \     end-to-end pass over implicitly-labelled fragments that cannot be\n\
+    \     processed before it.\n"
+
+(* CLM-LOCKUP: reassembly-buffer lock-up. *)
+let clm_lockup () =
+  section "CLM-LOCKUP" "reassembly-buffer lock-up: IP-style vs chunks";
+  let data = transfer_data 262144 in
+  Printf.printf "  %-22s %-12s %-10s %-8s\n" "receiver" "buffer" "lockups" "ok";
+  List.iter
+    (fun cap ->
+      let config =
+        { Transport.Buffered_transport.default_config with
+          Transport.Buffered_transport.reasm_capacity = cap;
+          window = 16;
+          tpdu_bytes = 4096 }
+      in
+      let b = Transport.Buffered_transport.run ~seed ~loss:0.02 ~config ~data () in
+      Printf.printf "  %-22s %-12d %-10d %-8b\n" "buffered (IP-style)" cap
+        b.Transport.Buffered_transport.lockup_events
+        b.Transport.Buffered_transport.ok)
+    [ 8 * 1024; 16 * 1024; 64 * 1024; 512 * 1024 ];
+  let c =
+    Transport.Chunk_transport.run ~seed ~loss:0.02
+      ~config:{ Transport.Chunk_transport.default_config with
+                Transport.Chunk_transport.window = 16 }
+      ~data ()
+  in
+  Printf.printf "  %-22s %-12s %-10d %-8b\n" "chunks" "none needed" 0
+    c.Transport.Chunk_transport.ok;
+  Printf.printf
+    "  -> the chunk receiver places data at its final destination on\n\
+    \     arrival: there is no reassembly buffer to lock up (§3.3).\n"
+
+(* CLM-DEMUX: demultiplexing cost with mixed fragmented traffic. *)
+let clm_demux () =
+  section "CLM-DEMUX" "per-packet processing paths, fragmented or not";
+  let data = transfer_data 65536 in
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:512 ~conn_id:1 () in
+  let chunks = Result.get_ok (Framer.frames_of_stream f ~frame_bytes:2048 data) in
+  (* chunks: half travel untouched, half through an MTU-576 gateway *)
+  let packets = Result.get_ok (Repack.repack ~policy:Repack.Combine ~mtu:2048 chunks) in
+  let images = List.map Packet.encode packets in
+  let mixed =
+    List.concat
+      (List.mapi
+         (fun i b ->
+           if i mod 2 = 0 then [ b ]
+           else Result.get_ok (Repack.repack_packet ~policy:Repack.Combine ~mtu:576 b))
+         images)
+  in
+  (* the chunk receiver runs ONE code path for every packet *)
+  let chunk_paths = ref 0 in
+  List.iter
+    (fun b ->
+      match Wire.decode_packet b with
+      | Ok cs -> chunk_paths := !chunk_paths + List.length cs
+      | Error _ -> ())
+    mixed;
+  (* the IP receiver must route whole datagrams and fragments through
+     different paths and cannot process a fragment at all *)
+  let d = { Baselines.Ipfrag.ident = 1; offset = 0; mf = false;
+            payload = transfer_data 65536 } in
+  let ip_packets =
+    List.concat
+      (List.mapi
+         (fun i frag ->
+           if i mod 2 = 0 then [ frag ]
+           else Result.get_ok (Baselines.Ipfrag.fragment ~mtu:576 frag))
+         (Result.get_ok (Baselines.Ipfrag.fragment ~mtu:2048 d)))
+  in
+  let direct = ref 0 and via_reassembly = ref 0 in
+  List.iter
+    (fun frag ->
+      if frag.Baselines.Ipfrag.offset = 0 && not frag.Baselines.Ipfrag.mf then incr direct
+      else incr via_reassembly)
+    ip_packets;
+  Printf.printf "  chunks: %d packets -> %d chunks, 1 uniform code path\n"
+    (List.length mixed) !chunk_paths;
+  Printf.printf
+    "  IP:     %d packets -> %d direct, %d detour through the reassembler\n"
+    (List.length ip_packets) !direct !via_reassembly;
+  Printf.printf
+    "  -> chunk processing is identical whether or not network\n\
+    \     fragmentation occurred (§3.2); IP receivers branch per packet.\n"
+
+(* CLM-WSC: WSC-2 on disordered data vs CRC and Internet checksum. *)
+let clm_wsc () =
+  section "CLM-WSC" "error detection on disordered data";
+  let n = 4096 in
+  let data = transfer_data n in
+  (* (a) order-invariance *)
+  let blocks = List.init (n / 256) (fun i -> (i * 64, Bytes.sub data (i * 256) 256)) in
+  let parity_in order =
+    let acc = Wsc2.create () in
+    List.iter (fun (pos, b) -> Wsc2.add_bytes acc ~pos b 0 256) order;
+    Wsc2.snapshot acc
+  in
+  let in_order = parity_in blocks in
+  let reversed = parity_in (List.rev blocks) in
+  let crc_in order =
+    let c = ref Baselines.Checksums.crc32_init in
+    List.iter (fun (_, b) -> c := Baselines.Checksums.crc32_update !c b 0 256) order;
+    Baselines.Checksums.crc32_finish !c
+  in
+  Printf.printf "  WSC-2 parity, in-order vs reversed arrival:  %s\n"
+    (if Wsc2.parity_equal in_order reversed then "EQUAL (order-free)" else "DIFFERS");
+  Printf.printf "  CRC-32 running value, same two orders:       %s\n"
+    (if crc_in blocks = crc_in (List.rev blocks) then "equal" else
+       "DIFFERS (CRC cannot be computed on disordered data)");
+  (* (b) residual error rates under random corruption *)
+  let trials = 20000 in
+  let rng = Netsim.Rng.create ~seed in
+  let miss_wsc = ref 0 and miss_crc = ref 0 and miss_inet = ref 0 in
+  let p0 = Wsc2.encode_bytes ~pos:0 data in
+  let crc0 = Baselines.Checksums.crc32 data in
+  let inet0 = Baselines.Checksums.internet data in
+  for _ = 1 to trials do
+    let b = Bytes.copy data in
+    (* corrupt: either flip 1-8 random bits, or swap two 16-bit words *)
+    if Netsim.Rng.bool rng 0.5 then begin
+      let flips = 1 + Netsim.Rng.int rng 8 in
+      for _ = 1 to flips do
+        let i = Netsim.Rng.int rng n in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Netsim.Rng.int rng 8)))
+      done
+    end
+    else begin
+      (* reorder two distinct aligned 16-bit units *)
+      let i = 2 * Netsim.Rng.int rng (n / 2) in
+      let j = 2 * Netsim.Rng.int rng (n / 2) in
+      let wi = Bytes.get_uint16_be b i and wj = Bytes.get_uint16_be b j in
+      Bytes.set_uint16_be b i wj;
+      Bytes.set_uint16_be b j wi
+    end;
+    let changed = not (Bytes.equal b data) in
+    if changed then begin
+      if Wsc2.parity_equal (Wsc2.encode_bytes ~pos:0 b) p0 then incr miss_wsc;
+      if Baselines.Checksums.crc32 b = crc0 then incr miss_crc;
+      if Baselines.Checksums.internet b = inet0 then incr miss_inet
+    end
+  done;
+  Printf.printf "  residual misses over %d corrupted frames:\n" trials;
+  Printf.printf "    WSC-2 (64-bit, order-free):   %d\n" !miss_wsc;
+  Printf.printf "    CRC-32 (order-bound):         %d\n" !miss_crc;
+  Printf.printf "    Internet checksum (16-bit):   %d\n" !miss_inet;
+  Printf.printf
+    "  -> WSC-2 matches CRC-grade detection while remaining computable on\n\
+    \     disordered data; the Internet checksum is order-free but misses\n\
+    \     reorderings and more random corruptions (§4, [FELD 92]).\n"
+
+(* CLM-HDR: Appendix A header compression accounting. *)
+let clm_hdr () =
+  section "CLM-HDR" "header bytes per KiB of payload (Appendix A)";
+  let size_table ct = if Ctype.is_data ct then Some 4 else None in
+  Printf.printf "  %-44s %14s %12s\n" "encoding" "hdr bytes/KiB" "vs canonical";
+  List.iter
+    (fun (label, options, chunk_elems) ->
+      let f = Framer.create ~elem_size:4 ~tpdu_elems:256 ~conn_id:1 () in
+      let data = transfer_data (1024 * 1024) in
+      let chunks =
+        Result.get_ok (Framer.frames_of_stream f ~frame_bytes:(chunk_elems * 4) data)
+        |> List.map (fun ch ->
+               let h = ch.Chunk.header in
+               let tid = h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn in
+               Chunk.make_exn
+                 { h with Header.t = { h.Header.t with Ftuple.id = tid } }
+                 ch.Chunk.payload)
+      in
+      let payload = List.fold_left (fun a c -> a + Chunk.payload_bytes c) 0 chunks in
+      let canonical_hdr = Wire.chunks_size chunks - payload in
+      let hdr =
+        match options with
+        | None -> canonical_hdr
+        | Some o -> Compress.header_overhead ~size_table o ~data_chunks:chunks
+      in
+      Printf.printf "  %-44s %14.1f %11.1f%%\n" label
+        (float_of_int hdr /. (float_of_int payload /. 1024.0))
+        (100.0 *. float_of_int hdr /. float_of_int canonical_hdr))
+    [
+      ("canonical fixed-field (46 B)", None, 256);
+      ("compact, explicit everything", Some Compress.all_off, 256);
+      ("+ implicit T.ID (Fig 7)", Some { Compress.all_off with Compress.implicit_tid = true }, 256);
+      ("+ elide SIZE (signalled)", Some { Compress.all_off with Compress.elide_size = true }, 256);
+      ("+ implicit SNs (resync at TPDU)", Some { Compress.all_off with Compress.implicit_sn = true }, 256);
+      ("+ implicit X (derived)", Some { Compress.all_off with Compress.implicit_x = true }, 256);
+      ("all transformations", Some Compress.all_on, 256);
+      ("all transformations, small chunks", Some Compress.all_on, 64);
+    ];
+  (* intra-packet elision (Appendix A): the ED chunk rides headerless
+     behind its TPDU's data *)
+  let f = Labelling.Framer.create ~elem_size:4 ~tpdu_elems:256 ~conn_id:1 () in
+  let data = transfer_data (256 * 1024) in
+  let sealed =
+    Result.get_ok (Labelling.Framer.frames_of_stream f ~frame_bytes:1024 data)
+    |> Edc.Encoder.seal_tpdus |> Result.get_ok
+  in
+  let plain = Labelling.Wire.chunks_size sealed in
+  let packed = Labelling.Packed.packed_size sealed in
+  Printf.printf
+    "  intra-packet ED-header elision: %d -> %d wire bytes (-%d, one\n\
+    \  46-byte header per TPDU becomes a 3-byte tag)\n"
+    plain packed (plain - packed);
+  (* per-packet Huffman coding of the header bytes (Appendix A's
+     closing remark), measured over MTU-1500 envelopes *)
+  let packets = Result.get_ok (Labelling.Packet.pack ~mtu:1500 sealed) in
+  let hplain, hcomp =
+    List.fold_left
+      (fun (p, c) pkt ->
+        let chunks = Labelling.Packet.chunks pkt in
+        ( p + Labelling.Wire.chunks_size chunks,
+          c + Labelling.Huffman.compressed_size chunks ))
+      (0, 0) packets
+  in
+  Printf.printf
+    "  per-packet Huffman header coding (MTU 1500, ~2 chunks/packet):\n\
+    \    %d -> %d wire bytes (%.1f%% — the 134-byte code table does not\n\
+    \    pay off with so few headers per envelope)\n"
+    hplain hcomp
+    (100.0 *. float_of_int hcomp /. float_of_int hplain);
+  (* where it does pay: many small chunks sharing one big envelope *)
+  let small_chunks =
+    List.concat_map
+      (fun c ->
+        if Labelling.Chunk.is_data c then
+          Result.get_ok (Labelling.Fragment.split_to_payload c ~max_payload:64)
+        else [ c ])
+      sealed
+  in
+  let big_packets = Result.get_ok (Labelling.Packet.pack ~mtu:9180 small_chunks) in
+  let hplain2, hcomp2 =
+    List.fold_left
+      (fun (p, c) pkt ->
+        let chunks = Labelling.Packet.chunks pkt in
+        ( p + Labelling.Wire.chunks_size chunks,
+          c + Labelling.Huffman.compressed_size chunks ))
+      (0, 0) big_packets
+  in
+  Printf.printf
+    "  per-packet Huffman header coding (MTU 9180, ~80 chunks/packet):\n\
+    \    %d -> %d wire bytes (%.1f%% — repetitive headers compress well\n\
+    \    once an envelope carries many of them)\n"
+    hplain2 hcomp2
+    (100.0 *. float_of_int hcomp2 /. float_of_int hplain2);
+  Printf.printf "  -> all variants round-trip losslessly (tested); savings\n\
+                \     compose, headers shrink by an order of magnitude.\n"
+
+(* CLM-ADAPT: adaptive TPDU sizing vs loss (the Kent-Mogul rebuttal). *)
+let clm_adapt () =
+  section "CLM-ADAPT" "adaptive TPDU sizing under loss (Kent-Mogul rebuttal)";
+  (* a transfer long relative to the RTO on a slow link, so adaptation
+     has time to influence most of the stream; large TPDUs spanning
+     several packets are the situation Kent & Mogul worry about *)
+  let data = transfer_data (2 * 1024 * 1024) in
+  let rate_bps = 50e6 in
+  let base =
+    { Transport.Chunk_transport.default_config with
+      Transport.Chunk_transport.tpdu_elems = 2048;
+      window = 16 }
+  in
+  Printf.printf "  %-8s %-10s %-20s %-12s %-14s\n" "loss" "sender"
+    "wire bytes/app byte" "retransmits" "final tpdu";
+  List.iter
+    (fun loss ->
+      let fixed =
+        Transport.Chunk_transport.run ~seed ~loss ~rate_bps ~data ~config:base
+          ()
+      in
+      let adaptive =
+        Transport.Chunk_transport.run ~seed ~loss ~rate_bps ~data
+          ~config:{ base with Transport.Chunk_transport.adaptive = true }
+          ()
+      in
+      assert fixed.Transport.Chunk_transport.ok;
+      assert adaptive.Transport.Chunk_transport.ok;
+      let amp o =
+        float_of_int o.Transport.Chunk_transport.wire_bytes
+        /. float_of_int o.Transport.Chunk_transport.sent_bytes
+      in
+      Printf.printf "  %-8.2f %-10s %-20.3f %-12d %-14s\n" loss "fixed"
+        (amp fixed) fixed.retransmissions "2048 elems";
+      Printf.printf "  %-8.2f %-10s %-20.3f %-12d %-14s\n" loss "adaptive"
+        (amp adaptive) adaptive.retransmissions
+        (Printf.sprintf "%d elems" adaptive.final_tpdu_elems))
+    [ 0.0; 0.02; 0.05; 0.10 ];
+  Printf.printf
+    "  -> at high loss the adaptive sender converges on one-packet TPDUs,\n\
+    \     so a lost packet forfeits less and the wire amplification stays\n\
+    \     lower — without any knowledge of fragmentation (§3).\n"
+
+(* CLM-SACK: selective retransmission enabled by explicit labels.
+   Virtual reassembly knows exactly which element runs are missing, and
+   self-describing chunks let the sender re-send precisely those runs —
+   an option the implicitly-labelled comparators don't have (their
+   fragments cannot stand alone). *)
+let clm_sack () =
+  section "CLM-SACK" "gap-only retransmission from virtual reassembly";
+  let data = transfer_data (1024 * 1024) in
+  let base =
+    { Transport.Chunk_transport.default_config with
+      Transport.Chunk_transport.tpdu_elems = 2048 }
+  in
+  Printf.printf "  %-8s %-10s %-16s %-14s %-12s %-20s\n" "loss" "mode"
+    "full retransmits" "gap repairs" "NACKs used" "wire bytes/app byte";
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun (label, config) ->
+          let o =
+            Transport.Chunk_transport.run ~seed ~loss ~rate_bps:50e6 ~data
+              ~config ()
+          in
+          assert o.Transport.Chunk_transport.ok;
+          Printf.printf "  %-8.2f %-10s %-16d %-14d %-12s %-20.3f\n" loss label
+            o.retransmissions o.sack_retransmissions
+            (if config.Transport.Chunk_transport.sack then "yes" else "no")
+            (float_of_int o.wire_bytes /. float_of_int o.sent_bytes))
+        [
+          ("rto-only", base);
+          ("sack", { base with Transport.Chunk_transport.sack = true });
+        ])
+    [ 0.01; 0.03; 0.05 ];
+  Printf.printf
+    "  -> with SACK, whole-TPDU timeouts almost disappear: the receiver's\n\
+    \     gap report names the missing element runs, and any run of a TPDU\n\
+    \     is a self-describing, retransmittable chunk (§3.3 consequence).\n"
+
+(* CLM-CIPHER: §1's encryption claim — a position-tweaked mode decrypts
+   every chunk on arrival; cipher-block chaining must wait for the
+   neighbouring ciphertext, i.e. buffer under disorder. *)
+let clm_cipher () =
+  section "CLM-CIPHER" "decrypting disordered chunks: CBC vs position-tweaked";
+  let key = Cipher.Feistel.key_of_int 0xC0FFEE in
+  let f = Labelling.Framer.create ~elem_size:8 ~tpdu_elems:512 ~conn_id:1 () in
+  let stream = transfer_data 262144 in
+  let chunks =
+    Result.get_ok (Labelling.Framer.frames_of_stream f ~frame_bytes:4096 stream)
+  in
+  let encrypted =
+    List.map (fun c -> Result.get_ok (Cipher.Secure.encrypt_chunk key c)) chunks
+  in
+  let rng = Netsim.Rng.create ~seed in
+  (* fragment and shuffle as a skewed multipath would *)
+  let rand = Random.State.make [| seed |] in
+  let arrived =
+    List.concat_map
+      (fun c ->
+        let len = c.Labelling.Chunk.header.Labelling.Header.len in
+        if len > 1 && Random.State.bool rand then begin
+          let at = 1 + Random.State.int rand (len - 1) in
+          match Labelling.Fragment.split c ~elems:at with
+          | Ok (a, b) -> [ a; b ]
+          | Error _ -> [ c ]
+        end
+        else [ c ])
+      encrypted
+  in
+  let arrived =
+    (* disorder within a window of 16 packets *)
+    let arr = Array.of_list arrived in
+    for i = Array.length arr - 1 downto 1 do
+      let j = max 0 (i - Netsim.Rng.int rng 16) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list arr
+  in
+  let total = List.length arrived in
+  (* Xpos: every chunk decrypts on arrival *)
+  let xpos_now = ref 0 in
+  List.iter
+    (fun c ->
+      match Cipher.Secure.decrypt_chunk key c with
+      | Ok _ -> incr xpos_now
+      | Error _ -> ())
+    arrived;
+  (* CBC: a chunk decrypts on arrival only if the ciphertext block just
+     before it has arrived; otherwise it waits (and cascades later) *)
+  let bpe = 1 in (* 8-byte elements = 1 block per element *)
+  let have : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let waiting : (int, Labelling.Chunk.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let cbc_now = ref 0 and cbc_late = ref 0 in
+  let rec deliver c =
+    let h = c.Labelling.Chunk.header in
+    let first_block = h.Labelling.Header.c.Labelling.Ftuple.sn * bpe in
+    let last_block = first_block + (h.Labelling.Header.len * bpe) - 1 in
+    for b = first_block to last_block do
+      Hashtbl.replace have b ()
+    done;
+    (* anyone waiting on our last block can now decrypt *)
+    match Hashtbl.find_opt waiting (last_block + 1) with
+    | Some cell ->
+        let released = !cell in
+        Hashtbl.remove waiting (last_block + 1);
+        List.iter
+          (fun c ->
+            incr cbc_late;
+            deliver c)
+          released
+    | None -> ()
+  in
+  List.iter
+    (fun c ->
+      let h = c.Labelling.Chunk.header in
+      let first_block = h.Labelling.Header.c.Labelling.Ftuple.sn * bpe in
+      if first_block = 0 || Hashtbl.mem have (first_block - 1) then begin
+        incr cbc_now;
+        deliver c
+      end
+      else begin
+        (match Hashtbl.find_opt waiting first_block with
+        | Some cell -> cell := c :: !cell
+        | None -> Hashtbl.add waiting first_block (ref [ c ]));
+        ()
+      end)
+    arrived;
+  Printf.printf "  %d chunks arriving disordered over a 16-packet window:\n"
+    total;
+  Printf.printf "    position-tweaked (Xpos): %d/%d decrypted on arrival\n"
+    !xpos_now total;
+  Printf.printf
+    "    CBC:                     %d/%d on arrival, %d buffered for a \
+     neighbour\n"
+    !cbc_now total (!cbc_late + (total - !cbc_now - !cbc_late));
+  Printf.printf
+    "  -> chaining forces exactly the buffering chunks exist to avoid;\n\
+    \     the position-tweaked mode keys decryption off the chunk's own\n\
+    \     labels (§1, [FELD 92]).  SIZE keeps cipher blocks unsplittable \
+     (§2).\n"
+
+(* CLM-PAR: the closing claim — "chunks allow protocol implementations
+   with more modularity and parallelism".  TPDU independence lets
+   receiver-side verification partition across cores with no shared
+   state; a conventional stack's implicit labelling serialises it. *)
+let clm_par () =
+  section "CLM-PAR" "parallel verification across domains (closing claim)";
+  let tpdus = 512 in
+  let tpdu_elems = 8192 in
+  let f = Labelling.Framer.create ~elem_size:4 ~tpdu_elems ~conn_id:4 () in
+  let chunks =
+    Result.get_ok
+      (Labelling.Framer.frames_of_stream f ~frame_bytes:8192
+         (transfer_data (tpdus * tpdu_elems * 4)))
+  in
+  let sealed = Result.get_ok (Edc.Encoder.seal_tpdus chunks) in
+  let bytes = tpdus * tpdu_elems * 4 in
+  let time_once workers =
+    let t0 = Unix.gettimeofday () in
+    let r = Parverify.process_all ~workers sealed in
+    let dt = Unix.gettimeofday () -. t0 in
+    assert (List.length r.Parverify.verdicts = tpdus);
+    assert (
+      List.for_all
+        (fun (_, v) -> Edc.Verifier.verdict_equal v Edc.Verifier.Passed)
+        r.Parverify.verdicts);
+    dt
+  in
+  let cores = Domain.recommended_domain_count () in
+  let worker_counts =
+    List.filter (fun w -> w = 1 || w <= cores) [ 1; 2; 4; 8 ]
+  in
+  let base = ref 0.0 in
+  Printf.printf
+    "  verifying %d TPDUs (%d MiB) of shuffled chunks on a %d-core host:\n"
+    tpdus (bytes / 1024 / 1024) cores;
+  List.iter
+    (fun workers ->
+      (* best of 3 to tame scheduler noise *)
+      let dt =
+        List.fold_left min infinity
+          (List.init 3 (fun _ -> time_once workers))
+      in
+      if workers = 1 then base := dt;
+      Printf.printf "    %d worker%s: %7.1f MB/s  speedup %.2fx\n" workers
+        (if workers = 1 then " " else "s")
+        (float_of_int bytes /. dt /. 1e6)
+        (!base /. dt))
+    worker_counts;
+  if cores = 1 then
+    Printf.printf
+      "  (single-core host: domains cannot speed anything up here; the\n\
+      \   partitioning itself is what the claim is about — verdicts are\n\
+      \   identical for every worker count [tested], with zero locks or\n\
+      \   cross-worker traffic on the data path, because every TPDU's\n\
+      \   chunks are self-describing.  On a multi-core host the same\n\
+      \   partition runs concurrently.)\n"
+  else
+    Printf.printf
+      "  -> scaling with zero locks on the data path: partitioning by\n\
+      \     T.ID is the entire parallelisation strategy.\n"
+
+(* CLM-TURNER: §3's Turner suggestion — drop all of a TPDU's fragments
+   once any fragment is dropped; doomed fragments are pure waste
+   downstream.  Chunk labels make the policy a one-table-lookup router
+   feature. *)
+let clm_turner () =
+  section "CLM-TURNER" "whole-TPDU dropping at a congested element";
+  let f = Labelling.Framer.create ~elem_size:4 ~tpdu_elems:512 ~conn_id:1 () in
+  let chunks =
+    Result.get_ok
+      (Labelling.Framer.frames_of_stream f ~frame_bytes:2048
+         (transfer_data (512 * 1024)))
+  in
+  (* pack each TPDU's chunks into their own envelopes: with shared
+     envelopes, dooming one TPDU would also doom its envelope-mates and
+     the policy cascades; Turner's technique presumes fragment-aligned
+     packets *)
+  let by_tpdu = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun c ->
+      let tid = c.Labelling.Chunk.header.Labelling.Header.t.Labelling.Ftuple.id in
+      match Hashtbl.find_opt by_tpdu tid with
+      | Some cell -> cell := c :: !cell
+      | None ->
+          Hashtbl.add by_tpdu tid (ref [ c ]);
+          order := tid :: !order)
+    chunks;
+  let packets =
+    List.concat_map
+      (fun tid ->
+        Result.get_ok
+          (Labelling.Packet.pack ~mtu:576 (List.rev !(Hashtbl.find by_tpdu tid))))
+      (List.rev !order)
+    |> List.map Labelling.Packet.encode_unpadded
+  in
+  Printf.printf "  %d packets (4 fragments per TPDU) through a 5%%-loss                  element:
+" (List.length packets);
+  Printf.printf "  %-14s %-10s %-24s
+" "policy" "dropped" "doomed bytes forwarded";
+  List.iter
+    (fun (label, mode) ->
+      let d =
+        Netsim.Dropper.create ~mode ~rng:(Netsim.Rng.create ~seed) ~loss:0.05
+          ~forward:(fun _ -> ()) ()
+      in
+      List.iter (Netsim.Dropper.on_packet d) packets;
+      let st = Netsim.Dropper.stats d in
+      Printf.printf "  %-14s %-10d %-24d
+" label
+        st.Netsim.Dropper.packets_dropped
+        st.Netsim.Dropper.doomed_bytes_forwarded)
+    [ ("random", Netsim.Dropper.Random); ("whole-TPDU", Netsim.Dropper.Whole_tpdu) ];
+  Printf.printf
+    "  -> the whole-TPDU policy spends zero downstream capacity on
+    \     fragments whose TPDU can no longer complete; the chunk header
+    \     gives the router the T.ID it needs for free (§3, [TURN 92]).
+"
+
+let run () =
+  clm_turner ();
+  clm_par ();
+  clm_cipher ();
+  clm_lat ();
+  clm_touch ();
+  clm_1step ();
+  clm_lockup ();
+  clm_demux ();
+  clm_wsc ();
+  clm_hdr ();
+  clm_adapt ();
+  clm_sack ()

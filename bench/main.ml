@@ -1,0 +1,14 @@
+(* Experiment harness: one section per paper figure/table plus the
+   measured-claim experiments of DESIGN.md, then bechamel micro
+   benchmarks.  See EXPERIMENTS.md for paper-vs-measured commentary. *)
+
+let () =
+  Printf.printf "chunks reproduction bench harness (deterministic, seed \
+                 0x5EED unless printed otherwise)\n";
+  Exp_figs.run ();
+  Exp_table1.run ();
+  Exp_apxb.run ();
+  Exp_claims.run ();
+  Exp_ablation.run ();
+  Micro.run ();
+  Printf.printf "\nall experiment assertions held.\n"

@@ -1,0 +1,102 @@
+(* Bechamel micro-benchmarks for the primitive operations: chunk split,
+   merge, wire codec, WSC-2 accumulation, GF multiply, virtual
+   reassembly insert. *)
+
+open Labelling
+open Bechamel
+open Toolkit
+
+let chunk_fixture () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let t = Ftuple.v ~st:true ~id:2 ~sn:0 () in
+  Chunk.data ~size:4 ~c ~t ~x:c
+    (Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)))
+  |> Result.get_ok
+
+let test_split =
+  let chunk = chunk_fixture () in
+  Test.make ~name:"fragment.split 4KiB" (Staged.stage (fun () ->
+      ignore (Fragment.split_exn chunk ~elems:512)))
+
+let test_merge =
+  let chunk = chunk_fixture () in
+  let a, b = Fragment.split_exn chunk ~elems:512 in
+  Test.make ~name:"reassemble.merge 4KiB" (Staged.stage (fun () ->
+      ignore (Reassemble.merge_exn a b)))
+
+let test_wire_encode =
+  let chunk = chunk_fixture () in
+  Test.make ~name:"wire.encode_chunk 4KiB" (Staged.stage (fun () ->
+      let buf = Buffer.create 4200 in
+      Wire.encode_chunk buf chunk;
+      ignore (Buffer.length buf)))
+
+let test_wire_decode =
+  let chunk = chunk_fixture () in
+  let buf = Buffer.create 4200 in
+  let () = Wire.encode_chunk buf chunk in
+  let image = Buffer.to_bytes buf in
+  Test.make ~name:"wire.decode_chunk 4KiB" (Staged.stage (fun () ->
+      ignore (Wire.decode_chunk image 0)))
+
+let test_wsc2 =
+  let data = Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)) in
+  let acc = Wsc2.create () in
+  Test.make ~name:"wsc2.add_bytes 4KiB" (Staged.stage (fun () ->
+      Wsc2.reset acc;
+      Wsc2.add_bytes acc ~pos:0 data 0 4096))
+
+let test_gf_mul =
+  Test.make ~name:"gf232.mul" (Staged.stage (fun () ->
+      ignore (Gf232.mul 0xDEADBEEF 0x0BADF00D)))
+
+let test_alpha_pow =
+  Test.make ~name:"gf232.alpha_pow 12345" (Staged.stage (fun () ->
+      ignore (Gf232.alpha_pow 12345)))
+
+let test_crc32 =
+  let data = Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)) in
+  Test.make ~name:"crc32 4KiB (comparison)" (Staged.stage (fun () ->
+      ignore (Baselines.Checksums.crc32 data)))
+
+let test_xpos =
+  let key = Cipher.Feistel.key_of_int 0xC0FFEE in
+  let data = Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)) in
+  Test.make ~name:"xpos.encrypt 4KiB" (Staged.stage (fun () ->
+      ignore (Cipher.Modes.Xpos.encrypt_at ~key ~pos:0 data)))
+
+let test_vreassembly =
+  Test.make ~name:"vreassembly 16 inserts" (Staged.stage (fun () ->
+      let tr = Vreassembly.create () in
+      for k = 0 to 15 do
+        ignore (Vreassembly.insert tr ~sn:(k * 8) ~len:8 ~st:(k = 15))
+      done))
+
+let grouped =
+  Test.make_grouped ~name:"micro"
+    [
+      test_split; test_merge; test_wire_encode; test_wire_decode; test_wsc2;
+      test_gf_mul; test_alpha_pow; test_crc32; test_xpos; test_vreassembly;
+    ]
+
+let run () =
+  Printf.printf "\n=== MICRO === primitive-operation timings (bechamel, \
+                 ns/op)\n%!";
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (e :: _) -> Printf.printf "  %-42s %14.1f\n" name e
+      | Some [] | None -> Printf.printf "  %-42s %14s\n" name "n/a")
+    rows

@@ -1,0 +1,18 @@
+(* Small helpers shared by the experiment drivers. *)
+
+open Labelling
+
+(* Concatenated payloads of data chunks in C.SN order, truncated to [n]
+   bytes. *)
+let stream_prefix chunks n =
+  let sorted =
+    chunks
+    |> List.filter Chunk.is_data
+    |> List.sort (fun a b ->
+           Int.compare a.Chunk.header.Header.c.Ftuple.sn
+             b.Chunk.header.Header.c.Ftuple.sn)
+  in
+  let whole =
+    Bytes.concat Bytes.empty (List.map (fun c -> c.Chunk.payload) sorted)
+  in
+  if Bytes.length whole >= n then Bytes.sub whole 0 n else whole

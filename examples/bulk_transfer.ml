@@ -1,0 +1,60 @@
+(* Bulk data transfer — the paper's first "application that can accept
+   disordered data" (§1): regardless of the order in which data arrive,
+   they are placed directly into the application address space
+   ("spatial reordering").
+
+   A 1 MiB transfer runs over a lossy 8-path network with per-path skew
+   (the paper's SONET striping example), side by side with the
+   conventional reassemble-first transport on an identical network.
+
+   Run with: dune exec examples/bulk_transfer.exe *)
+
+let mib = 1024 * 1024
+
+let pp_delay label = function
+  | Some s ->
+      Printf.printf "  %-28s mean %.3f ms, p99 %.3f ms\n" label
+        (s.Netsim.Stats.mean *. 1e3) (s.Netsim.Stats.p99 *. 1e3)
+  | None -> Printf.printf "  %-28s (no samples)\n" label
+
+let () =
+  let data = Bytes.init mib (fun i -> Char.chr ((i * 31 + i / 977) land 0xFF)) in
+  Printf.printf "bulk transfer: %d bytes, 8 paths, 1%% loss, 0.25 ms skew\n"
+    (Bytes.length data);
+
+  let chunk =
+    Transport.Chunk_transport.run ~seed:7 ~loss:0.01 ~paths:8 ~skew:0.25e-3
+      ~data ()
+  in
+  Printf.printf "\nchunk transport (immediate processing):\n";
+  Printf.printf "  delivered intact:            %b\n"
+    chunk.Transport.Chunk_transport.ok;
+  Printf.printf "  simulated time:              %.3f s\n" chunk.sim_time;
+  Printf.printf "  goodput:                     %.1f Mb/s\n"
+    (chunk.goodput_bps /. 1e6);
+  Printf.printf "  retransmissions:             %d\n" chunk.retransmissions;
+  Printf.printf "  bus crossings per app byte:  %.2f\n"
+    chunk.bus_crossings_per_byte;
+  pp_delay "element availability delay:" chunk.element_delay;
+
+  let buffered =
+    Transport.Buffered_transport.run ~seed:7 ~loss:0.01 ~paths:8 ~skew:0.25e-3
+      ~data ()
+  in
+  Printf.printf "\nconventional transport (reassemble, then process):\n";
+  Printf.printf "  delivered intact:            %b\n"
+    buffered.Transport.Buffered_transport.ok;
+  Printf.printf "  simulated time:              %.3f s\n" buffered.sim_time;
+  Printf.printf "  goodput:                     %.1f Mb/s\n"
+    (buffered.goodput_bps /. 1e6);
+  Printf.printf "  retransmissions:             %d\n"
+    buffered.retransmissions;
+  Printf.printf "  bus crossings per app byte:  %.2f\n"
+    buffered.bus_crossings_per_byte;
+  pp_delay "element availability delay:" buffered.element_delay;
+
+  Printf.printf
+    "\nthe chunk receiver placed every fragment on arrival (zero delay);\n\
+     the conventional receiver held each fragment until its TPDU was\n\
+     physically reassembled, and touched every byte %.1fx more often.\n"
+    (buffered.bus_crossings_per_byte /. chunk.bus_crossings_per_byte)

@@ -1,0 +1,85 @@
+(* Encrypted bulk transfer with decryption on arrival (§1).
+
+   The sender encrypts each chunk's payload with a position-tweaked
+   block cipher keyed by the chunk's own connection SN; the receiver
+   decrypts every chunk the moment it arrives — any order, any
+   fragmentation — and places the plaintext straight into the
+   destination buffer.  Cipher-block chaining would instead have to
+   buffer a chunk until its left neighbour arrived.
+
+   Run with: dune exec examples/secure_transfer.exe *)
+
+open Labelling
+
+let () =
+  let key = Cipher.Feistel.key_of_int 0x5EC2E7 in
+  let secret =
+    Bytes.init 65536 (fun i -> Char.chr ((i * 97 + (i / 13)) land 0xFF))
+  in
+  (* SIZE = 8: one cipher block per element, so fragmentation can never
+     split a block (the §2 purpose of the SIZE field) *)
+  let framer = Framer.create ~elem_size:8 ~tpdu_elems:512 ~conn_id:77 () in
+  let chunks =
+    match Framer.frames_of_stream framer ~frame_bytes:2048 secret with
+    | Ok cs -> cs
+    | Error e -> failwith e
+  in
+  let encrypted =
+    List.map
+      (fun c ->
+        match Cipher.Secure.encrypt_chunk key c with
+        | Ok e -> e
+        | Error msg -> failwith msg)
+      chunks
+  in
+  (* network: fragment to a small MTU and scramble *)
+  let packets =
+    match Packet.pack ~mtu:576 encrypted with
+    | Ok ps -> List.map Packet.encode ps
+    | Error e -> failwith e
+  in
+  let scrambled =
+    let arr = Array.of_list packets in
+    let rng = Random.State.make [| 41 |] in
+    for i = Array.length arr - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list arr
+  in
+  (* receiver: decrypt + place, chunk by chunk, on arrival *)
+  let total_elems = Bytes.length secret / 8 in
+  let dest =
+    Placement.create ~level:Placement.Conn ~base_sn:0
+      ~capacity_elems:total_elems ~elem_size:8
+  in
+  let on_arrival = ref 0 in
+  List.iter
+    (fun image ->
+      match Wire.decode_packet image with
+      | Error e -> failwith e
+      | Ok cs ->
+          List.iter
+            (fun chunk ->
+              if Chunk.is_data chunk then begin
+                match Cipher.Secure.decrypt_chunk key chunk with
+                | Ok plain ->
+                    incr on_arrival;
+                    (match Placement.place dest plain with
+                    | Ok () -> ()
+                    | Error msg -> failwith msg)
+                | Error msg -> failwith msg
+              end)
+            cs)
+    scrambled;
+  assert (Placement.is_full dest);
+  assert (Bytes.equal (Placement.contents dest) secret);
+  Printf.printf
+    "secure transfer: %d bytes, %d packets scrambled in transit\n"
+    (Bytes.length secret) (List.length scrambled);
+  Printf.printf
+    "  %d chunks decrypted the moment they arrived (no chaining buffer),\n"
+    !on_arrival;
+  Printf.printf "  plaintext reassembled spatially and byte-identical.\n"

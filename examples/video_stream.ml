@@ -1,0 +1,137 @@
+(* Video — the paper's second disorder-tolerant application (§1):
+   "Although the video frames themselves must be presented in the
+   correct order, data of an individual frame can be placed in the
+   frame buffer as they arrive without reordering."
+
+   Each video frame is one external PDU (an Application Layer Frame).
+   The receiver keeps a small ring of frame buffers addressed by X.SN
+   and renders a frame the instant its last element has been placed —
+   virtual reassembly at the X level, no physical reassembly.
+
+   Run with: dune exec examples/video_stream.exe *)
+
+open Labelling
+
+let frame_w = 80
+let frame_h = 24
+let frame_bytes = frame_w * frame_h (* 1920 bytes, 480 elements *)
+let frames = 48
+let fps = 30.0
+
+type frame_slot = {
+  placement : Placement.t;
+  tracker : Vreassembly.t;
+  mutable first_arrival : float;
+  mutable rendered_at : float option;
+}
+
+let () =
+  let engine = Netsim.Engine.create ~seed:99 () in
+  (* one frame of synthetic video per external PDU *)
+  let framer = Framer.create ~elem_size:4 ~tpdu_elems:512 ~conn_id:8 () in
+  let mk_frame k =
+    Bytes.init frame_bytes (fun i -> Char.chr ((k * 37 + i) land 0xFF))
+  in
+  let all_chunks =
+    (* push frames strictly in order: the framer is stateful *)
+    let acc = ref [] in
+    for k = 0 to frames - 1 do
+      match Framer.push_frame ~last:(k = frames - 1) framer (mk_frame k) with
+      | Ok cs -> acc := cs :: !acc
+      | Error e -> failwith e
+    done;
+    List.concat (List.rev !acc)
+  in
+  let sealed =
+    match Edc.Encoder.seal_tpdus all_chunks with
+    | Ok cs -> cs
+    | Error e -> failwith e
+  in
+  let packets =
+    match Packet.pack ~mtu:1400 sealed with
+    | Ok ps -> ps
+    | Error e -> failwith e
+  in
+
+  (* receiver state: a slot per frame (a real player would use a ring) *)
+  let slots =
+    Array.init frames (fun _ ->
+        {
+          placement =
+            Placement.create ~level:Placement.External ~base_sn:0
+              ~capacity_elems:(frame_bytes / 4) ~elem_size:4;
+          tracker = Vreassembly.create ();
+          first_arrival = -1.0;
+          rendered_at = None;
+        })
+  in
+  let rendered = ref 0 in
+  let late = ref 0 in
+  let render_deadline k = 0.05 +. (float_of_int k /. fps) in
+  let on_chunk chunk =
+    if Chunk.is_data chunk then begin
+      let x = chunk.Chunk.header.Header.x in
+      if x.Ftuple.id < frames then begin
+        let slot = slots.(x.Ftuple.id) in
+        let now = Netsim.Engine.now engine in
+        if slot.first_arrival < 0.0 then slot.first_arrival <- now;
+        (match Placement.place slot.placement chunk with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        (match
+           Vreassembly.insert slot.tracker ~sn:x.Ftuple.sn
+             ~len:chunk.Chunk.header.Header.len ~st:x.Ftuple.st
+         with
+        | Vreassembly.Fresh | Vreassembly.Duplicate -> ()
+        | Vreassembly.Overlap | Vreassembly.Inconsistent -> ());
+        if Vreassembly.complete slot.tracker && slot.rendered_at = None
+        then begin
+          slot.rendered_at <- Some now;
+          incr rendered;
+          if now > render_deadline x.Ftuple.id then incr late
+        end
+      end
+    end
+  in
+
+  (* ship everything over a jittery multipath network *)
+  let mp =
+    Netsim.Multipath.create engine ~paths:4 ~rate_bps:20e6 ~delay:5e-3
+      ~skew:1.5e-3 ~loss:0.0
+      ~deliver:(fun b ->
+        match Wire.decode_packet b with
+        | Ok chunks -> List.iter on_chunk chunks
+        | Error e -> failwith e)
+      ()
+  in
+  List.iteri
+    (fun i p ->
+      let image = Packet.encode p in
+      Netsim.Engine.schedule engine
+        ~delay:(float_of_int i /. fps /. 4.0)
+        (fun () -> ignore (Netsim.Multipath.send mp image)))
+    packets;
+  Netsim.Engine.run engine;
+
+  (* verify every frame landed intact *)
+  Array.iteri
+    (fun k slot ->
+      assert (Placement.is_full slot.placement);
+      assert (Bytes.equal (Placement.contents slot.placement) (mk_frame k)))
+    slots;
+  let latencies =
+    Array.to_list slots
+    |> List.filter_map (fun s ->
+           Option.map (fun r -> r -. s.first_arrival) s.rendered_at)
+  in
+  let mean =
+    List.fold_left ( +. ) 0.0 latencies /. float_of_int (List.length latencies)
+  in
+  Printf.printf "video: %d frames of %d bytes at %.0f fps over 4 skewed paths\n"
+    frames frame_bytes fps;
+  Printf.printf "  frames rendered intact:      %d/%d\n" !rendered frames;
+  Printf.printf "  late frames:                 %d\n" !late;
+  Printf.printf "  mean first-byte->render:     %.3f ms\n" (mean *. 1e3);
+  Printf.printf
+    "  every element was placed into its frame buffer on arrival;\n\
+    \  frames rendered as soon as virtually complete (X-level ALF).\n"

@@ -1,0 +1,91 @@
+type cell = { end_of_frame : bool; payload : bytes }
+
+let cell_payload = 48
+let trailer_size = 8
+
+let segment frame =
+  let n = Bytes.length frame in
+  (* Pad so that payload + 8-byte trailer is a multiple of 48. *)
+  let padded_len =
+    let need = n + trailer_size in
+    (need + cell_payload - 1) / cell_payload * cell_payload
+  in
+  let b = Bytes.make padded_len '\000' in
+  Bytes.blit frame 0 b 0 n;
+  Bytes.set_int32_be b (padded_len - 8) (Int32.of_int n);
+  Bytes.set_int32_be b (padded_len - 4)
+    (Int32.of_int (Checksums.crc32 (Bytes.sub b 0 (padded_len - 4))));
+  let cells = ref [] in
+  let ncells = padded_len / cell_payload in
+  for i = 0 to ncells - 1 do
+    cells :=
+      {
+        end_of_frame = i = ncells - 1;
+        payload = Bytes.sub b (i * cell_payload) cell_payload;
+      }
+      :: !cells
+  done;
+  List.rev !cells
+
+let encode_cell c =
+  let b = Bytes.make (1 + cell_payload) '\000' in
+  Bytes.set_uint8 b 0 (if c.end_of_frame then 1 else 0);
+  Bytes.blit c.payload 0 b 1 cell_payload;
+  b
+
+let decode_cell b =
+  if Bytes.length b <> 1 + cell_payload then Error "Aal5.decode_cell: bad size"
+  else
+    Ok
+      {
+        end_of_frame = Bytes.get_uint8 b 0 = 1;
+        payload = Bytes.sub b 1 cell_payload;
+      }
+
+module Rx = struct
+  type t = { buf : Buffer.t; mutable cells : int }
+
+  type event = Frame of bytes | Crc_error
+
+  let create () = { buf = Buffer.create 4096; cells = 0 }
+
+  let on_cell rx c =
+    Buffer.add_bytes rx.buf c.payload;
+    rx.cells <- rx.cells + 1;
+    if not c.end_of_frame then None
+    else begin
+      let whole = Buffer.to_bytes rx.buf in
+      Buffer.clear rx.buf;
+      rx.cells <- 0;
+      let n = Bytes.length whole in
+      if n < trailer_size then Some Crc_error
+      else begin
+        let stored_crc =
+          Int32.to_int (Bytes.get_int32_be whole (n - 4)) land 0xFFFF_FFFF
+        in
+        let actual = Checksums.crc32 (Bytes.sub whole 0 (n - 4)) in
+        let frame_len = Int32.to_int (Bytes.get_int32_be whole (n - 8)) in
+        if actual <> stored_crc || frame_len < 0 || frame_len > n - trailer_size
+        then Some Crc_error
+        else Some (Frame (Bytes.sub whole 0 frame_len))
+      end
+    end
+
+  let pending_cells rx = rx.cells
+end
+
+let profile =
+  {
+    Framing_info.name = "aal5";
+    connection =
+      { Framing_info.id = Framing_info.Implicit (* the VC *); sn = Absent;
+        st = Absent };
+    tpdu =
+      { Framing_info.id = Implicit; sn = Implicit;
+        st = Explicit (* end-of-frame bit *) };
+    external_ = { Framing_info.id = Absent; sn = Absent; st = Absent };
+    type_field = Implicit;
+    len_field = Explicit (* trailer length *);
+    tolerates_misordering = false;
+    frames_independent = false;
+  }

@@ -1,0 +1,48 @@
+(** AAL5-style cell framing (Appendix B's comparison point).
+
+    The type-5 ATM Adaptation Layer provides exactly {e one bit} of
+    higher-layer framing per 48-byte cell payload: an end-of-frame flag
+    (equivalent to the chunk T.ST bit).  No ID, SN, or TYPE — ATM links
+    do not misorder, so a cell "contains the beginning of a frame if the
+    previous cell was the end of a frame".  The last cell carries a
+    trailer with the frame length and a CRC-32.
+
+    The receiver therefore {e cannot} tolerate loss or misordering: a
+    lost cell silently concatenates two frames until the CRC rejects the
+    merged mess — the behaviour the FIG-adjacent tests demonstrate
+    against chunks. *)
+
+type cell = { end_of_frame : bool; payload : bytes (* 48 bytes *) }
+
+val cell_payload : int
+(** 48. *)
+
+val segment : bytes -> cell list
+(** Cut one frame into cells, padding the tail and appending the 8-byte
+    trailer (length + CRC-32) as AAL5 does. *)
+
+val encode_cell : cell -> bytes
+(** 49 bytes: 1 flag byte (standing in for the ATM PTI bit) + payload. *)
+
+val decode_cell : bytes -> (cell, string) result
+
+(** {1 Receiver} *)
+
+module Rx : sig
+  type t
+
+  type event =
+    | Frame of bytes  (** a frame whose CRC checked out *)
+    | Crc_error  (** a frame boundary arrived but the CRC failed *)
+
+  val create : unit -> t
+
+  val on_cell : t -> cell -> event option
+  (** Feed cells in arrival order. *)
+
+  val pending_cells : t -> int
+end
+
+val profile : Framing_info.profile
+(** Appendix B row: one bit of framing per cell; everything else
+    positional on a non-misordering channel. *)

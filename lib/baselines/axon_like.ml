@@ -1,0 +1,62 @@
+type packet = { conn : int; levels : (int * bool) array; payload : bytes }
+
+let encode p =
+  let nlevels = Array.length p.levels in
+  let hdr = 4 + 1 + (9 * nlevels) + 4 in
+  let n = Bytes.length p.payload in
+  let b = Bytes.make (hdr + n + 4) '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int p.conn);
+  Bytes.set_uint8 b 4 nlevels;
+  Array.iteri
+    (fun i (sn, limit) ->
+      Bytes.set_int64_be b (5 + (9 * i)) (Int64.of_int sn);
+      Bytes.set_uint8 b (13 + (9 * i)) (if limit then 1 else 0))
+    p.levels;
+  Bytes.set_int32_be b (5 + (9 * nlevels)) (Int32.of_int n);
+  Bytes.blit p.payload 0 b hdr n;
+  let crc = Checksums.crc32 (Bytes.sub b 0 (hdr + n)) in
+  Bytes.set_int32_be b (hdr + n) (Int32.of_int crc);
+  b
+
+let decode b =
+  let total = Bytes.length b in
+  if total < 13 then Error "Axon_like.decode: truncated"
+  else begin
+    let stored =
+      Int32.to_int (Bytes.get_int32_be b (total - 4)) land 0xFFFF_FFFF
+    in
+    if Checksums.crc32 (Bytes.sub b 0 (total - 4)) <> stored then
+      Error "Axon_like.decode: per-packet CRC failure"
+    else begin
+      let conn = Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFF_FFFF in
+      let nlevels = Bytes.get_uint8 b 4 in
+      let hdr = 4 + 1 + (9 * nlevels) + 4 in
+      if total < hdr + 4 then Error "Axon_like.decode: bad level count"
+      else begin
+        let levels =
+          Array.init nlevels (fun i ->
+              ( Int64.to_int (Bytes.get_int64_be b (5 + (9 * i))),
+                Bytes.get_uint8 b (13 + (9 * i)) = 1 ))
+        in
+        let n =
+          Int32.to_int (Bytes.get_int32_be b (5 + (9 * nlevels)))
+          land 0xFFFF_FFFF
+        in
+        if total <> hdr + n + 4 then Error "Axon_like.decode: length mismatch"
+        else Ok { conn; levels; payload = Bytes.sub b hdr n }
+      end
+    end
+  end
+
+let profile =
+  {
+    Framing_info.name = "axon";
+    connection =
+      { Framing_info.id = Framing_info.Explicit; sn = Explicit; st = Explicit };
+    tpdu = { Framing_info.id = Absent; sn = Explicit; st = Explicit };
+    external_ = { Framing_info.id = Absent; sn = Explicit; st = Explicit };
+    type_field = Implicit (* checksum found by position in the PDU *);
+    len_field = Implicit;
+    tolerates_misordering = true (* placement only *);
+    frames_independent = false (* nested: no per-level IDs *);
+  }

@@ -1,0 +1,28 @@
+(** Axon-style framing (Appendix B, [STER 90]).
+
+    "Axon provides several levels of framing.  Each level of framing has
+    an SN (index) and ST bit (limit).  However, not all levels of
+    framing have an ID, which means that some frames are assumed to be
+    hierarchically nested. ... The Axon framing structure provides
+    enough information for placement of disordered data into application
+    memory space.  The only data processing that occurs is the
+    computation of an error detection checksum for each packet."
+
+    So: per-level (SN, ST) but a single connection ID; a per-packet
+    CRC-32 (no end-to-end PDU code); disordered {e placement} works,
+    but chunk-style independent frames and PDU-level processing do
+    not. *)
+
+type packet = {
+  conn : int;
+  levels : (int * bool) array;  (** (sn, limit) per nesting level, outermost first *)
+  payload : bytes;
+}
+
+val encode : packet -> bytes
+(** Header + payload + trailing CRC-32 over the whole packet. *)
+
+val decode : bytes -> (packet, string) result
+(** Rejects CRC failures — Axon's per-packet (hop-grade) protection. *)
+
+val profile : Framing_info.profile

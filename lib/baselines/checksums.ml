@@ -1,0 +1,43 @@
+let crc_table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let crc32_init = 0xFFFFFFFF
+
+let crc32_update crc b off len =
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    c := crc_table.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c
+
+let crc32_finish crc = crc lxor 0xFFFFFFFF
+
+let crc32 b = crc32_finish (crc32_update crc32_init b 0 (Bytes.length b))
+
+let internet_update sum b off len =
+  let s = ref sum in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    s := !s + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then s := !s + (Char.code (Bytes.get b !i) lsl 8);
+  !s
+
+let internet_finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let internet b = internet_finish (internet_update 0 b 0 (Bytes.length b))

@@ -1,0 +1,31 @@
+(** Reference error-detection codes to compare against WSC-2 (paper §4).
+
+    - CRC-32 (IEEE 802.3): strong, but {e cannot} be computed on
+      disordered data [FELD 92] — the property the CLM-WSC experiment
+      demonstrates;
+    - the Internet checksum (RFC 1071): {e can} be computed on
+      disordered data (addition commutes) but has much weaker detection
+      (position-blind, 16-bit). *)
+
+val crc32 : bytes -> int
+(** CRC-32 of a whole buffer (IEEE polynomial, reflected, init/xorout
+    [0xFFFFFFFF]). *)
+
+val crc32_update : int -> bytes -> int -> int -> int
+(** [crc32_update crc b off len] extends a running CRC — valid only when
+    data is presented {e in order}. *)
+
+val crc32_init : int
+val crc32_finish : int -> int
+
+val internet : bytes -> int
+(** RFC 1071 16-bit one's-complement sum of 16-bit words (big-endian,
+    odd byte zero-padded). *)
+
+val internet_update : int -> bytes -> int -> int -> int
+(** Extend a running 32-bit partial sum with a 16-bit-aligned slice; the
+    slice may be presented in any order (addition commutes), as long as
+    every slice starts at an even offset of the overall message. *)
+
+val internet_finish : int -> int
+(** Fold carries and complement. *)

@@ -1,0 +1,95 @@
+type packet = { conn : int; c_sn : int; payload : bytes }
+
+let b_symbol = '\x02'
+let e_symbol = '\x03'
+let escape = '\x10'
+
+let mark_frames frames =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun frame ->
+      Buffer.add_char buf b_symbol;
+      Bytes.iter
+        (fun c ->
+          if c = b_symbol || c = e_symbol || c = escape then begin
+            Buffer.add_char buf escape;
+            Buffer.add_char buf (Char.chr (Char.code c lxor 0x40))
+          end
+          else Buffer.add_char buf c)
+        frame;
+      Buffer.add_char buf e_symbol)
+    frames;
+  Buffer.to_bytes buf
+
+let header = 12
+
+let encode p =
+  let n = Bytes.length p.payload in
+  let b = Bytes.make (header + n) '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int p.conn);
+  Bytes.set_int64_be b 4 (Int64.of_int p.c_sn);
+  Bytes.blit p.payload 0 b header n;
+  b
+
+let decode b =
+  if Bytes.length b < header then Error "Delta_t_like.decode: truncated"
+  else
+    Ok
+      {
+        conn = Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFF_FFFF;
+        c_sn = Int64.to_int (Bytes.get_int64_be b 4);
+        payload = Bytes.sub b header (Bytes.length b - header);
+      }
+
+module Rx = struct
+  type t = {
+    buf : Buffer.t;  (* current frame under construction *)
+    mutable in_frame : bool;
+    mutable esc : bool;
+    mutable scanned : int;
+  }
+
+  let create () =
+    { buf = Buffer.create 4096; in_frame = false; esc = false; scanned = 0 }
+
+  let on_ordered_stream rx b =
+    let frames = ref [] in
+    Bytes.iter
+      (fun c ->
+        rx.scanned <- rx.scanned + 1;
+        if rx.esc then begin
+          if rx.in_frame then
+            Buffer.add_char rx.buf (Char.chr (Char.code c lxor 0x40));
+          rx.esc <- false
+        end
+        else if c = escape then rx.esc <- true
+        else if c = b_symbol then begin
+          Buffer.clear rx.buf;
+          rx.in_frame <- true
+        end
+        else if c = e_symbol then begin
+          if rx.in_frame then frames := Buffer.to_bytes rx.buf :: !frames;
+          Buffer.clear rx.buf;
+          rx.in_frame <- false
+        end
+        else if rx.in_frame then Buffer.add_char rx.buf c)
+      b;
+    List.rev !frames
+
+  let bytes_scanned rx = rx.scanned
+end
+
+let profile =
+  {
+    Framing_info.name = "delta-t";
+    connection =
+      { Framing_info.id = Framing_info.Explicit; sn = Explicit; st = Implicit };
+    tpdu = { Framing_info.id = Implicit; sn = Implicit; st = Implicit };
+    external_ =
+      { Framing_info.id = Implicit; sn = Implicit;
+        st = Explicit (* the E symbol *) };
+    type_field = Implicit;
+    len_field = Implicit (* delimited by in-band symbols *);
+    tolerates_misordering = true (* at the connection level only *);
+    frames_independent = false;
+  }

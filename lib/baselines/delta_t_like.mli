@@ -1,0 +1,46 @@
+(** Delta-t-style framing (Appendix B, [WATS 83]).
+
+    "The Delta-t protocol has a C.ID and C.SN, with the C.SN large
+    enough to allow reordering of disordered data.  Within the data
+    stream, Delta-t provides symbols that mark the beginning and end of
+    a higher-level frame (the B and E symbols)."
+
+    So packets reorder freely at the {e connection} level (explicit
+    C.SN), but higher-level frame boundaries are in-band symbols: the
+    receiver must scan the byte stream {e sequentially} to find them —
+    the flags-versus-header-fields trade-off the paper discusses
+    ("chunks provide the best of both worlds"). *)
+
+type packet = { conn : int; c_sn : int; payload : bytes }
+(** [payload] is the {e marked} stream: data bytes with in-band B/E
+    symbols, escaped. *)
+
+val b_symbol : char
+val e_symbol : char
+
+val mark_frames : bytes list -> bytes
+(** Build the marked stream for a sequence of frames: each framed as
+    B-symbol, escaped data, E-symbol. *)
+
+val encode : packet -> bytes
+val decode : bytes -> (packet, string) result
+
+(** {1 Receiver} *)
+
+module Rx : sig
+  type t
+
+  val create : unit -> t
+
+  val on_ordered_stream : t -> bytes -> bytes list
+  (** Scan a (reordered-to-sequential) run of the marked stream and
+      return the frames completed by it.  The scan is strictly
+      sequential — unlike chunk headers, in-band flags cannot be found
+      without reading every byte in order. *)
+
+  val bytes_scanned : t -> int
+  (** How many payload bytes the flag scan has touched — the parsing
+      cost the paper contrasts with header fields. *)
+end
+
+val profile : Framing_info.profile

@@ -1,0 +1,42 @@
+type presence = Explicit | Implicit | Absent
+
+let presence_name = function
+  | Explicit -> "expl"
+  | Implicit -> "impl"
+  | Absent -> "-"
+
+type level_info = { id : presence; sn : presence; st : presence }
+
+type profile = {
+  name : string;
+  connection : level_info;
+  tpdu : level_info;
+  external_ : level_info;
+  type_field : presence;
+  len_field : presence;
+  tolerates_misordering : bool;
+  frames_independent : bool;
+}
+
+let pp_level fmt l =
+  Format.fprintf fmt "%4s/%4s/%4s" (presence_name l.id) (presence_name l.sn)
+    (presence_name l.st)
+
+let pp_row fmt p =
+  Format.fprintf fmt "%-10s C:%a T:%a X:%a TYPE:%-4s LEN:%-4s %-9s %s"
+    p.name pp_level p.connection pp_level p.tpdu pp_level p.external_
+    (presence_name p.type_field) (presence_name p.len_field)
+    (if p.tolerates_misordering then "disorder" else "ordered")
+    (if p.frames_independent then "independent" else "nested")
+
+let chunks_profile =
+  {
+    name = "chunks";
+    connection = { id = Explicit; sn = Explicit; st = Explicit };
+    tpdu = { id = Explicit; sn = Explicit; st = Explicit };
+    external_ = { id = Explicit; sn = Explicit; st = Explicit };
+    type_field = Explicit;
+    len_field = Explicit;
+    tolerates_misordering = true;
+    frames_independent = true;
+  }

@@ -1,0 +1,42 @@
+(** The vocabulary of the paper's Appendix B comparison: for each
+    protocol, which framing fields exist at which level, and whether
+    they are explicit on the wire, implicit (derived from position,
+    flags or other fields), or absent.
+
+    Each baseline codec in this library exposes a {!profile}; the APXB
+    experiment prints the paper's comparison table {e generated from the
+    implementations}, and the tests check each protocol's behavioural
+    signature (e.g. an implicit-framing protocol really cannot survive
+    misordering). *)
+
+type presence =
+  | Explicit  (** carried as a wire field *)
+  | Implicit  (** derivable from position, flags, or another field *)
+  | Absent
+
+val presence_name : presence -> string
+
+type level_info = {
+  id : presence;
+  sn : presence;
+  st : presence;
+}
+
+type profile = {
+  name : string;
+  connection : level_info;  (** C-level framing *)
+  tpdu : level_info;  (** T-level framing *)
+  external_ : level_info;  (** X-level framing *)
+  type_field : presence;
+  len_field : presence;
+  tolerates_misordering : bool;
+      (** can the receiver process packets out of order? *)
+  frames_independent : bool;
+      (** are framing levels independent (not hierarchically nested)? *)
+}
+
+val pp_row : Format.formatter -> profile -> unit
+(** One row of the Appendix B table. *)
+
+val chunks_profile : profile
+(** Chunks themselves: everything explicit, all levels independent. *)

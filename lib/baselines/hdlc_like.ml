@@ -1,0 +1,119 @@
+type frame = { address : int; seq : int; pf : bool; payload : bytes }
+
+let flag = '\x7e'
+let escape = '\x7d'
+
+let stuff src =
+  let buf = Buffer.create (Bytes.length src + 8) in
+  Bytes.iter
+    (fun c ->
+      if c = flag || c = escape then begin
+        Buffer.add_char buf escape;
+        Buffer.add_char buf (Char.chr (Char.code c lxor 0x20))
+      end
+      else Buffer.add_char buf c)
+    src;
+  Buffer.to_bytes buf
+
+let unstuff src =
+  let buf = Buffer.create (Bytes.length src) in
+  let err = ref false in
+  let esc = ref false in
+  Bytes.iter
+    (fun c ->
+      if !esc then begin
+        Buffer.add_char buf (Char.chr (Char.code c lxor 0x20));
+        esc := false
+      end
+      else if c = escape then esc := true
+      else if c = flag then err := true
+      else Buffer.add_char buf c)
+    src;
+  if !err || !esc then Error "Hdlc_like: bad stuffing"
+  else Ok (Buffer.to_bytes buf)
+
+let encode f =
+  let n = Bytes.length f.payload in
+  let body = Bytes.make (2 + n + 4) '\000' in
+  Bytes.set_uint8 body 0 (f.address land 0xFF);
+  (* control byte: 3-bit N(S) in bits 1-3, P/F in bit 4, I-frame bit0=0 *)
+  Bytes.set_uint8 body 1
+    (((f.seq land 0x7) lsl 1) lor (if f.pf then 0x10 else 0));
+  Bytes.blit f.payload 0 body 2 n;
+  let crc = Checksums.crc32 (Bytes.sub body 0 (2 + n)) in
+  Bytes.set_int32_be body (2 + n) (Int32.of_int crc);
+  let stuffed = stuff body in
+  let out = Bytes.make (Bytes.length stuffed + 2) flag in
+  Bytes.blit stuffed 0 out 1 (Bytes.length stuffed);
+  out
+
+let decode_body body =
+  match unstuff body with
+  | Error _ as e -> e
+  | Ok raw ->
+      let n = Bytes.length raw in
+      if n < 6 then Error "Hdlc_like: short frame"
+      else begin
+        let stored =
+          Int32.to_int (Bytes.get_int32_be raw (n - 4)) land 0xFFFF_FFFF
+        in
+        if Checksums.crc32 (Bytes.sub raw 0 (n - 4)) <> stored then
+          Error "Hdlc_like: FCS failure"
+        else begin
+          let control = Bytes.get_uint8 raw 1 in
+          Ok
+            {
+              address = Bytes.get_uint8 raw 0;
+              seq = (control lsr 1) land 0x7;
+              pf = control land 0x10 <> 0;
+              payload = Bytes.sub raw 2 (n - 6);
+            }
+        end
+      end
+
+let decode_stream b =
+  (* split on flags; empty inter-flag runs are idle fill *)
+  let frames = ref [] in
+  let start = ref (-1) in
+  let err = ref None in
+  Bytes.iteri
+    (fun i c ->
+      if c = flag then begin
+        (if !start >= 0 && i - !start > 0 then
+           match decode_body (Bytes.sub b !start (i - !start)) with
+           | Ok f -> frames := f :: !frames
+           | Error e -> if !err = None then err := Some e);
+        start := i + 1
+      end)
+    b;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (List.rev !frames)
+
+module Rx = struct
+  type t = { mutable expect : int }
+
+  let create () = { expect = 0 }
+
+  let on_frame rx f =
+    if f.seq = rx.expect then begin
+      rx.expect <- (rx.expect + 1) mod 8;
+      `Accept
+    end
+    else `Out_of_sequence
+end
+
+let profile =
+  {
+    Framing_info.name = "hdlc";
+    connection =
+      { Framing_info.id = Framing_info.Explicit; sn = Explicit;
+        st = Implicit (* disconnect *) };
+    tpdu = { Framing_info.id = Implicit; sn = Implicit; st = Implicit };
+    external_ =
+      { Framing_info.id = Implicit; sn = Implicit; st = Explicit (* P/F *) };
+    type_field = Implicit;
+    len_field = Implicit (* flag-delimited *);
+    tolerates_misordering = false;
+    frames_independent = false;
+  }

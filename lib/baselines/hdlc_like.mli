@@ -1,0 +1,40 @@
+(** HDLC-style link framing (Appendix B).
+
+    "The basic HDLC frame is delimited by flags, and the error detection
+    code is found by its position in the frame; thus TYPE, T.ID, T.SN,
+    and T.ST are implicit.  HDLC uses a C.ID (address field), C.SN (SN
+    field), and C.ST is indicated by a HDLC disconnect.  The P/F bit can
+    be used as an X.ST bit ..."
+
+    We implement flag delimiting with byte stuffing, a 1-byte address
+    (C.ID), a 3-bit send sequence number (C.SN mod 8), the P/F bit
+    (X.ST), and a trailing CRC-32 (for CRC-CCITT's role).  The receiver
+    is strictly sequential: frames are accepted only in sequence-number
+    order — the designed-for-ordered-channels behaviour the paper
+    contrasts with chunks. *)
+
+type frame = { address : int; seq : int; pf : bool; payload : bytes }
+
+val flag : char
+(** The 0x7E frame delimiter. *)
+
+val encode : frame -> bytes
+(** Flag, stuffed (header + payload + CRC-32), flag. *)
+
+val decode_stream : bytes -> (frame list, string) result
+(** Split a byte stream at flags and decode each frame; CRC failures are
+    reported. *)
+
+(** {1 Sequential receiver} *)
+
+module Rx : sig
+  type t
+
+  val create : unit -> t
+
+  val on_frame : t -> frame -> [ `Accept | `Out_of_sequence ]
+  (** Accepts only [seq = (last + 1) mod 8] — misordered delivery is
+      rejected, the behavioural signature of implicit framing. *)
+end
+
+val profile : Framing_info.profile

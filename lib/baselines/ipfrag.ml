@@ -1,0 +1,202 @@
+type datagram = { ident : int; offset : int; mf : bool; payload : bytes }
+
+let header_size = 20
+
+let datagram_size d = header_size + Bytes.length d.payload
+
+(* A 20-byte pseudo-IPv4 header: we encode only the fields the
+   experiments use (ident, flags/offset, total length) and zero-fill the
+   rest, keeping the on-wire overhead faithful. *)
+let encode d =
+  let n = Bytes.length d.payload in
+  let b = Bytes.make (header_size + n) '\000' in
+  Bytes.set_uint16_be b 2 (header_size + n);
+  Bytes.set_uint16_be b 4 (d.ident land 0xFFFF);
+  let off8 = d.offset / 8 in
+  let flags_frag = (if d.mf then 0x2000 else 0) lor (off8 land 0x1FFF) in
+  Bytes.set_uint16_be b 6 flags_frag;
+  Bytes.blit d.payload 0 b header_size n;
+  b
+
+let decode b =
+  if Bytes.length b < header_size then Error "Ipfrag.decode: truncated header"
+  else begin
+    let total = Bytes.get_uint16_be b 2 in
+    if total <> Bytes.length b then Error "Ipfrag.decode: length mismatch"
+    else begin
+      let ident = Bytes.get_uint16_be b 4 in
+      let flags_frag = Bytes.get_uint16_be b 6 in
+      let mf = flags_frag land 0x2000 <> 0 in
+      let offset = (flags_frag land 0x1FFF) * 8 in
+      let payload = Bytes.sub b header_size (total - header_size) in
+      Ok { ident; offset; mf; payload }
+    end
+  end
+
+let fragment ~mtu d =
+  let n = Bytes.length d.payload in
+  if mtu <= header_size then Error "Ipfrag.fragment: mtu below header size"
+  else if datagram_size d <= mtu then Ok [ d ]
+  else begin
+    let per = (mtu - header_size) / 8 * 8 in
+    if per < 8 then Error "Ipfrag.fragment: mtu leaves no 8-byte payload unit"
+    else begin
+      let rec go off acc =
+        let len = min per (n - off) in
+        let last = off + len >= n in
+        let frag =
+          {
+            ident = d.ident;
+            offset = d.offset + off;
+            mf = d.mf || not last;
+            payload = Bytes.sub d.payload off len;
+          }
+        in
+        if last then List.rev (frag :: acc) else go (off + len) (frag :: acc)
+      in
+      Ok (go 0 [])
+    end
+  end
+
+module Reassembler = struct
+  type partial = {
+    mutable spans : (int * int) list;  (* sorted disjoint (offset, len) *)
+    mutable total : int option;  (* payload length once MF=0 seen *)
+    mutable store : bytes;
+    mutable stored_bytes : int;
+  }
+
+  type t = {
+    capacity_bytes : int;
+    partials : (int, partial) Hashtbl.t;
+    mutable used : int;
+    mutable lockups : int;
+  }
+
+  type result =
+    | Complete of int * bytes
+    | Buffered
+    | Dup
+    | No_buffer_space
+
+  let create ?(capacity_bytes = 256 * 1024) () =
+    {
+      capacity_bytes;
+      partials = Hashtbl.create 16;
+      used = 0;
+      lockups = 0;
+    }
+
+  let covered spans off len =
+    List.exists (fun (s, l) -> s <= off && off + len <= s + l) spans
+
+  let add_span spans off len =
+    let rec go = function
+      | [] -> [ (off, len) ]
+      | (s, l) :: rest when s + l < off -> (s, l) :: go rest
+      | (s, l) :: rest when off + len < s -> (off, len) :: (s, l) :: rest
+      | (s, l) :: rest ->
+          let lo = min s off and hi = max (s + l) (off + len) in
+          let rec absorb lo hi = function
+            | (s, l) :: rest when s <= hi -> absorb lo (max hi (s + l)) rest
+            | rest -> (lo, hi - lo) :: rest
+          in
+          absorb lo hi rest
+    in
+    go spans
+
+  let ensure_store p n =
+    if Bytes.length p.store < n then begin
+      let ns = Bytes.make (max n (2 * Bytes.length p.store)) '\000' in
+      Bytes.blit p.store 0 ns 0 (Bytes.length p.store);
+      p.store <- ns
+    end
+
+  let complete p =
+    match (p.total, p.spans) with
+    | Some total, [ (0, l) ] -> l = total
+    | _, _ -> false
+
+  let insert t d =
+    let len = Bytes.length d.payload in
+    let p =
+      match Hashtbl.find_opt t.partials d.ident with
+      | Some p -> Some p
+      | None ->
+          if len > t.capacity_bytes - t.used then None
+          else begin
+            let p =
+              {
+                spans = [];
+                total = None;
+                store = Bytes.create 4096;
+                stored_bytes = 0;
+              }
+            in
+            Hashtbl.add t.partials d.ident p;
+            Some p
+          end
+    in
+    match p with
+    | None ->
+        t.lockups <- t.lockups + 1;
+        No_buffer_space
+    | Some p ->
+        if covered p.spans d.offset len then Dup
+        else if len > 0 && t.used + len > t.capacity_bytes then begin
+          t.lockups <- t.lockups + 1;
+          No_buffer_space
+        end
+        else begin
+          if len > 0 then begin
+            ensure_store p (d.offset + len);
+            Bytes.blit d.payload 0 p.store d.offset len;
+            p.spans <- add_span p.spans d.offset len;
+            p.stored_bytes <- p.stored_bytes + len;
+            t.used <- t.used + len
+          end;
+          if not d.mf then p.total <- Some (d.offset + len);
+          if complete p then begin
+            let total = Option.get p.total in
+            let payload = Bytes.sub p.store 0 total in
+            Hashtbl.remove t.partials d.ident;
+            t.used <- t.used - p.stored_bytes;
+            Complete (d.ident, payload)
+          end
+          else Buffered
+        end
+
+  let locked_up t =
+    t.used >= t.capacity_bytes
+    && Hashtbl.fold (fun _ p acc -> acc && not (complete p)) t.partials true
+    && Hashtbl.length t.partials > 0
+
+  let lockups t = t.lockups
+
+  let in_progress t = Hashtbl.length t.partials
+  let buffered_bytes t = t.used
+
+  let drop t ~ident =
+    match Hashtbl.find_opt t.partials ident with
+    | None -> ()
+    | Some p ->
+        t.used <- t.used - p.stored_bytes;
+        Hashtbl.remove t.partials ident
+
+  let drop_all t =
+    Hashtbl.reset t.partials;
+    t.used <- 0
+end
+
+let profile =
+  {
+    Framing_info.name = "ip";
+    connection =
+      { Framing_info.id = Framing_info.Absent; sn = Absent; st = Absent };
+    tpdu = { Framing_info.id = Explicit; sn = Explicit; st = Explicit };
+    external_ = { Framing_info.id = Absent; sn = Absent; st = Absent };
+    type_field = Implicit (* protocol field demux, not per-piece typing *);
+    len_field = Explicit;
+    tolerates_misordering = true (* for reassembly only *);
+    frames_independent = false;
+  }

@@ -1,0 +1,69 @@
+(** IP-style fragmentation (RFC 791) — the conventional comparator of
+    §3.2.
+
+    A datagram carries (ident, offset, more-fragments); fragments are
+    {e implicitly} identified by their position within the original
+    datagram, so a fragment cannot be processed until all earlier
+    context is available: the receiver must physically reassemble
+    datagrams before protocol processing.  Routers never combine or
+    reassemble fragments.  The reassembler holds partially reassembled
+    datagrams in a fixed-size buffer, which exhibits the reassembly
+    lock-up of §3.3 under disordering and loss. *)
+
+type datagram = {
+  ident : int;  (** identification field, u16 *)
+  offset : int;  (** payload offset within the original datagram, bytes;
+                     multiple of 8 as in IP *)
+  mf : bool;  (** more-fragments flag *)
+  payload : bytes;
+}
+
+val header_size : int
+(** 20 bytes, the IPv4 header without options. *)
+
+val datagram_size : datagram -> int
+
+val encode : datagram -> bytes
+val decode : bytes -> (datagram, string) result
+
+val fragment : mtu:int -> datagram -> (datagram list, string) result
+(** Split a datagram so every fragment (header + payload) fits [mtu];
+    offsets are kept 8-byte aligned as IP requires.  Fragmenting an
+    already-fragmented datagram is allowed (offsets compose). *)
+
+(** {1 Receiver-side physical reassembly} *)
+
+module Reassembler : sig
+  type t
+
+  type result =
+    | Complete of int * bytes  (** ident, reassembled payload *)
+    | Buffered
+    | Dup
+    | No_buffer_space
+        (** buffer full and nothing evictable: reassembly lock-up *)
+
+  val create : ?capacity_bytes:int -> unit -> t
+  (** Default capacity 256 KiB of payload across all partial
+      datagrams. *)
+
+  val insert : t -> datagram -> result
+
+  val locked_up : t -> bool
+  (** Buffer full with no complete datagram — the lock-up condition. *)
+
+  val lockups : t -> int
+  (** Times [insert] returned [No_buffer_space]. *)
+
+  val in_progress : t -> int
+  val buffered_bytes : t -> int
+
+  val drop : t -> ident:int -> unit
+  (** Timeout eviction of one partial datagram. *)
+
+  val drop_all : t -> unit
+end
+
+val profile : Framing_info.profile
+(** Appendix B row: IP provides explicit T-level framing (identification
+    / fragment offset / more-fragments) and nothing else. *)

@@ -1,0 +1,103 @@
+type segment = {
+  transaction : int;
+  seg_offset : int;
+  eom : bool;
+  payload : bytes;
+}
+
+let header = 13
+
+let encode s =
+  let n = Bytes.length s.payload in
+  let b = Bytes.make (header + n + 4) '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int s.transaction);
+  Bytes.set_int64_be b 4 (Int64.of_int s.seg_offset);
+  Bytes.set_uint8 b 12 (if s.eom then 1 else 0);
+  Bytes.blit s.payload 0 b header n;
+  let crc = Checksums.crc32 (Bytes.sub b 0 (header + n)) in
+  Bytes.set_int32_be b (header + n) (Int32.of_int crc);
+  b
+
+let decode b =
+  let total = Bytes.length b in
+  if total < header + 4 then Error "Vmtp_like.decode: truncated"
+  else begin
+    let stored =
+      Int32.to_int (Bytes.get_int32_be b (total - 4)) land 0xFFFF_FFFF
+    in
+    if Checksums.crc32 (Bytes.sub b 0 (total - 4)) <> stored then
+      Error "Vmtp_like.decode: CRC failure"
+    else
+      Ok
+        {
+          transaction = Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFF_FFFF;
+          seg_offset = Int64.to_int (Bytes.get_int64_be b 4);
+          eom = Bytes.get_uint8 b 12 = 1;
+          payload = Bytes.sub b header (total - header - 4);
+        }
+  end
+
+module Rx = struct
+  type partial = {
+    mutable spans : (int * int) list;
+    mutable total : int option;
+    mutable store : bytes;
+  }
+
+  type t = (int, partial) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let add_span spans off len =
+    let rec go = function
+      | [] -> [ (off, len) ]
+      | (s, l) :: rest when s + l < off -> (s, l) :: go rest
+      | (s, l) :: rest when off + len < s -> (off, len) :: (s, l) :: rest
+      | (s, l) :: rest ->
+          let lo = min s off and hi = max (s + l) (off + len) in
+          let rec absorb lo hi = function
+            | (s, l) :: rest when s <= hi -> absorb lo (max hi (s + l)) rest
+            | rest -> (lo, hi - lo) :: rest
+          in
+          absorb lo hi rest
+    in
+    go spans
+
+  let on_segment tbl seg =
+    let p =
+      match Hashtbl.find_opt tbl seg.transaction with
+      | Some p -> p
+      | None ->
+          let p = { spans = []; total = None; store = Bytes.create 4096 } in
+          Hashtbl.add tbl seg.transaction p;
+          p
+    in
+    let n = Bytes.length seg.payload in
+    let needed = seg.seg_offset + n in
+    if Bytes.length p.store < needed then begin
+      let ns = Bytes.make (max needed (2 * Bytes.length p.store)) '\000' in
+      Bytes.blit p.store 0 ns 0 (Bytes.length p.store);
+      p.store <- ns
+    end;
+    Bytes.blit seg.payload 0 p.store seg.seg_offset n;
+    p.spans <- add_span p.spans seg.seg_offset n;
+    if seg.eom then p.total <- Some needed;
+    match (p.total, p.spans) with
+    | Some total, [ (0, l) ] when l >= total ->
+        Hashtbl.remove tbl seg.transaction;
+        Some (Bytes.sub p.store 0 total)
+    | _ -> None
+end
+
+let profile =
+  {
+    Framing_info.name = "vmtp";
+    connection =
+      { Framing_info.id = Framing_info.Implicit; sn = Absent; st = Absent };
+    tpdu = { Framing_info.id = Implicit; sn = Implicit; st = Implicit };
+    external_ = { Framing_info.id = Explicit; sn = Explicit; st = Explicit };
+    type_field = Implicit;
+    len_field = Implicit;
+    tolerates_misordering = true;
+    frames_independent = false;
+  }

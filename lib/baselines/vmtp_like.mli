@@ -1,0 +1,36 @@
+(** VMTP-style framing (Appendix B, [CHER 86]).
+
+    "The VMTP protocol provides error detection per packet, so T.ID,
+    T.SN, T.ST, and TYPE information is implicit.  VMTP also provides an
+    X.ID (transaction identifier), a X.SN (segOffset), and X.ST bit
+    (End-of-Message)."
+
+    Misordering-tolerant at the transaction level (explicit X framing),
+    but with only per-packet error detection and no independent T-level
+    frames. *)
+
+type segment = {
+  transaction : int;  (** X.ID *)
+  seg_offset : int;  (** X.SN, bytes *)
+  eom : bool;  (** X.ST *)
+  payload : bytes;
+}
+
+val encode : segment -> bytes
+(** Header + payload + per-packet CRC-32. *)
+
+val decode : bytes -> (segment, string) result
+
+(** {1 Transaction reassembly (misordering-tolerant)} *)
+
+module Rx : sig
+  type t
+
+  val create : unit -> t
+
+  val on_segment : t -> segment -> bytes option
+  (** Returns the complete message when its last gap fills; segments may
+      arrive in any order. *)
+end
+
+val profile : Framing_info.profile

@@ -1,0 +1,154 @@
+type tpdu = { conn : int; seq : int; eom : bool; payload : bytes }
+
+let header_size = 32
+let super_header_size = 8
+
+let make_stream ~conn ~max_tpdu_payload stream =
+  if max_tpdu_payload < 1 then
+    invalid_arg "Xtp_like.make_stream: max_tpdu_payload < 1";
+  let n = Bytes.length stream in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else begin
+      let len = min max_tpdu_payload (n - off) in
+      let t =
+        {
+          conn;
+          seq = off;
+          eom = off + len >= n;
+          payload = Bytes.sub stream off len;
+        }
+      in
+      go (off + len) (t :: acc)
+    end
+  in
+  go 0 []
+
+let encode t =
+  let n = Bytes.length t.payload in
+  let b = Bytes.make (header_size + n) '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int t.conn);
+  Bytes.set_int64_be b 4 (Int64.of_int t.seq);
+  Bytes.set_uint8 b 12 (if t.eom then 1 else 0);
+  Bytes.set_int32_be b 13 (Int32.of_int n);
+  Bytes.blit t.payload 0 b header_size n;
+  b
+
+let decode b =
+  if Bytes.length b < header_size then Error "Xtp_like.decode: truncated"
+  else begin
+    let conn = Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFF_FFFF in
+    let seq = Int64.to_int (Bytes.get_int64_be b 4) in
+    let eom = Bytes.get_uint8 b 12 = 1 in
+    let n = Int32.to_int (Bytes.get_int32_be b 13) in
+    if n < 0 || Bytes.length b <> header_size + n then
+      Error "Xtp_like.decode: bad length"
+    else Ok { conn; seq; eom; payload = Bytes.sub b header_size n }
+  end
+
+let encode_super tpdus =
+  let images = List.map encode tpdus in
+  let total =
+    List.fold_left (fun acc i -> acc + 4 + Bytes.length i) super_header_size
+      images
+  in
+  let b = Bytes.make total '\000' in
+  Bytes.set_int32_be b 0 0x53555052l (* "SUPR" magic: distinct format *);
+  Bytes.set_int32_be b 4 (Int32.of_int (List.length images));
+  let off = ref super_header_size in
+  List.iter
+    (fun i ->
+      Bytes.set_int32_be b !off (Int32.of_int (Bytes.length i));
+      Bytes.blit i 0 b (!off + 4) (Bytes.length i);
+      off := !off + 4 + Bytes.length i)
+    images;
+  b
+
+let decode_super b =
+  if Bytes.length b < super_header_size then
+    Error "Xtp_like.decode_super: truncated"
+  else if Bytes.get_int32_be b 0 <> 0x53555052l then
+    Error "Xtp_like.decode_super: bad magic"
+  else begin
+    let count = Int32.to_int (Bytes.get_int32_be b 4) in
+    let rec go off k acc =
+      if k = 0 then Ok (List.rev acc)
+      else if Bytes.length b - off < 4 then
+        Error "Xtp_like.decode_super: truncated entry"
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_be b off) in
+        if len < 0 || Bytes.length b - off - 4 < len then
+          Error "Xtp_like.decode_super: bad entry length"
+        else
+          match decode (Bytes.sub b (off + 4) len) with
+          | Error _ as e -> e
+          | Ok t -> go (off + 4 + len) (k - 1) (t :: acc)
+      end
+    in
+    go super_header_size count []
+  end
+
+let resize ~max_tpdu_payload tpdus =
+  let ops = ref 0 in
+  let out =
+    List.concat_map
+      (fun t ->
+        incr ops (* parse the incoming TPDU *);
+        let n = Bytes.length t.payload in
+        if n <= max_tpdu_payload then begin
+          incr ops (* re-emit *);
+          [ t ]
+        end
+        else begin
+          let rec cut off acc =
+            if off >= n then List.rev acc
+            else begin
+              let len = min max_tpdu_payload (n - off) in
+              incr ops (* build a new transport header *);
+              let piece =
+                {
+                  conn = t.conn;
+                  seq = t.seq + off;
+                  eom = t.eom && off + len >= n;
+                  payload = Bytes.sub t.payload off len;
+                }
+              in
+              cut (off + len) (piece :: acc)
+            end
+          in
+          cut 0 []
+        end)
+      tpdus
+  in
+  (out, !ops)
+
+let reassemble_stream tpdus =
+  let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) tpdus in
+  let buf = Buffer.create 4096 in
+  let rec go expect = function
+    | [] -> Error "Xtp_like.reassemble_stream: no EOM"
+    | t :: rest ->
+        if t.seq <> expect then Error "Xtp_like.reassemble_stream: gap"
+        else begin
+          Buffer.add_bytes buf t.payload;
+          if t.eom then
+            if rest = [] then Ok (Buffer.to_bytes buf)
+            else Error "Xtp_like.reassemble_stream: data after EOM"
+          else go (expect + Bytes.length t.payload) rest
+        end
+  in
+  go 0 sorted
+
+let profile =
+  {
+    Framing_info.name = "xtp";
+    connection =
+      { Framing_info.id = Framing_info.Explicit; sn = Explicit; st = Implicit };
+    tpdu = { Framing_info.id = Implicit; sn = Implicit; st = Implicit };
+    external_ =
+      { Framing_info.id = Implicit; sn = Implicit; st = Explicit (* ETAG *) };
+    type_field = Implicit;
+    len_field = Explicit;
+    tolerates_misordering = true;
+    frames_independent = false;
+  }

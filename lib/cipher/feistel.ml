@@ -1,0 +1,48 @@
+type key = int64 array (* 16 round keys *)
+
+let block_size = 8
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let key_of_int seed =
+  let state = ref (Int64.of_int seed) in
+  Array.init 16 (fun _ -> splitmix64 state)
+
+(* Round function: a keyed mix of the 32-bit half (not secure, just
+   thoroughly non-linear). *)
+let f k half =
+  let x = Int64.to_int (Int64.logxor k (Int64.of_int half)) land 0xFFFF_FFFF in
+  let x = (x lxor (x lsr 16)) * 0x45d9f3b land 0xFFFF_FFFF in
+  let x = (x lxor (x lsr 13)) * 0xc2b2ae35 land 0xFFFF_FFFF in
+  x lxor (x lsr 16)
+
+let encrypt_block key block =
+  let l = ref (Int64.to_int (Int64.shift_right_logical block 32) land 0xFFFF_FFFF) in
+  let r = ref (Int64.to_int block land 0xFFFF_FFFF) in
+  for round = 0 to 15 do
+    let l' = !r in
+    let r' = !l lxor f key.(round) !r in
+    l := l';
+    r := r'
+  done;
+  (* final swap-less output: (r, l) as in DES *)
+  Int64.logor (Int64.shift_left (Int64.of_int !r) 32) (Int64.of_int !l)
+
+let decrypt_block key block =
+  let r = ref (Int64.to_int (Int64.shift_right_logical block 32) land 0xFFFF_FFFF) in
+  let l = ref (Int64.to_int block land 0xFFFF_FFFF) in
+  for round = 15 downto 0 do
+    let r' = !l in
+    let l' = !r lxor f key.(round) !l in
+    r := r';
+    l := l'
+  done;
+  Int64.logor (Int64.shift_left (Int64.of_int !l) 32) (Int64.of_int !r)
+
+let encrypt_bytes key b off = encrypt_block key (Bytes.get_int64_be b off)

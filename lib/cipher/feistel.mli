@@ -1,0 +1,22 @@
+(** A 16-round Feistel block cipher on 64-bit blocks.
+
+    This is a {e stand-in} for DES in the paper's §1 argument about
+    encryption modes, chosen for its identical structure (64-bit blocks,
+    Feistel network, per-round subkeys).  It is NOT cryptographically
+    secure — the experiments only need a real block transformation whose
+    modes of operation have the right data-dependency structure. *)
+
+type key
+
+val key_of_int : int -> key
+(** Derive the 16 round keys from a 63-bit seed. *)
+
+val block_size : int
+(** 8 bytes. *)
+
+val encrypt_block : key -> int64 -> int64
+val decrypt_block : key -> int64 -> int64
+(** [decrypt_block k (encrypt_block k b) = b]. *)
+
+val encrypt_bytes : key -> bytes -> int -> int64
+(** Read the 8-byte block at an offset and encrypt it. *)

@@ -1,0 +1,91 @@
+let block = 8
+
+let check_len b =
+  if Bytes.length b mod block <> 0 then
+    invalid_arg "Cipher: buffer length must be a multiple of 8"
+
+module Cbc = struct
+  let encrypt ~key ~iv pt =
+    check_len pt;
+    let n = Bytes.length pt / block in
+    let ct = Bytes.create (Bytes.length pt) in
+    let prev = ref iv in
+    for i = 0 to n - 1 do
+      let p = Bytes.get_int64_be pt (i * block) in
+      let c = Feistel.encrypt_block key (Int64.logxor p !prev) in
+      Bytes.set_int64_be ct (i * block) c;
+      prev := c
+    done;
+    ct
+
+  let decrypt ~key ~iv ct =
+    check_len ct;
+    let n = Bytes.length ct / block in
+    let pt = Bytes.create (Bytes.length ct) in
+    let prev = ref iv in
+    for i = 0 to n - 1 do
+      let c = Bytes.get_int64_be ct (i * block) in
+      let p = Int64.logxor (Feistel.decrypt_block key c) !prev in
+      Bytes.set_int64_be pt (i * block) p;
+      prev := c
+    done;
+    pt
+
+  let decrypt_slice ~key ~iv ~prev ct off len =
+    if off < 0 || len < 0 || off + len > Bytes.length ct then
+      Error "Cbc.decrypt_slice: bad slice"
+    else if off mod block <> 0 || len mod block <> 0 then
+      Error "Cbc.decrypt_slice: unaligned slice"
+    else begin
+      let chain =
+        match (prev, off) with
+        | Some c, _ -> Ok c
+        | None, 0 -> Ok iv
+        | None, _ ->
+            Error
+              "Cbc.decrypt_slice: preceding ciphertext block not available \
+               (chunk not yet arrived)"
+      in
+      match chain with
+      | Error _ as e -> e
+      | Ok chain ->
+          let n = len / block in
+          let pt = Bytes.create len in
+          let prev = ref chain in
+          for i = 0 to n - 1 do
+            let c = Bytes.get_int64_be ct (off + (i * block)) in
+            let p = Int64.logxor (Feistel.decrypt_block key c) !prev in
+            Bytes.set_int64_be pt (i * block) p;
+            prev := c
+          done;
+          Ok pt
+    end
+end
+
+module Xpos = struct
+  let tweak key ~pos = Feistel.encrypt_block key (Int64.of_int pos)
+
+  let encrypt_at ~key ~pos pt =
+    check_len pt;
+    let n = Bytes.length pt / block in
+    let ct = Bytes.create (Bytes.length pt) in
+    for i = 0 to n - 1 do
+      let t = tweak key ~pos:(pos + i) in
+      let p = Bytes.get_int64_be pt (i * block) in
+      let c = Int64.logxor (Feistel.encrypt_block key (Int64.logxor p t)) t in
+      Bytes.set_int64_be ct (i * block) c
+    done;
+    ct
+
+  let decrypt_at ~key ~pos ct =
+    check_len ct;
+    let n = Bytes.length ct / block in
+    let pt = Bytes.create (Bytes.length ct) in
+    for i = 0 to n - 1 do
+      let t = tweak key ~pos:(pos + i) in
+      let c = Bytes.get_int64_be ct (i * block) in
+      let p = Int64.logxor (Feistel.decrypt_block key (Int64.logxor c t)) t in
+      Bytes.set_int64_be pt (i * block) p
+    done;
+    pt
+end

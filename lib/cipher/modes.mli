@@ -1,0 +1,50 @@
+(** Modes of operation and their data-dependency structure — the
+    substance behind the paper's §1 remark that "there exist protocol
+    operations that provide the equivalent functionality of ... DES
+    cipher block chaining encryption, but with the additional property
+    that they can be performed on disordered data [FELD 92]".
+
+    - {!Cbc}: classic cipher-block chaining.  Encryption is inherently
+      sequential; decrypting block [i] needs ciphertext block [i-1], so
+      a receiver can decrypt an arriving chunk only if it also holds the
+      ciphertext block just before it — a cross-chunk dependency that
+      forces buffering under disorder.
+    - {!Xpos}: a position-tweaked mode (XEX-style): block [i] is
+      whitened with a tweak derived from its {e absolute position}
+      (which a chunk's SN supplies), so every block — hence every
+      arriving chunk — decrypts independently, in any order, with
+      chaining-style diffusion of the position into every block. *)
+
+val block : int
+(** 8 bytes. *)
+
+module Cbc : sig
+  val encrypt : key:Feistel.key -> iv:int64 -> bytes -> bytes
+  (** Whole-stream encryption (in order, by definition).  The buffer
+      length must be a multiple of 8. *)
+
+  val decrypt : key:Feistel.key -> iv:int64 -> bytes -> bytes
+
+  val decrypt_slice :
+    key:Feistel.key -> iv:int64 -> prev:int64 option -> bytes -> int -> int ->
+    (bytes, string) result
+  (** [decrypt_slice ~key ~iv ~prev ct off len] decrypts the ciphertext
+      run at [off] given [prev], the ciphertext block immediately before
+      the run ([None] only when the run starts the stream, where the IV
+      chains).  Models the receiver-side dependency: without [prev] —
+      i.e. when the preceding chunk has not arrived — the first block of
+      the run cannot be decrypted. *)
+end
+
+module Xpos : sig
+  val tweak : Feistel.key -> pos:int -> int64
+  (** The per-position whitening tweak, [E_k(pos)]. *)
+
+  val encrypt_at : key:Feistel.key -> pos:int -> bytes -> bytes
+  (** Encrypt a buffer whose first block sits at absolute block position
+      [pos]; length must be a multiple of 8. *)
+
+  val decrypt_at : key:Feistel.key -> pos:int -> bytes -> bytes
+  (** Inverse of {!encrypt_at}; works on any run independently — this is
+      what lets a chunk decrypt the moment it arrives. *)
+end

@@ -1,0 +1,21 @@
+open Labelling
+
+let blocks_per_element size =
+  if size mod Modes.block <> 0 then
+    Error "Secure: element SIZE must be a multiple of the 8-byte cipher block"
+  else Ok (size / Modes.block)
+
+let transform f key chunk =
+  if not (Chunk.is_data chunk) then Ok chunk
+  else begin
+    let h = chunk.Chunk.header in
+    match blocks_per_element h.Header.size with
+    | Error _ as e -> e
+    | Ok bpe ->
+        let pos = h.Header.c.Ftuple.sn * bpe in
+        let payload = f ~key ~pos chunk.Chunk.payload in
+        Chunk.make h payload
+  end
+
+let encrypt_chunk key chunk = transform Modes.Xpos.encrypt_at key chunk
+let decrypt_chunk key chunk = transform Modes.Xpos.decrypt_at key chunk

@@ -1,0 +1,23 @@
+(** Encryption as a chunk-processing function: each data chunk's payload
+    is encrypted/decrypted independently, keyed by the connection-level
+    SN its header carries — so decryption happens {e on arrival}, in any
+    order, with no buffering (the paper's §1 requirement for processing
+    functions under disorder).
+
+    This is also where the SIZE field earns its keep: "DES encryption
+    works on 64-bit blocks and we do not want to split these blocks into
+    two pieces that may arrive separately" (§2).  [encrypt_chunk]
+    therefore requires the chunk's element SIZE to be a multiple of the
+    8-byte cipher block, and fragmentation (which only cuts at element
+    boundaries) can then never split a cipher block. *)
+
+val encrypt_chunk :
+  Feistel.key -> Labelling.Chunk.t -> (Labelling.Chunk.t, string) result
+(** Encrypt a data chunk's payload in place of the plaintext (header
+    untouched); position-tweaked by C.SN, so the result is independent
+    of how the stream was chunked.  Control chunks are returned
+    unchanged. *)
+
+val decrypt_chunk :
+  Feistel.key -> Labelling.Chunk.t -> (Labelling.Chunk.t, string) result
+(** Inverse; works on any fragment of the encrypted stream. *)

@@ -1,0 +1,59 @@
+(** A chunk: a completely self-describing data unit — a header plus the
+    run of data elements it labels (paper §2).
+
+    Because the header contains everything needed to process the
+    payload (TYPE, SIZE and a full [(ID, SN, ST)] tuple per framing
+    level), a chunk can be processed by the entire protocol stack
+    without waiting for any other chunk, in any arrival order.  Packets
+    are mere envelopes carrying integral numbers of chunks. *)
+
+type t = private { header : Header.t; payload : bytes }
+(** The payload length always equals [Header.payload_bytes header]; use
+    {!make} to construct.  The payload is owned by the chunk: callers
+    must not mutate it after construction. *)
+
+val make : Header.t -> bytes -> (t, string) result
+(** [make h payload] checks that the payload length matches the header's
+    announced [size]/[len]. *)
+
+val make_exn : Header.t -> bytes -> t
+(** Like {!make} but raises [Invalid_argument]; for internal call sites
+    where the invariant is established by construction. *)
+
+val data :
+  size:int -> c:Ftuple.t -> t:Ftuple.t -> x:Ftuple.t -> bytes ->
+  (t, string) result
+(** Build a data chunk from a payload whose length must be a multiple of
+    [size]; LEN is derived. *)
+
+val control :
+  kind:Ctype.t -> c:Ftuple.t -> t:Ftuple.t -> x:Ftuple.t -> bytes ->
+  (t, string) result
+(** Build an (indivisible) control chunk; [kind] must not be [Data]. *)
+
+val terminator : t
+(** The LEN = 0 end-of-valid-chunks marker. *)
+
+val is_terminator : t -> bool
+val is_data : t -> bool
+val is_control : t -> bool
+
+val elements : t -> int
+(** Number of data elements ([Header.len]; 1 for control chunks viewed
+    as an indivisible unit). *)
+
+val payload_bytes : t -> int
+
+val element : t -> int -> bytes
+(** [element c k] copies out the [k]-th data element ([size] bytes).
+
+    @raise Invalid_argument on control chunks or out-of-range [k]. *)
+
+val last_t_sn : t -> int
+(** T-level SN of the chunk's last element ([t.sn + len - 1]); the
+    element whose ST bits the header carries.
+
+    @raise Invalid_argument on terminators. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,254 @@
+type options = {
+  implicit_tid : bool;
+  elide_size : bool;
+  implicit_sn : bool;
+  implicit_x : bool;
+}
+
+let all_off =
+  { implicit_tid = false; elide_size = false; implicit_sn = false;
+    implicit_x = false }
+
+let all_on =
+  { implicit_tid = true; elide_size = true; implicit_sn = true;
+    implicit_x = true }
+
+type size_table = Ctype.t -> int option
+
+(* Flag bits of the compact header's second byte. *)
+let f_tid_omitted = 0x01
+let f_size_omitted = 0x02
+let f_sn_omitted = 0x04
+let f_x_omitted = 0x08
+let f_c_st = 0x10
+let f_t_st = 0x20
+let f_x_st = 0x40
+
+(* Receiver-predictable state.  The transmitter keeps an identical
+   shadow copy and omits a field exactly when the shadow predicts its
+   value — compression as "don't send what the receiver already knows",
+   which makes every transformation trivially invertible. *)
+type counters = {
+  mutable valid : bool;
+  mutable c_sn : int;
+  mutable t_sn : int;
+  mutable x_sn : int;
+  mutable x_id : int;
+}
+
+let fresh_counters () = { valid = false; c_sn = 0; t_sn = 0; x_sn = 0; x_id = 0 }
+
+let update_counters k (h : Header.t) =
+  if Ctype.is_data h.Header.ctype && h.Header.len > 0 then begin
+    let len = h.Header.len in
+    k.valid <- true;
+    k.c_sn <- h.Header.c.Ftuple.sn + len;
+    k.t_sn <- (if h.Header.t.Ftuple.st then 0 else h.Header.t.Ftuple.sn + len);
+    if h.Header.x.Ftuple.st then begin
+      k.x_sn <- 0;
+      k.x_id <- h.Header.x.Ftuple.id + 1
+    end
+    else begin
+      k.x_sn <- h.Header.x.Ftuple.sn + len;
+      k.x_id <- h.Header.x.Ftuple.id
+    end
+  end
+
+type plan = {
+  tid_omitted : bool;
+  size_omitted : bool;
+  sn_omitted : bool;
+  x_omitted : bool;
+}
+
+let plan_for options (table : size_table) k (h : Header.t) =
+  let is_data = Ctype.is_data h.Header.ctype in
+  let tid_omitted =
+    options.implicit_tid && is_data
+    && h.Header.t.Ftuple.id = h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn
+    && h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn >= 0
+  in
+  let size_omitted =
+    options.elide_size && table h.Header.ctype = Some h.Header.size
+  in
+  let sn_omitted =
+    options.implicit_sn && is_data && k.valid
+    && h.Header.c.Ftuple.sn = k.c_sn
+    && h.Header.t.Ftuple.sn = k.t_sn
+  in
+  let x_omitted =
+    options.implicit_x && is_data && k.valid
+    && h.Header.x.Ftuple.id = k.x_id
+    && h.Header.x.Ftuple.sn = k.x_sn
+  in
+  { tid_omitted; size_omitted; sn_omitted; x_omitted }
+
+let plan_bytes plan =
+  (* type + flags + len *)
+  let base = 1 + 1 + 4 in
+  (* C.ID always explicit *)
+  let base = base + 4 in
+  let base = base + if plan.size_omitted then 0 else 2 in
+  let base = base + if plan.sn_omitted then 0 else 8 + 8 in
+  let base = base + if plan.tid_omitted then 0 else 4 in
+  (* an explicit X block always carries both X.ID and X.SN: X is only
+     explicit when the receiver's prediction failed, so X.SN cannot be
+     left to the predictor even when C.SN/T.SN were *)
+  let base = base + if plan.x_omitted then 0 else 4 + 8 in
+  base
+
+module Tx = struct
+  type t = { options : options; table : size_table; shadow : counters }
+
+  let create ?(options = all_on) ~size_table () =
+    { options; table = size_table; shadow = fresh_counters () }
+
+  let encode_chunk tx buf chunk =
+    if Chunk.is_terminator chunk then
+      invalid_arg "Compress.Tx.encode_chunk: terminator";
+    let h = chunk.Chunk.header in
+    let plan = plan_for tx.options tx.table tx.shadow h in
+    let flags =
+      (if plan.tid_omitted then f_tid_omitted else 0)
+      lor (if plan.size_omitted then f_size_omitted else 0)
+      lor (if plan.sn_omitted then f_sn_omitted else 0)
+      lor (if plan.x_omitted then f_x_omitted else 0)
+      lor (if h.Header.c.Ftuple.st then f_c_st else 0)
+      lor (if h.Header.t.Ftuple.st then f_t_st else 0)
+      lor if h.Header.x.Ftuple.st then f_x_st else 0
+    in
+    Buffer.add_uint8 buf (Ctype.code h.Header.ctype);
+    Buffer.add_uint8 buf flags;
+    Buffer.add_int32_be buf (Int32.of_int h.Header.len);
+    Buffer.add_int32_be buf (Int32.of_int h.Header.c.Ftuple.id);
+    if not plan.size_omitted then Buffer.add_uint16_be buf h.Header.size;
+    if not plan.sn_omitted then begin
+      Buffer.add_int64_be buf (Int64.of_int h.Header.c.Ftuple.sn);
+      Buffer.add_int64_be buf (Int64.of_int h.Header.t.Ftuple.sn)
+    end;
+    if not plan.tid_omitted then
+      Buffer.add_int32_be buf (Int32.of_int h.Header.t.Ftuple.id);
+    if not plan.x_omitted then begin
+      Buffer.add_int32_be buf (Int32.of_int h.Header.x.Ftuple.id);
+      Buffer.add_int64_be buf (Int64.of_int h.Header.x.Ftuple.sn)
+    end;
+    Buffer.add_bytes buf chunk.Chunk.payload;
+    update_counters tx.shadow h
+
+  let encode_all tx chunks =
+    let buf = Buffer.create 1024 in
+    List.iter (encode_chunk tx buf) chunks;
+    Buffer.to_bytes buf
+
+  let chunk_size tx chunk =
+    let h = chunk.Chunk.header in
+    let plan = plan_for tx.options tx.table tx.shadow h in
+    plan_bytes plan + Chunk.payload_bytes chunk
+end
+
+module Rx = struct
+  type t = { options : options; table : size_table; k : counters }
+
+  let create ?(options = all_on) ~size_table () =
+    ignore options;
+    { options; table = size_table; k = fresh_counters () }
+
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+  let need b off n what =
+    if Bytes.length b - off < n then
+      Error (Printf.sprintf "Compress.Rx: truncated %s" what)
+    else Ok ()
+
+  let u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFF_FFFF
+
+  let u64 b off =
+    let v = Int64.to_int (Bytes.get_int64_be b off) in
+    if v < 0 then Error "Compress.Rx: SN overflows native int" else Ok v
+
+  let decode_chunk rx b off =
+    let* () = need b off 10 "fixed fields" in
+    let* ctype = Ctype.of_code (Bytes.get_uint8 b off) in
+    let flags = Bytes.get_uint8 b (off + 1) in
+    let len = u32 b (off + 2) in
+    let c_id = u32 b (off + 6) in
+    let pos = ref (off + 10) in
+    let take n what f =
+      let* () = need b !pos n what in
+      let v = f b !pos in
+      pos := !pos + n;
+      Ok v
+    in
+    let* size =
+      if flags land f_size_omitted <> 0 then
+        match rx.table ctype with
+        | Some s -> Ok s
+        | None -> Error "Compress.Rx: SIZE omitted but TYPE not in table"
+      else take 2 "SIZE" Bytes.get_uint16_be
+    in
+    let* c_sn, t_sn =
+      if flags land f_sn_omitted <> 0 then
+        if rx.k.valid then Ok (rx.k.c_sn, rx.k.t_sn)
+        else Error "Compress.Rx: SN omitted before synchronisation"
+      else
+        let* c_sn = Result.join (take 8 "C.SN" (fun b p -> u64 b p)) in
+        let* t_sn = Result.join (take 8 "T.SN" (fun b p -> u64 b p)) in
+        Ok (c_sn, t_sn)
+    in
+    let* t_id =
+      if flags land f_tid_omitted <> 0 then
+        if c_sn - t_sn >= 0 then Ok (c_sn - t_sn)
+        else Error "Compress.Rx: implicit T.ID is negative"
+      else take 4 "T.ID" u32
+    in
+    let* x_id, x_sn =
+      if flags land f_x_omitted <> 0 then
+        if rx.k.valid then Ok (rx.k.x_id, rx.k.x_sn)
+        else Error "Compress.Rx: X omitted before synchronisation"
+      else
+        let* x_id = take 4 "X.ID" u32 in
+        let* x_sn = Result.join (take 8 "X.SN" (fun b p -> u64 b p)) in
+        Ok (x_id, x_sn)
+    in
+    let c = Ftuple.v ~st:(flags land f_c_st <> 0) ~id:c_id ~sn:c_sn () in
+    let t = Ftuple.v ~st:(flags land f_t_st <> 0) ~id:t_id ~sn:t_sn () in
+    let x = Ftuple.v ~st:(flags land f_x_st <> 0) ~id:x_id ~sn:x_sn () in
+    let* h = Header.v ~ctype ~size ~len ~c ~t ~x in
+    let nbytes = Header.payload_bytes h in
+    let* () = need b !pos nbytes "payload" in
+    let payload = Bytes.sub b !pos nbytes in
+    let* chunk = Chunk.make h payload in
+    update_counters rx.k h;
+    Ok (chunk, !pos + nbytes)
+
+  let resync rx ~c_sn ~t_sn ~x_sn ~x_id =
+    if c_sn < 0 || t_sn < 0 || x_sn < 0 || x_id < 0 then
+      invalid_arg "Compress.Rx.resync: negative field";
+    rx.k.valid <- true;
+    rx.k.c_sn <- c_sn;
+    rx.k.t_sn <- t_sn;
+    rx.k.x_sn <- x_sn;
+    rx.k.x_id <- x_id
+
+  let decode_all rx b =
+    let n = Bytes.length b in
+    let rec go off acc =
+      if off >= n then Ok (List.rev acc)
+      else
+        match decode_chunk rx b off with
+        | Error _ as e -> e
+        | Ok (c, off') -> go off' (c :: acc)
+    in
+    go 0 []
+end
+
+let header_overhead ?(size_table = fun _ -> None) options ~data_chunks =
+  let table = size_table in
+  let tx = Tx.create ~options ~size_table:table () in
+  List.fold_left
+    (fun acc c ->
+      let h = c.Chunk.header in
+      let plan = plan_for options table tx.Tx.shadow h in
+      update_counters tx.Tx.shadow h;
+      acc + plan_bytes plan)
+    0 data_chunks

@@ -1,0 +1,86 @@
+(** Invertible chunk-header syntax transformations (paper Appendix A).
+
+    The fixed-field {!Wire} format is easy to parse but spends 46 bytes
+    per header.  Appendix A observes that several fields can be made
+    implicit without changing the protocol's operation, because the
+    transformations are invertible:
+
+    - {b implicit T.ID} (Fig. 7): SN fields change in lock-step, so
+      [C.SN - T.SN] is constant within a TPDU and can stand in for an
+      explicit T.ID;
+    - {b SIZE elision}: the SIZE of each chunk TYPE can be agreed by
+      specification or signalled at connection set-up, and dropped from
+      every header;
+    - {b implicit SNs}: on a low-loss ordered path the receiver can
+      regenerate SNs with a counter; the transmitter resynchronises it
+      with an occasional explicit header (here: at every TPDU start),
+      and the error-detection system catches mis-synchronisation;
+    - {b implicit X}: X.ID/X.SN can be derived from C.SN and the X.ST
+      bits the way AAL3/4, HDLC and URP do (BOM/COM/EOM-style).
+
+    Chunks may use different formats in different parts of the network;
+    these codecs convert losslessly to and from the canonical form. *)
+
+type options = {
+  implicit_tid : bool;  (** derive T.ID as [C.SN - T.SN] (needs the
+      invariant to hold, which {!Framer} guarantees) *)
+  elide_size : bool;  (** SIZE from the signalled per-TYPE table *)
+  implicit_sn : bool;
+      (** omit all three SNs except at resynchronisation points (TPDU
+          starts and the first chunk after creation) *)
+  implicit_x : bool;
+      (** omit X.ID/X.SN; receiver derives them from C.SN deltas and
+          X.ST, allocating X.IDs sequentially *)
+}
+
+val all_off : options
+val all_on : options
+
+type size_table = Ctype.t -> int option
+(** The signalled SIZE-per-TYPE agreement ([None] = TYPE unknown, must
+    stay explicit). *)
+
+(** {1 Transmitter} *)
+
+module Tx : sig
+  type t
+
+  val create : ?options:options -> size_table:size_table -> unit -> t
+
+  val encode_chunk : t -> Buffer.t -> Chunk.t -> unit
+  (** Append the compressed image; updates the compression context.
+      Chunks must be encoded in transmission order (the receiver's
+      counters mirror this order). *)
+
+  val encode_all : t -> Chunk.t list -> bytes
+
+  val chunk_size : t -> Chunk.t -> int
+  (** Wire bytes {!encode_chunk} would emit for this chunk {e in the
+      current context state}, without emitting it. *)
+end
+
+(** {1 Receiver} *)
+
+module Rx : sig
+  type t
+
+  val create : ?options:options -> size_table:size_table -> unit -> t
+
+  val decode_chunk : t -> bytes -> int -> (Chunk.t * int, string) result
+  (** Parse one compressed chunk and reconstruct the canonical header.
+      Chunks must be decoded in the order they were encoded. *)
+
+  val decode_all : t -> bytes -> (Chunk.t list, string) result
+
+  val resync : t -> c_sn:int -> t_sn:int -> x_sn:int -> x_id:int -> unit
+  (** Re-seat the SN-regeneration counters from an out-of-band
+      signalling message (Appendix A: "to recover synchronization, the
+      transmitter must send SN information to the receiver
+      occasionally"); see {!Connection.Resync}. *)
+end
+
+val header_overhead :
+  ?size_table:size_table -> options -> data_chunks:Chunk.t list -> int
+(** Total header bytes the Tx would spend on this in-order chunk
+    sequence — the figure compared across option sets in CLM-HDR.
+    [size_table] defaults to "no TYPE known" (SIZE stays explicit). *)

@@ -1,0 +1,77 @@
+type signal = Open of { first_csn : int } | Close | Resync of { c_sn : int }
+
+let op_open = 1
+let op_close = 2
+let op_resync = 3
+
+let signal_chunk ~conn_id signal =
+  let payload = Bytes.make 9 '\000' in
+  (match signal with
+  | Open { first_csn } ->
+      Bytes.set_uint8 payload 0 op_open;
+      Bytes.set_int64_be payload 1 (Int64.of_int first_csn)
+  | Close -> Bytes.set_uint8 payload 0 op_close
+  | Resync { c_sn } ->
+      Bytes.set_uint8 payload 0 op_resync;
+      Bytes.set_int64_be payload 1 (Int64.of_int c_sn));
+  let c = Ftuple.v ~id:conn_id ~sn:0 () in
+  match
+    Chunk.control ~kind:Ctype.signal ~c ~t:Ftuple.zero ~x:Ftuple.zero payload
+  with
+  | Ok chunk -> chunk
+  | Error e -> invalid_arg e
+
+let parse_signal chunk =
+  let h = chunk.Chunk.header in
+  if not (Ctype.equal h.Header.ctype Ctype.signal) then
+    Error "Connection.parse_signal: not a signalling chunk"
+  else if Bytes.length chunk.Chunk.payload <> 9 then
+    Error "Connection.parse_signal: bad payload size"
+  else begin
+    let conn_id = h.Header.c.Ftuple.id in
+    let arg = Int64.to_int (Bytes.get_int64_be chunk.Chunk.payload 1) in
+    match Bytes.get_uint8 chunk.Chunk.payload 0 with
+    | 1 when arg >= 0 -> Ok (conn_id, Open { first_csn = arg })
+    | 2 -> Ok (conn_id, Close)
+    | 3 when arg >= 0 -> Ok (conn_id, Resync { c_sn = arg })
+    | _ -> Error "Connection.parse_signal: bad opcode or argument"
+  end
+
+type state = Established of { first_csn : int } | Closed
+
+type t = (int, state) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let on_chunk tbl chunk =
+  let h = chunk.Chunk.header in
+  if Chunk.is_terminator chunk then `Ignored
+  else if Ctype.equal h.Header.ctype Ctype.signal then (
+    match parse_signal chunk with
+    | Error _ -> `Ignored
+    | Ok (conn_id, signal) ->
+        (match signal with
+        | Open { first_csn } ->
+            Hashtbl.replace tbl conn_id (Established { first_csn })
+        | Close -> Hashtbl.replace tbl conn_id Closed
+        | Resync _ -> ());
+        `Signal (conn_id, signal))
+  else if Chunk.is_data chunk then begin
+    let conn_id = h.Header.c.Ftuple.id in
+    match Hashtbl.find_opt tbl conn_id with
+    | Some (Established _) ->
+        (* the in-band end-of-connection bit also closes *)
+        if h.Header.c.Ftuple.st then Hashtbl.replace tbl conn_id Closed;
+        `Data_for conn_id
+    | Some Closed | None -> `Unknown_connection conn_id
+  end
+  else `Ignored
+
+let state tbl ~conn_id = Hashtbl.find_opt tbl conn_id
+
+let established tbl =
+  Hashtbl.fold
+    (fun id st acc ->
+      match st with Established _ -> id :: acc | Closed -> acc)
+    tbl []
+  |> List.sort Int.compare

@@ -1,0 +1,46 @@
+(** Connections and their signalling (paper §2 and [FELD 90]).
+
+    A connection ID refers to a single, {e unmultiplexed}
+    application-to-application conversation; the whole conversation is
+    treated as one large PDU whose SNs may be reused over time, so the
+    {e beginning} of a connection is indicated with a signalling message
+    rather than an SN of zero, and the C.ST bit (or an equivalent
+    signal) ends it.  Signals travel as [Ctype.signal] control chunks
+    and therefore share packets with data like any other chunk
+    (Appendix A's piggybacking-for-free observation). *)
+
+type signal =
+  | Open of { first_csn : int }
+      (** connection establishment, announcing the starting C.SN (which
+          need not be 0 — SNs are reused over time) *)
+  | Close
+      (** orderly tear-down; an alternative to the in-band C.ST bit *)
+  | Resync of { c_sn : int }
+      (** re-announce the next C.SN (used by receivers that regenerate
+          SNs implicitly, Appendix A) *)
+
+val signal_chunk : conn_id:int -> signal -> Chunk.t
+(** Encode a signal as a control chunk of the connection. *)
+
+val parse_signal : Chunk.t -> (int * signal, string) result
+(** Decode a signalling chunk into (connection id, signal). *)
+
+(** {1 Receiver-side connection table} *)
+
+type state = Established of { first_csn : int } | Closed
+
+type t
+(** A table of known connections, keyed by C.ID. *)
+
+val create : unit -> t
+
+val on_chunk : t -> Chunk.t ->
+  [ `Signal of int * signal | `Data_for of int | `Unknown_connection of int
+  | `Ignored ]
+(** Route one chunk: signals update the table; data chunks are accepted
+    only for established connections ([`Unknown_connection] models the
+    paper's requirement that establishment precedes data). *)
+
+val state : t -> conn_id:int -> state option
+val established : t -> int list
+(** Currently established connection ids (ascending). *)

@@ -1,0 +1,31 @@
+type t = Data | Control of int
+
+let data = Data
+let ed = Control 1
+let ack = Control 2
+let signal = Control 3
+let nack = Control 4
+
+let is_data = function Data -> true | Control _ -> false
+let is_control = function Data -> false | Control _ -> true
+
+let code = function Data -> 0 | Control k -> k
+
+let of_code k =
+  if k = 0 then Ok Data
+  else if k >= 1 && k <= 0xFF then Ok (Control k)
+  else Error (Printf.sprintf "Ctype.of_code: invalid code %d" k)
+
+let equal a b =
+  match (a, b) with
+  | Data, Data -> true
+  | Control x, Control y -> x = y
+  | Data, Control _ | Control _, Data -> false
+
+let pp fmt = function
+  | Data -> Format.pp_print_string fmt "D"
+  | Control 1 -> Format.pp_print_string fmt "ED"
+  | Control 2 -> Format.pp_print_string fmt "ACK"
+  | Control 3 -> Format.pp_print_string fmt "SIG"
+  | Control 4 -> Format.pp_print_string fmt "NACK"
+  | Control k -> Format.fprintf fmt "CTL%d" k

@@ -1,0 +1,49 @@
+(** The chunk TYPE field (paper §2).
+
+    The TYPE indicates how a piece of a PDU is to be processed.  The
+    basic PDU contains pieces of type {e data} and one or more kinds of
+    {e control}; control information is indivisible and associated with
+    exactly one PDU level (e.g. the error-detection code belongs to the
+    TPDU).  The appendix-A observation that chunks can be demultiplexed
+    to processing units purely on TYPE is why the codes are small
+    integers. *)
+
+type t =
+  | Data  (** PDU payload. *)
+  | Control of int
+      (** A kind of control information; the argument is the wire code
+          (>= 1).  Well-known kinds are named below. *)
+
+val data : t
+
+val ed : t
+(** Error-detection code for a TPDU ([Control 1]); its payload is the
+    WSC-2 parity pair. *)
+
+val ack : t
+(** Acknowledgement control information ([Control 2]), used by the
+    transport built on chunks. *)
+
+val signal : t
+(** Connection signalling ([Control 3]): connection establishment and
+    tear-down (the paper replaces "SN = 0 marks the start" with explicit
+    signalling for the connection PDU). *)
+
+val nack : t
+(** Selective-retransmission request ([Control 4]): the element runs a
+    TPDU is still missing, straight from virtual reassembly's gap
+    report.  Because chunks are self-describing, the sender can re-send
+    exactly those runs as first-class chunks — a consequence of the
+    labelling the paper's conventional comparators cannot get. *)
+
+val is_data : t -> bool
+val is_control : t -> bool
+
+val code : t -> int
+(** Wire code: [0] for data, the control kind otherwise. *)
+
+val of_code : int -> (t, string) result
+(** Inverse of {!code}; rejects negative and oversized codes. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = {
+  handlers : (int, Chunk.t -> unit) Hashtbl.t;
+  default : Chunk.t -> unit;
+  mutable routed : int;
+  mutable unknown : int;
+}
+
+let create ?(default = fun _ -> ()) () =
+  { handlers = Hashtbl.create 8; default; routed = 0; unknown = 0 }
+
+let register d ctype handler =
+  Hashtbl.replace d.handlers (Ctype.code ctype) handler
+
+let on_chunk d chunk =
+  if not (Chunk.is_terminator chunk) then begin
+    d.routed <- d.routed + 1;
+    let code = Ctype.code chunk.Chunk.header.Header.ctype in
+    match Hashtbl.find_opt d.handlers code with
+    | Some handler -> handler chunk
+    | None ->
+        d.unknown <- d.unknown + 1;
+        d.default chunk
+  end
+
+let on_packet d b =
+  match Wire.decode_packet b with
+  | Error _ as e -> e
+  | Ok chunks ->
+      List.iter (on_chunk d) chunks;
+      Ok (List.length chunks)
+
+let routed d = d.routed
+let unknown d = d.unknown

@@ -1,0 +1,96 @@
+let split c ~elems =
+  let h = c.Chunk.header in
+  if Chunk.is_terminator c then Error "Fragment.split: terminator"
+  else if Chunk.is_control c then
+    Error "Fragment.split: control chunks are indivisible"
+  else if elems <= 0 || elems >= h.Header.len then
+    Error "Fragment.split: split point out of range"
+  else begin
+    let size = h.Header.size in
+    let bytes_a = elems * size in
+    (* Part A: same labels, SNs unchanged, every ST bit cleared. *)
+    let ha =
+      {
+        h with
+        Header.len = elems;
+        c = Ftuple.with_st h.Header.c false;
+        t = Ftuple.with_st h.Header.t false;
+        x = Ftuple.with_st h.Header.x false;
+      }
+    in
+    (* Part B: SNs advanced by [elems] at every level; keeps the original
+       ST bits because it contains the original chunk's last element. *)
+    let hb =
+      {
+        h with
+        Header.len = h.Header.len - elems;
+        c = Ftuple.with_st (Ftuple.advance h.Header.c elems) h.Header.c.Ftuple.st;
+        t = Ftuple.with_st (Ftuple.advance h.Header.t elems) h.Header.t.Ftuple.st;
+        x = Ftuple.with_st (Ftuple.advance h.Header.x elems) h.Header.x.Ftuple.st;
+      }
+    in
+    let a = Chunk.make_exn ha (Bytes.sub c.Chunk.payload 0 bytes_a) in
+    let b =
+      Chunk.make_exn hb
+        (Bytes.sub c.Chunk.payload bytes_a (Bytes.length c.Chunk.payload - bytes_a))
+    in
+    Ok (a, b)
+  end
+
+let split_exn c ~elems =
+  match split c ~elems with
+  | Ok pair -> pair
+  | Error e -> invalid_arg e
+
+let split_to_payload c ~max_payload =
+  if max_payload <= 0 then Error "Fragment.split_to_payload: max_payload <= 0"
+  else if Chunk.is_terminator c then Ok [ c ]
+  else if Chunk.payload_bytes c <= max_payload then Ok [ c ]
+  else if Chunk.is_control c then
+    Error "Fragment.split_to_payload: oversized control chunk is indivisible"
+  else begin
+    let size = c.Chunk.header.Header.size in
+    let per = max_payload / size in
+    if per < 1 then
+      Error "Fragment.split_to_payload: element larger than max_payload"
+    else begin
+      let rec go c acc =
+        if Chunk.payload_bytes c <= max_payload then List.rev (c :: acc)
+        else
+          let a, b = split_exn c ~elems:per in
+          go b (a :: acc)
+      in
+      Ok (go c [])
+    end
+  end
+
+let extract c ~t_sn ~elems =
+  let h = c.Chunk.header in
+  if not (Chunk.is_data c) then Error "Fragment.extract: not a data chunk"
+  else begin
+    let first = h.Header.t.Ftuple.sn in
+    let off = t_sn - first in
+    if elems < 1 || off < 0 || off + elems > h.Header.len then
+      Error "Fragment.extract: run not contained in the chunk"
+    else begin
+      (* drop the prefix, then keep the first [elems] of the rest *)
+      let tail =
+        if off = 0 then Ok c
+        else match split c ~elems:off with Ok (_, b) -> Ok b | Error _ as e -> e
+      in
+      match tail with
+      | Error _ as e -> e
+      | Ok tail ->
+          if tail.Chunk.header.Header.len = elems then Ok tail
+          else begin
+            match split tail ~elems with
+            | Ok (a, _) -> Ok a
+            | Error _ as e -> e
+          end
+    end
+  end
+
+let shatter c =
+  if Chunk.is_control c then Error "Fragment.shatter: control chunk"
+  else if Chunk.is_terminator c then Ok [ c ]
+  else split_to_payload c ~max_payload:c.Chunk.header.Header.size

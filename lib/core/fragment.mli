@@ -1,0 +1,40 @@
+(** Chunk fragmentation — the paper's Appendix C algorithm.
+
+    Splitting a chunk yields two chunks that are themselves completely
+    self-describing: both keep the original TYPE, SIZE and all three
+    IDs; the second part's SNs are advanced by the split length; only
+    the part containing the original chunk's {e last} element keeps the
+    ST bits (no ST bit is set in any earlier part).  The SIZE field
+    guarantees that atomic processing units are never split.  Because
+    the result of a split is again chunks, the receiver's view is
+    identical no matter how many fragmentation stages occurred — the key
+    to one-step reassembly (§3.1). *)
+
+val split : Chunk.t -> elems:int -> (Chunk.t * Chunk.t, string) result
+(** [split c ~elems] divides data chunk [c] after its first [elems]
+    elements ([0 < elems < len]).  Control chunks are indivisible and
+    terminators empty; both are rejected. *)
+
+val split_exn : Chunk.t -> elems:int -> Chunk.t * Chunk.t
+(** @raise Invalid_argument where {!split} returns [Error]. *)
+
+val split_to_payload : Chunk.t -> max_payload:int -> (Chunk.t list, string) result
+(** [split_to_payload c ~max_payload] repeatedly applies {!split} so
+    every piece carries at most [max_payload] bytes of payload — the
+    "empty chunks from one size of envelope into another" operation used
+    when packing into a smaller MTU (§3.1, Fig. 3).  Fails if even a
+    single element exceeds [max_payload] (the SIZE atomicity bound) or
+    if [c] is an oversized control chunk (indivisible). *)
+
+val extract : Chunk.t -> t_sn:int -> elems:int -> (Chunk.t, string) result
+(** [extract c ~t_sn ~elems] is the sub-chunk covering T-level SNs
+    [t_sn .. t_sn+elems-1] of data chunk [c] (which must contain that
+    whole run).  Used for selective retransmission: because every chunk
+    is self-describing, {e any} element run of a TPDU can be re-sent as
+    a first-class chunk. *)
+
+val shatter : Chunk.t -> (Chunk.t list, string) result
+(** Split a data chunk into single-element chunks (the Appendix C
+    remark: "the algorithm below can be repeated until each chunk
+    carries only a single unit of data").  Mostly useful for tests and
+    for the worst-case bench. *)

@@ -1,0 +1,79 @@
+(** Transmitter-side chunk formation: dividing one uni-directional data
+    stream into PDUs at several framing levels simultaneously and
+    emitting maximal chunks (paper §2, Figs. 1 and 2).
+
+    The stream is framed three ways at once:
+    - the {e connection} is one single large PDU whose SN ([C.SN]) only
+      grows; its end (C.ST) is signalled by {!close};
+    - {e TPDUs} are fixed-length error-control PDUs of [tpdu_elems]
+      elements; [T.ID]s are allocated sequentially and [T.SN] restarts
+      at 0 in each TPDU;
+    - {e external PDUs} (application frames / ALF) are variable-length:
+      each call to {!push_frame} is one external PDU; [X.SN] restarts at
+      0 in each frame.
+
+    A chunk boundary is cut wherever {e any} framing level has a
+    boundary, so every emitted chunk is a maximal run of elements with
+    contiguous SNs at all three levels — exactly the Fig. 2
+    construction.  The framer is the transmitting half; the receiving
+    half is {!Placement} / {!Vreassembly} / the [Edc] verifier. *)
+
+type t
+
+val create :
+  ?elem_size:int ->
+  ?tpdu_elems:int ->
+  ?first_tid:int ->
+  ?first_xid:int ->
+  ?first_csn:int ->
+  conn_id:int ->
+  unit ->
+  t
+(** [create ~conn_id ()] makes a framer for one connection.
+
+    @param elem_size bytes per data element (the SIZE field; default 4).
+    @param tpdu_elems elements per TPDU (default 1024).
+    @param first_tid first TPDU ID allocated (default 0).
+    @param first_xid first external-PDU ID allocated (default 0).
+    @param first_csn starting connection SN (default 0; the paper notes
+    connection SNs are reused over time, so a resumed connection may
+    start anywhere). *)
+
+val elem_size : t -> int
+val tpdu_elems : t -> int
+val conn_id : t -> int
+
+val next_c_sn : t -> int
+(** Connection SN the next pushed element will carry. *)
+
+val push_frame : ?last:bool -> t -> bytes -> (Chunk.t list, string) result
+(** Submit one external PDU (application frame).  Its length must be a
+    positive multiple of [elem_size] (use {!pad_frame} otherwise).
+    Returns the chunks covering the frame, cut at every TPDU boundary
+    crossed, each fully labelled and immediately transmittable.
+
+    With [~last:true] the frame closes the connection: its final element
+    carries C.ST = 1 and also ends its TPDU (T.ST = 1, closing a
+    possibly short final TPDU) — the paper's "C.ST bit can be set only
+    on a TPDU boundary" invariant.  After a last frame the framer
+    rejects further pushes. *)
+
+val push_last_frame : t -> bytes -> (Chunk.t list, string) result
+(** [push_frame ~last:true]. *)
+
+val closed : t -> bool
+(** Whether a last frame has been pushed. *)
+
+val set_tpdu_elems : t -> int -> (unit, string) result
+(** Change the TPDU size for subsequent TPDUs.  Allowed only at a TPDU
+    boundary (no TPDU under construction); used by the adaptive sender
+    that shrinks its TPDUs to match the observed loss rate (§3). *)
+
+val pad_frame : elem_size:int -> bytes -> bytes
+(** Zero-pad a buffer up to the next multiple of [elem_size]. *)
+
+val frames_of_stream :
+  t -> frame_bytes:int -> bytes -> (Chunk.t list, string) result
+(** Convenience: cut a flat buffer into [frame_bytes]-sized external
+    PDUs (last one possibly shorter, padded) and push them all, the
+    final one via {!push_last_frame}. *)

@@ -1,0 +1,54 @@
+type t = {
+  ctype : Ctype.t;
+  size : int;
+  len : int;
+  c : Ftuple.t;
+  t : Ftuple.t;
+  x : Ftuple.t;
+}
+
+let max_size = 0xFFFF
+let max_len = 0x3FFF_FFFF
+
+let v ~ctype ~size ~len ~c ~t ~x =
+  if len < 0 || len > max_len then Error "Header.v: len out of range"
+  else if Ctype.is_data ctype && len > 0 && (size < 1 || size > max_size)
+  then Error "Header.v: size out of range for data chunk"
+  else if size < 0 || size > max_size then Error "Header.v: size out of range"
+  else Ok { ctype; size; len; c; t; x }
+
+let terminator =
+  {
+    ctype = Ctype.data;
+    size = 0;
+    len = 0;
+    c = Ftuple.zero;
+    t = Ftuple.zero;
+    x = Ftuple.zero;
+  }
+
+let is_terminator h = h.len = 0
+
+let payload_bytes h =
+  if is_terminator h then 0
+  else if Ctype.is_data h.ctype then h.size * h.len
+  else h.len
+
+let same_labels a b =
+  Ctype.equal a.ctype b.ctype
+  && a.size = b.size
+  && a.c.Ftuple.id = b.c.Ftuple.id
+  && a.t.Ftuple.id = b.t.Ftuple.id
+  && a.x.Ftuple.id = b.x.Ftuple.id
+
+let equal a b =
+  Ctype.equal a.ctype b.ctype
+  && a.size = b.size
+  && a.len = b.len
+  && Ftuple.equal a.c b.c
+  && Ftuple.equal a.t b.t
+  && Ftuple.equal a.x b.x
+
+let pp fmt h =
+  Format.fprintf fmt "@[<h>[%a size=%d len=%d C=%a T=%a X=%a]@]" Ctype.pp
+    h.ctype h.size h.len Ftuple.pp h.c Ftuple.pp h.t Ftuple.pp h.x

@@ -1,0 +1,55 @@
+(** A chunk header: the single label shared by a run of data elements
+    with contiguous SNs and identical TYPE and IDs (paper §2, Fig. 2).
+
+    The header carries:
+    - [ctype] — the TYPE shared by all elements of the chunk;
+    - [size]  — the SIZE field: bytes per atomic data element.  SIZE
+      guards the atomic units of protocol processing (e.g. cipher
+      blocks) against being split by fragmentation;
+    - [len]   — the LEN field: number of data elements in the chunk
+      (for control chunks, which are indivisible, [len] is the payload
+      byte count — it exists only so the payload can be delimited on the
+      wire).  [len = 0] marks a terminator chunk (end of the valid-chunk
+      region of a packet);
+    - [c], [t], [x] — one {!Ftuple.t} per framing level: the connection
+      (the whole conversation as one large PDU), the TPDU (unit of error
+      control) and the external PDU (e.g. an Application Layer Frame).
+      Each tuple holds the SN of the chunk's first element and the ST
+      bit of its last element. *)
+
+type t = {
+  ctype : Ctype.t;
+  size : int;
+  len : int;
+  c : Ftuple.t;  (** connection-level framing *)
+  t : Ftuple.t;  (** TPDU-level framing *)
+  x : Ftuple.t;  (** external-PDU-level framing *)
+}
+
+val v :
+  ctype:Ctype.t ->
+  size:int ->
+  len:int ->
+  c:Ftuple.t ->
+  t:Ftuple.t ->
+  x:Ftuple.t ->
+  (t, string) result
+(** Smart constructor; validates field ranges: [1 <= size <= 0xFFFF] for
+    data chunks, [len >= 0], and that a terminator has [len = 0]. *)
+
+val terminator : t
+(** The LEN = 0 chunk header placed after the last valid chunk in a
+    packet (paper §2). *)
+
+val is_terminator : t -> bool
+
+val payload_bytes : t -> int
+(** Bytes of payload this header announces: [size * len] for data,
+    [len] for control chunks. *)
+
+val same_labels : t -> t -> bool
+(** [same_labels a b]: equal TYPE, SIZE and all three IDs — the
+    precondition (minus SN adjacency) of Appendix D mergeability. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

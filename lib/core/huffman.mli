@@ -1,0 +1,48 @@
+(** Canonical Huffman coding of chunk-header bytes within a packet —
+    the tail of Appendix A: "In general, we can use positional
+    information and Huffman encoding to reduce the chunk header overhead
+    within a packet."
+
+    Chunk headers inside one packet are highly repetitive (shared IDs,
+    zero upper SN bytes), so a per-packet canonical Huffman code over the
+    header bytes compresses them well while payload bytes pass through
+    verbatim.  The code table (code length per byte value, at most 255
+    entries) travels in the packet; decoding is table-driven.
+
+    This is a demonstration codec for the CLM-HDR experiment; the
+    simpler {!Compress} and {!Packed} transformations are the practical
+    ones. *)
+
+type code
+(** A canonical Huffman code over byte values. *)
+
+val build : int array -> code
+(** [build freq] builds a code from a 256-entry frequency table (zero
+    frequencies allowed; at least one must be positive).  Code lengths
+    are capped at 15 bits.
+
+    @raise Invalid_argument on a wrong-sized or all-zero table. *)
+
+val encode_bytes : code -> bytes -> bytes
+(** Bit-packed encoding (the final partial byte is zero-padded). *)
+
+val decode_bytes : code -> count:int -> bytes -> (bytes, string) result
+(** Decode exactly [count] symbols. *)
+
+val serialize : code -> bytes
+(** Wire image of the code table (256 nibble-packed code lengths =
+    128 bytes). *)
+
+val deserialize : bytes -> int -> (code * int, string) result
+
+(** {1 Packet-level header compression} *)
+
+val compress_packet : Chunk.t list -> (bytes, string) result
+(** Encode a packet as: chunk count, per-chunk Huffman-coded 46-byte
+    header images + verbatim payloads, prefixed by the packet's header
+    code table. *)
+
+val decompress_packet : bytes -> (Chunk.t list, string) result
+
+val compressed_size : Chunk.t list -> int
+(** Bytes {!compress_packet} produces (for the CLM-HDR accounting). *)

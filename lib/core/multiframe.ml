@@ -1,0 +1,188 @@
+type t = {
+  ctype : Ctype.t;
+  size : int;
+  levels : Ftuple.t array;
+  len : int;
+  payload : bytes;
+}
+
+let make ~ctype ~size ~levels payload =
+  let n = Bytes.length payload in
+  if Array.length levels < 1 then
+    Error "Multiframe.make: at least one framing level required"
+  else if Array.length levels > 255 then
+    Error "Multiframe.make: too many levels"
+  else if Ctype.is_data ctype then
+    if size < 1 || size > 0xFFFF then Error "Multiframe.make: bad size"
+    else if n = 0 || n mod size <> 0 then
+      Error "Multiframe.make: payload not a positive multiple of size"
+    else Ok { ctype; size; levels; len = n / size; payload }
+  else Ok { ctype; size = 1; levels; len = n; payload }
+
+let levels c = Array.length c.levels
+let elements c = if Ctype.is_data c.ctype then c.len else 1
+
+let is_data c = Ctype.is_data c.ctype
+
+let split c ~elems =
+  if not (is_data c) then Error "Multiframe.split: control is indivisible"
+  else if elems <= 0 || elems >= c.len then
+    Error "Multiframe.split: split point out of range"
+  else begin
+    let bytes_a = elems * c.size in
+    let a =
+      {
+        c with
+        len = elems;
+        levels = Array.map (fun u -> Ftuple.with_st u false) c.levels;
+        payload = Bytes.sub c.payload 0 bytes_a;
+      }
+    in
+    let b =
+      {
+        c with
+        len = c.len - elems;
+        levels =
+          Array.map
+            (fun u -> Ftuple.with_st (Ftuple.advance u elems) u.Ftuple.st)
+            c.levels;
+        payload =
+          Bytes.sub c.payload bytes_a (Bytes.length c.payload - bytes_a);
+      }
+    in
+    Ok (a, b)
+  end
+
+let mergeable a b =
+  is_data a && is_data b
+  && Ctype.equal a.ctype b.ctype
+  && a.size = b.size
+  && Array.length a.levels = Array.length b.levels
+  && Array.for_all2
+       (fun (ua : Ftuple.t) ub ->
+         ua.Ftuple.id = ub.Ftuple.id && Ftuple.follows ua ~len:a.len ub)
+       a.levels b.levels
+
+let merge a b =
+  if not (mergeable a b) then Error "Multiframe.merge: not eligible"
+  else
+    Ok
+      {
+        a with
+        len = a.len + b.len;
+        levels =
+          Array.map2
+            (fun (ua : Ftuple.t) (ub : Ftuple.t) ->
+              Ftuple.with_st ua ub.Ftuple.st)
+            a.levels b.levels;
+        payload = Bytes.cat a.payload b.payload;
+      }
+
+let run_key c =
+  ( Ctype.code c.ctype,
+    c.size,
+    Array.to_list (Array.map (fun (u : Ftuple.t) -> u.Ftuple.id) c.levels),
+    (c.levels.(0)).Ftuple.sn )
+
+let coalesce chunks =
+  let sorted =
+    List.stable_sort (fun a b -> compare (run_key a) (run_key b)) chunks
+  in
+  let rec fuse = function
+    | a :: b :: rest when mergeable a b -> (
+        match merge a b with
+        | Ok m -> fuse (m :: rest)
+        | Error _ -> a :: fuse (b :: rest))
+    | a :: rest -> a :: fuse rest
+    | [] -> []
+  in
+  fuse sorted
+
+let encode buf c =
+  Buffer.add_uint8 buf (Ctype.code c.ctype);
+  Buffer.add_uint8 buf (Array.length c.levels);
+  Buffer.add_uint16_be buf c.size;
+  Buffer.add_int32_be buf (Int32.of_int c.len);
+  Array.iter
+    (fun (u : Ftuple.t) ->
+      Buffer.add_int32_be buf (Int32.of_int u.Ftuple.id);
+      Buffer.add_int64_be buf (Int64.of_int u.Ftuple.sn);
+      Buffer.add_uint8 buf (if u.Ftuple.st then 1 else 0))
+    c.levels;
+  Buffer.add_bytes buf c.payload
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let decode b off =
+  if Bytes.length b - off < 8 then Error "Multiframe.decode: truncated"
+  else begin
+    let* ctype = Ctype.of_code (Bytes.get_uint8 b off) in
+    let nlevels = Bytes.get_uint8 b (off + 1) in
+    let size = Bytes.get_uint16_be b (off + 2) in
+    let len = Int32.to_int (Bytes.get_int32_be b (off + 4)) land 0xFFFF_FFFF in
+    if nlevels < 1 then Error "Multiframe.decode: zero levels"
+    else if Bytes.length b - off - 8 < 13 * nlevels then
+      Error "Multiframe.decode: truncated levels"
+    else begin
+      let err = ref None in
+      let levels =
+        Array.init nlevels (fun k ->
+            let o = off + 8 + (13 * k) in
+            let id = Int32.to_int (Bytes.get_int32_be b o) land 0xFFFF_FFFF in
+            let sn = Int64.to_int (Bytes.get_int64_be b (o + 4)) in
+            let stb = Bytes.get_uint8 b (o + 12) in
+            if sn < 0 || stb > 1 then begin
+              err := Some "Multiframe.decode: bad tuple";
+              Ftuple.zero
+            end
+            else Ftuple.v ~st:(stb = 1) ~id ~sn ())
+      in
+      match !err with
+      | Some e -> Error e
+      | None ->
+          let nbytes = if Ctype.is_data ctype then size * len else len in
+          let payload_off = off + 8 + (13 * nlevels) in
+          if Bytes.length b - payload_off < nbytes then
+            Error "Multiframe.decode: truncated payload"
+          else begin
+            let payload = Bytes.sub b payload_off nbytes in
+            let* c = make ~ctype ~size ~levels payload in
+            Ok (c, payload_off + nbytes)
+          end
+    end
+  end
+
+let to_chunk c =
+  if Array.length c.levels <> 3 then
+    Error "Multiframe.to_chunk: needs exactly 3 levels"
+  else begin
+    let* h =
+      Header.v ~ctype:c.ctype ~size:c.size ~len:c.len ~c:c.levels.(0)
+        ~t:c.levels.(1) ~x:c.levels.(2)
+    in
+    Chunk.make h c.payload
+  end
+
+let of_chunk (ch : Chunk.t) =
+  let h = ch.Chunk.header in
+  {
+    ctype = h.Header.ctype;
+    size = h.Header.size;
+    levels = [| h.Header.c; h.Header.t; h.Header.x |];
+    len = h.Header.len;
+    payload = ch.Chunk.payload;
+  }
+
+let equal a b =
+  Ctype.equal a.ctype b.ctype
+  && a.size = b.size && a.len = b.len
+  && Array.length a.levels = Array.length b.levels
+  && Array.for_all2 Ftuple.equal a.levels b.levels
+  && Bytes.equal a.payload b.payload
+
+let pp fmt c =
+  Format.fprintf fmt "@[<h>[%a size=%d len=%d" Ctype.pp c.ctype c.size c.len;
+  Array.iteri
+    (fun i u -> Format.fprintf fmt " L%d=%a" i Ftuple.pp u)
+    c.levels;
+  Format.fprintf fmt " |%d bytes|]@]" (Bytes.length c.payload)

@@ -1,0 +1,62 @@
+(** Generalised chunks with an arbitrary number of framing levels.
+
+    The paper fixes three levels (connection / TPDU / external) for
+    exposition but notes the design "can be generalised to provide
+    end-to-end error detection of chunks designed for multiple types of
+    external PDUs" and that conceptually each datum carries {e multiple}
+    [(ID, SN, ST)] tuples, one per PDU type in the communication system
+    (§2, Fig. 1).  This module implements that generalisation: a chunk
+    whose header carries [n >= 1] tuples, all advancing in lock-step,
+    with Appendix C/D fragmentation and reassembly over every level at
+    once.  Level 0 is conventionally the connection.
+
+    The three-level {!Chunk} is the tuned common case; [Multiframe] is
+    for protocol stacks that need more simultaneous framings (e.g.
+    record + message + transaction + connection). *)
+
+type t = private {
+  ctype : Ctype.t;
+  size : int;
+  levels : Ftuple.t array;  (** one framing tuple per level *)
+  len : int;
+  payload : bytes;
+}
+
+val make :
+  ctype:Ctype.t ->
+  size:int ->
+  levels:Ftuple.t array ->
+  bytes ->
+  (t, string) result
+(** Validates: at least one level, payload a positive multiple of
+    [size] for data chunks. *)
+
+val levels : t -> int
+val elements : t -> int
+
+val split : t -> elems:int -> (t * t, string) result
+(** Appendix C over every level simultaneously: the second part's SNs
+    advance by [elems] at {e all} levels; only it keeps the ST bits. *)
+
+val mergeable : t -> t -> bool
+val merge : t -> t -> (t, string) result
+(** Appendix D over every level. *)
+
+val coalesce : t list -> t list
+(** One-step reassembly of a batch (any order). *)
+
+val encode : Buffer.t -> t -> unit
+(** Wire image: like {!Wire} but with a level-count byte and that many
+    13-byte tuples. *)
+
+val decode : bytes -> int -> (t * int, string) result
+
+val to_chunk : t -> (Chunk.t, string) result
+(** A 3-level multiframe chunk viewed as a classic chunk (levels 0, 1, 2
+    become C, T, X). *)
+
+val of_chunk : Chunk.t -> t
+(** The inverse embedding. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+let tag_end = 0x00
+let tag_full = 0x01
+let tag_implied_ed = 0x02
+
+let implied_ed_header prev ~payload_len =
+  if not (Chunk.is_data prev) then None
+  else begin
+    let h = prev.Chunk.header in
+    let start_csn = max 0 (h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn) in
+    match
+      Header.v ~ctype:Ctype.ed ~size:1 ~len:payload_len
+        ~c:(Ftuple.v ~id:h.Header.c.Ftuple.id ~sn:start_csn ())
+        ~t:(Ftuple.v ~id:h.Header.t.Ftuple.id ~sn:0 ())
+        ~x:Ftuple.zero
+    with
+    | Ok hdr -> Some hdr
+    | Error _ -> None
+  end
+
+let encode_packet ?capacity chunks =
+  let buf = Buffer.create 256 in
+  let prev = ref None in
+  List.iter
+    (fun chunk ->
+      let elide =
+        Chunk.payload_bytes chunk <= 0xFFFF
+        &&
+        match !prev with
+        | Some p when Ctype.equal chunk.Chunk.header.Header.ctype Ctype.ed -> (
+            match
+              implied_ed_header p ~payload_len:(Chunk.payload_bytes chunk)
+            with
+            | Some implied -> Header.equal implied chunk.Chunk.header
+            | None -> false)
+        | Some _ | None -> false
+      in
+      if elide then begin
+        Buffer.add_uint8 buf tag_implied_ed;
+        Buffer.add_uint16_be buf (Chunk.payload_bytes chunk);
+        Buffer.add_bytes buf chunk.Chunk.payload
+      end
+      else begin
+        Buffer.add_uint8 buf tag_full;
+        Wire.encode_chunk buf chunk
+      end;
+      prev := Some chunk)
+    chunks;
+  let used = Buffer.length buf in
+  match capacity with
+  | None -> Ok (Buffer.to_bytes buf)
+  | Some cap when used > cap ->
+      Error
+        (Printf.sprintf "Packed.encode_packet: %d bytes exceed capacity %d"
+           used cap)
+  | Some cap ->
+      (* a 0x00 tag ends the valid region; the rest is zero padding *)
+      let b = Bytes.make cap '\000' in
+      Buffer.blit buf 0 b 0 used;
+      Ok b
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let decode_packet b =
+  let n = Bytes.length b in
+  let rec go off prev acc =
+    if off >= n then Ok (List.rev acc)
+    else begin
+      let tag = Bytes.get_uint8 b off in
+      if tag = tag_end then Ok (List.rev acc)
+      else if tag = tag_full then
+        let* chunk, off' = Wire.decode_chunk b (off + 1) in
+        if Chunk.is_terminator chunk then Ok (List.rev acc)
+        else go off' (Some chunk) (chunk :: acc)
+      else if tag = tag_implied_ed then begin
+        if n - off < 3 then Error "Packed.decode_packet: truncated tag"
+        else begin
+          let len = Bytes.get_uint16_be b (off + 1) in
+          if n - off - 3 < len then
+            Error "Packed.decode_packet: truncated implied ED payload"
+          else begin
+            match prev with
+            | None -> Error "Packed.decode_packet: implied ED with no context"
+            | Some p -> (
+                match implied_ed_header p ~payload_len:len with
+                | None ->
+                    Error "Packed.decode_packet: context is not a data chunk"
+                | Some hdr ->
+                    let payload = Bytes.sub b (off + 3) len in
+                    let* chunk = Chunk.make hdr payload in
+                    go (off + 3 + len) (Some chunk) (chunk :: acc))
+          end
+        end
+      end
+      else Error "Packed.decode_packet: unknown tag"
+    end
+  in
+  go 0 None []
+
+let packed_size chunks =
+  let prev = ref None in
+  List.fold_left
+    (fun acc chunk ->
+      let elide =
+        Chunk.payload_bytes chunk <= 0xFFFF
+        &&
+        match !prev with
+        | Some p when Ctype.equal chunk.Chunk.header.Header.ctype Ctype.ed -> (
+            match
+              implied_ed_header p ~payload_len:(Chunk.payload_bytes chunk)
+            with
+            | Some implied -> Header.equal implied chunk.Chunk.header
+            | None -> false)
+        | Some _ | None -> false
+      in
+      prev := Some chunk;
+      acc + if elide then 3 + Chunk.payload_bytes chunk else 1 + Wire.chunk_size chunk)
+    0 chunks

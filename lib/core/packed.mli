@@ -1,0 +1,26 @@
+(** Intra-packet header elision (Appendix A): "because the chunk
+    following the last TPDU DATA chunk is always a TPDU ED chunk, the ED
+    chunk does not require a chunk header because its TYPE is known, and
+    its C.ID and T.ID fields can be derived from the DATA chunk header."
+
+    This codec encodes a packet's chunk sequence with a one-byte tag per
+    chunk: either a full {!Wire} image, or an {e implied-ED} record —
+    just the ED payload, its header reconstructed from the preceding
+    data chunk.  The transformation is applied only when the
+    reconstruction would be exact, so decoding always recovers the
+    original chunks bit-for-bit. *)
+
+val implied_ed_header : Chunk.t -> payload_len:int -> Header.t option
+(** The ED-chunk header implied by a preceding data chunk (its TPDU's
+    identity, [payload_len] bytes of control payload), or [None] if the
+    argument is not a data chunk. *)
+
+val encode_packet : ?capacity:int -> Chunk.t list -> (bytes, string) result
+(** Encode with elision; same [capacity]/padding contract as
+    {!Wire.encode_packet}. *)
+
+val decode_packet : bytes -> (Chunk.t list, string) result
+
+val packed_size : Chunk.t list -> int
+(** Wire bytes {!encode_packet} will use (without capacity padding);
+    compare with {!Wire.chunks_size} for the saving. *)

@@ -1,0 +1,108 @@
+type t = { mtu : int; chunks : Chunk.t list }
+
+let chunks p = p.chunks
+let mtu p = p.mtu
+
+let wire_used p = Wire.chunks_size p.chunks
+
+let efficiency p =
+  let payload =
+    List.fold_left (fun acc c -> acc + Chunk.payload_bytes c) 0 p.chunks
+  in
+  float_of_int payload /. float_of_int p.mtu
+
+(* Split [chunk] so the first piece fits in [room] payload+header bytes;
+   returns (fitting piece option, remainder option). *)
+let split_for_room chunk ~room =
+  let need = Wire.chunk_size chunk in
+  if need <= room then (Some chunk, None)
+  else if Chunk.is_control chunk then (None, Some chunk)
+  else begin
+    let size = chunk.Chunk.header.Header.size in
+    let payload_room = room - Wire.header_size in
+    let elems = if payload_room <= 0 then 0 else payload_room / size in
+    if elems <= 0 then (None, Some chunk)
+    else
+      let a, b = Fragment.split_exn chunk ~elems in
+      (Some a, Some b)
+  end
+
+let pack ~mtu chunk_list =
+  if mtu <= Wire.header_size then
+    Error
+      (Printf.sprintf "Packet.pack: mtu %d cannot hold a chunk header" mtu)
+  else begin
+    let packets = ref [] in
+    let current = ref [] in
+    let used = ref 0 in
+    let flush () =
+      if !current <> [] then begin
+        packets := { mtu; chunks = List.rev !current } :: !packets;
+        current := [];
+        used := 0
+      end
+    in
+    let err = ref None in
+    let rec push chunk =
+      if !err = None then begin
+        match split_for_room chunk ~room:(mtu - !used) with
+        | Some piece, rest ->
+            current := piece :: !current;
+            used := !used + Wire.chunk_size piece;
+            Option.iter push rest
+        | None, Some rest ->
+            if !current = [] then
+              (* Even an empty envelope cannot hold it: indivisible
+                 control chunk larger than the MTU. *)
+              err :=
+                Some
+                  (Printf.sprintf
+                     "Packet.pack: indivisible chunk of %d bytes exceeds mtu \
+                      %d"
+                     (Wire.chunk_size rest) mtu)
+            else begin
+              flush ();
+              push rest
+            end
+        | None, None -> assert false
+      end
+    in
+    List.iter push chunk_list;
+    flush ();
+    match !err with
+    | Some e -> Error e
+    | None -> Ok (List.rev !packets)
+  end
+
+let pack_one_per_packet ~mtu chunk_list =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | chunk :: rest -> (
+        match Fragment.split_to_payload chunk ~max_payload:(mtu - Wire.header_size) with
+        | Error _ as e -> e
+        | Ok pieces ->
+            let packets = List.map (fun c -> { mtu; chunks = [ c ] }) pieces in
+            go (List.rev_append packets acc) rest)
+  in
+  if mtu <= Wire.header_size then
+    Error "Packet.pack_one_per_packet: mtu cannot hold a chunk header"
+  else go [] chunk_list
+
+let encode p =
+  match Wire.encode_packet ~capacity:p.mtu p.chunks with
+  | Ok b -> b
+  | Error e ->
+      (* Unreachable: pack guarantees the capacity bound. *)
+      invalid_arg e
+
+let encode_unpadded p =
+  match Wire.encode_packet p.chunks with
+  | Ok b -> b
+  | Error e -> invalid_arg e
+
+let decode ~mtu b =
+  if Bytes.length b > mtu then Error "Packet.decode: longer than mtu"
+  else
+    match Wire.decode_packet b with
+    | Error _ as e -> e
+    | Ok cs -> Ok { mtu; chunks = cs }

@@ -1,0 +1,44 @@
+(** Packets as envelopes for chunks (paper §2, Fig. 3).
+
+    A packet is the atomic physical unit exchanged between protocol
+    processors; it carries an integral number of chunks.  Because chunks
+    allow disordering, {e how} chunks are placed into packets is
+    irrelevant to the receiver — so packing is a pure, local decision:
+    fill greedily, split any chunk that does not fit (Appendix C), and
+    let unrelated chunks share an envelope. *)
+
+type t = private { mtu : int; chunks : Chunk.t list }
+(** A packed envelope; the chunks' total wire size never exceeds
+    [mtu]. *)
+
+val chunks : t -> Chunk.t list
+val mtu : t -> int
+
+val wire_used : t -> int
+(** Bytes of the envelope actually occupied by chunk images (headers +
+    payloads, excluding terminator/padding). *)
+
+val efficiency : t -> float
+(** Payload bytes / [mtu] — the bandwidth-utilisation figure used by the
+    Fig. 4 comparison. *)
+
+val pack : mtu:int -> Chunk.t list -> (t list, string) result
+(** Greedy first-fit-in-order packing: walks the chunk list, splitting
+    chunks at element boundaries whenever the current envelope's residual
+    space cannot hold them whole.  Control chunks are indivisible: if one
+    cannot fit in an {e empty} envelope, packing fails.  Every returned
+    packet satisfies the MTU. *)
+
+val pack_one_per_packet : mtu:int -> Chunk.t list -> (t list, string) result
+(** Fig. 4 "method 1": one (possibly split) chunk per envelope — simple
+    but bandwidth-inefficient; the baseline for the FIG4 experiment. *)
+
+val encode : t -> bytes
+(** Wire image of the envelope, padded to [mtu] with a terminator (see
+    {!Wire.encode_packet}). *)
+
+val encode_unpadded : t -> bytes
+(** Wire image without padding (variable-size network). *)
+
+val decode : mtu:int -> bytes -> (t, string) result
+(** Parse an envelope received from a network with the given MTU. *)

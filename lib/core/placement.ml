@@ -1,0 +1,68 @@
+type level = Conn | Tpdu | External
+
+type t = {
+  level : level;
+  base_sn : int;
+  elem_size : int;
+  capacity_elems : int;
+  buf : bytes;
+  tracker : Vreassembly.t;  (* reuses interval tracking for fill state *)
+}
+
+let create ~level ~base_sn ~capacity_elems ~elem_size =
+  if capacity_elems < 1 || elem_size < 1 then
+    invalid_arg "Placement.create: bad dimensions";
+  {
+    level;
+    base_sn;
+    elem_size;
+    capacity_elems;
+    buf = Bytes.make (capacity_elems * elem_size) '\000';
+    tracker = Vreassembly.create ();
+  }
+
+let sn_of p (c : Chunk.t) =
+  let h = c.Chunk.header in
+  match p.level with
+  | Conn -> h.Header.c.Ftuple.sn
+  | Tpdu -> h.Header.t.Ftuple.sn
+  | External -> h.Header.x.Ftuple.sn
+
+let place p chunk =
+  if not (Chunk.is_data chunk) then Error "Placement.place: not a data chunk"
+  else if chunk.Chunk.header.Header.size <> p.elem_size then
+    Error "Placement.place: element size mismatch"
+  else begin
+    let sn = sn_of p chunk - p.base_sn in
+    let len = chunk.Chunk.header.Header.len in
+    if sn < 0 || sn + len > p.capacity_elems then
+      Error "Placement.place: outside destination window"
+    else begin
+      Bytes.blit chunk.Chunk.payload 0 p.buf (sn * p.elem_size)
+        (len * p.elem_size);
+      (* overlap-tolerant accounting: every covered element counts once,
+         however the covering runs arrive (refragmented retransmissions
+         can partially overlap) *)
+      (match Vreassembly.insert_new p.tracker ~sn ~len ~st:false with
+      | Ok _ | Error `Inconsistent -> ());
+      Ok ()
+    end
+  end
+
+let placed_elems p = Vreassembly.received_elems p.tracker
+
+let is_full p = placed_elems p = p.capacity_elems
+
+let contents p = p.buf
+
+let holes p =
+  let rec gaps expect spans =
+    match spans with
+    | [] ->
+        if expect < p.capacity_elems then [ (expect, p.capacity_elems - expect) ]
+        else []
+    | (s, l) :: rest ->
+        if s > expect then (expect, s - expect) :: gaps (s + l) rest
+        else gaps (s + l) rest
+  in
+  gaps 0 (Vreassembly.spans p.tracker)

@@ -1,0 +1,34 @@
+(** Spatial reordering (paper §1, footnote 2): placing disordered data
+    directly where it belongs in the application's address space instead
+    of temporally reordering it in protocol buffers.
+
+    A bulk transfer can place each chunk at offset [C.SN * size] of the
+    destination buffer regardless of arrival order; a video receiver can
+    place each chunk at offset [X.SN * size] of the current frame
+    buffer.  Either way the data crosses the memory system exactly once
+    — the core performance argument for chunks. *)
+
+type level = Conn | Tpdu | External
+(** Which framing level's SN addresses the destination. *)
+
+type t
+
+val create : level:level -> base_sn:int -> capacity_elems:int -> elem_size:int -> t
+(** A destination buffer of [capacity_elems * elem_size] bytes; element
+    [base_sn] of the chosen level lands at offset 0. *)
+
+val place : t -> Chunk.t -> (unit, string) result
+(** Copy a data chunk's payload to its home offset.  Fails on control
+    chunks, element-size mismatch, or out-of-window SNs.  Idempotent
+    under duplicates (they overwrite with identical data — duplicate
+    {e rejection} is {!Vreassembly}'s job, placement is merely safe). *)
+
+val placed_elems : t -> int
+(** Distinct elements placed so far. *)
+
+val is_full : t -> bool
+val contents : t -> bytes
+(** The destination buffer (not a copy). *)
+
+val holes : t -> (int * int) list
+(** Unfilled element runs as [(sn, len)] relative to [base_sn]. *)

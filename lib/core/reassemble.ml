@@ -1,0 +1,153 @@
+let mergeable a b =
+  let ha = a.Chunk.header and hb = b.Chunk.header in
+  Chunk.is_data a && Chunk.is_data b
+  && Header.same_labels ha hb
+  && Ftuple.follows ha.Header.c ~len:ha.Header.len hb.Header.c
+  && Ftuple.follows ha.Header.t ~len:ha.Header.len hb.Header.t
+  && Ftuple.follows ha.Header.x ~len:ha.Header.len hb.Header.x
+
+let merge a b =
+  if not (mergeable a b) then Error "Reassemble.merge: chunks not eligible"
+  else begin
+    let ha = a.Chunk.header and hb = b.Chunk.header in
+    (* Keeps A's SNs (the run start) and B's ST bits (the run end). *)
+    let h =
+      {
+        ha with
+        Header.len = ha.Header.len + hb.Header.len;
+        c = Ftuple.with_st ha.Header.c hb.Header.c.Ftuple.st;
+        t = Ftuple.with_st ha.Header.t hb.Header.t.Ftuple.st;
+        x = Ftuple.with_st ha.Header.x hb.Header.x.Ftuple.st;
+      }
+    in
+    Ok (Chunk.make_exn h (Bytes.cat a.Chunk.payload b.Chunk.payload))
+  end
+
+let merge_exn a b =
+  match merge a b with
+  | Ok c -> c
+  | Error e -> invalid_arg e
+
+(* Sort key grouping chunks of the same run together, ordered by C-level
+   SN within a group.  C-level SN strictly increases along a run (all
+   levels advance in lock-step), so adjacent-in-sorted-order is the only
+   candidate pair for merging. *)
+let run_key c =
+  let h = c.Chunk.header in
+  ( Ctype.code h.Header.ctype,
+    h.Header.size,
+    h.Header.c.Ftuple.id,
+    h.Header.t.Ftuple.id,
+    h.Header.x.Ftuple.id,
+    h.Header.c.Ftuple.sn )
+
+let coalesce chunks =
+  let chunks = List.filter (fun c -> not (Chunk.is_terminator c)) chunks in
+  (* Remember first-appearance order of each (future) merged run so the
+     output is stable for callers that care about presentation order. *)
+  let order = Hashtbl.create 16 in
+  List.iteri
+    (fun i c ->
+      let k = run_key c in
+      if not (Hashtbl.mem order k) then Hashtbl.add order k i)
+    chunks;
+  let sorted = List.stable_sort (fun a b -> compare (run_key a) (run_key b)) chunks in
+  let rec fuse = function
+    | a :: b :: rest when mergeable a b -> fuse (merge_exn a b :: rest)
+    | a :: rest -> a :: fuse rest
+    | [] -> []
+  in
+  let merged = fuse sorted in
+  let indexed =
+    List.map
+      (fun c ->
+        let k = run_key c in
+        let i = try Hashtbl.find order k with Not_found -> max_int in
+        (i, c))
+      merged
+  in
+  List.stable_sort (fun (i, _) (j, _) -> Int.compare i j) indexed
+  |> List.map snd
+
+module Pool = struct
+  (* Maximal chunks keyed by run identity; a simple sorted association
+     list per run group keeps neighbour lookup easy.  The pool is small
+     in practice (bounded by the disorder window), so a Hashtbl of the
+     non-SN part of the key to a sorted list of chunks suffices. *)
+
+  type group_key = int * int * int * int * int
+  (* (ctype, size, c.id, t.id, x.id) *)
+
+  type t = { groups : (group_key, Chunk.t list ref) Hashtbl.t }
+
+  let group_key c =
+    let h = c.Chunk.header in
+    ( Ctype.code h.Header.ctype,
+      h.Header.size,
+      h.Header.c.Ftuple.id,
+      h.Header.t.Ftuple.id,
+      h.Header.x.Ftuple.id )
+
+  let create () = { groups = Hashtbl.create 16 }
+
+  let c_sn c = c.Chunk.header.Header.c.Ftuple.sn
+
+  let insert pool chunk =
+    if not (Chunk.is_terminator chunk) then begin
+      let key = group_key chunk in
+      let cell =
+        match Hashtbl.find_opt pool.groups key with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add pool.groups key r;
+            r
+      in
+      (* Insert in ascending C.SN order, merging with the predecessor
+         and/or successor when eligible; duplicates and overlaps of
+         already-held runs are dropped (duplicate rejection is cheap
+         here because runs are sorted). *)
+      let c_len c = c.Chunk.header.Header.len in
+      let overlaps held =
+        c_sn chunk < c_sn held + c_len held
+        && c_sn held < c_sn chunk + c_len chunk
+      in
+      let rec place = function
+        | [] -> [ chunk ]
+        | hd :: tl when mergeable hd chunk -> (
+            let fused = merge_exn hd chunk in
+            match tl with
+            | nxt :: rest when mergeable fused nxt ->
+                merge_exn fused nxt :: rest
+            | _ -> fused :: tl)
+        | hd :: _ as all when overlaps hd -> all (* duplicate: drop *)
+        | hd :: tl when c_sn chunk < c_sn hd ->
+            if mergeable chunk hd then merge_exn chunk hd :: tl
+            else chunk :: hd :: tl
+        | hd :: tl -> hd :: place tl
+      in
+      cell := place !cell
+    end
+
+  let held pool =
+    Hashtbl.fold (fun _ cell acc -> !cell @ acc) pool.groups []
+    |> List.sort (fun a b -> compare (run_key a) (run_key b))
+
+  let is_complete_tpdu c =
+    Chunk.is_data c
+    && c.Chunk.header.Header.t.Ftuple.sn = 0
+    && c.Chunk.header.Header.t.Ftuple.st
+
+  let take_complete_tpdus pool =
+    let out = ref [] in
+    Hashtbl.iter
+      (fun _ cell ->
+        let complete, rest = List.partition is_complete_tpdu !cell in
+        out := complete @ !out;
+        cell := rest)
+      pool.groups;
+    List.sort (fun a b -> compare (run_key a) (run_key b)) !out
+
+  let size pool =
+    Hashtbl.fold (fun _ cell acc -> acc + List.length !cell) pool.groups 0
+end

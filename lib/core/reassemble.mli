@@ -1,0 +1,54 @@
+(** Chunk reassembly — the paper's Appendix D algorithm.
+
+    Two chunks are eligible for merging when they agree on TYPE, SIZE
+    and all three IDs and the second's SNs at {e every} level follow the
+    first's run.  Merging concatenates the payloads and keeps the second
+    chunk's ST bits.  Because fragmentation always produces chunks, one
+    round of merging ("repeated as long as eligible chunks exist")
+    recovers data regardless of how many fragmentation stages occurred —
+    reassembly is a single step (§3.1). *)
+
+val mergeable : Chunk.t -> Chunk.t -> bool
+(** The Appendix D eligibility predicate: [mergeable a b] iff [b] is the
+    immediate continuation of [a].  Only data chunks are eligible —
+    control information is indivisible (§2), so two control chunks are
+    never merged. *)
+
+val merge : Chunk.t -> Chunk.t -> (Chunk.t, string) result
+(** [merge a b] concatenates eligible chunks ([Error] otherwise). *)
+
+val merge_exn : Chunk.t -> Chunk.t -> Chunk.t
+
+val coalesce : Chunk.t list -> Chunk.t list
+(** One-step reassembly of a batch: repeatedly merges every eligible
+    adjacent pair until none remains.  The input may be in any order and
+    may interleave chunks of different PDUs/types; the output preserves
+    first-appearance order of each maximal run and never loses or
+    duplicates an element.  Terminator chunks are dropped.  Runs in
+    O(n log n). *)
+
+module Pool : sig
+  (** Incremental reassembly-in-place for a stream of arriving chunks:
+      the structure greedily merges each inserted chunk with already-held
+      neighbours, emitting nothing until asked.  This models the
+      "reassemble data into larger blocks before passing to application"
+      option of §3.3 while still being single-step. *)
+
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> Chunk.t -> unit
+  (** Add one chunk; merges with held neighbours at both ends when
+      eligible.  Terminators are ignored. *)
+
+  val held : t -> Chunk.t list
+  (** Current maximal chunks, in ascending (ids, SN) order. *)
+
+  val take_complete_tpdus : t -> Chunk.t list
+  (** Remove and return every held data chunk that is a complete TPDU
+      (T-level SN 0 with the T-level ST bit set). *)
+
+  val size : t -> int
+  (** Number of maximal chunks currently held. *)
+end

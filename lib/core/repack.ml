@@ -1,0 +1,30 @@
+type policy = One_per_packet | Combine | Reassemble
+
+let pp_policy fmt = function
+  | One_per_packet -> Format.pp_print_string fmt "one-chunk-per-packet"
+  | Combine -> Format.pp_print_string fmt "combine-chunks"
+  | Reassemble -> Format.pp_print_string fmt "reassemble-then-pack"
+
+let repack ~policy ~mtu chunks =
+  match policy with
+  | One_per_packet -> Packet.pack_one_per_packet ~mtu chunks
+  | Combine -> Packet.pack ~mtu chunks
+  | Reassemble -> Packet.pack ~mtu (Reassemble.coalesce chunks)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let repack_packet ~policy ~mtu b =
+  let* chunks = Wire.decode_packet b in
+  let* packets = repack ~policy ~mtu chunks in
+  Ok (List.map Packet.encode packets)
+
+let repack_stream ~policy ~mtu bs =
+  let rec decode_all acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | b :: rest ->
+        let* chunks = Wire.decode_packet b in
+        decode_all (chunks :: acc) rest
+  in
+  let* chunks = decode_all [] bs in
+  let* packets = repack ~policy ~mtu chunks in
+  Ok (List.map Packet.encode packets)

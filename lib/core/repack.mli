@@ -1,0 +1,41 @@
+(** Gateway repacking: moving chunks between networks with different
+    packet sizes (paper §3.1, Fig. 4).
+
+    "Whenever we must change from one packet size to another packet
+    size, it is as if chunks are emptied from one size of envelope and
+    placed in another size of envelope."  Going to a smaller MTU, big
+    chunks are split (Appendix C).  Going to a larger MTU there are
+    three choices, all transparent to the receiver:
+
+    + {b method 1} — one small chunk per large packet (wasteful);
+    + {b method 2} — combine multiple chunks into each large packet
+      (simple, almost as efficient as reassembly);
+    + {b method 3} — perform chunk reassembly (Appendix D) in the
+      gateway, then pack.
+
+    An entity that repacks needs only the chunk {e syntax}; it never
+    inspects the semantics bound to the framing tuples (§3.2). *)
+
+type policy =
+  | One_per_packet  (** Fig. 4 method 1 *)
+  | Combine  (** Fig. 4 method 2 *)
+  | Reassemble  (** Fig. 4 method 3 *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+val repack :
+  policy:policy -> mtu:int -> Chunk.t list -> (Packet.t list, string) result
+(** Re-envelope a batch of chunks for a network with the given MTU,
+    splitting whatever does not fit. *)
+
+val repack_packet :
+  policy:policy -> mtu:int -> bytes -> (bytes list, string) result
+(** Wire-level convenience used by simulated gateways: decode one
+    arriving packet, re-envelope its chunks, encode the outgoing packets
+    (padded to [mtu]). *)
+
+val repack_stream :
+  policy:policy -> mtu:int -> bytes list -> (bytes list, string) result
+(** Like {!repack_packet} for a whole batch of arriving packets; with
+    [Combine]/[Reassemble] chunks from different arriving packets may
+    share an outgoing envelope, which is where those policies win. *)

@@ -1,0 +1,92 @@
+(** Virtual reassembly (paper §3.3): tracking received fragments to know
+    when all pieces of a PDU have arrived — without physically
+    reassembling anything.
+
+    With immediate packet processing, virtual-reassembly completion is
+    the signal that a PDU's incremental computations (checksum,
+    placement) are finished; it also rejects duplicate data, which would
+    otherwise corrupt an incremental checksum and could let a corrupted
+    duplicate overwrite good data.  This is the software equivalent of
+    the VLSI reassembly unit of [MCAU 93b]. *)
+
+type insert_result =
+  | Fresh  (** new data; process it *)
+  | Duplicate  (** exact or subsumed re-receipt; drop it *)
+  | Overlap
+      (** partially overlaps previously received data with different
+          extents — never produced by a correct sender/network
+          (retransmissions reuse identical labels), so it indicates
+          corruption; drop and flag *)
+  | Inconsistent
+      (** contradicts the PDU's known end: an element beyond a seen ST,
+          or a second, different ST position *)
+
+(** {1 Single-PDU tracker} *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> sn:int -> len:int -> st:bool -> insert_result
+(** Record a fragment covering elements [sn .. sn+len-1]; [st] means the
+    fragment contains the PDU's last element. *)
+
+val insert_new : t -> sn:int -> len:int -> st:bool ->
+  ((int * int) list, [ `Inconsistent ]) result
+(** Like {!insert}, but tolerant of partial overlap: a retransmission
+    may have been fragmented differently in the network, so a chunk can
+    cover both seen and unseen elements.  Records the span and returns
+    the {e fresh} sub-runs as [(sn, len)] pairs (empty when everything
+    was a duplicate) so the caller processes new data exactly once —
+    the property the incremental checksum needs.  [Error `Inconsistent]
+    is as for {!insert}. *)
+
+val set_total : t -> int -> (unit, [ `Inconsistent ]) result
+(** Announce the PDU's total element count out of band (e.g. from its
+    ED control chunk), as if an ST had been seen at element
+    [total - 1]; lets gap reports include the missing tail before any
+    ST-bearing fragment arrives.  Fails if it contradicts received
+    data or a previously known end. *)
+
+val complete : t -> bool
+(** The PDU end is known (some ST arrived) and [0 .. last] is fully
+    covered. *)
+
+val total : t -> int option
+(** Number of elements in the PDU, once the ST has been seen. *)
+
+val received_elems : t -> int
+(** Elements received so far (duplicates counted once). *)
+
+val missing : t -> (int * int) list
+(** Current gaps as [(sn, len)] runs, in ascending order.  If the end is
+    unknown, the list describes only internal gaps. *)
+
+val spans : t -> (int * int) list
+(** Received runs as [(sn, len)], ascending. *)
+
+(** {1 Many-PDU table}
+
+    Tracks every in-flight PDU of one level (keyed by ID), driving
+    per-TPDU completion for the error-detection verifier and the
+    transport's acknowledgements. *)
+
+module Table : sig
+  type tracker = t
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> id:int -> sn:int -> len:int -> st:bool -> insert_result
+
+  val insert_chunk : t -> Chunk.t -> insert_result
+  (** Tracks the T level of a data chunk. *)
+
+  val find : t -> id:int -> tracker option
+  val complete : t -> id:int -> bool
+  val drop : t -> id:int -> unit
+  val in_flight : t -> int
+
+  val completed_ids : t -> int list
+  (** IDs whose PDUs are currently complete (ascending). *)
+end

@@ -1,0 +1,99 @@
+let header_size = 46
+
+let chunk_size c = header_size + Chunk.payload_bytes c
+
+let chunks_size cs = List.fold_left (fun acc c -> acc + chunk_size c) 0 cs
+
+let put_tuple buf (u : Ftuple.t) =
+  Buffer.add_int32_be buf (Int32.of_int u.Ftuple.id);
+  Buffer.add_int64_be buf (Int64.of_int u.Ftuple.sn);
+  Buffer.add_uint8 buf (if u.Ftuple.st then 1 else 0)
+
+let encode_header buf (h : Header.t) =
+  Buffer.add_uint8 buf (Ctype.code h.Header.ctype);
+  Buffer.add_uint16_be buf h.Header.size;
+  Buffer.add_int32_be buf (Int32.of_int h.Header.len);
+  put_tuple buf h.Header.c;
+  put_tuple buf h.Header.t;
+  put_tuple buf h.Header.x
+
+let encode_chunk buf c =
+  encode_header buf c.Chunk.header;
+  Buffer.add_bytes buf c.Chunk.payload
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFF_FFFF
+
+let get_tuple b off =
+  let id = get_u32 b off in
+  let sn = Int64.to_int (Bytes.get_int64_be b (off + 4)) in
+  let st_byte = Bytes.get_uint8 b (off + 12) in
+  if sn < 0 then Error "Wire: SN overflows native int"
+  else if st_byte > 1 then Error "Wire: invalid ST byte"
+  else Ok (Ftuple.v ~st:(st_byte = 1) ~id ~sn ())
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let decode_header b off =
+  if off < 0 || Bytes.length b - off < header_size then
+    Error "Wire.decode_header: truncated header"
+  else begin
+    let* ctype = Ctype.of_code (Bytes.get_uint8 b off) in
+    let size = Bytes.get_uint16_be b (off + 1) in
+    let len = get_u32 b (off + 3) in
+    let* c = get_tuple b (off + 7) in
+    let* t = get_tuple b (off + 20) in
+    let* x = get_tuple b (off + 33) in
+    Header.v ~ctype ~size ~len ~c ~t ~x
+  end
+
+let decode_chunk b off =
+  if off < 0 || Bytes.length b - off < header_size then
+    Error "Wire.decode_chunk: truncated header"
+  else begin
+    let* h = decode_header b off in
+    let nbytes = Header.payload_bytes h in
+    let payload_off = off + header_size in
+    if Bytes.length b - payload_off < nbytes then
+      Error "Wire.decode_chunk: truncated payload"
+    else begin
+      let payload = Bytes.sub b payload_off nbytes in
+      let* chunk = Chunk.make h payload in
+      Ok (chunk, payload_off + nbytes)
+    end
+  end
+
+let encode_packet ?capacity chunks =
+  let buf = Buffer.create 256 in
+  List.iter (encode_chunk buf) chunks;
+  let used = Buffer.length buf in
+  match capacity with
+  | None -> Ok (Buffer.to_bytes buf)
+  | Some cap when used > cap ->
+      Error
+        (Printf.sprintf "Wire.encode_packet: %d bytes exceed capacity %d" used
+           cap)
+  | Some cap ->
+      if cap - used >= header_size then encode_chunk buf Chunk.terminator;
+      let b = Bytes.make cap '\000' in
+      Buffer.blit buf 0 b 0 (Buffer.length buf);
+      Ok b
+
+let all_zero b off =
+  let rec go i = i >= Bytes.length b || (Bytes.get b i = '\000' && go (i + 1)) in
+  go off
+
+let decode_packet b =
+  let n = Bytes.length b in
+  let rec go off acc =
+    if off >= n then Ok (List.rev acc)
+    else if n - off < header_size then
+      if all_zero b off then Ok (List.rev acc)
+      else Error "Wire.decode_packet: trailing garbage"
+    else
+      match decode_chunk b off with
+      | Error _ as e -> e
+      | Ok (c, off') ->
+          if Chunk.is_terminator c then Ok (List.rev acc)
+          else go off' (c :: acc)
+  in
+  go 0 []

@@ -1,0 +1,60 @@
+(** Binary wire format for chunks and chunk-carrying packets.
+
+    This is the "simple version of chunks ... easy to parse because of
+    their fixed-field format" of Appendix A — every field explicit.  A
+    chunk header occupies {!header_size} bytes:
+
+    {v
+    offset  field
+    0       TYPE   (u8;  0 = data, >=1 = control kind)
+    1       SIZE   (u16 be)
+    3       LEN    (u32 be; 0 = terminator)
+    7       C.ID   (u32 be)   C.SN (u64 be)   C.ST (u8)
+    20      T.ID   (u32 be)   T.SN (u64 be)   T.ST (u8)
+    33      X.ID   (u32 be)   X.SN (u64 be)   X.ST (u8)
+    46      payload (SIZE*LEN bytes for data, LEN bytes for control)
+    v}
+
+    A packet is a fixed-capacity envelope: chunks back to back, then —
+    if at least one header of slack remains — a terminator (an all-zero
+    header, i.e. LEN = 0) marking the end of the valid-chunk region
+    (paper §2), then zero padding.  Bandwidth-efficient variants of this
+    encoding live in {!Compress}. *)
+
+val header_size : int
+(** 46 bytes. *)
+
+val chunk_size : Chunk.t -> int
+(** On-wire bytes of one chunk: header + payload ({!header_size} for a
+    terminator). *)
+
+val chunks_size : Chunk.t list -> int
+(** Total on-wire bytes of a chunk sequence (no terminator). *)
+
+val encode_chunk : Buffer.t -> Chunk.t -> unit
+(** Append one chunk's wire image. *)
+
+val encode_header : Buffer.t -> Header.t -> unit
+(** Append just the {!header_size}-byte header image. *)
+
+val decode_header : bytes -> int -> (Header.t, string) result
+(** Parse one header image (no payload expected after it). *)
+
+val decode_chunk : bytes -> int -> (Chunk.t * int, string) result
+(** [decode_chunk b off] parses one chunk at [off] and returns it with
+    the offset just past it.  A terminator decodes as
+    [Chunk.terminator]. *)
+
+val encode_packet : ?capacity:int -> Chunk.t list -> (bytes, string) result
+(** [encode_packet ~capacity cs] builds one packet.  Fails if the chunks
+    exceed [capacity].  Without [capacity] the packet is exactly the
+    chunks' size (no terminator needed: end-of-packet delimits).  With
+    [capacity], the packet is padded to exactly [capacity] bytes with a
+    terminator before the padding whenever slack remains (if the slack
+    is smaller than a header it is zero-filled, which decodes as
+    end-of-packet). *)
+
+val decode_packet : bytes -> (Chunk.t list, string) result
+(** Parse all chunks of a packet, stopping at a terminator, at
+    end-of-buffer, or at a residue smaller than one header (treated as
+    padding only if all-zero). *)

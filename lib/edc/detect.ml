@@ -1,0 +1,331 @@
+open Labelling
+
+type field =
+  | F_type
+  | F_size
+  | F_len
+  | F_c_id
+  | F_c_sn
+  | F_c_st
+  | F_t_id
+  | F_t_sn
+  | F_t_st
+  | F_x_id
+  | F_x_sn
+  | F_x_st
+  | F_data
+  | F_ed_code
+
+let all_fields =
+  [
+    F_type; F_size; F_len; F_c_id; F_c_sn; F_c_st; F_t_id; F_t_sn; F_t_st;
+    F_x_id; F_x_sn; F_x_st; F_data; F_ed_code;
+  ]
+
+let field_name = function
+  | F_type -> "TYPE"
+  | F_size -> "SIZE"
+  | F_len -> "LEN"
+  | F_c_id -> "C.ID"
+  | F_c_sn -> "C.SN"
+  | F_c_st -> "C.ST"
+  | F_t_id -> "T.ID"
+  | F_t_sn -> "T.SN"
+  | F_t_st -> "T.ST"
+  | F_x_id -> "X.ID"
+  | F_x_sn -> "X.SN"
+  | F_x_st -> "X.ST"
+  | F_data -> "Data"
+  | F_ed_code -> "ED code"
+
+let paper_prediction = function
+  | F_c_id -> "Error Detection Code"
+  | F_c_sn -> "Consistency Check"
+  | F_c_st -> "Error Detection Code"
+  | F_t_id -> "Error Detection Code"
+  | F_t_sn -> "Reassembly Error"
+  | F_t_st -> "Reassembly Error"
+  | F_x_id -> "Error Detection Code"
+  | F_x_sn -> "Consistency Check"
+  | F_x_st -> "Error Detection Code"
+  | F_type -> "Reassembly Error"
+  | F_len -> "Reassembly Error"
+  | F_size -> "Reassembly Error"
+  | F_data -> "Error Detection Code"
+  | F_ed_code -> "Error Detection Code"
+
+type detection =
+  | By_parity
+  | By_consistency
+  | By_reassembly
+  | Discarded
+  | Harmless
+  | Undetected
+
+let detection_name = function
+  | By_parity -> "parity"
+  | By_consistency -> "consistency"
+  | By_reassembly -> "reassembly"
+  | Discarded -> "discarded"
+  | Harmless -> "harmless"
+  | Undetected -> "UNDETECTED"
+
+let classify = function
+  | Verifier.Passed -> Undetected
+  | Verifier.Parity_mismatch -> By_parity
+  | Verifier.Consistency_failure _ -> By_consistency
+  | Verifier.Reassembly_error _ -> By_reassembly
+
+type trial = { field : field; victim : int; detection : detection }
+
+(* Field byte spans within the fixed Wire layout. *)
+let field_span = function
+  | F_type -> (0, 1)
+  | F_size -> (1, 2)
+  | F_len -> (3, 4)
+  | F_c_id -> (7, 4)
+  | F_c_sn -> (11, 8)
+  | F_c_st -> (19, 1)
+  | F_t_id -> (20, 4)
+  | F_t_sn -> (24, 8)
+  | F_t_st -> (32, 1)
+  | F_x_id -> (33, 4)
+  | F_x_sn -> (37, 8)
+  | F_x_st -> (45, 1)
+  | F_data | F_ed_code -> (46, -1) (* payload; length filled at use *)
+
+(* A deterministic TPDU of 24 four-byte elements cut into three external
+   PDUs (10, 10 and 4 elements) and further fragmented so the verifier
+   sees six data chunks — mid-PDU pieces, X boundaries, and the combined
+   X.ST/T.ST final chunk. *)
+let build_tpdu () =
+  let framer = Framer.create ~elem_size:4 ~tpdu_elems:24 ~conn_id:7 () in
+  let mk_frame n seedb =
+    Bytes.init (n * 4) (fun i -> Char.chr ((seedb + (i * 13)) land 0xFF))
+  in
+  let push n seedb =
+    match Framer.push_frame framer (mk_frame n seedb) with
+    | Ok cs -> cs
+    | Error e -> invalid_arg e
+  in
+  let f1 = mk_frame 10 3 and f2 = mk_frame 10 59 and f3 = mk_frame 4 101 in
+  let c1 = push 10 3 in
+  let c2 = push 10 59 in
+  let c3 = push 4 101 in
+  let chunks = c1 @ c2 @ c3 in
+  let payload = Bytes.concat Bytes.empty [ f1; f2; f3 ] in
+  let fragmented =
+    List.concat_map
+      (fun c ->
+        match Fragment.split_to_payload c ~max_payload:20 with
+        | Ok pieces -> pieces
+        | Error e -> invalid_arg e)
+      chunks
+  in
+  let ed =
+    match Encoder.seal fragmented with
+    | Ok ed -> ed
+    | Error e -> invalid_arg e
+  in
+  (fragmented, ed, payload)
+
+let packet_capacity = 128
+
+let encode_one chunk =
+  match Wire.encode_packet ~capacity:packet_capacity [ chunk ] with
+  | Ok b -> b
+  | Error e -> invalid_arg e
+
+let splitmix seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    state := Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    let v = Int64.to_int (Int64.shift_right_logical !state 17) in
+    v mod bound
+
+let corrupt_field rng field b =
+  let off, len = field_span field in
+  let len =
+    if len > 0 then len
+    else begin
+      (* Payload span from the announced header, so padding is never the
+         victim: data chunks carry SIZE*LEN bytes, control chunks LEN. *)
+      let ctype = Bytes.get_uint8 b 0 in
+      let size = Bytes.get_uint16_be b 1 in
+      let announced = Int32.to_int (Bytes.get_int32_be b 3) in
+      if ctype = 0 then size * announced else announced
+    end
+  in
+  let i = off + rng (max 1 len) in
+  let old = Char.code (Bytes.get b i) in
+  let bit =
+    match field with
+    | F_c_st | F_t_st | F_x_st -> 1 (* semantic flip keeps the byte valid *)
+    | F_type | F_size | F_len | F_c_id | F_c_sn | F_t_id | F_t_sn | F_x_id
+    | F_x_sn | F_data | F_ed_code ->
+        1 lsl rng 8
+  in
+  Bytes.set b i (Char.chr (old lxor bit))
+
+let run_trial ?(seed = 42) ?victim field =
+  let data_chunks, ed, original = build_tpdu () in
+  let n = List.length data_chunks in
+  let victim =
+    match field with
+    | F_ed_code -> n (* the ED packet *)
+    | _ -> ( match victim with Some v -> v mod n | None -> n / 2)
+  in
+  let rng = splitmix (seed + (victim * 977)) in
+  let packets =
+    List.mapi (fun i c -> (i, encode_one c)) (data_chunks @ [ ed ])
+  in
+  let packets =
+    List.map
+      (fun (i, b) ->
+        if i = victim then begin
+          let b = Bytes.copy b in
+          corrupt_field rng field b;
+          b
+        end
+        else b)
+      packets
+  in
+  (* Shuffle deterministically. *)
+  let arr = Array.of_list packets in
+  for i = Array.length arr - 1 downto 1 do
+    let j = rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let verifier = Verifier.create () in
+  let failure = ref None in
+  let passed_tpdus = ref 0 in
+  let discarded = ref false in
+  let app = Bytes.make (Bytes.length original) '\000' in
+  Array.iter
+    (fun b ->
+      match Wire.decode_packet b with
+      | Error _ -> discarded := true
+      | Ok chunks ->
+          List.iter
+            (fun chunk ->
+              let events = Verifier.on_chunk verifier chunk in
+              List.iter
+                (fun ev ->
+                  match ev with
+                  | Verifier.Tpdu_verified { verdict = Verifier.Passed; _ } ->
+                      incr passed_tpdus
+                  | Verifier.Tpdu_verified { verdict; _ } ->
+                      if !failure = None then failure := Some verdict
+                  | Verifier.Fresh_data { t_id = 0; t_sn; elems } -> (
+                      (* t-level placement of the fresh run, bounds
+                         permitting, to judge delivered-data integrity *)
+                      let h = chunk.Labelling.Chunk.header in
+                      if Labelling.Chunk.is_data chunk then
+                        let size = h.Labelling.Header.size in
+                        let off =
+                          (t_sn - h.Labelling.Header.t.Labelling.Ftuple.sn)
+                          * size
+                        in
+                        let dst = t_sn * size in
+                        let n = elems * size in
+                        if
+                          off >= 0 && dst >= 0
+                          && off + n
+                             <= Bytes.length chunk.Labelling.Chunk.payload
+                          && dst + n <= Bytes.length app
+                        then
+                          Bytes.blit chunk.Labelling.Chunk.payload off app dst
+                            n)
+                  | Verifier.Fresh_data _ | Verifier.Duplicate_dropped _ -> ())
+                events)
+            chunks)
+    arr;
+  (* Time out whatever never completed. *)
+  let drain () =
+    (* abort every in-flight TPDU; t_ids are small in this fixture *)
+    let any = ref false in
+    for t_id = 0 to 3 do
+      match Verifier.abort verifier ~t_id with
+      | Some verdict ->
+          any := true;
+          if !failure = None then failure := Some verdict
+      | None -> ()
+    done;
+    (* alien t_ids from corrupted T.ID bytes can be huge; abort by
+       scanning is impossible, so rely on in_flight *)
+    if Verifier.in_flight verifier > 0 && not !any then
+      failure :=
+        (match !failure with
+        | None -> Some (Verifier.Reassembly_error "stray TPDU state")
+        | some -> some)
+  in
+  if Verifier.in_flight verifier > 0 then drain ();
+  let detection =
+    match !failure with
+    | Some verdict -> classify verdict
+    | None ->
+        if !passed_tpdus > 0 then
+          if !discarded then Discarded
+          else if Bytes.equal app original then Harmless
+          else Undetected
+        else By_reassembly
+  in
+  { field; victim; detection }
+
+type row = {
+  row_field : field;
+  trials : int;
+  by_parity : int;
+  by_consistency : int;
+  by_reassembly : int;
+  discarded : int;
+  harmless : int;
+  undetected : int;
+}
+
+let run_campaign ?(seed = 42) ?(trials_per_field = 32) () =
+  List.map
+    (fun field ->
+      let row =
+        ref
+          {
+            row_field = field;
+            trials = 0;
+            by_parity = 0;
+            by_consistency = 0;
+            by_reassembly = 0;
+            discarded = 0;
+            harmless = 0;
+            undetected = 0;
+          }
+      in
+      for k = 0 to trials_per_field - 1 do
+        let t = run_trial ~seed:(seed + (k * 7919)) ~victim:k field in
+        let r = !row in
+        row :=
+          {
+            r with
+            trials = r.trials + 1;
+            by_parity = (r.by_parity + if t.detection = By_parity then 1 else 0);
+            by_consistency =
+              (r.by_consistency + if t.detection = By_consistency then 1 else 0);
+            by_reassembly =
+              (r.by_reassembly + if t.detection = By_reassembly then 1 else 0);
+            discarded = (r.discarded + if t.detection = Discarded then 1 else 0);
+            harmless = (r.harmless + if t.detection = Harmless then 1 else 0);
+            undetected =
+              (r.undetected + if t.detection = Undetected then 1 else 0);
+          }
+      done;
+      !row)
+    all_fields
+
+let pp_row fmt r =
+  Format.fprintf fmt
+    "%-8s trials=%-3d parity=%-3d consistency=%-3d reassembly=%-3d \
+     discarded=%-3d harmless=%-3d undetected=%-3d paper=%s"
+    (field_name r.row_field) r.trials r.by_parity r.by_consistency
+    r.by_reassembly r.discarded r.harmless r.undetected
+    (paper_prediction r.row_field)

@@ -1,0 +1,85 @@
+(** Fault-injection reproduction of the paper's Table 1: corrupt each
+    chunk field in flight and report {e how} the corruption is detected.
+
+    A trial builds a realistic TPDU (several external PDUs, several
+    chunks), seals it, encodes every chunk as a packet, flips bits of
+    the chosen field in one victim packet's wire image, delivers the
+    packets to a {!Verifier} in a shuffled order, and classifies the
+    outcome.  Parse failures count as {!Discarded} — a corruption that
+    renders the chunk unparseable never reaches protocol processing,
+    the moral equivalent of a reassembly error.
+
+    Where this implementation's {e mechanism} differs from Table 1's
+    prediction (the checks overlap — e.g. a corrupt T.SN breaks the
+    [C.SN - T.SN] consistency delta before virtual reassembly gets to
+    see the overlap), the classification below is still a detection;
+    EXPERIMENTS.md tabulates mechanism-by-mechanism results against the
+    paper's column. *)
+
+type field =
+  | F_type
+  | F_size
+  | F_len
+  | F_c_id
+  | F_c_sn
+  | F_c_st
+  | F_t_id
+  | F_t_sn
+  | F_t_st
+  | F_x_id
+  | F_x_sn
+  | F_x_st
+  | F_data
+  | F_ed_code
+
+val all_fields : field list
+val field_name : field -> string
+
+val paper_prediction : field -> string
+(** Table 1's "How Detected?" column for this field. *)
+
+type detection =
+  | By_parity  (** error-detection-code mismatch *)
+  | By_consistency  (** an SN/ID consistency check fired *)
+  | By_reassembly  (** virtual reassembly failed or never completed *)
+  | Discarded  (** the corrupted packet failed to parse *)
+  | Harmless
+      (** the TPDU passed, but the delivered data is byte-identical to
+          what was sent: the corruption was semantically absorbed (e.g.
+          an inflated LEN whose extra elements were all duplicates of
+          already-received data, or an X.SN flip on an external PDU that
+          contributes a single chunk to the TPDU — the paper's
+          [C.SN - X.SN] consistency check is equally vacuous there) *)
+  | Undetected  (** the TPDU passed and the delivered data is wrong *)
+
+val detection_name : detection -> string
+
+val classify : Verifier.verdict -> detection
+
+type trial = {
+  field : field;
+  victim : int;  (** index of the corrupted chunk *)
+  detection : detection;
+}
+
+val run_trial : ?seed:int -> ?victim:int -> field -> trial
+(** One injection.  [victim] selects which of the TPDU's chunks (or the
+    ED chunk for {!F_ed_code}) is corrupted; defaults to a mid-TPDU
+    chunk. *)
+
+type row = {
+  row_field : field;
+  trials : int;
+  by_parity : int;
+  by_consistency : int;
+  by_reassembly : int;
+  discarded : int;
+  harmless : int;
+  undetected : int;
+}
+
+val run_campaign : ?seed:int -> ?trials_per_field:int -> unit -> row list
+(** The full Table 1 campaign: every field, many victims/bit positions.
+    The essential reproduction claim is [undetected = 0] everywhere. *)
+
+val pp_row : Format.formatter -> row -> unit

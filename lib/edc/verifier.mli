@@ -1,0 +1,79 @@
+(** Receiver side of end-to-end error detection (paper §4):
+    incremental, order-independent verification of TPDUs as chunks
+    arrive, with no physical reassembly.
+
+    For each in-flight TPDU the verifier keeps a WSC-2 accumulator, a
+    virtual-reassembly tracker and the two SN consistency deltas.  Every
+    arriving chunk is folded in immediately; when virtual reassembly
+    completes and the TPDU's ED chunk has arrived, a verdict is emitted.
+    Duplicates (including differently-refragmented retransmissions) are
+    absorbed exactly once via {!Labelling.Vreassembly.insert_new} — the
+    protection the paper demands so the incremental checksum is not
+    corrupted by duplicated data.
+
+    Detection follows Table 1:
+    - payload / C.ID / T.ID / C.ST / X.ID / X.ST corruption → parity
+      mismatch;
+    - C.SN / X.SN corruption → consistency-check failure
+      ([C.SN - T.SN] resp. [C.SN - X.SN] not constant);
+    - TYPE / LEN / SIZE / T.SN / T.ST corruption → virtual-reassembly
+      failure (overlap, inconsistent end, size clash) or — when
+      reassembly still completes, e.g. compensating LEN/T.SN changes —
+      parity mismatch. *)
+
+type verdict =
+  | Passed
+  | Parity_mismatch
+  | Consistency_failure of string
+      (** which invariant broke, e.g. ["C.SN - T.SN changed"] *)
+  | Reassembly_error of string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_equal : verdict -> verdict -> bool
+
+type event =
+  | Tpdu_verified of { t_id : int; verdict : verdict }
+      (** all pieces (and the ED chunk) arrived; state for this TPDU is
+          released *)
+  | Fresh_data of { t_id : int; t_sn : int; elems : int }
+      (** newly received elements, suitable for immediate placement *)
+  | Duplicate_dropped of { t_id : int }
+
+type t
+
+val create : unit -> t
+
+val on_chunk : t -> Labelling.Chunk.t -> event list
+(** Feed one arriving chunk (data or ED control; other control types and
+    terminators are ignored).  Never raises on malformed input — damage
+    is recorded and surfaces in the verdict. *)
+
+val in_flight : t -> int
+(** TPDUs with state held (arrived but not yet verified). *)
+
+val in_flight_ids : t -> int list
+(** T.IDs of the TPDUs currently held, ascending. *)
+
+val missing : t -> t_id:int -> (int * int) list option
+(** The element runs still unreceived for an in-flight TPDU, as
+    [(t_sn, len)] pairs (virtual reassembly's gap report, the basis of
+    selective retransmission).  [None] if no state is held for [t_id];
+    an unbounded tail (end not yet known) is not reported. *)
+
+val ed_seen : t -> t_id:int -> bool
+(** Whether the TPDU's ED chunk has arrived. *)
+
+val abort : t -> t_id:int -> verdict option
+(** Give up on an in-flight TPDU (e.g. timer expiry): returns the
+    verdict it would fail with now, and releases its state. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  tpdus_passed : int;
+  tpdus_failed : int;
+  duplicates : int;
+  chunks_seen : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,79 @@
+type t = int
+
+let mask32 = 0xFFFF_FFFF
+
+(* x^32 = x^7 + x^3 + x^2 + 1 (mod m), i.e. the reduction constant 0x8d. *)
+let reduction = 0x8d
+
+let zero = 0
+let one = 1
+let alpha = 2
+
+let of_int32_bits i = Int32.to_int i land mask32
+let to_int32_bits a = Int32.of_int a
+
+let is_valid a = a >= 0 && a land mask32 = a
+
+let add a b = a lxor b
+
+let xtime a =
+  let shifted = (a lsl 1) land mask32 in
+  if a land 0x8000_0000 <> 0 then shifted lxor reduction else shifted
+
+(* Russian-peasant multiplication with reduction folded into every step;
+   all intermediates stay within 32 bits, so native ints are safe. *)
+let mul a b =
+  let acc = ref 0 in
+  let a = ref a in
+  let b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    b := !b lsr 1;
+    a := xtime !a
+  done;
+  !acc
+
+let pow a n =
+  if n < 0 then invalid_arg "Gf232.pow: negative exponent";
+  let acc = ref one in
+  let base = ref a in
+  let n = ref n in
+  while !n > 0 do
+    if !n land 1 = 1 then acc := mul !acc !base;
+    base := mul !base !base;
+    n := !n lsr 1
+  done;
+  !acc
+
+(* alpha^(2^k) for k = 0..61, so alpha_pow runs in O(popcount i) muls. *)
+let alpha_squares =
+  let tbl = Array.make 62 0 in
+  tbl.(0) <- alpha;
+  for k = 1 to 61 do
+    tbl.(k) <- mul tbl.(k - 1) tbl.(k - 1)
+  done;
+  tbl
+
+let alpha_pow i =
+  if i < 0 then invalid_arg "Gf232.alpha_pow: negative exponent";
+  let acc = ref one in
+  let i = ref i in
+  let k = ref 0 in
+  while !i > 0 do
+    if !i land 1 = 1 then acc := mul !acc alpha_squares.(!k);
+    i := !i lsr 1;
+    incr k
+  done;
+  !acc
+
+let inv a =
+  if a = zero then raise Division_by_zero;
+  (* a^(2^32 - 2) = a^(order - 1) where order = 2^32 - 1. *)
+  pow a 0xFFFF_FFFE
+
+let div a b = mul a (inv b)
+
+let pp fmt a = Format.fprintf fmt "0x%08x" a
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b

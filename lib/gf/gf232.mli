@@ -1,0 +1,76 @@
+(** Arithmetic in the finite field GF(2{^32}).
+
+    Elements are polynomials over GF(2) of degree < 32, represented as the
+    low 32 bits of a native [int] (bit [i] is the coefficient of [x{^i}]).
+    Reduction is modulo the primitive pentanomial
+
+    {[ m(x) = x^32 + x^7 + x^3 + x^2 + 1 ]}
+
+    so the element [alpha] = [x] generates the multiplicative group of
+    order 2{^32} - 1.  This field underlies the WSC-2 weighted-sum error
+    detection code of Feldmeier (SIGCOMM '93) / McAuley: symbol [d_i] at
+    position [i] is weighted by [alpha^i], which requires only [add],
+    [mul] and fast exponentiation. *)
+
+type t = int
+(** A field element; always in the range [0, 0xFFFF_FFFF]. *)
+
+val zero : t
+(** The additive identity. *)
+
+val one : t
+(** The multiplicative identity. *)
+
+val alpha : t
+(** The generator [x] (the polynomial of degree 1). *)
+
+val of_int32_bits : int32 -> t
+(** Reinterpret the 32 bits of an [int32] as a field element. *)
+
+val to_int32_bits : t -> int32
+(** Inverse of {!of_int32_bits}. *)
+
+val is_valid : t -> bool
+(** [is_valid a] is [true] iff [a] is a normalised element (fits in 32
+    bits and is non-negative). *)
+
+val add : t -> t -> t
+(** Field addition = polynomial addition over GF(2) = bitwise XOR.
+    Every element is its own additive inverse, so [add] is also
+    subtraction. *)
+
+val xtime : t -> t
+(** [xtime a] is [mul alpha a]: one shift-and-reduce step.  This is the
+    cheap incremental weight update used when accumulating consecutive
+    symbol positions. *)
+
+val mul : t -> t -> t
+(** Carry-less polynomial multiplication reduced modulo [m(x)].
+    Implemented as 32 interleaved shift/reduce steps so intermediate
+    values never exceed 32 bits (safe on 63-bit native ints). *)
+
+val pow : t -> int -> t
+(** [pow a n] is [a] raised to the [n]-th power by square-and-multiply.
+    [n] must be non-negative.  [pow a 0 = one] (including for [a = zero],
+    by convention). *)
+
+val alpha_pow : int -> t
+(** [alpha_pow i] is [alpha] to the [i]-th power — the WSC-2 weight of
+    position [i].  Accelerated by a precomputed table of
+    [alpha{^2{^k}}]. *)
+
+val inv : t -> t
+(** Multiplicative inverse via [a{^2{^32}-2}].
+
+    @raise Division_by_zero if the argument is [zero]. *)
+
+val div : t -> t -> t
+(** [div a b = mul a (inv b)].
+
+    @raise Division_by_zero if [b] is [zero]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an element as [0x%08x]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

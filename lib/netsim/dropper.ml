@@ -1,0 +1,76 @@
+open Labelling
+
+type mode = Random | Whole_tpdu
+
+type stats = {
+  packets_seen : int;
+  packets_dropped : int;
+  doomed_bytes_forwarded : int;
+}
+
+type t = {
+  mode : mode;
+  rng : Rng.t;
+  loss : float;
+  forward : bytes -> unit;
+  doomed : (int, unit) Hashtbl.t;  (* T.IDs with a dropped fragment *)
+  mutable seen : int;
+  mutable dropped : int;
+  mutable doomed_bytes : int;
+}
+
+let create ?(mode = Random) ~rng ~loss ~forward () =
+  {
+    mode;
+    rng;
+    loss;
+    forward;
+    doomed = Hashtbl.create 16;
+    seen = 0;
+    dropped = 0;
+    doomed_bytes = 0;
+  }
+
+let t_ids_of b =
+  match Wire.decode_packet b with
+  | Error _ -> []
+  | Ok chunks ->
+      List.filter_map
+        (fun c ->
+          if Chunk.is_terminator c then None
+          else Some c.Chunk.header.Header.t.Ftuple.id)
+        chunks
+
+let on_packet d b =
+  d.seen <- d.seen + 1;
+  let tids = t_ids_of b in
+  let congestion_drop = Rng.bool d.rng d.loss in
+  match d.mode with
+  | Random ->
+      if congestion_drop then begin
+        d.dropped <- d.dropped + 1;
+        List.iter (fun id -> Hashtbl.replace d.doomed id ()) tids
+      end
+      else begin
+        (* memoryless: fragments of already-doomed TPDUs still use the
+           wire even though their TPDU cannot complete *)
+        if List.exists (Hashtbl.mem d.doomed) tids then
+          d.doomed_bytes <- d.doomed_bytes + Bytes.length b;
+        d.forward b
+      end
+  | Whole_tpdu ->
+      let tainted = List.exists (Hashtbl.mem d.doomed) tids in
+      if congestion_drop || tainted then begin
+        d.dropped <- d.dropped + 1;
+        List.iter (fun id -> Hashtbl.replace d.doomed id ()) tids
+      end
+      else d.forward b
+
+let reset_epoch d = Hashtbl.reset d.doomed
+
+let stats d =
+  {
+    packets_seen = d.seen;
+    packets_dropped = d.dropped;
+    doomed_bytes_forwarded = d.doomed_bytes;
+  }

@@ -1,0 +1,39 @@
+(** A chunk-aware congestion-drop element (§3: "if fragments travel
+    along the same route, we have the option of dropping all of the
+    fragments of a TPDU if any fragment must be dropped, a technique
+    suggested by Turner [TURN 92]").
+
+    When the element decides to drop a packet, [Whole_tpdu] mode also
+    drops every later packet carrying chunks of the TPDUs that lost a
+    fragment — those fragments are dead weight, since the whole TPDU
+    will be retransmitted anyway.  [Random] mode is the conventional
+    memoryless comparator.  The CLM-TURNER experiment measures the
+    useless bytes each mode lets through. *)
+
+type mode = Random | Whole_tpdu
+
+type stats = {
+  packets_seen : int;
+  packets_dropped : int;
+  doomed_bytes_forwarded : int;
+      (** bytes forwarded that belonged to TPDUs already missing a
+          fragment — wasted downstream capacity *)
+}
+
+type t
+
+val create :
+  ?mode:mode -> rng:Rng.t -> loss:float -> forward:(bytes -> unit) -> unit -> t
+(** [loss] is the probability of an initial (congestion) drop per
+    packet. *)
+
+val on_packet : t -> bytes -> unit
+
+val reset_epoch : t -> unit
+(** Forget which TPDUs are doomed.  Retransmissions reuse identical
+    labels (§3.3), so a dropper that remembered doomed TPDUs across
+    retransmission rounds would drop them forever; call this at epoch
+    boundaries when driving a retransmitting transport.  The bench uses
+    one-shot streams, where it is unnecessary. *)
+
+val stats : t -> stats

@@ -1,0 +1,40 @@
+type t = {
+  q : (unit -> unit) Eventq.t;
+  mutable clock : float;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 0x5EED) () =
+  { q = Eventq.create (); clock = 0.0; root_rng = Rng.create ~seed }
+
+let now e = e.clock
+let rng e = e.root_rng
+
+let schedule_at e ~time f =
+  if time < e.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Eventq.push e.q ~time f
+
+let schedule e ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Eventq.push e.q ~time:(e.clock +. delay) f
+
+let step e =
+  match Eventq.pop e.q with
+  | None -> false
+  | Some (time, f) ->
+      e.clock <- time;
+      f ();
+      true
+
+let run ?until e =
+  let keep_going () =
+    match (Eventq.peek_time e.q, until) with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some t, Some stop -> t <= stop
+  in
+  while keep_going () do
+    ignore (step e)
+  done
+
+let pending e = Eventq.size e.q

@@ -1,0 +1,74 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable seq : int;
+}
+
+let create () = { heap = [||]; len = 0; seq = 0 }
+
+let is_empty q = q.len = 0
+let size q = q.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nh = Array.make ncap q.heap.(0) in
+    Array.blit q.heap 0 nh 0 q.len;
+    q.heap <- nh
+  end
+
+let push q ~time payload =
+  let e = { time; seq = q.seq; payload } in
+  q.seq <- q.seq + 1;
+  if Array.length q.heap = 0 then q.heap <- Array.make 16 e;
+  grow q;
+  q.heap.(q.len) <- e;
+  q.len <- q.len + 1;
+  (* sift up *)
+  let i = ref (q.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    before q.heap.(!i) q.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = q.heap.(!i) in
+    q.heap.(!i) <- q.heap.(p);
+    q.heap.(p) <- tmp;
+    i := p
+  done
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.len && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.len && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.len = 0 then None else Some q.heap.(0).time

@@ -1,0 +1,17 @@
+(** A binary-heap priority queue of timestamped events.
+
+    Ties break by insertion order (FIFO), which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,91 @@
+open Labelling
+
+type stats = {
+  packets_in : int;
+  packets_out : int;
+  chunks_in : int;
+  chunks_out : int;
+  malformed : int;
+  header_ops : int;
+}
+
+type t = {
+  policy : Repack.policy;
+  flush_batch : int;
+  forward : bytes -> unit;
+  out_mtu : int;
+  mutable held : Chunk.t list;  (* reversed *)
+  mutable held_n : int;
+  mutable packets_in : int;
+  mutable packets_out : int;
+  mutable chunks_in : int;
+  mutable chunks_out : int;
+  mutable malformed : int;
+  mutable header_ops : int;
+}
+
+let create ?(policy = Repack.Combine) ?(flush_batch = 1) ~forward ~out_mtu () =
+  if flush_batch < 1 then invalid_arg "Gateway.create: flush_batch < 1";
+  {
+    policy;
+    flush_batch;
+    forward;
+    out_mtu;
+    held = [];
+    held_n = 0;
+    packets_in = 0;
+    packets_out = 0;
+    chunks_in = 0;
+    chunks_out = 0;
+    malformed = 0;
+    header_ops = 0;
+  }
+
+let emit g chunks =
+  match Repack.repack ~policy:g.policy ~mtu:g.out_mtu chunks with
+  | Error _ -> g.malformed <- g.malformed + 1
+  | Ok packets ->
+      List.iter
+        (fun p ->
+          let out_chunks = Packet.chunks p in
+          g.chunks_out <- g.chunks_out + List.length out_chunks;
+          g.packets_out <- g.packets_out + 1;
+          g.forward (Packet.encode_unpadded p))
+        packets;
+      (* Count framing-tuple manipulations: every chunk that came out in
+         more pieces than it went in costs one SN/ST adjustment per
+         framing level per extra piece. *)
+      let in_n = List.length chunks in
+      let out_n =
+        List.fold_left (fun acc p -> acc + List.length (Packet.chunks p)) 0
+          packets
+      in
+      if out_n > in_n then g.header_ops <- g.header_ops + (3 * (out_n - in_n))
+
+let flush g =
+  if g.held_n > 0 then begin
+    let chunks = List.rev g.held in
+    g.held <- [];
+    g.held_n <- 0;
+    emit g chunks
+  end
+
+let on_packet g b =
+  g.packets_in <- g.packets_in + 1;
+  match Wire.decode_packet b with
+  | Error _ -> g.malformed <- g.malformed + 1
+  | Ok chunks ->
+      g.chunks_in <- g.chunks_in + List.length chunks;
+      g.held <- List.rev_append chunks g.held;
+      g.held_n <- g.held_n + 1;
+      if g.held_n >= g.flush_batch then flush g
+
+let stats g =
+  {
+    packets_in = g.packets_in;
+    packets_out = g.packets_out;
+    chunks_in = g.chunks_in;
+    chunks_out = g.chunks_out;
+    malformed = g.malformed;
+    header_ops = g.header_ops;
+  }

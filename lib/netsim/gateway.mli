@@ -1,0 +1,41 @@
+(** A gateway between networks with different MTUs.
+
+    The chunk gateway understands only chunk {e syntax}: it decodes each
+    arriving envelope, re-envelopes the chunks for the outgoing MTU with
+    a configurable {!Labelling.Repack.policy}, and forwards — the §3.1
+    "chunks are emptied from one size of envelope and placed in another
+    size of envelope" operation.  Malformed packets are counted and
+    dropped.  With [flush_batch > 1] the gateway holds arriving chunks
+    and re-envelopes them in batches, letting [Combine]/[Reassemble]
+    mix chunks from different arriving packets. *)
+
+type stats = {
+  packets_in : int;
+  packets_out : int;
+  chunks_in : int;
+  chunks_out : int;
+  malformed : int;
+  header_ops : int;
+      (** framing-tuple manipulations performed (one per level per chunk
+          split) — the "multiple levels of framing information" cost
+          discussed in §3.2 *)
+}
+
+type t
+
+val create :
+  ?policy:Labelling.Repack.policy ->
+  ?flush_batch:int ->
+  forward:(bytes -> unit) ->
+  out_mtu:int ->
+  unit ->
+  t
+
+val on_packet : t -> bytes -> unit
+(** Feed one arriving packet; forwards re-enveloped packets downstream
+    (possibly zero now if batching). *)
+
+val flush : t -> unit
+(** Force out any held chunks. *)
+
+val stats : t -> stats

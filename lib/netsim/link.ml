@@ -1,0 +1,131 @@
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_mtu : int;
+  corrupted : int;
+  duplicated : int;
+  bytes_sent : int;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rate_bps : float;
+  delay : float;
+  mtu : int;
+  loss : float;
+  corrupt : float;
+  jitter : float;
+  duplicate : float;
+  deliver : bytes -> unit;
+  rng : Rng.t;
+  mutable busy_until : float;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_mtu : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+}
+
+let create engine ?(name = "link") ?(rate_bps = 1e9) ?(delay = 1e-3)
+    ?(mtu = 9180) ?(loss = 0.0) ?(corrupt = 0.0) ?(jitter = 0.0)
+    ?(duplicate = 0.0) ~deliver () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  if mtu < 1 then invalid_arg "Link.create: mtu < 1";
+  {
+    engine;
+    name;
+    rate_bps;
+    delay;
+    mtu;
+    loss;
+    corrupt;
+    jitter;
+    duplicate;
+    deliver;
+    rng = Rng.split (Engine.rng engine);
+    busy_until = 0.0;
+    sent = 0;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_mtu = 0;
+    corrupted = 0;
+    duplicated = 0;
+    bytes_sent = 0;
+  }
+
+let corrupt_packet l b =
+  let b = Bytes.copy b in
+  (* Flip 1-4 random bytes. *)
+  let flips = 1 + Rng.int l.rng 4 in
+  for _ = 1 to flips do
+    let i = Rng.int l.rng (Bytes.length b) in
+    let old = Char.code (Bytes.get b i) in
+    let bit = 1 lsl Rng.int l.rng 8 in
+    Bytes.set b i (Char.chr (old lxor bit))
+  done;
+  b
+
+let send l b =
+  let n = Bytes.length b in
+  if n > l.mtu then begin
+    l.dropped_mtu <- l.dropped_mtu + 1;
+    `Dropped_mtu
+  end
+  else begin
+    l.sent <- l.sent + 1;
+    l.bytes_sent <- l.bytes_sent + n;
+    let now = Engine.now l.engine in
+    let start = Float.max now l.busy_until in
+    let tx_time = float_of_int (8 * n) /. l.rate_bps in
+    l.busy_until <- start +. tx_time;
+    if Rng.bool l.rng l.loss then begin
+      l.dropped_loss <- l.dropped_loss + 1;
+      `Queued (* the sender cannot tell; the packet dies in flight *)
+    end
+    else begin
+      let jitter =
+        if l.jitter > 0.0 then Rng.exponential l.rng ~mean:l.jitter else 0.0
+      in
+      let arrival = l.busy_until +. l.delay +. jitter in
+      let payload =
+        if n > 0 && Rng.bool l.rng l.corrupt then begin
+          l.corrupted <- l.corrupted + 1;
+          corrupt_packet l b
+        end
+        else Bytes.copy b
+      in
+      Engine.schedule_at l.engine ~time:arrival (fun () ->
+          l.delivered <- l.delivered + 1;
+          l.deliver payload);
+      if Rng.bool l.rng l.duplicate then begin
+        l.duplicated <- l.duplicated + 1;
+        let copy = Bytes.copy payload in
+        Engine.schedule_at l.engine
+          ~time:(arrival +. Rng.float l.rng 2e-3)
+          (fun () ->
+            l.delivered <- l.delivered + 1;
+            l.deliver copy)
+      end;
+      `Queued
+    end
+  end
+
+let mtu l = l.mtu
+let name l = l.name
+
+let stats l =
+  {
+    sent = l.sent;
+    delivered = l.delivered;
+    dropped_loss = l.dropped_loss;
+    dropped_mtu = l.dropped_mtu;
+    corrupted = l.corrupted;
+    duplicated = l.duplicated;
+    bytes_sent = l.bytes_sent;
+  }
+
+let busy_until l = l.busy_until

@@ -1,0 +1,50 @@
+(** A simplex network link with rate, propagation delay, MTU, and
+    impairments (loss, corruption, jitter).
+
+    Serialisation is modelled with a busy-until clock: packets queue
+    behind each other at the sender, then experience propagation delay
+    (plus optional jitter, which can reorder).  Corruption flips random
+    bytes in flight — end-to-end error detection's raw material. *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_mtu : int;
+  corrupted : int;
+  duplicated : int;
+  bytes_sent : int;
+}
+
+type t
+
+val create :
+  Engine.t ->
+  ?name:string ->
+  ?rate_bps:float ->
+  ?delay:float ->
+  ?mtu:int ->
+  ?loss:float ->
+  ?corrupt:float ->
+  ?jitter:float ->
+  ?duplicate:float ->
+  deliver:(bytes -> unit) ->
+  unit ->
+  t
+(** [create engine ~deliver ()] — defaults: 1 Gb/s, 1 ms delay,
+    MTU 9180, no loss, no corruption, no jitter, no duplication.
+    [loss], [corrupt] and [duplicate] are per-packet probabilities;
+    [jitter] is the mean of an added exponential delay (which can
+    reorder consecutive packets); a duplicated packet is delivered a
+    second time 0–2 ms later.  [deliver] fires at arrival time with the
+    (possibly corrupted) packet bytes. *)
+
+val send : t -> bytes -> [ `Queued | `Dropped_mtu ]
+(** Submit one packet.  Oversized packets are dropped immediately — the
+    "never fragment" option 1 of §3 — so callers must fragment to the
+    link MTU themselves. *)
+
+val mtu : t -> int
+val name : t -> string
+val stats : t -> stats
+val busy_until : t -> float

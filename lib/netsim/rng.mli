@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All simulator randomness flows through a seeded instance so every
+    experiment is reproducible; benches print their seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from this one; lets components own
+    private generators without coupling their draw orders. *)
+
+val next : t -> int
+(** Uniform 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [0, n-1]; [n >= 1]. *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform in [0, x). *)
+
+val bool : t -> float -> bool
+(** [bool rng p] is [true] with probability [p]. *)
+
+val byte : t -> char
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean (> 0). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list

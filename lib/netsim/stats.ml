@@ -1,0 +1,48 @@
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = { mutable samples : float list; mutable n : int }
+
+let create () = { samples = []; n = 0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (p *. float_of_int (n - 1)) in
+  sorted.(idx)
+
+let summary t =
+  if t.n = 0 then None
+  else begin
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    let total = Array.fold_left ( +. ) 0.0 a in
+    Some
+      {
+        count = t.n;
+        mean = total /. float_of_int t.n;
+        min = a.(0);
+        max = a.(Array.length a - 1);
+        p50 = percentile a 0.5;
+        p90 = percentile a 0.9;
+        p99 = percentile a 0.99;
+      }
+  end
+
+let pp_summary ?(scale = 1.0) ?(unit_ = "") fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.3f%s p50=%.3f%s p90=%.3f%s p99=%.3f%s max=%.3f%s" s.count
+    (s.mean *. scale) unit_ (s.p50 *. scale) unit_ (s.p90 *. scale) unit_
+    (s.p99 *. scale) unit_ (s.max *. scale) unit_

@@ -1,0 +1,24 @@
+(** Measurement helpers: counters and latency histograms for
+    experiments. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val summary : t -> summary option
+(** [None] when no samples were added. *)
+
+val pp_summary : ?scale:float -> ?unit_:string -> Format.formatter -> summary -> unit
+(** Print as "n=… mean=… p50=… p90=… p99=… max=…", values multiplied by
+    [scale] (default 1.0) and suffixed with [unit_] (default ""). *)

@@ -1,0 +1,178 @@
+open Labelling
+
+type report = {
+  verdicts : (int * Edc.Verifier.verdict) list;
+  chunks_processed : int;
+  workers : int;
+}
+
+let t_id_of chunk = chunk.Chunk.header.Header.t.Ftuple.id
+
+let verify_partition chunks =
+  let verifier = Edc.Verifier.create () in
+  let verdicts = ref [] in
+  List.iter
+    (fun chunk ->
+      List.iter
+        (fun ev ->
+          match ev with
+          | Edc.Verifier.Tpdu_verified { t_id; verdict } ->
+              verdicts := (t_id, verdict) :: !verdicts
+          | Edc.Verifier.Fresh_data _ | Edc.Verifier.Duplicate_dropped _ -> ())
+        (Edc.Verifier.on_chunk verifier chunk))
+    chunks;
+  (* whatever never completed is reported as aborted *)
+  List.iter
+    (fun t_id ->
+      match Edc.Verifier.abort verifier ~t_id with
+      | Some verdict -> verdicts := (t_id, verdict) :: !verdicts
+      | None -> ())
+    (Edc.Verifier.in_flight_ids verifier);
+  !verdicts
+
+let process_all ~workers chunks =
+  if workers < 1 then invalid_arg "Parverify.process_all: workers < 1";
+  let chunks = List.filter (fun c -> not (Chunk.is_terminator c)) chunks in
+  let n = List.length chunks in
+  if workers = 1 then
+    {
+      verdicts =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) (verify_partition chunks);
+      chunks_processed = n;
+      workers;
+    }
+  else begin
+    (* partition by T.ID: TPDU independence makes this safe *)
+    let buckets = Array.make workers [] in
+    List.iter
+      (fun c ->
+        let w = t_id_of c mod workers in
+        buckets.(w) <- c :: buckets.(w))
+      chunks;
+    let domains =
+      Array.map
+        (fun bucket -> Domain.spawn (fun () -> verify_partition (List.rev bucket)))
+        buckets
+    in
+    let verdicts = Array.fold_left (fun acc d -> Domain.join d @ acc) [] domains in
+    {
+      verdicts = List.sort (fun (a, _) (b, _) -> Int.compare a b) verdicts;
+      chunks_processed = n;
+      workers;
+    }
+  end
+
+module Pool = struct
+  type msg = Chunk_msg of Chunk.t | Drain | Stop
+
+  type worker = {
+    queue : msg Queue.t;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable results : (int * Edc.Verifier.verdict) list;
+    mutable drained : bool;  (* worker acknowledged the last Drain *)
+  }
+
+  type t = {
+    ws : worker array;
+    domains : unit Domain.t array;
+    mutable alive : bool;
+  }
+
+  let worker_loop w =
+    let verifier = Edc.Verifier.create () in
+    let running = ref true in
+    while !running do
+      Mutex.lock w.mutex;
+      while Queue.is_empty w.queue do
+        Condition.wait w.cond w.mutex
+      done;
+      let msg = Queue.pop w.queue in
+      Mutex.unlock w.mutex;
+      match msg with
+      | Chunk_msg chunk ->
+          let events = Edc.Verifier.on_chunk verifier chunk in
+          let verdicts =
+            List.filter_map
+              (function
+                | Edc.Verifier.Tpdu_verified { t_id; verdict } ->
+                    Some (t_id, verdict)
+                | Edc.Verifier.Fresh_data _ | Edc.Verifier.Duplicate_dropped _
+                  ->
+                    None)
+              events
+          in
+          if verdicts <> [] then begin
+            Mutex.lock w.mutex;
+            w.results <- verdicts @ w.results;
+            Mutex.unlock w.mutex
+          end
+      | Drain ->
+          Mutex.lock w.mutex;
+          w.drained <- true;
+          Condition.broadcast w.cond;
+          Mutex.unlock w.mutex
+      | Stop -> running := false
+    done
+
+  let create ~workers () =
+    if workers < 1 then invalid_arg "Parverify.Pool.create: workers < 1";
+    let ws =
+      Array.init workers (fun _ ->
+          {
+            queue = Queue.create ();
+            mutex = Mutex.create ();
+            cond = Condition.create ();
+            results = [];
+            drained = false;
+          })
+    in
+    let domains =
+      Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) ws
+    in
+    { ws; domains; alive = true }
+
+  let push w msg =
+    Mutex.lock w.mutex;
+    Queue.push msg w.queue;
+    Condition.broadcast w.cond;
+    Mutex.unlock w.mutex
+
+  let submit pool chunk =
+    if not pool.alive then invalid_arg "Parverify.Pool.submit: pool is down";
+    if not (Chunk.is_terminator chunk) then begin
+      let w = pool.ws.(t_id_of chunk mod Array.length pool.ws) in
+      push w (Chunk_msg chunk)
+    end
+
+  let drain pool =
+    if not pool.alive then invalid_arg "Parverify.Pool.drain: pool is down";
+    (* barrier: every worker must pop its Drain marker *)
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.drained <- false;
+        Queue.push Drain w.queue;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      pool.ws;
+    let collected = ref [] in
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        while not w.drained do
+          Condition.wait w.cond w.mutex
+        done;
+        collected := w.results @ !collected;
+        w.results <- [];
+        Mutex.unlock w.mutex)
+      pool.ws;
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) !collected
+
+  let shutdown pool =
+    if pool.alive then begin
+      pool.alive <- false;
+      Array.iter (fun w -> push w Stop) pool.ws;
+      Array.iter Domain.join pool.domains
+    end
+end

@@ -1,0 +1,265 @@
+open Baselines
+
+type config = {
+  conn_id : int;
+  tpdu_bytes : int;
+  mtu : int;
+  window : int;
+  rto : float;
+  reasm_capacity : int;
+}
+
+let default_config =
+  {
+    conn_id = 1;
+    tpdu_bytes = 2048;
+    mtu = 1500;
+    window = 8;
+    rto = 0.05;
+    reasm_capacity = 256 * 1024;
+  }
+
+type outcome = {
+  ok : bool;
+  sim_time : float;
+  sent_bytes : int;
+  wire_bytes : int;
+  retransmissions : int;
+  element_delay : Netsim.Stats.summary option;
+  tpdu_latency : Netsim.Stats.summary option;
+  bus_crossings_per_byte : float;
+  goodput_bps : float;
+  lockup_events : int;
+  crc_failures : int;
+}
+
+(* TPDU payload layout: [seq u64][total u64][data][crc32 u32].  The seq
+   is the byte offset of [data] in the application stream. *)
+let tpdu_overhead = 8 + 8 + 4
+
+let build_tpdu ~seq ~total data off len =
+  let b = Bytes.make (tpdu_overhead + len) '\000' in
+  Bytes.set_int64_be b 0 (Int64.of_int seq);
+  Bytes.set_int64_be b 8 (Int64.of_int total);
+  Bytes.blit data off b 16 len;
+  let crc = Checksums.crc32 (Bytes.sub b 0 (16 + len)) in
+  Bytes.set_int32_be b (16 + len) (Int32.of_int crc);
+  b
+
+let parse_tpdu b =
+  let n = Bytes.length b in
+  if n < tpdu_overhead then Error "tpdu too short"
+  else begin
+    let stored = Int32.to_int (Bytes.get_int32_be b (n - 4)) land 0xFFFF_FFFF in
+    let actual = Checksums.crc32 (Bytes.sub b 0 (n - 4)) in
+    if stored <> actual then Error "crc mismatch"
+    else begin
+      let seq = Int64.to_int (Bytes.get_int64_be b 0) in
+      let total = Int64.to_int (Bytes.get_int64_be b 8) in
+      Ok (seq, total, Bytes.sub b 16 (n - tpdu_overhead))
+    end
+  end
+
+let ack_bytes ident =
+  let b = Bytes.make 4 '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int ident);
+  b
+
+type tpdu_tx = {
+  ident : int;
+  image : bytes;  (* full TPDU payload *)
+  mutable acked : bool;
+  mutable txs : int;
+}
+
+let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
+    ?(corrupt = 0.0) ?(duplicate = 0.0) ?(paths = 8) ?(skew = 0.25e-3)
+    ?(rate_bps = 155e6) ?(delay = 1e-3) ~data () =
+  if config.tpdu_bytes < 1 || config.window < 1 then
+    invalid_arg "Buffered_transport: bad config";
+  let engine = Netsim.Engine.create ~seed () in
+  let bus = Busmodel.create () in
+  let n = Bytes.length data in
+  if n = 0 then invalid_arg "Buffered_transport: empty data";
+  (* --- receiver state --- *)
+  let app = Bytes.make n '\000' in
+  let delivered = ref 0 in
+  let received = Hashtbl.create 64 in (* ident -> unit, for dup acks *)
+  let reasm = Ipfrag.Reassembler.create ~capacity_bytes:config.reasm_capacity () in
+  let frag_arrivals : (int, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  let first_arrival : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let insert_order : int Queue.t = Queue.create () in
+  let active : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let element_delay = Netsim.Stats.create () in
+  let tpdu_latency = Netsim.Stats.create () in
+  let lockups = ref 0 in
+  let crc_failures = ref 0 in
+  let retrans = ref 0 in
+  let wire_bytes = ref 0 in
+  let send_ack = ref (fun _ -> ()) in
+  let deliver_tpdu ident payload =
+    (* Reassembly done: now — and only now — can the TPDU be processed:
+       one pass to verify the CRC, one copy into the application. *)
+    Busmodel.mem_to_cpu bus (Bytes.length payload);
+    Hashtbl.remove active ident;
+    match parse_tpdu payload with
+    | Error _ -> incr crc_failures
+    | Ok (seq, _total, body) ->
+        let len = Bytes.length body in
+        if seq >= 0 && seq + len <= n then begin
+          Busmodel.mem_to_cpu bus len;
+          Busmodel.cpu_to_mem bus len;
+          Bytes.blit body 0 app seq len;
+          if not (Hashtbl.mem received ident) then begin
+            Hashtbl.add received ident ();
+            delivered := !delivered + len
+          end;
+          let now = Netsim.Engine.now engine in
+          (match Hashtbl.find_opt frag_arrivals ident with
+          | Some cell ->
+              List.iter
+                (fun t -> Netsim.Stats.add element_delay (now -. t))
+                !cell;
+              Hashtbl.remove frag_arrivals ident
+          | None -> ());
+          (match Hashtbl.find_opt first_arrival ident with
+          | Some t0 -> Netsim.Stats.add tpdu_latency (now -. t0)
+          | None -> ());
+          !send_ack (ack_bytes ident)
+        end
+  in
+  let on_fragment b =
+    Busmodel.nic_to_mem bus (Bytes.length b);
+    match Ipfrag.decode b with
+    | Error _ -> ()
+    | Ok d ->
+        if Hashtbl.mem received d.Ipfrag.ident then
+          (* Late duplicate of an already-delivered TPDU: re-ack. *)
+          !send_ack (ack_bytes d.Ipfrag.ident)
+        else begin
+          let now = Netsim.Engine.now engine in
+          if not (Hashtbl.mem first_arrival d.Ipfrag.ident) then
+            Hashtbl.add first_arrival d.Ipfrag.ident now;
+          if not (Hashtbl.mem active d.Ipfrag.ident) then begin
+            Hashtbl.add active d.Ipfrag.ident ();
+            Queue.add d.Ipfrag.ident insert_order
+          end;
+          (match Hashtbl.find_opt frag_arrivals d.Ipfrag.ident with
+          | Some cell -> cell := now :: !cell
+          | None ->
+              Hashtbl.add frag_arrivals d.Ipfrag.ident (ref [ now ]));
+          (* Buffering costs a copy into the reassembly store. *)
+          Busmodel.mem_copy bus (Bytes.length d.Ipfrag.payload);
+          let rec try_insert attempts =
+            match Ipfrag.Reassembler.insert reasm d with
+            | Ipfrag.Reassembler.Complete (ident, payload) ->
+                deliver_tpdu ident payload
+            | Ipfrag.Reassembler.Buffered | Ipfrag.Reassembler.Dup -> ()
+            | Ipfrag.Reassembler.No_buffer_space ->
+                incr lockups;
+                (* Timeout-style recovery: evict the oldest partial that
+                   is still held (the queue may lead with idents that
+                   completed long ago) and retry. *)
+                let rec oldest_active () =
+                  match Queue.take_opt insert_order with
+                  | None -> None
+                  | Some ident when Hashtbl.mem active ident -> Some ident
+                  | Some _ -> oldest_active ()
+                in
+                if attempts > 0 then
+                  match oldest_active () with
+                  | None -> ()
+                  | Some victim ->
+                      Ipfrag.Reassembler.drop reasm ~ident:victim;
+                      Hashtbl.remove frag_arrivals victim;
+                      Hashtbl.remove active victim;
+                      try_insert (attempts - 1)
+          in
+          try_insert 3
+        end
+  in
+  (* --- network --- *)
+  let forward =
+    Netsim.Multipath.create engine ~paths ~rate_bps ~delay ~skew
+      ~mtu:config.mtu ~loss ~corrupt ~duplicate ~deliver:on_fragment ()
+  in
+  (* --- sender state --- *)
+  let count = (n + config.tpdu_bytes - 1) / config.tpdu_bytes in
+  let tpdus =
+    Array.init count (fun i ->
+        let off = i * config.tpdu_bytes in
+        let len = min config.tpdu_bytes (n - off) in
+        { ident = i; image = build_tpdu ~seq:off ~total:n data off len;
+          acked = false; txs = 0 })
+  in
+  let next_unsent = ref 0 in
+  let unacked = ref 0 in
+  let transmit tp =
+    tp.txs <- tp.txs + 1;
+    let d =
+      { Ipfrag.ident = tp.ident; offset = 0; mf = false; payload = tp.image }
+    in
+    match Ipfrag.fragment ~mtu:config.mtu d with
+    | Error e -> invalid_arg e
+    | Ok frags ->
+        List.iter
+          (fun f ->
+            let b = Ipfrag.encode f in
+            wire_bytes := !wire_bytes + Bytes.length b;
+            ignore (Netsim.Multipath.send forward b))
+          frags
+  in
+  let rec arm_timer tp =
+    (* exponential backoff plus a per-TPDU stagger so retransmission
+       bursts cannot thrash a tiny reassembly buffer forever *)
+    let backoff = Float.min 8.0 (Float.pow 2.0 (float_of_int (tp.txs - 1))) in
+    let stagger = 1.0 +. (0.07 *. float_of_int (tp.ident mod 11)) in
+    Netsim.Engine.schedule engine ~delay:(config.rto *. backoff *. stagger)
+      (fun () ->
+        if not tp.acked then begin
+          incr retrans;
+          transmit tp;
+          arm_timer tp
+        end)
+  in
+  let rec pump () =
+    if !unacked < config.window && !next_unsent < count then begin
+      let tp = tpdus.(!next_unsent) in
+      incr next_unsent;
+      incr unacked;
+      transmit tp;
+      arm_timer tp;
+      pump ()
+    end
+  in
+  let reverse =
+    Netsim.Link.create engine ~name:"ack" ~rate_bps:1e9 ~delay ~mtu:config.mtu
+      ~deliver:(fun b ->
+        if Bytes.length b = 4 then begin
+          let ident = Int32.to_int (Bytes.get_int32_be b 0) in
+          if ident >= 0 && ident < count && not tpdus.(ident).acked then begin
+            tpdus.(ident).acked <- true;
+            decr unacked;
+            pump ()
+          end
+        end)
+      ()
+  in
+  (send_ack := fun b -> ignore (Netsim.Link.send reverse b));
+  Netsim.Engine.schedule engine ~delay:0.0 pump;
+  Netsim.Engine.run engine;
+  let sim_time = Netsim.Engine.now engine in
+  {
+    ok = !delivered = n && Bytes.equal app data;
+    sim_time;
+    sent_bytes = n;
+    wire_bytes = !wire_bytes;
+    retransmissions = !retrans;
+    element_delay = Netsim.Stats.summary element_delay;
+    tpdu_latency = Netsim.Stats.summary tpdu_latency;
+    bus_crossings_per_byte = Busmodel.per_byte bus ~delivered:n;
+    goodput_bps =
+      (if sim_time > 0.0 then float_of_int (8 * n) /. sim_time else 0.0);
+    lockup_events = !lockups;
+    crc_failures = !crc_failures;
+  }

@@ -1,0 +1,18 @@
+type t = { mutable crossings : int }
+
+let create () = { crossings = 0 }
+
+let check n = if n < 0 then invalid_arg "Busmodel: negative byte count"
+
+let nic_to_mem t n = check n; t.crossings <- t.crossings + n
+let mem_to_cpu t n = check n; t.crossings <- t.crossings + n
+let cpu_to_mem t n = check n; t.crossings <- t.crossings + n
+let mem_copy t n = check n; t.crossings <- t.crossings + (2 * n)
+
+let crossings t = t.crossings
+
+let per_byte t ~delivered =
+  if delivered <= 0 then 0.0
+  else float_of_int t.crossings /. float_of_int delivered
+
+let reset t = t.crossings <- 0

@@ -1,0 +1,630 @@
+open Labelling
+
+type config = {
+  conn_id : int;
+  elem_size : int;
+  tpdu_elems : int;
+  frame_bytes : int;
+  mtu : int;
+  window : int;
+  rto : float;
+  adaptive : bool;
+  sack : bool;
+  nack_delay : float;
+}
+
+let default_config =
+  {
+    conn_id = 1;
+    elem_size = 4;
+    tpdu_elems = 512;
+    frame_bytes = 1024;
+    mtu = 1500;
+    window = 8;
+    rto = 0.05;
+    adaptive = false;
+    sack = false;
+    nack_delay = 0.01;
+  }
+
+let validate_config c =
+  if c.elem_size < 4 || c.elem_size mod 4 <> 0 then
+    invalid_arg "Chunk_transport: elem_size must be a positive multiple of 4";
+  if c.frame_bytes mod c.elem_size <> 0 then
+    invalid_arg "Chunk_transport: frame_bytes must be a multiple of elem_size";
+  if c.tpdu_elems < 1 || c.window < 1 then
+    invalid_arg "Chunk_transport: tpdu_elems and window must be >= 1";
+  if c.tpdu_elems > Edc.Invariant.max_tpdu_elems ~size:c.elem_size then
+    invalid_arg "Chunk_transport: TPDU exceeds the error-detection invariant";
+  if c.mtu <= Wire.header_size then
+    invalid_arg "Chunk_transport: mtu cannot hold a chunk header"
+
+(* Total elements the receiver will hold once the stream of [n] bytes is
+   framed: only the final frame is padded to a whole element. *)
+let expected_elements config ~data_len =
+  let full = data_len / config.frame_bytes in
+  let rem = data_len mod config.frame_bytes in
+  (full * (config.frame_bytes / config.elem_size))
+  + ((rem + config.elem_size - 1) / config.elem_size)
+
+let ack_packet ~conn_id ~t_id =
+  let c = Ftuple.v ~id:conn_id ~sn:0 () in
+  let t = Ftuple.v ~id:t_id ~sn:0 () in
+  let ack =
+    match Chunk.control ~kind:Ctype.ack ~c ~t ~x:Ftuple.zero (Bytes.make 4 '\000') with
+    | Ok a -> a
+    | Error e -> invalid_arg e
+  in
+  match Wire.encode_packet [ ack ] with
+  | Ok b -> b
+  | Error e -> invalid_arg e
+
+(* NACK payload: [u8 flags (bit0 = resend the ED chunk)]
+   [u16 span count][count * (u32 t_sn, u32 len)]. *)
+let nack_packet ~conn_id ~t_id ~need_ed ~spans =
+  let spans = if List.length spans > 64 then List.filteri (fun i _ -> i < 64) spans else spans in
+  let payload = Bytes.make (3 + (8 * List.length spans)) '\000' in
+  Bytes.set_uint8 payload 0 (if need_ed then 1 else 0);
+  Bytes.set_uint16_be payload 1 (List.length spans);
+  List.iteri
+    (fun i (sn, len) ->
+      Bytes.set_int32_be payload (3 + (8 * i)) (Int32.of_int sn);
+      Bytes.set_int32_be payload (7 + (8 * i)) (Int32.of_int len))
+    spans;
+  let c = Ftuple.v ~id:conn_id ~sn:0 () in
+  let t = Ftuple.v ~id:t_id ~sn:0 () in
+  let nk =
+    match Chunk.control ~kind:Ctype.nack ~c ~t ~x:Ftuple.zero payload with
+    | Ok n -> n
+    | Error e -> invalid_arg e
+  in
+  match Wire.encode_packet [ nk ] with
+  | Ok b -> b
+  | Error e -> invalid_arg e
+
+let parse_nack chunk =
+  let p = chunk.Chunk.payload in
+  if Bytes.length p < 3 then Error "bad NACK"
+  else begin
+    let need_ed = Bytes.get_uint8 p 0 land 1 = 1 in
+    let count = Bytes.get_uint16_be p 1 in
+    if Bytes.length p <> 3 + (8 * count) then Error "bad NACK size"
+    else begin
+      let spans =
+        List.init count (fun i ->
+            ( Int32.to_int (Bytes.get_int32_be p (3 + (8 * i))) land 0xFFFF_FFFF,
+              Int32.to_int (Bytes.get_int32_be p (7 + (8 * i))) land 0xFFFF_FFFF ))
+      in
+      Ok (need_ed, spans)
+    end
+  end
+
+module Receiver = struct
+  type t = {
+    engine : Netsim.Engine.t;
+    config : config;
+    bus : Busmodel.t;
+    send_ack : bytes -> unit;
+    verifier : Edc.Verifier.t;
+    placement : Placement.t;
+    first_arrival : (int, float) Hashtbl.t;  (* t_id -> time *)
+    acked : (int, unit) Hashtbl.t;  (* TPDUs already acknowledged *)
+    nack_armed : (int, unit) Hashtbl.t;  (* TPDUs with a gap timer *)
+    element_delay : Netsim.Stats.t;
+    tpdu_latency : Netsim.Stats.t;
+    mutable nacks_sent : int;
+  }
+
+  let create engine config ?(bus = Busmodel.create ()) ~send_ack
+      ~expected_elems () =
+    validate_config config;
+    {
+      engine;
+      config;
+      bus;
+      send_ack;
+      verifier = Edc.Verifier.create ();
+      placement =
+        Placement.create ~level:Placement.Conn ~base_sn:0
+          ~capacity_elems:expected_elems ~elem_size:config.elem_size;
+      first_arrival = Hashtbl.create 32;
+      acked = Hashtbl.create 32;
+      nack_armed = Hashtbl.create 32;
+      element_delay = Netsim.Stats.create ();
+      tpdu_latency = Netsim.Stats.create ();
+      nacks_sent = 0;
+    }
+
+  (* Place the fresh sub-run [t_sn, t_sn+elems) of [chunk] straight into
+     the application buffer — spatial reordering, one pass. *)
+  let place_fresh rx chunk ~t_sn ~elems =
+    let h = chunk.Chunk.header in
+    let off_elems = t_sn - h.Header.t.Ftuple.sn in
+    let size = h.Header.size in
+    let sub_c =
+      Ftuple.v ~id:h.Header.c.Ftuple.id
+        ~sn:(h.Header.c.Ftuple.sn + off_elems)
+        ()
+    in
+    let sub_payload =
+      Bytes.sub chunk.Chunk.payload (off_elems * size) (elems * size)
+    in
+    match
+      Chunk.data ~size ~c:sub_c
+        ~t:(Ftuple.v ~id:h.Header.t.Ftuple.id ~sn:t_sn ())
+        ~x:h.Header.x sub_payload
+    with
+    | Error _ -> ()
+    | Ok sub ->
+        let nbytes = elems * size in
+        (* One combined pass: read while computing, write to the final
+           location. *)
+        Busmodel.mem_to_cpu rx.bus nbytes;
+        Busmodel.cpu_to_mem rx.bus nbytes;
+        (match Placement.place rx.placement sub with
+        | Ok () ->
+            (* Available to the application the instant it arrived. *)
+            Netsim.Stats.add rx.element_delay 0.0
+        | Error _ -> ())
+
+  (* While a TPDU stays incomplete, periodically report its gap list so
+     the sender can re-send exactly the missing element runs.  Bounded:
+     if the gaps never fill (black-hole path) the timer must not keep
+     the simulation alive forever. *)
+  let max_nack_rounds = 200
+
+  let rec arm_nack rx t_id rounds =
+    Netsim.Engine.schedule rx.engine ~delay:rx.config.nack_delay (fun () ->
+        if rounds >= max_nack_rounds || Hashtbl.mem rx.acked t_id then
+          Hashtbl.remove rx.nack_armed t_id
+        else
+        match Edc.Verifier.missing rx.verifier ~t_id with
+        | None -> Hashtbl.remove rx.nack_armed t_id (* verified or dropped *)
+        | Some spans ->
+            let need_ed = not (Edc.Verifier.ed_seen rx.verifier ~t_id) in
+            if spans <> [] || need_ed then begin
+              rx.nacks_sent <- rx.nacks_sent + 1;
+              rx.send_ack
+                (nack_packet ~conn_id:rx.config.conn_id ~t_id ~need_ed ~spans)
+            end;
+            arm_nack rx t_id (rounds + 1))
+
+  let on_packet rx b =
+    Busmodel.nic_to_mem rx.bus (Bytes.length b);
+    match Wire.decode_packet b with
+    | Error _ -> ()
+    | Ok chunks ->
+        List.iter
+          (fun chunk ->
+            (* late traffic for an already-verified TPDU is dropped at
+               the door: feeding it would recreate verifier state that
+               can never complete *)
+            if
+              (not (Chunk.is_terminator chunk))
+              && Hashtbl.mem rx.acked
+                   chunk.Chunk.header.Header.t.Ftuple.id
+            then ()
+            else begin
+            (if Chunk.is_data chunk then
+               let t_id = chunk.Chunk.header.Header.t.Ftuple.id in
+               if not (Hashtbl.mem rx.first_arrival t_id) then
+                 Hashtbl.add rx.first_arrival t_id
+                   (Netsim.Engine.now rx.engine);
+               if rx.config.sack && not (Hashtbl.mem rx.nack_armed t_id)
+               then begin
+                 Hashtbl.add rx.nack_armed t_id ();
+                 arm_nack rx t_id 0
+               end);
+            let events = Edc.Verifier.on_chunk rx.verifier chunk in
+            List.iter
+              (fun ev ->
+                match ev with
+                | Edc.Verifier.Fresh_data { t_sn; elems; _ } ->
+                    place_fresh rx chunk ~t_sn ~elems
+                | Edc.Verifier.Tpdu_verified
+                    { t_id; verdict = Edc.Verifier.Passed } ->
+                    if not (Hashtbl.mem rx.acked t_id) then begin
+                      Hashtbl.add rx.acked t_id ();
+                      (match Hashtbl.find_opt rx.first_arrival t_id with
+                      | Some t0 ->
+                          Netsim.Stats.add rx.tpdu_latency
+                            (Netsim.Engine.now rx.engine -. t0)
+                      | None -> ());
+                      rx.send_ack
+                        (ack_packet ~conn_id:rx.config.conn_id ~t_id)
+                    end
+                | Edc.Verifier.Tpdu_verified _
+                | Edc.Verifier.Duplicate_dropped _ ->
+                    ())
+              events
+            end)
+          chunks
+
+  let contents rx = Placement.contents rx.placement
+  let delivered_elems rx = Placement.placed_elems rx.placement
+  let complete rx = Placement.is_full rx.placement
+  let element_delay rx = rx.element_delay
+  let tpdu_latency rx = rx.tpdu_latency
+  let verifier_stats rx = Edc.Verifier.stats rx.verifier
+  let nacks_sent rx = rx.nacks_sent
+end
+
+module Sender = struct
+  type tpdu = {
+    t_id : int;
+    chunks : Chunk.t list;  (* data chunks followed by the ED chunk *)
+    mutable acked : bool;
+    mutable last_tx : float;
+    mutable txs : int;
+  }
+
+  (* A transfer that can never complete (e.g. a black-hole path) must
+     not retransmit forever: after this many transmissions of one TPDU
+     the sender gives up and the transfer reports failure. *)
+  let max_txs = 40
+
+  type t = {
+    engine : Netsim.Engine.t;
+    config : config;
+    send : bytes -> unit;
+    framer : Framer.t;
+    frames : bytes array;
+    mutable next_frame : int;
+    mutable pending : Chunk.t list;  (* current TPDU, reversed *)
+    ready : tpdu Queue.t;
+    inflight : (int, tpdu) Hashtbl.t;
+    mutable retrans : int;
+    mutable sack_retrans : int;
+    mutable tpdus_sent : int;
+    mutable packets_sent : int;
+    mutable bytes_sent : int;
+    mutable cur_tpdu_elems : int;
+    mutable clean_acks : int;
+    mutable started : bool;
+    mutable gave_up : bool;
+  }
+
+  let cut_frames config data =
+    let n = Bytes.length data in
+    if n = 0 then invalid_arg "Chunk_transport.Sender: empty data";
+    let fb = config.frame_bytes in
+    let count = (n + fb - 1) / fb in
+    Array.init count (fun i ->
+        let off = i * fb in
+        let len = min fb (n - off) in
+        Framer.pad_frame ~elem_size:config.elem_size (Bytes.sub data off len))
+
+  let create engine config ~send ~data () =
+    validate_config config;
+    {
+      engine;
+      config;
+      send;
+      framer =
+        Framer.create ~elem_size:config.elem_size
+          ~tpdu_elems:config.tpdu_elems ~conn_id:config.conn_id ();
+      frames = cut_frames config data;
+      next_frame = 0;
+      pending = [];
+      ready = Queue.create ();
+      inflight = Hashtbl.create 16;
+      retrans = 0;
+      sack_retrans = 0;
+      tpdus_sent = 0;
+      packets_sent = 0;
+      bytes_sent = 0;
+      cur_tpdu_elems = config.tpdu_elems;
+      clean_acks = 0;
+      started = false;
+      gave_up = false;
+    }
+
+  (* The adaptive floor: a TPDU small enough that (data + ED chunk) fits
+     one packet, so a single loss forfeits at most one packet's data —
+     the paper's point against Kent & Mogul's fragment-loss argument. *)
+  let min_tpdu_elems config =
+    max 16
+      (min config.tpdu_elems
+         ((config.mtu - (2 * Wire.header_size) - 8) / config.elem_size))
+
+  (* Move complete TPDUs from [pending] (chunk stream) to [ready]. *)
+  let absorb tx chunks =
+    List.iter
+      (fun chunk ->
+        tx.pending <- chunk :: tx.pending;
+        if chunk.Chunk.header.Header.t.Ftuple.st then begin
+          let tpdu_chunks = List.rev tx.pending in
+          tx.pending <- [];
+          match Edc.Encoder.seal tpdu_chunks with
+          | Error e -> invalid_arg e
+          | Ok ed ->
+              let t_id =
+                (List.hd tpdu_chunks).Chunk.header.Header.t.Ftuple.id
+              in
+              Queue.add
+                {
+                  t_id;
+                  chunks = tpdu_chunks @ [ ed ];
+                  acked = false;
+                  last_tx = 0.0;
+                  txs = 0;
+                }
+                tx.ready
+        end)
+      chunks
+
+  let build_more tx =
+    while
+      Queue.length tx.ready < tx.config.window
+      && tx.next_frame < Array.length tx.frames
+    do
+      (* Apply the adaptive TPDU size at the next TPDU boundary. *)
+      (match Framer.set_tpdu_elems tx.framer tx.cur_tpdu_elems with
+      | Ok () | Error _ -> ());
+      let frame = tx.frames.(tx.next_frame) in
+      let last = tx.next_frame = Array.length tx.frames - 1 in
+      tx.next_frame <- tx.next_frame + 1;
+      match Framer.push_frame ~last tx.framer frame with
+      | Error e -> invalid_arg e
+      | Ok chunks -> absorb tx chunks
+    done
+
+  let transmit tx tp =
+    match Packet.pack ~mtu:tx.config.mtu tp.chunks with
+    | Error e -> invalid_arg e
+    | Ok packets ->
+        List.iter
+          (fun p ->
+            let b = Packet.encode_unpadded p in
+            tx.packets_sent <- tx.packets_sent + 1;
+            tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
+            tx.send b)
+          packets;
+        tp.last_tx <- Netsim.Engine.now tx.engine;
+        tp.txs <- tp.txs + 1
+
+  (* Exponential backoff de-synchronises retransmission bursts. *)
+  let rec arm_timer tx tp =
+    let backoff = Float.min 8.0 (Float.pow 2.0 (float_of_int (tp.txs - 1))) in
+    Netsim.Engine.schedule tx.engine ~delay:(tx.config.rto *. backoff)
+      (fun () ->
+        if not tp.acked then
+          if tp.txs >= max_txs then begin
+            (* black-hole path: stop the timer so the simulation can
+               end; the transfer reports failure via [gave_up] *)
+            tx.gave_up <- true;
+            tp.acked <- true;
+            Hashtbl.remove tx.inflight tp.t_id
+          end
+          else begin
+            tx.retrans <- tx.retrans + 1;
+            if tx.config.adaptive then begin
+              tx.clean_acks <- 0;
+              tx.cur_tpdu_elems <-
+                max (min_tpdu_elems tx.config) (tx.cur_tpdu_elems / 2)
+            end;
+            transmit tx tp;
+            arm_timer tx tp
+          end)
+
+  let rec pump tx =
+    build_more tx;
+    if Hashtbl.length tx.inflight < tx.config.window
+       && not (Queue.is_empty tx.ready)
+    then begin
+      let tp = Queue.pop tx.ready in
+      Hashtbl.add tx.inflight tp.t_id tp;
+      tx.tpdus_sent <- tx.tpdus_sent + 1;
+      transmit tx tp;
+      arm_timer tx tp;
+      pump tx
+    end
+
+  let start tx =
+    if not tx.started then begin
+      tx.started <- true;
+      Netsim.Engine.schedule tx.engine ~delay:0.0 (fun () -> pump tx)
+    end
+
+  let on_ack tx t_id =
+    match Hashtbl.find_opt tx.inflight t_id with
+    | None -> ()
+    | Some tp ->
+        if not tp.acked then begin
+          tp.acked <- true;
+          Hashtbl.remove tx.inflight t_id;
+          if tx.config.adaptive then begin
+            tx.clean_acks <- tx.clean_acks + 1;
+            (* grow cautiously: a long clean run is needed before the
+               TPDU doubles, so a lossy path keeps small TPDUs instead
+               of oscillating *)
+            if tx.clean_acks >= 32 then begin
+              tx.clean_acks <- 0;
+              tx.cur_tpdu_elems <-
+                min tx.config.tpdu_elems (tx.cur_tpdu_elems * 2)
+            end
+          end;
+          pump tx
+        end
+
+  (* Selective retransmission: cut exactly the requested element runs
+     out of the stored TPDU (chunks are self-describing, so any sub-run
+     is a first-class chunk) and re-send them, plus the ED chunk when
+     asked. *)
+  let on_nack tx t_id ~need_ed ~spans =
+    match Hashtbl.find_opt tx.inflight t_id with
+    | None -> () (* already acknowledged: stale NACK *)
+    | Some tp ->
+        let data_chunks, ed =
+          match List.rev tp.chunks with
+          | ed :: rev_data -> (List.rev rev_data, [ ed ])
+          | [] -> ([], [])
+        in
+        let pieces =
+          List.concat_map
+            (fun (sn, len) ->
+              if len < 1 then []
+              else
+                List.filter_map
+                  (fun c ->
+                    let h = c.Chunk.header in
+                    let c_first = h.Header.t.Ftuple.sn in
+                    let c_last = c_first + h.Header.len - 1 in
+                    let lo = max sn c_first and hi = min (sn + len - 1) c_last in
+                    if lo > hi then None
+                    else
+                      match Fragment.extract c ~t_sn:lo ~elems:(hi - lo + 1) with
+                      | Ok piece -> Some piece
+                      | Error _ -> None)
+                  data_chunks)
+            spans
+        in
+        let to_send = pieces @ (if need_ed then ed else []) in
+        if to_send <> [] then begin
+          tx.sack_retrans <- tx.sack_retrans + 1;
+          match Packet.pack ~mtu:tx.config.mtu to_send with
+          | Error _ -> ()
+          | Ok packets ->
+              List.iter
+                (fun p ->
+                  let b = Packet.encode_unpadded p in
+                  tx.packets_sent <- tx.packets_sent + 1;
+                  tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
+                  tx.send b)
+                packets
+        end
+
+  let on_packet tx b =
+    match Wire.decode_packet b with
+    | Error _ -> ()
+    | Ok chunks ->
+        List.iter
+          (fun chunk ->
+            let h = chunk.Chunk.header in
+            if Ctype.equal h.Header.ctype Ctype.ack then
+              on_ack tx h.Header.t.Ftuple.id
+            else if Ctype.equal h.Header.ctype Ctype.nack then
+              match parse_nack chunk with
+              | Ok (need_ed, spans) ->
+                  on_nack tx h.Header.t.Ftuple.id ~need_ed ~spans
+              | Error _ -> ())
+          chunks
+
+  let finished tx =
+    tx.started
+    && tx.next_frame >= Array.length tx.frames
+    && Queue.is_empty tx.ready
+    && Hashtbl.length tx.inflight = 0
+
+  let retransmissions tx = tx.retrans
+  let sack_retransmissions tx = tx.sack_retrans
+  let gave_up tx = tx.gave_up
+  let tpdus_sent tx = tx.tpdus_sent
+  let packets_sent tx = tx.packets_sent
+  let bytes_sent tx = tx.bytes_sent
+  let current_tpdu_elems tx = tx.cur_tpdu_elems
+end
+
+type outcome = {
+  ok : bool;
+  sim_time : float;
+  sent_bytes : int;
+  wire_bytes : int;
+  retransmissions : int;
+  sack_retransmissions : int;
+  element_delay : Netsim.Stats.summary option;
+  tpdu_latency : Netsim.Stats.summary option;
+  bus_crossings_per_byte : float;
+  goodput_bps : float;
+  final_tpdu_elems : int;
+  verifier : Edc.Verifier.stats;
+}
+
+let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
+    ?(corrupt = 0.0) ?(duplicate = 0.0) ?(paths = 8) ?(skew = 0.25e-3)
+    ?(rate_bps = 155e6) ?(delay = 1e-3) ?(gateways = []) ~data () =
+  validate_config config;
+  let engine = Netsim.Engine.create ~seed () in
+  let bus = Busmodel.create () in
+  let receiver = ref None in
+  let sender = ref None in
+  let to_receiver b =
+    match !receiver with Some r -> Receiver.on_packet r b | None -> ()
+  in
+  (* Build the in-network gateway chain back to front: each gateway
+     re-envelopes chunks for its outgoing MTU and forwards over its own
+     clean link — the paper's arbitrary mixture of intra- and
+     inter-network fragmentation, fully transparent end to end. *)
+  List.iter
+    (fun (_, out_mtu) ->
+      if out_mtu <= Wire.header_size then
+        invalid_arg
+          (Printf.sprintf
+             "Chunk_transport.run: gateway MTU %d cannot hold a chunk header"
+             out_mtu))
+    gateways;
+  let first_hop_deliver =
+    List.fold_left
+      (fun downstream (policy, out_mtu) ->
+        let out_link =
+          Netsim.Link.create engine ~rate_bps ~delay ~mtu:out_mtu
+            ~deliver:downstream ()
+        in
+        let gw =
+          Netsim.Gateway.create ~policy
+            ~forward:(fun b -> ignore (Netsim.Link.send out_link b))
+            ~out_mtu ()
+        in
+        fun b -> Netsim.Gateway.on_packet gw b)
+      to_receiver (List.rev gateways)
+  in
+  let forward =
+    Netsim.Multipath.create engine ~paths ~rate_bps ~delay ~skew
+      ~mtu:config.mtu ~loss ~corrupt ~duplicate ~deliver:first_hop_deliver ()
+  in
+  let reverse =
+    Netsim.Link.create engine ~name:"ack" ~rate_bps:1e9 ~delay
+      ~mtu:config.mtu
+      ~deliver:(fun b ->
+        match !sender with Some s -> Sender.on_packet s b | None -> ())
+      ()
+  in
+  let expected_elems = expected_elements config ~data_len:(Bytes.length data) in
+  let rx =
+    Receiver.create engine config ~bus
+      ~send_ack:(fun b -> ignore (Netsim.Link.send reverse b))
+      ~expected_elems ()
+  in
+  receiver := Some rx;
+  let tx =
+    Sender.create engine config
+      ~send:(fun b -> ignore (Netsim.Multipath.send forward b))
+      ~data ()
+  in
+  sender := Some tx;
+  Sender.start tx;
+  Netsim.Engine.run engine;
+  let delivered = Receiver.contents rx in
+  let n = Bytes.length data in
+  let ok =
+    (not (Sender.gave_up tx))
+    && Receiver.complete rx
+    && Bytes.length delivered >= n
+    && Bytes.equal (Bytes.sub delivered 0 n) data
+  in
+  let sim_time = Netsim.Engine.now engine in
+  {
+    ok;
+    sim_time;
+    sent_bytes = n;
+    wire_bytes = Sender.bytes_sent tx;
+    retransmissions = Sender.retransmissions tx;
+    sack_retransmissions = Sender.sack_retransmissions tx;
+    element_delay = Netsim.Stats.summary (Receiver.element_delay rx);
+    tpdu_latency = Netsim.Stats.summary (Receiver.tpdu_latency rx);
+    bus_crossings_per_byte = Busmodel.per_byte bus ~delivered:n;
+    goodput_bps =
+      (if sim_time > 0.0 then float_of_int (8 * n) /. sim_time else 0.0);
+    final_tpdu_elems = Sender.current_tpdu_elems tx;
+    verifier = Receiver.verifier_stats rx;
+  }

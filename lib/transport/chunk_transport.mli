@@ -1,0 +1,156 @@
+(** A reliable transport built on chunks: the paper's architecture
+    assembled end to end.
+
+    Sender: frame the application stream three ways at once
+    ({!Labelling.Framer}), seal each TPDU with a WSC-2 ED chunk
+    ({!Edc.Encoder}), pack chunks into MTU-sized envelopes
+    ({!Labelling.Packet}), retransmit unacknowledged TPDUs with
+    {e identical labels} (§3.3) under a fixed window and RTO.
+
+    Receiver: process every chunk {e immediately on arrival} — no
+    reordering, no reassembly buffer: place fresh elements straight into
+    the application buffer by connection SN (spatial reordering,
+    {!Labelling.Placement}), accumulate the error-detection parity
+    incrementally ({!Edc.Verifier}), and acknowledge a TPDU the moment
+    its virtual reassembly completes and its parity verifies.  Data
+    crosses the bus once. *)
+
+type config = {
+  conn_id : int;
+  elem_size : int;  (** bytes per element; multiple of 4 *)
+  tpdu_elems : int;  (** elements per TPDU *)
+  frame_bytes : int;  (** external-PDU (ALF) size *)
+  mtu : int;  (** outgoing packet capacity *)
+  window : int;  (** TPDUs in flight *)
+  rto : float;  (** retransmission timeout, seconds *)
+  adaptive : bool;
+      (** shrink the TPDU size on timeout and grow it on clean ACKs —
+          the §3 response to Kent & Mogul's fragment-loss argument (the
+          sender needs no knowledge of whether fragmentation occurs) *)
+  sack : bool;
+      (** selective retransmission: the receiver reports virtual
+          reassembly's gap list in NACK chunks and the sender re-sends
+          exactly those element runs (self-describing chunks make any
+          sub-run a first-class retransmission unit); the full-TPDU RTO
+          remains the fallback *)
+  nack_delay : float;
+      (** how long a TPDU may stay incomplete before the receiver
+          NACKs its gaps (seconds) *)
+}
+
+val default_config : config
+
+val expected_elements : config -> data_len:int -> int
+(** Elements the receiver will hold once a stream of [data_len] bytes is
+    framed (only the final frame is padded to a whole element). *)
+
+(** {1 Receiver} *)
+
+module Receiver : sig
+  type t
+
+  val create :
+    Netsim.Engine.t ->
+    config ->
+    ?bus:Busmodel.t ->
+    send_ack:(bytes -> unit) ->
+    expected_elems:int ->
+    unit ->
+    t
+
+  val on_packet : t -> bytes -> unit
+  (** Feed one packet from the network. *)
+
+  val contents : t -> bytes
+  (** The application buffer (valid up to the placed elements). *)
+
+  val delivered_elems : t -> int
+  val complete : t -> bool
+
+  val element_delay : t -> Netsim.Stats.t
+  (** Per-element application-availability delay relative to the packet
+      carrying it (0 for immediate processing; the comparison series
+      for CLM-LAT). *)
+
+  val tpdu_latency : t -> Netsim.Stats.t
+  (** Per-TPDU time from first fragment arrival to verification. *)
+
+  val verifier_stats : t -> Edc.Verifier.stats
+
+  val nacks_sent : t -> int
+  (** Gap reports transmitted (0 unless [config.sack]). *)
+end
+
+(** {1 Sender} *)
+
+module Sender : sig
+  type t
+
+  val create :
+    Netsim.Engine.t ->
+    config ->
+    send:(bytes -> unit) ->
+    data:bytes ->
+    unit ->
+    t
+  (** Builds all TPDUs from [data] up front and starts transmitting
+      within the window as soon as the engine runs. *)
+
+  val on_packet : t -> bytes -> unit
+  (** Feed a packet from the reverse path (ACK chunks). *)
+
+  val start : t -> unit
+  (** Schedule the initial window at the current simulated time. *)
+
+  val finished : t -> bool
+
+  val gave_up : t -> bool
+  (** The sender abandoned at least one TPDU after repeated
+      retransmission failures (a black-hole path); the transfer cannot
+      report [ok]. *)
+
+  val retransmissions : t -> int
+  val tpdus_sent : t -> int
+  val packets_sent : t -> int
+  val bytes_sent : t -> int
+  val current_tpdu_elems : t -> int
+      (** instantaneous (adaptive) TPDU size *)
+end
+
+(** {1 One-call scenario driver} *)
+
+type outcome = {
+  ok : bool;  (** delivered data equals sent data *)
+  sim_time : float;
+  sent_bytes : int;  (** application payload bytes offered *)
+  wire_bytes : int;  (** bytes put on the forward wire *)
+  retransmissions : int;  (** full-TPDU timeout retransmissions *)
+  sack_retransmissions : int;
+      (** selective (gap-only) retransmissions triggered by NACKs *)
+  element_delay : Netsim.Stats.summary option;
+  tpdu_latency : Netsim.Stats.summary option;
+  bus_crossings_per_byte : float;
+  goodput_bps : float;
+  final_tpdu_elems : int;  (** the sender's TPDU size at the end (differs
+      from the configured one only for adaptive senders) *)
+  verifier : Edc.Verifier.stats;
+}
+
+val run :
+  ?seed:int ->
+  ?config:config ->
+  ?loss:float ->
+  ?corrupt:float ->
+  ?duplicate:float ->
+  ?paths:int ->
+  ?skew:float ->
+  ?rate_bps:float ->
+  ?delay:float ->
+  ?gateways:(Labelling.Repack.policy * int) list ->
+  data:bytes ->
+  unit ->
+  outcome
+(** Build a forward multipath (with impairments), an optional chain of
+    in-network chunk gateways (each re-enveloping to its own MTU with
+    its own Fig. 4 policy), and a clean reverse path; run a whole
+    transfer to completion and report. *)

@@ -1,0 +1,205 @@
+(* Appendix B codecs: roundtrips and the behavioural signatures the
+   paper's comparison rests on. *)
+
+open Baselines
+
+(* --- HDLC --- *)
+
+let test_hdlc_roundtrip () =
+  let payload = Bytes.of_string "hello \x7e stuffed \x7d world" in
+  let f = { Hdlc_like.address = 0xA5; seq = 3; pf = true; payload } in
+  let wire = Hdlc_like.encode f in
+  match Hdlc_like.decode_stream wire with
+  | Ok [ g ] ->
+      Alcotest.(check int) "address" 0xA5 g.Hdlc_like.address;
+      Alcotest.(check int) "seq" 3 g.Hdlc_like.seq;
+      Alcotest.(check bool) "pf" true g.Hdlc_like.pf;
+      Alcotest.check Util.bytes_testable "payload (unstuffed)" payload
+        g.Hdlc_like.payload
+  | Ok l -> Alcotest.failf "expected 1 frame, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_hdlc_stream () =
+  let mk seq = { Hdlc_like.address = 1; seq; pf = false;
+                 payload = Bytes.make 10 (Char.chr (65 + seq)) } in
+  let wire = Bytes.concat Bytes.empty (List.map Hdlc_like.encode [ mk 0; mk 1; mk 2 ]) in
+  match Hdlc_like.decode_stream wire with
+  | Ok frames ->
+      Alcotest.(check (list int)) "seqs" [ 0; 1; 2 ]
+        (List.map (fun f -> f.Hdlc_like.seq) frames)
+  | Error e -> Alcotest.fail e
+
+let test_hdlc_fcs () =
+  let f = { Hdlc_like.address = 1; seq = 0; pf = false; payload = Bytes.make 20 'q' } in
+  let wire = Hdlc_like.encode f in
+  (* corrupt a payload byte between the flags *)
+  Bytes.set wire 5 'Q';
+  match Hdlc_like.decode_stream wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "FCS must catch corruption"
+
+let test_hdlc_order_required () =
+  let rx = Hdlc_like.Rx.create () in
+  let f seq = { Hdlc_like.address = 1; seq; pf = false; payload = Bytes.empty } in
+  Alcotest.(check bool) "0 ok" true (Hdlc_like.Rx.on_frame rx (f 0) = `Accept);
+  Alcotest.(check bool) "2 rejected" true
+    (Hdlc_like.Rx.on_frame rx (f 2) = `Out_of_sequence);
+  Alcotest.(check bool) "1 ok" true (Hdlc_like.Rx.on_frame rx (f 1) = `Accept)
+
+(* --- VMTP --- *)
+
+let test_vmtp_roundtrip () =
+  let s = { Vmtp_like.transaction = 7; seg_offset = 300; eom = true;
+            payload = Util.deterministic_bytes 100 } in
+  match Vmtp_like.decode (Vmtp_like.encode s) with
+  | Ok s' ->
+      Alcotest.(check int) "trans" 7 s'.Vmtp_like.transaction;
+      Alcotest.(check int) "off" 300 s'.Vmtp_like.seg_offset;
+      Alcotest.(check bool) "eom" true s'.Vmtp_like.eom;
+      Alcotest.check Util.bytes_testable "payload" s.Vmtp_like.payload
+        s'.Vmtp_like.payload
+  | Error e -> Alcotest.fail e
+
+let test_vmtp_crc () =
+  let s = { Vmtp_like.transaction = 7; seg_offset = 0; eom = false;
+            payload = Bytes.make 50 'v' } in
+  let wire = Vmtp_like.encode s in
+  Bytes.set wire 20 'V';
+  match Vmtp_like.decode wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "per-packet CRC must catch corruption"
+
+let test_vmtp_disordered_reassembly () =
+  let whole = Util.deterministic_bytes 512 in
+  let segs =
+    List.init 4 (fun i ->
+        { Vmtp_like.transaction = 1; seg_offset = i * 128;
+          eom = i = 3; payload = Bytes.sub whole (i * 128) 128 })
+  in
+  let rx = Vmtp_like.Rx.create () in
+  let results =
+    List.filter_map (Vmtp_like.Rx.on_segment rx) (Util.shuffle ~seed:5 segs)
+  in
+  match results with
+  | [ out ] -> Alcotest.check Util.bytes_testable "message" whole out
+  | l -> Alcotest.failf "expected 1 completion, got %d" (List.length l)
+
+(* --- Axon --- *)
+
+let test_axon_roundtrip () =
+  let p = { Axon_like.conn = 12; levels = [| (100, false); (3, true); (0, false) |];
+            payload = Util.deterministic_bytes 200 } in
+  match Axon_like.decode (Axon_like.encode p) with
+  | Ok p' ->
+      Alcotest.(check int) "conn" 12 p'.Axon_like.conn;
+      Alcotest.(check int) "levels" 3 (Array.length p'.Axon_like.levels);
+      Alcotest.(check bool) "limit bit" true (snd p'.Axon_like.levels.(1));
+      Alcotest.check Util.bytes_testable "payload" p.Axon_like.payload
+        p'.Axon_like.payload
+  | Error e -> Alcotest.fail e
+
+let test_axon_crc () =
+  let p = { Axon_like.conn = 1; levels = [| (0, false) |]; payload = Bytes.make 40 'a' } in
+  let wire = Axon_like.encode p in
+  Bytes.set wire 25 'b';
+  match Axon_like.decode wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "per-packet CRC must catch corruption"
+
+(* --- Delta-t --- *)
+
+let test_delta_t_frames () =
+  let frames =
+    [ Bytes.of_string "first"; Bytes.of_string "sec\x02ond\x03";
+      Bytes.of_string "third\x10" ]
+  in
+  let marked = Delta_t_like.mark_frames frames in
+  let rx = Delta_t_like.Rx.create () in
+  let out = Delta_t_like.Rx.on_ordered_stream rx marked in
+  Alcotest.(check int) "frames" 3 (List.length out);
+  List.iter2
+    (fun a b -> Alcotest.check Util.bytes_testable "frame" a b)
+    frames out;
+  (* the scan touched every marked byte *)
+  Alcotest.(check int) "scan cost" (Bytes.length marked)
+    (Delta_t_like.Rx.bytes_scanned rx)
+
+let test_delta_t_split_delivery () =
+  (* frames split across packets still parse when fed in order *)
+  let frames = [ Util.deterministic_bytes 100; Util.deterministic_bytes 50 ] in
+  let marked = Delta_t_like.mark_frames frames in
+  let rx = Delta_t_like.Rx.create () in
+  let half = Bytes.length marked / 2 in
+  let out1 = Delta_t_like.Rx.on_ordered_stream rx (Bytes.sub marked 0 half) in
+  let out2 =
+    Delta_t_like.Rx.on_ordered_stream rx
+      (Bytes.sub marked half (Bytes.length marked - half))
+  in
+  Alcotest.(check int) "all frames" 2 (List.length out1 + List.length out2)
+
+let test_delta_t_packet () =
+  let p = { Delta_t_like.conn = 5; c_sn = 999; payload = Bytes.make 30 'd' } in
+  match Delta_t_like.decode (Delta_t_like.encode p) with
+  | Ok p' ->
+      Alcotest.(check int) "conn" 5 p'.Delta_t_like.conn;
+      Alcotest.(check int) "c_sn" 999 p'.Delta_t_like.c_sn
+  | Error e -> Alcotest.fail e
+
+(* --- profiles --- *)
+
+let test_profiles_consistency () =
+  let all =
+    [ Framing_info.chunks_profile; Aal5.profile; Hdlc_like.profile;
+      Ipfrag.profile; Vmtp_like.profile; Axon_like.profile;
+      Delta_t_like.profile; Xtp_like.profile ]
+  in
+  Alcotest.(check int) "eight rows" 8 (List.length all);
+  (* only chunks have independent frames with everything explicit *)
+  let fully_explicit p =
+    let e (l : Framing_info.level_info) =
+      l.Framing_info.id = Framing_info.Explicit
+      && l.Framing_info.sn = Framing_info.Explicit
+      && l.Framing_info.st = Framing_info.Explicit
+    in
+    e p.Framing_info.connection && e p.Framing_info.tpdu
+    && e p.Framing_info.external_
+  in
+  let winners = List.filter (fun p -> fully_explicit p && p.Framing_info.frames_independent) all in
+  Alcotest.(check (list string)) "chunks stand alone" [ "chunks" ]
+    (List.map (fun p -> p.Framing_info.name) winners)
+
+let suite =
+  [
+    Alcotest.test_case "hdlc roundtrip + stuffing" `Quick test_hdlc_roundtrip;
+    Alcotest.test_case "hdlc multi-frame stream" `Quick test_hdlc_stream;
+    Alcotest.test_case "hdlc FCS" `Quick test_hdlc_fcs;
+    Alcotest.test_case "hdlc requires order" `Quick test_hdlc_order_required;
+    Alcotest.test_case "vmtp roundtrip" `Quick test_vmtp_roundtrip;
+    Alcotest.test_case "vmtp per-packet CRC" `Quick test_vmtp_crc;
+    Alcotest.test_case "vmtp disordered reassembly" `Quick
+      test_vmtp_disordered_reassembly;
+    Alcotest.test_case "axon roundtrip" `Quick test_axon_roundtrip;
+    Alcotest.test_case "axon per-packet CRC" `Quick test_axon_crc;
+    Alcotest.test_case "delta-t in-band frames" `Quick test_delta_t_frames;
+    Alcotest.test_case "delta-t split delivery" `Quick
+      test_delta_t_split_delivery;
+    Alcotest.test_case "delta-t packet" `Quick test_delta_t_packet;
+    Alcotest.test_case "profiles: chunks stand alone" `Quick
+      test_profiles_consistency;
+    Util.qtest ~count:50 "hdlc stuffing handles any bytes"
+      QCheck2.Gen.(int_range 0 255)
+      (fun seed ->
+        let payload = Bytes.init 64 (fun i -> Char.chr ((seed + i * 7) land 0xFF)) in
+        let f = { Hdlc_like.address = 1; seq = 0; pf = false; payload } in
+        match Hdlc_like.decode_stream (Hdlc_like.encode f) with
+        | Ok [ g ] -> Bytes.equal g.Hdlc_like.payload payload
+        | _ -> false);
+    Util.qtest ~count:50 "delta-t marks any frame bytes"
+      QCheck2.Gen.(int_range 0 255)
+      (fun seed ->
+        let frame = Bytes.init 80 (fun i -> Char.chr ((seed + i * 11) land 0xFF)) in
+        let rx = Delta_t_like.Rx.create () in
+        match Delta_t_like.Rx.on_ordered_stream rx (Delta_t_like.mark_frames [ frame ]) with
+        | [ out ] -> Bytes.equal out frame
+        | _ -> false);
+  ]

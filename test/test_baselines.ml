@@ -1,0 +1,285 @@
+(* Comparators: IP fragmentation (+ reassembly lockup), checksums,
+   XTP-like small PDUs, AAL5 cells. *)
+
+open Baselines
+
+(* --- Ipfrag --- *)
+
+let test_ip_roundtrip () =
+  let d =
+    { Ipfrag.ident = 42; offset = 0; mf = false;
+      payload = Util.deterministic_bytes 5000 }
+  in
+  let frags = Util.ok_or_fail (Ipfrag.fragment ~mtu:1500 d) in
+  Alcotest.(check bool) "several fragments" true (List.length frags > 1);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "mtu" true (Ipfrag.datagram_size f <= 1500);
+      Alcotest.(check int) "8-aligned offset" 0 (f.Ipfrag.offset mod 8))
+    frags;
+  let r = Ipfrag.Reassembler.create () in
+  let rec feed = function
+    | [] -> Alcotest.fail "never completed"
+    | [ last ] -> (
+        match Ipfrag.Reassembler.insert r last with
+        | Ipfrag.Reassembler.Complete (ident, payload) ->
+            Alcotest.(check int) "ident" 42 ident;
+            Alcotest.check Util.bytes_testable "payload" d.Ipfrag.payload payload
+        | _ -> Alcotest.fail "expected completion")
+    | f :: rest -> (
+        match Ipfrag.Reassembler.insert r f with
+        | Ipfrag.Reassembler.Buffered -> feed rest
+        | _ -> Alcotest.fail "expected Buffered")
+  in
+  feed frags
+
+let test_ip_refragment () =
+  (* fragments of fragments compose *)
+  let d =
+    { Ipfrag.ident = 7; offset = 0; mf = false;
+      payload = Util.deterministic_bytes 4000 }
+  in
+  let once = Util.ok_or_fail (Ipfrag.fragment ~mtu:1500 d) in
+  let twice = List.concat_map (fun f -> Util.ok_or_fail (Ipfrag.fragment ~mtu:576 f)) once in
+  let r = Ipfrag.Reassembler.create () in
+  let complete = ref None in
+  List.iter
+    (fun f ->
+      match Ipfrag.Reassembler.insert r f with
+      | Ipfrag.Reassembler.Complete (_, p) -> complete := Some p
+      | _ -> ())
+    (Util.shuffle ~seed:3 twice);
+  match !complete with
+  | Some p -> Alcotest.check Util.bytes_testable "payload" d.Ipfrag.payload p
+  | None -> Alcotest.fail "never completed"
+
+let test_ip_wire_roundtrip () =
+  let d = { Ipfrag.ident = 9; offset = 16; mf = true; payload = Bytes.create 100 } in
+  match Ipfrag.decode (Ipfrag.encode d) with
+  | Ok d' ->
+      Alcotest.(check int) "ident" 9 d'.Ipfrag.ident;
+      Alcotest.(check int) "offset" 16 d'.Ipfrag.offset;
+      Alcotest.(check bool) "mf" true d'.Ipfrag.mf
+  | Error e -> Alcotest.fail e
+
+let test_ip_dup () =
+  let d = { Ipfrag.ident = 1; offset = 0; mf = true; payload = Bytes.create 64 } in
+  let r = Ipfrag.Reassembler.create () in
+  ignore (Ipfrag.Reassembler.insert r d);
+  match Ipfrag.Reassembler.insert r d with
+  | Ipfrag.Reassembler.Dup -> ()
+  | _ -> Alcotest.fail "expected Dup"
+
+let test_ip_lockup () =
+  (* a tiny buffer and two interleaved incomplete datagrams: the second
+     starves — §3.3's reassembly lock-up *)
+  let r = Ipfrag.Reassembler.create ~capacity_bytes:1024 () in
+  let frag ident offset =
+    { Ipfrag.ident; offset; mf = true; payload = Bytes.create 512 }
+  in
+  (match Ipfrag.Reassembler.insert r (frag 1 0) with
+  | Ipfrag.Reassembler.Buffered -> ()
+  | _ -> Alcotest.fail "expected buffered");
+  (match Ipfrag.Reassembler.insert r (frag 2 0) with
+  | Ipfrag.Reassembler.Buffered -> ()
+  | _ -> Alcotest.fail "expected buffered");
+  Alcotest.(check bool) "buffer exhausted, nothing complete" true
+    (Ipfrag.Reassembler.locked_up r);
+  (match Ipfrag.Reassembler.insert r (frag 3 0) with
+  | Ipfrag.Reassembler.No_buffer_space -> ()
+  | _ -> Alcotest.fail "expected lock-up");
+  Alcotest.(check int) "lockup counted" 1 (Ipfrag.Reassembler.lockups r);
+  Ipfrag.Reassembler.drop r ~ident:1;
+  Alcotest.(check bool) "drop frees space" false (Ipfrag.Reassembler.locked_up r);
+  Ipfrag.Reassembler.drop_all r;
+  Alcotest.(check int) "drained" 0 (Ipfrag.Reassembler.in_progress r)
+
+(* --- Checksums --- *)
+
+let test_crc32_vector () =
+  (* the classic check value *)
+  Alcotest.(check int) "123456789" 0xCBF43926
+    (Checksums.crc32 (Bytes.of_string "123456789"));
+  Alcotest.(check int) "empty" 0 (Checksums.crc32 Bytes.empty)
+
+let test_internet_vector () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 2ddf0, folded ddf2,
+     complement 220d *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc1071 example" 0x220d (Checksums.internet b)
+
+let test_crc_order_sensitive () =
+  let a = Bytes.of_string "abcdefgh" and b = Bytes.of_string "efghabcd" in
+  Alcotest.(check bool) "crc differs under reordering" true
+    (Checksums.crc32 a <> Checksums.crc32 b)
+
+let test_internet_order_insensitive () =
+  (* 16-bit-block reordering leaves the Internet checksum unchanged —
+     and therefore undetected, which is its weakness *)
+  let a = Bytes.of_string "abcdefgh" and b = Bytes.of_string "efghabcd" in
+  Alcotest.(check int) "inet sum blind to block swaps" (Checksums.internet a)
+    (Checksums.internet b)
+
+let test_incremental_crc () =
+  let b = Util.deterministic_bytes 100 in
+  let whole = Checksums.crc32 b in
+  let c = Checksums.crc32_init in
+  let c = Checksums.crc32_update c b 0 40 in
+  let c = Checksums.crc32_update c b 40 60 in
+  Alcotest.(check int) "incremental in order" whole (Checksums.crc32_finish c)
+
+let test_incremental_internet_disordered () =
+  let b = Util.deterministic_bytes 100 in
+  let whole = Checksums.internet b in
+  let s = Checksums.internet_update 0 b 60 40 in
+  let s = Checksums.internet_update s b 0 60 in
+  Alcotest.(check int) "disordered slices ok" whole (Checksums.internet_finish s)
+
+(* --- Xtp_like --- *)
+
+let test_xtp_roundtrip () =
+  let stream = Util.deterministic_bytes 5000 in
+  let tpdus = Xtp_like.make_stream ~conn:3 ~max_tpdu_payload:512 stream in
+  Alcotest.(check int) "count" 10 (List.length tpdus);
+  List.iter
+    (fun t ->
+      match Xtp_like.decode (Xtp_like.encode t) with
+      | Ok t' ->
+          Alcotest.(check int) "seq" t.Xtp_like.seq t'.Xtp_like.seq;
+          Alcotest.check Util.bytes_testable "payload" t.Xtp_like.payload
+            t'.Xtp_like.payload
+      | Error e -> Alcotest.fail e)
+    tpdus;
+  match Xtp_like.reassemble_stream (Util.shuffle ~seed:4 tpdus) with
+  | Ok out -> Alcotest.check Util.bytes_testable "stream" stream out
+  | Error e -> Alcotest.fail e
+
+let test_xtp_super () =
+  let stream = Util.deterministic_bytes 1000 in
+  let tpdus = Xtp_like.make_stream ~conn:3 ~max_tpdu_payload:256 stream in
+  let b = Xtp_like.encode_super tpdus in
+  match Xtp_like.decode_super b with
+  | Ok out ->
+      Alcotest.(check int) "count" (List.length tpdus) (List.length out);
+      (match Xtp_like.reassemble_stream out with
+      | Ok s -> Alcotest.check Util.bytes_testable "stream" stream s
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let test_xtp_resize_cost () =
+  let stream = Util.deterministic_bytes 4096 in
+  let tpdus = Xtp_like.make_stream ~conn:1 ~max_tpdu_payload:1024 stream in
+  let out, ops = Xtp_like.resize ~max_tpdu_payload:256 tpdus in
+  Alcotest.(check int) "recut" 16 (List.length out);
+  (* protocol-aware conversion had to parse and rebuild TPDUs *)
+  Alcotest.(check bool) "ops counted" true (ops >= 16 + 4);
+  match Xtp_like.reassemble_stream out with
+  | Ok s -> Alcotest.check Util.bytes_testable "stream" stream s
+  | Error e -> Alcotest.fail e
+
+let test_xtp_gap_detected () =
+  let tpdus = Xtp_like.make_stream ~conn:1 ~max_tpdu_payload:100 (Bytes.create 500) in
+  let broken = List.filteri (fun i _ -> i <> 2) tpdus in
+  match Xtp_like.reassemble_stream broken with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "gap must be detected"
+
+(* --- AAL5 --- *)
+
+let test_aal5_roundtrip () =
+  let frame = Util.deterministic_bytes 500 in
+  let cells = Aal5.segment frame in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "48-byte payload" 48 (Bytes.length c.Aal5.payload);
+      match Aal5.decode_cell (Aal5.encode_cell c) with
+      | Ok c' -> Alcotest.(check bool) "eof bit" c.Aal5.end_of_frame c'.Aal5.end_of_frame
+      | Error e -> Alcotest.fail e)
+    cells;
+  let rx = Aal5.Rx.create () in
+  let rec feed = function
+    | [] -> Alcotest.fail "no frame"
+    | c :: rest -> (
+        match Aal5.Rx.on_cell rx c with
+        | Some (Aal5.Rx.Frame f) ->
+            Alcotest.check Util.bytes_testable "frame" frame f
+        | Some Aal5.Rx.Crc_error -> Alcotest.fail "crc error"
+        | None -> feed rest)
+  in
+  feed cells
+
+let test_aal5_lost_cell_merges_frames () =
+  (* the single framing bit cannot survive a lost end-of-frame cell: the
+     next frame is concatenated and the CRC rejects the mess — chunks
+     do not have this failure mode *)
+  let f1 = Util.deterministic_bytes 200 in
+  let f2 = Util.deterministic_bytes 300 in
+  let cells1 = Aal5.segment f1 and cells2 = Aal5.segment f2 in
+  let lost_last = List.filteri (fun i _ -> i <> List.length cells1 - 1) cells1 in
+  let rx = Aal5.Rx.create () in
+  let events = ref [] in
+  List.iter
+    (fun c ->
+      match Aal5.Rx.on_cell rx c with
+      | Some e -> events := e :: !events
+      | None -> ())
+    (lost_last @ cells2);
+  match !events with
+  | [ Aal5.Rx.Crc_error ] -> ()
+  | _ -> Alcotest.fail "expected exactly one merged-frame CRC error"
+
+let suite =
+  [
+    Alcotest.test_case "ip fragment/reassemble" `Quick test_ip_roundtrip;
+    Alcotest.test_case "ip refragmentation composes" `Quick test_ip_refragment;
+    Alcotest.test_case "ip wire roundtrip" `Quick test_ip_wire_roundtrip;
+    Alcotest.test_case "ip duplicate" `Quick test_ip_dup;
+    Alcotest.test_case "ip reassembly lock-up" `Quick test_ip_lockup;
+    Alcotest.test_case "crc32 test vector" `Quick test_crc32_vector;
+    Alcotest.test_case "internet checksum vector" `Quick test_internet_vector;
+    Alcotest.test_case "crc is order sensitive" `Quick test_crc_order_sensitive;
+    Alcotest.test_case "internet sum is order insensitive" `Quick
+      test_internet_order_insensitive;
+    Alcotest.test_case "incremental crc" `Quick test_incremental_crc;
+    Alcotest.test_case "incremental internet, disordered" `Quick
+      test_incremental_internet_disordered;
+    Alcotest.test_case "xtp roundtrip" `Quick test_xtp_roundtrip;
+    Alcotest.test_case "xtp SUPER packet" `Quick test_xtp_super;
+    Alcotest.test_case "xtp resize cost" `Quick test_xtp_resize_cost;
+    Alcotest.test_case "xtp gap detected" `Quick test_xtp_gap_detected;
+    Alcotest.test_case "aal5 roundtrip" `Quick test_aal5_roundtrip;
+    Alcotest.test_case "aal5 lost cell merges frames" `Quick
+      test_aal5_lost_cell_merges_frames;
+    Util.qtest ~count:60 "ip fragmentation preserves payload"
+      QCheck2.Gen.(tup2 (int_range 1 5000) (int_range 64 1500))
+      (fun (n, mtu) ->
+        let d = { Ipfrag.ident = 5; offset = 0; mf = false;
+                  payload = Util.deterministic_bytes n } in
+        match Ipfrag.fragment ~mtu d with
+        | Error _ -> mtu - Ipfrag.header_size < 8
+        | Ok frags ->
+            let r = Ipfrag.Reassembler.create ~capacity_bytes:100_000 () in
+            let result = ref None in
+            List.iter
+              (fun f ->
+                match Ipfrag.Reassembler.insert r f with
+                | Ipfrag.Reassembler.Complete (_, p) -> result := Some p
+                | _ -> ())
+              (Util.shuffle ~seed:n frags);
+            (match !result with
+            | Some p -> Bytes.equal p d.Ipfrag.payload
+            | None -> false));
+    Util.qtest ~count:60 "aal5 any frame size"
+      (QCheck2.Gen.int_range 1 2000)
+      (fun n ->
+        let frame = Util.deterministic_bytes n in
+        let rx = Aal5.Rx.create () in
+        let out = ref None in
+        List.iter
+          (fun c ->
+            match Aal5.Rx.on_cell rx c with
+            | Some (Aal5.Rx.Frame f) -> out := Some f
+            | _ -> ())
+          (Aal5.segment frame);
+        match !out with Some f -> Bytes.equal f frame | None -> false);
+  ]

@@ -1,0 +1,131 @@
+(* Encryption on disordered data (§1, [FELD 92]): the position-tweaked
+   mode decrypts chunk-by-chunk in any order; CBC cannot. *)
+
+open Labelling
+
+let key = Cipher.Feistel.key_of_int 0xC0FFEE
+
+let test_feistel_roundtrip () =
+  List.iter
+    (fun b ->
+      Alcotest.(check int64) "block roundtrip" b
+        (Cipher.Feistel.decrypt_block key (Cipher.Feistel.encrypt_block key b)))
+    [ 0L; 1L; -1L; 0xDEADBEEF_CAFEBABEL; Int64.min_int; Int64.max_int ];
+  Alcotest.(check bool) "encryption changes the block" true
+    (Cipher.Feistel.encrypt_block key 42L <> 42L)
+
+let test_cbc_roundtrip () =
+  let pt = Util.deterministic_bytes 64 in
+  let ct = Cipher.Modes.Cbc.encrypt ~key ~iv:99L pt in
+  Alcotest.(check bool) "ciphertext differs" false (Bytes.equal ct pt);
+  Alcotest.check Util.bytes_testable "decrypt" pt
+    (Cipher.Modes.Cbc.decrypt ~key ~iv:99L ct)
+
+let test_cbc_needs_neighbour () =
+  let pt = Util.deterministic_bytes 64 in
+  let ct = Cipher.Modes.Cbc.encrypt ~key ~iv:7L pt in
+  (* the run starting at block 2 decrypts only with ciphertext block 1 *)
+  (match
+     Cipher.Modes.Cbc.decrypt_slice ~key ~iv:7L ~prev:None ct 16 32
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-stream CBC slice without prev must fail");
+  let prev = Bytes.get_int64_be ct 8 in
+  match Cipher.Modes.Cbc.decrypt_slice ~key ~iv:7L ~prev:(Some prev) ct 16 32 with
+  | Ok out ->
+      Alcotest.check Util.bytes_testable "slice decrypts with neighbour"
+        (Bytes.sub pt 16 32) out
+  | Error e -> Alcotest.fail e
+
+let test_xpos_roundtrip_any_order () =
+  let pt = Util.deterministic_bytes 128 in
+  let ct = Cipher.Modes.Xpos.encrypt_at ~key ~pos:0 pt in
+  (* decrypt the four 32-byte quarters in reverse order, independently *)
+  let out = Bytes.create 128 in
+  List.iter
+    (fun q ->
+      let piece =
+        Cipher.Modes.Xpos.decrypt_at ~key ~pos:(q * 4)
+          (Bytes.sub ct (q * 32) 32)
+      in
+      Bytes.blit piece 0 out (q * 32) 32)
+    [ 3; 1; 0; 2 ];
+  Alcotest.check Util.bytes_testable "disordered decryption" pt out
+
+let test_xpos_position_bound () =
+  (* the same plaintext at different positions encrypts differently, and
+     decrypting at the wrong position yields garbage — headers supply
+     the true position *)
+  let pt = Util.deterministic_bytes 32 in
+  let c0 = Cipher.Modes.Xpos.encrypt_at ~key ~pos:0 pt in
+  let c4 = Cipher.Modes.Xpos.encrypt_at ~key ~pos:4 pt in
+  Alcotest.(check bool) "position-dependent ciphertext" false
+    (Bytes.equal c0 c4);
+  Alcotest.(check bool) "wrong position garbles" false
+    (Bytes.equal pt (Cipher.Modes.Xpos.decrypt_at ~key ~pos:4 c0))
+
+let encrypted_stream () =
+  let f = Framer.create ~elem_size:8 ~tpdu_elems:32 ~conn_id:5 () in
+  let stream = Util.deterministic_bytes 512 in
+  let chunks =
+    Util.ok_or_fail (Framer.frames_of_stream f ~frame_bytes:128 stream)
+  in
+  let encrypted =
+    List.map (fun c -> Util.ok_or_fail (Cipher.Secure.encrypt_chunk key c)) chunks
+  in
+  (stream, chunks, encrypted)
+
+let test_secure_chunks_disorder () =
+  let stream, _, encrypted = encrypted_stream () in
+  (* fragment in the network, shuffle, decrypt each piece on arrival *)
+  let arrived = Util.shuffle ~seed:4 (Util.fragment_randomly ~seed:9 encrypted) in
+  let decrypted =
+    List.map (fun c -> Util.ok_or_fail (Cipher.Secure.decrypt_chunk key c)) arrived
+  in
+  Alcotest.check Util.bytes_testable "stream recovered under disorder" stream
+    (Util.stream_of_chunks decrypted)
+
+let test_secure_fragmentation_invariance () =
+  (* encrypt-then-fragment = fragment-then-encrypt: the tweak depends
+     only on the absolute position the labels carry *)
+  let _, chunks, encrypted = encrypted_stream () in
+  let frag_then_encrypt =
+    Util.fragment_randomly ~seed:33 chunks
+    |> List.map (fun c -> Util.ok_or_fail (Cipher.Secure.encrypt_chunk key c))
+  in
+  let encrypt_then_frag = Util.fragment_randomly ~seed:33 encrypted in
+  List.iter2
+    (fun a b -> Alcotest.check Util.chunk_testable "commutes" a b)
+    encrypt_then_frag frag_then_encrypt
+
+let test_secure_size_guard () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let four_byte =
+    Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 16))
+  in
+  match Cipher.Secure.encrypt_chunk key four_byte with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "SIZE < cipher block must be rejected (paper §2)"
+
+let suite =
+  [
+    Alcotest.test_case "feistel block roundtrip" `Quick test_feistel_roundtrip;
+    Alcotest.test_case "cbc roundtrip" `Quick test_cbc_roundtrip;
+    Alcotest.test_case "cbc slice needs its neighbour" `Quick
+      test_cbc_needs_neighbour;
+    Alcotest.test_case "xpos decrypts in any order" `Quick
+      test_xpos_roundtrip_any_order;
+    Alcotest.test_case "xpos is position-bound" `Quick test_xpos_position_bound;
+    Alcotest.test_case "secure chunks under disorder" `Quick
+      test_secure_chunks_disorder;
+    Alcotest.test_case "encrypt/fragment commute" `Quick
+      test_secure_fragmentation_invariance;
+    Alcotest.test_case "SIZE guards cipher blocks" `Quick
+      test_secure_size_guard;
+    Util.qtest ~count:60 "xpos roundtrip at any position"
+      QCheck2.Gen.(tup2 (int_range 0 100000) (int_range 1 20))
+      (fun (pos, nblocks) ->
+        let pt = Util.deterministic_bytes (8 * nblocks) in
+        let ct = Cipher.Modes.Xpos.encrypt_at ~key ~pos pt in
+        Bytes.equal pt (Cipher.Modes.Xpos.decrypt_at ~key ~pos ct));
+  ]

@@ -1,0 +1,237 @@
+(* Appendix A: invertible header-compression transformations. *)
+
+open Labelling
+
+let size_table ct = if Ctype.is_data ct then Some 4 else None
+
+let roundtrip ~options chunks =
+  let tx = Compress.Tx.create ~options ~size_table () in
+  let rx = Compress.Rx.create ~options ~size_table () in
+  let b = Compress.Tx.encode_all tx chunks in
+  match Compress.Rx.decode_all rx b with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok out ->
+      Alcotest.(check int) "count" (List.length chunks) (List.length out);
+      List.iter2
+        (fun a b -> Alcotest.check Util.chunk_testable "chunk" a b)
+        chunks out;
+      Bytes.length b
+
+(* A framer stream with T.IDs allocated as the C.SN of the TPDU start,
+   which is the precondition for the Fig 7 implicit-T.ID derivation. *)
+let fig7_stream () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:6 ~conn_id:9 () in
+  let cs1 = Util.ok_or_fail (Framer.push_frame f (Util.deterministic_bytes 32)) in
+  let cs2 =
+    Util.ok_or_fail (Framer.push_frame ~last:true f (Util.deterministic_bytes 28))
+  in
+  (* rewrite T.IDs to C.SN - T.SN, the paper's implicit-ID convention *)
+  List.map
+    (fun ch ->
+      let h = ch.Chunk.header in
+      let tid = h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn in
+      let t = { h.Header.t with Ftuple.id = tid } in
+      Chunk.make_exn { h with Header.t } ch.Chunk.payload)
+    (cs1 @ cs2)
+
+let test_all_off_equals_wire_size () =
+  let chunks = fig7_stream () in
+  let n = roundtrip ~options:Compress.all_off chunks in
+  (* all-off compact format stays close to the canonical one: it saves
+     nothing it shouldn't *)
+  Alcotest.(check bool) "not larger than canonical" true
+    (n <= Wire.chunks_size chunks)
+
+let test_fig7_implicit_tid () =
+  let chunks = fig7_stream () in
+  (* check the derivation on each chunk: T.ID = C.SN - T.SN *)
+  List.iter
+    (fun ch ->
+      let h = ch.Chunk.header in
+      Alcotest.(check int) "implicit T.ID invariant"
+        h.Header.t.Ftuple.id
+        (h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn))
+    chunks;
+  let options = { Compress.all_off with Compress.implicit_tid = true } in
+  let full = roundtrip ~options:Compress.all_off chunks in
+  let with_tid = roundtrip ~options chunks in
+  Alcotest.(check bool) "implicit T.ID saves bytes" true (with_tid < full)
+
+let test_each_option_saves () =
+  let chunks = fig7_stream () in
+  let base = roundtrip ~options:Compress.all_off chunks in
+  let opt o = roundtrip ~options:o chunks in
+  Alcotest.(check bool) "elide_size saves" true
+    (opt { Compress.all_off with Compress.elide_size = true } < base);
+  Alcotest.(check bool) "implicit_sn saves" true
+    (opt { Compress.all_off with Compress.implicit_sn = true } < base);
+  Alcotest.(check bool) "implicit_x saves" true
+    (opt { Compress.all_off with Compress.implicit_x = true } < base);
+  let all = opt Compress.all_on in
+  Alcotest.(check bool) "all-on smallest" true
+    (all < opt { Compress.all_off with Compress.implicit_sn = true });
+  (* headline: all-on should cut header overhead by more than half on
+     this stream *)
+  let payload = List.fold_left (fun a c -> a + Chunk.payload_bytes c) 0 chunks in
+  let full_hdr = base - payload and comp_hdr = all - payload in
+  Alcotest.(check bool) "headers halved" true (2 * comp_hdr < full_hdr)
+
+let test_control_stays_explicit () =
+  let chunks = fig7_stream () in
+  let with_ed = Util.ok_or_fail (Edc.Encoder.seal_tpdus chunks) in
+  ignore (roundtrip ~options:Compress.all_on with_ed)
+
+let test_header_overhead_helper () =
+  let chunks = fig7_stream () in
+  let off = Compress.header_overhead Compress.all_off ~data_chunks:chunks in
+  let on =
+    Compress.header_overhead ~size_table Compress.all_on ~data_chunks:chunks
+  in
+  Alcotest.(check bool) "overhead helper agrees" true (on < off);
+  Alcotest.(check int) "all-off per-chunk size"
+    (List.length chunks * 44)
+    off
+
+let test_desync_is_detected () =
+  (* drop a chunk from the compressed stream: the receiver's counters
+     regenerate wrong SNs, which is exactly what the EDC is for; here we
+     just check decode doesn't mis-frame (it fails or mislabels, never
+     crashes) *)
+  let chunks = fig7_stream () in
+  let tx = Compress.Tx.create ~options:Compress.all_on ~size_table () in
+  let images =
+    List.map
+      (fun c ->
+        let buf = Buffer.create 64 in
+        Compress.Tx.encode_chunk tx buf c;
+        Buffer.to_bytes buf)
+      chunks
+  in
+  match images with
+  | first :: _ :: rest ->
+      let stream = Bytes.concat Bytes.empty (first :: rest) in
+      let rx = Compress.Rx.create ~options:Compress.all_on ~size_table () in
+      (match Compress.Rx.decode_all rx stream with
+      | Ok decoded ->
+          (* mislabelled, but never equal to the original labels *)
+          Alcotest.(check bool) "labels shifted" false
+            (List.length decoded = List.length chunks)
+      | Error _ -> ())
+  | _ -> Alcotest.fail "fixture too small"
+
+let suite =
+  [
+    Alcotest.test_case "all-off roundtrip, no inflation" `Quick
+      test_all_off_equals_wire_size;
+    Alcotest.test_case "Fig 7 implicit T.ID" `Quick test_fig7_implicit_tid;
+    Alcotest.test_case "every option saves bytes" `Quick test_each_option_saves;
+    Alcotest.test_case "control chunks stay explicit" `Quick
+      test_control_stays_explicit;
+    Alcotest.test_case "header_overhead helper" `Quick
+      test_header_overhead_helper;
+    Alcotest.test_case "desynchronisation is contained" `Quick
+      test_desync_is_detected;
+    Util.qtest ~count:60 "roundtrip under every option set"
+      QCheck2.Gen.(tup2 Util.gen_framed_stream (int_range 0 15))
+      (fun ((_, chunks), bits) ->
+        let options =
+          {
+            Compress.implicit_tid = bits land 1 <> 0;
+            elide_size = bits land 2 <> 0;
+            implicit_sn = bits land 4 <> 0;
+            implicit_x = bits land 8 <> 0;
+          }
+        in
+        let tx = Compress.Tx.create ~options ~size_table () in
+        let rx = Compress.Rx.create ~options ~size_table () in
+        let b = Compress.Tx.encode_all tx chunks in
+        match Compress.Rx.decode_all rx b with
+        | Ok out ->
+            List.length out = List.length chunks
+            && List.for_all2 Chunk.equal chunks out
+        | Error _ -> false);
+  ]
+
+let test_explicit_x_with_implicit_sn () =
+  (* regression: a chunk whose C.SN/T.SN match the receiver's prediction
+     but whose X tuple does not (e.g. an out-of-band external PDU) must
+     carry its own X.SN even under implicit_sn *)
+  let c1 =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~id:0 ~sn:0 ())
+         ~x:(Ftuple.v ~id:0 ~sn:0 ())
+         (Bytes.create 16))
+  in
+  (* continues C/T in lockstep, but jumps to X.ID 7 mid-sequence with a
+     non-zero X.SN *)
+  let c2 =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:4 ())
+         ~t:(Ftuple.v ~id:0 ~sn:4 ())
+         ~x:(Ftuple.v ~id:7 ~sn:99 ())
+         (Bytes.create 16))
+  in
+  let options = Compress.all_on in
+  let tx = Compress.Tx.create ~options ~size_table () in
+  let rx = Compress.Rx.create ~options ~size_table () in
+  let b = Compress.Tx.encode_all tx [ c1; c2 ] in
+  match Compress.Rx.decode_all rx b with
+  | Ok [ d1; d2 ] ->
+      Alcotest.check Util.chunk_testable "first" c1 d1;
+      Alcotest.check Util.chunk_testable "second (X.SN preserved)" c2 d2
+  | Ok _ -> Alcotest.fail "wrong count"
+  | Error e -> Alcotest.fail e
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "explicit X under implicit SN" `Quick
+        test_explicit_x_with_implicit_sn ]
+
+let test_resync_recovers () =
+  (* lose the first (explicit) chunk of a compressed stream: the
+     receiver cannot decode the implicit remainder until a resync
+     re-seats its counters (Appendix A's recovery story) *)
+  let chunks = fig7_stream () in
+  let tx = Compress.Tx.create ~options:Compress.all_on ~size_table () in
+  let images =
+    List.map
+      (fun c ->
+        let buf = Buffer.create 64 in
+        Compress.Tx.encode_chunk tx buf c;
+        (c, Buffer.to_bytes buf))
+      chunks
+  in
+  match images with
+  | (_, _) :: ((second, img2) :: _ as rest) ->
+      let rx = Compress.Rx.create ~options:Compress.all_on ~size_table () in
+      (* without resync: the second chunk cannot decode (no sync yet) *)
+      (match Compress.Rx.decode_chunk rx img2 0 with
+      | Error _ -> ()
+      | Ok (c, _) ->
+          (* it may decode only if its fields were all explicit *)
+          if Chunk.equal c second then ()
+          else Alcotest.fail "decoded wrong chunk without sync");
+      (* with resync to the second chunk's actual counters: decodes *)
+      let h = second.Chunk.header in
+      Compress.Rx.resync rx ~c_sn:h.Header.c.Ftuple.sn
+        ~t_sn:h.Header.t.Ftuple.sn ~x_sn:h.Header.x.Ftuple.sn
+        ~x_id:h.Header.x.Ftuple.id;
+      let rec decode_rest = function
+        | [] -> ()
+        | (orig, img) :: tl -> (
+            match Compress.Rx.decode_chunk rx img 0 with
+            | Ok (c, _) ->
+                Alcotest.check Util.chunk_testable "after resync" orig c;
+                decode_rest tl
+            | Error e -> Alcotest.fail e)
+      in
+      decode_rest rest
+  | _ -> Alcotest.fail "fixture too small"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "resync recovers lost synchronisation" `Quick
+        test_resync_recovers ]

@@ -1,0 +1,94 @@
+(* Table 1 as a test: every corrupted field must be detected (or proven
+   byte-identical harmless); and the detecting mechanism must be one the
+   paper's table allows for that field. *)
+
+let mechanisms_allowed field =
+  (* Our mechanism can differ from the paper's column because the checks
+     overlap (documented in EXPERIMENTS.md); this encodes which
+     detections are acceptable per field. *)
+  match field with
+  | Edc.Detect.F_type -> [ Edc.Detect.By_reassembly; Edc.Detect.Discarded ]
+  | Edc.Detect.F_size ->
+      [ Edc.Detect.By_reassembly; Edc.Detect.Discarded; Edc.Detect.By_parity ]
+  | Edc.Detect.F_len ->
+      [ Edc.Detect.By_reassembly; Edc.Detect.Discarded; Edc.Detect.By_parity;
+        Edc.Detect.Harmless ]
+  | Edc.Detect.F_c_id -> [ Edc.Detect.By_consistency; Edc.Detect.By_parity ]
+  | Edc.Detect.F_c_sn ->
+      (* a sign-bit flip in the 8-byte SN makes the packet unparseable:
+         the chunk vanishes and virtual reassembly times out *)
+      [ Edc.Detect.By_consistency; Edc.Detect.Discarded;
+        Edc.Detect.By_reassembly ]
+  | Edc.Detect.F_c_st -> [ Edc.Detect.By_parity; Edc.Detect.By_consistency ]
+  | Edc.Detect.F_t_id ->
+      [ Edc.Detect.By_parity; Edc.Detect.By_reassembly;
+        Edc.Detect.By_consistency ]
+  | Edc.Detect.F_t_sn ->
+      [ Edc.Detect.By_consistency; Edc.Detect.By_reassembly;
+        Edc.Detect.Discarded ]
+  | Edc.Detect.F_t_st -> [ Edc.Detect.By_reassembly; Edc.Detect.By_parity ]
+  | Edc.Detect.F_x_id -> [ Edc.Detect.By_parity; Edc.Detect.By_consistency ]
+  | Edc.Detect.F_x_sn ->
+      [ Edc.Detect.By_consistency; Edc.Detect.Discarded;
+        Edc.Detect.By_reassembly; Edc.Detect.Harmless ]
+  | Edc.Detect.F_x_st -> [ Edc.Detect.By_parity; Edc.Detect.By_consistency ]
+  | Edc.Detect.F_data -> [ Edc.Detect.By_parity ]
+  | Edc.Detect.F_ed_code ->
+      (* parity bytes -> parity mismatch; extent bytes -> the announced
+         total contradicts the received data (reassembly machinery) *)
+      [ Edc.Detect.By_parity; Edc.Detect.By_reassembly ]
+
+let test_campaign_no_undetected () =
+  let rows = Edc.Detect.run_campaign ~trials_per_field:24 () in
+  Alcotest.(check int) "all fields covered" 14 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: nothing undetected"
+           (Edc.Detect.field_name r.Edc.Detect.row_field))
+        0 r.Edc.Detect.undetected)
+    rows
+
+let test_per_field_mechanisms () =
+  List.iter
+    (fun field ->
+      let allowed = mechanisms_allowed field in
+      for k = 0 to 11 do
+        let t = Edc.Detect.run_trial ~seed:(1000 + (k * 7919)) ~victim:k field in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s victim %d detected by %s"
+             (Edc.Detect.field_name field)
+             t.Edc.Detect.victim
+             (Edc.Detect.detection_name t.Edc.Detect.detection))
+          true
+          (List.mem t.Edc.Detect.detection allowed)
+      done)
+    Edc.Detect.all_fields
+
+let test_data_always_parity () =
+  (* the strongest row: payload corruption is always a parity mismatch *)
+  for k = 0 to 19 do
+    let t = Edc.Detect.run_trial ~seed:(7 + (k * 31)) ~victim:k Edc.Detect.F_data in
+    Alcotest.(check bool) "parity" true
+      (t.Edc.Detect.detection = Edc.Detect.By_parity)
+  done
+
+let test_predictions_present () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Edc.Detect.field_name f)
+        true
+        (String.length (Edc.Detect.paper_prediction f) > 0))
+    Edc.Detect.all_fields
+
+let suite =
+  [
+    Alcotest.test_case "campaign: zero undetected" `Slow
+      test_campaign_no_undetected;
+    Alcotest.test_case "per-field mechanisms" `Slow test_per_field_mechanisms;
+    Alcotest.test_case "data corruption always parity" `Quick
+      test_data_always_parity;
+    Alcotest.test_case "paper predictions table" `Quick
+      test_predictions_present;
+  ]

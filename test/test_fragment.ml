@@ -1,0 +1,146 @@
+(* Appendix C: chunk fragmentation.  Includes the paper's Figure 3 worked
+   example verbatim. *)
+
+open Labelling
+
+let mk_chunk ~size ~len ~c_sn ~t_sn ~x_sn ?(c_st = false) ?(t_st = false)
+    ?(x_st = false) () =
+  let payload = Util.deterministic_bytes (size * len) in
+  Util.ok_or_fail
+    (Chunk.data ~size
+       ~c:(Ftuple.v ~st:c_st ~id:0xA ~sn:c_sn ())
+       ~t:(Ftuple.v ~st:t_st ~id:0x50 ~sn:t_sn ())
+       ~x:(Ftuple.v ~st:x_st ~id:0xC ~sn:x_sn ())
+       payload)
+
+(* Figure 3: the TPDU data chunk with C.SN 36, T.SN 0, X.SN 24, LEN 7,
+   T.ST 1 is split into a LEN-4 chunk and a LEN-3 chunk; the second
+   carries the original ST bits and advanced SNs. *)
+let test_figure3 () =
+  let chunk =
+    let payload = Util.deterministic_bytes 7 in
+    Util.ok_or_fail
+      (Chunk.data ~size:1
+         ~c:(Ftuple.v ~id:0xA ~sn:36 ())
+         ~t:(Ftuple.v ~st:true ~id:0x51 ~sn:0 ())
+         ~x:(Ftuple.v ~id:0xC ~sn:24 ())
+         payload)
+  in
+  let a, b = Util.ok_or_fail (Fragment.split chunk ~elems:4) in
+  let ha = a.Chunk.header and hb = b.Chunk.header in
+  Alcotest.(check int) "A len" 4 ha.Header.len;
+  Alcotest.(check int) "A C.SN" 36 ha.Header.c.Ftuple.sn;
+  Alcotest.(check int) "A T.SN" 0 ha.Header.t.Ftuple.sn;
+  Alcotest.(check int) "A X.SN" 24 ha.Header.x.Ftuple.sn;
+  Alcotest.(check bool) "A T.ST cleared" false ha.Header.t.Ftuple.st;
+  Alcotest.(check int) "B len" 3 hb.Header.len;
+  Alcotest.(check int) "B C.SN" 40 hb.Header.c.Ftuple.sn;
+  Alcotest.(check int) "B T.SN" 4 hb.Header.t.Ftuple.sn;
+  Alcotest.(check int) "B X.SN" 28 hb.Header.x.Ftuple.sn;
+  Alcotest.(check bool) "B keeps T.ST" true hb.Header.t.Ftuple.st;
+  Alcotest.(check int) "IDs unchanged" 0x51 hb.Header.t.Ftuple.id;
+  Alcotest.check Util.bytes_testable "payload partition"
+    chunk.Chunk.payload
+    (Bytes.cat a.Chunk.payload b.Chunk.payload)
+
+let test_split_bounds () =
+  let chunk = mk_chunk ~size:4 ~len:5 ~c_sn:0 ~t_sn:0 ~x_sn:0 () in
+  (match Fragment.split chunk ~elems:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "split at 0 must fail");
+  (match Fragment.split chunk ~elems:5 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "split at len must fail");
+  match Fragment.split chunk ~elems:(-3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative split must fail"
+
+let test_control_indivisible () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let ctl =
+    Util.ok_or_fail (Chunk.control ~kind:Ctype.ed ~c ~t:c ~x:c (Bytes.create 8))
+  in
+  (match Fragment.split ctl ~elems:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "control chunks are indivisible");
+  match Fragment.split_to_payload ctl ~max_payload:4 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized control cannot be split to fit"
+
+let test_split_to_payload () =
+  let chunk = mk_chunk ~size:4 ~len:10 ~c_sn:100 ~t_sn:2 ~x_sn:50 ~t_st:true () in
+  let pieces = Util.ok_or_fail (Fragment.split_to_payload chunk ~max_payload:12) in
+  Alcotest.(check int) "piece count" 4 (List.length pieces);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "within bound" true
+        (Chunk.payload_bytes p <= 12))
+    pieces;
+  (* exactly the last piece carries the ST bit *)
+  let sts = List.map (fun p -> p.Chunk.header.Header.t.Ftuple.st) pieces in
+  Alcotest.(check (list bool)) "ST only on last" [ false; false; false; true ] sts;
+  (* element too big *)
+  match Fragment.split_to_payload chunk ~max_payload:3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "element bigger than bound must fail"
+
+let test_shatter () =
+  let chunk = mk_chunk ~size:4 ~len:6 ~c_sn:10 ~t_sn:0 ~x_sn:0 ~x_st:true () in
+  let pieces = Util.ok_or_fail (Fragment.shatter chunk) in
+  Alcotest.(check int) "one chunk per element" 6 (List.length pieces);
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "len 1" 1 p.Chunk.header.Header.len;
+      Alcotest.(check int) "c.sn" (10 + i) p.Chunk.header.Header.c.Ftuple.sn;
+      Alcotest.(check bool) "x.st placement" (i = 5)
+        p.Chunk.header.Header.x.Ftuple.st)
+    pieces
+
+let prop_split_preserves gen =
+  Util.qtest "split preserves everything" gen (fun (chunk, at) ->
+      let len = chunk.Chunk.header.Header.len in
+      let at = 1 + (at mod max 1 (len - 1)) in
+      if len < 2 then true
+      else begin
+        let a, b = Util.ok_or_fail (Fragment.split chunk ~elems:at) in
+        let ha = a.Chunk.header and hb = b.Chunk.header and h = chunk.Chunk.header in
+        ha.Header.len + hb.Header.len = h.Header.len
+        && Header.same_labels ha hb
+        && Header.same_labels ha h
+        && Ftuple.follows ha.Header.c ~len:ha.Header.len hb.Header.c
+        && Ftuple.follows ha.Header.t ~len:ha.Header.len hb.Header.t
+        && Ftuple.follows ha.Header.x ~len:ha.Header.len hb.Header.x
+        && hb.Header.c.Ftuple.st = h.Header.c.Ftuple.st
+        && hb.Header.t.Ftuple.st = h.Header.t.Ftuple.st
+        && hb.Header.x.Ftuple.st = h.Header.x.Ftuple.st
+        && (not ha.Header.c.Ftuple.st)
+        && (not ha.Header.t.Ftuple.st)
+        && (not ha.Header.x.Ftuple.st)
+        && Bytes.equal (Bytes.cat a.Chunk.payload b.Chunk.payload)
+             chunk.Chunk.payload
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 3 worked example" `Quick test_figure3;
+    Alcotest.test_case "split bounds" `Quick test_split_bounds;
+    Alcotest.test_case "control chunks indivisible" `Quick
+      test_control_indivisible;
+    Alcotest.test_case "split_to_payload" `Quick test_split_to_payload;
+    Alcotest.test_case "shatter" `Quick test_shatter;
+    prop_split_preserves
+      QCheck2.Gen.(tup2 Util.gen_data_chunk (int_range 0 1000));
+    Util.qtest "split_to_payload covers payload exactly"
+      QCheck2.Gen.(tup2 Util.gen_data_chunk (int_range 1 10))
+      (fun (chunk, k) ->
+        let bound = k * chunk.Chunk.header.Header.size in
+        match Fragment.split_to_payload chunk ~max_payload:bound with
+        | Error _ -> false
+        | Ok pieces ->
+            Bytes.equal
+              (Bytes.concat Bytes.empty
+                 (List.map (fun p -> p.Chunk.payload) pieces))
+              chunk.Chunk.payload
+            && List.for_all (fun p -> Chunk.payload_bytes p <= bound) pieces);
+  ]

@@ -1,0 +1,163 @@
+(* The framer: Figures 1 and 2 — one stream framed three ways at once. *)
+
+open Labelling
+
+let frame n = Util.deterministic_bytes n
+
+let test_figure2_shape () =
+  (* Fig 2's situation: the connection SN is mid-stream (36 after one
+     TPDU of 36 elements), a fresh TPDU starts (T.SN 0), and a chunk of
+     7 elements is cut because the previous TPDU ended.  We reproduce it
+     with elem_size 4, tpdu_elems 36. *)
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:36 ~conn_id:0xA ~first_xid:0xC () in
+  (* first frame: exactly one TPDU (36 elements) *)
+  let cs1 = Util.ok_or_fail (Framer.push_frame f (frame (36 * 4))) in
+  Alcotest.(check int) "frame 1 is one chunk" 1 (List.length cs1);
+  let h1 = (List.hd cs1).Chunk.header in
+  Alcotest.(check bool) "tpdu 0 closed" true h1.Header.t.Ftuple.st;
+  Alcotest.(check bool) "frame 0 closed" true h1.Header.x.Ftuple.st;
+  (* second frame: 7 elements — the Fig 2 chunk *)
+  let cs2 = Util.ok_or_fail (Framer.push_frame f (frame (7 * 4))) in
+  let h2 = (List.hd cs2).Chunk.header in
+  Alcotest.(check int) "C.SN 36" 36 h2.Header.c.Ftuple.sn;
+  Alcotest.(check int) "T.SN 0" 0 h2.Header.t.Ftuple.sn;
+  Alcotest.(check int) "LEN 7" 7 h2.Header.len;
+  Alcotest.(check int) "X.SN restarts" 0 h2.Header.x.Ftuple.sn;
+  Alcotest.(check bool) "T.ST 0 (TPDU continues)" false h2.Header.t.Ftuple.st;
+  Alcotest.(check bool) "X.ST 1 (frame ends)" true h2.Header.x.Ftuple.st;
+  Alcotest.(check int) "next TPDU id" 1 h2.Header.t.Ftuple.id
+
+let test_frame_spanning_tpdus () =
+  (* Fig 1: an external PDU overlapping two TPDUs *)
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:10 ~conn_id:1 () in
+  let cs = Util.ok_or_fail (Framer.push_frame f (frame (16 * 4))) in
+  Alcotest.(check int) "cut at the TPDU boundary" 2 (List.length cs);
+  match cs with
+  | [ a; b ] ->
+      Alcotest.(check bool) "piece 1 ends TPDU 0" true
+        a.Chunk.header.Header.t.Ftuple.st;
+      Alcotest.(check bool) "piece 1 does not end the frame" false
+        a.Chunk.header.Header.x.Ftuple.st;
+      Alcotest.(check int) "piece 2 in TPDU 1" 1
+        b.Chunk.header.Header.t.Ftuple.id;
+      Alcotest.(check int) "piece 2 T.SN restarts" 0
+        b.Chunk.header.Header.t.Ftuple.sn;
+      Alcotest.(check int) "piece 2 continues the frame" 10
+        b.Chunk.header.Header.x.Ftuple.sn;
+      Alcotest.(check bool) "piece 2 ends the frame" true
+        b.Chunk.header.Header.x.Ftuple.st;
+      Alcotest.(check int) "same X id" a.Chunk.header.Header.x.Ftuple.id
+        b.Chunk.header.Header.x.Ftuple.id
+  | _ -> Alcotest.fail "expected exactly two chunks"
+
+let test_last_frame () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:100 ~conn_id:1 () in
+  let cs = Util.ok_or_fail (Framer.push_frame ~last:true f (frame 40)) in
+  let h = (List.hd (List.rev cs)).Chunk.header in
+  Alcotest.(check bool) "C.ST set" true h.Header.c.Ftuple.st;
+  Alcotest.(check bool) "short TPDU closed" true h.Header.t.Ftuple.st;
+  Alcotest.(check bool) "closed" true (Framer.closed f);
+  match Framer.push_frame f (frame 4) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "push after close must fail"
+
+let test_rejects () =
+  let f = Framer.create ~elem_size:4 ~conn_id:1 () in
+  (match Framer.push_frame f Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty frame must fail");
+  match Framer.push_frame f (Bytes.create 5) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-multiple frame must fail"
+
+let test_pad_frame () =
+  let b = Framer.pad_frame ~elem_size:4 (Bytes.create 5) in
+  Alcotest.(check int) "padded to 8" 8 (Bytes.length b);
+  let c = Framer.pad_frame ~elem_size:4 (Bytes.create 8) in
+  Alcotest.(check int) "already aligned" 8 (Bytes.length c)
+
+let test_frames_of_stream () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:8 ~conn_id:2 () in
+  let stream = frame 100 in
+  let cs = Util.ok_or_fail (Framer.frames_of_stream f ~frame_bytes:24 stream) in
+  (* stream padded to 104 bytes = 26 elements *)
+  let total = List.fold_left (fun acc c -> acc + Chunk.elements c) 0 cs in
+  Alcotest.(check int) "25 elements" 25 total;
+  let final = List.hd (List.rev cs) in
+  Alcotest.(check bool) "final C.ST" true final.Chunk.header.Header.c.Ftuple.st;
+  (* recovered stream prefix matches *)
+  let out = Util.stream_of_chunks cs in
+  Alcotest.check Util.bytes_testable "prefix preserved" stream
+    (Bytes.sub out 0 100)
+
+let test_set_tpdu_elems () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:10 ~conn_id:1 () in
+  (match Framer.set_tpdu_elems f 5 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let cs = Util.ok_or_fail (Framer.push_frame f (frame (4 * 4))) in
+  ignore cs;
+  (* mid-TPDU resize rejected *)
+  (match Framer.set_tpdu_elems f 7 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mid-TPDU resize must fail");
+  (* finish the TPDU (5 elems per tpdu now; 4 used, 1 more) *)
+  let cs2 = Util.ok_or_fail (Framer.push_frame f (frame 4)) in
+  let h = (List.hd cs2).Chunk.header in
+  Alcotest.(check bool) "tpdu of 5 closed" true h.Header.t.Ftuple.st;
+  match Framer.set_tpdu_elems f 20 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let sts_well_formed chunks =
+  (* every chunk: X.SN/T.SN/C.SN advance in lock-step; ST bits only on
+     boundary chunks; T.SN never exceeds the TPDU size *)
+  let ok = ref true in
+  List.iter
+    (fun ch ->
+      let h = ch.Chunk.header in
+      let delta = h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn in
+      if delta < 0 then ok := false)
+    chunks;
+  !ok
+
+let suite =
+  [
+    Alcotest.test_case "Figure 2 construction" `Quick test_figure2_shape;
+    Alcotest.test_case "frame spans TPDUs (Fig 1)" `Quick
+      test_frame_spanning_tpdus;
+    Alcotest.test_case "last frame closes connection" `Quick test_last_frame;
+    Alcotest.test_case "bad frames rejected" `Quick test_rejects;
+    Alcotest.test_case "pad_frame" `Quick test_pad_frame;
+    Alcotest.test_case "frames_of_stream" `Quick test_frames_of_stream;
+    Alcotest.test_case "adaptive TPDU resizing" `Quick test_set_tpdu_elems;
+    Util.qtest ~count:80 "framed stream invariants" Util.gen_framed_stream
+      (fun (stream, chunks) ->
+        (* payload concatenation recovers the stream *)
+        Bytes.equal (Util.stream_of_chunks chunks) stream
+        && sts_well_formed chunks
+        (* exactly one chunk carries C.ST and it is the last *)
+        && (match List.rev chunks with
+           | last :: earlier ->
+               last.Chunk.header.Header.c.Ftuple.st
+               && last.Chunk.header.Header.t.Ftuple.st
+               && List.for_all
+                    (fun c -> not c.Chunk.header.Header.c.Ftuple.st)
+                    earlier
+           | [] -> false)
+        (* C.SN is contiguous across chunks *)
+        && (let sorted =
+              List.sort
+                (fun a b ->
+                  Int.compare a.Chunk.header.Header.c.Ftuple.sn
+                    b.Chunk.header.Header.c.Ftuple.sn)
+                chunks
+            in
+            let rec contiguous expect = function
+              | [] -> true
+              | c :: rest ->
+                  c.Chunk.header.Header.c.Ftuple.sn = expect
+                  && contiguous (expect + c.Chunk.header.Header.len) rest
+            in
+            contiguous 0 sorted));
+  ]

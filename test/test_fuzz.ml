@@ -1,0 +1,86 @@
+(* Decoder robustness: random and mutated bytes must produce Error (or a
+   valid value), never an exception — malformed packets are dropped by
+   real receivers, not crashed on. *)
+
+open Labelling
+
+let gen_garbage =
+  QCheck2.Gen.(
+    let* n = int_range 0 300 in
+    let* seed = int_range 0 0xFFFFF in
+    return
+      (Bytes.init n (fun i ->
+           Char.chr ((seed + (i * 2654435761)) land 0xFF))))
+
+(* A valid packet image with a burst of random damage. *)
+let gen_mutated =
+  QCheck2.Gen.(
+    let* (_, chunks) = Util.gen_framed_stream in
+    let* burst_off = int_range 0 200 in
+    let* burst_len = int_range 1 16 in
+    let* seed = int_range 0 0xFFFF in
+    let image =
+      match Wire.encode_packet ~capacity:2048 chunks with
+      | Ok b -> b
+      | Error _ ->
+          (match Wire.encode_packet (List.filteri (fun i _ -> i < 3) chunks) with
+          | Ok b -> b
+          | Error _ -> Bytes.create 64)
+    in
+    let b = Bytes.copy image in
+    for k = 0 to burst_len - 1 do
+      let i = (burst_off + k) mod Bytes.length b in
+      Bytes.set b i (Char.chr ((seed + (k * 37)) land 0xFF))
+    done;
+    return b)
+
+let no_exn f = try ignore (f ()); true with _ -> false
+
+let suite =
+  [
+    Util.qtest ~count:300 "Wire.decode_packet never raises on garbage"
+      gen_garbage
+      (fun b -> no_exn (fun () -> Wire.decode_packet b));
+    Util.qtest ~count:300 "Wire.decode_packet never raises on mutations"
+      gen_mutated
+      (fun b -> no_exn (fun () -> Wire.decode_packet b));
+    Util.qtest ~count:300 "Wire.decode_chunk never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Wire.decode_chunk b 0));
+    Util.qtest ~count:200 "Multiframe.decode never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Multiframe.decode b 0));
+    Util.qtest ~count:200 "Compress.Rx never raises on garbage" gen_garbage
+      (fun b ->
+        let rx =
+          Compress.Rx.create
+            ~size_table:(fun ct -> if Ctype.is_data ct then Some 4 else None)
+            ()
+        in
+        no_exn (fun () -> Compress.Rx.decode_all rx b));
+    Util.qtest ~count:200 "Ipfrag.decode never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Baselines.Ipfrag.decode b));
+    Util.qtest ~count:200 "Xtp decode_super never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Baselines.Xtp_like.decode_super b));
+    Util.qtest ~count:200 "Hdlc decode_stream never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Baselines.Hdlc_like.decode_stream b));
+    Util.qtest ~count:200 "Vmtp decode never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Baselines.Vmtp_like.decode b));
+    Util.qtest ~count:200 "Axon decode never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Baselines.Axon_like.decode b));
+    Util.qtest ~count:200 "verifier survives mutated packets" gen_mutated
+      (fun b ->
+        let v = Edc.Verifier.create () in
+        no_exn (fun () ->
+            match Wire.decode_packet b with
+            | Ok chunks -> List.iter (fun c -> ignore (Edc.Verifier.on_chunk v c)) chunks
+            | Error _ -> ()));
+    Util.qtest ~count:200 "Huffman.decompress_packet never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Huffman.decompress_packet b));
+    Util.qtest ~count:200 "Packed.decode_packet never raises" gen_garbage
+      (fun b -> no_exn (fun () -> Packed.decode_packet b));
+    Util.qtest ~count:200 "connection parse never raises" gen_garbage
+      (fun b ->
+        no_exn (fun () ->
+            match Wire.decode_chunk b 0 with
+            | Ok (c, _) -> ignore (Connection.parse_signal c)
+            | Error _ -> ()));
+  ]

@@ -1,0 +1,99 @@
+(* GF(2^32) arithmetic: field axioms and known values. *)
+
+let gen_elt = QCheck2.Gen.map (fun i -> i land 0xFFFF_FFFF) QCheck2.Gen.int
+
+let gen_nonzero =
+  QCheck2.Gen.map (fun i -> 1 + (i land 0xFFFF_FFFE)) QCheck2.Gen.int
+
+let check_int = Alcotest.(check int)
+
+let test_constants () =
+  check_int "zero" 0 Gf232.zero;
+  check_int "one" 1 Gf232.one;
+  check_int "alpha" 2 Gf232.alpha;
+  Alcotest.(check bool) "valid alpha" true (Gf232.is_valid Gf232.alpha);
+  Alcotest.(check bool) "invalid negative" false (Gf232.is_valid (-1));
+  Alcotest.(check bool) "invalid 2^32" false (Gf232.is_valid 0x1_0000_0000)
+
+let test_mul_identity () =
+  check_int "1*1" 1 (Gf232.mul Gf232.one Gf232.one);
+  check_int "a*1" 0xDEADBEEF (Gf232.mul 0xDEADBEEF Gf232.one);
+  check_int "a*0" 0 (Gf232.mul 0xDEADBEEF Gf232.zero)
+
+let test_reduction () =
+  (* x^31 * x = x^32 = x^7 + x^3 + x^2 + 1 = 0x8d *)
+  check_int "x^32 reduces" 0x8d (Gf232.mul 0x8000_0000 Gf232.alpha);
+  check_int "xtime matches mul" (Gf232.mul 0x8000_0000 2)
+    (Gf232.xtime 0x8000_0000)
+
+let test_pow () =
+  check_int "a^0" 1 (Gf232.pow 0xCAFE 0);
+  check_int "a^1" 0xCAFE (Gf232.pow 0xCAFE 1);
+  check_int "a^2" (Gf232.mul 0xCAFE 0xCAFE) (Gf232.pow 0xCAFE 2);
+  check_int "0^0 = 1 by convention" 1 (Gf232.pow 0 0);
+  check_int "0^5" 0 (Gf232.pow 0 5);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Gf232.pow: negative exponent") (fun () ->
+      ignore (Gf232.pow 3 (-1)))
+
+let test_alpha_pow_known () =
+  check_int "alpha^0" 1 (Gf232.alpha_pow 0);
+  check_int "alpha^1" 2 (Gf232.alpha_pow 1);
+  check_int "alpha^5" 32 (Gf232.alpha_pow 5);
+  check_int "alpha^32" 0x8d (Gf232.alpha_pow 32);
+  check_int "alpha^100 = pow alpha 100" (Gf232.pow Gf232.alpha 100)
+    (Gf232.alpha_pow 100)
+
+let test_inverse_known () =
+  check_int "inv 1" 1 (Gf232.inv 1);
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf232.inv 0));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (Gf232.div 5 0))
+
+let test_order () =
+  (* alpha is primitive: alpha^(2^32 - 1) = 1, alpha^(2^31) <> 1 *)
+  check_int "alpha^(2^32-1)" 1 (Gf232.pow Gf232.alpha 0xFFFF_FFFF);
+  Alcotest.(check bool)
+    "alpha^(2^16-1) <> 1 (order is not small)" true
+    (Gf232.pow Gf232.alpha 0xFFFF <> 1)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "mul identity/zero" `Quick test_mul_identity;
+    Alcotest.test_case "reduction polynomial" `Quick test_reduction;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "alpha_pow known values" `Quick test_alpha_pow_known;
+    Alcotest.test_case "inverse corner cases" `Quick test_inverse_known;
+    Alcotest.test_case "multiplicative order" `Quick test_order;
+    Util.qtest "add is xor / self-inverse" gen_elt (fun a ->
+        Gf232.add a a = Gf232.zero && Gf232.add a Gf232.zero = a);
+    Util.qtest "mul commutative"
+      QCheck2.Gen.(tup2 gen_elt gen_elt)
+      (fun (a, b) -> Gf232.mul a b = Gf232.mul b a);
+    Util.qtest "mul associative"
+      QCheck2.Gen.(tup3 gen_elt gen_elt gen_elt)
+      (fun (a, b, c) ->
+        Gf232.mul a (Gf232.mul b c) = Gf232.mul (Gf232.mul a b) c);
+    Util.qtest "distributivity"
+      QCheck2.Gen.(tup3 gen_elt gen_elt gen_elt)
+      (fun (a, b, c) ->
+        Gf232.mul a (Gf232.add b c)
+        = Gf232.add (Gf232.mul a b) (Gf232.mul a c));
+    Util.qtest "mul stays in field"
+      QCheck2.Gen.(tup2 gen_elt gen_elt)
+      (fun (a, b) -> Gf232.is_valid (Gf232.mul a b));
+    Util.qtest ~count:50 "inverse law" gen_nonzero (fun a ->
+        Gf232.mul a (Gf232.inv a) = Gf232.one);
+    Util.qtest ~count:50 "div inverts mul"
+      QCheck2.Gen.(tup2 gen_elt gen_nonzero)
+      (fun (a, b) -> Gf232.div (Gf232.mul a b) b = a);
+    Util.qtest "xtime is mul by alpha" gen_elt (fun a ->
+        Gf232.xtime a = Gf232.mul Gf232.alpha a);
+    Util.qtest ~count:50 "alpha_pow additive law"
+      QCheck2.Gen.(tup2 (int_range 0 10000) (int_range 0 10000))
+      (fun (i, j) ->
+        Gf232.mul (Gf232.alpha_pow i) (Gf232.alpha_pow j)
+        = Gf232.alpha_pow (i + j));
+  ]

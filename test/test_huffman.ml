@@ -1,0 +1,116 @@
+(* Appendix A's closing remark: Huffman coding of the chunk-header bytes
+   within a packet. *)
+
+open Labelling
+
+let freq_of b =
+  let f = Array.make 256 0 in
+  Bytes.iter (fun c -> f.(Char.code c) <- f.(Char.code c) + 1) b;
+  f
+
+let test_roundtrip_bytes () =
+  let src = Bytes.of_string "abracadabra, chunk chunk chunk!" in
+  let code = Huffman.build (freq_of src) in
+  let enc = Huffman.encode_bytes code src in
+  Alcotest.(check bool) "compresses repetitive text" true
+    (Bytes.length enc < Bytes.length src);
+  match Huffman.decode_bytes code ~count:(Bytes.length src) enc with
+  | Ok out -> Alcotest.check Util.bytes_testable "roundtrip" src out
+  | Error e -> Alcotest.fail e
+
+let test_single_symbol () =
+  let src = Bytes.make 100 'z' in
+  let code = Huffman.build (freq_of src) in
+  let enc = Huffman.encode_bytes code src in
+  Alcotest.(check int) "1 bit per symbol" 13 (Bytes.length enc);
+  match Huffman.decode_bytes code ~count:100 enc with
+  | Ok out -> Alcotest.check Util.bytes_testable "roundtrip" src out
+  | Error e -> Alcotest.fail e
+
+let test_table_roundtrip () =
+  let src = Util.deterministic_bytes 500 in
+  let code = Huffman.build (freq_of src) in
+  let img = Huffman.serialize code in
+  Alcotest.(check int) "128-byte table" 128 (Bytes.length img);
+  match Huffman.deserialize img 0 with
+  | Ok (code', off) ->
+      Alcotest.(check int) "consumed" 128 off;
+      let enc = Huffman.encode_bytes code src in
+      (match Huffman.decode_bytes code' ~count:500 enc with
+      | Ok out -> Alcotest.check Util.bytes_testable "cross decode" src out
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let test_build_validation () =
+  (match Huffman.build (Array.make 256 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "all-zero rejected");
+  match Huffman.build (Array.make 10 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong size rejected"
+
+let test_decode_garbage () =
+  let code = Huffman.build (freq_of (Bytes.of_string "abcabcabcaa")) in
+  (* truncated bitstream *)
+  match Huffman.decode_bytes code ~count:1000 (Bytes.create 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must run out of bits"
+
+let sealed_packet () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:64 ~conn_id:6 () in
+  let chunks = Util.ok_or_fail (Framer.push_frame f (Util.deterministic_bytes 512)) in
+  let sealed = Util.ok_or_fail (Edc.Encoder.seal_tpdus chunks) in
+  Util.fragment_randomly ~seed:17 sealed
+
+let test_packet_roundtrip () =
+  let chunks = sealed_packet () in
+  let img = Util.ok_or_fail (Huffman.compress_packet chunks) in
+  let out = Util.ok_or_fail (Huffman.decompress_packet img) in
+  Alcotest.(check int) "count" (List.length chunks) (List.length out);
+  List.iter2
+    (fun a b -> Alcotest.check Util.chunk_testable "chunk" a b)
+    chunks out
+
+let test_packet_compresses () =
+  let chunks = sealed_packet () in
+  let plain = Wire.chunks_size chunks in
+  let packed = Huffman.compressed_size chunks in
+  (* table costs 134 bytes, so small packets may not win; this one has
+     several repetitive headers and must *)
+  Alcotest.(check bool)
+    (Printf.sprintf "huffman wins (%d < %d)" packed plain)
+    true (packed < plain)
+
+let suite =
+  [
+    Alcotest.test_case "byte roundtrip" `Quick test_roundtrip_bytes;
+    Alcotest.test_case "single-symbol alphabet" `Quick test_single_symbol;
+    Alcotest.test_case "code table roundtrip" `Quick test_table_roundtrip;
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+    Alcotest.test_case "garbage decode" `Quick test_decode_garbage;
+    Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
+    Alcotest.test_case "packet header compression wins" `Quick
+      test_packet_compresses;
+    Util.qtest ~count:100 "roundtrip on arbitrary byte mixes"
+      QCheck2.Gen.(tup2 (int_range 1 400) (int_range 0 10000))
+      (fun (n, seed) ->
+        let src =
+          Bytes.init n (fun i ->
+              Char.chr ((seed + (i * i * 7)) land if seed mod 2 = 0 then 0x0F else 0xFF))
+        in
+        let code = Huffman.build (freq_of src) in
+        match Huffman.decode_bytes code ~count:n (Huffman.encode_bytes code src) with
+        | Ok out -> Bytes.equal out src
+        | Error _ -> false);
+    Util.qtest ~count:60 "packet roundtrip on framed streams"
+      Util.gen_framed_stream
+      (fun (_, chunks) ->
+        match Huffman.compress_packet chunks with
+        | Error _ -> false
+        | Ok img -> (
+            match Huffman.decompress_packet img with
+            | Ok out ->
+                List.length out = List.length chunks
+                && List.for_all2 Chunk.equal chunks out
+            | Error _ -> false));
+  ]

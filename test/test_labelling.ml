@@ -1,0 +1,146 @@
+(* Ftuple, Ctype, Header, Chunk: the labelling vocabulary. *)
+
+open Labelling
+
+let test_ftuple_v () =
+  let u = Ftuple.v ~id:3 ~sn:9 () in
+  Alcotest.(check int) "id" 3 u.Ftuple.id;
+  Alcotest.(check int) "sn" 9 u.Ftuple.sn;
+  Alcotest.(check bool) "st defaults false" false u.Ftuple.st;
+  Alcotest.(check bool) "st set" true (Ftuple.v ~st:true ~id:0 ~sn:0 ()).Ftuple.st;
+  Alcotest.check_raises "negative sn" (Invalid_argument "Ftuple.v: negative sn")
+    (fun () -> ignore (Ftuple.v ~id:0 ~sn:(-1) ()));
+  Alcotest.check_raises "id too large"
+    (Invalid_argument "Ftuple.v: id out of range") (fun () ->
+      ignore (Ftuple.v ~id:0x1_0000_0000 ~sn:0 ()))
+
+let test_ftuple_advance () =
+  let u = Ftuple.v ~st:true ~id:1 ~sn:10 () in
+  let v = Ftuple.advance u 5 in
+  Alcotest.(check int) "sn advanced" 15 v.Ftuple.sn;
+  Alcotest.(check bool) "st cleared" false v.Ftuple.st;
+  Alcotest.(check int) "id kept" 1 v.Ftuple.id
+
+let test_ftuple_follows () =
+  let a = Ftuple.v ~id:1 ~sn:10 () in
+  let b = Ftuple.v ~id:1 ~sn:15 () in
+  Alcotest.(check bool) "follows" true (Ftuple.follows a ~len:5 b);
+  Alcotest.(check bool) "gap" false (Ftuple.follows a ~len:4 b);
+  Alcotest.(check bool) "different id" false
+    (Ftuple.follows a ~len:5 (Ftuple.v ~id:2 ~sn:15 ()))
+
+let test_ftuple_compare () =
+  let a = Ftuple.v ~id:1 ~sn:1 () in
+  let b = Ftuple.v ~id:1 ~sn:2 () in
+  Alcotest.(check bool) "lt" true (Ftuple.compare a b < 0);
+  Alcotest.(check bool) "eq" true (Ftuple.compare a a = 0);
+  Alcotest.(check bool) "id dominates" true
+    (Ftuple.compare (Ftuple.v ~id:0 ~sn:100 ()) (Ftuple.v ~id:1 ~sn:0 ()) < 0)
+
+let test_ctype_codes () =
+  Alcotest.(check int) "data code" 0 (Ctype.code Ctype.data);
+  Alcotest.(check int) "ed code" 1 (Ctype.code Ctype.ed);
+  Alcotest.(check int) "ack code" 2 (Ctype.code Ctype.ack);
+  Alcotest.(check int) "signal code" 3 (Ctype.code Ctype.signal);
+  (match Ctype.of_code 0 with
+  | Ok t -> Alcotest.(check bool) "0 is data" true (Ctype.is_data t)
+  | Error e -> Alcotest.fail e);
+  (match Ctype.of_code 9 with
+  | Ok (Ctype.Control 9) -> ()
+  | _ -> Alcotest.fail "code 9 should be Control 9");
+  (match Ctype.of_code 256 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "code 256 must be rejected");
+  (match Ctype.of_code (-1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative code must be rejected")
+
+let dummy_header ?(len = 3) ?(size = 4) () =
+  Util.ok_or_fail
+    (Header.v ~ctype:Ctype.data ~size ~len ~c:(Ftuple.v ~id:1 ~sn:0 ())
+       ~t:(Ftuple.v ~id:2 ~sn:0 ())
+       ~x:(Ftuple.v ~id:3 ~sn:0 ()))
+
+let test_header_validation () =
+  (match Header.v ~ctype:Ctype.data ~size:0 ~len:3 ~c:Ftuple.zero
+           ~t:Ftuple.zero ~x:Ftuple.zero with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "size 0 data chunk with len > 0 must be rejected");
+  (match Header.v ~ctype:Ctype.data ~size:4 ~len:(-1) ~c:Ftuple.zero
+           ~t:Ftuple.zero ~x:Ftuple.zero with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative len must be rejected");
+  let h = dummy_header () in
+  Alcotest.(check int) "payload bytes" 12 (Header.payload_bytes h);
+  Alcotest.(check bool) "not terminator" false (Header.is_terminator h);
+  Alcotest.(check bool) "terminator" true (Header.is_terminator Header.terminator);
+  Alcotest.(check int) "terminator payload" 0
+    (Header.payload_bytes Header.terminator)
+
+let test_header_same_labels () =
+  let h = dummy_header () in
+  let h2 = { h with Header.len = 7; t = Ftuple.advance h.Header.t 3 } in
+  Alcotest.(check bool) "labels ignore len/sn" true (Header.same_labels h h2);
+  let h3 = { h with Header.size = 8 } in
+  Alcotest.(check bool) "size differs" false (Header.same_labels h h3)
+
+let test_chunk_make () =
+  let h = dummy_header () in
+  (match Chunk.make h (Bytes.create 12) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Chunk.make h (Bytes.create 11) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "length mismatch must be rejected")
+
+let test_chunk_constructors () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  (match Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 10) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-multiple payload must be rejected");
+  (match Chunk.data ~size:4 ~c ~t:c ~x:c Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty payload must be rejected");
+  (match Chunk.control ~kind:Ctype.data ~c ~t:c ~x:c (Bytes.create 4) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "control with Data kind must be rejected");
+  let ctl =
+    Util.ok_or_fail (Chunk.control ~kind:Ctype.ed ~c ~t:c ~x:c (Bytes.create 8))
+  in
+  Alcotest.(check bool) "is_control" true (Chunk.is_control ctl);
+  Alcotest.(check bool) "not data" false (Chunk.is_data ctl);
+  Alcotest.(check int) "control elements" 1 (Chunk.elements ctl)
+
+let test_chunk_element () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let payload = Util.deterministic_bytes 12 in
+  let ch = Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c payload) in
+  Alcotest.(check int) "elements" 3 (Chunk.elements ch);
+  Alcotest.check Util.bytes_testable "element 1" (Bytes.sub payload 4 4)
+    (Chunk.element ch 1);
+  Alcotest.check_raises "element out of range"
+    (Invalid_argument "Chunk.element: index out of range") (fun () ->
+      ignore (Chunk.element ch 3))
+
+let test_last_t_sn () =
+  let t = Ftuple.v ~id:2 ~sn:7 () in
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let ch = Util.ok_or_fail (Chunk.data ~size:4 ~c ~t ~x:c (Bytes.create 20)) in
+  Alcotest.(check int) "last sn" 11 (Chunk.last_t_sn ch);
+  Alcotest.(check bool) "terminator flagged" true
+    (Chunk.is_terminator Chunk.terminator)
+
+let suite =
+  [
+    Alcotest.test_case "Ftuple.v" `Quick test_ftuple_v;
+    Alcotest.test_case "Ftuple.advance" `Quick test_ftuple_advance;
+    Alcotest.test_case "Ftuple.follows" `Quick test_ftuple_follows;
+    Alcotest.test_case "Ftuple.compare" `Quick test_ftuple_compare;
+    Alcotest.test_case "Ctype codes" `Quick test_ctype_codes;
+    Alcotest.test_case "Header validation" `Quick test_header_validation;
+    Alcotest.test_case "Header.same_labels" `Quick test_header_same_labels;
+    Alcotest.test_case "Chunk.make" `Quick test_chunk_make;
+    Alcotest.test_case "Chunk constructors" `Quick test_chunk_constructors;
+    Alcotest.test_case "Chunk.element" `Quick test_chunk_element;
+    Alcotest.test_case "Chunk.last_t_sn" `Quick test_last_t_sn;
+  ]

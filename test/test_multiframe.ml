@@ -1,0 +1,117 @@
+(* The N-level generalisation of chunks. *)
+
+open Labelling
+
+let mf_testable = Alcotest.testable Multiframe.pp Multiframe.equal
+
+let mk ?(nlevels = 4) ?(len = 10) () =
+  let levels =
+    Array.init nlevels (fun i ->
+        Ftuple.v ~st:(i mod 2 = 0) ~id:(i + 1) ~sn:(10 * i) ())
+  in
+  Util.ok_or_fail
+    (Multiframe.make ~ctype:Ctype.data ~size:4 ~levels
+       (Util.deterministic_bytes (4 * len)))
+
+let test_make_validation () =
+  (match Multiframe.make ~ctype:Ctype.data ~size:4 ~levels:[||] (Bytes.create 4) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero levels rejected");
+  (match
+     Multiframe.make ~ctype:Ctype.data ~size:4
+       ~levels:[| Ftuple.zero |]
+       (Bytes.create 6)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-multiple payload rejected");
+  let c = mk () in
+  Alcotest.(check int) "levels" 4 (Multiframe.levels c);
+  Alcotest.(check int) "elements" 10 (Multiframe.elements c)
+
+let test_split_merge_all_levels () =
+  let c = mk ~nlevels:5 ~len:12 () in
+  let a, b = Util.ok_or_fail (Multiframe.split c ~elems:5) in
+  Array.iteri
+    (fun i (u : Ftuple.t) ->
+      let ua = a.Multiframe.levels.(i) and ub = b.Multiframe.levels.(i) in
+      Alcotest.(check int) "A sn kept" u.Ftuple.sn ua.Ftuple.sn;
+      Alcotest.(check int) "B sn advanced" (u.Ftuple.sn + 5) ub.Ftuple.sn;
+      Alcotest.(check bool) "A st cleared" false ua.Ftuple.st;
+      Alcotest.(check bool) "B st kept" u.Ftuple.st ub.Ftuple.st)
+    c.Multiframe.levels;
+  Alcotest.(check bool) "mergeable" true (Multiframe.mergeable a b);
+  let m = Util.ok_or_fail (Multiframe.merge a b) in
+  Alcotest.check mf_testable "merge inverts split" c m
+
+let test_level_mismatch_not_mergeable () =
+  let c4 = mk ~nlevels:4 () in
+  let c3 = mk ~nlevels:3 () in
+  Alcotest.(check bool) "different level counts" false
+    (Multiframe.mergeable c4 c3)
+
+let test_wire_roundtrip () =
+  let c = mk ~nlevels:6 ~len:7 () in
+  let buf = Buffer.create 128 in
+  Multiframe.encode buf c;
+  match Multiframe.decode (Buffer.to_bytes buf) 0 with
+  | Ok (c', off) ->
+      Alcotest.(check int) "consumed" (Buffer.length buf) off;
+      Alcotest.check mf_testable "roundtrip" c c'
+  | Error e -> Alcotest.fail e
+
+let test_chunk_embedding () =
+  let ch =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:5 ())
+         ~t:(Ftuple.v ~st:true ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:9 ())
+         (Util.deterministic_bytes 20))
+  in
+  let m = Multiframe.of_chunk ch in
+  Alcotest.(check int) "3 levels" 3 (Multiframe.levels m);
+  let ch' = Util.ok_or_fail (Multiframe.to_chunk m) in
+  Alcotest.check Util.chunk_testable "embedding roundtrip" ch ch';
+  let m5 = mk ~nlevels:5 () in
+  match Multiframe.to_chunk m5 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "5 levels cannot view as classic chunk"
+
+let test_coalesce () =
+  let c = mk ~nlevels:4 ~len:16 () in
+  let a, b = Util.ok_or_fail (Multiframe.split c ~elems:4) in
+  let b1, b2 = Util.ok_or_fail (Multiframe.split b ~elems:7) in
+  let merged = Multiframe.coalesce [ b2; a; b1 ] in
+  match merged with
+  | [ m ] -> Alcotest.check mf_testable "coalesced" c m
+  | l -> Alcotest.failf "expected 1, got %d" (List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "split/merge across all levels" `Quick
+      test_split_merge_all_levels;
+    Alcotest.test_case "level-count mismatch" `Quick
+      test_level_mismatch_not_mergeable;
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "classic chunk embedding" `Quick test_chunk_embedding;
+    Alcotest.test_case "coalesce" `Quick test_coalesce;
+    Util.qtest ~count:80 "split/coalesce identity at any level count"
+      QCheck2.Gen.(tup3 (int_range 1 8) (int_range 2 30) (int_range 0 9999))
+      (fun (nlevels, len, seed) ->
+        let c = mk ~nlevels ~len () in
+        let rand = Random.State.make [| seed |] in
+        let rec shatter c =
+          if Multiframe.elements c <= 1 || Random.State.bool rand then [ c ]
+          else begin
+            let at = 1 + Random.State.int rand (Multiframe.elements c - 1) in
+            match Multiframe.split c ~elems:at with
+            | Ok (a, b) -> shatter a @ shatter b
+            | Error _ -> [ c ]
+          end
+        in
+        let pieces = Util.shuffle ~seed (shatter c) in
+        match Multiframe.coalesce pieces with
+        | [ m ] -> Multiframe.equal m c
+        | _ -> false);
+  ]

@@ -1,0 +1,83 @@
+(* Appendix A intra-packet elision: the ED chunk rides without a header
+   when it follows its TPDU's data. *)
+
+open Labelling
+
+let tpdu_with_ed () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:16 ~conn_id:3 () in
+  let chunks = Util.ok_or_fail (Framer.push_frame f (Util.deterministic_bytes 64)) in
+  Util.ok_or_fail (Edc.Encoder.seal_tpdus chunks)
+
+let test_roundtrip_with_elision () =
+  let chunks = tpdu_with_ed () in
+  let image = Util.ok_or_fail (Packed.encode_packet chunks) in
+  let out = Util.ok_or_fail (Packed.decode_packet image) in
+  Alcotest.(check int) "count" (List.length chunks) (List.length out);
+  List.iter2
+    (fun a b -> Alcotest.check Util.chunk_testable "chunk" a b)
+    chunks out
+
+let test_saves_a_header () =
+  let chunks = tpdu_with_ed () in
+  let plain = Wire.chunks_size chunks in
+  let packed = Packed.packed_size chunks in
+  (* the ED header (46B) is replaced by a 3-byte tag; full chunks cost
+     one extra tag byte each *)
+  Alcotest.(check bool) "saves most of a header" true (plain - packed > 40);
+  Alcotest.(check int) "packed_size = encoding size" packed
+    (Bytes.length (Util.ok_or_fail (Packed.encode_packet chunks)))
+
+let test_no_elision_out_of_context () =
+  (* an ED chunk first in the packet keeps its full header *)
+  let chunks = tpdu_with_ed () in
+  let reversed = List.rev chunks in
+  let image = Util.ok_or_fail (Packed.encode_packet reversed) in
+  let out = Util.ok_or_fail (Packed.decode_packet image) in
+  List.iter2
+    (fun a b -> Alcotest.check Util.chunk_testable "chunk" a b)
+    reversed out;
+  Alcotest.(check int) "no saving when ED leads"
+    (List.fold_left (fun a c -> a + 1 + Wire.chunk_size c) 0 reversed)
+    (Packed.packed_size reversed)
+
+let test_capacity_padding () =
+  let chunks = tpdu_with_ed () in
+  let image = Util.ok_or_fail (Packed.encode_packet ~capacity:512 chunks) in
+  Alcotest.(check int) "padded" 512 (Bytes.length image);
+  let out = Util.ok_or_fail (Packed.decode_packet image) in
+  Alcotest.(check int) "count" (List.length chunks) (List.length out)
+
+let test_implied_header () =
+  let chunks = tpdu_with_ed () in
+  match chunks with
+  | [ data; ed ] ->
+      (match Packed.implied_ed_header data ~payload_len:(Chunk.payload_bytes ed) with
+      | Some h ->
+          Alcotest.(check bool) "implied = actual" true
+            (Header.equal h ed.Chunk.header)
+      | None -> Alcotest.fail "expected an implied header");
+      (* not derivable from a control chunk *)
+      Alcotest.(check bool) "no context from control" true
+        (Packed.implied_ed_header ed ~payload_len:12 = None)
+  | _ -> Alcotest.fail "fixture shape"
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip with elision" `Quick
+      test_roundtrip_with_elision;
+    Alcotest.test_case "saves the ED header" `Quick test_saves_a_header;
+    Alcotest.test_case "no elision without context" `Quick
+      test_no_elision_out_of_context;
+    Alcotest.test_case "capacity + padding" `Quick test_capacity_padding;
+    Alcotest.test_case "implied header derivation" `Quick test_implied_header;
+    Util.qtest ~count:60 "packed roundtrip on framed+sealed streams"
+      Util.gen_framed_stream
+      (fun (_, chunks) ->
+        let sealed = Util.ok_or_fail (Edc.Encoder.seal_tpdus chunks) in
+        let image = Util.ok_or_fail (Packed.encode_packet sealed) in
+        match Packed.decode_packet image with
+        | Ok out ->
+            List.length out = List.length sealed
+            && List.for_all2 Chunk.equal sealed out
+        | Error _ -> false);
+  ]

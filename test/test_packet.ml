@@ -1,0 +1,95 @@
+(* Packets as envelopes: greedy packing, method-1 packing, efficiency. *)
+
+open Labelling
+
+let chunk_of ~len =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Util.deterministic_bytes (4 * len)))
+
+let test_pack_fits () =
+  let chunks = [ chunk_of ~len:10; chunk_of ~len:10 ] in
+  let packets = Util.ok_or_fail (Packet.pack ~mtu:200 chunks) in
+  Alcotest.(check int) "both fit one envelope" 1 (List.length packets);
+  let p = List.hd packets in
+  Alcotest.(check bool) "under mtu" true (Packet.wire_used p <= 200)
+
+let test_pack_splits () =
+  let chunks = [ chunk_of ~len:100 ] in
+  let packets = Util.ok_or_fail (Packet.pack ~mtu:150 chunks) in
+  Alcotest.(check bool) "several envelopes" true (List.length packets > 1);
+  List.iter
+    (fun p -> Alcotest.(check bool) "mtu respected" true (Packet.wire_used p <= 150))
+    packets;
+  (* payload survives *)
+  let out = List.concat_map Packet.chunks packets in
+  Alcotest.check Util.bytes_testable "payload preserved"
+    (Util.stream_of_chunks chunks)
+    (Util.stream_of_chunks out)
+
+let test_pack_mtu_too_small () =
+  match Packet.pack ~mtu:Wire.header_size [ chunk_of ~len:1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mtu = header size cannot carry data"
+
+let test_pack_indivisible_control () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let big_ctl =
+    Util.ok_or_fail (Chunk.control ~kind:Ctype.ed ~c ~t:c ~x:c (Bytes.create 300))
+  in
+  match Packet.pack ~mtu:200 [ big_ctl ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "indivisible oversize control must fail"
+
+let test_one_per_packet () =
+  let chunks = [ chunk_of ~len:10; chunk_of ~len:2 ] in
+  let packets = Util.ok_or_fail (Packet.pack_one_per_packet ~mtu:200 chunks) in
+  Alcotest.(check int) "one chunk per envelope" 2 (List.length packets);
+  List.iter
+    (fun p -> Alcotest.(check int) "single chunk" 1 (List.length (Packet.chunks p)))
+    packets
+
+let test_efficiency_ordering () =
+  (* method 1 (one per packet) wastes envelopes; combining fills them *)
+  let chunks = List.init 8 (fun _ -> chunk_of ~len:4) in
+  let m1 = Util.ok_or_fail (Packet.pack_one_per_packet ~mtu:600 chunks) in
+  let m2 = Util.ok_or_fail (Packet.pack ~mtu:600 chunks) in
+  Alcotest.(check bool) "combining uses fewer packets" true
+    (List.length m2 < List.length m1);
+  let eff ps =
+    List.fold_left (fun acc p -> acc +. Packet.efficiency p) 0.0 ps
+    /. float_of_int (List.length ps)
+  in
+  Alcotest.(check bool) "combining is more efficient" true (eff m2 > eff m1)
+
+let test_encode_decode () =
+  let chunks = [ chunk_of ~len:3; chunk_of ~len:5 ] in
+  let packets = Util.ok_or_fail (Packet.pack ~mtu:300 chunks) in
+  let p = List.hd packets in
+  let b = Packet.encode p in
+  Alcotest.(check int) "padded to mtu" 300 (Bytes.length b);
+  let p' = Util.ok_or_fail (Packet.decode ~mtu:300 b) in
+  Alcotest.(check int) "chunks back" 2 (List.length (Packet.chunks p'));
+  let b2 = Packet.encode_unpadded p in
+  Alcotest.(check bool) "unpadded is shorter" true (Bytes.length b2 < 300)
+
+let suite =
+  [
+    Alcotest.test_case "pack fits multiple chunks" `Quick test_pack_fits;
+    Alcotest.test_case "pack splits big chunks" `Quick test_pack_splits;
+    Alcotest.test_case "mtu too small" `Quick test_pack_mtu_too_small;
+    Alcotest.test_case "indivisible control too big" `Quick
+      test_pack_indivisible_control;
+    Alcotest.test_case "one-per-packet policy" `Quick test_one_per_packet;
+    Alcotest.test_case "efficiency: combine beats method 1" `Quick
+      test_efficiency_ordering;
+    Alcotest.test_case "packet encode/decode" `Quick test_encode_decode;
+    Util.qtest ~count:60 "pack preserves stream across random mtus"
+      QCheck2.Gen.(tup2 Util.gen_framed_stream (int_range 60 400))
+      (fun ((stream, chunks), mtu) ->
+        match Packet.pack ~mtu chunks with
+        | Error _ -> mtu <= Wire.header_size
+        | Ok packets ->
+            let out = List.concat_map Packet.chunks packets in
+            Bytes.equal (Util.stream_of_chunks out) stream
+            && List.for_all (fun p -> Packet.wire_used p <= mtu) packets);
+  ]

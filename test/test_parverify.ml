@@ -1,0 +1,103 @@
+(* Parallel verification: verdicts must be identical for any worker
+   count — TPDU independence is what makes the partitioning sound. *)
+
+open Labelling
+
+let big_batch ?(tpdus = 12) ?(damage = false) () =
+  let f = Framer.create ~elem_size:4 ~tpdu_elems:32 ~conn_id:4 () in
+  let chunks =
+    Util.ok_or_fail
+      (Framer.frames_of_stream f ~frame_bytes:256
+         (Util.deterministic_bytes (tpdus * 32 * 4)))
+  in
+  let sealed = Util.ok_or_fail (Edc.Encoder.seal_tpdus chunks) in
+  let sealed =
+    if not damage then sealed
+    else
+      (* corrupt one payload byte of TPDU 5 *)
+      List.map
+        (fun c ->
+          let h = c.Chunk.header in
+          if Chunk.is_data c && h.Header.t.Ftuple.id = 5
+             && h.Header.t.Ftuple.sn = 0
+          then begin
+            let p = Bytes.copy c.Chunk.payload in
+            Bytes.set p 0 (Char.chr (Char.code (Bytes.get p 0) lxor 1));
+            Chunk.make_exn h p
+          end
+          else c)
+        sealed
+  in
+  Util.shuffle ~seed:21 (Util.fragment_randomly ~seed:9 sealed)
+
+let verdicts_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (i, v) (j, w) -> i = j && Edc.Verifier.verdict_equal v w)
+       a b
+
+let test_batch_matches_serial () =
+  let chunks = big_batch () in
+  let serial = Parverify.process_all ~workers:1 chunks in
+  Alcotest.(check int) "12 verdicts" 12 (List.length serial.Parverify.verdicts);
+  List.iter
+    (fun workers ->
+      let par = Parverify.process_all ~workers chunks in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d workers = serial" workers)
+        true
+        (verdicts_equal serial.Parverify.verdicts par.Parverify.verdicts))
+    [ 2; 3; 4; 7 ]
+
+let test_batch_with_damage () =
+  let chunks = big_batch ~damage:true () in
+  let par = Parverify.process_all ~workers:4 chunks in
+  let failed =
+    List.filter
+      (fun (_, v) -> not (Edc.Verifier.verdict_equal v Edc.Verifier.Passed))
+      par.Parverify.verdicts
+  in
+  (match failed with
+  | [ (5, Edc.Verifier.Parity_mismatch) ] -> ()
+  | _ -> Alcotest.fail "exactly TPDU 5 must fail with a parity mismatch");
+  Alcotest.(check int) "all TPDUs decided" 12 (List.length par.Parverify.verdicts)
+
+let test_pool_streaming () =
+  let chunks = big_batch () in
+  let pool = Parverify.Pool.create ~workers:3 () in
+  List.iter (Parverify.Pool.submit pool) chunks;
+  let verdicts = Parverify.Pool.drain pool in
+  Alcotest.(check int) "12 verdicts" 12 (List.length verdicts);
+  Alcotest.(check bool) "all passed" true
+    (List.for_all
+       (fun (_, v) -> Edc.Verifier.verdict_equal v Edc.Verifier.Passed)
+       verdicts);
+  (* a second round through the same pool *)
+  let f2 = Framer.create ~elem_size:4 ~tpdu_elems:16 ~conn_id:9 ~first_tid:100 () in
+  let more =
+    Util.ok_or_fail
+      (Framer.frames_of_stream f2 ~frame_bytes:64 (Util.deterministic_bytes 256))
+  in
+  let sealed = Util.ok_or_fail (Edc.Encoder.seal_tpdus more) in
+  List.iter (Parverify.Pool.submit pool) sealed;
+  let verdicts2 = Parverify.Pool.drain pool in
+  Alcotest.(check int) "second round" 4 (List.length verdicts2);
+  Parverify.Pool.shutdown pool;
+  (match Parverify.Pool.drain pool with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "drain after shutdown must fail")
+
+let test_worker_validation () =
+  match Parverify.process_all ~workers:0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "workers=0 rejected"
+
+let suite =
+  [
+    Alcotest.test_case "batch matches serial for any worker count" `Quick
+      test_batch_matches_serial;
+    Alcotest.test_case "damage localised to its TPDU" `Quick
+      test_batch_with_damage;
+    Alcotest.test_case "streaming pool" `Quick test_pool_streaming;
+    Alcotest.test_case "worker validation" `Quick test_worker_validation;
+  ]

@@ -1,0 +1,126 @@
+(* Spatial reordering into the application's address space. *)
+
+open Labelling
+
+let mk ~c_sn ~t_sn ~x_sn ~elems =
+  Util.ok_or_fail
+    (Chunk.data ~size:4
+       ~c:(Ftuple.v ~id:1 ~sn:c_sn ())
+       ~t:(Ftuple.v ~id:2 ~sn:t_sn ())
+       ~x:(Ftuple.v ~id:3 ~sn:x_sn ())
+       (Util.deterministic_bytes (4 * elems)))
+
+let test_place_by_conn () =
+  let p = Placement.create ~level:Placement.Conn ~base_sn:10 ~capacity_elems:8 ~elem_size:4 in
+  let chunk = mk ~c_sn:12 ~t_sn:0 ~x_sn:0 ~elems:3 in
+  Util.ok_or_fail (Placement.place p chunk);
+  Alcotest.(check int) "placed" 3 (Placement.placed_elems p);
+  Alcotest.(check bool) "not full" false (Placement.is_full p);
+  Alcotest.check Util.bytes_testable "at offset 8"
+    chunk.Chunk.payload
+    (Bytes.sub (Placement.contents p) 8 12);
+  Alcotest.(check (list (pair int int))) "holes" [ (0, 2); (5, 3) ]
+    (Placement.holes p)
+
+let test_place_levels () =
+  let chunk = mk ~c_sn:100 ~t_sn:5 ~x_sn:2 ~elems:1 in
+  let by_t = Placement.create ~level:Placement.Tpdu ~base_sn:0 ~capacity_elems:10 ~elem_size:4 in
+  Util.ok_or_fail (Placement.place by_t chunk);
+  Alcotest.check Util.bytes_testable "t-level offset"
+    chunk.Chunk.payload
+    (Bytes.sub (Placement.contents by_t) 20 4);
+  let by_x = Placement.create ~level:Placement.External ~base_sn:0 ~capacity_elems:10 ~elem_size:4 in
+  Util.ok_or_fail (Placement.place by_x chunk);
+  Alcotest.check Util.bytes_testable "x-level offset"
+    chunk.Chunk.payload
+    (Bytes.sub (Placement.contents by_x) 8 4)
+
+let test_rejects () =
+  let p = Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems:4 ~elem_size:4 in
+  (match Placement.place p (mk ~c_sn:3 ~t_sn:0 ~x_sn:0 ~elems:2) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out of window must fail");
+  let wrong_size =
+    Util.ok_or_fail
+      (Chunk.data ~size:8
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:0 ())
+         (Bytes.create 8))
+  in
+  (match Placement.place p wrong_size with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "size mismatch must fail");
+  let ctl =
+    Util.ok_or_fail
+      (Chunk.control ~kind:Ctype.ed
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:0 ())
+         (Bytes.create 8))
+  in
+  match Placement.place p ctl with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "control chunk must fail"
+
+let test_full_after_disorder () =
+  let p = Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems:6 ~elem_size:4 in
+  Util.ok_or_fail (Placement.place p (mk ~c_sn:4 ~t_sn:0 ~x_sn:0 ~elems:2));
+  Util.ok_or_fail (Placement.place p (mk ~c_sn:0 ~t_sn:0 ~x_sn:0 ~elems:2));
+  Util.ok_or_fail (Placement.place p (mk ~c_sn:2 ~t_sn:0 ~x_sn:0 ~elems:2));
+  Alcotest.(check bool) "full" true (Placement.is_full p);
+  (* duplicate placement is safe *)
+  Util.ok_or_fail (Placement.place p (mk ~c_sn:2 ~t_sn:0 ~x_sn:0 ~elems:2));
+  Alcotest.(check int) "still 6" 6 (Placement.placed_elems p)
+
+let test_stream_reconstruction () =
+  (* the §1 bulk-transfer story: shuffled fragments land correctly *)
+  let rand = Random.State.make [| 17 |] in
+  let stream, chunks =
+    QCheck2.Gen.generate1 ~rand Util.gen_framed_stream
+  in
+  let frag = Util.fragment_randomly ~seed:5 chunks in
+  let arrived = Util.shuffle ~seed:6 frag in
+  let total = Bytes.length stream / 4 in
+  let p = Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems:total ~elem_size:4 in
+  List.iter (fun c -> Util.ok_or_fail (Placement.place p c)) arrived;
+  Alcotest.(check bool) "full" true (Placement.is_full p);
+  Alcotest.check Util.bytes_testable "stream equal" stream (Placement.contents p)
+
+let suite =
+  [
+    Alcotest.test_case "place by connection SN" `Quick test_place_by_conn;
+    Alcotest.test_case "place by T / X level" `Quick test_place_levels;
+    Alcotest.test_case "rejections" `Quick test_rejects;
+    Alcotest.test_case "full after disorder" `Quick test_full_after_disorder;
+    Alcotest.test_case "shuffled fragments rebuild the stream" `Quick
+      test_stream_reconstruction;
+    Util.qtest ~count:60 "any fragmentation/order lands correctly"
+      QCheck2.Gen.(tup3 Util.gen_framed_stream (int_range 0 9999) (int_range 0 9999))
+      (fun ((stream, chunks), s1, s2) ->
+        let arrived = Util.shuffle ~seed:s2 (Util.fragment_randomly ~seed:s1 chunks) in
+        let total = Bytes.length stream / 4 in
+        let p =
+          Placement.create ~level:Placement.Conn ~base_sn:0
+            ~capacity_elems:total ~elem_size:4
+        in
+        List.iter (fun c -> Util.ok_or_fail (Placement.place p c)) arrived;
+        Placement.is_full p && Bytes.equal stream (Placement.contents p));
+  ]
+
+let test_overlap_accounting () =
+  (* refragmented retransmission: runs [0,4) then [2,6) — every covered
+     element must count exactly once *)
+  let p =
+    Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems:6
+      ~elem_size:4
+  in
+  Util.ok_or_fail (Placement.place p (mk ~c_sn:0 ~t_sn:0 ~x_sn:0 ~elems:4));
+  Util.ok_or_fail (Placement.place p (mk ~c_sn:2 ~t_sn:2 ~x_sn:2 ~elems:4));
+  Alcotest.(check int) "six distinct elements" 6 (Placement.placed_elems p);
+  Alcotest.(check bool) "full" true (Placement.is_full p)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "partial-overlap accounting" `Quick
+        test_overlap_accounting ]

@@ -1,0 +1,169 @@
+(* Appendix D: chunk reassembly, and the one-step property (§3.1): any
+   fragmentation history is undone by a single coalesce. *)
+
+open Labelling
+
+let test_merge_inverts_split () =
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:20 ())
+         ~t:(Ftuple.v ~st:true ~id:2 ~sn:4 ())
+         ~x:(Ftuple.v ~st:true ~id:3 ~sn:0 ())
+         (Util.deterministic_bytes 24))
+  in
+  let a, b = Util.ok_or_fail (Fragment.split chunk ~elems:2) in
+  Alcotest.(check bool) "mergeable" true (Reassemble.mergeable a b);
+  Alcotest.(check bool) "not mergeable reversed" false (Reassemble.mergeable b a);
+  let c = Util.ok_or_fail (Reassemble.merge a b) in
+  Alcotest.check Util.chunk_testable "merge inverts split" chunk c
+
+let test_merge_rejects () =
+  let base =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:0 ())
+         (Util.deterministic_bytes 8))
+  in
+  (* gap at every level *)
+  let far =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:5 ())
+         ~t:(Ftuple.v ~id:2 ~sn:5 ())
+         ~x:(Ftuple.v ~id:3 ~sn:5 ())
+         (Util.deterministic_bytes 8))
+  in
+  Alcotest.(check bool) "gap not mergeable" false (Reassemble.mergeable base far);
+  (* SN adjacency at only two of three levels *)
+  let skewed =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:2 ())
+         ~t:(Ftuple.v ~id:2 ~sn:2 ())
+         ~x:(Ftuple.v ~id:3 ~sn:3 ())
+         (Util.deterministic_bytes 8))
+  in
+  Alcotest.(check bool) "one level misaligned" false
+    (Reassemble.mergeable base skewed);
+  (* control chunks never merge *)
+  let c = Ftuple.v ~id:9 ~sn:0 () in
+  let ctl1 = Util.ok_or_fail (Chunk.control ~kind:Ctype.ed ~c ~t:c ~x:c (Bytes.create 8)) in
+  Alcotest.(check bool) "controls not mergeable" false
+    (Reassemble.mergeable ctl1 ctl1)
+
+let test_coalesce_one_step () =
+  (* fragment through several "gateways", shuffle, coalesce once *)
+  let _, chunks = QCheck2.Gen.(generate1 ~rand:(Random.State.make [| 5 |]) Util.gen_framed_stream) in
+  let once = Util.fragment_randomly ~seed:11 chunks in
+  let twice = Util.fragment_randomly ~seed:23 once in
+  let thrice = Util.fragment_randomly ~seed:37 twice in
+  let arrived = Util.shuffle ~seed:99 thrice in
+  let merged = Reassemble.coalesce arrived in
+  Alcotest.check Util.bytes_testable "stream recovered"
+    (Util.stream_of_chunks chunks)
+    (Util.stream_of_chunks merged);
+  Alcotest.(check bool)
+    "no more pieces than originally" true
+    (List.length merged <= List.length chunks)
+
+let test_coalesce_drops_terminators () =
+  let merged = Reassemble.coalesce [ Chunk.terminator; Chunk.terminator ] in
+  Alcotest.(check int) "terminators dropped" 0 (List.length merged)
+
+let test_pool_incremental () =
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~st:true ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:0 ())
+         (Util.deterministic_bytes 40))
+  in
+  let pieces = Util.ok_or_fail (Fragment.split_to_payload chunk ~max_payload:8) in
+  let pool = Reassemble.Pool.create () in
+  (* insert in a disordered order; pool must fuse them back *)
+  List.iter (Reassemble.Pool.insert pool) (Util.shuffle ~seed:3 pieces);
+  Alcotest.(check int) "fused to one" 1 (Reassemble.Pool.size pool);
+  match Reassemble.Pool.take_complete_tpdus pool with
+  | [ c ] ->
+      Alcotest.check Util.chunk_testable "pool recovers the TPDU" chunk c;
+      Alcotest.(check int) "pool drained" 0 (Reassemble.Pool.size pool)
+  | l -> Alcotest.failf "expected 1 complete TPDU, got %d" (List.length l)
+
+let test_pool_keeps_incomplete () =
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~st:true ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:0 ())
+         (Util.deterministic_bytes 40))
+  in
+  let pieces = Util.ok_or_fail (Fragment.split_to_payload chunk ~max_payload:8) in
+  let holding = List.filteri (fun i _ -> i <> 2) pieces in
+  let pool = Reassemble.Pool.create () in
+  List.iter (Reassemble.Pool.insert pool) holding;
+  Alcotest.(check int) "nothing complete" 0
+    (List.length (Reassemble.Pool.take_complete_tpdus pool));
+  Alcotest.(check bool) "pieces held" true (Reassemble.Pool.size pool >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "merge inverts split" `Quick test_merge_inverts_split;
+    Alcotest.test_case "merge eligibility" `Quick test_merge_rejects;
+    Alcotest.test_case "one-step coalesce after 3 fragmentations" `Quick
+      test_coalesce_one_step;
+    Alcotest.test_case "coalesce drops terminators" `Quick
+      test_coalesce_drops_terminators;
+    Alcotest.test_case "pool incremental reassembly" `Quick
+      test_pool_incremental;
+    Alcotest.test_case "pool keeps incomplete TPDUs" `Quick
+      test_pool_keeps_incomplete;
+    Util.qtest ~count:60 "coalesce recovers any fragmentation"
+      QCheck2.Gen.(tup3 Util.gen_framed_stream (int_range 0 10000) (int_range 0 10000))
+      (fun ((stream, chunks), s1, s2) ->
+        let frag = Util.fragment_randomly ~seed:s1 chunks in
+        let arrived = Util.shuffle ~seed:s2 frag in
+        let merged = Reassemble.coalesce arrived in
+        Bytes.equal (Util.stream_of_chunks merged) stream
+        && List.length merged <= List.length chunks);
+    Util.qtest ~count:60 "pool equals coalesce"
+      QCheck2.Gen.(tup3 Util.gen_framed_stream (int_range 0 10000) (int_range 0 10000))
+      (fun ((_, chunks), s1, s2) ->
+        let frag = Util.fragment_randomly ~seed:s1 chunks in
+        let arrived = Util.shuffle ~seed:s2 frag in
+        let pool = Reassemble.Pool.create () in
+        List.iter (Reassemble.Pool.insert pool) arrived;
+        let held = Reassemble.Pool.held pool in
+        Bytes.equal
+          (Util.stream_of_chunks held)
+          (Util.stream_of_chunks (Reassemble.coalesce arrived)));
+  ]
+
+let test_pool_rejects_duplicates () =
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~st:true ~id:2 ~sn:0 ())
+         ~x:(Ftuple.v ~id:3 ~sn:0 ())
+         (Util.deterministic_bytes 40))
+  in
+  let pieces = Util.ok_or_fail (Fragment.split_to_payload chunk ~max_payload:8) in
+  let pool = Reassemble.Pool.create () in
+  (* every piece twice, shuffled *)
+  List.iter (Reassemble.Pool.insert pool)
+    (Util.shuffle ~seed:8 (pieces @ pieces));
+  Alcotest.(check int) "duplicates absorbed, one run" 1
+    (Reassemble.Pool.size pool);
+  match Reassemble.Pool.take_complete_tpdus pool with
+  | [ c ] -> Alcotest.check Util.chunk_testable "intact" chunk c
+  | l -> Alcotest.failf "expected 1, got %d" (List.length l)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "pool rejects duplicates" `Quick
+        test_pool_rejects_duplicates ]

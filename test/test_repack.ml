@@ -1,0 +1,104 @@
+(* Fig 4: gateway repacking policies across MTU changes. *)
+
+open Labelling
+
+let fixture () =
+  let rand = Random.State.make [| 31 |] in
+  QCheck2.Gen.generate1 ~rand Util.gen_framed_stream
+
+let test_policies_preserve_stream () =
+  let stream, chunks = fixture () in
+  List.iter
+    (fun policy ->
+      let packets = Util.ok_or_fail (Repack.repack ~policy ~mtu:128 chunks) in
+      let out = List.concat_map Packet.chunks packets in
+      Alcotest.check Util.bytes_testable
+        (Format.asprintf "%a preserves stream" Repack.pp_policy policy)
+        stream (Util.stream_of_chunks out))
+    [ Repack.One_per_packet; Repack.Combine; Repack.Reassemble ]
+
+let test_down_then_up () =
+  (* big packets -> tiny network -> big network, all three up-policies *)
+  let stream, chunks = fixture () in
+  let small = Util.ok_or_fail (Repack.repack ~policy:Repack.Combine ~mtu:80 chunks) in
+  let small_chunks = List.concat_map Packet.chunks small in
+  List.iter
+    (fun policy ->
+      let big = Util.ok_or_fail (Repack.repack ~policy ~mtu:1000 small_chunks) in
+      let out = List.concat_map Packet.chunks big in
+      Alcotest.check Util.bytes_testable "stream preserved" stream
+        (Util.stream_of_chunks out))
+    [ Repack.One_per_packet; Repack.Combine; Repack.Reassemble ]
+
+let test_packet_counts_ordering () =
+  let _, chunks = fixture () in
+  let small = Util.ok_or_fail (Repack.repack ~policy:Repack.Combine ~mtu:80 chunks) in
+  let small_chunks = List.concat_map Packet.chunks small in
+  let count policy =
+    List.length (Util.ok_or_fail (Repack.repack ~policy ~mtu:1000 small_chunks))
+  in
+  let m1 = count Repack.One_per_packet in
+  let m2 = count Repack.Combine in
+  let m3 = count Repack.Reassemble in
+  Alcotest.(check bool) "method 2 uses fewer packets than method 1" true (m2 <= m1);
+  Alcotest.(check bool) "method 3 no worse than method 2" true (m3 <= m2);
+  Alcotest.(check bool) "method 1 strictly wasteful here" true (m1 > m2)
+
+let test_reassemble_reduces_headers () =
+  let _, chunks = fixture () in
+  let small = Util.ok_or_fail (Repack.repack ~policy:Repack.Combine ~mtu:80 chunks) in
+  let small_chunks = List.concat_map Packet.chunks small in
+  let chunks_after policy =
+    Util.ok_or_fail (Repack.repack ~policy ~mtu:4096 small_chunks)
+    |> List.concat_map Packet.chunks |> List.length
+  in
+  Alcotest.(check bool) "method 3 merges chunks" true
+    (chunks_after Repack.Reassemble < chunks_after Repack.Combine
+    || chunks_after Repack.Combine = List.length chunks)
+
+let test_wire_level_repack () =
+  let stream, chunks = fixture () in
+  let packets = Util.ok_or_fail (Repack.repack ~policy:Repack.Combine ~mtu:256 chunks) in
+  let images = List.map Packet.encode packets in
+  let out_images =
+    Util.ok_or_fail (Repack.repack_stream ~policy:Repack.Reassemble ~mtu:2048 images)
+  in
+  let out_chunks =
+    List.concat_map
+      (fun b -> Util.ok_or_fail (Wire.decode_packet b))
+      out_images
+  in
+  Alcotest.check Util.bytes_testable "wire-level roundtrip" stream
+    (Util.stream_of_chunks out_chunks)
+
+let test_repack_packet_single () =
+  let _, chunks = fixture () in
+  let one = List.hd chunks in
+  let image = Util.ok_or_fail (Wire.encode_packet [ one ]) in
+  let outs = Util.ok_or_fail (Repack.repack_packet ~policy:Repack.One_per_packet ~mtu:70 image) in
+  Alcotest.(check bool) "split into several small packets" true
+    (List.length outs >= 1);
+  List.iter
+    (fun b -> Alcotest.(check bool) "mtu" true (Bytes.length b <= 70))
+    outs
+
+let suite =
+  [
+    Alcotest.test_case "policies preserve the stream" `Quick
+      test_policies_preserve_stream;
+    Alcotest.test_case "MTU down then up" `Quick test_down_then_up;
+    Alcotest.test_case "packet count ordering (Fig 4)" `Quick
+      test_packet_counts_ordering;
+    Alcotest.test_case "reassembly merges chunks" `Quick
+      test_reassemble_reduces_headers;
+    Alcotest.test_case "wire-level repack" `Quick test_wire_level_repack;
+    Alcotest.test_case "repack_packet single" `Quick test_repack_packet_single;
+    Util.qtest ~count:40 "repack chains preserve any stream"
+      QCheck2.Gen.(tup3 Util.gen_framed_stream (int_range 60 200) (int_range 300 2000))
+      (fun ((stream, chunks), mtu_small, mtu_big) ->
+        let p1 = Util.ok_or_fail (Repack.repack ~policy:Repack.Combine ~mtu:mtu_small chunks) in
+        let c1 = List.concat_map Packet.chunks p1 in
+        let p2 = Util.ok_or_fail (Repack.repack ~policy:Repack.Reassemble ~mtu:mtu_big c1) in
+        let c2 = List.concat_map Packet.chunks p2 in
+        Bytes.equal stream (Util.stream_of_chunks c2));
+  ]

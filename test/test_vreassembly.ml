@@ -1,0 +1,178 @@
+(* Virtual reassembly (§3.3): completion tracking, duplicate rejection,
+   and the partial-overlap-tolerant insert used for refragmented
+   retransmissions. *)
+
+open Labelling
+
+let insert_result =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt
+        (match r with
+        | Vreassembly.Fresh -> "Fresh"
+        | Vreassembly.Duplicate -> "Duplicate"
+        | Vreassembly.Overlap -> "Overlap"
+        | Vreassembly.Inconsistent -> "Inconsistent"))
+    ( = )
+
+let test_basic_completion () =
+  let tr = Vreassembly.create () in
+  Alcotest.(check bool) "empty incomplete" false (Vreassembly.complete tr);
+  Alcotest.check insert_result "first" Vreassembly.Fresh
+    (Vreassembly.insert tr ~sn:0 ~len:3 ~st:false);
+  Alcotest.(check (option int)) "total unknown" None (Vreassembly.total tr);
+  Alcotest.check insert_result "last" Vreassembly.Fresh
+    (Vreassembly.insert tr ~sn:5 ~len:2 ~st:true);
+  Alcotest.(check (option int)) "total known" (Some 7) (Vreassembly.total tr);
+  Alcotest.(check bool) "gap remains" false (Vreassembly.complete tr);
+  Alcotest.(check (list (pair int int))) "missing" [ (3, 2) ]
+    (Vreassembly.missing tr);
+  Alcotest.check insert_result "fill" Vreassembly.Fresh
+    (Vreassembly.insert tr ~sn:3 ~len:2 ~st:false);
+  Alcotest.(check bool) "complete" true (Vreassembly.complete tr);
+  Alcotest.(check int) "received" 7 (Vreassembly.received_elems tr);
+  Alcotest.(check (list (pair int int))) "no gaps" [] (Vreassembly.missing tr)
+
+let test_duplicates () =
+  let tr = Vreassembly.create () in
+  ignore (Vreassembly.insert tr ~sn:0 ~len:5 ~st:false);
+  Alcotest.check insert_result "exact dup" Vreassembly.Duplicate
+    (Vreassembly.insert tr ~sn:0 ~len:5 ~st:false);
+  Alcotest.check insert_result "subsumed dup" Vreassembly.Duplicate
+    (Vreassembly.insert tr ~sn:1 ~len:2 ~st:false);
+  Alcotest.check insert_result "partial overlap flagged" Vreassembly.Overlap
+    (Vreassembly.insert tr ~sn:3 ~len:4 ~st:false);
+  Alcotest.(check int) "overlap not recorded" 5 (Vreassembly.received_elems tr)
+
+let test_inconsistent_ends () =
+  let tr = Vreassembly.create () in
+  ignore (Vreassembly.insert tr ~sn:0 ~len:3 ~st:true);
+  Alcotest.check insert_result "data beyond end" Vreassembly.Inconsistent
+    (Vreassembly.insert tr ~sn:5 ~len:1 ~st:false);
+  Alcotest.check insert_result "different end" Vreassembly.Inconsistent
+    (Vreassembly.insert tr ~sn:4 ~len:1 ~st:true);
+  let tr2 = Vreassembly.create () in
+  ignore (Vreassembly.insert tr2 ~sn:5 ~len:2 ~st:false);
+  Alcotest.check insert_result "end before data" Vreassembly.Inconsistent
+    (Vreassembly.insert tr2 ~sn:0 ~len:2 ~st:true)
+
+let test_insert_new_subtraction () =
+  let tr = Vreassembly.create () in
+  ignore (Vreassembly.insert tr ~sn:2 ~len:3 ~st:false);
+  (* [0,7) minus [2,5) = [0,2) + [5,7) *)
+  (match Vreassembly.insert_new tr ~sn:0 ~len:7 ~st:false with
+  | Ok fresh ->
+      Alcotest.(check (list (pair int int))) "fresh sub-runs"
+        [ (0, 2); (5, 2) ] fresh
+  | Error `Inconsistent -> Alcotest.fail "unexpected inconsistency");
+  Alcotest.(check int) "all recorded" 7 (Vreassembly.received_elems tr);
+  (* complete duplicate now *)
+  match Vreassembly.insert_new tr ~sn:1 ~len:4 ~st:false with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected all-duplicate"
+  | Error `Inconsistent -> Alcotest.fail "unexpected inconsistency"
+
+let test_spans_coalesce () =
+  let tr = Vreassembly.create () in
+  ignore (Vreassembly.insert tr ~sn:0 ~len:2 ~st:false);
+  ignore (Vreassembly.insert tr ~sn:4 ~len:2 ~st:false);
+  ignore (Vreassembly.insert tr ~sn:2 ~len:2 ~st:false);
+  Alcotest.(check (list (pair int int))) "one span" [ (0, 6) ]
+    (Vreassembly.spans tr)
+
+let test_table () =
+  let tbl = Vreassembly.Table.create () in
+  ignore (Vreassembly.Table.insert tbl ~id:1 ~sn:0 ~len:2 ~st:false);
+  ignore (Vreassembly.Table.insert tbl ~id:2 ~sn:0 ~len:2 ~st:true);
+  Alcotest.(check int) "two in flight" 2 (Vreassembly.Table.in_flight tbl);
+  Alcotest.(check bool) "1 incomplete" false (Vreassembly.Table.complete tbl ~id:1);
+  Alcotest.(check bool) "2 complete" true (Vreassembly.Table.complete tbl ~id:2);
+  Alcotest.(check (list int)) "completed ids" [ 2 ]
+    (Vreassembly.Table.completed_ids tbl);
+  Vreassembly.Table.drop tbl ~id:2;
+  Alcotest.(check int) "dropped" 1 (Vreassembly.Table.in_flight tbl);
+  Alcotest.(check bool) "find" true
+    (Vreassembly.Table.find tbl ~id:1 <> None)
+
+let test_table_insert_chunk () =
+  let tbl = Vreassembly.Table.create () in
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4 ~c
+         ~t:(Ftuple.v ~st:true ~id:9 ~sn:0 ())
+         ~x:c
+         (Bytes.create 12))
+  in
+  (match Vreassembly.Table.insert_chunk tbl chunk with
+  | Vreassembly.Fresh -> ()
+  | _ -> Alcotest.fail "expected Fresh");
+  Alcotest.(check bool) "tpdu 9 complete" true
+    (Vreassembly.Table.complete tbl ~id:9)
+
+(* Reference model: a bool array. *)
+let prop_against_model ops =
+  let tr = Vreassembly.create () in
+  let model = Array.make 200 false in
+  let model_end = ref None in
+  let ok = ref true in
+  List.iter
+    (fun (sn, len, st) ->
+      let sn = sn mod 150 and len = 1 + (len mod 20) in
+      let last = sn + len - 1 in
+      let model_max =
+        let m = ref (-1) in
+        Array.iteri (fun i v -> if v then m := i) model;
+        !m
+      in
+      let inconsistent =
+        match !model_end with
+        | Some e -> (st && e <> last) || last > e
+        | None -> st && model_max > last
+      in
+      match Vreassembly.insert_new tr ~sn ~len ~st with
+      | Error `Inconsistent -> if not inconsistent then ok := false
+      | Ok fresh ->
+          if inconsistent then ok := false
+          else begin
+            let fresh_count = List.fold_left (fun a (_, l) -> a + l) 0 fresh in
+            let expect_fresh = ref 0 in
+            for i = sn to last do
+              if not model.(i) then incr expect_fresh;
+              model.(i) <- true
+            done;
+            if st then model_end := Some last;
+            if fresh_count <> !expect_fresh then ok := false;
+            let model_received =
+              Array.fold_left (fun a v -> if v then a + 1 else a) 0 model
+            in
+            if Vreassembly.received_elems tr <> model_received then ok := false
+          end)
+    ops;
+  (* completion agrees *)
+  (match !model_end with
+  | Some e ->
+      let complete = ref true in
+      for i = 0 to e do
+        if not model.(i) then complete := false
+      done;
+      if Vreassembly.complete tr <> !complete then ok := false
+  | None -> if Vreassembly.complete tr then ok := false);
+  !ok
+
+let suite =
+  [
+    Alcotest.test_case "basic completion" `Quick test_basic_completion;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "inconsistent ends" `Quick test_inconsistent_ends;
+    Alcotest.test_case "insert_new subtraction" `Quick
+      test_insert_new_subtraction;
+    Alcotest.test_case "spans coalesce" `Quick test_spans_coalesce;
+    Alcotest.test_case "table" `Quick test_table;
+    Alcotest.test_case "table insert_chunk" `Quick test_table_insert_chunk;
+    Util.qtest ~count:200 "insert_new against bitmap model"
+      QCheck2.Gen.(
+        list_size (int_range 1 30)
+          (tup3 (int_range 0 1000) (int_range 0 1000) bool))
+      prop_against_model;
+  ]

@@ -1,0 +1,163 @@
+(* Binary wire format: roundtrips, terminators, and malformed input. *)
+
+open Labelling
+
+let test_header_size () =
+  Alcotest.(check int) "fixed header size" 46 Wire.header_size
+
+let roundtrip chunk =
+  let buf = Buffer.create 64 in
+  Wire.encode_chunk buf chunk;
+  let b = Buffer.to_bytes buf in
+  match Wire.decode_chunk b 0 with
+  | Error e -> Alcotest.fail e
+  | Ok (c, off) ->
+      Alcotest.(check int) "consumed everything" (Bytes.length b) off;
+      Alcotest.check Util.chunk_testable "roundtrip" chunk c
+
+let test_roundtrip_simple () =
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~st:true ~id:0xFFFF_FFFF ~sn:123456789 ())
+         ~t:(Ftuple.v ~id:0 ~sn:0 ())
+         ~x:(Ftuple.v ~st:true ~id:77 ~sn:1 ())
+         (Util.deterministic_bytes 16))
+  in
+  roundtrip chunk
+
+let test_roundtrip_control () =
+  let c = Ftuple.v ~id:5 ~sn:9 () in
+  roundtrip
+    (Util.ok_or_fail (Chunk.control ~kind:Ctype.ed ~c ~t:c ~x:c (Bytes.create 8)))
+
+let test_truncated () =
+  (match Wire.decode_chunk (Bytes.create 10) 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated header must fail");
+  let buf = Buffer.create 64 in
+  let chunk =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~id:1 ~sn:0 ())
+         ~x:(Ftuple.v ~id:1 ~sn:0 ())
+         (Bytes.create 8))
+  in
+  Wire.encode_chunk buf chunk;
+  let b = Buffer.to_bytes buf in
+  match Wire.decode_chunk (Bytes.sub b 0 (Bytes.length b - 2)) 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated payload must fail"
+
+let test_packet_with_terminator () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let chunk =
+    Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 8))
+  in
+  let b = Util.ok_or_fail (Wire.encode_packet ~capacity:200 [ chunk ]) in
+  Alcotest.(check int) "padded to capacity" 200 (Bytes.length b);
+  let chunks = Util.ok_or_fail (Wire.decode_packet b) in
+  Alcotest.(check int) "one chunk back" 1 (List.length chunks);
+  Alcotest.check Util.chunk_testable "same chunk" chunk (List.hd chunks)
+
+let test_packet_small_slack () =
+  (* slack smaller than a header: zero-fill, decoder treats as padding *)
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let chunk =
+    Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 8))
+  in
+  let used = Wire.chunk_size chunk in
+  let b = Util.ok_or_fail (Wire.encode_packet ~capacity:(used + 10) [ chunk ]) in
+  let chunks = Util.ok_or_fail (Wire.decode_packet b) in
+  Alcotest.(check int) "one chunk" 1 (List.length chunks)
+
+let test_packet_overflow () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let chunk =
+    Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 100))
+  in
+  match Wire.encode_packet ~capacity:100 [ chunk ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overflow must be rejected"
+
+let test_trailing_garbage () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let chunk =
+    Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 8))
+  in
+  let buf = Buffer.create 64 in
+  Wire.encode_chunk buf chunk;
+  Buffer.add_string buf "\x01\x02\x03";
+  match Wire.decode_packet (Buffer.to_bytes buf) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-zero residue must be rejected"
+
+let test_invalid_st_byte () =
+  let c = Ftuple.v ~id:1 ~sn:0 () in
+  let chunk =
+    Util.ok_or_fail (Chunk.data ~size:4 ~c ~t:c ~x:c (Bytes.create 8))
+  in
+  let buf = Buffer.create 64 in
+  Wire.encode_chunk buf chunk;
+  let b = Buffer.to_bytes buf in
+  Bytes.set b 19 '\x07';
+  match Wire.decode_chunk b 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ST byte 7 must be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "header size" `Quick test_header_size;
+    Alcotest.test_case "roundtrip data chunk" `Quick test_roundtrip_simple;
+    Alcotest.test_case "roundtrip control chunk" `Quick test_roundtrip_control;
+    Alcotest.test_case "truncated input" `Quick test_truncated;
+    Alcotest.test_case "packet with terminator + padding" `Quick
+      test_packet_with_terminator;
+    Alcotest.test_case "packet with sub-header slack" `Quick
+      test_packet_small_slack;
+    Alcotest.test_case "packet overflow" `Quick test_packet_overflow;
+    Alcotest.test_case "trailing garbage rejected" `Quick test_trailing_garbage;
+    Alcotest.test_case "invalid ST byte rejected" `Quick test_invalid_st_byte;
+    Util.qtest "chunk wire roundtrip" Util.gen_data_chunk (fun chunk ->
+        let buf = Buffer.create 64 in
+        Wire.encode_chunk buf chunk;
+        match Wire.decode_chunk (Buffer.to_bytes buf) 0 with
+        | Ok (c, _) -> Chunk.equal c chunk
+        | Error _ -> false);
+    Util.qtest ~count:60 "multi-chunk packet roundtrip"
+      QCheck2.Gen.(list_size (int_range 1 6) Util.gen_data_chunk)
+      (fun chunks ->
+        let total = Wire.chunks_size chunks in
+        let b =
+          Util.ok_or_fail (Wire.encode_packet ~capacity:(total + 100) chunks)
+        in
+        match Wire.decode_packet b with
+        | Ok cs -> List.for_all2 Chunk.equal chunks cs
+        | Error _ -> false);
+    Util.qtest "chunk_size consistent with encoding" Util.gen_data_chunk
+      (fun chunk ->
+        let buf = Buffer.create 64 in
+        Wire.encode_chunk buf chunk;
+        Buffer.length buf = Wire.chunk_size chunk);
+  ]
+
+let test_header_codec () =
+  let h =
+    Util.ok_or_fail
+      (Header.v ~ctype:Ctype.ed ~size:1 ~len:12
+         ~c:(Ftuple.v ~id:9 ~sn:77 ())
+         ~t:(Ftuple.v ~st:true ~id:3 ~sn:0 ())
+         ~x:Ftuple.zero)
+  in
+  let buf = Buffer.create 64 in
+  Wire.encode_header buf h;
+  Alcotest.(check int) "exactly header_size" Wire.header_size
+    (Buffer.length buf);
+  match Wire.decode_header (Buffer.to_bytes buf) 0 with
+  | Ok h' -> Alcotest.(check bool) "roundtrip" true (Header.equal h h')
+  | Error e -> Alcotest.fail e
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "header-only codec" `Quick test_header_codec ]

@@ -1,0 +1,123 @@
+(* Shared helpers and QCheck generators for the test suite. *)
+
+open Labelling
+
+let bytes_testable =
+  Alcotest.testable
+    (fun fmt b -> Format.fprintf fmt "%S" (Bytes.to_string b))
+    Bytes.equal
+
+let chunk_testable = Alcotest.testable Chunk.pp Chunk.equal
+
+let verdict_testable =
+  Alcotest.testable Edc.Verifier.pp_verdict Edc.Verifier.verdict_equal
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let deterministic_bytes n =
+  Bytes.init n (fun i -> Char.chr ((i * 131 + (i lsr 8) * 7 + 5) land 0xFF))
+
+(* --- generators --- *)
+
+let gen_small_id = QCheck2.Gen.int_range 0 0xFFFF
+let gen_sn = QCheck2.Gen.int_range 0 100_000
+
+let gen_ftuple =
+  QCheck2.Gen.map3
+    (fun id sn st -> Ftuple.v ~st ~id ~sn ())
+    gen_small_id gen_sn QCheck2.Gen.bool
+
+(* A random well-formed data chunk: size in 4..16 (multiple of 4), len in
+   1..40, payload deterministic from a seed byte. *)
+let gen_data_chunk =
+  let open QCheck2.Gen in
+  let* size = map (fun k -> 4 * (1 + k)) (int_range 0 3) in
+  let* len = int_range 1 40 in
+  let* c = gen_ftuple in
+  let* t = gen_ftuple in
+  let* x = gen_ftuple in
+  let* seed = int_range 0 255 in
+  let payload =
+    Bytes.init (size * len) (fun i -> Char.chr ((seed + (i * 17)) land 0xFF))
+  in
+  return
+    (match Chunk.data ~size ~c ~t ~x payload with
+    | Ok ch -> ch
+    | Error e -> invalid_arg e)
+
+(* A framed stream: returns (original stream bytes, chunks).  Frame and
+   TPDU geometry varies; elem size 4. *)
+let gen_framed_stream =
+  let open QCheck2.Gen in
+  let* tpdu_elems = int_range 4 40 in
+  let* nframes = int_range 1 6 in
+  let* frame_elems = list_repeat nframes (int_range 1 30) in
+  let* conn_id = gen_small_id in
+  let* seed = int_range 0 255 in
+  let framer = Framer.create ~elem_size:4 ~tpdu_elems ~conn_id () in
+  let bufs =
+    List.map
+      (fun n ->
+        Bytes.init (n * 4) (fun i -> Char.chr ((seed + (i * 29)) land 0xFF)))
+      frame_elems
+  in
+  let rec push acc = function
+    | [] -> List.concat (List.rev acc)
+    | [ last ] -> (
+        match Framer.push_frame ~last:true framer last with
+        | Ok cs -> List.concat (List.rev (cs :: acc))
+        | Error e -> invalid_arg e)
+    | frame :: rest -> (
+        match Framer.push_frame framer frame with
+        | Ok cs -> push (cs :: acc) rest
+        | Error e -> invalid_arg e)
+  in
+  let chunks = push [] bufs in
+  return (Bytes.concat Bytes.empty bufs, chunks)
+
+(* Random recursive fragmentation of a chunk list: each chunk is split
+   into pieces at random element boundaries, recursively. *)
+let rec random_splits rand chunk =
+  let len = chunk.Chunk.header.Header.len in
+  if len <= 1 || not (Chunk.is_data chunk) then [ chunk ]
+  else if QCheck2.Gen.generate1 ~rand QCheck2.Gen.bool then [ chunk ]
+  else begin
+    let at = 1 + QCheck2.Gen.generate1 ~rand (QCheck2.Gen.int_bound (len - 2)) in
+    let a, b =
+      match Fragment.split chunk ~elems:at with
+      | Ok pair -> pair
+      | Error e -> invalid_arg e
+    in
+    random_splits rand a @ random_splits rand b
+  end
+
+let fragment_randomly ~seed chunks =
+  let rand = Random.State.make [| seed |] in
+  List.concat_map (random_splits rand) chunks
+
+let shuffle ~seed list =
+  let rand = Random.State.make [| seed |] in
+  let arr = Array.of_list list in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+(* Concatenated payloads of data chunks in C.SN order — the stream a
+   receiver should reconstruct. *)
+let stream_of_chunks chunks =
+  chunks
+  |> List.filter Chunk.is_data
+  |> List.sort (fun a b ->
+         Int.compare a.Chunk.header.Header.c.Ftuple.sn
+           b.Chunk.header.Header.c.Ftuple.sn)
+  |> List.map (fun c -> c.Chunk.payload)
+  |> Bytes.concat Bytes.empty
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
