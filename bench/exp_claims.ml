@@ -237,6 +237,12 @@ let clm_wsc () =
   Printf.printf "    WSC-2 (64-bit, order-free):   %d\n" !miss_wsc;
   Printf.printf "    CRC-32 (order-bound):         %d\n" !miss_crc;
   Printf.printf "    Internet checksum (16-bit):   %d\n" !miss_inet;
+  Util_bench.Metrics.record ~exp:"CLM-WSC" "residual misses WSC-2"
+    (float_of_int !miss_wsc);
+  Util_bench.Metrics.record ~exp:"CLM-WSC" "residual misses CRC-32"
+    (float_of_int !miss_crc);
+  Util_bench.Metrics.record ~exp:"CLM-WSC" "residual misses Internet checksum"
+    (float_of_int !miss_inet);
   Printf.printf
     "  -> WSC-2 matches CRC-grade detection while remaining computable on\n\
     \     disordered data; the Internet checksum is order-free but misses\n\
@@ -565,10 +571,13 @@ let clm_par () =
           (List.init 3 (fun _ -> time_once workers))
       in
       if workers = 1 then base := dt;
+      let rate = float_of_int bytes /. dt /. 1e6 in
+      Util_bench.Metrics.record ~exp:"CLM-PAR"
+        (Printf.sprintf "%d workers MB/s" workers)
+        rate;
       Printf.printf "    %d worker%s: %7.1f MB/s  speedup %.2fx\n" workers
         (if workers = 1 then " " else "s")
-        (float_of_int bytes /. dt /. 1e6)
-        (!base /. dt))
+        rate (!base /. dt))
     worker_counts;
   if cores = 1 then
     Printf.printf

@@ -1,14 +1,64 @@
 (* Experiment harness: one section per paper figure/table plus the
    measured-claim experiments of DESIGN.md, then bechamel micro
-   benchmarks.  See EXPERIMENTS.md for paper-vs-measured commentary. *)
+   benchmarks.  See EXPERIMENTS.md for paper-vs-measured commentary.
+
+   Options:
+     --json FILE   also write every recorded metric as JSON
+                   ({exp id -> {metric -> value}}), e.g. BENCH_results.json
+     --only LIST   run only the named comma-separated sections
+                   (figs,table1,apxb,claims,ablation,micro) — used by CI
+                   for a quick MICRO smoke *)
+
+let sections =
+  [
+    ("figs", Exp_figs.run);
+    ("table1", Exp_table1.run);
+    ("apxb", Exp_apxb.run);
+    ("claims", Exp_claims.run);
+    ("ablation", Exp_ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--json FILE] [--only figs,table1,apxb,claims,ablation,micro]";
+  exit 2
 
 let () =
+  let json = ref None in
+  let only = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | "--only" :: list :: rest ->
+        let names = String.split_on_char ',' list in
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n sections) then begin
+              Printf.eprintf "unknown section %S\n" n;
+              usage ()
+            end)
+          names;
+        only := Some names;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match !only with
+    | None -> sections
+    | Some names -> List.filter (fun (n, _) -> List.mem n names) sections
+  in
   Printf.printf "chunks reproduction bench harness (deterministic, seed \
                  0x5EED unless printed otherwise)\n";
-  Exp_figs.run ();
-  Exp_table1.run ();
-  Exp_apxb.run ();
-  Exp_claims.run ();
-  Exp_ablation.run ();
-  Micro.run ();
-  Printf.printf "\nall experiment assertions held.\n"
+  List.iter (fun (_, run) -> run ()) selected;
+  (match !json with
+  | Some file ->
+      Util_bench.Metrics.write_json file;
+      Printf.printf "\nmetrics written to %s\n" file
+  | None -> ());
+  if !only = None then Printf.printf "\nall experiment assertions held.\n"
+  else
+    Printf.printf "\nall assertions in the selected sections held.\n"

@@ -50,6 +50,10 @@ let test_gf_mul =
   Test.make ~name:"gf232.mul" (Staged.stage (fun () ->
       ignore (Gf232.mul 0xDEADBEEF 0x0BADF00D)))
 
+let test_gf_ref_mul =
+  Test.make ~name:"gf232.ref_mul (bitwise)" (Staged.stage (fun () ->
+      ignore (Gf232.Ref.mul 0xDEADBEEF 0x0BADF00D)))
+
 let test_alpha_pow =
   Test.make ~name:"gf232.alpha_pow 12345" (Staged.stage (fun () ->
       ignore (Gf232.alpha_pow 12345)))
@@ -76,7 +80,8 @@ let grouped =
   Test.make_grouped ~name:"micro"
     [
       test_split; test_merge; test_wire_encode; test_wire_decode; test_wsc2;
-      test_gf_mul; test_alpha_pow; test_crc32; test_xpos; test_vreassembly;
+      test_gf_mul; test_gf_ref_mul; test_alpha_pow; test_crc32; test_xpos;
+      test_vreassembly;
     ]
 
 let run () =
@@ -97,6 +102,14 @@ let run () =
   List.iter
     (fun (name, est) ->
       match Analyze.OLS.estimates est with
-      | Some (e :: _) -> Printf.printf "  %-42s %14.1f\n" name e
+      | Some (e :: _) ->
+          Printf.printf "  %-42s %14.1f\n" name e;
+          Util_bench.Metrics.record ~exp:"MICRO" (name ^ " ns/op") e;
+          (* byte-rate of the 4 KiB kernels, for the perf trajectory *)
+          if e > 0. && String.length name >= 4
+             && String.sub name (String.length name - 4) 4 = "4KiB"
+          then
+            Util_bench.Metrics.record ~exp:"MICRO" (name ^ " MB/s")
+              (4096. /. e *. 1e3)
       | Some [] | None -> Printf.printf "  %-42s %14s\n" name "n/a")
     rows

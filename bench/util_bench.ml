@@ -2,6 +2,59 @@
 
 open Labelling
 
+(* Machine-readable results: experiments record named scalar metrics as
+   they print them; [main] dumps everything as one JSON object
+   {exp id -> {metric -> value}} when --json FILE is given, so the perf
+   trajectory of the kernels can be tracked across commits. *)
+module Metrics = struct
+  let tbl : (string, (string * float) list ref) Hashtbl.t = Hashtbl.create 16
+  let order : string list ref = ref []
+
+  let record ~exp key value =
+    match Hashtbl.find_opt tbl exp with
+    | Some cell -> cell := (key, value) :: !cell
+    | None ->
+        Hashtbl.add tbl exp (ref [ (key, value) ]);
+        order := exp :: !order
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let number v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+
+  let write_json path =
+    let oc = open_out path in
+    output_string oc "{\n";
+    let exps = List.rev !order in
+    List.iteri
+      (fun i exp ->
+        Printf.fprintf oc "  \"%s\": {\n" (escape exp);
+        let rows = List.rev !(Hashtbl.find tbl exp) in
+        List.iteri
+          (fun j (k, v) ->
+            Printf.fprintf oc "    \"%s\": %s%s\n" (escape k) (number v)
+              (if j = List.length rows - 1 then "" else ","))
+          rows;
+        Printf.fprintf oc "  }%s\n" (if i = List.length exps - 1 then "" else ","))
+      exps;
+    output_string oc "}\n";
+    close_out oc
+end
+
 (* Concatenated payloads of data chunks in C.SN order, truncated to [n]
    bytes. *)
 let stream_prefix chunks n =

@@ -79,7 +79,7 @@ let seal chunks =
       let x = Ftuple.zero in
       let total_elems = Chunk.last_t_sn final + 1 in
       let payload = Bytes.make 12 '\000' in
-      Bytes.blit (Wsc2.parity_to_bytes parity) 0 payload 0 8;
+      Wsc2.parity_blit parity payload 0;
       Bytes.set_int32_be payload 8 (Int32.of_int total_elems);
       Chunk.control ~kind:Ctype.ed ~c ~t ~x payload
 

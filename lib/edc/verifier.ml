@@ -187,7 +187,12 @@ let commit_arrival s (h : Header.t) =
   if not (Hashtbl.mem s.x_deltas h.Header.x.Ftuple.id) then
     Hashtbl.add s.x_deltas h.Header.x.Ftuple.id xd
 
-(* Accumulate exactly the fresh element sub-runs of a chunk's payload. *)
+(* Accumulate exactly the fresh element sub-runs of a chunk's payload.
+   The unchecked fast path is safe here: [fresh] runs are sub-ranges of
+   the chunk's own [sn, sn + len) (so the byte slice is inside the
+   payload, whose length the chunk invariant ties to LEN * SIZE), and
+   [arrival_check] already rejected any chunk whose element span escapes
+   the invariant's data region, so every position is in range. *)
 let accumulate_fresh s chunk fresh =
   let h = chunk.Chunk.header in
   let size = h.Header.size in
@@ -198,7 +203,7 @@ let accumulate_fresh s chunk fresh =
       | Error msg -> if s.damage = None then s.damage <- Some msg
       | Ok pos ->
           let off = (sn - base_sn) * size in
-          Wsc2.add_bytes s.acc ~pos chunk.Chunk.payload off (len * size))
+          Wsc2.add_subbytes_exn s.acc ~pos chunk.Chunk.payload off (len * size))
     fresh
 
 let on_data v chunk =

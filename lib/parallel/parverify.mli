@@ -11,7 +11,12 @@
     trivially.  (A conventional stack cannot do this: implicit labelling
     makes processing order-dependent, serialising the receiver.)
 
-    Workers are OCaml 5 domains. *)
+    Workers are OCaml 5 domains.  The table-driven {!Gf232} fast paths
+    they run on (weight cache, windowed-multiply and slicing tables) are
+    built once at module initialisation and immutable afterwards, so
+    domains share them without synchronisation; workers use the
+    validation-free {!Wsc2.add_subbytes_exn} accumulation path via
+    [Edc.Verifier]. *)
 
 type report = {
   verdicts : (int * Edc.Verifier.verdict) list;

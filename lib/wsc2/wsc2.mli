@@ -33,6 +33,13 @@ val pp_parity : Format.formatter -> parity -> unit
 val parity_to_bytes : parity -> bytes
 (** 8-byte big-endian wire image: P0 then P1. *)
 
+val parity_blit : parity -> bytes -> int -> unit
+(** [parity_blit p b off] writes the 8-byte wire image of [p] into [b]
+    at offset [off] — the zero-copy variant of {!parity_to_bytes} used
+    when sealing ED chunks.
+
+    @raise Invalid_argument if fewer than 8 bytes are available. *)
+
 val parity_of_bytes : bytes -> int -> parity
 (** [parity_of_bytes b off] reads the 8-byte image at offset [off].
 
@@ -67,8 +74,24 @@ val add_bytes : acc -> pos:int -> bytes -> int -> int -> unit
 (** [add_bytes acc ~pos b off len] absorbs [len] bytes of [b] starting at
     [off] as consecutive big-endian 32-bit symbols at positions [pos],
     [pos+1], ...  A trailing partial word is zero-padded on the right.
-    Uses the incremental weight update (one field multiplication per
-    word), so sequential runs cost one [xtime] + one [mul] per symbol. *)
+
+    Runs the table-driven slicing-by-8 kernel: 32 bytes (eight symbols)
+    are folded per inner-loop iteration from unaligned word loads and
+    the {!Gf232.Slice} overflow table, and one windowed multiplication
+    by the cached weight [alpha^pos] anchors the whole run — no
+    per-symbol field multiplication, no allocation.
+
+    @raise Invalid_argument if the slice is outside [b] or a position is
+    outside [0, max_position]. *)
+
+val add_subbytes_exn : acc -> pos:int -> bytes -> int -> int -> unit
+(** Unsafe-fast {!add_bytes}: identical accumulation, no validation.
+    The caller must guarantee [0 <= off], [0 <= len],
+    [off + len <= Bytes.length b] and
+    [pos + symbols_of_bytes len - 1 <= max_position]; violating this is
+    undefined behaviour (out-of-bounds reads).  Used on the per-chunk
+    verify path ([Edc.Verifier], [Parverify] workers) where the slice
+    was already validated by the fragmentation invariant. *)
 
 val symbols_of_bytes : int -> int
 (** [symbols_of_bytes n] is the number of 32-bit symbols spanned by [n]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "chunks"
     [
       ("gf232", Test_gf232.suite);
+      ("gf-fast", Test_gf_fast.suite);
       ("wsc2", Test_wsc2.suite);
       ("labelling", Test_labelling.suite);
       ("fragment", Test_fragment.suite);
