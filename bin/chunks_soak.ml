@@ -1,0 +1,228 @@
+(* chunks-soak: the adversarial conformance harness as a command.
+
+   chunks-soak --profile hostile --schedules 2000
+   chunks-soak --seconds 300 --profile hostile --json soak.json
+   chunks-soak --mutate flip:3 --profile clean        (harness self-test)
+   chunks-soak --replay 'seed=42 profile=clean ...'   (one schedule, verbose)
+
+   Exit status: 0 when every profile ran clean (or, under --mutate, when
+   the injected bug WAS caught); 1 otherwise. *)
+
+open Cmdliner
+
+let profiles_of = function
+  | "all" -> Ok [ Check.Schedule.Clean; Check.Schedule.Lossy; Check.Schedule.Hostile ]
+  | name -> (
+      match Check.Schedule.profile_of_name name with
+      | Some p -> Ok [ p ]
+      | None -> Error (Printf.sprintf "unknown profile %S" name))
+
+let print_finding i (f : Check.Soak.finding) =
+  Printf.printf "finding %d:\n" i;
+  List.iter
+    (fun v -> Printf.printf "  %s\n" (Check.Oracle.violation_to_string v))
+    f.Check.Soak.violations;
+  Printf.printf "  schedule: %s\n" (Check.Schedule.to_string f.Check.Soak.schedule);
+  Printf.printf "  shrunk (%d runs): %s\n" f.Check.Soak.shrunk.Check.Shrink.runs
+    (Check.Schedule.to_string f.Check.Soak.shrunk.Check.Shrink.schedule);
+  List.iter
+    (fun v -> Printf.printf "    still violates %s\n" (Check.Oracle.violation_to_string v))
+    f.Check.Soak.shrunk.Check.Shrink.violations
+
+let write_artifacts dir reports =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (r : Check.Soak.report) ->
+      List.iteri
+        (fun i (f : Check.Soak.finding) ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "counterexample-%s-%d.txt"
+                 (Check.Schedule.profile_name r.Check.Soak.profile) i)
+          in
+          let oc = open_out path in
+          Printf.fprintf oc "# violations:\n";
+          List.iter
+            (fun v ->
+              Printf.fprintf oc "#   %s\n" (Check.Oracle.violation_to_string v))
+            f.Check.Soak.shrunk.Check.Shrink.violations;
+          Printf.fprintf oc "%s\n"
+            (Check.Schedule.to_string f.Check.Soak.shrunk.Check.Shrink.schedule);
+          close_out oc)
+        r.Check.Soak.findings)
+    reports
+
+let run_replay spec mutate =
+  match Check.Schedule.of_string spec with
+  | None ->
+      Printf.eprintf "error: unparseable schedule\n";
+      2
+  | Some schedule ->
+      let trace = Check.Trace.create () in
+      let model = Check.Model.of_schedule schedule in
+      let observation = Check.Driver.run ~mutation:mutate ~trace schedule in
+      Format.printf "%a" Check.Trace.pp trace;
+      Printf.printf
+        "ok=%b complete=%b gave_up=%b retrans=%d sack=%d nacks=%d\n\
+         tpdus passed=%d failed=%d dups=%d in_flight=%d stashed=%d pending=%d\n"
+        observation.Check.Driver.ok observation.complete observation.gave_up
+        observation.retransmissions observation.sack_retransmissions
+        observation.nacks_sent
+        observation.verifier.Edc.Verifier.tpdus_passed
+        observation.verifier.Edc.Verifier.tpdus_failed
+        observation.verifier.Edc.Verifier.duplicates
+        observation.verifier_in_flight observation.stashed_tpdus
+        observation.engine_pending;
+      let violations = Check.Oracle.check ~schedule ~model ~observation in
+      List.iter
+        (fun v -> Printf.printf "VIOLATION %s\n" (Check.Oracle.violation_to_string v))
+        violations;
+      if violations = [] then begin
+        Printf.printf "no oracle violations\n";
+        0
+      end
+      else 1
+
+let run_soak profile schedules seconds seed json mutate replay artifacts_dir =
+  let mutation =
+    match Check.Driver.mutation_of_string mutate with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "error: bad --mutate %S (none|flip:N|dup:N|drop:N)\n"
+          mutate;
+        exit 2
+  in
+  match replay with
+  | Some spec -> run_replay spec mutation
+  | None -> (
+      match profiles_of profile with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          2
+      | Ok profiles ->
+          (* 0 = auto: the usual 1000, or as many as the time budget
+             allows when one is given *)
+          let schedules =
+            if schedules > 0 then schedules
+            else if seconds = None then 1000
+            else max_int
+          in
+          let t0 = Unix.gettimeofday () in
+          let reports =
+            List.map
+              (fun p ->
+                let seconds =
+                  Option.map
+                    (fun total ->
+                      Float.max 1.0 (total -. (Unix.gettimeofday () -. t0)))
+                    seconds
+                in
+                let report =
+                  Check.Soak.run_profile ~mutation ~schedules ?seconds
+                    ~progress:(fun i ->
+                      if i mod 200 = 0 then
+                        Printf.eprintf "[%s] %d schedules...\n%!"
+                          (Check.Schedule.profile_name p) i)
+                    ~seed p
+                in
+                Printf.printf
+                  "%-8s %5d schedules  %d violations  %d/%d injections undetected  %.1fs\n%!"
+                  (Check.Schedule.profile_name p) report.Check.Soak.schedules_run
+                  (List.length report.Check.Soak.findings)
+                  report.Check.Soak.detect_undetected
+                  report.Check.Soak.detect_trials report.Check.Soak.wall_seconds;
+                List.iteri print_finding report.Check.Soak.findings;
+                report)
+              profiles
+          in
+          (match json with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Check.Soak.json_of_reports reports);
+              output_string oc "\n";
+              close_out oc
+          | None -> ());
+          (match artifacts_dir with
+          | Some dir -> write_artifacts dir reports
+          | None -> ());
+          let all_clean = List.for_all Check.Soak.clean reports in
+          if mutation = Check.Driver.No_mutation then
+            if all_clean then 0 else 1
+          else if
+            (* mutation mode is a self-test: the injected bug must be
+               caught and the catch must shrink to a replayable pair *)
+            List.exists
+              (fun r ->
+                List.exists
+                  (fun f ->
+                    f.Check.Soak.shrunk.Check.Shrink.violations <> [])
+                  r.Check.Soak.findings)
+              reports
+          then begin
+            Printf.printf "mutation %s: caught and shrunk\n"
+              (Check.Driver.mutation_to_string mutation);
+            0
+          end
+          else begin
+            Printf.printf "mutation %s: NOT caught — the oracle is blind\n"
+              (Check.Driver.mutation_to_string mutation);
+            1
+          end)
+
+let cmd =
+  let profile =
+    Arg.(
+      value & opt string "all"
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Fault profile: clean, lossy, hostile, or all.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 0
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:
+            "Schedules per profile; 0 (the default) means 1000, or \
+             unlimited when $(b,--seconds) bounds the run.")
+  in
+  let seconds =
+    Arg.(
+      value & opt (some float) None
+      & info [ "seconds" ] ~docv:"S"
+          ~doc:"Wall-clock budget for the whole invocation.")
+  in
+  let seed =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON report.")
+  in
+  let mutate =
+    Arg.(
+      value & opt string "none"
+      & info [ "mutate" ] ~docv:"MODE"
+          ~doc:
+            "Inject a stack bug (flip:N, dup:N, drop:N) and require the \
+             oracle to catch it.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:"Replay one schedule (as printed by a finding) with a trace.")
+  in
+  let artifacts_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "artifacts-dir" ] ~docv:"DIR"
+          ~doc:"Write shrunk counterexample schedules here.")
+  in
+  Cmd.v
+    (Cmd.info "chunks-soak" ~version:"1.0"
+       ~doc:"Differential conformance soak for the chunk pipeline")
+    Term.(
+      const run_soak $ profile $ schedules $ seconds $ seed $ json $ mutate
+      $ replay $ artifacts_dir)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,215 @@
+module CT = Transport.Chunk_transport
+
+(* Stack bugs injected at the receiver door to prove the oracle can see
+   (and the shrinker can minimise) real misbehaviour.  The door is the
+   one point every forward packet crosses, whatever the topology. *)
+type mutation =
+  | No_mutation
+  | Flip_every of int  (** XOR one byte of every [n]th delivered packet *)
+  | Dup_every of int  (** deliver every [n]th packet twice *)
+  | Drop_every of int  (** swallow every [n]th packet *)
+
+let mutation_to_string = function
+  | No_mutation -> "none"
+  | Flip_every n -> Printf.sprintf "flip:%d" n
+  | Dup_every n -> Printf.sprintf "dup:%d" n
+  | Drop_every n -> Printf.sprintf "drop:%d" n
+
+let mutation_of_string str =
+  match String.split_on_char ':' str with
+  | [ "none" ] -> Some No_mutation
+  | [ "flip"; n ] -> Option.map (fun n -> Flip_every n) (int_of_string_opt n)
+  | [ "dup"; n ] -> Option.map (fun n -> Dup_every n) (int_of_string_opt n)
+  | [ "drop"; n ] -> Option.map (fun n -> Drop_every n) (int_of_string_opt n)
+  | _ -> None
+
+type observation = {
+  ok : bool;
+  complete : bool;
+  gave_up : bool;
+  finished : bool;
+  delivered : bytes;
+  delivered_elems : int;
+  retransmissions : int;
+  sack_retransmissions : int;
+  nacks_sent : int;
+  tpdus_sent : int;
+  packets_sent : int;
+  verifier : Edc.Verifier.stats;
+  verifier_in_flight : int;
+  stashed_tpdus : int;
+  engine_pending : int;
+  sim_time : float;
+  forward : Netsim.Link.stats;
+  dropper : Netsim.Dropper.stats option;
+  gateways_malformed : int;
+  mutated_packets : int;
+}
+
+(* Far beyond the slowest legitimate run: a sender that gives up does so
+   after at most ~303 RTOs (capped exponential backoff), and RTOs are
+   clamped to 2 s.  Events still queued at the horizon mean a component
+   reschedules itself forever — the lockup the oracle reports. *)
+let horizon = 1000.0
+
+let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
+  let config = Schedule.config_of s in
+  let data = Schedule.data_of s in
+  let engine = Netsim.Engine.create ~seed:s.seed () in
+  let trec fmt =
+    Printf.ksprintf
+      (fun ev ->
+        match trace with
+        | Some t -> Trace.add t ~time:(Netsim.Engine.now engine) ev
+        | None -> ())
+      fmt
+  in
+  let receiver = ref None in
+  let sender = ref None in
+  let mutated = ref 0 in
+  let door_count = ref 0 in
+  let to_receiver_raw b =
+    match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ()
+  in
+  let to_receiver b =
+    incr door_count;
+    let n = !door_count in
+    trec "rx packet #%d (%d bytes)" n (Bytes.length b);
+    match mutation with
+    | No_mutation -> to_receiver_raw b
+    | Flip_every k when k > 0 && n mod k = 0 ->
+        incr mutated;
+        trec "MUTATION flip byte of packet #%d" n;
+        let b = Bytes.copy b in
+        let i = 50 mod Bytes.length b in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+        to_receiver_raw b
+    | Dup_every k when k > 0 && n mod k = 0 ->
+        incr mutated;
+        trec "MUTATION duplicate packet #%d" n;
+        to_receiver_raw b;
+        to_receiver_raw b
+    | Drop_every k when k > 0 && n mod k = 0 ->
+        incr mutated;
+        trec "MUTATION drop packet #%d" n
+    | Flip_every _ | Dup_every _ | Drop_every _ -> to_receiver_raw b
+  in
+  (* Congestion-drop element just before the receiver.  Doomed-TPDU
+     memory must not outlive a retransmission round, or the dropper
+     black-holes a TPDU forever; resetting on the first arrival after an
+     RTO-sized quiet period keeps the simulation event-driven (a
+     repeating reset timer would never let the queue drain). *)
+  let dropper, after_gateways =
+    match s.dropper with
+    | None -> (None, to_receiver)
+    | Some { drop_mode; drop_loss } ->
+        let d =
+          Netsim.Dropper.create ~mode:drop_mode
+            ~rng:(Netsim.Rng.split (Netsim.Engine.rng engine))
+            ~loss:drop_loss ~forward:to_receiver ()
+        in
+        let last_reset = ref 0.0 in
+        ( Some d,
+          fun b ->
+            let now = Netsim.Engine.now engine in
+            if now -. !last_reset > s.rto then begin
+              last_reset := now;
+              Netsim.Dropper.reset_epoch d
+            end;
+            Netsim.Dropper.on_packet d b )
+  in
+  (* Gateway chain, built back to front; each re-envelopes for its own
+     outgoing link.  Batching gateways get a one-shot flush scheduled
+     per arrival so held chunks always drain. *)
+  let gws = ref [] in
+  let first_hop =
+    List.fold_left
+      (fun downstream (g : Schedule.gateway) ->
+        let out_link =
+          Netsim.Link.create engine ~rate_bps:s.rate_bps ~delay:s.delay
+            ~mtu:g.gw_mtu ~deliver:downstream ()
+        in
+        let gw =
+          Netsim.Gateway.create ~policy:g.gw_policy ~flush_batch:g.gw_batch
+            ~forward:(fun b -> ignore (Netsim.Link.send out_link b))
+            ~out_mtu:g.gw_mtu ()
+        in
+        gws := gw :: !gws;
+        fun b ->
+          Netsim.Gateway.on_packet gw b;
+          if g.gw_batch > 1 then
+            Netsim.Engine.schedule engine ~delay:0.002 (fun () ->
+                Netsim.Gateway.flush gw))
+      after_gateways (List.rev s.gateways)
+  in
+  let spread =
+    match s.spread with
+    | Schedule.Round_robin -> Netsim.Multipath.Round_robin
+    | Schedule.Random_path -> Netsim.Multipath.Random
+    | Schedule.Route_change t -> Netsim.Multipath.Route_change t
+  in
+  let forward =
+    Netsim.Multipath.create engine ~paths:s.paths ~rate_bps:s.rate_bps
+      ~delay:s.delay ~skew:s.skew ~jitter:s.jitter ~mtu:config.CT.mtu
+      ~loss:s.loss ~corrupt:s.corrupt ~duplicate:s.duplicate ~spread
+      ~deliver:first_hop ()
+  in
+  let reverse =
+    Netsim.Link.create engine ~name:"ack" ~rate_bps:1e9 ~delay:s.delay
+      ~mtu:config.CT.mtu
+      ~deliver:(fun b ->
+        trec "ack packet (%d bytes)" (Bytes.length b);
+        match !sender with Some t -> CT.Sender.on_packet t b | None -> ())
+      ()
+  in
+  let expected_elems =
+    CT.expected_elements config ~data_len:(Bytes.length data)
+  in
+  let rx =
+    CT.Receiver.create engine config
+      ~send_ack:(fun b -> ignore (Netsim.Link.send reverse b))
+      ~expected_elems ()
+  in
+  receiver := Some rx;
+  let tx =
+    CT.Sender.create engine config
+      ~send:(fun b -> ignore (Netsim.Multipath.send forward b))
+      ~data ()
+  in
+  sender := Some tx;
+  CT.Sender.start tx;
+  Netsim.Engine.run ~until:horizon engine;
+  let delivered = CT.Receiver.contents rx in
+  let n = Bytes.length data in
+  let ok =
+    (not (CT.Sender.gave_up tx))
+    && CT.Receiver.complete rx
+    && Bytes.length delivered >= n
+    && Bytes.equal (Bytes.sub delivered 0 n) data
+  in
+  trec "run end: ok=%b pending=%d" ok (Netsim.Engine.pending engine);
+  {
+    ok;
+    complete = CT.Receiver.complete rx;
+    gave_up = CT.Sender.gave_up tx;
+    finished = CT.Sender.finished tx;
+    delivered;
+    delivered_elems = CT.Receiver.delivered_elems rx;
+    retransmissions = CT.Sender.retransmissions tx;
+    sack_retransmissions = CT.Sender.sack_retransmissions tx;
+    nacks_sent = CT.Receiver.nacks_sent rx;
+    tpdus_sent = CT.Sender.tpdus_sent tx;
+    packets_sent = CT.Sender.packets_sent tx;
+    verifier = CT.Receiver.verifier_stats rx;
+    verifier_in_flight = CT.Receiver.verifier_in_flight rx;
+    stashed_tpdus = CT.Receiver.stashed_tpdus rx;
+    engine_pending = Netsim.Engine.pending engine;
+    sim_time = Netsim.Engine.now engine;
+    forward = Netsim.Multipath.aggregate_stats forward;
+    dropper = Option.map Netsim.Dropper.stats dropper;
+    gateways_malformed =
+      List.fold_left
+        (fun acc gw -> acc + (Netsim.Gateway.stats gw).Netsim.Gateway.malformed)
+        0 !gws;
+    mutated_packets = !mutated;
+  }

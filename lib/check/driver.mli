@@ -1,0 +1,47 @@
+(** Runs the real stack — Framer → packing → multipath wire → gateway
+    refragmentation chain → congestion dropper → Receiver (virtual
+    reassembly, WSC-2 verification, immediate placement) — under one
+    {!Schedule}, and reports everything the {!Oracle} observes.
+
+    Deterministic: the same (seed, schedule, mutation) triple replays
+    the same execution event for event. *)
+
+type mutation =
+  | No_mutation
+  | Flip_every of int
+      (** XOR one byte of every [n]th packet at the receiver door — an
+          injected stack bug the oracle must catch *)
+  | Dup_every of int
+  | Drop_every of int
+
+val mutation_to_string : mutation -> string
+val mutation_of_string : string -> mutation option
+
+type observation = {
+  ok : bool;  (** delivered prefix equals sent data *)
+  complete : bool;  (** connection placement buffer fully covered *)
+  gave_up : bool;
+  finished : bool;
+  delivered : bytes;
+  delivered_elems : int;
+  retransmissions : int;
+  sack_retransmissions : int;
+  nacks_sent : int;
+  tpdus_sent : int;
+  packets_sent : int;
+  verifier : Edc.Verifier.stats;
+  verifier_in_flight : int;  (** leak probe *)
+  stashed_tpdus : int;  (** leak probe *)
+  engine_pending : int;  (** > 0 after the horizon means lockup *)
+  sim_time : float;
+  forward : Netsim.Link.stats;  (** aggregate over the multipath *)
+  dropper : Netsim.Dropper.stats option;
+  gateways_malformed : int;
+  mutated_packets : int;
+}
+
+val horizon : float
+(** Simulated-time bound on a run; far beyond the slowest legitimate
+    completion or give-up. *)
+
+val run : ?mutation:mutation -> ?trace:Trace.t -> Schedule.t -> observation

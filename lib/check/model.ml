@@ -1,0 +1,23 @@
+type t = {
+  elems : int;
+  elem_size : int;
+  n_tpdus : int;
+  expected : bytes;
+}
+
+(* Mirrors [Framer]'s cutting rules without running the framer: each
+   frame is padded to a whole element, elements accumulate on the
+   connection, and a TPDU boundary falls every [tpdu_elems] elements
+   plus once at the end of the stream. *)
+let of_schedule (s : Schedule.t) =
+  let data = Schedule.data_of s in
+  let full = s.data_len / s.frame_bytes in
+  let rem = s.data_len mod s.frame_bytes in
+  let elems =
+    (full * (s.frame_bytes / s.elem_size))
+    + ((rem + s.elem_size - 1) / s.elem_size)
+  in
+  let n_tpdus = (elems + s.tpdu_elems - 1) / s.tpdu_elems in
+  let expected = Bytes.make (elems * s.elem_size) '\000' in
+  Bytes.blit data 0 expected 0 s.data_len;
+  { elems; elem_size = s.elem_size; n_tpdus; expected }

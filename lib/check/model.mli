@@ -1,0 +1,25 @@
+(** The pure reference model: the idealised map from a schedule (which
+    fixes the byte stream being sent and how it is framed) to the
+    outcome a correct stack must produce, computed without running any
+    of the stack.
+
+    The model abstracts {e all} of the machinery under test — framing,
+    packing, gateways, reassembly, verification, retransmission — down
+    to three numbers and a buffer:
+
+    - [elems]: how many elements the receiver's connection buffer holds
+      once the stream is framed (only the final frame pads to a whole
+      element);
+    - [n_tpdus]: how many TPDUs a fixed-size framer cuts the stream
+      into (the count a non-adaptive sender must get verified, exactly);
+    - [expected]: the delivered buffer a complete transfer must equal —
+      the sent bytes, zero-padded to [elems * elem_size]. *)
+
+type t = {
+  elems : int;
+  elem_size : int;
+  n_tpdus : int;
+  expected : bytes;
+}
+
+val of_schedule : Schedule.t -> t

@@ -1,0 +1,130 @@
+type violation = { code : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.code v.detail
+
+let violation_to_string v = Printf.sprintf "[%s] %s" v.code v.detail
+
+(* Where the first delivered byte differs from the model, for diagnosis. *)
+let first_diff a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  let rec go i =
+    if i >= n then n
+    else if Bytes.get a i <> Bytes.get b i then i
+    else go (i + 1)
+  in
+  go 0
+
+let check ~(schedule : Schedule.t) ~(model : Model.t)
+    ~(observation : Driver.observation) =
+  let s = schedule and m = model and o = observation in
+  let vs = ref [] in
+  let fail code fmt =
+    Printf.ksprintf (fun detail -> vs := { code; detail } :: !vs) fmt
+  in
+  (* Liveness: every schedule must terminate — either the transfer
+     completes or the sender gives up, and all timers wind down. *)
+  if o.engine_pending > 0 then
+    fail "lockup" "%d events still pending at the %.0fs horizon"
+      o.engine_pending Driver.horizon;
+  if o.gave_up then
+    fail "gave-up"
+      "sender abandoned a TPDU (no generated schedule black-holes a path)";
+  if (not o.gave_up) && not o.finished then
+    fail "unfinished" "sender neither completed nor gave up";
+  (* Delivery: the delivered buffer must equal the model's expectation
+     byte for byte — placement by label, across any amount of
+     refragmentation and disorder, reconstructs the stream exactly. *)
+  if not o.gave_up then begin
+    if not o.complete then
+      fail "incomplete" "placement holds %d of %d elements" o.delivered_elems
+        m.Model.elems;
+    if o.delivered_elems <> m.Model.elems then
+      fail "element-count" "delivered %d elements, model expects %d"
+        o.delivered_elems m.Model.elems;
+    if
+      Bytes.length o.delivered = Bytes.length m.Model.expected
+      && not (Bytes.equal o.delivered m.Model.expected)
+    then
+      fail "data-mismatch" "delivered buffer differs at byte %d"
+        (first_diff o.delivered m.Model.expected)
+    else if Bytes.length o.delivered <> Bytes.length m.Model.expected then
+      fail "data-mismatch" "delivered %d bytes, model expects %d"
+        (Bytes.length o.delivered)
+        (Bytes.length m.Model.expected)
+  end;
+  if o.delivered_elems > m.Model.elems then
+    fail "conservation" "placed %d elements, only %d exist" o.delivered_elems
+      m.Model.elems;
+  (* Quiet wire: with no fault enabled the protocol must be silent —
+     no retransmission (the RTO is an overestimate by construction), no
+     gap report, no duplicate, no verifier failure. *)
+  if Schedule.faultless s then begin
+    if o.retransmissions > 0 then
+      fail "quiet-retrans" "%d RTO retransmissions on a faultless run"
+        o.retransmissions;
+    if o.sack_retransmissions > 0 then
+      fail "quiet-sack" "%d selective retransmissions on a faultless run"
+        o.sack_retransmissions;
+    if o.nacks_sent > 0 then
+      fail "quiet-nack" "%d NACKs on a faultless run" o.nacks_sent;
+    if o.verifier.Edc.Verifier.duplicates > 0 then
+      fail "quiet-dup" "%d duplicate chunks seen on a faultless run"
+        o.verifier.Edc.Verifier.duplicates
+  end;
+  (* Without corruption, nothing may ever look damaged: loss,
+     duplication, disorder and congestion drops are all absorbed by
+     labels + retransmission without a single verifier failure. *)
+  if s.Schedule.corrupt = 0.0 then begin
+    if o.verifier.Edc.Verifier.tpdus_failed > 0 then
+      fail "clean-fail" "%d TPDUs failed verification with corruption off"
+        o.verifier.Edc.Verifier.tpdus_failed;
+    if o.gateways_malformed > 0 then
+      fail "clean-malformed" "%d packets unparseable at gateways with corruption off"
+        o.gateways_malformed
+  end;
+  (* TPDU accounting: a fixed-size framer cuts a known number of TPDUs,
+     and each is verified exactly once. *)
+  if not o.gave_up then begin
+    if (not s.Schedule.adaptive)
+       && o.verifier.Edc.Verifier.tpdus_passed <> m.Model.n_tpdus
+    then
+      fail "tpdu-count" "%d TPDUs passed, model expects exactly %d"
+        o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus;
+    if s.Schedule.adaptive
+       && o.verifier.Edc.Verifier.tpdus_passed < m.Model.n_tpdus
+    then
+      fail "tpdu-count" "%d TPDUs passed, adaptive floor is %d"
+        o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus
+  end;
+  (* Leaks: after a completed transfer the verifier and the placement
+     stash must be empty — unless corruption invented TPDU IDs that can
+     never complete, and then the residue is bounded by how many packets
+     were actually corrupted. *)
+  if not o.gave_up then begin
+    if s.Schedule.corrupt = 0.0 then begin
+      if o.verifier_in_flight > 0 then
+        fail "leak-verifier" "%d TPDUs still in flight with corruption off"
+          o.verifier_in_flight;
+      if o.stashed_tpdus > 0 then
+        fail "leak-stash" "%d TPDU stashes retained with corruption off"
+          o.stashed_tpdus
+    end
+    else begin
+      let bound = 64 * (o.forward.Netsim.Link.corrupted + 1) in
+      if o.verifier_in_flight > bound then
+        fail "leak-verifier" "%d TPDUs in flight exceeds corruption bound %d"
+          o.verifier_in_flight bound;
+      if o.stashed_tpdus > bound then
+        fail "leak-stash" "%d stashes exceeds corruption bound %d"
+          o.stashed_tpdus bound
+    end
+  end;
+  (* SACK plumbing only runs when asked for. *)
+  if not s.Schedule.sack then begin
+    if o.nacks_sent > 0 then
+      fail "sack-off" "%d NACKs sent with SACK disabled" o.nacks_sent;
+    if o.sack_retransmissions > 0 then
+      fail "sack-off" "%d selective retransmissions with SACK disabled"
+        o.sack_retransmissions
+  end;
+  List.rev !vs

@@ -1,0 +1,34 @@
+(** The differential oracle: diffs a {!Driver.observation} against the
+    pure {!Model} and the schedule's fault profile, and reports every
+    disagreement.
+
+    Each check pins down one claim the paper makes about the chunk
+    architecture:
+
+    - [lockup]/[gave-up]/[unfinished] — liveness: labels plus bounded
+      timers always terminate, whatever the disorder;
+    - [incomplete]/[element-count]/[data-mismatch]/[conservation] —
+      §2–3: placement by connection SN reconstructs the stream exactly,
+      through arbitrary refragmentation, reordering and duplication;
+    - [quiet-*] — the RTO/NACK machinery is excited only by faults;
+    - [clean-fail]/[clean-malformed] — §3.3: retransmissions reuse
+      identical labels, so loss, duplication and congestion drops are
+      absorbed without ever looking like damage;
+    - [tpdu-count] — the framer's TPDU cut is deterministic and each
+      TPDU verifies exactly once;
+    - [leak-*] — state hygiene: completed transfers leave no verifier
+      or stash residue (corruption may invent bounded residue);
+    - [sack-off] — feature isolation. *)
+
+type violation = { code : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+val check :
+  schedule:Schedule.t ->
+  model:Model.t ->
+  observation:Driver.observation ->
+  violation list
+(** Empty list = the run is indistinguishable from the reference model's
+    prediction. *)

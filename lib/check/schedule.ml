@@ -1,0 +1,380 @@
+open Labelling
+
+type profile = Clean | Lossy | Hostile
+
+let profile_name = function
+  | Clean -> "clean"
+  | Lossy -> "lossy"
+  | Hostile -> "hostile"
+
+let profile_of_name = function
+  | "clean" -> Some Clean
+  | "lossy" -> Some Lossy
+  | "hostile" -> Some Hostile
+  | _ -> None
+
+type spread = Round_robin | Random_path | Route_change of float
+
+type gateway = {
+  gw_policy : Repack.policy;
+  gw_mtu : int;
+  gw_batch : int;
+}
+
+type dropper = { drop_mode : Netsim.Dropper.mode; drop_loss : float }
+
+type t = {
+  seed : int;
+  profile : profile;
+  (* transfer *)
+  data_len : int;
+  elem_size : int;
+  tpdu_elems : int;
+  frame_bytes : int;
+  mtu : int;
+  window : int;
+  rto : float;
+  sack : bool;
+  adaptive : bool;
+  nack_delay : float;
+  (* topology *)
+  paths : int;
+  skew : float;
+  jitter : float;
+  spread : spread;
+  rate_bps : float;
+  delay : float;
+  gateways : gateway list;
+  (* faults *)
+  loss : float;
+  corrupt : float;
+  duplicate : float;
+  dropper : dropper option;
+}
+
+let faultless s =
+  s.loss = 0.0 && s.corrupt = 0.0 && s.duplicate = 0.0 && s.jitter = 0.0
+  && s.dropper = None
+
+let config_of s =
+  {
+    Transport.Chunk_transport.conn_id = 1;
+    elem_size = s.elem_size;
+    tpdu_elems = s.tpdu_elems;
+    frame_bytes = s.frame_bytes;
+    mtu = s.mtu;
+    window = s.window;
+    rto = s.rto;
+    adaptive = s.adaptive;
+    sack = s.sack;
+    nack_delay = s.nack_delay;
+  }
+
+(* The payload both the driver (what gets sent) and the model (what must
+   come out) derive from the schedule alone. *)
+let data_of s =
+  let rng = Netsim.Rng.create ~seed:(s.seed lxor 0x0DA7A5EED) in
+  Bytes.init s.data_len (fun _ -> Netsim.Rng.byte rng)
+
+(* An RTO that a fault-free run can never beat: round trip across every
+   hop, full inter-path skew, the gateways' batching delay, and the
+   serialisation of a whole window (amplified for envelope-per-chunk
+   repacking), with margin.  Clean-profile oracles assert {e zero}
+   retransmissions, so this must be an overestimate, never a guess. *)
+let estimate_rto s =
+  let hops = float_of_int (List.length s.gateways + 2) in
+  let tpdu_bytes = s.tpdu_elems * s.elem_size in
+  let inflight = float_of_int (s.window * (tpdu_bytes + 2048)) in
+  let amplification =
+    if
+      List.exists
+        (fun g -> g.gw_policy = Repack.One_per_packet || g.gw_mtu < 512)
+        s.gateways
+    then 8.0
+    else 2.0
+  in
+  let ser = inflight *. 8.0 /. s.rate_bps *. amplification in
+  let t =
+    0.05
+    +. (2.0 *. s.delay *. hops)
+    +. (float_of_int s.paths *. s.skew)
+    +. (12.0 *. s.jitter)
+    +. (0.02 *. hops) +. ser
+  in
+  Float.min 2.0 t
+
+let float_in rng lo hi = lo +. Netsim.Rng.float rng (hi -. lo)
+let int_in rng lo hi = lo + Netsim.Rng.int rng (hi - lo + 1)
+
+let gen_gateway rng =
+  let gw_policy =
+    match Netsim.Rng.int rng 3 with
+    | 0 -> Repack.One_per_packet
+    | 1 -> Repack.Combine
+    | _ -> Repack.Reassemble
+  in
+  {
+    gw_policy;
+    gw_mtu = int_in rng 160 2048;
+    gw_batch = 1 + Netsim.Rng.int rng 4;
+  }
+
+let generate ~profile ~seed =
+  let rng = Netsim.Rng.create ~seed:(seed lxor 0x5C4ED) in
+  let elem_size = if Netsim.Rng.bool rng 0.5 then 4 else 8 in
+  let tpdu_elems =
+    int_in rng 16 (min 512 (Edc.Invariant.max_tpdu_elems ~size:elem_size))
+  in
+  let frame_bytes = elem_size * int_in rng 8 256 in
+  let data_len =
+    match profile with
+    | Clean -> int_in rng 1 32768
+    | Lossy | Hostile -> int_in rng 1 16384
+  in
+  let gateways = List.init (Netsim.Rng.int rng 4) (fun _ -> gen_gateway rng) in
+  let jitter =
+    match profile with
+    | Clean -> 0.0
+    | Lossy | Hostile -> if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
+  in
+  let dropper =
+    match profile with
+    | Clean -> None
+    | Lossy | Hostile ->
+        if Netsim.Rng.bool rng 0.3 then
+          Some
+            {
+              drop_mode =
+                (if Netsim.Rng.bool rng 0.5 then Netsim.Dropper.Whole_tpdu
+                 else Netsim.Dropper.Random);
+              drop_loss = float_in rng 0.005 0.05;
+            }
+        else None
+  in
+  let base =
+    {
+      seed;
+      profile;
+      data_len;
+      elem_size;
+      tpdu_elems;
+      frame_bytes;
+      mtu = int_in rng 256 2048;
+      window = int_in rng 1 8;
+      rto = 0.0 (* filled below *);
+      sack = Netsim.Rng.bool rng 0.5;
+      adaptive = Netsim.Rng.bool rng 0.3;
+      nack_delay = 0.0 (* filled below *);
+      paths = int_in rng 1 8;
+      skew = float_in rng 0.0 5e-4;
+      jitter;
+      spread =
+        (match Netsim.Rng.int rng 3 with
+        | 0 -> Round_robin
+        | 1 -> Random_path
+        | _ -> Route_change (float_in rng 0.005 0.1));
+      rate_bps = float_in rng 5e7 6e8;
+      delay = float_in rng 1e-4 2e-3;
+      gateways;
+      loss =
+        (match profile with
+        | Clean -> 0.0
+        | Lossy | Hostile -> if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
+      corrupt =
+        (match profile with
+        | Clean | Lossy -> 0.0
+        | Hostile -> float_in rng 0.002 0.04);
+      duplicate =
+        (match profile with
+        | Clean -> 0.0
+        | Lossy | Hostile -> if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
+      dropper;
+    }
+  in
+  let rto = estimate_rto base in
+  (* A clean run must never see a gap last long enough to NACK; a faulty
+     run recovers faster by NACKing early. *)
+  let nack_delay = if faultless base then rto else Float.max 0.01 (rto /. 4.0) in
+  { base with rto; nack_delay }
+
+(* {2 Flat text round-trip}
+
+   One [key=value] token per field, space-separated, order fixed.
+   Floats print as %.17g so parsing reproduces them bit-exactly — a
+   shrunk counterexample must replay the violation byte for byte. *)
+
+let policy_name = function
+  | Repack.One_per_packet -> "one"
+  | Repack.Combine -> "combine"
+  | Repack.Reassemble -> "reassemble"
+
+let policy_of_name = function
+  | "one" -> Some Repack.One_per_packet
+  | "combine" -> Some Repack.Combine
+  | "reassemble" -> Some Repack.Reassemble
+  | _ -> None
+
+let spread_to_string = function
+  | Round_robin -> "rr"
+  | Random_path -> "random"
+  | Route_change t -> Printf.sprintf "change:%.17g" t
+
+let spread_of_string str =
+  match str with
+  | "rr" -> Some Round_robin
+  | "random" -> Some Random_path
+  | _ -> (
+      match String.index_opt str ':' with
+      | Some i when String.sub str 0 i = "change" -> (
+          match
+            float_of_string_opt
+              (String.sub str (i + 1) (String.length str - i - 1))
+          with
+          | Some t -> Some (Route_change t)
+          | None -> None)
+      | _ -> None)
+
+let gateways_to_string gws =
+  if gws = [] then "-"
+  else
+    String.concat ","
+      (List.map
+         (fun g ->
+           Printf.sprintf "%s:%d:%d" (policy_name g.gw_policy) g.gw_mtu
+             g.gw_batch)
+         gws)
+
+let gateways_of_string str =
+  if str = "-" then Some []
+  else
+    let parse_one tok =
+      match String.split_on_char ':' tok with
+      | [ p; mtu; batch ] -> (
+          match (policy_of_name p, int_of_string_opt mtu, int_of_string_opt batch)
+          with
+          | Some gw_policy, Some gw_mtu, Some gw_batch ->
+              Some { gw_policy; gw_mtu; gw_batch }
+          | _ -> None)
+      | _ -> None
+    in
+    let toks = String.split_on_char ',' str in
+    let parsed = List.filter_map parse_one toks in
+    if List.length parsed = List.length toks then Some parsed else None
+
+let dropper_to_string = function
+  | None -> "-"
+  | Some { drop_mode = Netsim.Dropper.Random; drop_loss } ->
+      Printf.sprintf "random:%.17g" drop_loss
+  | Some { drop_mode = Netsim.Dropper.Whole_tpdu; drop_loss } ->
+      Printf.sprintf "tpdu:%.17g" drop_loss
+
+let dropper_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ "random"; p ] ->
+        Option.map
+          (fun drop_loss ->
+            Some { drop_mode = Netsim.Dropper.Random; drop_loss })
+          (float_of_string_opt p)
+    | [ "tpdu"; p ] ->
+        Option.map
+          (fun drop_loss ->
+            Some { drop_mode = Netsim.Dropper.Whole_tpdu; drop_loss })
+          (float_of_string_opt p)
+    | _ -> None
+
+let to_string s =
+  String.concat " "
+    [
+      Printf.sprintf "seed=%d" s.seed;
+      Printf.sprintf "profile=%s" (profile_name s.profile);
+      Printf.sprintf "data_len=%d" s.data_len;
+      Printf.sprintf "elem_size=%d" s.elem_size;
+      Printf.sprintf "tpdu_elems=%d" s.tpdu_elems;
+      Printf.sprintf "frame_bytes=%d" s.frame_bytes;
+      Printf.sprintf "mtu=%d" s.mtu;
+      Printf.sprintf "window=%d" s.window;
+      Printf.sprintf "rto=%.17g" s.rto;
+      Printf.sprintf "sack=%b" s.sack;
+      Printf.sprintf "adaptive=%b" s.adaptive;
+      Printf.sprintf "nack_delay=%.17g" s.nack_delay;
+      Printf.sprintf "paths=%d" s.paths;
+      Printf.sprintf "skew=%.17g" s.skew;
+      Printf.sprintf "jitter=%.17g" s.jitter;
+      Printf.sprintf "spread=%s" (spread_to_string s.spread);
+      Printf.sprintf "rate_bps=%.17g" s.rate_bps;
+      Printf.sprintf "delay=%.17g" s.delay;
+      Printf.sprintf "gateways=%s" (gateways_to_string s.gateways);
+      Printf.sprintf "loss=%.17g" s.loss;
+      Printf.sprintf "corrupt=%.17g" s.corrupt;
+      Printf.sprintf "duplicate=%.17g" s.duplicate;
+      Printf.sprintf "dropper=%s" (dropper_to_string s.dropper);
+    ]
+
+let of_string str =
+  let kvs =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+            Some
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' (String.trim str))
+  in
+  let find k = List.assoc_opt k kvs in
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (find k) int_of_string_opt in
+  let flt k = Option.bind (find k) float_of_string_opt in
+  let bol k = Option.bind (find k) bool_of_string_opt in
+  let* seed = int "seed" in
+  let* profile = Option.bind (find "profile") profile_of_name in
+  let* data_len = int "data_len" in
+  let* elem_size = int "elem_size" in
+  let* tpdu_elems = int "tpdu_elems" in
+  let* frame_bytes = int "frame_bytes" in
+  let* mtu = int "mtu" in
+  let* window = int "window" in
+  let* rto = flt "rto" in
+  let* sack = bol "sack" in
+  let* adaptive = bol "adaptive" in
+  let* nack_delay = flt "nack_delay" in
+  let* paths = int "paths" in
+  let* skew = flt "skew" in
+  let* jitter = flt "jitter" in
+  let* spread = Option.bind (find "spread") spread_of_string in
+  let* rate_bps = flt "rate_bps" in
+  let* delay = flt "delay" in
+  let* gateways = Option.bind (find "gateways") gateways_of_string in
+  let* loss = flt "loss" in
+  let* corrupt = flt "corrupt" in
+  let* duplicate = flt "duplicate" in
+  let* dropper = Option.bind (find "dropper") dropper_of_string in
+  Some
+    {
+      seed;
+      profile;
+      data_len;
+      elem_size;
+      tpdu_elems;
+      frame_bytes;
+      mtu;
+      window;
+      rto;
+      sack;
+      adaptive;
+      nack_delay;
+      paths;
+      skew;
+      jitter;
+      spread;
+      rate_bps;
+      delay;
+      gateways;
+      loss;
+      corrupt;
+      duplicate;
+      dropper;
+    }

@@ -1,0 +1,75 @@
+(** Adversarial run descriptions for the conformance harness.
+
+    A schedule is everything a {!Driver} run depends on: the transfer
+    parameters, the network topology (multipath spread/skew/jitter, a
+    chain of repacking gateways), and the fault mix.  Together with its
+    [seed] it determines a run {e completely} — the same (seed,
+    schedule) pair replays the same packet-by-packet execution, which is
+    what makes shrunk counterexamples replayable. *)
+
+type profile =
+  | Clean  (** no faults: reordering and refragmentation only *)
+  | Lossy  (** loss, duplication, jitter, congestion drops — no corruption *)
+  | Hostile  (** lossy plus random bit corruption in flight *)
+
+val profile_name : profile -> string
+val profile_of_name : string -> profile option
+
+type spread = Round_robin | Random_path | Route_change of float
+
+type gateway = {
+  gw_policy : Labelling.Repack.policy;
+  gw_mtu : int;
+  gw_batch : int;  (** arriving packets held before re-enveloping *)
+}
+
+type dropper = { drop_mode : Netsim.Dropper.mode; drop_loss : float }
+
+type t = {
+  seed : int;
+  profile : profile;
+  data_len : int;
+  elem_size : int;
+  tpdu_elems : int;
+  frame_bytes : int;
+  mtu : int;
+  window : int;
+  rto : float;
+  sack : bool;
+  adaptive : bool;
+  nack_delay : float;
+  paths : int;
+  skew : float;
+  jitter : float;
+  spread : spread;
+  rate_bps : float;
+  delay : float;
+  gateways : gateway list;
+  loss : float;
+  corrupt : float;
+  duplicate : float;
+  dropper : dropper option;
+}
+
+val generate : profile:profile -> seed:int -> t
+(** Draw a random schedule for the profile; all dimension constraints
+    (element alignment, invariant-region TPDU bound, MTUs that hold a
+    header) hold by construction, and {!t.rto} is an overestimate of the
+    worst-case round trip so a fault-free run never retransmits. *)
+
+val faultless : t -> bool
+(** No fault of any kind is enabled (so the oracle may demand total
+    silence: no retransmission, no NACK, no duplicate, no failure). *)
+
+val config_of : t -> Transport.Chunk_transport.config
+val data_of : t -> bytes
+(** The transfer payload, derived deterministically from the seed. *)
+
+val estimate_rto : t -> float
+
+val to_string : t -> string
+(** One-line [key=value] form; floats are printed with enough digits to
+    round-trip bit-exactly. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on any malformed token. *)

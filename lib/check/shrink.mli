@@ -1,0 +1,24 @@
+(** Greedy schedule minimisation.
+
+    Given a schedule whose run violates the {!Oracle}, repeatedly apply
+    simplifying rewrites (turn faults off, collapse the topology, halve
+    the data) and keep any rewrite whose re-run still violates, until a
+    fixpoint or the run budget.  The result replays from its (seed,
+    schedule) pair alone: [Schedule.to_string] it, hand it to
+    [chunks_soak --replay]. *)
+
+type result = {
+  schedule : Schedule.t;  (** the minimised schedule *)
+  violations : Oracle.violation list;  (** what it still violates *)
+  runs : int;  (** driver runs spent shrinking *)
+}
+
+val shrink :
+  ?mutation:Driver.mutation ->
+  ?max_runs:int ->
+  Schedule.t ->
+  Oracle.violation list ->
+  result
+(** [shrink s violations] — [violations] must be the non-empty result of
+    checking [s]'s own run (with the same [mutation]).  Default
+    [max_runs] 200. *)

@@ -1,0 +1,40 @@
+(** Soak loop: generate schedules for a profile, drive the real stack,
+    diff against the model, shrink whatever violates.  One call powers
+    the tier-1 qcheck-sized budget, the CLI, and the CI nightly run. *)
+
+type finding = {
+  schedule : Schedule.t;  (** as generated *)
+  violations : Oracle.violation list;
+  shrunk : Shrink.result;  (** minimised replayable counterexample *)
+}
+
+type report = {
+  profile : Schedule.profile;
+  mutation : Driver.mutation;
+  schedules_run : int;
+  findings : finding list;
+  detect_trials : int;
+      (** Table 1 fault-injection samples interleaved with the soak *)
+  detect_undetected : int;  (** trials where wrong data got through *)
+  wall_seconds : float;
+}
+
+val clean : report -> bool
+(** No oracle violation and no undetected injection. *)
+
+val run_profile :
+  ?mutation:Driver.mutation ->
+  ?schedules:int ->
+  ?seconds:float ->
+  ?detect_every:int ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  Schedule.profile ->
+  report
+(** Run up to [schedules] (default 1000) schedules, stopping early when
+    the optional wall-clock budget [seconds] runs out.  Deterministic
+    for a given [seed] (modulo which schedules fit in the budget).  The
+    first few findings are shrunk; later ones are recorded as-is. *)
+
+val json_of_report : report -> string
+val json_of_reports : report list -> string

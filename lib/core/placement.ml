@@ -35,7 +35,10 @@ let place p chunk =
   else begin
     let sn = sn_of p chunk - p.base_sn in
     let len = chunk.Chunk.header.Header.len in
-    if sn < 0 || sn + len > p.capacity_elems then
+    (* [sn > capacity - len] rather than [sn + len > capacity]: a decoded
+       SN can be close to [max_int], where the addition wraps negative
+       and would sail past the window check into Bytes.blit. *)
+    if sn < 0 || len > p.capacity_elems || sn > p.capacity_elems - len then
       Error "Placement.place: outside destination window"
     else begin
       Bytes.blit chunk.Chunk.payload 0 p.buf (sn * p.elem_size)

@@ -36,8 +36,15 @@ let add_run runs sn len =
   in
   go runs
 
+(* A span is malformed when it is degenerate or when [sn + len] wraps
+   past [max_int] (possible for labels decoded from 64-bit wire fields);
+   either way it can only come from corruption, so it is reported as
+   [Inconsistent] rather than raised on. *)
+let bad_span ~sn ~len = sn < 0 || len <= 0 || sn > max_int - len
+
 let insert tr ~sn ~len ~st =
-  if sn < 0 || len <= 0 then invalid_arg "Vreassembly.insert: bad span";
+  if bad_span ~sn ~len then Inconsistent
+  else begin
   let last = sn + len - 1 in
   let max_seen =
     List.fold_left (fun acc (s, l) -> max acc (s + l - 1)) (-1) tr.runs
@@ -60,9 +67,11 @@ let insert tr ~sn ~len ~st =
     if st then tr.last_sn <- Some last;
     Fresh
   end
+  end
 
 let insert_new tr ~sn ~len ~st =
-  if sn < 0 || len <= 0 then invalid_arg "Vreassembly.insert_new: bad span";
+  if bad_span ~sn ~len then Error `Inconsistent
+  else begin
   let last = sn + len - 1 in
   let max_seen =
     List.fold_left (fun acc (s, l) -> max acc (s + l - 1)) (-1) tr.runs
@@ -93,9 +102,11 @@ let insert_new tr ~sn ~len ~st =
     if st then tr.last_sn <- Some last;
     Ok fresh
   end
+  end
 
 let set_total tr total =
-  if total < 1 then invalid_arg "Vreassembly.set_total: total < 1";
+  if total < 1 then Error `Inconsistent
+  else begin
   let last = total - 1 in
   let max_seen =
     List.fold_left (fun acc (s, l) -> max acc (s + l - 1)) (-1) tr.runs
@@ -109,6 +120,7 @@ let set_total tr total =
         tr.last_sn <- Some last;
         Ok ()
       end
+  end
 
 let total tr = Option.map (fun e -> e + 1) tr.last_sn
 

@@ -29,7 +29,9 @@ val create : unit -> t
 
 val insert : t -> sn:int -> len:int -> st:bool -> insert_result
 (** Record a fragment covering elements [sn .. sn+len-1]; [st] means the
-    fragment contains the PDU's last element. *)
+    fragment contains the PDU's last element.  Never raises: a malformed
+    span ([sn < 0], [len <= 0], or [sn + len] overflowing) can only come
+    from a corrupted label and is reported as [Inconsistent]. *)
 
 val insert_new : t -> sn:int -> len:int -> st:bool ->
   ((int * int) list, [ `Inconsistent ]) result
@@ -39,14 +41,14 @@ val insert_new : t -> sn:int -> len:int -> st:bool ->
     the {e fresh} sub-runs as [(sn, len)] pairs (empty when everything
     was a duplicate) so the caller processes new data exactly once —
     the property the incremental checksum needs.  [Error `Inconsistent]
-    is as for {!insert}. *)
+    is as for {!insert}, including malformed spans (never raises). *)
 
 val set_total : t -> int -> (unit, [ `Inconsistent ]) result
 (** Announce the PDU's total element count out of band (e.g. from its
     ED control chunk), as if an ST had been seen at element
     [total - 1]; lets gap reports include the missing tail before any
-    ST-bearing fragment arrives.  Fails if it contradicts received
-    data or a previously known end. *)
+    ST-bearing fragment arrives.  Fails if [total < 1] or if it
+    contradicts received data or a previously known end. *)
 
 val complete : t -> bool
 (** The PDU end is known (some ST arrived) and [0 .. last] is fully

@@ -145,8 +145,9 @@ let arrival_check s (h : Header.t) =
     match Invariant.check_size ~size:h.Header.size with
     | Error msg -> Some (Reassembly_error msg)
     | Ok spw
-      when (h.Header.t.Ftuple.sn + h.Header.len) * spw
-           > Invariant.data_limit_symbols ->
+      when h.Header.t.Ftuple.sn > Invariant.data_limit_symbols
+           || (h.Header.t.Ftuple.sn + h.Header.len) * spw
+              > Invariant.data_limit_symbols ->
         (* a (possibly corrupted) T.SN/LEN that escapes the invariant's
            data region can never virtually reassemble *)
         Some (Reassembly_error "TPDU data outside the invariant region")
@@ -287,20 +288,27 @@ let on_ed v chunk =
     | Some p when not (Wsc2.parity_equal p parity) ->
         fail_now v t_id (Reassembly_error "conflicting ED chunks")
     | Some _ | None -> (
-        s.expected <- Some parity;
         (* The ED chunk also pins the C.SN - T.SN delta (its T.SN is 0,
-           its C.SN the TPDU's first element) and the TPDU's extent. *)
-        if s.delta_ct = None then
-          s.delta_ct <-
-            Some (h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn);
-        if total < 1 then
-          fail_now v t_id (Reassembly_error "ED chunk announces no data")
-        else
-          match Vreassembly.set_total s.tracker total with
-          | Error `Inconsistent ->
-              fail_now v t_id
-                (Reassembly_error "ED extent contradicts received data")
-          | Ok () -> try_finish v t_id s)
+           its C.SN the TPDU's first element) and the TPDU's extent.  A
+           delta already established by data chunks must agree: with a
+           single data chunk the delta check in [arrival_check] never
+           fires, so this comparison is the only consistency coverage
+           the connection label gets. *)
+        let delta = h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn in
+        match s.delta_ct with
+        | Some d when d <> delta ->
+            fail_now v t_id (Consistency_failure "ED chunk C.SN mismatch")
+        | Some _ | None -> (
+            s.expected <- Some parity;
+            if s.delta_ct = None then s.delta_ct <- Some delta;
+            if total < 1 then
+              fail_now v t_id (Reassembly_error "ED chunk announces no data")
+            else
+              match Vreassembly.set_total s.tracker total with
+              | Error `Inconsistent ->
+                  fail_now v t_id
+                    (Reassembly_error "ED extent contradicts received data")
+              | Ok () -> try_finish v t_id s))
   end
 
 let on_chunk v chunk =

@@ -11,7 +11,8 @@ type t = {
 
 let create engine ?(name = "multipath") ?(paths = 8) ?(rate_bps = 155e6)
     ?(delay = 1e-3) ?(skew = 0.25e-3) ?(mtu = 9180) ?(loss = 0.0)
-    ?(corrupt = 0.0) ?(duplicate = 0.0) ?(spread = Round_robin) ~deliver () =
+    ?(corrupt = 0.0) ?(jitter = 0.0) ?(duplicate = 0.0)
+    ?(spread = Round_robin) ~deliver () =
   if paths < 1 then invalid_arg "Multipath.create: paths < 1";
   let links =
     Array.init paths (fun i ->
@@ -19,7 +20,7 @@ let create engine ?(name = "multipath") ?(paths = 8) ?(rate_bps = 155e6)
           ~name:(Printf.sprintf "%s.%d" name i)
           ~rate_bps
           ~delay:(delay +. (float_of_int i *. skew))
-          ~mtu ~loss ~corrupt ~duplicate ~deliver ())
+          ~mtu ~loss ~corrupt ~jitter ~duplicate ~deliver ())
   in
   {
     links;

@@ -28,13 +28,16 @@ val create :
   ?mtu:int ->
   ?loss:float ->
   ?corrupt:float ->
+  ?jitter:float ->
   ?duplicate:float ->
   ?spread:spread ->
   deliver:(bytes -> unit) ->
   unit ->
   t
 (** Defaults: 8 paths of 155 Mb/s, 1 ms base delay, 0.25 ms per-path
-    skew step, MTU 9180, round-robin spreading. *)
+    skew step, MTU 9180, round-robin spreading.  [jitter] (mean of an
+    exponential extra delay, default 0) is applied per packet on each
+    path, adding intra-path reordering on top of the inter-path skew. *)
 
 val send : t -> bytes -> [ `Queued | `Dropped_mtu ]
 val mtu : t -> int

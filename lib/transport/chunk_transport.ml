@@ -100,6 +100,25 @@ let parse_nack chunk =
   end
 
 module Receiver = struct
+  (* Placement writes straight into the application buffer at the
+     connection offset, so a corrupted C.SN that stays inside the window
+     could clobber a region an {e already verified} TPDU owns — and
+     nothing would ever rewrite it.  Placement is therefore gated on the
+     TPDU's C.SN - T.SN delta being witnessed twice independently: once
+     by a data chunk and once by the ED chunk, whose labels travel in a
+     separate header (two data chunks are not independent — a gateway
+     can split one corrupted chunk into several fragments that all
+     inherit the same wrong delta).  Until the two agree, fresh data
+     waits in a per-TPDU stash; the moment they agree it flushes.
+     Disagreement is left to the verifier, which fails the TPDU so the
+     identical-label retransmission starts a clean epoch. *)
+  type corroboration = {
+    mutable delta_data : int option;  (* C.SN - T.SN from data chunks *)
+    mutable delta_ed : int option;  (* C.SN - T.SN from the ED chunk *)
+    mutable confirmed : bool;
+    mutable stash : (Chunk.t * int * int) list;  (* (chunk, t_sn, elems) *)
+  }
+
   type t = {
     engine : Netsim.Engine.t;
     config : config;
@@ -110,6 +129,7 @@ module Receiver = struct
     first_arrival : (int, float) Hashtbl.t;  (* t_id -> time *)
     acked : (int, unit) Hashtbl.t;  (* TPDUs already acknowledged *)
     nack_armed : (int, unit) Hashtbl.t;  (* TPDUs with a gap timer *)
+    corrob : (int, corroboration) Hashtbl.t;
     element_delay : Netsim.Stats.t;
     tpdu_latency : Netsim.Stats.t;
     mutable nacks_sent : int;
@@ -130,6 +150,7 @@ module Receiver = struct
       first_arrival = Hashtbl.create 32;
       acked = Hashtbl.create 32;
       nack_armed = Hashtbl.create 32;
+      corrob = Hashtbl.create 32;
       element_delay = Netsim.Stats.create ();
       tpdu_latency = Netsim.Stats.create ();
       nacks_sent = 0;
@@ -166,6 +187,46 @@ module Receiver = struct
             (* Available to the application the instant it arrived. *)
             Netsim.Stats.add rx.element_delay 0.0
         | Error _ -> ())
+
+  let corrob rx t_id =
+    match Hashtbl.find_opt rx.corrob t_id with
+    | Some m -> m
+    | None ->
+        let m =
+          { delta_data = None; delta_ed = None; confirmed = false; stash = [] }
+        in
+        Hashtbl.add rx.corrob t_id m;
+        m
+
+  let flush_stash rx m =
+    let pending = List.rev m.stash in
+    m.stash <- [];
+    List.iter (fun (chunk, t_sn, elems) -> place_fresh rx chunk ~t_sn ~elems)
+      pending
+
+  (* Note the chunk's connection delta before the verifier sees it, so
+     that an ED chunk flushes the stash before the [Tpdu_verified] event
+     it may trigger.  First witness wins within an epoch: a conflicting
+     later chunk fails the TPDU in the verifier, which clears the
+     epoch's state here too. *)
+  let witness rx chunk =
+    let h = chunk.Chunk.header in
+    let is_ed = Ctype.equal h.Header.ctype Ctype.ed in
+    if Chunk.is_data chunk || is_ed then begin
+      let m = corrob rx h.Header.t.Ftuple.id in
+      if not m.confirmed then begin
+        let delta = h.Header.c.Ftuple.sn - h.Header.t.Ftuple.sn in
+        if is_ed then begin
+          if m.delta_ed = None then m.delta_ed <- Some delta
+        end
+        else if m.delta_data = None then m.delta_data <- Some delta;
+        match (m.delta_data, m.delta_ed) with
+        | Some a, Some b when a = b ->
+            m.confirmed <- true;
+            flush_stash rx m
+        | _ -> ()
+      end
+    end
 
   (* While a TPDU stays incomplete, periodically report its gap list so
      the sender can re-send exactly the missing element runs.  Bounded:
@@ -215,14 +276,23 @@ module Receiver = struct
                  Hashtbl.add rx.nack_armed t_id ();
                  arm_nack rx t_id 0
                end);
+            witness rx chunk;
             let events = Edc.Verifier.on_chunk rx.verifier chunk in
             List.iter
               (fun ev ->
                 match ev with
-                | Edc.Verifier.Fresh_data { t_sn; elems; _ } ->
-                    place_fresh rx chunk ~t_sn ~elems
+                | Edc.Verifier.Fresh_data { t_id; t_sn; elems } ->
+                    let m = corrob rx t_id in
+                    if m.confirmed then place_fresh rx chunk ~t_sn ~elems
+                    else m.stash <- (chunk, t_sn, elems) :: m.stash
                 | Edc.Verifier.Tpdu_verified
                     { t_id; verdict = Edc.Verifier.Passed } ->
+                    (* a passed parity covers every stashed run, so any
+                       still-unconfirmed stash is safe to place now *)
+                    (match Hashtbl.find_opt rx.corrob t_id with
+                    | Some m -> flush_stash rx m
+                    | None -> ());
+                    Hashtbl.remove rx.corrob t_id;
                     if not (Hashtbl.mem rx.acked t_id) then begin
                       Hashtbl.add rx.acked t_id ();
                       (match Hashtbl.find_opt rx.first_arrival t_id with
@@ -233,9 +303,10 @@ module Receiver = struct
                       rx.send_ack
                         (ack_packet ~conn_id:rx.config.conn_id ~t_id)
                     end
-                | Edc.Verifier.Tpdu_verified _
-                | Edc.Verifier.Duplicate_dropped _ ->
-                    ())
+                | Edc.Verifier.Tpdu_verified { t_id; verdict = _ } ->
+                    (* failed epoch: drop its suspect stash with it *)
+                    Hashtbl.remove rx.corrob t_id
+                | Edc.Verifier.Duplicate_dropped _ -> ())
               events
             end)
           chunks
@@ -246,7 +317,13 @@ module Receiver = struct
   let element_delay rx = rx.element_delay
   let tpdu_latency rx = rx.tpdu_latency
   let verifier_stats rx = Edc.Verifier.stats rx.verifier
+  let verifier_in_flight rx = Edc.Verifier.in_flight rx.verifier
   let nacks_sent rx = rx.nacks_sent
+
+  let stashed_tpdus rx =
+    Hashtbl.fold
+      (fun _ m acc -> if m.stash <> [] then acc + 1 else acc)
+      rx.corrob 0
 end
 
 module Sender = struct

@@ -77,6 +77,17 @@ module Receiver : sig
 
   val verifier_stats : t -> Edc.Verifier.stats
 
+  val verifier_in_flight : t -> int
+  (** TPDUs the verifier currently holds state for (leak probe: 0 once
+      an undamaged transfer completes). *)
+
+  val stashed_tpdus : t -> int
+  (** TPDUs with data held back awaiting label corroboration: placement
+      at the connection offset waits until the C.SN - T.SN delta seen on
+      data chunks is confirmed by the ED chunk's independent copy, so a
+      corrupted label cannot overwrite a region another — already
+      verified — TPDU owns.  0 once an undamaged transfer completes. *)
+
   val nacks_sent : t -> int
   (** Gap reports transmitted (0 unless [config.sack]). *)
 end
@@ -110,6 +121,10 @@ module Sender : sig
       report [ok]. *)
 
   val retransmissions : t -> int
+
+  val sack_retransmissions : t -> int
+  (** Selective (gap-only) retransmissions triggered by NACKs. *)
+
   val tpdus_sent : t -> int
   val packets_sent : t -> int
   val bytes_sent : t -> int

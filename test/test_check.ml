@@ -1,0 +1,107 @@
+(* The conformance harness itself: model geometry, schedule
+   serialisation, replay determinism, a small per-profile soak, and the
+   mutation self-test (the oracle must catch an injected stack bug). *)
+
+let test_model_geometry () =
+  (* 102 bytes, elem 4, 40-byte frames: 40 + 40 + 22 -> 10 + 10 + 6
+     elements (only the last frame pads); 26 elements over 8-element
+     TPDUs -> 4 TPDUs; expected buffer = data zero-padded to 104. *)
+  let s =
+    {
+      (Check.Schedule.generate ~profile:Check.Schedule.Clean ~seed:1) with
+      Check.Schedule.data_len = 102;
+      elem_size = 4;
+      frame_bytes = 40;
+      tpdu_elems = 8;
+    }
+  in
+  let m = Check.Model.of_schedule s in
+  Alcotest.(check int) "elems" 26 m.Check.Model.elems;
+  Alcotest.(check int) "tpdus" 4 m.Check.Model.n_tpdus;
+  Alcotest.(check int) "expected bytes" 104
+    (Bytes.length m.Check.Model.expected);
+  let data = Check.Schedule.data_of s in
+  Alcotest.check Util.bytes_testable "data prefix" data
+    (Bytes.sub m.Check.Model.expected 0 102);
+  Alcotest.check Util.bytes_testable "zero tail" (Bytes.make 2 '\000')
+    (Bytes.sub m.Check.Model.expected 102 2);
+  (* the model's element count must agree with the transport's *)
+  Alcotest.(check int) "matches transport"
+    (Transport.Chunk_transport.expected_elements (Check.Schedule.config_of s)
+       ~data_len:102)
+    m.Check.Model.elems
+
+let gen_profile =
+  QCheck2.Gen.oneofl
+    [ Check.Schedule.Clean; Check.Schedule.Lossy; Check.Schedule.Hostile ]
+
+let prop_schedule_roundtrip (profile, seed) =
+  let s = Check.Schedule.generate ~profile ~seed in
+  match Check.Schedule.of_string (Check.Schedule.to_string s) with
+  | Some s' -> s = s'
+  | None -> false
+
+let test_replay_determinism () =
+  let s =
+    Check.Schedule.generate ~profile:Check.Schedule.Hostile ~seed:0xD13E
+  in
+  let a = Check.Driver.run s in
+  let b = Check.Driver.run s in
+  Alcotest.(check bool) "same ok" a.Check.Driver.ok b.Check.Driver.ok;
+  Alcotest.(check int) "same retrans" a.Check.Driver.retransmissions
+    b.Check.Driver.retransmissions;
+  Alcotest.(check int) "same packets" a.Check.Driver.packets_sent
+    b.Check.Driver.packets_sent;
+  Alcotest.(check int) "same nacks" a.Check.Driver.nacks_sent
+    b.Check.Driver.nacks_sent;
+  Alcotest.(check (float 0.0)) "same sim time" a.Check.Driver.sim_time
+    b.Check.Driver.sim_time;
+  Alcotest.check Util.bytes_testable "same delivery" a.Check.Driver.delivered
+    b.Check.Driver.delivered
+
+let soak profile n =
+  let report = Check.Soak.run_profile ~schedules:n ~seed:7 profile in
+  Alcotest.(check int) "all schedules ran" n
+    report.Check.Soak.schedules_run;
+  List.iter
+    (fun (f : Check.Soak.finding) ->
+      List.iter
+        (fun v ->
+          Alcotest.failf "schedule %s violates %s"
+            (Check.Schedule.to_string f.Check.Soak.schedule)
+            (Check.Oracle.violation_to_string v))
+        f.Check.Soak.violations)
+    report.Check.Soak.findings;
+  Alcotest.(check int) "no undetected injections" 0
+    report.Check.Soak.detect_undetected
+
+let test_mutation_caught () =
+  (* inject a bug (flip a byte of every 2nd packet at the receiver door)
+     and require the oracle to catch it AND the shrinker to keep a
+     replayable violating schedule *)
+  let report =
+    Check.Soak.run_profile ~mutation:(Check.Driver.Flip_every 2)
+      ~schedules:12 ~seed:11 Check.Schedule.Clean
+  in
+  Alcotest.(check bool) "bug caught" true
+    (report.Check.Soak.findings <> []);
+  Alcotest.(check bool) "catch shrunk to a replayable schedule" true
+    (List.exists
+       (fun (f : Check.Soak.finding) ->
+         f.Check.Soak.shrunk.Check.Shrink.violations <> [])
+       report.Check.Soak.findings)
+
+let suite =
+  [
+    Alcotest.test_case "model geometry" `Quick test_model_geometry;
+    Util.qtest ~count:150 "schedule round-trips through to_string"
+      QCheck2.Gen.(tup2 gen_profile (int_range 0 1_000_000))
+      prop_schedule_roundtrip;
+    Alcotest.test_case "replay is deterministic" `Quick
+      test_replay_determinism;
+    Alcotest.test_case "soak: clean profile" `Quick (fun () -> soak Check.Schedule.Clean 40);
+    Alcotest.test_case "soak: lossy profile" `Quick (fun () -> soak Check.Schedule.Lossy 25);
+    Alcotest.test_case "soak: hostile profile" `Quick (fun () -> soak Check.Schedule.Hostile 25);
+    Alcotest.test_case "injected mutation caught and shrunk" `Quick
+      test_mutation_caught;
+  ]

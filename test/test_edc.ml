@@ -277,6 +277,46 @@ let test_verifier_tst_corruption () =
   | [] -> Alcotest.fail "extent should complete the TPDU"
   | _ -> Alcotest.fail "T.ST corruption must fail verification"
 
+let test_arrival_sn_overflow () =
+  (* regression: (T.SN + LEN) * symbols-per-word once overflowed for a
+     corrupted near-max_int T.SN, letting the chunk past the
+     invariant-region check and into the position computation *)
+  let huge =
+    Util.ok_or_fail
+      (Chunk.data ~size:4
+         ~c:(Ftuple.v ~id:1 ~sn:0 ())
+         ~t:(Ftuple.v ~id:0 ~sn:(max_int - 2) ())
+         ~x:(Ftuple.v ~id:0 ~sn:0 ())
+         (Bytes.create 4))
+  in
+  let v = Edc.Verifier.create () in
+  match feed v [ huge ] with
+  | [ (0, Edc.Verifier.Reassembly_error _) ] -> ()
+  | [] -> Alcotest.fail "huge T.SN must fail the TPDU immediately"
+  | _ -> Alcotest.fail "huge T.SN must fail as a reassembly error"
+
+let test_ed_csn_mismatch () =
+  (* regression: the ED chunk's own C.SN - T.SN delta was recorded but
+     never cross-checked against the delta seen on data chunks, so a
+     corrupted data-chunk label could steer placement with no
+     independent witness *)
+  let chunks = tpdu_fixture () in
+  let ed = Util.ok_or_fail (Edc.Encoder.seal chunks) in
+  let h = ed.Chunk.header in
+  let bad_ed =
+    Util.ok_or_fail
+      (Chunk.control ~kind:Ctype.ed
+         ~c:
+           (Ftuple.v ~st:h.Header.c.Ftuple.st ~id:h.Header.c.Ftuple.id
+              ~sn:(h.Header.c.Ftuple.sn + 4) ())
+         ~t:h.Header.t ~x:h.Header.x ed.Chunk.payload)
+  in
+  let v = Edc.Verifier.create () in
+  match feed v (chunks @ [ bad_ed ]) with
+  | [ (0, Edc.Verifier.Consistency_failure _) ] -> ()
+  | [] -> Alcotest.fail "shifted ED C.SN went unnoticed"
+  | _ -> Alcotest.fail "shifted ED C.SN must be a consistency failure"
+
 let suite =
   [
     Alcotest.test_case "invariant positions" `Quick test_positions;
@@ -305,6 +345,10 @@ let suite =
       test_verifier_early_failure_then_recovery;
     Alcotest.test_case "T.ST corruption -> reassembly error" `Quick
       test_verifier_tst_corruption;
+    Alcotest.test_case "huge T.SN fails without overflow" `Quick
+      test_arrival_sn_overflow;
+    Alcotest.test_case "ED C.SN mismatch -> consistency" `Quick
+      test_ed_csn_mismatch;
     Util.qtest ~count:40 "parity invariance (property)"
       QCheck2.Gen.(tup2 (int_range 0 10000) (int_range 0 10000))
       (fun (s1, s2) ->

@@ -36,6 +36,61 @@ let gen_mutated =
 
 let no_exn f = try ignore (f ()); true with _ -> false
 
+let size_table ct = if Ctype.is_data ct then Some 4 else None
+
+(* A prefix of a valid compressed-stream image: header compression is
+   stateful, so truncation mid-chunk must surface as [Error], exactly
+   like a packet cut short by the network. *)
+let gen_truncated_compressed =
+  QCheck2.Gen.(
+    let* _, chunks = Util.gen_framed_stream in
+    let* percent = int_range 0 99 in
+    let tx = Compress.Tx.create ~options:Compress.all_on ~size_table () in
+    let image = Compress.Tx.encode_all tx chunks in
+    return (Bytes.sub image 0 (Bytes.length image * percent / 100)))
+
+(* A valid header-packed envelope with a burst of random damage. *)
+let gen_mutated_packed =
+  QCheck2.Gen.(
+    let* _, chunks = Util.gen_framed_stream in
+    let* burst_off = int_range 0 200 in
+    let* burst_len = int_range 1 16 in
+    let* seed = int_range 0 0xFFFF in
+    let image =
+      match Packed.encode_packet ~capacity:4096 chunks with
+      | Ok b -> b
+      | Error _ -> Bytes.create 64
+    in
+    let b = Bytes.copy image in
+    for k = 0 to burst_len - 1 do
+      let i = (burst_off + k) mod Bytes.length b in
+      Bytes.set b i (Char.chr ((seed + (k * 37)) land 0xFF))
+    done;
+    return b)
+
+(* Arbitrary virtual-reassembly operations, with spans drawn from the
+   full decoded-label range: negative, zero-length, and near-max_int
+   values all reach [Vreassembly] from 64-bit wire fields. *)
+let gen_vr_ops =
+  QCheck2.Gen.(
+    let extreme =
+      oneof
+        [
+          int_range (-10) 200;
+          int_range (max_int - 100) max_int;
+          map (fun i -> -i) (int_range (max_int - 100) max_int);
+          int_range 0 1_000_000;
+        ]
+    in
+    let op =
+      let* tag = int_range 0 2 in
+      let* sn = extreme in
+      let* len = extreme in
+      let* st = bool in
+      return (tag, sn, len, st)
+    in
+    list_size (int_range 1 30) op)
+
 let suite =
   [
     Util.qtest ~count:300 "Wire.decode_packet never raises on garbage"
@@ -83,4 +138,44 @@ let suite =
             match Wire.decode_chunk b 0 with
             | Ok (c, _) -> ignore (Connection.parse_signal c)
             | Error _ -> ()));
+    Util.qtest ~count:200 "Huffman.deserialize never raises on garbage"
+      gen_garbage
+      (fun b -> no_exn (fun () -> Huffman.deserialize b 0));
+    Util.qtest ~count:200 "Huffman.decode_bytes never raises on garbage"
+      gen_garbage
+      (fun b ->
+        let code = Huffman.build (Array.init 256 (fun i -> 1 + (i mod 7))) in
+        no_exn (fun () ->
+            Huffman.decode_bytes code ~count:((Bytes.length b * 2) + 5) b));
+    Util.qtest ~count:200 "Packed.decode_packet never raises on mutations"
+      gen_mutated_packed
+      (fun b -> no_exn (fun () -> Packed.decode_packet b));
+    Util.qtest ~count:300 "Vreassembly never raises on arbitrary spans"
+      gen_vr_ops
+      (fun ops ->
+        let tr = Vreassembly.create () in
+        no_exn (fun () ->
+            List.iter
+              (fun (tag, sn, len, st) ->
+                match tag with
+                | 0 -> ignore (Vreassembly.insert tr ~sn ~len ~st)
+                | 1 -> ignore (Vreassembly.insert_new tr ~sn ~len ~st)
+                | _ -> ignore (Vreassembly.set_total tr sn))
+              ops));
+    Util.qtest ~count:200 "Vreassembly.Table survives mutated packets"
+      gen_mutated
+      (fun b ->
+        let table = Vreassembly.Table.create () in
+        no_exn (fun () ->
+            match Wire.decode_packet b with
+            | Ok chunks ->
+                List.iter
+                  (fun c -> ignore (Vreassembly.Table.insert_chunk table c))
+                  chunks
+            | Error _ -> ()));
+    Util.qtest ~count:200 "Compress.Rx never raises on truncated images"
+      gen_truncated_compressed
+      (fun b ->
+        let rx = Compress.Rx.create ~options:Compress.all_on ~size_table () in
+        no_exn (fun () -> Compress.Rx.decode_all rx b));
   ]

@@ -27,4 +27,5 @@ let () =
       ("transport", Test_transport.suite);
       ("fuzz", Test_fuzz.suite);
       ("parverify", Test_parverify.suite);
+      ("check", Test_check.suite);
     ]

@@ -120,7 +120,23 @@ let test_overlap_accounting () =
   Alcotest.(check int) "six distinct elements" 6 (Placement.placed_elems p);
   Alcotest.(check bool) "full" true (Placement.is_full p)
 
+let test_huge_sn_no_overflow () =
+  (* regression: a corrupted C.SN near max_int once wrapped the window
+     check (sn + len overflowed) and crashed on the copy *)
+  let p =
+    Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems:8
+      ~elem_size:4
+  in
+  (match Placement.place p (mk ~c_sn:(max_int - 1) ~t_sn:0 ~x_sn:0 ~elems:2) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "SN near max_int must be rejected");
+  Alcotest.(check int) "nothing placed" 0 (Placement.placed_elems p)
+
 let suite =
   suite
-  @ [ Alcotest.test_case "partial-overlap accounting" `Quick
-        test_overlap_accounting ]
+  @ [
+      Alcotest.test_case "partial-overlap accounting" `Quick
+        test_overlap_accounting;
+      Alcotest.test_case "huge SN does not overflow the window check" `Quick
+        test_huge_sn_no_overflow;
+    ]

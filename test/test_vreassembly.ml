@@ -160,9 +160,32 @@ let prop_against_model ops =
   | None -> if Vreassembly.complete tr then ok := false);
   !ok
 
+let test_malformed_spans () =
+  (* regression: spans decoded from corrupted labels (negative SN,
+     LEN <= 0, sn + len past max_int) once raised inside the run list *)
+  let tr = Vreassembly.create () in
+  Alcotest.check insert_result "negative sn" Vreassembly.Inconsistent
+    (Vreassembly.insert tr ~sn:(-1) ~len:1 ~st:false);
+  Alcotest.check insert_result "zero len" Vreassembly.Inconsistent
+    (Vreassembly.insert tr ~sn:0 ~len:0 ~st:false);
+  Alcotest.check insert_result "negative len" Vreassembly.Inconsistent
+    (Vreassembly.insert tr ~sn:3 ~len:(-2) ~st:false);
+  Alcotest.check insert_result "overflowing span" Vreassembly.Inconsistent
+    (Vreassembly.insert tr ~sn:(max_int - 2) ~len:5 ~st:true);
+  (match Vreassembly.insert_new tr ~sn:(-3) ~len:4 ~st:false with
+  | Error `Inconsistent -> ()
+  | Ok _ -> Alcotest.fail "insert_new accepted a negative span");
+  (match Vreassembly.set_total tr 0 with
+  | Error `Inconsistent -> ()
+  | Ok () -> Alcotest.fail "set_total accepted a non-positive total");
+  Alcotest.(check int) "nothing recorded" 0 (Vreassembly.received_elems tr);
+  Alcotest.(check bool) "still incomplete" false (Vreassembly.complete tr)
+
 let suite =
   [
     Alcotest.test_case "basic completion" `Quick test_basic_completion;
+    Alcotest.test_case "malformed spans rejected, never raise" `Quick
+      test_malformed_spans;
     Alcotest.test_case "duplicates" `Quick test_duplicates;
     Alcotest.test_case "inconsistent ends" `Quick test_inconsistent_ends;
     Alcotest.test_case "insert_new subtraction" `Quick

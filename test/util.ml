@@ -119,5 +119,20 @@ let stream_of_chunks chunks =
   |> List.map (fun c -> c.Chunk.payload)
   |> Bytes.concat Bytes.empty
 
+(* Property tests run under one seed chosen per process, printed once so
+   a CI failure is reproducible locally: re-run with QCHECK_SEED=<n>. *)
+let qcheck_seed =
+  lazy
+    (let seed =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some s when int_of_string_opt s <> None -> int_of_string s
+       | Some _ | None ->
+           Random.self_init ();
+           Random.bits ()
+     in
+     Printf.eprintf "qcheck seed = %d (set QCHECK_SEED to reproduce)\n%!" seed;
+     seed)
+
 let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  let rand = Random.State.make [| Lazy.force qcheck_seed |] in
+  QCheck_alcotest.to_alcotest ~rand (QCheck2.Test.make ~count ~name gen prop)
