@@ -1,0 +1,128 @@
+(* ROB-*: survivability experiments — what the adaptive control plane
+   buys under hostile load.  ROB-RTO sweeps goodput against loss with a
+   fixed RTO vs the Jacobson/Karn estimator (same schedules, same
+   seeds): the fixed timer is an overestimate by construction, so every
+   loss costs a full conservative timeout, while the estimator converges
+   on the path's real round trip and repairs losses at RTT scale. *)
+
+let seed = 0x5EED
+
+let section id title =
+  Printf.printf "\n=== EXP %s === %s (seed %#x)\n" id title seed
+
+let transfer_data n =
+  Bytes.init n (fun i -> Char.chr ((i * 31 + i / 977) land 0xFF))
+
+let rob_rto () =
+  section "ROB-RTO" "goodput vs loss: fixed RTO vs adaptive (Jacobson/Karn)";
+  let data = transfer_data 131072 in
+  let base =
+    (* small TTL: the governor's trailing sweep is part of sim_time, so
+       keep it out of the goodput comparison's way *)
+    { Transport.Chunk_transport.default_config with
+      Transport.Chunk_transport.rto = 0.25;
+      window = 4;
+      state_ttl = 0.25 }
+  in
+  Printf.printf "  %-8s %-22s %-22s %-10s\n" "loss" "fixed goodput (Mb/s)"
+    "adaptive goodput (Mb/s)" "speedup";
+  List.iter
+    (fun loss ->
+      let run config =
+        Transport.Chunk_transport.run ~seed ~loss ~config ~data ()
+      in
+      let fixed = run base in
+      let adaptive =
+        run { base with Transport.Chunk_transport.rto_adaptive = true }
+      in
+      assert fixed.Transport.Chunk_transport.ok;
+      assert adaptive.Transport.Chunk_transport.ok;
+      let mbps o = o.Transport.Chunk_transport.goodput_bps /. 1e6 in
+      let speedup = adaptive.goodput_bps /. fixed.goodput_bps in
+      Printf.printf "  %-8.2f %-22.3f %-22.3f %-10.2fx\n" loss (mbps fixed)
+        (mbps adaptive) speedup;
+      let tag = Printf.sprintf "%.2f" loss in
+      Util_bench.Metrics.record ~exp:"ROB-RTO"
+        ("fixed goodput bps @" ^ tag)
+        fixed.goodput_bps;
+      Util_bench.Metrics.record ~exp:"ROB-RTO"
+        ("adaptive goodput bps @" ^ tag)
+        adaptive.goodput_bps;
+      Util_bench.Metrics.record ~exp:"ROB-RTO"
+        ("fixed sim s @" ^ tag)
+        fixed.sim_time;
+      Util_bench.Metrics.record ~exp:"ROB-RTO"
+        ("adaptive sim s @" ^ tag)
+        adaptive.sim_time;
+      Util_bench.Metrics.record ~exp:"ROB-RTO"
+        ("adaptive rtt samples @" ^ tag)
+        (float_of_int adaptive.rtt_samples))
+    [ 0.0; 0.05; 0.10; 0.20 ]
+
+(* ROB-ABORT: the cost of abandoning a starved transfer.  The reverse
+   path is dead and the forward path loses every ED-bearing packet, so
+   no TPDU can verify and the receiver accumulates partial state; the
+   sender backs off exponentially (capped), gives up after
+   [give_up_txs] transmissions, and signals Abort_tpdu so that state is
+   reclaimed immediately instead of waiting for the delta-t deadline. *)
+let rob_abort () =
+  section "ROB-ABORT" "give-up under a starved path";
+  let engine = Netsim.Engine.create ~seed () in
+  let config =
+    { Transport.Chunk_transport.default_config with
+      Transport.Chunk_transport.rto = 0.05;
+      give_up_txs = 6;
+      state_ttl = 30.0 }
+  in
+  let receiver = ref None in
+  let drops_ed b =
+    match Labelling.Wire.decode_packet b with
+    | Error _ -> false
+    | Ok chunks ->
+        List.exists
+          (fun ch ->
+            Labelling.Ctype.equal
+              ch.Labelling.Chunk.header.Labelling.Header.ctype
+              Labelling.Ctype.ed)
+          chunks
+  in
+  let tx =
+    Transport.Chunk_transport.Sender.create engine config
+      ~send:(fun b ->
+        match !receiver with
+        | Some rx ->
+            if not (drops_ed b) then
+              Transport.Chunk_transport.Receiver.on_packet rx b
+        | None -> ())
+      ~data:(transfer_data 8192) ()
+  in
+  let rx =
+    Transport.Chunk_transport.Receiver.create engine config
+      ~send_ack:(fun _ -> ())
+      ~capacity:
+        (`Exact
+          (Transport.Chunk_transport.expected_elements config ~data_len:8192))
+      ()
+  in
+  receiver := Some rx;
+  Transport.Chunk_transport.Sender.start tx;
+  Netsim.Engine.run engine;
+  let module CT = Transport.Chunk_transport in
+  Printf.printf
+    "  gave up after %.3f sim s; aborts sent %d, received %d; receiver \
+     in-flight %d, stashed %d\n"
+    (Netsim.Engine.now engine)
+    (CT.Sender.aborts_sent tx)
+    (CT.Receiver.aborts_received rx)
+    (CT.Receiver.verifier_in_flight rx)
+    (CT.Receiver.stashed_tpdus rx);
+  Util_bench.Metrics.record ~exp:"ROB-ABORT" "give-up sim s"
+    (Netsim.Engine.now engine);
+  Util_bench.Metrics.record ~exp:"ROB-ABORT" "aborts sent"
+    (float_of_int (CT.Sender.aborts_sent tx));
+  Util_bench.Metrics.record ~exp:"ROB-ABORT" "receiver in-flight after"
+    (float_of_int (CT.Receiver.verifier_in_flight rx))
+
+let run () =
+  rob_rto ();
+  rob_abort ()

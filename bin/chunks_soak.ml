@@ -10,12 +10,18 @@
 
 open Cmdliner
 
+let profile_names () =
+  List.map Check.Schedule.profile_name Check.Schedule.all_profiles
+
 let profiles_of = function
-  | "all" -> Ok [ Check.Schedule.Clean; Check.Schedule.Lossy; Check.Schedule.Hostile ]
+  | "all" -> Ok Check.Schedule.all_profiles
   | name -> (
       match Check.Schedule.profile_of_name name with
       | Some p -> Ok [ p ]
-      | None -> Error (Printf.sprintf "unknown profile %S" name))
+      | None ->
+          Error
+            (Printf.sprintf "unknown profile %S (known: %s, all)" name
+               (String.concat ", " (profile_names ()))))
 
 let print_finding i (f : Check.Soak.finding) =
   Printf.printf "finding %d:\n" i;
@@ -64,7 +70,9 @@ let run_replay spec mutate =
       Format.printf "%a" Check.Trace.pp trace;
       Printf.printf
         "ok=%b complete=%b gave_up=%b retrans=%d sack=%d nacks=%d\n\
-         tpdus passed=%d failed=%d dups=%d in_flight=%d stashed=%d pending=%d\n"
+         tpdus passed=%d failed=%d dups=%d in_flight=%d stashed=%d pending=%d\n\
+         evictions=%d conn_gcs=%d aborts tx=%d rx=%d reacks=%d \
+         state_high=%d flood=%d rtt_samples=%d final_rto=%.4f\n"
         observation.Check.Driver.ok observation.complete observation.gave_up
         observation.retransmissions observation.sack_retransmissions
         observation.nacks_sent
@@ -72,7 +80,11 @@ let run_replay spec mutate =
         observation.verifier.Edc.Verifier.tpdus_failed
         observation.verifier.Edc.Verifier.duplicates
         observation.verifier_in_flight observation.stashed_tpdus
-        observation.engine_pending;
+        observation.engine_pending observation.receiver_evictions
+        observation.conn_gcs observation.aborts_sent
+        observation.aborts_received observation.reacks_sent
+        observation.state_high_water observation.flood_injected
+        observation.rtt_samples observation.final_rto;
       let violations = Check.Oracle.check ~schedule ~model ~observation in
       List.iter
         (fun v -> Printf.printf "VIOLATION %s\n" (Check.Oracle.violation_to_string v))
@@ -83,7 +95,12 @@ let run_replay spec mutate =
       end
       else 1
 
-let run_soak profile schedules seconds seed json mutate replay artifacts_dir =
+let run_soak list_profiles profile schedules seconds seed json mutate replay
+    artifacts_dir =
+  if list_profiles then begin
+    List.iter print_endline (profile_names ());
+    exit 0
+  end;
   let mutation =
     match Check.Driver.mutation_of_string mutate with
     | Some m -> m
@@ -170,11 +187,19 @@ let run_soak profile schedules seconds seed json mutate replay artifacts_dir =
           end)
 
 let cmd =
+  let list_profiles =
+    Arg.(
+      value & flag
+      & info [ "list-profiles" ]
+          ~doc:"Print the known fault profile names and exit.")
+  in
   let profile =
     Arg.(
       value & opt string "all"
       & info [ "profile" ] ~docv:"PROFILE"
-          ~doc:"Fault profile: clean, lossy, hostile, or all.")
+          ~doc:
+            "Fault profile ($(b,--list-profiles) prints the known names) \
+             or $(b,all).")
   in
   let schedules =
     Arg.(
@@ -222,7 +247,7 @@ let cmd =
     (Cmd.info "chunks-soak" ~version:"1.0"
        ~doc:"Differential conformance soak for the chunk pipeline")
     Term.(
-      const run_soak $ profile $ schedules $ seconds $ seed $ json $ mutate
-      $ replay $ artifacts_dir)
+      const run_soak $ list_profiles $ profile $ schedules $ seconds $ seed
+      $ json $ mutate $ replay $ artifacts_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,22 @@ let mutation_of_string str =
   | [ "drop"; n ] -> Option.map (fun n -> Drop_every n) (int_of_string_opt n)
   | _ -> None
 
+type epoch_obs = {
+  e_conn : int;
+  e_epoch : int;
+  e_gave_up : bool;
+  e_complete : bool;
+  e_delivered : bytes option;
+      (** the epoch's receiver buffer; [None] if the receiver never saw
+          the epoch *)
+}
+
+type multi_obs = {
+  mo_epochs : epoch_obs list;
+  mo_live_conns : int;  (** connections still live at quiescence *)
+  mo_known_conns : int;  (** connections ever admitted (incl. flood) *)
+}
+
 type observation = {
   ok : bool;
   complete : bool;
@@ -44,33 +60,57 @@ type observation = {
   dropper : Netsim.Dropper.stats option;
   gateways_malformed : int;
   mutated_packets : int;
+  (* control plane *)
+  reacks_sent : int;
+  aborts_sent : int;
+  aborts_received : int;
+  receiver_evictions : int;
+  conn_gcs : int;
+  displaced_conns : int;
+  unknown_drops : int;
+  state_high_water : int;
+  state_accounted : int;
+  flood_injected : int;
+  rtt_samples : int;
+  max_txs_at_rtt_sample : int;
+  final_rto : float;
+  multi : multi_obs option;
 }
 
 (* Far beyond the slowest legitimate run: a sender that gives up does so
-   after at most ~303 RTOs (capped exponential backoff), and RTOs are
-   clamped to 2 s.  Events still queued at the horizon mean a component
-   reschedules itself forever — the lockup the oracle reports. *)
+   after at most ~303 RTOs (capped exponential backoff), RTOs are
+   clamped to 2 s, and the state governor's deadline sweep finishes
+   within one TTL of the last arrival.  Events still queued at the
+   horizon mean a component reschedules itself forever — the lockup the
+   oracle reports. *)
 let horizon = 1000.0
 
-let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
-  let config = Schedule.config_of s in
-  let data = Schedule.data_of s in
-  let engine = Netsim.Engine.create ~seed:s.seed () in
-  let trec fmt =
-    Printf.ksprintf
-      (fun ev ->
-        match trace with
-        | Some t -> Trace.add t ~time:(Netsim.Engine.now engine) ev
-        | None -> ())
-      fmt
-  in
-  let receiver = ref None in
-  let sender = ref None in
+(* Everything on the forward side of the wire is common to the single-
+   and multi-connection paths: door mutation, congestion dropper,
+   gateway chain, multipath, plus the scheduled outage valve in front
+   of it all. *)
+type plumbing = {
+  engine : Netsim.Engine.t;
+  forward_send : bytes -> unit;
+  door : bytes -> unit;  (** the raw receiver door (adversary injection) *)
+  forward_stats : unit -> Netsim.Link.stats;
+  dropper_stats : unit -> Netsim.Dropper.stats option;
+  gateways_malformed : unit -> int;
+  mutated : int ref;
+}
+
+let make_trec engine trace fmt =
+  Printf.ksprintf
+    (fun ev ->
+      match trace with
+      | Some t -> Trace.add t ~time:(Netsim.Engine.now engine) ev
+      | None -> ())
+    fmt
+
+let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
+  let trec fmt = make_trec engine trace fmt in
   let mutated = ref 0 in
   let door_count = ref 0 in
-  let to_receiver_raw b =
-    match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ()
-  in
   let to_receiver b =
     incr door_count;
     let n = !door_count in
@@ -150,32 +190,86 @@ let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
   in
   let forward =
     Netsim.Multipath.create engine ~paths:s.paths ~rate_bps:s.rate_bps
-      ~delay:s.delay ~skew:s.skew ~jitter:s.jitter ~mtu:config.CT.mtu
-      ~loss:s.loss ~corrupt:s.corrupt ~duplicate:s.duplicate ~spread
-      ~deliver:first_hop ()
+      ~delay:s.delay ~skew:s.skew ~jitter:s.jitter ~mtu:s.mtu ~loss:s.loss
+      ~corrupt:s.corrupt ~duplicate:s.duplicate ~spread ~deliver:first_hop ()
   in
+  let into_multipath b = ignore (Netsim.Multipath.send forward b) in
+  (* The scheduled forward outage sits between the sender and the wire:
+     during the window packets are discarded (dead path) or held and
+     replayed in order at resume (pausing link). *)
+  let forward_send =
+    match s.outage with
+    | None -> into_multipath
+    | Some o ->
+        let valve =
+          Netsim.Outage.create engine
+            ~mode:(if o.Schedule.out_hold then Netsim.Outage.Hold
+                   else Netsim.Outage.Drop)
+            ~start:o.Schedule.out_start ~duration:o.Schedule.out_duration
+            ~deliver:into_multipath ()
+        in
+        fun b -> Netsim.Outage.send valve b
+  in
+  {
+    engine;
+    forward_send;
+    door = to_receiver_raw;
+    forward_stats = (fun () -> Netsim.Multipath.aggregate_stats forward);
+    dropper_stats = (fun () -> Option.map Netsim.Dropper.stats dropper);
+    gateways_malformed =
+      (fun () ->
+        List.fold_left
+          (fun acc gw ->
+            acc + (Netsim.Gateway.stats gw).Netsim.Gateway.malformed)
+          0 !gws);
+    mutated;
+  }
+
+(* The reverse path, with the optional ACK black hole in front of it. *)
+let build_reverse ~trace (s : Schedule.t) engine deliver =
+  let trec fmt = make_trec engine trace fmt in
   let reverse =
     Netsim.Link.create engine ~name:"ack" ~rate_bps:1e9 ~delay:s.delay
-      ~mtu:config.CT.mtu
+      ~mtu:s.mtu
       ~deliver:(fun b ->
         trec "ack packet (%d bytes)" (Bytes.length b);
-        match !sender with Some t -> CT.Sender.on_packet t b | None -> ())
+        deliver b)
       ()
+  in
+  let into_link b = ignore (Netsim.Link.send reverse b) in
+  match s.ack_blackhole with
+  | None -> into_link
+  | Some (start, duration) ->
+      let valve =
+        Netsim.Outage.create engine ~mode:Netsim.Outage.Drop ~start ~duration
+          ~deliver:into_link ()
+      in
+      fun b -> Netsim.Outage.send valve b
+
+let run_single ~mutation ~trace (s : Schedule.t) =
+  let config = Schedule.config_of s in
+  let data = Schedule.data_of s in
+  let engine = Netsim.Engine.create ~seed:s.seed () in
+  let trec fmt = make_trec engine trace fmt in
+  let receiver = ref None in
+  let sender = ref None in
+  let to_receiver_raw b =
+    match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ()
+  in
+  let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
+  let reverse_send =
+    build_reverse ~trace s engine (fun b ->
+        match !sender with Some t -> CT.Sender.on_packet t b | None -> ())
   in
   let expected_elems =
     CT.expected_elements config ~data_len:(Bytes.length data)
   in
   let rx =
-    CT.Receiver.create engine config
-      ~send_ack:(fun b -> ignore (Netsim.Link.send reverse b))
-      ~expected_elems ()
+    CT.Receiver.create engine config ~send_ack:reverse_send
+      ~capacity:(`Exact expected_elems) ()
   in
   receiver := Some rx;
-  let tx =
-    CT.Sender.create engine config
-      ~send:(fun b -> ignore (Netsim.Multipath.send forward b))
-      ~data ()
-  in
+  let tx = CT.Sender.create engine config ~send:p.forward_send ~data () in
   sender := Some tx;
   CT.Sender.start tx;
   Netsim.Engine.run ~until:horizon engine;
@@ -188,6 +282,7 @@ let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
     && Bytes.equal (Bytes.sub delivered 0 n) data
   in
   trec "run end: ok=%b pending=%d" ok (Netsim.Engine.pending engine);
+  let gov = CT.Receiver.governor_stats rx in
   {
     ok;
     complete = CT.Receiver.complete rx;
@@ -205,11 +300,272 @@ let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
     stashed_tpdus = CT.Receiver.stashed_tpdus rx;
     engine_pending = Netsim.Engine.pending engine;
     sim_time = Netsim.Engine.now engine;
-    forward = Netsim.Multipath.aggregate_stats forward;
-    dropper = Option.map Netsim.Dropper.stats dropper;
-    gateways_malformed =
-      List.fold_left
-        (fun acc gw -> acc + (Netsim.Gateway.stats gw).Netsim.Gateway.malformed)
-        0 !gws;
-    mutated_packets = !mutated;
+    forward = p.forward_stats ();
+    dropper = p.dropper_stats ();
+    gateways_malformed = p.gateways_malformed ();
+    mutated_packets = !(p.mutated);
+    reacks_sent = CT.Receiver.reacks_sent rx;
+    aborts_sent = CT.Sender.aborts_sent tx;
+    aborts_received = CT.Receiver.aborts_received rx;
+    receiver_evictions = CT.Receiver.evictions rx;
+    conn_gcs = 0;
+    displaced_conns = 0;
+    unknown_drops = 0;
+    state_high_water = gov.Transport.Governor.high_water;
+    state_accounted = gov.Transport.Governor.accounted_bytes;
+    flood_injected = 0;
+    rtt_samples = CT.Sender.rtt_samples tx;
+    max_txs_at_rtt_sample = CT.Sender.max_txs_at_rtt_sample tx;
+    final_rto = CT.Sender.current_rto tx;
+    multi = None;
   }
+
+(* T.ID spaces of successive epochs of one connection must be disjoint
+   (a stale full-TPDU retransmission from a closed epoch must never be
+   mistakable for new-epoch data). *)
+let epoch_tid_stride = 200_000
+
+(* One (connection, epoch) transfer as the driver-side endpoint sees
+   it. *)
+type ep = {
+  ep_conn : int;
+  ep_epoch : int;
+  mutable ep_tx : CT.Sender.t option;
+  mutable ep_done : bool;
+  mutable ep_gave_up : bool;
+}
+
+let run_multi ~mutation ~trace (s : Schedule.t) =
+  let config = Schedule.config_of s in
+  let engine = Netsim.Engine.create ~seed:s.seed () in
+  let trec fmt = make_trec engine trace fmt in
+  let multi = ref None in
+  let to_receiver_raw b =
+    match !multi with Some m -> Transport.Multi.on_packet m b | None -> ()
+  in
+  let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
+  (* Reverse traffic is demultiplexed to the per-connection sender by
+     the C.ID every control chunk carries. *)
+  let senders : (int, CT.Sender.t) Hashtbl.t = Hashtbl.create 8 in
+  let reverse_send =
+    build_reverse ~trace s engine (fun b ->
+        match Labelling.Wire.decode_packet b with
+        | Error _ -> ()
+        | Ok chunks ->
+            List.iter
+              (fun ch ->
+                if not (Labelling.Chunk.is_terminator ch) then
+                  let cid =
+                    ch.Labelling.Chunk.header.Labelling.Header.c
+                      .Labelling.Ftuple.id
+                  in
+                  match Hashtbl.find_opt senders cid with
+                  | Some tx -> CT.Sender.on_chunk tx ch
+                  | None -> ())
+              chunks)
+  in
+  let quota_elems =
+    CT.expected_elements config ~data_len:s.Schedule.data_len
+  in
+  let m =
+    Transport.Multi.create engine ~config ~quota_elems
+      ~max_conns:(s.Schedule.connections + 8) ~send_ack:reverse_send ()
+  in
+  multi := Some m;
+  (* Plan the (connection, epoch) transfers: every connection one epoch,
+     connection 1 a second one when the schedule re-opens it. *)
+  let eps =
+    List.concat_map
+      (fun i ->
+        let conn = i + 1 in
+        let epochs = if conn = 1 && s.Schedule.reopen then 2 else 1 in
+        List.init epochs (fun e ->
+            {
+              ep_conn = conn;
+              ep_epoch = e;
+              ep_tx = None;
+              ep_done = false;
+              ep_gave_up = false;
+            }))
+      (List.init s.Schedule.connections Fun.id)
+  in
+  let start_ep ep =
+    let tx =
+      CT.Sender.create engine
+        { config with CT.conn_id = ep.ep_conn }
+        ~first_tid:(ep.ep_epoch * epoch_tid_stride)
+        ~announce_open:true ~send:p.forward_send
+        ~data:(Schedule.data_of_conn s ~conn:ep.ep_conn ~epoch:ep.ep_epoch)
+        ()
+    in
+    ep.ep_tx <- Some tx;
+    Hashtbl.replace senders ep.ep_conn tx;
+    CT.Sender.start tx
+  in
+  (* Epoch 0 of every connection starts together; later epochs start
+     only after the previous one finished (their Open performs the
+     close-and-reopen).  The explicit Close is sent once per connection
+     after its {e final} epoch, so no Close is ever in flight while a
+     reopen could race it. *)
+  List.iter (fun ep -> if ep.ep_epoch = 0 then start_ep ep) eps;
+  let close_sent : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let send_close conn =
+    if not (Hashtbl.mem close_sent conn) then begin
+      Hashtbl.add close_sent conn ();
+      trec "close connection %d" conn;
+      match
+        Labelling.Wire.encode_packet
+          [ Labelling.Connection.(signal_chunk ~conn_id:conn Close) ]
+      with
+      | Ok b -> p.forward_send b
+      | Error _ -> ()
+    end
+  in
+  let last_of conn =
+    List.fold_left
+      (fun acc ep -> if ep.ep_conn = conn then max acc ep.ep_epoch else acc)
+      0 eps
+  in
+  let poll_dt = Float.max 0.002 (s.Schedule.rto /. 4.0) in
+  (* A finished epoch hands over after one RTO of settling time, so its
+     last retransmitted packets (and the next epoch's Open) cannot
+     arrive out of order across the multipath skew. *)
+  let rec poll () =
+    List.iter
+      (fun ep ->
+        match ep.ep_tx with
+        | Some tx when (not ep.ep_done) && CT.Sender.finished tx ->
+            ep.ep_done <- true;
+            ep.ep_gave_up <- CT.Sender.gave_up tx;
+            if ep.ep_epoch = last_of ep.ep_conn then send_close ep.ep_conn
+            else begin
+              let next =
+                List.find
+                  (fun e ->
+                    e.ep_conn = ep.ep_conn && e.ep_epoch = ep.ep_epoch + 1)
+                  eps
+              in
+              Netsim.Engine.schedule engine ~delay:s.Schedule.rto (fun () ->
+                  start_ep next)
+            end
+        | _ -> ())
+      eps;
+    if List.exists (fun ep -> not ep.ep_done) eps then
+      Netsim.Engine.schedule engine ~delay:poll_dt poll
+  in
+  Netsim.Engine.schedule engine ~delay:poll_dt poll;
+  (* The flood adversary injects straight at the receiver door. *)
+  let adversary =
+    match s.Schedule.flood with
+    | None -> None
+    | Some f ->
+        Some
+          (Adversary.create engine ~seed:(s.seed lxor 0xF100D)
+             ~rate:f.Schedule.flood_rate ~stop:f.Schedule.flood_stop
+             ~legit_conns:(List.init s.Schedule.connections (fun i -> i + 1))
+             ~bogus_conns:f.Schedule.flood_conns ~elem_size:s.Schedule.elem_size
+             ~inject:p.door ())
+  in
+  Netsim.Engine.run ~until:horizon engine;
+  (* Join the driver-side epochs with the receiver-side reports. *)
+  let mo_epochs =
+    List.map
+      (fun ep ->
+        let reports = Transport.Multi.epochs m ~conn_id:ep.ep_conn in
+        let r = List.nth_opt reports ep.ep_epoch in
+        {
+          e_conn = ep.ep_conn;
+          e_epoch = ep.ep_epoch;
+          e_gave_up = ep.ep_gave_up;
+          e_complete =
+            (match r with
+            | Some r -> r.Transport.Multi.complete
+            | None -> false);
+          e_delivered =
+            Option.map (fun r -> r.Transport.Multi.delivered) r;
+        })
+      eps
+  in
+  let epoch_ok e =
+    let data = Schedule.data_of_conn s ~conn:e.e_conn ~epoch:e.e_epoch in
+    let n = Bytes.length data in
+    match e.e_delivered with
+    | Some d when Bytes.length d >= n -> Bytes.equal (Bytes.sub d 0 n) data
+    | Some _ | None -> false
+  in
+  let ok =
+    List.for_all (fun e -> e.e_gave_up || (e.e_complete && epoch_ok e)) mo_epochs
+    && List.for_all (fun ep -> ep.ep_done) eps
+  in
+  trec "run end: ok=%b pending=%d" ok (Netsim.Engine.pending engine);
+  let sum f = List.fold_left (fun acc ep ->
+      match ep.ep_tx with Some tx -> acc + f tx | None -> acc) 0 eps
+  in
+  let gov = Transport.Multi.governor_stats m in
+  let first_epoch = List.hd mo_epochs in
+  (* Archived epochs release their verifiers, so no meaningful aggregate
+     exists; the oracle's verifier-stats checks are single-path only. *)
+  let verifier =
+    {
+      Edc.Verifier.tpdus_passed = 0;
+      tpdus_failed = 0;
+      duplicates = 0;
+      chunks_seen = 0;
+    }
+  in
+  {
+    ok;
+    complete = List.for_all (fun e -> e.e_gave_up || e.e_complete) mo_epochs;
+    gave_up = List.exists (fun e -> e.e_gave_up) mo_epochs;
+    finished = List.for_all (fun ep -> ep.ep_done) eps;
+    delivered =
+      (match first_epoch.e_delivered with Some d -> d | None -> Bytes.empty);
+    delivered_elems = 0;
+    retransmissions = sum CT.Sender.retransmissions;
+    sack_retransmissions = sum CT.Sender.sack_retransmissions;
+    nacks_sent = 0;
+    tpdus_sent = sum CT.Sender.tpdus_sent;
+    packets_sent = sum CT.Sender.packets_sent;
+    verifier;
+    verifier_in_flight = Transport.Multi.live_in_flight m;
+    stashed_tpdus = Transport.Multi.live_stashed m;
+    engine_pending = Netsim.Engine.pending engine;
+    sim_time = Netsim.Engine.now engine;
+    forward = p.forward_stats ();
+    dropper = p.dropper_stats ();
+    gateways_malformed = p.gateways_malformed ();
+    mutated_packets = !(p.mutated);
+    reacks_sent = Transport.Multi.reacks_sent m;
+    aborts_sent = sum CT.Sender.aborts_sent;
+    aborts_received = Transport.Multi.aborts_received m;
+    receiver_evictions = Transport.Multi.evictions m;
+    conn_gcs = Transport.Multi.conn_gcs m;
+    displaced_conns = Transport.Multi.displaced_conns m;
+    unknown_drops = Transport.Multi.unknown_drops m;
+    state_high_water = gov.Transport.Governor.high_water;
+    state_accounted = gov.Transport.Governor.accounted_bytes;
+    flood_injected =
+      (match adversary with
+      | Some a -> (Adversary.stats a).Adversary.injected
+      | None -> 0);
+    rtt_samples = sum CT.Sender.rtt_samples;
+    max_txs_at_rtt_sample =
+      List.fold_left
+        (fun acc ep ->
+          match ep.ep_tx with
+          | Some tx -> max acc (CT.Sender.max_txs_at_rtt_sample tx)
+          | None -> acc)
+        0 eps;
+    final_rto = s.Schedule.rto;
+    multi =
+      Some
+        {
+          mo_epochs;
+          mo_live_conns = Transport.Multi.live_conns m;
+          mo_known_conns = List.length (Transport.Multi.known_conns m);
+        };
+  }
+
+let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
+  if Schedule.multi_mode s then run_multi ~mutation ~trace s
+  else run_single ~mutation ~trace s

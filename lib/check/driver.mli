@@ -3,6 +3,14 @@
     reassembly, WSC-2 verification, immediate placement) — under one
     {!Schedule}, and reports everything the {!Oracle} observes.
 
+    Multi-connection schedules ({!Schedule.multi_mode}) run one
+    {!Transport.Multi} receiver demultiplexing per-connection senders
+    (with optional close-and-reopen of connection 1 and a
+    {!Adversary} flood at the receiver door); single-connection
+    schedules run the classic point-to-point pair.  The scheduled
+    forward outage and ACK black hole wrap the respective directions in
+    both modes.
+
     Deterministic: the same (seed, schedule, mutation) triple replays
     the same execution event for event. *)
 
@@ -17,8 +25,24 @@ type mutation =
 val mutation_to_string : mutation -> string
 val mutation_of_string : string -> mutation option
 
+type epoch_obs = {
+  e_conn : int;
+  e_epoch : int;
+  e_gave_up : bool;  (** the sender abandoned TPDUs in this epoch *)
+  e_complete : bool;
+  e_delivered : bytes option;
+      (** the epoch's receiver buffer; [None] if the receiver never saw
+          the epoch *)
+}
+
+type multi_obs = {
+  mo_epochs : epoch_obs list;
+  mo_live_conns : int;  (** connections still live at quiescence *)
+  mo_known_conns : int;  (** connections ever admitted (incl. flood) *)
+}
+
 type observation = {
-  ok : bool;  (** delivered prefix equals sent data *)
+  ok : bool;  (** delivered prefix equals sent data (every epoch) *)
   complete : bool;  (** connection placement buffer fully covered *)
   gave_up : bool;
   finished : bool;
@@ -30,6 +54,8 @@ type observation = {
   tpdus_sent : int;
   packets_sent : int;
   verifier : Edc.Verifier.stats;
+      (** single-path only; zeroed in multi mode (archived epochs
+          release their verifiers) *)
   verifier_in_flight : int;  (** leak probe *)
   stashed_tpdus : int;  (** leak probe *)
   engine_pending : int;  (** > 0 after the horizon means lockup *)
@@ -38,6 +64,22 @@ type observation = {
   dropper : Netsim.Dropper.stats option;
   gateways_malformed : int;
   mutated_packets : int;
+  reacks_sent : int;  (** re-acknowledgements of already-done TPDUs *)
+  aborts_sent : int;  (** sender give-ups signalled via [Abort_tpdu] *)
+  aborts_received : int;  (** aborts honoured by the receiver *)
+  receiver_evictions : int;  (** governor deadline/budget evictions *)
+  conn_gcs : int;  (** whole connections reclaimed by deadline *)
+  displaced_conns : int;  (** live connections displaced by admission *)
+  unknown_drops : int;  (** chunks for never-admitted connections *)
+  state_high_water : int;  (** governor high-water mark, bytes *)
+  state_accounted : int;  (** bytes still accounted at quiescence *)
+  flood_injected : int;  (** adversary packets injected *)
+  rtt_samples : int;  (** RTT samples taken (Karn-filtered) *)
+  max_txs_at_rtt_sample : int;
+      (** highest transmission count of any sampled TPDU; > 1 breaks
+          Karn's rule *)
+  final_rto : float;  (** sender's RTO at the end of the run *)
+  multi : multi_obs option;  (** present iff the schedule is multi *)
 }
 
 val horizon : float

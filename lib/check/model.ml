@@ -3,6 +3,7 @@ type t = {
   elem_size : int;
   n_tpdus : int;
   expected : bytes;
+  streams : (int * bytes list) list;
 }
 
 (* Mirrors [Framer]'s cutting rules without running the framer: each
@@ -10,7 +11,6 @@ type t = {
    connection, and a TPDU boundary falls every [tpdu_elems] elements
    plus once at the end of the stream. *)
 let of_schedule (s : Schedule.t) =
-  let data = Schedule.data_of s in
   let full = s.data_len / s.frame_bytes in
   let rem = s.data_len mod s.frame_bytes in
   let elems =
@@ -18,6 +18,21 @@ let of_schedule (s : Schedule.t) =
     + ((rem + s.elem_size - 1) / s.elem_size)
   in
   let n_tpdus = (elems + s.tpdu_elems - 1) / s.tpdu_elems in
-  let expected = Bytes.make (elems * s.elem_size) '\000' in
-  Bytes.blit data 0 expected 0 s.data_len;
-  { elems; elem_size = s.elem_size; n_tpdus; expected }
+  let pad data =
+    let b = Bytes.make (elems * s.elem_size) '\000' in
+    Bytes.blit data 0 b 0 s.data_len;
+    b
+  in
+  (* Every legitimate connection carries one stream per epoch; only
+     connection 1 gets a second epoch, and only when the schedule
+     re-opens it. *)
+  let streams =
+    List.init s.Schedule.connections (fun i ->
+        let conn = i + 1 in
+        let epochs = if conn = 1 && s.Schedule.reopen then 2 else 1 in
+        ( conn,
+          List.init epochs (fun epoch ->
+              pad (Schedule.data_of_conn s ~conn ~epoch)) ))
+  in
+  let expected = pad (Schedule.data_of s) in
+  { elems; elem_size = s.elem_size; n_tpdus; expected; streams }

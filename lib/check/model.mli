@@ -13,13 +13,20 @@
     - [n_tpdus]: how many TPDUs a fixed-size framer cuts the stream
       into (the count a non-adaptive sender must get verified, exactly);
     - [expected]: the delivered buffer a complete transfer must equal —
-      the sent bytes, zero-padded to [elems * elem_size]. *)
+      the sent bytes, zero-padded to [elems * elem_size].
+
+    Multi-connection schedules add [streams]: the per-connection,
+    per-epoch expected buffers (every legitimate connection carries one
+    stream per epoch; connection 1 gets a second epoch when the schedule
+    re-opens it after close). *)
 
 type t = {
   elems : int;
   elem_size : int;
   n_tpdus : int;
   expected : bytes;
+  streams : (int * bytes list) list;
+      (** (connection id, expected buffer per epoch, oldest first) *)
 }
 
 val of_schedule : Schedule.t -> t

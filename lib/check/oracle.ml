@@ -14,6 +14,17 @@ let first_diff a b =
   in
   go 0
 
+(* Faults that can legitimately exhaust a bounded sender: a dead reverse
+   path (no ACK ever returns), or a whole-TPDU congestion dropper, which
+   taints a TPDU at a random packet each round so a no-SACK sender only
+   lands the tail (and the ED chunk) on a drop-free round. *)
+let starvable (s : Schedule.t) =
+  s.Schedule.ack_blackhole <> None
+  ||
+  match s.Schedule.dropper with
+  | Some { Schedule.drop_mode = Netsim.Dropper.Whole_tpdu; _ } -> true
+  | Some _ | None -> false
+
 let check ~(schedule : Schedule.t) ~(model : Model.t)
     ~(observation : Driver.observation) =
   let s = schedule and m = model and o = observation in
@@ -22,43 +33,67 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
     Printf.ksprintf (fun detail -> vs := { code; detail } :: !vs) fmt
   in
   (* Liveness: every schedule must terminate — either the transfer
-     completes or the sender gives up, and all timers wind down. *)
+     completes or the sender gives up, and all timers wind down.  A
+     give-up is legitimate only under a starvation fault (ACK black
+     hole, whole-TPDU dropper); every other generated fault is
+     recoverable by retransmission. *)
   if o.engine_pending > 0 then
     fail "lockup" "%d events still pending at the %.0fs horizon"
       o.engine_pending Driver.horizon;
-  if o.gave_up then
+  if o.gave_up && not (starvable s) then
     fail "gave-up"
-      "sender abandoned a TPDU (no generated schedule black-holes a path)";
+      "sender abandoned a TPDU with no starvation fault in the schedule";
   if (not o.gave_up) && not o.finished then
     fail "unfinished" "sender neither completed nor gave up";
-  (* Delivery: the delivered buffer must equal the model's expectation
-     byte for byte — placement by label, across any amount of
-     refragmentation and disorder, reconstructs the stream exactly. *)
-  if not o.gave_up then begin
-    if not o.complete then
-      fail "incomplete" "placement holds %d of %d elements" o.delivered_elems
-        m.Model.elems;
-    if o.delivered_elems <> m.Model.elems then
-      fail "element-count" "delivered %d elements, model expects %d"
-        o.delivered_elems m.Model.elems;
-    if
-      Bytes.length o.delivered = Bytes.length m.Model.expected
-      && not (Bytes.equal o.delivered m.Model.expected)
-    then
-      fail "data-mismatch" "delivered buffer differs at byte %d"
-        (first_diff o.delivered m.Model.expected)
-    else if Bytes.length o.delivered <> Bytes.length m.Model.expected then
-      fail "data-mismatch" "delivered %d bytes, model expects %d"
-        (Bytes.length o.delivered)
-        (Bytes.length m.Model.expected)
+  (* Karn's rule: an RTT sample taken from a retransmitted TPDU is
+     ambiguous (the ACK may answer any earlier copy) and must never be
+     folded into SRTT. *)
+  if o.max_txs_at_rtt_sample > 1 then
+    fail "karn" "RTT sampled from a TPDU transmitted %d times"
+      o.max_txs_at_rtt_sample;
+  if s.Schedule.rto_adaptive && o.rtt_samples > 0 then begin
+    if o.final_rto > s.Schedule.rto +. 1e-9 then
+      fail "rto-range" "adaptive RTO %.6f exceeds configured ceiling %.6f"
+        o.final_rto s.Schedule.rto;
+    if o.final_rto < 2e-3 -. 1e-12 then
+      fail "rto-range" "adaptive RTO %.6f below floor" o.final_rto
   end;
-  if o.delivered_elems > m.Model.elems then
-    fail "conservation" "placed %d elements, only %d exist" o.delivered_elems
-      m.Model.elems;
+  (* The receiver state governor's contract: accounted state never
+     exceeds the budget at any event (the high-water mark is sampled
+     after every accounting step), and quiescence leaves nothing
+     accounted. *)
+  if s.Schedule.state_budget > 0 && o.state_high_water > s.Schedule.state_budget
+  then
+    fail "state-budget" "governor high water %d exceeds budget %d"
+      o.state_high_water s.Schedule.state_budget;
+  if o.state_accounted > 0 then
+    fail "state-residue" "%d bytes still accounted after quiescence"
+      o.state_accounted;
+  (* Leaks: at quiescence the verifier and the placement stash must be
+     empty unconditionally — completed TPDUs release their state,
+     abandoned and corrupt-residue TPDUs are reclaimed by the governor's
+     deadline sweep, including on give-up runs. *)
+  if o.verifier_in_flight > 0 then
+    fail "leak-verifier" "%d TPDUs still in flight after quiescence"
+      o.verifier_in_flight;
+  if o.stashed_tpdus > 0 then
+    fail "leak-stash" "%d TPDU stashes retained after quiescence"
+      o.stashed_tpdus;
+  (* SACK plumbing only runs when asked for. *)
+  if not s.Schedule.sack then begin
+    if o.nacks_sent > 0 then
+      fail "sack-off" "%d NACKs sent with SACK disabled" o.nacks_sent;
+    if o.sack_retransmissions > 0 then
+      fail "sack-off" "%d selective retransmissions with SACK disabled"
+        o.sack_retransmissions
+  end;
   (* Quiet wire: with no fault enabled the protocol must be silent —
-     no retransmission (the RTO is an overestimate by construction), no
-     gap report, no duplicate, no verifier failure. *)
-  if Schedule.faultless s then begin
+     no retransmission (the RTO is an overestimate by construction, and
+     the adaptive RTO never drops below 2×SRTT), no gap report, no
+     duplicate, no re-acknowledgement.  Single-path only: a faultless
+     multi-connection run can still retransmit legitimately (an epoch's
+     first packets racing their own Open across jittered paths). *)
+  if Schedule.faultless s && o.multi = None then begin
     if o.retransmissions > 0 then
       fail "quiet-retrans" "%d RTO retransmissions on a faultless run"
         o.retransmissions;
@@ -69,62 +104,118 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
       fail "quiet-nack" "%d NACKs on a faultless run" o.nacks_sent;
     if o.verifier.Edc.Verifier.duplicates > 0 then
       fail "quiet-dup" "%d duplicate chunks seen on a faultless run"
-        o.verifier.Edc.Verifier.duplicates
+        o.verifier.Edc.Verifier.duplicates;
+    if o.reacks_sent > 0 then
+      fail "quiet-reack" "%d re-ACKs on a faultless run" o.reacks_sent
   end;
-  (* Without corruption, nothing may ever look damaged: loss,
-     duplication, disorder and congestion drops are all absorbed by
-     labels + retransmission without a single verifier failure. *)
-  if s.Schedule.corrupt = 0.0 then begin
-    if o.verifier.Edc.Verifier.tpdus_failed > 0 then
-      fail "clean-fail" "%d TPDUs failed verification with corruption off"
-        o.verifier.Edc.Verifier.tpdus_failed;
-    if o.gateways_malformed > 0 then
-      fail "clean-malformed" "%d packets unparseable at gateways with corruption off"
-        o.gateways_malformed
-  end;
-  (* TPDU accounting: a fixed-size framer cuts a known number of TPDUs,
-     and each is verified exactly once. *)
-  if not o.gave_up then begin
-    if (not s.Schedule.adaptive)
-       && o.verifier.Edc.Verifier.tpdus_passed <> m.Model.n_tpdus
-    then
-      fail "tpdu-count" "%d TPDUs passed, model expects exactly %d"
-        o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus;
-    if s.Schedule.adaptive
-       && o.verifier.Edc.Verifier.tpdus_passed < m.Model.n_tpdus
-    then
-      fail "tpdu-count" "%d TPDUs passed, adaptive floor is %d"
-        o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus
-  end;
-  (* Leaks: after a completed transfer the verifier and the placement
-     stash must be empty — unless corruption invented TPDU IDs that can
-     never complete, and then the residue is bounded by how many packets
-     were actually corrupted. *)
-  if not o.gave_up then begin
-    if s.Schedule.corrupt = 0.0 then begin
-      if o.verifier_in_flight > 0 then
-        fail "leak-verifier" "%d TPDUs still in flight with corruption off"
-          o.verifier_in_flight;
-      if o.stashed_tpdus > 0 then
-        fail "leak-stash" "%d TPDU stashes retained with corruption off"
-          o.stashed_tpdus
-    end
-    else begin
-      let bound = 64 * (o.forward.Netsim.Link.corrupted + 1) in
-      if o.verifier_in_flight > bound then
-        fail "leak-verifier" "%d TPDUs in flight exceeds corruption bound %d"
-          o.verifier_in_flight bound;
-      if o.stashed_tpdus > bound then
-        fail "leak-stash" "%d stashes exceeds corruption bound %d"
-          o.stashed_tpdus bound
-    end
-  end;
-  (* SACK plumbing only runs when asked for. *)
-  if not s.Schedule.sack then begin
-    if o.nacks_sent > 0 then
-      fail "sack-off" "%d NACKs sent with SACK disabled" o.nacks_sent;
-    if o.sack_retransmissions > 0 then
-      fail "sack-off" "%d selective retransmissions with SACK disabled"
-        o.sack_retransmissions
-  end;
+  (match o.multi with
+  | None ->
+      (* Delivery: the delivered buffer must equal the model's
+         expectation byte for byte — placement by label, across any
+         amount of refragmentation and disorder, reconstructs the stream
+         exactly. *)
+      if not o.gave_up then begin
+        if not o.complete then
+          fail "incomplete" "placement holds %d of %d elements"
+            o.delivered_elems m.Model.elems;
+        if o.delivered_elems <> m.Model.elems then
+          fail "element-count" "delivered %d elements, model expects %d"
+            o.delivered_elems m.Model.elems;
+        if
+          Bytes.length o.delivered = Bytes.length m.Model.expected
+          && not (Bytes.equal o.delivered m.Model.expected)
+        then
+          fail "data-mismatch" "delivered buffer differs at byte %d"
+            (first_diff o.delivered m.Model.expected)
+        else if Bytes.length o.delivered <> Bytes.length m.Model.expected then
+          fail "data-mismatch" "delivered %d bytes, model expects %d"
+            (Bytes.length o.delivered)
+            (Bytes.length m.Model.expected)
+      end;
+      if o.delivered_elems > m.Model.elems then
+        fail "conservation" "placed %d elements, only %d exist"
+          o.delivered_elems m.Model.elems;
+      (* Without corruption, a TPDU may fail verification only because
+         the governor evicted it or the sender aborted it — never
+         because intact data looked damaged. *)
+      if s.Schedule.corrupt = 0.0 then begin
+        if
+          o.verifier.Edc.Verifier.tpdus_failed
+          > o.receiver_evictions + o.aborts_received
+        then
+          fail "clean-fail"
+            "%d TPDUs failed verification with corruption off (%d \
+             evictions + %d aborts)"
+            o.verifier.Edc.Verifier.tpdus_failed o.receiver_evictions
+            o.aborts_received;
+        if o.gateways_malformed > 0 then
+          fail "clean-malformed"
+            "%d packets unparseable at gateways with corruption off"
+            o.gateways_malformed
+      end;
+      (* TPDU accounting: a fixed-size framer cuts a known number of
+         TPDUs, and each is verified exactly once. *)
+      if not o.gave_up then begin
+        if
+          (not s.Schedule.adaptive)
+          && o.verifier.Edc.Verifier.tpdus_passed <> m.Model.n_tpdus
+        then
+          fail "tpdu-count" "%d TPDUs passed, model expects exactly %d"
+            o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus;
+        if
+          s.Schedule.adaptive
+          && o.verifier.Edc.Verifier.tpdus_passed < m.Model.n_tpdus
+        then
+          fail "tpdu-count" "%d TPDUs passed, adaptive floor is %d"
+            o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus
+      end
+  | Some mo ->
+      (* Multi-connection delivery: every planned (connection, epoch)
+         stream must arrive complete and byte-exact unless its sender
+         legitimately gave up.  Flood traffic, displacement and GC must
+         never corrupt a legitimate stream — only delay it. *)
+      List.iter
+        (fun (e : Driver.epoch_obs) ->
+          let expected =
+            match List.assoc_opt e.Driver.e_conn m.Model.streams with
+            | Some epochs -> List.nth_opt epochs e.Driver.e_epoch
+            | None -> None
+          in
+          match expected with
+          | None ->
+              fail "epoch-plan" "no model stream for conn %d epoch %d"
+                e.Driver.e_conn e.Driver.e_epoch
+          | Some want ->
+              if e.Driver.e_gave_up then begin
+                if not (starvable s) then
+                  fail "gave-up"
+                    "conn %d epoch %d abandoned with no starvation fault"
+                    e.Driver.e_conn e.Driver.e_epoch
+              end
+              else begin
+                if not e.Driver.e_complete then
+                  fail "epoch-incomplete" "conn %d epoch %d not complete"
+                    e.Driver.e_conn e.Driver.e_epoch;
+                match e.Driver.e_delivered with
+                | None ->
+                    fail "epoch-missing"
+                      "conn %d epoch %d never reached the receiver"
+                      e.Driver.e_conn e.Driver.e_epoch
+                | Some got ->
+                    let n = Bytes.length want in
+                    if
+                      Bytes.length got < n
+                      || not (Bytes.equal (Bytes.sub got 0 n) want)
+                    then
+                      fail "epoch-mismatch"
+                        "conn %d epoch %d differs at byte %d" e.Driver.e_conn
+                        e.Driver.e_epoch
+                        (first_diff got want)
+              end)
+        mo.Driver.mo_epochs;
+      (* Lifecycle hygiene: explicit Close (legitimate connections) and
+         the deadline GC (flood connections) must leave nothing live. *)
+      if mo.Driver.mo_live_conns > 0 then
+        fail "multi-live" "%d connections still live after quiescence"
+          mo.Driver.mo_live_conns);
   List.rev !vs

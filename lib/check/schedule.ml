@@ -1,17 +1,23 @@
 open Labelling
 
-type profile = Clean | Lossy | Hostile
+type profile = Clean | Lossy | Hostile | Hostile_flood | Outage_recover
 
 let profile_name = function
   | Clean -> "clean"
   | Lossy -> "lossy"
   | Hostile -> "hostile"
+  | Hostile_flood -> "hostile-flood"
+  | Outage_recover -> "outage-recover"
 
 let profile_of_name = function
   | "clean" -> Some Clean
   | "lossy" -> Some Lossy
   | "hostile" -> Some Hostile
+  | "hostile-flood" -> Some Hostile_flood
+  | "outage-recover" -> Some Outage_recover
   | _ -> None
+
+let all_profiles = [ Clean; Lossy; Hostile; Hostile_flood; Outage_recover ]
 
 type spread = Round_robin | Random_path | Route_change of float
 
@@ -22,6 +28,18 @@ type gateway = {
 }
 
 type dropper = { drop_mode : Netsim.Dropper.mode; drop_loss : float }
+
+type outage = {
+  out_hold : bool;  (** pause-and-replay instead of discard *)
+  out_start : float;
+  out_duration : float;
+}
+
+type flood = {
+  flood_rate : float;  (** forged packets per simulated second *)
+  flood_stop : float;  (** injection ends here *)
+  flood_conns : int;  (** distinct bogus connection ids in play *)
+}
 
 type t = {
   seed : int;
@@ -37,6 +55,13 @@ type t = {
   sack : bool;
   adaptive : bool;
   nack_delay : float;
+  (* control plane *)
+  rto_adaptive : bool;
+  give_up_txs : int;
+  state_budget : int;
+  state_ttl : float;
+  connections : int;
+  reopen : bool;
   (* topology *)
   paths : int;
   skew : float;
@@ -50,11 +75,20 @@ type t = {
   corrupt : float;
   duplicate : float;
   dropper : dropper option;
+  ack_blackhole : (float * float) option;
+  outage : outage option;
+  flood : flood option;
 }
 
 let faultless s =
   s.loss = 0.0 && s.corrupt = 0.0 && s.duplicate = 0.0 && s.jitter = 0.0
-  && s.dropper = None
+  && s.dropper = None && s.ack_blackhole = None && s.outage = None
+  && s.flood = None
+
+(* Schedules that exercise the demultiplexing receiver (several
+   connections, connection reuse, or adversarial connection traffic) run
+   through the driver's multi-connection path. *)
+let multi_mode s = s.connections > 1 || s.reopen || s.flood <> None
 
 let config_of s =
   {
@@ -65,16 +99,25 @@ let config_of s =
     mtu = s.mtu;
     window = s.window;
     rto = s.rto;
+    rto_adaptive = s.rto_adaptive;
     adaptive = s.adaptive;
     sack = s.sack;
     nack_delay = s.nack_delay;
+    give_up_txs = s.give_up_txs;
+    state_budget = s.state_budget;
+    state_ttl = s.state_ttl;
   }
 
 (* The payload both the driver (what gets sent) and the model (what must
-   come out) derive from the schedule alone. *)
-let data_of s =
-  let rng = Netsim.Rng.create ~seed:(s.seed lxor 0x0DA7A5EED) in
+   come out) derive from the schedule alone.  Every (connection, epoch)
+   pair gets its own stream; (1, 0) is the classic single-transfer
+   payload. *)
+let data_of_conn s ~conn ~epoch =
+  let salt = ((conn - 1) * 0x9E3779B9) lxor (epoch * 0x517CC1B) in
+  let rng = Netsim.Rng.create ~seed:(s.seed lxor 0x0DA7A5EED lxor salt) in
   Bytes.init s.data_len (fun _ -> Netsim.Rng.byte rng)
+
+let data_of s = data_of_conn s ~conn:1 ~epoch:0
 
 (* An RTO that a fault-free run can never beat: round trip across every
    hop, full inter-path skew, the gateways' batching delay, and the
@@ -103,6 +146,23 @@ let estimate_rto s =
   in
   Float.min 2.0 t
 
+(* A state budget that comfortably covers the legitimate working set —
+   every live connection's placement quota plus a full window of
+   per-TPDU soft state each — so budget evictions hit only state nobody
+   is refreshing (abandoned or forged).  Kept tight enough that a flood
+   cannot park unbounded garbage below it. *)
+let estimate_budget s =
+  let tpdu_bytes = s.tpdu_elems * s.elem_size in
+  let per_tpdu = (2 * tpdu_bytes) + (32 * s.tpdu_elems) + 1024 in
+  let full = s.data_len / s.frame_bytes in
+  let rem = s.data_len mod s.frame_bytes in
+  let elems =
+    (full * (s.frame_bytes / s.elem_size))
+    + ((rem + s.elem_size - 1) / s.elem_size)
+  in
+  let conn_quota = (elems * s.elem_size) + 256 in
+  (2 * s.connections * ((s.window * per_tpdu) + conn_quota)) + 65536
+
 let float_in rng lo hi = lo +. Netsim.Rng.float rng (hi -. lo)
 let int_in rng lo hi = lo + Netsim.Rng.int rng (hi - lo + 1)
 
@@ -129,18 +189,20 @@ let generate ~profile ~seed =
   let data_len =
     match profile with
     | Clean -> int_in rng 1 32768
-    | Lossy | Hostile -> int_in rng 1 16384
+    | Lossy | Hostile | Outage_recover -> int_in rng 1 16384
+    | Hostile_flood -> int_in rng 1 8192
   in
   let gateways = List.init (Netsim.Rng.int rng 4) (fun _ -> gen_gateway rng) in
   let jitter =
     match profile with
     | Clean -> 0.0
-    | Lossy | Hostile -> if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
+    | Lossy | Hostile | Hostile_flood | Outage_recover ->
+        if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
   in
   let dropper =
     match profile with
-    | Clean -> None
-    | Lossy | Hostile ->
+    | Clean | Outage_recover -> None
+    | Lossy | Hostile | Hostile_flood ->
         if Netsim.Rng.bool rng 0.3 then
           Some
             {
@@ -150,6 +212,28 @@ let generate ~profile ~seed =
               drop_loss = float_in rng 0.005 0.05;
             }
         else None
+  in
+  let connections =
+    match profile with Hostile_flood -> int_in rng 2 4 | _ -> 1
+  in
+  let reopen = profile = Hostile_flood && Netsim.Rng.bool rng 0.6 in
+  let ack_blackhole =
+    (* a permanently dead reverse path: the sender must give up cleanly
+       and the receiver must evict, never leak *)
+    if profile = Hostile_flood && Netsim.Rng.bool rng 0.25 then
+      Some (float_in rng 0.0 0.1, infinity)
+    else None
+  in
+  let flood =
+    match profile with
+    | Hostile_flood ->
+        Some
+          {
+            flood_rate = float_in rng 200.0 2000.0;
+            flood_stop = float_in rng 0.2 1.0;
+            flood_conns = int_in rng 4 32;
+          }
+    | _ -> None
   in
   let base =
     {
@@ -165,6 +249,12 @@ let generate ~profile ~seed =
       sack = Netsim.Rng.bool rng 0.5;
       adaptive = Netsim.Rng.bool rng 0.3;
       nack_delay = 0.0 (* filled below *);
+      rto_adaptive = false (* filled below *);
+      give_up_txs = 40;
+      state_budget = 0 (* filled below *);
+      state_ttl = 0.0 (* filled below *);
+      connections;
+      reopen;
       paths = int_in rng 1 8;
       skew = float_in rng 0.0 5e-4;
       jitter;
@@ -179,23 +269,73 @@ let generate ~profile ~seed =
       loss =
         (match profile with
         | Clean -> 0.0
-        | Lossy | Hostile -> if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
+        | Lossy | Hostile | Hostile_flood | Outage_recover ->
+            if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
       corrupt =
         (match profile with
-        | Clean | Lossy -> 0.0
-        | Hostile -> float_in rng 0.002 0.04);
+        | Clean | Lossy | Outage_recover -> 0.0
+        | Hostile | Hostile_flood -> float_in rng 0.002 0.04);
       duplicate =
         (match profile with
         | Clean -> 0.0
-        | Lossy | Hostile -> if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
+        | Lossy | Hostile | Hostile_flood | Outage_recover ->
+            if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
       dropper;
+      ack_blackhole;
+      outage = None (* filled below *);
+      flood;
     }
   in
   let rto = estimate_rto base in
   (* A clean run must never see a gap last long enough to NACK; a faulty
      run recovers faster by NACKing early. *)
   let nack_delay = if faultless base then rto else Float.max 0.01 (rto /. 4.0) in
-  { base with rto; nack_delay }
+  let outage =
+    match profile with
+    | Outage_recover ->
+        (* long enough to hurt (many RTOs) but far short of the give-up
+           horizon: capped backoff spends ~300 RTOs before abandoning *)
+        Some
+          {
+            out_hold = Netsim.Rng.bool rng 0.5;
+            out_start = float_in rng 0.01 0.2;
+            out_duration = float_in rng (10.0 *. rto) (50.0 *. rto);
+          }
+    | _ -> None
+  in
+  (* The RTO estimator only makes sense against real adversity, and a
+     faultless run's quiet-wire oracle must never be exposed to an
+     estimator's early samples. *)
+  let rto_adaptive =
+    profile <> Clean
+    && (not (faultless { base with outage }))
+    && Netsim.Rng.bool rng 0.5
+  in
+  let give_up_txs =
+    if base.ack_blackhole <> None then int_in rng 6 10 else 40
+  in
+  (* The TTL must exceed every legitimate quiet period: the longest gap
+     between retransmissions of one TPDU is 8 RTOs (capped backoff), and
+     an outage adds its whole duration. *)
+  let state_ttl =
+    let floor_ttl = Float.max (30.0 *. rto) 5.0 in
+    match outage with
+    | Some o -> Float.max floor_ttl (2.0 *. o.out_duration)
+    | None -> floor_ttl
+  in
+  let state_budget =
+    match profile with Hostile_flood -> estimate_budget base | _ -> 0
+  in
+  {
+    base with
+    rto;
+    nack_delay;
+    rto_adaptive;
+    give_up_txs;
+    state_ttl;
+    state_budget;
+    outage;
+  }
 
 (* {2 Flat text round-trip}
 
@@ -284,6 +424,56 @@ let dropper_of_string str =
           (float_of_string_opt p)
     | _ -> None
 
+let blackhole_to_string = function
+  | None -> "-"
+  | Some (t0, dur) -> Printf.sprintf "%.17g:%.17g" t0 dur
+
+let blackhole_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ a; b ] -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some t0, Some dur -> Some (Some (t0, dur))
+        | _ -> None)
+    | _ -> None
+
+let outage_to_string = function
+  | None -> "-"
+  | Some o ->
+      Printf.sprintf "%s:%.17g:%.17g"
+        (if o.out_hold then "hold" else "drop")
+        o.out_start o.out_duration
+
+let outage_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ m; a; b ] when m = "hold" || m = "drop" -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some out_start, Some out_duration ->
+            Some (Some { out_hold = m = "hold"; out_start; out_duration })
+        | _ -> None)
+    | _ -> None
+
+let flood_to_string = function
+  | None -> "-"
+  | Some f ->
+      Printf.sprintf "%.17g:%.17g:%d" f.flood_rate f.flood_stop f.flood_conns
+
+let flood_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ r; s; c ] -> (
+        match
+          (float_of_string_opt r, float_of_string_opt s, int_of_string_opt c)
+        with
+        | Some flood_rate, Some flood_stop, Some flood_conns ->
+            Some (Some { flood_rate; flood_stop; flood_conns })
+        | _ -> None)
+    | _ -> None
+
 let to_string s =
   String.concat " "
     [
@@ -299,6 +489,12 @@ let to_string s =
       Printf.sprintf "sack=%b" s.sack;
       Printf.sprintf "adaptive=%b" s.adaptive;
       Printf.sprintf "nack_delay=%.17g" s.nack_delay;
+      Printf.sprintf "rto_adaptive=%b" s.rto_adaptive;
+      Printf.sprintf "give_up_txs=%d" s.give_up_txs;
+      Printf.sprintf "state_budget=%d" s.state_budget;
+      Printf.sprintf "state_ttl=%.17g" s.state_ttl;
+      Printf.sprintf "connections=%d" s.connections;
+      Printf.sprintf "reopen=%b" s.reopen;
       Printf.sprintf "paths=%d" s.paths;
       Printf.sprintf "skew=%.17g" s.skew;
       Printf.sprintf "jitter=%.17g" s.jitter;
@@ -310,6 +506,9 @@ let to_string s =
       Printf.sprintf "corrupt=%.17g" s.corrupt;
       Printf.sprintf "duplicate=%.17g" s.duplicate;
       Printf.sprintf "dropper=%s" (dropper_to_string s.dropper);
+      Printf.sprintf "ack_blackhole=%s" (blackhole_to_string s.ack_blackhole);
+      Printf.sprintf "outage=%s" (outage_to_string s.outage);
+      Printf.sprintf "flood=%s" (flood_to_string s.flood);
     ]
 
 let of_string str =
@@ -341,6 +540,12 @@ let of_string str =
   let* sack = bol "sack" in
   let* adaptive = bol "adaptive" in
   let* nack_delay = flt "nack_delay" in
+  let* rto_adaptive = bol "rto_adaptive" in
+  let* give_up_txs = int "give_up_txs" in
+  let* state_budget = int "state_budget" in
+  let* state_ttl = flt "state_ttl" in
+  let* connections = int "connections" in
+  let* reopen = bol "reopen" in
   let* paths = int "paths" in
   let* skew = flt "skew" in
   let* jitter = flt "jitter" in
@@ -352,6 +557,9 @@ let of_string str =
   let* corrupt = flt "corrupt" in
   let* duplicate = flt "duplicate" in
   let* dropper = Option.bind (find "dropper") dropper_of_string in
+  let* ack_blackhole = Option.bind (find "ack_blackhole") blackhole_of_string in
+  let* outage = Option.bind (find "outage") outage_of_string in
+  let* flood = Option.bind (find "flood") flood_of_string in
   Some
     {
       seed;
@@ -366,6 +574,12 @@ let of_string str =
       sack;
       adaptive;
       nack_delay;
+      rto_adaptive;
+      give_up_txs;
+      state_budget;
+      state_ttl;
+      connections;
+      reopen;
       paths;
       skew;
       jitter;
@@ -377,4 +591,7 @@ let of_string str =
       corrupt;
       duplicate;
       dropper;
+      ack_blackhole;
+      outage;
+      flood;
     }

@@ -1,19 +1,35 @@
 (** Adversarial run descriptions for the conformance harness.
 
     A schedule is everything a {!Driver} run depends on: the transfer
-    parameters, the network topology (multipath spread/skew/jitter, a
-    chain of repacking gateways), and the fault mix.  Together with its
-    [seed] it determines a run {e completely} — the same (seed,
-    schedule) pair replays the same packet-by-packet execution, which is
-    what makes shrunk counterexamples replayable. *)
+    parameters, the control-plane policy (RTO estimation, give-up,
+    receiver state budget/TTL, number of connections), the network
+    topology (multipath spread/skew/jitter, a chain of repacking
+    gateways), and the fault mix.  Together with its [seed] it
+    determines a run {e completely} — the same (seed, schedule) pair
+    replays the same packet-by-packet execution, which is what makes
+    shrunk counterexamples replayable. *)
 
 type profile =
   | Clean  (** no faults: reordering and refragmentation only *)
   | Lossy  (** loss, duplication, jitter, congestion drops — no corruption *)
   | Hostile  (** lossy plus random bit corruption in flight *)
+  | Hostile_flood
+      (** hostile plus a demultiplexing receiver under attack: several
+          concurrent connections (sometimes closed and re-opened with
+          the same C.ID), a connection-flood adversary forging Opens and
+          never-completing TPDUs, a byte budget on receiver state, and
+          sometimes a permanently dead ACK path (the sender must give up
+          cleanly, the receiver must evict) *)
+  | Outage_recover
+      (** a scheduled forward-path outage (packets dropped, or held and
+          replayed at resume); the transfer must recover and complete —
+          give-up is a violation *)
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
+
+val all_profiles : profile list
+(** Every profile, in presentation order. *)
 
 type spread = Round_robin | Random_path | Route_change of float
 
@@ -24,6 +40,18 @@ type gateway = {
 }
 
 type dropper = { drop_mode : Netsim.Dropper.mode; drop_loss : float }
+
+type outage = {
+  out_hold : bool;  (** pause-and-replay instead of discard *)
+  out_start : float;
+  out_duration : float;
+}
+
+type flood = {
+  flood_rate : float;  (** forged packets per simulated second *)
+  flood_stop : float;
+  flood_conns : int;  (** distinct bogus connection ids in play *)
+}
 
 type t = {
   seed : int;
@@ -38,6 +66,12 @@ type t = {
   sack : bool;
   adaptive : bool;
   nack_delay : float;
+  rto_adaptive : bool;  (** Jacobson/Karn RTO estimation on the sender *)
+  give_up_txs : int;  (** transmissions before a TPDU is abandoned *)
+  state_budget : int;  (** receiver soft-state budget, bytes; 0 = unlimited *)
+  state_ttl : float;  (** receiver soft-state idle deadline, seconds *)
+  connections : int;  (** concurrent legitimate connections *)
+  reopen : bool;  (** close connection 1 and re-open it (C.ID reuse) *)
   paths : int;
   skew : float;
   jitter : float;
@@ -49,23 +83,44 @@ type t = {
   corrupt : float;
   duplicate : float;
   dropper : dropper option;
+  ack_blackhole : (float * float) option;
+      (** reverse-path dead window (start, duration; duration may be
+          [infinity]) *)
+  outage : outage option;  (** forward-path outage window *)
+  flood : flood option;  (** connection-flood adversary *)
 }
 
 val generate : profile:profile -> seed:int -> t
 (** Draw a random schedule for the profile; all dimension constraints
     (element alignment, invariant-region TPDU bound, MTUs that hold a
-    header) hold by construction, and {!t.rto} is an overestimate of the
-    worst-case round trip so a fault-free run never retransmits. *)
+    header, TTLs beyond the longest legitimate quiet period, budgets
+    above the legitimate working set) hold by construction, and {!t.rto}
+    is an overestimate of the worst-case round trip so a fault-free run
+    never retransmits. *)
 
 val faultless : t -> bool
 (** No fault of any kind is enabled (so the oracle may demand total
     silence: no retransmission, no NACK, no duplicate, no failure). *)
 
+val multi_mode : t -> bool
+(** The schedule exercises the demultiplexing receiver (more than one
+    connection, connection reuse, or a flood adversary) and runs through
+    the driver's multi-connection path. *)
+
 val config_of : t -> Transport.Chunk_transport.config
+
 val data_of : t -> bytes
-(** The transfer payload, derived deterministically from the seed. *)
+(** The transfer payload, derived deterministically from the seed
+    (connection 1, epoch 0). *)
+
+val data_of_conn : t -> conn:int -> epoch:int -> bytes
+(** The payload of one (connection, epoch) stream. *)
 
 val estimate_rto : t -> float
+
+val estimate_budget : t -> int
+(** The state budget {!generate} gives flood schedules: twice the
+    legitimate working set plus slack. *)
 
 val to_string : t -> string
 (** One-line [key=value] form; floats are printed with enough digits to

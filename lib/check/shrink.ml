@@ -10,6 +10,16 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
   let t name cond v = if cond then Some (name, v) else None in
   let base =
     [
+      (* robustness machinery first — deleting a whole adversary or
+         outage removes the most schedule at once *)
+      t "flood=none" (s.flood <> None) { s with flood = None };
+      t "outage=none" (s.outage <> None) { s with outage = None };
+      t "blackhole=none" (s.ack_blackhole <> None)
+        { s with ack_blackhole = None; give_up_txs = 40 };
+      t "connections=1" (s.connections > 1) { s with connections = 1 };
+      t "reopen=off" s.reopen { s with reopen = false };
+      t "rto_adaptive=off" s.rto_adaptive { s with rto_adaptive = false };
+      t "budget=0" (s.state_budget > 0) { s with state_budget = 0 };
       t "corrupt=0" (s.corrupt > 0.0) { s with corrupt = 0.0 };
       t "loss=0" (s.loss > 0.0) { s with loss = 0.0 };
       t "duplicate=0" (s.duplicate > 0.0) { s with duplicate = 0.0 };

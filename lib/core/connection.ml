@@ -1,8 +1,13 @@
-type signal = Open of { first_csn : int } | Close | Resync of { c_sn : int }
+type signal =
+  | Open of { first_csn : int }
+  | Close
+  | Resync of { c_sn : int }
+  | Abort_tpdu of { t_id : int }
 
 let op_open = 1
 let op_close = 2
 let op_resync = 3
+let op_abort = 4
 
 let signal_chunk ~conn_id signal =
   let payload = Bytes.make 9 '\000' in
@@ -13,7 +18,10 @@ let signal_chunk ~conn_id signal =
   | Close -> Bytes.set_uint8 payload 0 op_close
   | Resync { c_sn } ->
       Bytes.set_uint8 payload 0 op_resync;
-      Bytes.set_int64_be payload 1 (Int64.of_int c_sn));
+      Bytes.set_int64_be payload 1 (Int64.of_int c_sn)
+  | Abort_tpdu { t_id } ->
+      Bytes.set_uint8 payload 0 op_abort;
+      Bytes.set_int64_be payload 1 (Int64.of_int t_id));
   let c = Ftuple.v ~id:conn_id ~sn:0 () in
   match
     Chunk.control ~kind:Ctype.signal ~c ~t:Ftuple.zero ~x:Ftuple.zero payload
@@ -34,6 +42,7 @@ let parse_signal chunk =
     | 1 when arg >= 0 -> Ok (conn_id, Open { first_csn = arg })
     | 2 -> Ok (conn_id, Close)
     | 3 when arg >= 0 -> Ok (conn_id, Resync { c_sn = arg })
+    | 4 when arg >= 0 -> Ok (conn_id, Abort_tpdu { t_id = arg })
     | _ -> Error "Connection.parse_signal: bad opcode or argument"
   end
 
@@ -54,7 +63,7 @@ let on_chunk tbl chunk =
         | Open { first_csn } ->
             Hashtbl.replace tbl conn_id (Established { first_csn })
         | Close -> Hashtbl.replace tbl conn_id Closed
-        | Resync _ -> ());
+        | Resync _ | Abort_tpdu _ -> ());
         `Signal (conn_id, signal))
   else if Chunk.is_data chunk then begin
     let conn_id = h.Header.c.Ftuple.id in

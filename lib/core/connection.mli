@@ -18,6 +18,10 @@ type signal =
   | Resync of { c_sn : int }
       (** re-announce the next C.SN (used by receivers that regenerate
           SNs implicitly, Appendix A) *)
+  | Abort_tpdu of { t_id : int }
+      (** the sender has abandoned TPDU [t_id] (give-up after repeated
+          retransmission failure): the receiver should evict any partial
+          state it holds for it instead of waiting forever *)
 
 val signal_chunk : conn_id:int -> signal -> Chunk.t
 (** Encode a signal as a control chunk of the connection. *)

@@ -350,6 +350,23 @@ let abort v ~t_id =
       v.failed <- v.failed + 1;
       Some verdict
 
+let abandon = abort
+
+(* Conservative per-TPDU accounting: a fixed overhead for the WSC-2
+   accumulator and the mutable cells, plus the per-span costs of the
+   virtual-reassembly tracker and the X-framing record.  Exact heap
+   words do not matter; what matters is that the figure grows with the
+   state an adversary can force us to hold. *)
+let footprint_bytes v ~t_id =
+  match Hashtbl.find_opt v.tpdus t_id with
+  | None -> 0
+  | Some s ->
+      128
+      + (24 * List.length (Vreassembly.spans s.tracker))
+      + (40 * List.length s.x_spans)
+      + (16 * Hashtbl.length s.pairs_done)
+      + (16 * Hashtbl.length s.x_deltas)
+
 let stats v =
   {
     tpdus_passed = v.passed;

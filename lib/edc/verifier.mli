@@ -67,6 +67,16 @@ val abort : t -> t_id:int -> verdict option
 (** Give up on an in-flight TPDU (e.g. timer expiry): returns the
     verdict it would fail with now, and releases its state. *)
 
+val abandon : t -> t_id:int -> verdict option
+(** Alias of {!abort} — the name the receiver's state governor uses for
+    deadline/budget eviction. *)
+
+val footprint_bytes : t -> t_id:int -> int
+(** Approximate bytes of soft state held for an in-flight TPDU (WSC-2
+    accumulator, virtual-reassembly spans, label tables); 0 when no
+    state is held.  The receiver's state governor charges this against
+    its budget. *)
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -1,0 +1,64 @@
+type mode = Drop | Hold
+
+type stats = { passed : int; dropped : int; held : int }
+
+type t = {
+  engine : Engine.t;
+  mode : mode;
+  start : float;
+  stop : float;  (* start + duration; may be infinite for Drop *)
+  deliver : bytes -> unit;
+  queue : bytes Queue.t;
+  mutable flush_armed : bool;
+  mutable passed : int;
+  mutable dropped : int;
+  mutable held : int;
+}
+
+let create engine ~mode ~start ~duration ~deliver () =
+  if duration < 0.0 then invalid_arg "Outage.create: negative duration";
+  if mode = Hold && duration = infinity then
+    invalid_arg "Outage.create: Hold cannot last forever";
+  {
+    engine;
+    mode;
+    start;
+    stop = start +. duration;
+    deliver;
+    queue = Queue.create ();
+    flush_armed = false;
+    passed = 0;
+    dropped = 0;
+    held = 0;
+  }
+
+let flush o =
+  while not (Queue.is_empty o.queue) do
+    o.deliver (Queue.pop o.queue)
+  done
+
+let send o b =
+  let now = Engine.now o.engine in
+  if now < o.start || now >= o.stop then begin
+    (* Resume delivers held traffic before anything newer: order is
+       preserved across the outage. *)
+    if not (Queue.is_empty o.queue) then flush o;
+    o.passed <- o.passed + 1;
+    o.deliver b
+  end
+  else
+    match o.mode with
+    | Drop -> o.dropped <- o.dropped + 1
+    | Hold ->
+        o.held <- o.held + 1;
+        Queue.add b o.queue;
+        (* One flush event at resume keeps the queue from depending on
+           later traffic to drain. *)
+        if not o.flush_armed then begin
+          o.flush_armed <- true;
+          Engine.schedule o.engine
+            ~delay:(Float.max 0.0 (o.stop -. now))
+            (fun () -> flush o)
+        end
+
+let stats o = { passed = o.passed; dropped = o.dropped; held = o.held }

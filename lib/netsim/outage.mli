@@ -1,0 +1,33 @@
+(** A link valve modelling a scheduled outage: packets pass through
+    untouched outside the window [\[start, start + duration)], and are
+    either discarded ([Drop] — a black-holed path or dead reverse
+    channel) or queued and replayed in order at resume time ([Hold] — a
+    link that pauses, e.g. a route flap or layer-2 reconvergence).
+
+    Place it in front of any [deliver] function; it has no rate or delay
+    of its own.  [Hold] with an infinite duration would queue forever,
+    so only finite windows may hold. *)
+
+type mode = Drop | Hold
+
+type stats = {
+  passed : int;  (** packets forwarded outside the window *)
+  dropped : int;  (** packets discarded inside a [Drop] window *)
+  held : int;  (** packets queued inside a [Hold] window *)
+}
+
+type t
+
+val create :
+  Engine.t ->
+  mode:mode ->
+  start:float ->
+  duration:float ->
+  deliver:(bytes -> unit) ->
+  unit ->
+  t
+(** [duration] may be [infinity] for [Drop] (a permanent black hole);
+    [Hold] requires a finite window. *)
+
+val send : t -> bytes -> unit
+val stats : t -> stats

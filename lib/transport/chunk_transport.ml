@@ -8,9 +8,13 @@ type config = {
   mtu : int;
   window : int;
   rto : float;
+  rto_adaptive : bool;
   adaptive : bool;
   sack : bool;
   nack_delay : float;
+  give_up_txs : int;
+  state_budget : int;
+  state_ttl : float;
 }
 
 let default_config =
@@ -22,9 +26,13 @@ let default_config =
     mtu = 1500;
     window = 8;
     rto = 0.05;
+    rto_adaptive = false;
     adaptive = false;
     sack = false;
     nack_delay = 0.01;
+    give_up_txs = 40;
+    state_budget = 0;
+    state_ttl = 60.0;
   }
 
 let validate_config c =
@@ -37,7 +45,11 @@ let validate_config c =
   if c.tpdu_elems > Edc.Invariant.max_tpdu_elems ~size:c.elem_size then
     invalid_arg "Chunk_transport: TPDU exceeds the error-detection invariant";
   if c.mtu <= Wire.header_size then
-    invalid_arg "Chunk_transport: mtu cannot hold a chunk header"
+    invalid_arg "Chunk_transport: mtu cannot hold a chunk header";
+  if c.give_up_txs < 1 then
+    invalid_arg "Chunk_transport: give_up_txs must be >= 1";
+  if c.state_ttl <= 0.0 then
+    invalid_arg "Chunk_transport: state_ttl must be positive"
 
 (* Total elements the receiver will hold once the stream of [n] bytes is
    framed: only the final frame is padded to a whole element. *)
@@ -117,6 +129,9 @@ module Receiver = struct
     mutable delta_ed : int option;  (* C.SN - T.SN from the ED chunk *)
     mutable confirmed : bool;
     mutable stash : (Chunk.t * int * int) list;  (* (chunk, t_sn, elems) *)
+    mutable placed_runs : (int * int) list;
+        (* (c_sn, elems) runs this TPDU has placed; credited to the
+           verified coverage only if the TPDU passes *)
   }
 
   type t = {
@@ -126,35 +141,94 @@ module Receiver = struct
     send_ack : bytes -> unit;
     verifier : Edc.Verifier.t;
     placement : Placement.t;
+    capacity : [ `Exact of int | `Quota of int ];
+    governor : Governor.t;
     first_arrival : (int, float) Hashtbl.t;  (* t_id -> time *)
     acked : (int, unit) Hashtbl.t;  (* TPDUs already acknowledged *)
     nack_armed : (int, unit) Hashtbl.t;  (* TPDUs with a gap timer *)
     corrob : (int, corroboration) Hashtbl.t;
+    (* element runs covered by TPDUs that passed verification — bytes a
+       failed TPDU placed before its parity caught up do not count
+       toward completeness (they will be re-placed by the
+       identical-label retransmission) *)
+    verified_cover : Vreassembly.t;
+    (* stream-end bookkeeping (`Quota mode): the C.ST bit names the
+       connection's final element, but is believed only once the TPDU
+       that carried it verifies — a forged or corrupted C.ST must not
+       truncate the stream *)
+    end_claims : (int, int) Hashtbl.t;  (* t_id -> last C.SN claimed *)
+    mutable end_confirmed : int option;
+    last_reack : (int, float) Hashtbl.t;
     element_delay : Netsim.Stats.t;
     tpdu_latency : Netsim.Stats.t;
     mutable nacks_sent : int;
+    mutable reacks_sent : int;
+    mutable evictions : int;
+    mutable aborts_received : int;
   }
 
-  let create engine config ?(bus = Busmodel.create ()) ~send_ack
-      ~expected_elems () =
+  let gov_key rx t_id = { Governor.conn = rx.config.conn_id; tpdu = t_id }
+
+  (* Dispose of every piece of per-TPDU soft state (verifier
+     accumulator, corroboration stash, arrival record).  The governor's
+     account is the caller's responsibility: the eviction callback has
+     already been debited, the abort path has not. *)
+  let drop_tpdu_state rx t_id =
+    ignore (Edc.Verifier.abandon rx.verifier ~t_id);
+    Hashtbl.remove rx.corrob t_id;
+    Hashtbl.remove rx.first_arrival t_id;
+    Hashtbl.remove rx.end_claims t_id
+
+  let evict rx ~t_id =
+    drop_tpdu_state rx t_id;
+    rx.evictions <- rx.evictions + 1
+
+  let create engine config ?(bus = Busmodel.create ()) ?governor ?acked
+      ~send_ack ~capacity () =
     validate_config config;
-    {
-      engine;
-      config;
-      bus;
-      send_ack;
-      verifier = Edc.Verifier.create ();
-      placement =
-        Placement.create ~level:Placement.Conn ~base_sn:0
-          ~capacity_elems:expected_elems ~elem_size:config.elem_size;
-      first_arrival = Hashtbl.create 32;
-      acked = Hashtbl.create 32;
-      nack_armed = Hashtbl.create 32;
-      corrob = Hashtbl.create 32;
-      element_delay = Netsim.Stats.create ();
-      tpdu_latency = Netsim.Stats.create ();
-      nacks_sent = 0;
-    }
+    let capacity_elems =
+      match capacity with `Exact n | `Quota n -> n
+    in
+    let governor, own_governor =
+      match governor with
+      | Some g -> (g, false)
+      | None ->
+          ( Governor.create ~budget_bytes:config.state_budget
+              ~ttl:config.state_ttl (),
+            true )
+    in
+    let rx =
+      {
+        engine;
+        config;
+        bus;
+        send_ack;
+        verifier = Edc.Verifier.create ();
+        placement =
+          Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems
+            ~elem_size:config.elem_size;
+        capacity;
+        governor;
+        first_arrival = Hashtbl.create 32;
+        acked = (match acked with Some t -> t | None -> Hashtbl.create 32);
+        nack_armed = Hashtbl.create 32;
+        corrob = Hashtbl.create 32;
+        verified_cover = Vreassembly.create ();
+        end_claims = Hashtbl.create 4;
+        end_confirmed = None;
+        last_reack = Hashtbl.create 8;
+        element_delay = Netsim.Stats.create ();
+        tpdu_latency = Netsim.Stats.create ();
+        nacks_sent = 0;
+        reacks_sent = 0;
+        evictions = 0;
+        aborts_received = 0;
+      }
+    in
+    if own_governor then
+      Governor.set_on_evict governor (fun key ->
+          if key.Governor.tpdu >= 0 then evict rx ~t_id:key.Governor.tpdu);
+    rx
 
   (* Place the fresh sub-run [t_sn, t_sn+elems) of [chunk] straight into
      the application buffer — spatial reordering, one pass. *)
@@ -184,6 +258,11 @@ module Receiver = struct
         Busmodel.cpu_to_mem rx.bus nbytes;
         (match Placement.place rx.placement sub with
         | Ok () ->
+            (match Hashtbl.find_opt rx.corrob h.Header.t.Ftuple.id with
+            | Some m ->
+                m.placed_runs <-
+                  (h.Header.c.Ftuple.sn + off_elems, elems) :: m.placed_runs
+            | None -> ());
             (* Available to the application the instant it arrived. *)
             Netsim.Stats.add rx.element_delay 0.0
         | Error _ -> ())
@@ -193,7 +272,13 @@ module Receiver = struct
     | Some m -> m
     | None ->
         let m =
-          { delta_data = None; delta_ed = None; confirmed = false; stash = [] }
+          {
+            delta_data = None;
+            delta_ed = None;
+            confirmed = false;
+            stash = [];
+            placed_runs = [];
+          }
         in
         Hashtbl.add rx.corrob t_id m;
         m
@@ -250,75 +335,214 @@ module Receiver = struct
             end;
             arm_nack rx t_id (rounds + 1))
 
+  (* Re-assert the receiver's accounted cost of one TPDU's soft state
+     and refresh its delta-t deadline.  Called after every chunk that
+     touched the TPDU; once verification has released everything the
+     entry is retired instead. *)
+  let account rx t_id =
+    let fp = Edc.Verifier.footprint_bytes rx.verifier ~t_id in
+    let stash =
+      match Hashtbl.find_opt rx.corrob t_id with
+      | None -> 0
+      | Some m ->
+          List.fold_left
+            (fun acc (c, _, _) -> acc + Bytes.length c.Chunk.payload + 48)
+            (16 * List.length m.placed_runs)
+            m.stash
+    in
+    if fp = 0 && stash = 0 then
+      Governor.remove rx.governor ~key:(gov_key rx t_id)
+    else begin
+      Governor.touch rx.governor ~key:(gov_key rx t_id)
+        ~bytes:(fp + stash + 64)
+        ~now:(Netsim.Engine.now rx.engine);
+      Governor.arm rx.governor rx.engine
+    end
+
+  (* A sender that abandoned a TPDU says so (give-up is signalled, not
+     silent): release the partial state instead of waiting for the
+     deadline sweep to find it. *)
+  let abort_tpdu rx ~t_id =
+    if
+      Edc.Verifier.footprint_bytes rx.verifier ~t_id > 0
+      || Hashtbl.mem rx.corrob t_id
+    then begin
+      drop_tpdu_state rx t_id;
+      Governor.remove rx.governor ~key:(gov_key rx t_id);
+      rx.aborts_received <- rx.aborts_received + 1
+    end
+
+  (* Release every piece of soft state at once (connection close): the
+     governor account is cleared entry by entry so a shared governor
+     keeps other connections' entries intact. *)
+  let quiesce rx =
+    let ids =
+      List.sort_uniq compare
+        (Edc.Verifier.in_flight_ids rx.verifier
+        @ Hashtbl.fold (fun k _ acc -> k :: acc) rx.corrob [])
+    in
+    List.iter
+      (fun t_id ->
+        drop_tpdu_state rx t_id;
+        Governor.remove rx.governor ~key:(gov_key rx t_id))
+      ids
+
+  let on_signal rx chunk =
+    match Connection.parse_signal chunk with
+    | Ok (conn_id, Connection.Abort_tpdu { t_id })
+      when conn_id = rx.config.conn_id ->
+        abort_tpdu rx ~t_id
+    | Ok _ | Error _ -> ()
+
+  (* An already-verified TPDU whose traffic keeps arriving means the
+     sender never heard the ACK (a lossy or black-holed reverse path):
+     re-acknowledge instead of staying silent, or the sender retransmits
+     to a wall until it gives up.  Throttled per TPDU so a duplication
+     storm does not become an ACK storm. *)
+  let re_ack rx t_id =
+    let now = Netsim.Engine.now rx.engine in
+    let due =
+      match Hashtbl.find_opt rx.last_reack t_id with
+      | Some last -> now -. last >= rx.config.nack_delay
+      | None -> true
+    in
+    if due then begin
+      Hashtbl.replace rx.last_reack t_id now;
+      rx.reacks_sent <- rx.reacks_sent + 1;
+      rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
+    end
+
+  let on_chunk rx chunk =
+    if Chunk.is_terminator chunk then ()
+    else if Ctype.equal chunk.Chunk.header.Header.ctype Ctype.signal then
+      on_signal rx chunk
+    else begin
+      let h = chunk.Chunk.header in
+      let t_id = h.Header.t.Ftuple.id in
+      (* late traffic for an already-verified TPDU is not re-processed
+         (feeding it would recreate verifier state that can never
+         complete), but it is re-acknowledged *)
+      if Hashtbl.mem rx.acked t_id then re_ack rx t_id
+      else begin
+        (if Chunk.is_data chunk then begin
+           if not (Hashtbl.mem rx.first_arrival t_id) then
+             Hashtbl.add rx.first_arrival t_id (Netsim.Engine.now rx.engine);
+           (* the C.ST bit claims the connection's final element; the
+              claim is trusted only once this TPDU verifies *)
+           if h.Header.c.Ftuple.st then
+             Hashtbl.replace rx.end_claims t_id
+               (h.Header.c.Ftuple.sn + h.Header.len - 1);
+           if rx.config.sack && not (Hashtbl.mem rx.nack_armed t_id)
+           then begin
+             Hashtbl.add rx.nack_armed t_id ();
+             arm_nack rx t_id 0
+           end
+         end);
+        witness rx chunk;
+        let events = Edc.Verifier.on_chunk rx.verifier chunk in
+        List.iter
+          (fun ev ->
+            match ev with
+            | Edc.Verifier.Fresh_data { t_id; t_sn; elems } ->
+                let m = corrob rx t_id in
+                if m.confirmed then place_fresh rx chunk ~t_sn ~elems
+                else m.stash <- (chunk, t_sn, elems) :: m.stash
+            | Edc.Verifier.Tpdu_verified
+                { t_id; verdict = Edc.Verifier.Passed } ->
+                (* a passed parity covers every stashed run, so any
+                   still-unconfirmed stash is safe to place now *)
+                (match Hashtbl.find_opt rx.corrob t_id with
+                | Some m ->
+                    flush_stash rx m;
+                    List.iter
+                      (fun (sn, len) ->
+                        match
+                          Vreassembly.insert_new rx.verified_cover ~sn ~len
+                            ~st:false
+                        with
+                        | Ok _ | Error `Inconsistent -> ())
+                      m.placed_runs
+                | None -> ());
+                Hashtbl.remove rx.corrob t_id;
+                (match Hashtbl.find_opt rx.end_claims t_id with
+                | Some last ->
+                    rx.end_confirmed <- Some last;
+                    Hashtbl.remove rx.end_claims t_id
+                | None -> ());
+                if not (Hashtbl.mem rx.acked t_id) then begin
+                  Hashtbl.add rx.acked t_id ();
+                  (match Hashtbl.find_opt rx.first_arrival t_id with
+                  | Some t0 ->
+                      Netsim.Stats.add rx.tpdu_latency
+                        (Netsim.Engine.now rx.engine -. t0);
+                      Hashtbl.remove rx.first_arrival t_id
+                  | None -> ());
+                  rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
+                end
+            | Edc.Verifier.Tpdu_verified { t_id; verdict = _ } ->
+                (* failed epoch: drop its suspect stash and end claim
+                   with it *)
+                Hashtbl.remove rx.corrob t_id;
+                Hashtbl.remove rx.end_claims t_id
+            | Edc.Verifier.Duplicate_dropped _ -> ())
+          events;
+        account rx t_id
+      end
+    end
+
   let on_packet rx b =
     Busmodel.nic_to_mem rx.bus (Bytes.length b);
     match Wire.decode_packet b with
     | Error _ -> ()
-    | Ok chunks ->
-        List.iter
-          (fun chunk ->
-            (* late traffic for an already-verified TPDU is dropped at
-               the door: feeding it would recreate verifier state that
-               can never complete *)
-            if
-              (not (Chunk.is_terminator chunk))
-              && Hashtbl.mem rx.acked
-                   chunk.Chunk.header.Header.t.Ftuple.id
-            then ()
-            else begin
-            (if Chunk.is_data chunk then
-               let t_id = chunk.Chunk.header.Header.t.Ftuple.id in
-               if not (Hashtbl.mem rx.first_arrival t_id) then
-                 Hashtbl.add rx.first_arrival t_id
-                   (Netsim.Engine.now rx.engine);
-               if rx.config.sack && not (Hashtbl.mem rx.nack_armed t_id)
-               then begin
-                 Hashtbl.add rx.nack_armed t_id ();
-                 arm_nack rx t_id 0
-               end);
-            witness rx chunk;
-            let events = Edc.Verifier.on_chunk rx.verifier chunk in
-            List.iter
-              (fun ev ->
-                match ev with
-                | Edc.Verifier.Fresh_data { t_id; t_sn; elems } ->
-                    let m = corrob rx t_id in
-                    if m.confirmed then place_fresh rx chunk ~t_sn ~elems
-                    else m.stash <- (chunk, t_sn, elems) :: m.stash
-                | Edc.Verifier.Tpdu_verified
-                    { t_id; verdict = Edc.Verifier.Passed } ->
-                    (* a passed parity covers every stashed run, so any
-                       still-unconfirmed stash is safe to place now *)
-                    (match Hashtbl.find_opt rx.corrob t_id with
-                    | Some m -> flush_stash rx m
-                    | None -> ());
-                    Hashtbl.remove rx.corrob t_id;
-                    if not (Hashtbl.mem rx.acked t_id) then begin
-                      Hashtbl.add rx.acked t_id ();
-                      (match Hashtbl.find_opt rx.first_arrival t_id with
-                      | Some t0 ->
-                          Netsim.Stats.add rx.tpdu_latency
-                            (Netsim.Engine.now rx.engine -. t0)
-                      | None -> ());
-                      rx.send_ack
-                        (ack_packet ~conn_id:rx.config.conn_id ~t_id)
-                    end
-                | Edc.Verifier.Tpdu_verified { t_id; verdict = _ } ->
-                    (* failed epoch: drop its suspect stash with it *)
-                    Hashtbl.remove rx.corrob t_id
-                | Edc.Verifier.Duplicate_dropped _ -> ())
-              events
-            end)
-          chunks
+    | Ok chunks -> List.iter (on_chunk rx) chunks
 
   let contents rx = Placement.contents rx.placement
   let delivered_elems rx = Placement.placed_elems rx.placement
-  let complete rx = Placement.is_full rx.placement
+
+  let stream_end_elems rx =
+    Option.map (fun last -> last + 1) rx.end_confirmed
+
+  (* First element not covered by a verified run. *)
+  let verified_frontier rx =
+    let rec go expect = function
+      | [] -> expect
+      | (s, l) :: rest ->
+          if s > expect then expect else go (max expect (s + l)) rest
+    in
+    go 0 (Vreassembly.spans rx.verified_cover)
+
+  let complete rx =
+    match rx.capacity with
+    | `Exact _ -> Placement.is_full rx.placement
+    | `Quota _ -> (
+        match rx.end_confirmed with
+        | Some last ->
+            (* contiguous coverage of [0, last] by {e verified} TPDUs,
+               not a bare element count: bytes placed by a TPDU that
+               later failed parity (or diverted here by a corrupted
+               C.ID) must not fake completeness — a premature
+               "complete" lets a connection archive a buffer the
+               pending retransmission was about to correct *)
+            verified_frontier rx > last
+        | None -> false)
+
+  (* Whether this receiver holds any soft state for [t_id] (verifier
+     accumulator or corroboration record).  The demultiplexer uses this
+     to tell a chunk of an in-flight TPDU from traffic with a label this
+     epoch has never seen. *)
+  let tracks_tpdu rx ~t_id =
+    Edc.Verifier.footprint_bytes rx.verifier ~t_id > 0
+    || Hashtbl.mem rx.corrob t_id
+
   let element_delay rx = rx.element_delay
   let tpdu_latency rx = rx.tpdu_latency
   let verifier_stats rx = Edc.Verifier.stats rx.verifier
   let verifier_in_flight rx = Edc.Verifier.in_flight rx.verifier
   let nacks_sent rx = rx.nacks_sent
+  let reacks_sent rx = rx.reacks_sent
+  let evictions rx = rx.evictions
+  let aborts_received rx = rx.aborts_received
+  let governor_stats rx = Governor.stats rx.governor
 
   let stashed_tpdus rx =
     Hashtbl.fold
@@ -335,17 +559,15 @@ module Sender = struct
     mutable txs : int;
   }
 
-  (* A transfer that can never complete (e.g. a black-hole path) must
-     not retransmit forever: after this many transmissions of one TPDU
-     the sender gives up and the transfer reports failure. *)
-  let max_txs = 40
-
   type t = {
     engine : Netsim.Engine.t;
     config : config;
     send : bytes -> unit;
     framer : Framer.t;
     frames : bytes array;
+    first_tid : int;
+    mutable open_chunk : Chunk.t option;
+    open_sz : int;  (* wire bytes the piggybacked Open occupies *)
     mutable next_frame : int;
     mutable pending : Chunk.t list;  (* current TPDU, reversed *)
     ready : tpdu Queue.t;
@@ -359,7 +581,18 @@ module Sender = struct
     mutable clean_acks : int;
     mutable started : bool;
     mutable gave_up : bool;
+    mutable aborts_sent : int;
+    (* Jacobson estimation state; [srtt < 0] means no sample yet.  The
+       configured [rto] doubles as the estimator's ceiling (it is the
+       conservative a-priori bound) and the initial value. *)
+    mutable srtt : float;
+    mutable rttvar : float;
+    mutable rto_cur : float;
+    mutable rtt_samples : int;
+    mutable max_txs_at_sample : int;
   }
+
+  let rto_min = 2e-3
 
   let cut_frames config data =
     let n = Bytes.length data in
@@ -371,16 +604,38 @@ module Sender = struct
         let len = min fb (n - off) in
         Framer.pad_frame ~elem_size:config.elem_size (Bytes.sub data off len))
 
-  let create engine config ~send ~data () =
+  let create engine config ?(first_tid = 0) ?(announce_open = false) ~send
+      ~data () =
     validate_config config;
+    let open_chunk =
+      if announce_open then
+        Some
+          (Connection.signal_chunk ~conn_id:config.conn_id
+             (Connection.Open { first_csn = 0 }))
+      else None
+    in
+    let open_sz =
+      match open_chunk with
+      | None -> 0
+      | Some s -> (
+          match Packet.pack ~mtu:config.mtu [ s ] with
+          | Ok [ p ] -> Packet.wire_used p
+          | Ok _ | Error _ ->
+              invalid_arg "Chunk_transport.Sender: mtu cannot hold Open")
+    in
+    if open_sz > 0 && config.mtu - open_sz < (2 * Wire.header_size) + config.elem_size
+    then invalid_arg "Chunk_transport.Sender: mtu too small to piggyback Open";
     {
       engine;
       config;
       send;
       framer =
         Framer.create ~elem_size:config.elem_size
-          ~tpdu_elems:config.tpdu_elems ~conn_id:config.conn_id ();
+          ~tpdu_elems:config.tpdu_elems ~first_tid ~conn_id:config.conn_id ();
       frames = cut_frames config data;
+      first_tid;
+      open_chunk;
+      open_sz;
       next_frame = 0;
       pending = [];
       ready = Queue.create ();
@@ -394,6 +649,12 @@ module Sender = struct
       clean_acks = 0;
       started = false;
       gave_up = false;
+      aborts_sent = 0;
+      srtt = -1.0;
+      rttvar = 0.0;
+      rto_cur = config.rto;
+      rtt_samples = 0;
+      max_txs_at_sample = 0;
     }
 
   (* The adaptive floor: a TPDU small enough that (data + ED chunk) fits
@@ -446,32 +707,84 @@ module Sender = struct
       | Ok chunks -> absorb tx chunks
     done
 
-  let transmit tx tp =
-    match Packet.pack ~mtu:tx.config.mtu tp.chunks with
-    | Error e -> invalid_arg e
-    | Ok packets ->
-        List.iter
-          (fun p ->
-            let b = Packet.encode_unpadded p in
-            tx.packets_sent <- tx.packets_sent + 1;
-            tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
-            tx.send b)
-          packets;
-        tp.last_tx <- Netsim.Engine.now tx.engine;
-        tp.txs <- tp.txs + 1
+  let emit tx b =
+    tx.packets_sent <- tx.packets_sent + 1;
+    tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
+    tx.send b
 
-  (* Exponential backoff de-synchronises retransmission bursts. *)
+  (* Connection establishment rides in the same envelope as the data
+     (Appendix A piggybacking) — in {e every} envelope until the first
+     TPDU is acknowledged, not just the first one: packets are
+     arbitrarily reorderable in flight, and whichever arrives first must
+     (re-)establish the epoch before its data chunks are routed.  A lost
+     Open is likewise re-announced by the retransmission machinery for
+     free. *)
+  let send_chunks tx chunks =
+    match tx.open_chunk with
+    | None -> (
+        match Packet.pack ~mtu:tx.config.mtu chunks with
+        | Error e -> invalid_arg e
+        | Ok packets ->
+            List.iter (fun p -> emit tx (Packet.encode_unpadded p)) packets)
+    | Some s -> (
+        match Packet.pack ~mtu:(tx.config.mtu - tx.open_sz) chunks with
+        | Error e -> invalid_arg e
+        | Ok packets ->
+            List.iter
+              (fun p ->
+                match
+                  Packet.pack ~mtu:tx.config.mtu (s :: Packet.chunks p)
+                with
+                | Error e -> invalid_arg e
+                | Ok ps ->
+                    List.iter (fun q -> emit tx (Packet.encode_unpadded q)) ps)
+              packets)
+
+  let transmit tx tp =
+    send_chunks tx tp.chunks;
+    tp.last_tx <- Netsim.Engine.now tx.engine;
+    tp.txs <- tp.txs + 1
+
+  (* The abandonment is announced on the forward path so the receiver
+     can evict the TPDU's partial state instead of leaking it; the
+     receiver's own deadline sweep is the backstop when even this
+     signal is lost. *)
+  let send_abort tx t_id =
+    let s =
+      Connection.signal_chunk ~conn_id:tx.config.conn_id
+        (Connection.Abort_tpdu { t_id })
+    in
+    match Wire.encode_packet [ s ] with
+    | Error _ -> ()
+    | Ok b ->
+        tx.packets_sent <- tx.packets_sent + 1;
+        tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
+        tx.aborts_sent <- tx.aborts_sent + 1;
+        tx.send b
+
+  (* Exponential backoff de-synchronises retransmission bursts.  The
+     interval doubles from the current (possibly adaptively shrunk) RTO
+     but caps at 8× the {e configured} ceiling, so an adaptive sender
+     whose RTO converged to milliseconds still probes long enough to
+     outlast a multi-second outage before exhausting [give_up_txs]. *)
   let rec arm_timer tx tp =
-    let backoff = Float.min 8.0 (Float.pow 2.0 (float_of_int (tp.txs - 1))) in
-    Netsim.Engine.schedule tx.engine ~delay:(tx.config.rto *. backoff)
+    let interval =
+      Float.min
+        (tx.rto_cur *. Float.pow 2.0 (float_of_int (min 30 (tp.txs - 1))))
+        (8.0 *. tx.config.rto)
+    in
+    Netsim.Engine.schedule tx.engine ~delay:interval
       (fun () ->
         if not tp.acked then
-          if tp.txs >= max_txs then begin
+          if tp.txs >= tx.config.give_up_txs then begin
             (* black-hole path: stop the timer so the simulation can
-               end; the transfer reports failure via [gave_up] *)
+               end; the transfer reports failure via [gave_up], and the
+               receiver is told to evict the TPDU's partial state *)
             tx.gave_up <- true;
             tp.acked <- true;
-            Hashtbl.remove tx.inflight tp.t_id
+            Hashtbl.remove tx.inflight tp.t_id;
+            send_abort tx tp.t_id;
+            pump tx
           end
           else begin
             tx.retrans <- tx.retrans + 1;
@@ -484,7 +797,7 @@ module Sender = struct
             arm_timer tx tp
           end)
 
-  let rec pump tx =
+  and pump tx =
     build_more tx;
     if Hashtbl.length tx.inflight < tx.config.window
        && not (Queue.is_empty tx.ready)
@@ -503,13 +816,45 @@ module Sender = struct
       Netsim.Engine.schedule tx.engine ~delay:0.0 (fun () -> pump tx)
     end
 
+  (* Jacobson/Karn: an RTT sample is taken only from a TPDU that was
+     transmitted exactly once — retransmissions reuse identical labels
+     (§3.3), so an ACK after a retransmission is inherently ambiguous
+     and must never feed the estimator. *)
+  let note_rtt tx tp =
+    if tp.txs = 1 then begin
+      let sample = Netsim.Engine.now tx.engine -. tp.last_tx in
+      tx.rtt_samples <- tx.rtt_samples + 1;
+      if tp.txs > tx.max_txs_at_sample then tx.max_txs_at_sample <- tp.txs;
+      if tx.config.rto_adaptive && sample >= 0.0 then begin
+        if tx.srtt < 0.0 then begin
+          tx.srtt <- sample;
+          tx.rttvar <- sample /. 2.0
+        end
+        else begin
+          let err = sample -. tx.srtt in
+          tx.srtt <- tx.srtt +. (err /. 8.0);
+          tx.rttvar <- tx.rttvar +. ((Float.abs err -. tx.rttvar) /. 4.0)
+        end;
+        (* a 2x SRTT floor keeps a long clean run (where RTTVAR decays
+           to nothing) from shaving the timeout below queueing noise *)
+        let rto =
+          Float.max (2.0 *. tx.srtt) (tx.srtt +. (4.0 *. tx.rttvar))
+        in
+        tx.rto_cur <- Float.min tx.config.rto (Float.max rto_min rto)
+      end
+    end
+
   let on_ack tx t_id =
     match Hashtbl.find_opt tx.inflight t_id with
     | None -> ()
     | Some tp ->
         if not tp.acked then begin
+          note_rtt tx tp;
           tp.acked <- true;
           Hashtbl.remove tx.inflight t_id;
+          (* first ACK proves the receiver processed the Open: the
+             establishment phase is over *)
+          if t_id = tx.first_tid then tx.open_chunk <- None;
           if tx.config.adaptive then begin
             tx.clean_acks <- tx.clean_acks + 1;
             (* grow cautiously: a long clean run is needed before the
@@ -559,33 +904,22 @@ module Sender = struct
         let to_send = pieces @ (if need_ed then ed else []) in
         if to_send <> [] then begin
           tx.sack_retrans <- tx.sack_retrans + 1;
-          match Packet.pack ~mtu:tx.config.mtu to_send with
-          | Error _ -> ()
-          | Ok packets ->
-              List.iter
-                (fun p ->
-                  let b = Packet.encode_unpadded p in
-                  tx.packets_sent <- tx.packets_sent + 1;
-                  tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
-                  tx.send b)
-                packets
+          send_chunks tx to_send
         end
+
+  let on_chunk tx chunk =
+    let h = chunk.Chunk.header in
+    if Ctype.equal h.Header.ctype Ctype.ack then
+      on_ack tx h.Header.t.Ftuple.id
+    else if Ctype.equal h.Header.ctype Ctype.nack then
+      match parse_nack chunk with
+      | Ok (need_ed, spans) -> on_nack tx h.Header.t.Ftuple.id ~need_ed ~spans
+      | Error _ -> ()
 
   let on_packet tx b =
     match Wire.decode_packet b with
     | Error _ -> ()
-    | Ok chunks ->
-        List.iter
-          (fun chunk ->
-            let h = chunk.Chunk.header in
-            if Ctype.equal h.Header.ctype Ctype.ack then
-              on_ack tx h.Header.t.Ftuple.id
-            else if Ctype.equal h.Header.ctype Ctype.nack then
-              match parse_nack chunk with
-              | Ok (need_ed, spans) ->
-                  on_nack tx h.Header.t.Ftuple.id ~need_ed ~spans
-              | Error _ -> ())
-          chunks
+    | Ok chunks -> List.iter (on_chunk tx) chunks
 
   let finished tx =
     tx.started
@@ -596,10 +930,15 @@ module Sender = struct
   let retransmissions tx = tx.retrans
   let sack_retransmissions tx = tx.sack_retrans
   let gave_up tx = tx.gave_up
+  let aborts_sent tx = tx.aborts_sent
   let tpdus_sent tx = tx.tpdus_sent
   let packets_sent tx = tx.packets_sent
   let bytes_sent tx = tx.bytes_sent
   let current_tpdu_elems tx = tx.cur_tpdu_elems
+  let current_rto tx = tx.rto_cur
+  let srtt tx = if tx.srtt < 0.0 then None else Some tx.srtt
+  let rtt_samples tx = tx.rtt_samples
+  let max_txs_at_rtt_sample tx = tx.max_txs_at_sample
 end
 
 type outcome = {
@@ -615,6 +954,10 @@ type outcome = {
   goodput_bps : float;
   final_tpdu_elems : int;
   verifier : Edc.Verifier.stats;
+  final_rto : float;
+  rtt_samples : int;
+  max_txs_at_rtt_sample : int;
+  receiver_evictions : int;
 }
 
 let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
@@ -670,7 +1013,7 @@ let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
   let rx =
     Receiver.create engine config ~bus
       ~send_ack:(fun b -> ignore (Netsim.Link.send reverse b))
-      ~expected_elems ()
+      ~capacity:(`Exact expected_elems) ()
   in
   receiver := Some rx;
   let tx =
@@ -704,4 +1047,8 @@ let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
       (if sim_time > 0.0 then float_of_int (8 * n) /. sim_time else 0.0);
     final_tpdu_elems = Sender.current_tpdu_elems tx;
     verifier = Receiver.verifier_stats rx;
+    final_rto = Sender.current_rto tx;
+    rtt_samples = Sender.rtt_samples tx;
+    max_txs_at_rtt_sample = Sender.max_txs_at_rtt_sample tx;
+    receiver_evictions = Receiver.evictions rx;
   }

@@ -5,7 +5,10 @@
     ({!Labelling.Framer}), seal each TPDU with a WSC-2 ED chunk
     ({!Edc.Encoder}), pack chunks into MTU-sized envelopes
     ({!Labelling.Packet}), retransmit unacknowledged TPDUs with
-    {e identical labels} (§3.3) under a fixed window and RTO.
+    {e identical labels} (§3.3) under a fixed window and an RTO that is
+    either fixed or estimated (Jacobson SRTT/RTTVAR under Karn's rule —
+    mandatory here, since a retransmission is indistinguishable from the
+    original on the wire).
 
     Receiver: process every chunk {e immediately on arrival} — no
     reordering, no reassembly buffer: place fresh elements straight into
@@ -13,7 +16,9 @@
     {!Labelling.Placement}), accumulate the error-detection parity
     incrementally ({!Edc.Verifier}), and acknowledge a TPDU the moment
     its virtual reassembly completes and its parity verifies.  Data
-    crosses the bus once. *)
+    crosses the bus once.  All per-TPDU soft state is accounted to a
+    {!Governor} so a sender that vanishes (or floods) cannot leak or
+    exhaust receiver memory. *)
 
 type config = {
   conn_id : int;
@@ -22,7 +27,14 @@ type config = {
   frame_bytes : int;  (** external-PDU (ALF) size *)
   mtu : int;  (** outgoing packet capacity *)
   window : int;  (** TPDUs in flight *)
-  rto : float;  (** retransmission timeout, seconds *)
+  rto : float;
+      (** retransmission timeout, seconds; with [rto_adaptive] this is
+          the ceiling and initial value of the estimator *)
+  rto_adaptive : bool;
+      (** estimate the RTO from ACK round-trips (Jacobson SRTT/RTTVAR);
+          samples are taken only from TPDUs transmitted exactly once
+          (Karn's rule — retransmissions reuse identical labels, §3.3,
+          so their ACKs are inherently ambiguous) *)
   adaptive : bool;
       (** shrink the TPDU size on timeout and grow it on clean ACKs —
           the §3 response to Kent & Mogul's fragment-loss argument (the
@@ -36,6 +48,15 @@ type config = {
   nack_delay : float;
       (** how long a TPDU may stay incomplete before the receiver
           NACKs its gaps (seconds) *)
+  give_up_txs : int;
+      (** transmissions of one TPDU before the sender abandons it and
+          signals {!Labelling.Connection.Abort_tpdu} to the receiver *)
+  state_budget : int;
+      (** receiver soft-state budget in bytes ([<= 0]: unlimited); see
+          {!Governor} *)
+  state_ttl : float;
+      (** idle deadline for receiver soft state, seconds (delta-t style:
+          state not refreshed within the TTL is evicted) *)
 }
 
 val default_config : config
@@ -43,6 +64,10 @@ val default_config : config
 val expected_elements : config -> data_len:int -> int
 (** Elements the receiver will hold once a stream of [data_len] bytes is
     framed (only the final frame is padded to a whole element). *)
+
+val ack_packet : conn_id:int -> t_id:int -> bytes
+(** One encoded packet carrying the ACK control chunk for a TPDU (used
+    by demultiplexers to re-acknowledge closed-epoch stragglers). *)
 
 (** {1 Receiver} *)
 
@@ -53,19 +78,63 @@ module Receiver : sig
     Netsim.Engine.t ->
     config ->
     ?bus:Busmodel.t ->
+    ?governor:Governor.t ->
+    ?acked:(int, unit) Hashtbl.t ->
     send_ack:(bytes -> unit) ->
-    expected_elems:int ->
+    capacity:[ `Exact of int | `Quota of int ] ->
     unit ->
     t
+  (** [capacity] sizes the placement buffer.  [`Exact n] declares the
+      stream length up front (legacy single-transfer mode): completion
+      is "buffer full".  [`Quota n] grants up to [n] elements without
+      foreknowledge of the length: the stream's end is signalled in-band
+      by the C.ST bit on the final element, believed once the TPDU
+      carrying it verifies.
+
+      Without [?governor] the receiver runs its own (budget and TTL from
+      [config]); pass a shared one (plus a shared [?acked] table) when a
+      demultiplexer owns several receivers — the demultiplexer then owns
+      the eviction callback and routes per-TPDU evictions to
+      {!evict}. *)
 
   val on_packet : t -> bytes -> unit
   (** Feed one packet from the network. *)
+
+  val on_chunk : t -> Labelling.Chunk.t -> unit
+  (** Feed one already-decoded chunk (demultiplexer path; no bus
+      accounting). *)
 
   val contents : t -> bytes
   (** The application buffer (valid up to the placed elements). *)
 
   val delivered_elems : t -> int
+
   val complete : t -> bool
+  (** [`Exact] mode: the placement window is full.  [`Quota] mode: a
+      verified TPDU carried the C.ST end-of-connection bit and every
+      element up to it is covered by {e verified} TPDUs — bytes placed
+      by a TPDU that later failed parity do not count (its
+      identical-label retransmission re-places them). *)
+
+  val tracks_tpdu : t -> t_id:int -> bool
+  (** Whether the receiver holds any soft state (verifier accumulator or
+      corroboration record) for [t_id]. *)
+
+  val stream_end_elems : t -> int option
+  (** Total stream length in elements, once a verified TPDU has carried
+      the C.ST end-of-connection bit ([`Quota] mode). *)
+
+  val abort_tpdu : t -> t_id:int -> unit
+  (** Evict all partial state for [t_id] (the sender abandoned it);
+      counted in {!aborts_received} if any state existed. *)
+
+  val evict : t -> t_id:int -> unit
+  (** Dispose of [t_id]'s soft state after the governor already dropped
+      its account (demultiplexer eviction routing). *)
+
+  val quiesce : t -> unit
+  (** Release every piece of soft state (and its governor account) at
+      once — connection close.  Not counted as evictions. *)
 
   val element_delay : t -> Netsim.Stats.t
   (** Per-element application-availability delay relative to the packet
@@ -79,7 +148,9 @@ module Receiver : sig
 
   val verifier_in_flight : t -> int
   (** TPDUs the verifier currently holds state for (leak probe: 0 once
-      an undamaged transfer completes). *)
+      an undamaged transfer completes, and 0 after quiescence even for
+      abandoned transfers — give-up signalling plus the governor's
+      deadline sweep guarantee it). *)
 
   val stashed_tpdus : t -> int
   (** TPDUs with data held back awaiting label corroboration: placement
@@ -90,6 +161,19 @@ module Receiver : sig
 
   val nacks_sent : t -> int
   (** Gap reports transmitted (0 unless [config.sack]). *)
+
+  val reacks_sent : t -> int
+  (** Re-acknowledgements of already-verified TPDUs (sent when their
+      traffic keeps arriving — the sender evidently missed the ACK). *)
+
+  val evictions : t -> int
+  (** Soft-state evictions (deadline or budget) applied to this
+      receiver. *)
+
+  val aborts_received : t -> int
+  (** TPDUs evicted because the sender signalled it abandoned them. *)
+
+  val governor_stats : t -> Governor.stats
 end
 
 (** {1 Sender} *)
@@ -100,15 +184,25 @@ module Sender : sig
   val create :
     Netsim.Engine.t ->
     config ->
+    ?first_tid:int ->
+    ?announce_open:bool ->
     send:(bytes -> unit) ->
     data:bytes ->
     unit ->
     t
   (** Builds all TPDUs from [data] up front and starts transmitting
-      within the window as soon as the engine runs. *)
+      within the window as soon as the engine runs.  [?first_tid] offsets
+      the T.ID space (re-established connections must not reuse live
+      T.IDs).  [?announce_open] piggybacks a {!Labelling.Connection.Open}
+      signal on every transmission of the first TPDU, so a lost Open is
+      re-announced by the retransmission machinery for free. *)
 
   val on_packet : t -> bytes -> unit
-  (** Feed a packet from the reverse path (ACK chunks). *)
+  (** Feed a packet from the reverse path (ACK/NACK chunks). *)
+
+  val on_chunk : t -> Labelling.Chunk.t -> unit
+  (** Feed one already-decoded reverse-path chunk (demultiplexer
+      path). *)
 
   val start : t -> unit
   (** Schedule the initial window at the current simulated time. *)
@@ -120,6 +214,9 @@ module Sender : sig
       retransmission failures (a black-hole path); the transfer cannot
       report [ok]. *)
 
+  val aborts_sent : t -> int
+  (** [Abort_tpdu] signals put on the wire (one per abandoned TPDU). *)
+
   val retransmissions : t -> int
 
   val sack_retransmissions : t -> int
@@ -128,8 +225,23 @@ module Sender : sig
   val tpdus_sent : t -> int
   val packets_sent : t -> int
   val bytes_sent : t -> int
+
   val current_tpdu_elems : t -> int
-      (** instantaneous (adaptive) TPDU size *)
+  (** instantaneous (adaptive) TPDU size *)
+
+  val current_rto : t -> float
+  (** The RTO currently governing retransmission timers (equals
+      [config.rto] unless [rto_adaptive] has taken samples). *)
+
+  val srtt : t -> float option
+  (** Smoothed RTT estimate, if any sample has been taken. *)
+
+  val rtt_samples : t -> int
+  (** RTT samples accepted by Karn's rule. *)
+
+  val max_txs_at_rtt_sample : t -> int
+  (** The largest transmission count any sampled TPDU had at sampling
+      time — Karn's rule holds iff this never exceeds 1. *)
 end
 
 (** {1 One-call scenario driver} *)
@@ -149,6 +261,12 @@ type outcome = {
   final_tpdu_elems : int;  (** the sender's TPDU size at the end (differs
       from the configured one only for adaptive senders) *)
   verifier : Edc.Verifier.stats;
+  final_rto : float;  (** the sender's RTO when the run ended *)
+  rtt_samples : int;  (** RTT samples accepted by Karn's rule *)
+  max_txs_at_rtt_sample : int;
+      (** Karn's rule holds iff this never exceeds 1 *)
+  receiver_evictions : int;
+      (** governor evictions applied to the receiver *)
 }
 
 val run :

@@ -1,0 +1,134 @@
+type key = { conn : int; tpdu : int }
+
+type entry = { mutable bytes : int; mutable deadline : float }
+
+type stats = {
+  accounted_bytes : int;
+  high_water : int;
+  entries : int;
+  evictions_deadline : int;
+  evictions_budget : int;
+}
+
+type t = {
+  budget : int;  (* <= 0: unlimited *)
+  ttl : float;
+  tbl : (key, entry) Hashtbl.t;
+  mutable on_evict : key -> unit;
+  mutable total : int;
+  mutable high : int;
+  mutable ev_deadline : int;
+  mutable ev_budget : int;
+  mutable armed : bool;
+}
+
+let create ?(on_evict = fun _ -> ()) ~budget_bytes ~ttl () =
+  {
+    budget = budget_bytes;
+    ttl;
+    tbl = Hashtbl.create 64;
+    on_evict;
+    total = 0;
+    high = 0;
+    ev_deadline = 0;
+    ev_budget = 0;
+    armed = false;
+  }
+
+let set_on_evict g f = g.on_evict <- f
+
+let over_budget g = g.budget > 0 && g.total > g.budget
+
+(* Oldest deadline = least recently refreshed: the entry a delta-t
+   lifecycle would let die first. *)
+let oldest g =
+  Hashtbl.fold
+    (fun k (e : entry) best ->
+      match best with
+      | Some (_, d) when d <= e.deadline -> best
+      | _ -> Some (k, e.deadline))
+    g.tbl None
+
+let drop g k =
+  match Hashtbl.find_opt g.tbl k with
+  | None -> ()
+  | Some e ->
+      g.total <- g.total - e.bytes;
+      Hashtbl.remove g.tbl k
+
+let touch g ~key ~bytes ~now =
+  let bytes = max 0 bytes in
+  (match Hashtbl.find_opt g.tbl key with
+  | Some e ->
+      g.total <- g.total - e.bytes + bytes;
+      e.bytes <- bytes;
+      e.deadline <- now +. g.ttl
+  | None ->
+      Hashtbl.add g.tbl key { bytes; deadline = now +. g.ttl };
+      g.total <- g.total + bytes);
+  (* Budget enforcement is synchronous: collect victims first so the
+     disposal callbacks (which may remove further entries, e.g. a whole
+     connection's TPDUs) never run under the selection loop. *)
+  let victims = ref [] in
+  while over_budget g do
+    match oldest g with
+    | None -> g.total <- 0 (* unreachable: total > 0 implies an entry *)
+    | Some (k, _) ->
+        drop g k;
+        g.ev_budget <- g.ev_budget + 1;
+        victims := k :: !victims
+  done;
+  if g.total > g.high then g.high <- g.total;
+  List.iter g.on_evict (List.rev !victims)
+
+let remove g ~key = drop g key
+
+let remove_conn g ~conn =
+  let keys =
+    Hashtbl.fold (fun k _ acc -> if k.conn = conn then k :: acc else acc) g.tbl []
+  in
+  List.iter (drop g) keys
+
+let mem g ~key = Hashtbl.mem g.tbl key
+
+let next_deadline g =
+  Hashtbl.fold
+    (fun _ (e : entry) best ->
+      match best with Some d when d <= e.deadline -> best | _ -> Some e.deadline)
+    g.tbl None
+
+let sweep g ~now =
+  let due =
+    Hashtbl.fold
+      (fun k (e : entry) acc -> if e.deadline <= now then k :: acc else acc)
+      g.tbl []
+  in
+  List.iter (drop g) due;
+  g.ev_deadline <- g.ev_deadline + List.length due;
+  List.iter g.on_evict due
+
+let rec arm g engine =
+  if not g.armed then
+    match next_deadline g with
+    | None -> ()
+    | Some d ->
+        g.armed <- true;
+        let now = Netsim.Engine.now engine in
+        Netsim.Engine.schedule engine
+          ~delay:(Float.max 0.0 (d -. now))
+          (fun () ->
+            g.armed <- false;
+            sweep g ~now:(Netsim.Engine.now engine);
+            arm g engine)
+
+let total g = g.total
+let high_water g = g.high
+
+let stats g =
+  {
+    accounted_bytes = g.total;
+    high_water = g.high;
+    entries = Hashtbl.length g.tbl;
+    evictions_deadline = g.ev_deadline;
+    evictions_budget = g.ev_budget;
+  }

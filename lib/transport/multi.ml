@@ -1,0 +1,329 @@
+open Labelling
+module R = Chunk_transport.Receiver
+
+type epoch_report = { delivered : bytes; complete : bool; closed : bool }
+
+(* An archived epoch's buffer is safe to hold by reference: the receiver
+   that owned it is dropped at archive time, so nothing writes it
+   again. *)
+type archived = { a_delivered : bytes; a_complete : bool }
+
+type conn = {
+  id : int;
+  acked : (int, unit) Hashtbl.t;  (* ACK ledger, shared across epochs *)
+  last_reack : (int, float) Hashtbl.t;
+  mutable live : R.t option;
+  mutable hist : archived list;  (* newest first *)
+  mutable last_touch : float;
+  mutable aborts_acc : int;
+  mutable reacks_acc : int;
+}
+
+type t = {
+  engine : Netsim.Engine.t;
+  config : Chunk_transport.config;
+  bus : Busmodel.t;
+  table : Connection.t;
+  governor : Governor.t;
+  send_ack : bytes -> unit;
+  conns : (int, conn) Hashtbl.t;
+  quota_elems : int;
+  max_conns : int;
+  mutable evictions : int;
+  mutable conn_gcs : int;
+  mutable displaced : int;
+  mutable unknown_drops : int;
+  mutable late_drops : int;
+  mutable reacks_multi : int;
+}
+
+let now m = Netsim.Engine.now m.engine
+let conn_key id = { Governor.conn = id; tpdu = -1 }
+
+let conn_cost m = (m.quota_elems * m.config.elem_size) + 256
+
+let touch_conn m c =
+  c.last_touch <- now m;
+  Governor.touch m.governor ~key:(conn_key c.id) ~bytes:(conn_cost m)
+    ~now:(now m);
+  Governor.arm m.governor m.engine
+
+let archive _m c =
+  match c.live with
+  | None -> ()
+  | Some rx ->
+      R.quiesce rx;
+      c.aborts_acc <- c.aborts_acc + R.aborts_received rx;
+      c.reacks_acc <- c.reacks_acc + R.reacks_sent rx;
+      (* An epoch in which no TPDU ever verified delivered nothing to the
+         application (and acknowledged nothing to the sender), so from
+         both ends' point of view it never happened: drop it rather than
+         burn an epoch slot.  The sender's retransmissions re-establish
+         the connection and deliver the whole stream into the re-opened
+         epoch — at the same position in the sequence. *)
+      if (R.verifier_stats rx).Edc.Verifier.tpdus_passed > 0 then
+        c.hist <-
+          { a_delivered = R.contents rx; a_complete = R.complete rx }
+          :: c.hist;
+      c.live <- None
+
+let close_conn m c =
+  archive m c;
+  Governor.remove_conn m.governor ~conn:c.id
+
+let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
+    ~send_ack () =
+  if quota_elems < 1 || max_conns < 1 then
+    invalid_arg "Multi.create: quota_elems and max_conns must be >= 1";
+  let m =
+    {
+      engine;
+      config;
+      bus;
+      table = Connection.create ();
+      governor =
+        Governor.create ~budget_bytes:config.state_budget
+          ~ttl:config.state_ttl ();
+      send_ack;
+      conns = Hashtbl.create 16;
+      quota_elems;
+      max_conns;
+      evictions = 0;
+      conn_gcs = 0;
+      displaced = 0;
+      unknown_drops = 0;
+      late_drops = 0;
+      reacks_multi = 0;
+    }
+  in
+  Governor.set_on_evict m.governor (fun key ->
+      match Hashtbl.find_opt m.conns key.Governor.conn with
+      | None -> ()
+      | Some c ->
+          if key.Governor.tpdu >= 0 then (
+            match c.live with
+            | Some rx ->
+                R.evict rx ~t_id:key.Governor.tpdu;
+                m.evictions <- m.evictions + 1
+            | None -> ())
+          else begin
+            (* the connection itself went stale (or was squeezed out by
+               budget pressure): reclaim everything it holds *)
+            m.conn_gcs <- m.conn_gcs + 1;
+            close_conn m c
+          end);
+  m
+
+let live_count m =
+  Hashtbl.fold (fun _ c n -> if c.live <> None then n + 1 else n) m.conns 0
+
+let stalest_live m =
+  let pick pred =
+    Hashtbl.fold
+      (fun _ c best ->
+        if c.live = None || not (pred c) then best
+        else
+          match best with
+          | Some b when b.last_touch <= c.last_touch -> best
+          | _ -> Some c)
+      m.conns None
+  in
+  (* Displace unproven connections first: one whose ACK ledger has ever
+     recorded a verified TPDU demonstrably carries a real sender, while a
+     flood connection never verifies anything — so an Open flood churns
+     through its own connections before it can touch a conn that is
+     merely quiet between retransmissions. *)
+  match pick (fun c -> Hashtbl.length c.acked = 0) with
+  | Some _ as v -> v
+  | None -> pick (fun _ -> true)
+
+let new_epoch m c =
+  let rx =
+    R.create m.engine
+      { m.config with conn_id = c.id }
+      ~bus:m.bus ~governor:m.governor ~acked:c.acked ~send_ack:m.send_ack
+      ~capacity:(`Quota m.quota_elems) ()
+  in
+  c.live <- Some rx;
+  touch_conn m c
+
+(* Make room for one more live connection by displacing the stalest one
+   — never the freshest, so an Open flood churns through its own
+   connections while refreshing legitimate ones stay. *)
+let ensure_capacity m =
+  if live_count m >= m.max_conns then
+    match stalest_live m with
+    | Some victim ->
+        m.displaced <- m.displaced + 1;
+        close_conn m victim
+    | None -> ()
+
+let handle_open m cid =
+  match Hashtbl.find_opt m.conns cid with
+  | None ->
+      ensure_capacity m;
+      let c =
+        {
+          id = cid;
+          acked = Hashtbl.create 16;
+          last_reack = Hashtbl.create 8;
+          live = None;
+          hist = [];
+          last_touch = now m;
+          aborts_acc = 0;
+          reacks_acc = 0;
+        }
+      in
+      Hashtbl.add m.conns cid c;
+      new_epoch m c
+  | Some c -> (
+      match c.live with
+      | None ->
+          (* re-establishment under the same C.ID: fresh epoch, fresh
+             placement, but the ACK ledger carries over so the old
+             epoch's stragglers are re-acknowledged, never re-placed *)
+          ensure_capacity m;
+          new_epoch m c
+      | Some rx ->
+          if R.complete rx then begin
+            (* the epoch's stream ended and a new Open arrived — its
+               Close was evidently lost; treat the Open as an implicit
+               close-and-reopen so C.ID reuse survives signal loss *)
+            archive m c;
+            new_epoch m c
+          end
+          (* else: a duplicate Open of the live epoch (it piggybacks on
+             every transmission of the first TPDU) — ignore *))
+
+let re_ack_closed m c t_id =
+  let t = now m in
+  let due =
+    match Hashtbl.find_opt c.last_reack t_id with
+    | Some last -> t -. last >= m.config.nack_delay
+    | None -> true
+  in
+  if due then begin
+    Hashtbl.replace c.last_reack t_id t;
+    m.reacks_multi <- m.reacks_multi + 1;
+    m.send_ack (Chunk_transport.ack_packet ~conn_id:c.id ~t_id)
+  end
+
+let route m chunk =
+  let cid = chunk.Chunk.header.Header.c.Ftuple.id in
+  match Hashtbl.find_opt m.conns cid with
+  | None -> m.unknown_drops <- m.unknown_drops + 1
+  | Some c -> (
+      match c.live with
+      | Some rx ->
+          (* Data or ED traffic with a TPDU label this epoch has never
+             seen, arriving after the epoch's stream end was verified
+             (C.ST), is the start of the next epoch whose Open was lost
+             or damaged in flight — the Open piggybacks on every
+             envelope, but a corrupted copy must not let the new
+             epoch's chunks leak into the finished epoch's buffer.
+             Implicit close-and-reopen, exactly as for a late Open. *)
+          let h = chunk.Chunk.header in
+          let t_id = h.Header.t.Ftuple.id in
+          let rx =
+            if
+              R.complete rx
+              && (Chunk.is_data chunk
+                 || Ctype.equal h.Header.ctype Ctype.ed)
+              && (not (Hashtbl.mem c.acked t_id))
+              && not (R.tracks_tpdu rx ~t_id)
+            then begin
+              archive m c;
+              new_epoch m c;
+              match c.live with Some fresh -> fresh | None -> rx
+            end
+            else rx
+          in
+          touch_conn m c;
+          R.on_chunk rx chunk
+      | None ->
+          (* closed epoch: stale retransmissions of acknowledged TPDUs
+             get their ACK again (the ledger outlives the epoch); other
+             traffic for a closed connection is refused *)
+          let t_id = chunk.Chunk.header.Header.t.Ftuple.id in
+          if Hashtbl.mem c.acked t_id then re_ack_closed m c t_id
+          else m.late_drops <- m.late_drops + 1)
+
+let on_chunk m chunk =
+  if Chunk.is_terminator chunk then ()
+  else
+    match Connection.on_chunk m.table chunk with
+    | `Signal (cid, sg) -> (
+        match sg with
+        | Connection.Open _ -> handle_open m cid
+        | Connection.Close -> (
+            match Hashtbl.find_opt m.conns cid with
+            | Some c -> close_conn m c
+            | None -> ())
+        | Connection.Resync _ -> ()
+        | Connection.Abort_tpdu { t_id } -> (
+            match Hashtbl.find_opt m.conns cid with
+            | Some ({ live = Some rx; _ } as c) ->
+                c.last_touch <- now m;
+                R.abort_tpdu rx ~t_id
+            | Some _ | None -> ()))
+    | `Data_for _ | `Unknown_connection _ | `Ignored ->
+        (* routing is by connection record, not table state: traffic for
+           a live epoch must keep flowing after the C.ST data chunk
+           marked the table Closed (the final TPDU's remaining chunks,
+           and retransmissions, arrive after it) *)
+        route m chunk
+
+let on_packet m b =
+  Busmodel.nic_to_mem m.bus (Bytes.length b);
+  match Wire.decode_packet b with
+  | Error _ -> ()
+  | Ok chunks -> List.iter (on_chunk m) chunks
+
+let epochs m ~conn_id =
+  match Hashtbl.find_opt m.conns conn_id with
+  | None -> []
+  | Some c ->
+      List.rev_map
+        (fun a ->
+          { delivered = a.a_delivered; complete = a.a_complete; closed = true })
+        c.hist
+      @ (match c.live with
+        | Some rx ->
+            [
+              {
+                delivered = R.contents rx;
+                complete = R.complete rx;
+                closed = false;
+              };
+            ]
+        | None -> [])
+
+let known_conns m =
+  List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) m.conns [])
+
+let table m = m.table
+let governor_stats m = Governor.stats m.governor
+let live_conns m = live_count m
+
+let sum_live m f =
+  Hashtbl.fold
+    (fun _ c acc -> match c.live with Some rx -> acc + f rx | None -> acc)
+    m.conns 0
+
+let live_in_flight m = sum_live m R.verifier_in_flight
+let live_stashed m = sum_live m R.stashed_tpdus
+let evictions m = m.evictions
+let conn_gcs m = m.conn_gcs
+let displaced_conns m = m.displaced
+
+let aborts_received m =
+  Hashtbl.fold (fun _ c acc -> acc + c.aborts_acc) m.conns
+    (sum_live m R.aborts_received)
+
+let reacks_sent m =
+  m.reacks_multi
+  + Hashtbl.fold (fun _ c acc -> acc + c.reacks_acc) m.conns
+      (sum_live m R.reacks_sent)
+
+let unknown_drops m = m.unknown_drops
+let late_drops m = m.late_drops

@@ -1,0 +1,77 @@
+(** One receiver endpoint demultiplexing many connections (paper §2:
+    the C.ID names an unmultiplexed conversation; TYPE-based dispatch
+    makes the demultiplexer a table lookup per chunk).
+
+    The {!Labelling.Connection} table is the authoritative lifecycle
+    record: a connection exists only after its [Open] signal is
+    processed (data for unknown connections is dropped — establishment
+    precedes data), [Close] tears it down, and a new [Open] after close
+    re-establishes it under the {e same C.ID} with a fresh epoch.  The
+    per-connection ACK ledger survives epochs, so stale retransmissions
+    from a closed epoch are re-acknowledged instead of re-processed —
+    the guard that makes C.ID reuse safe (epoch T.ID spaces must be
+    disjoint, which the sender's [first_tid] offset provides).
+
+    All per-TPDU and per-connection state shares one {!Governor}:
+    per-TPDU soft state is charged by footprint, each live connection is
+    charged its placement quota, and both are evicted by deadline
+    (stale-connection GC, abandoned-TPDU reclamation) or by budget
+    pressure (admission under flood).  When the budget would still be
+    exceeded, or the live-connection cap is hit, the {e stalest} live
+    connection is displaced — never the freshest, so an Open flood
+    displaces its own connections, not refreshing legitimate ones. *)
+
+type epoch_report = { delivered : bytes; complete : bool; closed : bool }
+
+type t
+
+val create :
+  Netsim.Engine.t ->
+  config:Chunk_transport.config ->
+  quota_elems:int ->
+  max_conns:int ->
+  ?bus:Busmodel.t ->
+  send_ack:(bytes -> unit) ->
+  unit ->
+  t
+(** [quota_elems] sizes each connection epoch's placement buffer (the
+    stream end is signalled in-band by C.ST, so no per-transfer length
+    is declared up front); [max_conns] caps simultaneously live
+    connections.  [config.state_budget] and [config.state_ttl] govern
+    the shared account. *)
+
+val on_packet : t -> bytes -> unit
+
+val epochs : t -> conn_id:int -> epoch_report list
+(** Delivered buffers of the connection's epochs, oldest first; the last
+    entry is the live epoch if the connection is open. *)
+
+val known_conns : t -> int list
+(** Connections ever admitted, ascending. *)
+
+val table : t -> Labelling.Connection.t
+(** The signalling table (for inspection). *)
+
+val governor_stats : t -> Governor.stats
+
+val live_conns : t -> int
+val live_in_flight : t -> int
+(** Verifier state held across all live epochs (quiescence probe). *)
+
+val live_stashed : t -> int
+val evictions : t -> int
+(** Per-TPDU governor evictions routed to receivers. *)
+
+val conn_gcs : t -> int
+(** Whole connections reclaimed by deadline (stale-connection GC). *)
+
+val displaced_conns : t -> int
+(** Live connections displaced by admission pressure (cap or budget). *)
+
+val aborts_received : t -> int
+val reacks_sent : t -> int
+val unknown_drops : t -> int
+(** Chunks for connections never admitted (flood traffic). *)
+
+val late_drops : t -> int
+(** Chunks for closed epochs that were not re-acknowledgeable. *)

@@ -31,9 +31,7 @@ let test_model_geometry () =
        ~data_len:102)
     m.Check.Model.elems
 
-let gen_profile =
-  QCheck2.Gen.oneofl
-    [ Check.Schedule.Clean; Check.Schedule.Lossy; Check.Schedule.Hostile ]
+let gen_profile = QCheck2.Gen.oneofl Check.Schedule.all_profiles
 
 let prop_schedule_roundtrip (profile, seed) =
   let s = Check.Schedule.generate ~profile ~seed in
@@ -102,6 +100,10 @@ let suite =
     Alcotest.test_case "soak: clean profile" `Quick (fun () -> soak Check.Schedule.Clean 40);
     Alcotest.test_case "soak: lossy profile" `Quick (fun () -> soak Check.Schedule.Lossy 25);
     Alcotest.test_case "soak: hostile profile" `Quick (fun () -> soak Check.Schedule.Hostile 25);
+    Alcotest.test_case "soak: hostile-flood profile" `Quick (fun () ->
+        soak Check.Schedule.Hostile_flood 15);
+    Alcotest.test_case "soak: outage-recover profile" `Quick (fun () ->
+        soak Check.Schedule.Outage_recover 15);
     Alcotest.test_case "injected mutation caught and shrunk" `Quick
       test_mutation_caught;
   ]

@@ -114,6 +114,171 @@ let test_inband_cst_closes () =
   | Some Connection.Closed -> ()
   | _ -> Alcotest.fail "C.ST must close the connection"
 
+(* --- Multi-connection transport lifecycle ------------------------- *)
+
+module CT = Transport.Chunk_transport
+
+let multi_config =
+  { CT.default_config with
+    CT.elem_size = 4;
+    tpdu_elems = 64;
+    frame_bytes = 256;
+    rto = 0.05;
+    state_ttl = 2.0 }
+
+(* A Multi receiver wired to per-connection senders over zero-loss
+   direct delivery (small latency so the event loop interleaves). *)
+type rig = {
+  engine : Netsim.Engine.t;
+  multi : Transport.Multi.t;
+  senders : (int, CT.Sender.t) Hashtbl.t;
+}
+
+let make_rig ?(quota_elems = 1024) () =
+  let engine = Netsim.Engine.create ~seed:19 () in
+  let senders = Hashtbl.create 4 in
+  let multi = ref None in
+  let m =
+    Transport.Multi.create engine ~config:multi_config ~quota_elems
+      ~max_conns:8
+      ~send_ack:(fun b ->
+        Netsim.Engine.schedule engine ~delay:1e-4 (fun () ->
+            match Wire.decode_packet b with
+            | Error _ -> ()
+            | Ok chunks ->
+                List.iter
+                  (fun ch ->
+                    if not (Chunk.is_terminator ch) then
+                      let cid = ch.Chunk.header.Header.c.Ftuple.id in
+                      match Hashtbl.find_opt senders cid with
+                      | Some tx -> CT.Sender.on_chunk tx ch
+                      | None -> ())
+                  chunks))
+      ()
+  in
+  multi := Some m;
+  { engine; multi = m; senders }
+
+let to_multi rig b =
+  Netsim.Engine.schedule rig.engine ~delay:1e-4 (fun () ->
+      Transport.Multi.on_packet rig.multi b)
+
+let start_transfer rig ~conn ~epoch data =
+  let tx =
+    CT.Sender.create rig.engine
+      { multi_config with CT.conn_id = conn }
+      ~first_tid:(epoch * 100_000) ~announce_open:true
+      ~send:(to_multi rig) ~data ()
+  in
+  Hashtbl.replace rig.senders conn tx;
+  CT.Sender.start tx;
+  tx
+
+let send_signal rig ~conn signal =
+  match Wire.encode_packet [ Connection.signal_chunk ~conn_id:conn signal ] with
+  | Ok b -> to_multi rig b
+  | Error e -> Alcotest.fail e
+
+let check_epoch rig ~conn ~epoch ~complete data =
+  match List.nth_opt (Transport.Multi.epochs rig.multi ~conn_id:conn) epoch with
+  | None -> Alcotest.failf "conn %d epoch %d missing" conn epoch
+  | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "conn %d epoch %d complete" conn epoch)
+        complete r.Transport.Multi.complete;
+      let n = Bytes.length data in
+      Alcotest.(check bool)
+        (Printf.sprintf "conn %d epoch %d intact" conn epoch)
+        true
+        (Bytes.length r.Transport.Multi.delivered >= n
+        && Bytes.equal (Bytes.sub r.Transport.Multi.delivered 0 n) data)
+
+let test_multi_close_reopen () =
+  (* full round trip: Open (piggybacked) -> transfer -> explicit Close
+     -> re-establishment under the SAME C.ID with a disjoint T.ID space
+     -> second transfer -> Close.  The first epoch's archive must
+     survive the reuse untouched. *)
+  let rig = make_rig () in
+  let d0 = Util.deterministic_bytes 3000 in
+  let tx0 = start_transfer rig ~conn:5 ~epoch:0 d0 in
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "epoch 0 sender done" true (CT.Sender.finished tx0);
+  send_signal rig ~conn:5 Connection.Close;
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check int) "closed: no live conns" 0
+    (Transport.Multi.live_conns rig.multi);
+  (* same C.ID, fresh epoch, different data *)
+  let d1 = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5A)) d0 in
+  let tx1 = start_transfer rig ~conn:5 ~epoch:1 d1 in
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "epoch 1 sender done" true (CT.Sender.finished tx1);
+  send_signal rig ~conn:5 Connection.Close;
+  Netsim.Engine.run rig.engine;
+  check_epoch rig ~conn:5 ~epoch:0 ~complete:true d0;
+  check_epoch rig ~conn:5 ~epoch:1 ~complete:true d1;
+  Alcotest.(check int) "all closed" 0 (Transport.Multi.live_conns rig.multi)
+
+let test_multi_resync_harmless () =
+  (* a Resync signal mid-stream must not disturb delivery (the receiver
+     places by absolute C.SN; resynchronisation is a no-op for it) *)
+  let rig = make_rig () in
+  let d = Util.deterministic_bytes 2000 in
+  let tx = start_transfer rig ~conn:3 ~epoch:0 d in
+  Netsim.Engine.schedule rig.engine ~delay:1e-3 (fun () ->
+      send_signal rig ~conn:3 (Connection.Resync { c_sn = 123 }));
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "sender done" true (CT.Sender.finished tx);
+  send_signal rig ~conn:3 Connection.Close;
+  Netsim.Engine.run rig.engine;
+  check_epoch rig ~conn:3 ~epoch:0 ~complete:true d
+
+let test_multi_abort_recovers () =
+  (* a forged Abort_tpdu for an in-flight TPDU evicts its partial state;
+     the sender (which never abandoned it) retransmits under the
+     identical label and the transfer still completes intact *)
+  let rig = make_rig () in
+  let d = Util.deterministic_bytes 4000 in
+  let tx = start_transfer rig ~conn:2 ~epoch:0 d in
+  Netsim.Engine.schedule rig.engine ~delay:2e-4 (fun () ->
+      send_signal rig ~conn:2 (Connection.Abort_tpdu { t_id = 0 }));
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "sender done despite forged abort" true
+    (CT.Sender.finished tx);
+  send_signal rig ~conn:2 Connection.Close;
+  Netsim.Engine.run rig.engine;
+  check_epoch rig ~conn:2 ~epoch:0 ~complete:true d
+
+let test_multi_concurrent_conns () =
+  (* several connections interleaved through one receiver endpoint *)
+  let rig = make_rig () in
+  let datas =
+    List.map
+      (fun conn ->
+        ( conn,
+          Bytes.map
+            (fun c -> Char.chr (Char.code c lxor (conn * 37)))
+            (Util.deterministic_bytes (1500 + (conn * 700))) ))
+      [ 1; 2; 3 ]
+  in
+  let txs =
+    List.map
+      (fun (conn, d) -> (conn, start_transfer rig ~conn ~epoch:0 d))
+      datas
+  in
+  Netsim.Engine.run rig.engine;
+  List.iter
+    (fun (conn, tx) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "conn %d done" conn)
+        true (CT.Sender.finished tx))
+    txs;
+  List.iter (fun (conn, _) -> send_signal rig ~conn Connection.Close) datas;
+  Netsim.Engine.run rig.engine;
+  List.iter
+    (fun (conn, d) -> check_epoch rig ~conn ~epoch:0 ~complete:true d)
+    datas;
+  Alcotest.(check int) "all closed" 0 (Transport.Multi.live_conns rig.multi)
+
 let suite =
   [
     Alcotest.test_case "demux routes by TYPE" `Quick test_demux_routing;
@@ -122,4 +287,12 @@ let suite =
     Alcotest.test_case "signal roundtrip" `Quick test_signal_roundtrip;
     Alcotest.test_case "connection lifecycle" `Quick test_connection_lifecycle;
     Alcotest.test_case "in-band C.ST closes" `Quick test_inband_cst_closes;
+    Alcotest.test_case "multi: close then reopen reuses C.ID" `Quick
+      test_multi_close_reopen;
+    Alcotest.test_case "multi: resync mid-stream is harmless" `Quick
+      test_multi_resync_harmless;
+    Alcotest.test_case "multi: forged abort recovers by retransmission"
+      `Quick test_multi_abort_recovers;
+    Alcotest.test_case "multi: concurrent connections" `Quick
+      test_multi_concurrent_conns;
   ]

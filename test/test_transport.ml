@@ -292,6 +292,128 @@ let test_soak () =
         true o.Transport.Chunk_transport.ok)
     [ 11; 12; 13; 14; 15; 16 ]
 
+module CT = Transport.Chunk_transport
+
+let test_give_up_releases_state () =
+  (* dead reverse path: no ACK ever returns, the sender backs off and
+     abandons every TPDU after [give_up_txs] transmissions, signalling
+     Abort_tpdu on the forward path.  Regression for the give-up leak:
+     the receiver must evict the abandoned TPDUs' verifier state and
+     corroboration stash on the abort — nothing may wait for the
+     deadline sweep, and nothing may survive it. *)
+  let engine = Netsim.Engine.create ~seed:41 () in
+  let config =
+    { CT.default_config with
+      CT.rto = 0.02;
+      give_up_txs = 4;
+      (* TTL far beyond the give-up horizon so only the abort path can
+         explain a clean receiver *)
+      state_ttl = 3600.0 }
+  in
+  let small = Util.deterministic_bytes 6000 in
+  let receiver = ref None in
+  (* the forward path loses every ED-bearing packet: no TPDU can ever
+     verify, so the receiver accumulates exactly the partial state
+     (verifier spans, uncorroborated stash) the abort must reclaim;
+     signal chunks (the aborts) always get through *)
+  let drops_ed b =
+    match Labelling.Wire.decode_packet b with
+    | Error _ -> false
+    | Ok chunks ->
+        List.exists
+          (fun ch ->
+            Labelling.Ctype.equal ch.Labelling.Chunk.header.Labelling.Header.ctype
+              Labelling.Ctype.ed)
+          chunks
+  in
+  let tx =
+    CT.Sender.create engine config
+      ~send:(fun b ->
+        match !receiver with
+        | Some rx ->
+            if not (drops_ed b) then
+              Netsim.Engine.schedule engine ~delay:1e-4 (fun () ->
+                  CT.Receiver.on_packet rx b)
+        | None -> ())
+      ~data:small ()
+  in
+  let rx =
+    CT.Receiver.create engine config
+      ~send_ack:(fun _ -> ())
+      ~capacity:
+        (`Exact (CT.expected_elements config ~data_len:(Bytes.length small)))
+      ()
+  in
+  receiver := Some rx;
+  CT.Sender.start tx;
+  Netsim.Engine.run engine;
+  Alcotest.(check bool) "sender gave up" true (CT.Sender.gave_up tx);
+  Alcotest.(check bool) "aborts signalled" true (CT.Sender.aborts_sent tx > 0);
+  Alcotest.(check bool) "aborts received" true
+    (CT.Receiver.aborts_received rx > 0);
+  Alcotest.(check int) "no verifier state leaked" 0
+    (CT.Receiver.verifier_in_flight rx);
+  Alcotest.(check int) "no stash leaked" 0 (CT.Receiver.stashed_tpdus rx);
+  (* the abort did the reclaiming — not the deadline sweep (which would
+     count deadline evictions) *)
+  Alcotest.(check int) "no deadline evictions needed" 0
+    (CT.Receiver.evictions rx)
+
+let prop_karn (seed, loss_pct) =
+  (* Karn's rule: whatever the loss pattern does to retransmission,
+     no RTT sample may ever come from a TPDU transmitted more than
+     once — with identical-label retransmission its ACK is inherently
+     ambiguous. *)
+  let loss = float_of_int loss_pct /. 100.0 in
+  let config =
+    { CT.default_config with
+      CT.rto_adaptive = true;
+      rto = 0.1;
+      window = 4;
+      give_up_txs = 200 }
+  in
+  let o =
+    CT.run ~seed ~loss ~config ~data:(Util.deterministic_bytes 12_000) ()
+  in
+  o.CT.max_txs_at_rtt_sample <= 1
+  && (o.CT.ok || loss > 0.0)
+  && o.CT.final_rto <= config.CT.rto +. 1e-9
+
+let test_adaptive_rto_beats_fixed () =
+  (* at 20% loss a conservative fixed RTO pays a full overestimated
+     timeout per loss; the Jacobson/Karn estimator converges on the
+     path RTT and repairs at round-trip scale *)
+  let base =
+    (* small TTL so the governor's trailing sweep doesn't swamp the
+       transfer-time difference in sim_time *)
+    { CT.default_config with CT.rto = 0.25; window = 4; state_ttl = 0.25 }
+  in
+  let data = Util.deterministic_bytes 60_000 in
+  let fixed = CT.run ~seed:7 ~loss:0.2 ~config:base ~data () in
+  let adaptive =
+    CT.run ~seed:7 ~loss:0.2
+      ~config:{ base with CT.rto_adaptive = true }
+      ~data ()
+  in
+  Alcotest.(check bool) "fixed ok" true fixed.CT.ok;
+  Alcotest.(check bool) "adaptive ok" true adaptive.CT.ok;
+  Alcotest.(check bool) "estimator took samples" true
+    (adaptive.CT.rtt_samples > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive faster (%.3fs vs %.3fs)" adaptive.CT.sim_time
+       fixed.CT.sim_time)
+    true
+    (adaptive.CT.sim_time < fixed.CT.sim_time)
+
 let suite =
   suite
-  @ [ Alcotest.test_case "soak: all impairments, many configs" `Slow test_soak ]
+  @ [
+      Alcotest.test_case "soak: all impairments, many configs" `Slow test_soak;
+      Alcotest.test_case "give-up releases all receiver state" `Quick
+        test_give_up_releases_state;
+      Util.qtest ~count:30 "Karn's rule under random loss"
+        QCheck2.Gen.(tup2 (int_range 0 1_000_000) (int_range 0 30))
+        prop_karn;
+      Alcotest.test_case "adaptive RTO beats fixed at 20% loss" `Slow
+        test_adaptive_rto_beats_fixed;
+    ]
