@@ -3,6 +3,7 @@
    chunks-cli transfer  --loss 0.03 --sack --size 1048576
    chunks-cli campaign  --trials 32
    chunks-cli table     (Appendix B comparison)
+   chunks-cli stats     --loss 0.05 --format prometheus
 
    Every run is deterministic for a given --seed. *)
 
@@ -161,9 +162,89 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Appendix B framing comparison, from the codecs")
     Term.(const run_table $ const ())
 
+(* --- stats --- *)
+
+let run_stats seed size loss corrupt duplicate paths sack format out =
+  if size < 1 then begin
+    Printf.eprintf "error: --size must be at least 1 byte\n";
+    exit 2
+  end;
+  let render =
+    match format with
+    | "json" -> Obs.Report.json
+    | "prometheus" -> Obs.Report.prometheus
+    | other ->
+        Printf.eprintf "error: --format %S (expected json or prometheus)\n"
+          other;
+        exit 2
+  in
+  let data = deterministic_bytes size in
+  let config =
+    { Transport.Chunk_transport.default_config with
+      Transport.Chunk_transport.sack }
+  in
+  let o =
+    Transport.Chunk_transport.run ~seed ~config ~loss ~corrupt ~duplicate
+      ~paths ~data ()
+  in
+  let body = render (Obs.Metrics.snapshot ()) ^ "\n" in
+  (match out with
+  | None -> print_string body
+  | Some path -> (
+      match Obs.Report.write path body with
+      | () -> ()
+      | exception Failure msg ->
+          Printf.eprintf "error: --out: %s\n" msg;
+          exit 2));
+  if o.Transport.Chunk_transport.ok then 0 else 1
+
+let stats_cmd =
+  let size =
+    Arg.(value & opt int 262144
+         & info [ "size" ] ~docv:"BYTES" ~doc:"Transfer size in bytes.")
+  in
+  let loss =
+    Arg.(value & opt float 0.01
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-packet loss probability.")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt" ] ~docv:"P" ~doc:"Per-packet corruption probability.")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~docv:"P" ~doc:"Per-packet duplication probability.")
+  in
+  let paths =
+    Arg.(value & opt int 8
+         & info [ "paths" ] ~docv:"N" ~doc:"Parallel (skewed) network paths.")
+  in
+  let sack = Arg.(value & flag & info [ "sack" ] ~doc:"Selective retransmission.") in
+  let format =
+    Arg.(value & opt string "json"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Snapshot format: $(b,json) or $(b,prometheus).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the snapshot here instead of stdout (parent \
+                   directories are created).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a transfer and dump the observability metric registry \
+          (counters, gauges, latency/size histograms)")
+    Term.(
+      const run_stats $ seed_t $ size $ loss $ corrupt $ duplicate $ paths
+      $ sack $ format $ out)
+
 let () =
   let info =
     Cmd.info "chunks-cli" ~version:"1.0"
       ~doc:"Chunk protocol processing — Feldmeier (SIGCOMM '93) reproduction"
   in
-  exit (Cmd.eval' (Cmd.group info [ transfer_cmd; campaign_cmd; table_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ transfer_cmd; campaign_cmd; table_cmd; stats_cmd ]))

@@ -2,11 +2,13 @@
 
    chunks-soak --profile hostile --schedules 2000
    chunks-soak --seconds 300 --profile hostile --json soak.json
+   chunks-soak --profile hostile-flood --seconds 5 --metrics m.json
    chunks-soak --mutate flip:3 --profile clean        (harness self-test)
    chunks-soak --replay 'seed=42 profile=clean ...'   (one schedule, verbose)
 
    Exit status: 0 when every profile ran clean (or, under --mutate, when
-   the injected bug WAS caught); 1 otherwise. *)
+   the injected bug WAS caught); 1 otherwise; 2 on usage errors,
+   including unwritable --json/--metrics paths. *)
 
 open Cmdliner
 
@@ -58,6 +60,16 @@ let write_artifacts dir reports =
         r.Check.Soak.findings)
     reports
 
+(* Report files land wherever the user pointed, including not-yet-created
+   result directories: create the parents, and turn the raw Sys_error a
+   bad path used to raise into a clear message and exit 2. *)
+let write_report ~what path data =
+  match Obs.Report.write path data with
+  | () -> ()
+  | exception Failure msg ->
+      Printf.eprintf "error: --%s: %s\n" what msg;
+      exit 2
+
 let run_replay spec mutate =
   match Check.Schedule.of_string spec with
   | None ->
@@ -95,8 +107,8 @@ let run_replay spec mutate =
       end
       else 1
 
-let run_soak list_profiles profile schedules seconds seed json mutate replay
-    artifacts_dir =
+let run_soak list_profiles profile schedules seconds seed json metrics mutate
+    replay artifacts_dir =
   if list_profiles then begin
     List.iter print_endline (profile_names ());
     exit 0
@@ -154,10 +166,13 @@ let run_soak list_profiles profile schedules seconds seed json mutate replay
           in
           (match json with
           | Some path ->
-              let oc = open_out path in
-              output_string oc (Check.Soak.json_of_reports reports);
-              output_string oc "\n";
-              close_out oc
+              write_report ~what:"json" path
+                (Check.Soak.json_of_reports reports ^ "\n")
+          | None -> ());
+          (match metrics with
+          | Some path ->
+              write_report ~what:"metrics" path
+                (Obs.Report.json (Obs.Metrics.snapshot ()) ^ "\n")
           | None -> ());
           (match artifacts_dir with
           | Some dir -> write_artifacts dir reports
@@ -221,7 +236,17 @@ let cmd =
   let json =
     Arg.(
       value & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON report.")
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a JSON report (parent directories are created).")
+  in
+  let metrics =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Dump the observability metric registry (counters, gauges, \
+             latency/size histograms) as JSON after the soak (parent \
+             directories are created).")
   in
   let mutate =
     Arg.(
@@ -248,6 +273,6 @@ let cmd =
        ~doc:"Differential conformance soak for the chunk pipeline")
     Term.(
       const run_soak $ list_profiles $ profile $ schedules $ seconds $ seed
-      $ json $ mutate $ replay $ artifacts_dir)
+      $ json $ metrics $ mutate $ replay $ artifacts_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,6 +39,15 @@ type multi_obs = {
   mo_known_conns : int;  (** connections ever admitted (incl. flood) *)
 }
 
+(* Cross-layer deltas of the [Obs] metric registry over exactly one run,
+   for the oracle's metrics-driven checks.  All zeros when the
+   observability layer is compiled out. *)
+type metrics_probe = {
+  mp_verified : int;  (* edc_tpdus_passed_total delta *)
+  mp_acked : int;  (* transport_acks_total delta *)
+  mp_governor_peak : int;  (* governor occupancy high-water this run *)
+}
+
 type observation = {
   ok : bool;
   complete : bool;
@@ -75,7 +84,31 @@ type observation = {
   max_txs_at_rtt_sample : int;
   final_rto : float;
   multi : multi_obs option;
+  metrics : metrics_probe;
 }
+
+(* The probe reads the process-wide registry, so a run's deltas are
+   meaningful only while runs execute one at a time — which the driver
+   guarantees (one engine, one domain).  The occupancy gauge is zeroed
+   and re-marked at run start so the high-water mark read at run end
+   belongs to this run's governor alone. *)
+let mp_passed = Obs.Metrics.counter "edc_tpdus_passed_total"
+let mp_acks = Obs.Metrics.counter "transport_acks_total"
+let mp_occ = Obs.Metrics.gauge "governor_occupancy_bytes"
+
+let probe_start () =
+  if Obs.enabled then begin
+    Obs.Metrics.set mp_occ 0;
+    Obs.Metrics.mark mp_occ
+  end;
+  (Obs.Metrics.value mp_passed, Obs.Metrics.value mp_acks)
+
+let probe_end (passed0, acks0) =
+  {
+    mp_verified = Obs.Metrics.value mp_passed - passed0;
+    mp_acked = Obs.Metrics.value mp_acks - acks0;
+    mp_governor_peak = Obs.Metrics.gauge_max mp_occ;
+  }
 
 (* Far beyond the slowest legitimate run: a sender that gives up does so
    after at most ~303 RTOs (capped exponential backoff), RTOs are
@@ -257,6 +290,7 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ()
   in
   let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
+  let probe0 = probe_start () in
   let reverse_send =
     build_reverse ~trace s engine (fun b ->
         match !sender with Some t -> CT.Sender.on_packet t b | None -> ())
@@ -318,6 +352,7 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     max_txs_at_rtt_sample = CT.Sender.max_txs_at_rtt_sample tx;
     final_rto = CT.Sender.current_rto tx;
     multi = None;
+    metrics = probe_end probe0;
   }
 
 (* T.ID spaces of successive epochs of one connection must be disjoint
@@ -344,6 +379,7 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     match !multi with Some m -> Transport.Multi.on_packet m b | None -> ()
   in
   let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
+  let probe0 = probe_start () in
   (* Reverse traffic is demultiplexed to the per-connection sender by
      the C.ID every control chunk carries. *)
   let senders : (int, CT.Sender.t) Hashtbl.t = Hashtbl.create 8 in
@@ -564,6 +600,7 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
           mo_live_conns = Transport.Multi.live_conns m;
           mo_known_conns = List.length (Transport.Multi.known_conns m);
         };
+    metrics = probe_end probe0;
   }
 
 let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =

@@ -41,6 +41,16 @@ type multi_obs = {
   mo_known_conns : int;  (** connections ever admitted (incl. flood) *)
 }
 
+(** Deltas of the process-wide [Obs] metric registry over exactly one
+    run, feeding the oracle's metrics-driven checks.  All zeros when the
+    observability layer is compiled out ([Obs.enabled = false]). *)
+type metrics_probe = {
+  mp_verified : int;  (** [edc_tpdus_passed_total] delta over the run *)
+  mp_acked : int;  (** [transport_acks_total] delta over the run *)
+  mp_governor_peak : int;
+      (** high-water mark of [governor_occupancy_bytes] over the run *)
+}
+
 type observation = {
   ok : bool;  (** delivered prefix equals sent data (every epoch) *)
   complete : bool;  (** connection placement buffer fully covered *)
@@ -80,6 +90,7 @@ type observation = {
           Karn's rule *)
   final_rto : float;  (** sender's RTO at the end of the run *)
   multi : multi_obs option;  (** present iff the schedule is multi *)
+  metrics : metrics_probe;
 }
 
 val horizon : float

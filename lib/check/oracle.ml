@@ -108,6 +108,27 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
     if o.reacks_sent > 0 then
       fail "quiet-reack" "%d re-ACKs on a faultless run" o.reacks_sent
   end;
+  (* Metrics-driven checks, fed by the driver's per-run deltas of the
+     [Obs] registry (all zeros when the layer is compiled out, so both
+     checks degrade to trivially true).
+     1. Verify/ACK agreement: every TPDU the verifier passes is freshly
+        acknowledged exactly once — a passed-but-unACKed (or
+        ACKed-but-unpassed) TPDU means the transport and the error
+        detection layer disagree about what was delivered.
+     2. Occupancy bound: the governor's occupancy gauge, sampled after
+        every accounting step, must never have exceeded the configured
+        budget during the run. *)
+  if o.metrics.Driver.mp_verified <> o.metrics.Driver.mp_acked then
+    fail "metrics-verify-count"
+      "%d TPDUs passed verification but %d fresh ACKs were sent"
+      o.metrics.Driver.mp_verified o.metrics.Driver.mp_acked;
+  if
+    s.Schedule.state_budget > 0
+    && o.metrics.Driver.mp_governor_peak > s.Schedule.state_budget
+  then
+    fail "metrics-occupancy"
+      "governor occupancy gauge peaked at %d bytes, budget is %d"
+      o.metrics.Driver.mp_governor_peak s.Schedule.state_budget;
   (match o.multi with
   | None ->
       (* Delivery: the delivered buffer must equal the model's

@@ -18,7 +18,14 @@
       TPDU verifies exactly once;
     - [leak-*] — state hygiene: completed transfers leave no verifier
       or stash residue (corruption may invent bounded residue);
-    - [sack-off] — feature isolation. *)
+    - [sack-off] — feature isolation;
+    - [metrics-verify-count]/[metrics-occupancy] — cross-checks against
+      the observability layer's own accounting (see DESIGN.md §6): the
+      per-run delta of [edc_tpdus_passed_total] must equal that of
+      [transport_acks_total] (one fresh ACK per passed TPDU), and the
+      [governor_occupancy_bytes] gauge's high-water mark must stay
+      within the schedule's state budget.  Both degrade to trivially
+      true when [Obs.enabled = false]. *)
 
 type violation = { code : string; detail : string }
 

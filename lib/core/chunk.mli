@@ -35,8 +35,15 @@ val terminator : t
 (** The LEN = 0 end-of-valid-chunks marker. *)
 
 val is_terminator : t -> bool
+(** Recognise the padding terminator ({!terminator}): LEN = 0, so it
+    labels no elements and ends packet parsing (paper §2.1). *)
+
 val is_data : t -> bool
+(** TYPE = data: the chunk carries PDU payload elements. *)
+
 val is_control : t -> bool
+(** TYPE is a control kind (ED code, ACK, signal, NACK — see
+    {!Ctype}); control information is indivisible (paper §2). *)
 
 val elements : t -> int
 (** Number of data elements ([Header.len]; 1 for control chunks viewed
@@ -56,4 +63,8 @@ val last_t_sn : t -> int
     @raise Invalid_argument on terminators. *)
 
 val equal : t -> t -> bool
+(** Structural equality: header fields and payload bytes. *)
+
 val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering (header plus payload length), for
+    diagnostics and test failure output. *)

@@ -34,7 +34,12 @@ type options = {
 }
 
 val all_off : options
+(** Every transformation disabled: the canonical 46-byte {!Wire}
+    format, byte for byte. *)
+
 val all_on : options
+(** Every invertible transformation enabled — the smallest header this
+    codec can produce, matching Appendix A's fully-implicit sketch. *)
 
 type size_table = Ctype.t -> int option
 (** The signalled SIZE-per-TYPE agreement ([None] = TYPE unknown, must

@@ -46,5 +46,8 @@ val on_chunk : t -> Chunk.t ->
     paper's requirement that establishment precedes data). *)
 
 val state : t -> conn_id:int -> state option
+(** Current state of one connection; [None] if the table has never seen
+    an [Open] for it. *)
+
 val established : t -> int list
 (** Currently established connection ids (ascending). *)

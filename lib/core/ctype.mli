@@ -37,7 +37,10 @@ val nack : t
     labelling the paper's conventional comparators cannot get. *)
 
 val is_data : t -> bool
+(** [true] exactly for {!data}. *)
+
 val is_control : t -> bool
+(** [true] for any control kind, well-known or not. *)
 
 val code : t -> int
 (** Wire code: [0] for data, the control kind otherwise. *)
@@ -46,4 +49,8 @@ val of_code : int -> (t, string) result
 (** Inverse of {!code}; rejects negative and oversized codes. *)
 
 val equal : t -> t -> bool
+(** Equality on the wire code. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the well-known name (["data"], ["ed"], ...) or
+    ["control:N"] for unnamed kinds. *)

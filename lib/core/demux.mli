@@ -11,6 +11,8 @@
     the software dispatch cost measured in CLM-DEMUX. *)
 
 type t
+(** A demultiplexer: a TYPE-indexed handler table plus routing
+    counters. *)
 
 val create : ?default:(Chunk.t -> unit) -> unit -> t
 (** [default] sees chunks of unregistered TYPEs (dropped silently by

@@ -1,3 +1,5 @@
+let m_splits = Obs.Metrics.counter "core_fragment_splits_total"
+
 let split c ~elems =
   let h = c.Chunk.header in
   if Chunk.is_terminator c then Error "Fragment.split: terminator"
@@ -34,6 +36,17 @@ let split c ~elems =
       Chunk.make_exn hb
         (Bytes.sub c.Chunk.payload bytes_a (Bytes.length c.Chunk.payload - bytes_a))
     in
+    if Obs.enabled then begin
+      Obs.Metrics.incr m_splits;
+      if Obs.Trace.active () then
+        Obs.Trace.record
+          (Obs.Trace.Frag
+             {
+               tpdu = hb.Header.t.Ftuple.id;
+               t_sn = hb.Header.t.Ftuple.sn;
+               elems = hb.Header.len;
+             })
+    end;
     Ok (a, b)
   end
 

@@ -19,6 +19,8 @@
     half is {!Placement} / {!Vreassembly} / the [Edc] verifier. *)
 
 type t
+(** A framer for one connection: the three SN counters (C/T/X), the
+    TPDU under construction and the chunk-cutting state. *)
 
 val create :
   ?elem_size:int ->
@@ -40,8 +42,13 @@ val create :
     start anywhere). *)
 
 val elem_size : t -> int
+(** Bytes per data element — the SIZE every emitted chunk carries. *)
+
 val tpdu_elems : t -> int
+(** Elements per TPDU currently in force (see {!set_tpdu_elems}). *)
+
 val conn_id : t -> int
+(** The connection ID stamped into every chunk's C tuple. *)
 
 val next_c_sn : t -> int
 (** Connection SN the next pushed element will carry. *)

@@ -10,6 +10,8 @@
     ST bit of its {e last} element. *)
 
 type t = { id : int; sn : int; st : bool }
+(** One framing level's label: PDU identifier, sequence number of the
+    first labelled element, STop bit of the last. *)
 
 val v : ?st:bool -> id:int -> sn:int -> unit -> t
 (** [v ~id ~sn] builds a tuple; [st] defaults to [false].
@@ -35,5 +37,11 @@ val follows : t -> len:int -> t -> bool
     level). *)
 
 val equal : t -> t -> bool
+(** Field-wise equality. *)
+
 val compare : t -> t -> int
+(** Total order: by [id], then [sn], then [st] — the order virtual
+    reassembly sorts gap-report runs in. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints [(id,sn)] with a trailing [*] when ST is set. *)

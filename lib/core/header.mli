@@ -52,4 +52,7 @@ val same_labels : t -> t -> bool
     precondition (minus SN adjacency) of Appendix D mergeability. *)
 
 val equal : t -> t -> bool
+(** Field-wise equality over TYPE, SIZE, LEN and all three tuples. *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line rendering: TYPE, geometry and the C/T/X tuples. *)

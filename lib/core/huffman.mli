@@ -43,6 +43,8 @@ val compress_packet : Chunk.t list -> (bytes, string) result
     code table. *)
 
 val decompress_packet : bytes -> (Chunk.t list, string) result
+(** Inverse of {!compress_packet}: rebuild the chunks, rejecting
+    truncated or inconsistent images. *)
 
 val compressed_size : Chunk.t list -> int
 (** Bytes {!compress_packet} produces (for the CLM-HDR accounting). *)

@@ -32,13 +32,19 @@ val make :
     [size] for data chunks. *)
 
 val levels : t -> int
+(** Number of framing levels this chunk is labelled at. *)
+
 val elements : t -> int
+(** Number of data elements the (shared) LEN announces. *)
 
 val split : t -> elems:int -> (t * t, string) result
 (** Appendix C over every level simultaneously: the second part's SNs
     advance by [elems] at {e all} levels; only it keeps the ST bits. *)
 
 val mergeable : t -> t -> bool
+(** Whether {!merge} would succeed: same labels at every level and
+    SN-adjacency at every level. *)
+
 val merge : t -> t -> (t, string) result
 (** Appendix D over every level. *)
 
@@ -50,6 +56,8 @@ val encode : Buffer.t -> t -> unit
     13-byte tuples. *)
 
 val decode : bytes -> int -> (t * int, string) result
+(** Parse one encoded multiframe chunk at an offset; returns it and the
+    offset just past it. *)
 
 val to_chunk : t -> (Chunk.t, string) result
 (** A 3-level multiframe chunk viewed as a classic chunk (levels 0, 1, 2
@@ -59,4 +67,7 @@ val of_chunk : Chunk.t -> t
 (** The inverse embedding. *)
 
 val equal : t -> t -> bool
+(** Structural equality: every level's tuple plus the payload. *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line rendering listing every level's tuple. *)

@@ -12,7 +12,10 @@ type t = private { mtu : int; chunks : Chunk.t list }
     [mtu]. *)
 
 val chunks : t -> Chunk.t list
+(** The chunks packed into this envelope, in packing order. *)
+
 val mtu : t -> int
+(** The envelope's capacity in bytes. *)
 
 val wire_used : t -> int
 (** Bytes of the envelope actually occupied by chunk images (headers +

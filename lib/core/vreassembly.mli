@@ -24,8 +24,12 @@ type insert_result =
 (** {1 Single-PDU tracker} *)
 
 type t
+(** Gap tracker for one PDU: the set of received [(sn, len)] runs plus
+    the PDU end once an ST has been seen — reassembly bookkeeping
+    without reassembly buffers (paper §3.1). *)
 
 val create : unit -> t
+(** An empty tracker: nothing received, end unknown. *)
 
 val insert : t -> sn:int -> len:int -> st:bool -> insert_result
 (** Record a fragment covering elements [sn .. sn+len-1]; [st] means the
@@ -73,6 +77,7 @@ val spans : t -> (int * int) list
     per-TPDU completion for the error-detection verifier and the
     transport's acknowledgements. *)
 
+(** A collection of {!t} trackers keyed by PDU ID. *)
 module Table : sig
   type tracker = t
   type t
@@ -80,14 +85,23 @@ module Table : sig
   val create : unit -> t
 
   val insert : t -> id:int -> sn:int -> len:int -> st:bool -> insert_result
+  (** Record a fragment of PDU [id], creating its tracker on first
+      sight. *)
 
   val insert_chunk : t -> Chunk.t -> insert_result
   (** Tracks the T level of a data chunk. *)
 
   val find : t -> id:int -> tracker option
+  (** The tracker for PDU [id], if any fragment has been seen. *)
+
   val complete : t -> id:int -> bool
+  (** Whether PDU [id] is fully received ([false] if unknown). *)
+
   val drop : t -> id:int -> unit
+  (** Forget PDU [id] (after delivery or eviction). *)
+
   val in_flight : t -> int
+  (** Number of PDUs currently tracked. *)
 
   val completed_ids : t -> int list
   (** IDs whose PDUs are currently complete (ascending). *)

@@ -27,6 +27,7 @@ type event =
   | Duplicate_dropped of { t_id : int }
 
 type tpdu_state = {
+  born : float;  (* clock reading when this state was opened *)
   acc : Wsc2.acc;
   tracker : Vreassembly.t;
   pairs_done : (int, unit) Hashtbl.t;  (* boundary T.SNs already paired *)
@@ -43,6 +44,7 @@ type tpdu_state = {
 
 type t = {
   tpdus : (int, tpdu_state) Hashtbl.t;
+  now : unit -> float;
   mutable passed : int;
   mutable failed : int;
   mutable dups : int;
@@ -56,15 +58,53 @@ type stats = {
   chunks_seen : int;
 }
 
-let create () =
-  { tpdus = Hashtbl.create 32; passed = 0; failed = 0; dups = 0; seen = 0 }
+(* Pipeline-wide accounting; [m_latency] measures first-chunk-seen to
+   verdict, in simulated microseconds. *)
+let m_chunks = Obs.Metrics.counter "edc_chunks_total"
+let m_passed = Obs.Metrics.counter "edc_tpdus_passed_total"
+let m_failed = Obs.Metrics.counter "edc_tpdus_failed_total"
+let m_dups = Obs.Metrics.counter "edc_duplicates_total"
+let m_latency = Obs.Metrics.histogram "edc_verify_latency_us"
+let m_payload = Obs.Metrics.histogram "edc_chunk_payload_bytes"
+
+let verdict_tag = function
+  | Passed -> "passed"
+  | Parity_mismatch -> "parity-mismatch"
+  | Consistency_failure _ -> "consistency-failure"
+  | Reassembly_error _ -> "reassembly-error"
+
+(* Shared bookkeeping for every path that emits a verdict and releases
+   the TPDU's state. *)
+let note_verdict v s t_id verdict =
+  if Obs.enabled then begin
+    (match verdict with
+    | Passed -> Obs.Metrics.incr m_passed
+    | Parity_mismatch | Consistency_failure _ | Reassembly_error _ ->
+        Obs.Metrics.incr m_failed);
+    Obs.Metrics.observe_s m_latency (v.now () -. s.born);
+    if Obs.Trace.active () then
+      Obs.Trace.record
+        (Obs.Trace.Verify_done
+           {
+             conn = Option.value s.c_id ~default:(-1);
+             tpdu = t_id;
+             verdict = verdict_tag verdict;
+           })
+  end
+
+let create ?now () =
+  let now = match now with Some f -> f | None -> fun () -> !Obs.now in
+  { tpdus = Hashtbl.create 32; now; passed = 0; failed = 0; dups = 0; seen = 0 }
 
 let state v t_id =
   match Hashtbl.find_opt v.tpdus t_id with
   | Some s -> s
   | None ->
+      if Obs.enabled && Obs.Trace.active () then
+        Obs.Trace.record (Obs.Trace.Verify_start { conn = -1; tpdu = t_id });
       let s =
         {
+          born = v.now ();
           acc = Wsc2.create ();
           tracker = Vreassembly.create ();
           pairs_done = Hashtbl.create 4;
@@ -87,6 +127,9 @@ let state v t_id =
    detection system will detect the incorrect sequence numbers and allow
    any incorrect chunks to be discarded" (Appendix A). *)
 let fail_now v t_id verdict =
+  (match Hashtbl.find_opt v.tpdus t_id with
+  | Some s -> note_verdict v s t_id verdict
+  | None -> ());
   Hashtbl.remove v.tpdus t_id;
   v.failed <- v.failed + 1;
   [ Tpdu_verified { t_id; verdict } ]
@@ -130,6 +173,7 @@ let verdict_of s =
 let try_finish v t_id s =
   if Vreassembly.complete s.tracker && s.expected <> None then begin
     let verdict = verdict_of s in
+    note_verdict v s t_id verdict;
     Hashtbl.remove v.tpdus t_id;
     (match verdict with
     | Passed -> v.passed <- v.passed + 1
@@ -227,6 +271,7 @@ let on_data v chunk =
           (match fresh with
           | [] ->
               v.dups <- v.dups + 1;
+              if Obs.enabled then Obs.Metrics.incr m_dups;
               events := [ Duplicate_dropped { t_id } ]
           | _ :: _ ->
               accumulate_fresh s chunk fresh;
@@ -313,6 +358,10 @@ let on_ed v chunk =
 
 let on_chunk v chunk =
   v.seen <- v.seen + 1;
+  if Obs.enabled then begin
+    Obs.Metrics.incr m_chunks;
+    Obs.Metrics.observe m_payload (Bytes.length chunk.Chunk.payload)
+  end;
   if Chunk.is_terminator chunk then []
   else if Chunk.is_data chunk then on_data v chunk
   else if Ctype.equal chunk.Chunk.header.Header.ctype Ctype.ed then
@@ -346,6 +395,7 @@ let abort v ~t_id =
           | Passed -> Reassembly_error "aborted while incomplete"
           | other -> other
       in
+      note_verdict v s t_id verdict;
       Hashtbl.remove v.tpdus t_id;
       v.failed <- v.failed + 1;
       Some verdict

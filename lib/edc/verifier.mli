@@ -41,7 +41,12 @@ type event =
 
 type t
 
-val create : unit -> t
+val create : ?now:(unit -> float) -> unit -> t
+(** [now] is the clock used to timestamp per-TPDU state creation and
+    verdicts for the [edc_verify_latency_us] histogram (see
+    [Obs.Metrics]); it defaults to reading the global simulation clock
+    [Obs.now], which [Netsim.Engine] keeps stamped.  Pass an explicit
+    clock when running the verifier outside a simulation. *)
 
 val on_chunk : t -> Labelling.Chunk.t -> event list
 (** Feed one arriving chunk (data or ED control; other control types and

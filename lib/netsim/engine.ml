@@ -4,6 +4,9 @@ type t = {
   root_rng : Rng.t;
 }
 
+let m_events = Obs.Metrics.counter "netsim_events_total"
+let g_depth = Obs.Metrics.gauge "netsim_queue_depth"
+
 let create ?(seed = 0x5EED) () =
   { q = Eventq.create (); clock = 0.0; root_rng = Rng.create ~seed }
 
@@ -12,17 +15,27 @@ let rng e = e.root_rng
 
 let schedule_at e ~time f =
   if time < e.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Eventq.push e.q ~time f
+  Eventq.push e.q ~time f;
+  if Obs.enabled then Obs.Metrics.set g_depth (Eventq.size e.q)
 
 let schedule e ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Eventq.push e.q ~time:(e.clock +. delay) f
+  Eventq.push e.q ~time:(e.clock +. delay) f;
+  if Obs.enabled then Obs.Metrics.set g_depth (Eventq.size e.q)
 
 let step e =
   match Eventq.pop e.q with
   | None -> false
   | Some (time, f) ->
       e.clock <- time;
+      if Obs.enabled then begin
+        (* stamp the global clock before dispatch so instrumentation in
+           the handler (verifier latency, trace timestamps) reads the
+           event's own time *)
+        Obs.now := time;
+        Obs.Metrics.incr m_events;
+        Obs.Metrics.set g_depth (Eventq.size e.q)
+      end;
       f ();
       true
 

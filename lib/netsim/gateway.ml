@@ -41,6 +41,8 @@ let create ?(policy = Repack.Combine) ?(flush_batch = 1) ~forward ~out_mtu () =
     header_ops = 0;
   }
 
+let m_repacks = Obs.Metrics.counter "netsim_repacks_total"
+
 let emit g chunks =
   match Repack.repack ~policy:g.policy ~mtu:g.out_mtu chunks with
   | Error _ -> g.malformed <- g.malformed + 1
@@ -52,6 +54,19 @@ let emit g chunks =
           g.packets_out <- g.packets_out + 1;
           g.forward (Packet.encode_unpadded p))
         packets;
+      if Obs.enabled then begin
+        Obs.Metrics.incr m_repacks;
+        if Obs.Trace.active () then
+          Obs.Trace.record
+            (Obs.Trace.Repack
+               {
+                 chunks_in = List.length chunks;
+                 chunks_out =
+                   List.fold_left
+                     (fun acc p -> acc + List.length (Packet.chunks p))
+                     0 packets;
+               })
+      end;
       (* Count framing-tuple manipulations: every chunk that came out in
          more pieces than it went in costs one SN/ST adjustment per
          framing level per extra piece. *)

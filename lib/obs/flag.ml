@@ -1,0 +1,17 @@
+(* The observability master switch and the global clock, in a leaf
+   module so that [Metrics]/[Trace]/[Report] and the [Obs] entry module
+   can all see them without a cycle.  See obs.ml for the contract. *)
+
+(* Flip to [false] and rebuild to compile the observability layer out:
+   every instrumentation site is guarded by [if Obs.enabled then ...] on
+   this immutable constant, so the branch (and, under flambda, the whole
+   arm) disappears from the hot paths. *)
+let enabled = true
+
+(* Wall of the simulation, not of the host: [Netsim.Engine.step] stamps
+   the current simulated time here before dispatching each event, so
+   instrumentation deep inside the stack (e.g. the verifier's latency
+   histogram) can read a clock without threading an engine handle
+   through every layer.  Outside a simulation it stays at its last
+   value (initially 0). *)
+let now = ref 0.0

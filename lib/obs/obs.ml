@@ -1,0 +1,32 @@
+(** Entry point of the observability layer.
+
+    The library is zero-dependency (standard library only) and is wired
+    into the pipeline behind a single compile-time switch: every
+    instrumentation site in the producing libraries reads
+
+    {[ if Obs.enabled then Obs.Metrics.incr c ]}
+
+    where {!enabled} is an immutable [true]/[false] constant.  Setting
+    it to [false] in [lib/obs/flag.ml] and rebuilding removes the
+    observability cost from the hot paths (the WSC-2 accumulate kernel,
+    the per-chunk verifier steps) without any source change elsewhere.
+
+    {!Metrics} holds the process-wide registry of counters, gauges and
+    log2 histograms; {!Trace} the typed event tracer and its sinks;
+    {!Report} the JSON / Prometheus renderers and file helpers. *)
+
+let enabled = Flag.enabled
+(** The compile-out master switch — an immutable constant, not a ref.
+    Guard every instrumentation site with it. *)
+
+let now = Flag.now
+(** The global simulation clock, in simulated seconds.  Stamped by
+    [Netsim.Engine.step] before dispatching each event; read by
+    instrumentation that needs a timestamp without holding an engine
+    handle (e.g. the verifier's latency histogram, [Trace.record]'s
+    default timestamp).  Outside a simulation it keeps its last value
+    (initially [0.]). *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Report = Report

@@ -1,0 +1,108 @@
+let bound_json v =
+  if v = min_int || v = max_int then "null" else string_of_int v
+
+let json (s : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  let sep first = if !first then first := false else Buffer.add_char b ',' in
+  Buffer.add_string b "{\"counters\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      sep first;
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    s.Metrics.s_counters;
+  Buffer.add_string b "},\"gauges\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, v, m) ->
+      sep first;
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"value\":%d,\"max\":%d}" name v m))
+    s.Metrics.s_gauges;
+  Buffer.add_string b "},\"histograms\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, h) ->
+      sep first;
+      Buffer.add_string b (Printf.sprintf "\"%s\":{" name);
+      Buffer.add_string b
+        (Printf.sprintf "\"count\":%d,\"sum\":%d" h.Metrics.h_count
+           h.Metrics.h_sum);
+      if h.Metrics.h_count > 0 then
+        Buffer.add_string b (Printf.sprintf ",\"max\":%d" h.Metrics.h_max);
+      Buffer.add_string b ",\"buckets\":[";
+      let bfirst = ref true in
+      List.iter
+        (fun (idx, n) ->
+          sep bfirst;
+          Buffer.add_string b
+            (Printf.sprintf "[%d,%s,%s,%d]" idx
+               (bound_json (Metrics.bucket_lower idx))
+               (bound_json (Metrics.bucket_upper idx))
+               n))
+        h.Metrics.h_buckets;
+      Buffer.add_string b "]}")
+    s.Metrics.s_histograms;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let prometheus (s : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                   Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      line "# TYPE %s counter" name;
+      line "%s %d" name v)
+    s.Metrics.s_counters;
+  List.iter
+    (fun (name, v, m) ->
+      line "# TYPE %s gauge" name;
+      line "%s %d" name v;
+      line "# TYPE %s_max gauge" name;
+      line "%s_max %d" name m)
+    s.Metrics.s_gauges;
+  List.iter
+    (fun (name, h) ->
+      line "# TYPE %s histogram" name;
+      let cum = ref 0 in
+      List.iter
+        (fun (idx, n) ->
+          cum := !cum + n;
+          let upper = Metrics.bucket_upper idx in
+          if upper <> max_int then
+            line "%s_bucket{le=\"%d\"} %d" name upper !cum)
+        h.Metrics.h_buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" name h.Metrics.h_count;
+      line "%s_sum %d" name h.Metrics.h_sum;
+      line "%s_count %d" name h.Metrics.h_count)
+    s.Metrics.s_histograms;
+  Buffer.contents b
+
+(* mkdir -p without Unix: walk the path left to right, creating each
+   missing component.  [Sys.mkdir] is stdlib since 4.12. *)
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir ->
+      (* raced with another creator; fine *)
+      ()
+  end
+
+let open_out_creating path =
+  let dir = Filename.dirname path in
+  (try mkdirs dir
+   with Sys_error msg ->
+     failwith
+       (Printf.sprintf "cannot create directory for %s: %s" path msg));
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "cannot write %s: %s is not a directory" path dir);
+  try open_out path
+  with Sys_error msg -> failwith (Printf.sprintf "cannot write %s: %s" path msg)
+
+let write path data =
+  let oc = open_out_creating path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)

@@ -1,0 +1,27 @@
+(** Rendering of {!Metrics.snapshot} values for export: a JSON document
+    for machine consumption and the Prometheus text exposition format
+    for scraping, plus a small file-output helper shared by the CLI
+    tools. *)
+
+val json : Metrics.snapshot -> string
+(** The snapshot as one JSON document:
+    [{"counters":{...},"gauges":{"name":{"value":v,"max":m},...},
+    "histograms":{"name":{"count":c,"sum":s,"max":m,
+    "buckets":[[index,lower,upper,count],...]},...}}].
+    Histogram [max] is omitted when the histogram is empty; bucket
+    bounds equal to [min_int]/[max_int] render as [null]. *)
+
+val prometheus : Metrics.snapshot -> string
+(** The snapshot in Prometheus text format: counters as [# TYPE x
+    counter], gauges as two gauge series ([x] and [x_max]), histograms
+    as cumulative [x_bucket{le="..."}] series ending in [le="+Inf"]
+    plus [x_sum] and [x_count]. *)
+
+val write : string -> string -> unit
+(** [write path data] writes [data] to [path], creating missing parent
+    directories.  @raise Failure with a one-line explanation when the
+    path cannot be created or written. *)
+
+val open_out_creating : string -> out_channel
+(** [open_out] after creating any missing parent directories of the
+    path.  @raise Failure with a one-line explanation on error. *)

@@ -20,6 +20,9 @@ type config = {
 }
 
 val default_config : config
+(** The geometry matched to {!Chunk_transport.default_config} (same
+    TPDU size, MTU, window and RTO) so CLM-TOUCH compares transports,
+    not parameters. *)
 
 type outcome = {
   ok : bool;

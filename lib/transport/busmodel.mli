@@ -17,8 +17,10 @@
       again. *)
 
 type t
+(** A bus-crossing tally for one receiver architecture. *)
 
 val create : unit -> t
+(** A fresh tally at zero crossings. *)
 
 val nic_to_mem : t -> int -> unit
 (** DMA of [n] bytes from the interface into host memory (1 crossing per

@@ -94,6 +94,21 @@ let nack_packet ~conn_id ~t_id ~need_ed ~spans =
   | Ok b -> b
   | Error e -> invalid_arg e
 
+(* Transport-level accounting.  The ACK counter is deliberately bumped
+   at exactly the fresh-ACK site (first [Tpdu_verified Passed] for a
+   T.ID): the conformance oracle's [metrics-verify-count] check relies
+   on it tracking [edc_tpdus_passed_total] one-for-one. *)
+let m_acks = Obs.Metrics.counter "transport_acks_total"
+let m_reacks = Obs.Metrics.counter "transport_reacks_total"
+let m_nacks = Obs.Metrics.counter "transport_nacks_total"
+let m_rto_fires = Obs.Metrics.counter "transport_rto_fires_total"
+let m_give_ups = Obs.Metrics.counter "transport_give_ups_total"
+let m_aborts_sent = Obs.Metrics.counter "transport_aborts_sent_total"
+let m_tpdu_latency = Obs.Metrics.histogram "transport_tpdu_latency_us"
+let m_rtt = Obs.Metrics.histogram "transport_rtt_us"
+let m_backoff = Obs.Metrics.histogram "transport_rto_backoff_us"
+let g_rto = Obs.Metrics.gauge "transport_rto_us"
+
 let parse_nack chunk =
   let p = chunk.Chunk.payload in
   if Bytes.length p < 3 then Error "bad NACK"
@@ -330,6 +345,7 @@ module Receiver = struct
             let need_ed = not (Edc.Verifier.ed_seen rx.verifier ~t_id) in
             if spans <> [] || need_ed then begin
               rx.nacks_sent <- rx.nacks_sent + 1;
+              if Obs.enabled then Obs.Metrics.incr m_nacks;
               rx.send_ack
                 (nack_packet ~conn_id:rx.config.conn_id ~t_id ~need_ed ~spans)
             end;
@@ -409,6 +425,7 @@ module Receiver = struct
     if due then begin
       Hashtbl.replace rx.last_reack t_id now;
       rx.reacks_sent <- rx.reacks_sent + 1;
+      if Obs.enabled then Obs.Metrics.incr m_reacks;
       rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
     end
 
@@ -419,6 +436,15 @@ module Receiver = struct
     else begin
       let h = chunk.Chunk.header in
       let t_id = h.Header.t.Ftuple.id in
+      if Obs.enabled && Obs.Trace.active () then
+        Obs.Trace.record
+          (Obs.Trace.Chunk_rx
+             {
+               conn = h.Header.c.Ftuple.id;
+               tpdu = t_id;
+               bytes = Bytes.length chunk.Chunk.payload;
+             })
+          ~time:(Netsim.Engine.now rx.engine);
       (* late traffic for an already-verified TPDU is not re-processed
          (feeding it would recreate verifier state that can never
          complete), but it is re-acknowledged *)
@@ -471,10 +497,13 @@ module Receiver = struct
                 | None -> ());
                 if not (Hashtbl.mem rx.acked t_id) then begin
                   Hashtbl.add rx.acked t_id ();
+                  if Obs.enabled then Obs.Metrics.incr m_acks;
                   (match Hashtbl.find_opt rx.first_arrival t_id with
                   | Some t0 ->
-                      Netsim.Stats.add rx.tpdu_latency
-                        (Netsim.Engine.now rx.engine -. t0);
+                      let dt = Netsim.Engine.now rx.engine -. t0 in
+                      Netsim.Stats.add rx.tpdu_latency dt;
+                      if Obs.enabled then
+                        Obs.Metrics.observe_s m_tpdu_latency dt;
                       Hashtbl.remove rx.first_arrival t_id
                   | None -> ());
                   rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
@@ -760,6 +789,7 @@ module Sender = struct
         tx.packets_sent <- tx.packets_sent + 1;
         tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
         tx.aborts_sent <- tx.aborts_sent + 1;
+        if Obs.enabled then Obs.Metrics.incr m_aborts_sent;
         tx.send b
 
   (* Exponential backoff de-synchronises retransmission bursts.  The
@@ -783,11 +813,26 @@ module Sender = struct
             tx.gave_up <- true;
             tp.acked <- true;
             Hashtbl.remove tx.inflight tp.t_id;
+            if Obs.enabled then Obs.Metrics.incr m_give_ups;
             send_abort tx tp.t_id;
             pump tx
           end
           else begin
             tx.retrans <- tx.retrans + 1;
+            if Obs.enabled then begin
+              Obs.Metrics.incr m_rto_fires;
+              Obs.Metrics.observe_s m_backoff interval;
+              if Obs.Trace.active () then
+                Obs.Trace.record
+                  (Obs.Trace.Rto_fire
+                     {
+                       conn = tx.config.conn_id;
+                       tpdu = tp.t_id;
+                       txs = tp.txs;
+                       rto = interval;
+                     })
+                  ~time:(Netsim.Engine.now tx.engine)
+            end;
             if tx.config.adaptive then begin
               tx.clean_acks <- 0;
               tx.cur_tpdu_elems <-
@@ -824,6 +869,7 @@ module Sender = struct
     if tp.txs = 1 then begin
       let sample = Netsim.Engine.now tx.engine -. tp.last_tx in
       tx.rtt_samples <- tx.rtt_samples + 1;
+      if Obs.enabled then Obs.Metrics.observe_s m_rtt sample;
       if tp.txs > tx.max_txs_at_sample then tx.max_txs_at_sample <- tp.txs;
       if tx.config.rto_adaptive && sample >= 0.0 then begin
         if tx.srtt < 0.0 then begin
@@ -840,7 +886,9 @@ module Sender = struct
         let rto =
           Float.max (2.0 *. tx.srtt) (tx.srtt +. (4.0 *. tx.rttvar))
         in
-        tx.rto_cur <- Float.min tx.config.rto (Float.max rto_min rto)
+        tx.rto_cur <- Float.min tx.config.rto (Float.max rto_min rto);
+        if Obs.enabled then
+          Obs.Metrics.set g_rto (int_of_float (tx.rto_cur *. 1e6))
       end
     end
 

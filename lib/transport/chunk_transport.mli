@@ -60,6 +60,9 @@ type config = {
 }
 
 val default_config : config
+(** 4-byte elements, 512-element TPDUs, 1500-byte MTU, window 8,
+    fixed 50 ms RTO, SACK/adaptive off, state unlimited — the baseline
+    every CLI flag and soak profile perturbs from. *)
 
 val expected_elements : config -> data_len:int -> int
 (** Elements the receiver will hold once a stream of [data_len] bytes is

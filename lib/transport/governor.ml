@@ -22,7 +22,22 @@ type t = {
   mutable armed : bool;
 }
 
+(* The occupancy gauge is set only {e after} budget enforcement, so its
+   high-water mark can never exceed the budget — the invariant the
+   conformance oracle's [metrics-occupancy] check asserts. *)
+let g_occ = Obs.Metrics.gauge "governor_occupancy_bytes"
+let g_budget = Obs.Metrics.gauge "governor_budget_bytes"
+let m_entry_bytes = Obs.Metrics.histogram "governor_entry_bytes"
+let m_ev_budget = Obs.Metrics.counter "governor_evictions_budget_total"
+let m_ev_deadline = Obs.Metrics.counter "governor_evictions_deadline_total"
+
+let trace_evict reason (k : key) =
+  if Obs.Trace.active () then
+    Obs.Trace.record
+      (Obs.Trace.Evict { conn = k.conn; tpdu = k.tpdu; reason })
+
 let create ?(on_evict = fun _ -> ()) ~budget_bytes ~ttl () =
+  if Obs.enabled then Obs.Metrics.set g_budget (max 0 budget_bytes);
   {
     budget = budget_bytes;
     ttl;
@@ -79,15 +94,27 @@ let touch g ~key ~bytes ~now =
         victims := k :: !victims
   done;
   if g.total > g.high then g.high <- g.total;
+  if Obs.enabled then begin
+    Obs.Metrics.observe m_entry_bytes bytes;
+    Obs.Metrics.set g_occ g.total;
+    List.iter
+      (fun k ->
+        Obs.Metrics.incr m_ev_budget;
+        trace_evict "budget" k)
+      !victims
+  end;
   List.iter g.on_evict (List.rev !victims)
 
-let remove g ~key = drop g key
+let remove g ~key =
+  drop g key;
+  if Obs.enabled then Obs.Metrics.set g_occ g.total
 
 let remove_conn g ~conn =
   let keys =
     Hashtbl.fold (fun k _ acc -> if k.conn = conn then k :: acc else acc) g.tbl []
   in
-  List.iter (drop g) keys
+  List.iter (drop g) keys;
+  if Obs.enabled then Obs.Metrics.set g_occ g.total
 
 let mem g ~key = Hashtbl.mem g.tbl key
 
@@ -105,6 +132,14 @@ let sweep g ~now =
   in
   List.iter (drop g) due;
   g.ev_deadline <- g.ev_deadline + List.length due;
+  if Obs.enabled then begin
+    Obs.Metrics.set g_occ g.total;
+    List.iter
+      (fun k ->
+        Obs.Metrics.incr m_ev_deadline;
+        trace_evict "deadline" k)
+      due
+  end;
   List.iter g.on_evict due
 
 let rec arm g engine =

@@ -34,6 +34,9 @@ type stats = {
 }
 
 type t
+(** One shared soft-state account: per-key byte charges, deadlines, and
+    the eviction machinery (paper §3.2's bounded-receiver-state
+    discipline, delta-t style). *)
 
 val create :
   ?on_evict:(key -> unit) -> budget_bytes:int -> ttl:float -> unit -> t
@@ -69,5 +72,12 @@ val sweep : t -> now:float -> unit
     exposed for direct-drive tests). *)
 
 val total : t -> int
+(** Bytes currently accounted across all entries. *)
+
 val high_water : t -> int
+(** Peak of {!total}, sampled after every accounting step — what the
+    conformance oracle bounds against the budget. *)
+
 val stats : t -> stats
+(** The full tally: current/peak bytes, entry count and eviction
+    counts by cause. *)

@@ -37,6 +37,14 @@ type t = {
   mutable reacks_multi : int;
 }
 
+let m_opens = Obs.Metrics.counter "multi_opens_total"
+let m_closes = Obs.Metrics.counter "multi_closes_total"
+let m_conn_gcs = Obs.Metrics.counter "multi_conn_gcs_total"
+let m_displaced = Obs.Metrics.counter "multi_displaced_total"
+let m_unknown = Obs.Metrics.counter "multi_unknown_drops_total"
+let m_late = Obs.Metrics.counter "multi_late_drops_total"
+let g_live = Obs.Metrics.gauge "multi_live_conns"
+
 let now m = Netsim.Engine.now m.engine
 let conn_key id = { Governor.conn = id; tpdu = -1 }
 
@@ -65,11 +73,18 @@ let archive _m c =
         c.hist <-
           { a_delivered = R.contents rx; a_complete = R.complete rx }
           :: c.hist;
-      c.live <- None
+      c.live <- None;
+      if Obs.enabled then
+        Obs.Metrics.set g_live (max 0 (Obs.Metrics.gauge_value g_live - 1))
 
 let close_conn m c =
   archive m c;
-  Governor.remove_conn m.governor ~conn:c.id
+  Governor.remove_conn m.governor ~conn:c.id;
+  if Obs.enabled then begin
+    Obs.Metrics.incr m_closes;
+    if Obs.Trace.active () then
+      Obs.Trace.record (Obs.Trace.Conn_close { conn = c.id }) ~time:(now m)
+  end
 
 let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
     ~send_ack () =
@@ -110,6 +125,7 @@ let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
             (* the connection itself went stale (or was squeezed out by
                budget pressure): reclaim everything it holds *)
             m.conn_gcs <- m.conn_gcs + 1;
+            if Obs.enabled then Obs.Metrics.incr m_conn_gcs;
             close_conn m c
           end);
   m
@@ -145,6 +161,8 @@ let new_epoch m c =
       ~capacity:(`Quota m.quota_elems) ()
   in
   c.live <- Some rx;
+  if Obs.enabled then
+    Obs.Metrics.set g_live (Obs.Metrics.gauge_value g_live + 1);
   touch_conn m c
 
 (* Make room for one more live connection by displacing the stalest one
@@ -155,6 +173,7 @@ let ensure_capacity m =
     match stalest_live m with
     | Some victim ->
         m.displaced <- m.displaced + 1;
+        if Obs.enabled then Obs.Metrics.incr m_displaced;
         close_conn m victim
     | None -> ()
 
@@ -175,6 +194,11 @@ let handle_open m cid =
         }
       in
       Hashtbl.add m.conns cid c;
+      if Obs.enabled then begin
+        Obs.Metrics.incr m_opens;
+        if Obs.Trace.active () then
+          Obs.Trace.record (Obs.Trace.Conn_open { conn = cid }) ~time:(now m)
+      end;
       new_epoch m c
   | Some c -> (
       match c.live with
@@ -211,7 +235,9 @@ let re_ack_closed m c t_id =
 let route m chunk =
   let cid = chunk.Chunk.header.Header.c.Ftuple.id in
   match Hashtbl.find_opt m.conns cid with
-  | None -> m.unknown_drops <- m.unknown_drops + 1
+  | None ->
+      m.unknown_drops <- m.unknown_drops + 1;
+      if Obs.enabled then Obs.Metrics.incr m_unknown
   | Some c -> (
       match c.live with
       | Some rx ->
@@ -246,7 +272,10 @@ let route m chunk =
              traffic for a closed connection is refused *)
           let t_id = chunk.Chunk.header.Header.t.Ftuple.id in
           if Hashtbl.mem c.acked t_id then re_ack_closed m c t_id
-          else m.late_drops <- m.late_drops + 1)
+          else begin
+            m.late_drops <- m.late_drops + 1;
+            if Obs.enabled then Obs.Metrics.incr m_late
+          end)
 
 let on_chunk m chunk =
   if Chunk.is_terminator chunk then ()

@@ -22,8 +22,14 @@
     displaces its own connections, not refreshing legitimate ones. *)
 
 type epoch_report = { delivered : bytes; complete : bool; closed : bool }
+(** One epoch's outcome at the receiver: the placed bytes, whether
+    every expected element arrived, and whether the epoch saw its
+    Close (or C.ST) — the unit the multi-connection oracle checks. *)
 
 type t
+(** A multi-connection receiving endpoint: the connection table, one
+    receiver per live epoch, the shared governor and the lifecycle
+    counters. *)
 
 val create :
   Netsim.Engine.t ->
@@ -41,6 +47,9 @@ val create :
     the shared account. *)
 
 val on_packet : t -> bytes -> unit
+(** Feed one wire packet: parse the envelope, route signals through the
+    connection table and data to the owning epoch's receiver
+    (unparseable packets are dropped, as on a real wire). *)
 
 val epochs : t -> conn_id:int -> epoch_report list
 (** Delivered buffers of the connection's epochs, oldest first; the last
@@ -55,10 +64,14 @@ val table : t -> Labelling.Connection.t
 val governor_stats : t -> Governor.stats
 
 val live_conns : t -> int
+(** Connections currently open (admitted, not closed/GCed/displaced). *)
+
 val live_in_flight : t -> int
 (** Verifier state held across all live epochs (quiescence probe). *)
 
 val live_stashed : t -> int
+(** Placement stashes held across all live epochs (quiescence probe). *)
+
 val evictions : t -> int
 (** Per-TPDU governor evictions routed to receivers. *)
 
@@ -69,7 +82,13 @@ val displaced_conns : t -> int
 (** Live connections displaced by admission pressure (cap or budget). *)
 
 val aborts_received : t -> int
+(** Abort_tpdu signals honoured (sender give-ups). *)
+
 val reacks_sent : t -> int
+(** ACKs re-sent for closed-epoch stragglers (a duplicate of a TPDU
+    already delivered must still be acknowledged or the sender times
+    out). *)
+
 val unknown_drops : t -> int
 (** Chunks for connections never admitted (flood traffic). *)
 

@@ -142,6 +142,18 @@ let accumulate_unchecked acc ~pos b off len =
   let h = if w = Gf232.one then !h else Gf232.mul w !h in
   acc.a1 <- acc.a1 lxor h
 
+(* Throughput accounting: one atomic add per accumulate call (never per
+   byte or per symbol), and only when the observability layer is
+   compiled in. *)
+let m_bytes = Obs.Metrics.counter "wsc2_bytes_total"
+let m_calls = Obs.Metrics.counter "wsc2_accumulate_calls_total"
+
+let[@inline] count len =
+  if Obs.enabled then begin
+    Obs.Metrics.add m_bytes len;
+    Obs.Metrics.incr m_calls
+  end
+
 let add_bytes acc ~pos b off len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Wsc2.add_bytes: bad slice";
@@ -151,11 +163,15 @@ let add_bytes acc ~pos b off len =
        bounds imply every position in between is too *)
     if pos < 0 || pos + nsym - 1 > max_position then
       invalid_arg "Wsc2: position out of range";
+    count len;
     accumulate_unchecked acc ~pos b off len
   end
 
 let add_subbytes_exn acc ~pos b off len =
-  if len > 0 then accumulate_unchecked acc ~pos b off len
+  if len > 0 then begin
+    count len;
+    accumulate_unchecked acc ~pos b off len
+  end
 
 let combine dst src =
   dst.a0 <- Gf232.add dst.a0 src.a0;

@@ -28,4 +28,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("parverify", Test_parverify.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -136,3 +136,8 @@ let qcheck_seed =
 let qtest ?(count = 100) name gen prop =
   let rand = Random.State.make [| Lazy.force qcheck_seed |] in
   QCheck_alcotest.to_alcotest ~rand (QCheck2.Test.make ~count ~name gen prop)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
