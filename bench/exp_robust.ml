@@ -123,6 +123,148 @@ let rob_abort () =
   Util_bench.Metrics.record ~exp:"ROB-ABORT" "receiver in-flight after"
     (float_of_int (CT.Receiver.verifier_in_flight rx))
 
+(* ROB-RECOVER: what crash recovery costs.  The paper's compact receiver
+   state (WSC-2 parities + reassembly spans + a small label table per
+   in-flight TPDU) is what makes snapshots cheap; measure it.  Two
+   sweeps: snapshot size and decode+restore wall time against the
+   number of in-flight TPDUs (single connection, ED-bearing packets
+   dropped so nothing verifies and the whole window is in-flight soft
+   state), and against the number of live connections (a Multi endpoint
+   snapshotted mid-transfer). *)
+let rob_recover () =
+  let module CT = Transport.Chunk_transport in
+  let module P = Transport.Persist in
+  section "ROB-RECOVER" "snapshot size and restore latency";
+  let time_restores reps restore =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      restore ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+  in
+  let drops_ed b =
+    match Labelling.Wire.decode_packet b with
+    | Error _ -> false
+    | Ok chunks ->
+        List.exists
+          (fun ch ->
+            Labelling.Ctype.equal
+              ch.Labelling.Chunk.header.Labelling.Header.ctype
+              Labelling.Ctype.ed)
+          chunks
+  in
+  Printf.printf "  %-18s %-10s %-16s %-14s\n" "in-flight TPDUs" "snapshot B"
+    "B per TPDU" "restore us";
+  List.iter
+    (fun k ->
+      let engine = Netsim.Engine.create ~seed () in
+      let config =
+        { CT.default_config with
+          CT.rto = 0.05;
+          window = k;
+          give_up_txs = 1000;
+          state_ttl = 30.0 }
+      in
+      let tpdu_bytes = config.CT.tpdu_elems * config.CT.elem_size in
+      let data = transfer_data (2 * k * tpdu_bytes) in
+      let expected =
+        CT.expected_elements config ~data_len:(Bytes.length data)
+      in
+      let receiver = ref None in
+      let tx =
+        CT.Sender.create engine config
+          ~send:(fun b ->
+            match !receiver with
+            | Some rx -> if not (drops_ed b) then CT.Receiver.on_packet rx b
+            | None -> ())
+          ~data ()
+      in
+      let rx =
+        CT.Receiver.create engine config
+          ~send_ack:(fun _ -> ())
+          ~capacity:(`Exact expected) ()
+      in
+      receiver := Some rx;
+      CT.Sender.start tx;
+      (* stop before the first RTO fires: exactly the initial window is
+         in flight, none of it verified *)
+      Netsim.Engine.run ~until:0.04 engine;
+      let in_flight = CT.Receiver.verifier_in_flight rx in
+      let img =
+        P.Single { P.s_acked = CT.Receiver.acked_tids rx; s_rx = CT.Receiver.export rx }
+      in
+      let encoded = P.encode_endpoint img in
+      let us =
+        time_restores 200 (fun () ->
+            match P.decode_endpoint encoded with
+            | Error e -> failwith e
+            | Ok (P.Multi _) -> failwith "shape changed"
+            | Ok (P.Single si) ->
+                ignore
+                  (CT.Receiver.restore engine config
+                     ~send_ack:(fun _ -> ())
+                     ~capacity:(`Exact expected) si.P.s_rx
+                     ~acked_tids:si.P.s_acked))
+      in
+      let per_tpdu =
+        float_of_int (Bytes.length encoded) /. float_of_int (max 1 in_flight)
+      in
+      Printf.printf "  %-18d %-10d %-16.1f %-14.1f\n" in_flight
+        (Bytes.length encoded) per_tpdu us;
+      let tag = Printf.sprintf "%d tpdus" in_flight in
+      Util_bench.Metrics.record ~exp:"ROB-RECOVER"
+        ("snapshot bytes @" ^ tag)
+        (float_of_int (Bytes.length encoded));
+      Util_bench.Metrics.record ~exp:"ROB-RECOVER" ("restore us @" ^ tag) us)
+    [ 4; 16; 64 ];
+  Printf.printf "  %-18s %-10s %-14s\n" "live connections" "snapshot B"
+    "restore us";
+  List.iter
+    (fun conns ->
+      let engine = Netsim.Engine.create ~seed () in
+      let config = { CT.default_config with CT.rto = 0.05; window = 4 } in
+      let quota_elems = 4096 in
+      let m =
+        Transport.Multi.create engine ~config ~quota_elems
+          ~max_conns:(conns + 2)
+          ~send_ack:(fun _ -> ())
+          ()
+      in
+      let senders =
+        List.init conns (fun i ->
+            CT.Sender.create engine
+              { config with CT.conn_id = i + 1 }
+              ~announce_open:true
+              ~send:(fun b -> Transport.Multi.on_packet m b)
+              ~data:(transfer_data 16384) ())
+      in
+      List.iter CT.Sender.start senders;
+      Netsim.Engine.run ~until:0.04 engine;
+      let img = P.Multi (Transport.Multi.export m) in
+      let encoded = P.encode_endpoint img in
+      let us =
+        time_restores 100 (fun () ->
+            match P.decode_endpoint encoded with
+            | Error e -> failwith e
+            | Ok (P.Single _) -> failwith "shape changed"
+            | Ok (P.Multi cs) ->
+                ignore
+                  (Transport.Multi.restore engine ~config ~quota_elems
+                     ~max_conns:(conns + 2)
+                     ~send_ack:(fun _ -> ())
+                     cs))
+      in
+      Printf.printf "  %-18d %-10d %-14.1f\n"
+        (Transport.Multi.live_conns m)
+        (Bytes.length encoded) us;
+      let tag = Printf.sprintf "%d conns" conns in
+      Util_bench.Metrics.record ~exp:"ROB-RECOVER"
+        ("snapshot bytes @" ^ tag)
+        (float_of_int (Bytes.length encoded));
+      Util_bench.Metrics.record ~exp:"ROB-RECOVER" ("restore us @" ^ tag) us)
+    [ 2; 8 ]
+
 let run () =
   rob_rto ();
-  rob_abort ()
+  rob_abort ();
+  rob_recover ()

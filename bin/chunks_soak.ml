@@ -75,6 +75,14 @@ let run_replay spec mutate =
   | None ->
       Printf.eprintf "error: unparseable schedule\n";
       2
+  (* A parseable but semantically broken spec (hand-edited replay line)
+     gets one readable diagnostic and exit 2, not an exception from deep
+     inside the transport. *)
+  | Some schedule when Check.Schedule.validate schedule <> Ok () ->
+      (match Check.Schedule.validate schedule with
+      | Error msg -> Printf.eprintf "error: invalid schedule: %s\n" msg
+      | Ok () -> ());
+      2
   | Some schedule ->
       let trace = Check.Trace.create () in
       let model = Check.Model.of_schedule schedule in
@@ -84,7 +92,9 @@ let run_replay spec mutate =
         "ok=%b complete=%b gave_up=%b retrans=%d sack=%d nacks=%d\n\
          tpdus passed=%d failed=%d dups=%d in_flight=%d stashed=%d pending=%d\n\
          evictions=%d conn_gcs=%d aborts tx=%d rx=%d reacks=%d \
-         state_high=%d flood=%d rtt_samples=%d final_rto=%.4f\n"
+         state_high=%d flood=%d rtt_samples=%d final_rto=%.4f\n\
+         crashes=%d restores=%d recovery_bad=%d over_budget=%d \
+         roundtrip_fail=%d snapshots=%d journal_records=%d\n"
         observation.Check.Driver.ok observation.complete observation.gave_up
         observation.retransmissions observation.sack_retransmissions
         observation.nacks_sent
@@ -96,7 +106,11 @@ let run_replay spec mutate =
         observation.conn_gcs observation.aborts_sent
         observation.aborts_received observation.reacks_sent
         observation.state_high_water observation.flood_injected
-        observation.rtt_samples observation.final_rto;
+        observation.rtt_samples observation.final_rto
+        observation.crashes_injected observation.restores
+        observation.recovery_bad observation.restore_over_budget
+        observation.roundtrip_failures observation.snapshots_taken
+        observation.journal_records;
       let violations = Check.Oracle.check ~schedule ~model ~observation in
       List.iter
         (fun v -> Printf.printf "VIOLATION %s\n" (Check.Oracle.violation_to_string v))
@@ -117,7 +131,8 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
     match Check.Driver.mutation_of_string mutate with
     | Some m -> m
     | None ->
-        Printf.eprintf "error: bad --mutate %S (none|flip:N|dup:N|drop:N)\n"
+        Printf.eprintf
+          "error: bad --mutate %S (none|flip:N|dup:N|drop:N|corrupt-restore)\n"
           mutate;
         exit 2
   in
@@ -253,8 +268,9 @@ let cmd =
       value & opt string "none"
       & info [ "mutate" ] ~docv:"MODE"
           ~doc:
-            "Inject a stack bug (flip:N, dup:N, drop:N) and require the \
-             oracle to catch it.")
+            "Inject a stack bug (flip:N, dup:N, drop:N, or corrupt-restore \
+             for a corrupted crash snapshot) and require the oracle to \
+             catch it.")
   in
   let replay =
     Arg.(

@@ -1,4 +1,5 @@
 module CT = Transport.Chunk_transport
+module Persist = Transport.Persist
 
 (* Stack bugs injected at the receiver door to prove the oracle can see
    (and the shrinker can minimise) real misbehaviour.  The door is the
@@ -8,12 +9,15 @@ type mutation =
   | Flip_every of int  (** XOR one byte of every [n]th delivered packet *)
   | Dup_every of int  (** deliver every [n]th packet twice *)
   | Drop_every of int  (** swallow every [n]th packet *)
+  | Corrupt_restore
+      (** flip one already-verified byte in the first restored snapshot *)
 
 let mutation_to_string = function
   | No_mutation -> "none"
   | Flip_every n -> Printf.sprintf "flip:%d" n
   | Dup_every n -> Printf.sprintf "dup:%d" n
   | Drop_every n -> Printf.sprintf "drop:%d" n
+  | Corrupt_restore -> "corrupt-restore"
 
 let mutation_of_string str =
   match String.split_on_char ':' str with
@@ -21,6 +25,7 @@ let mutation_of_string str =
   | [ "flip"; n ] -> Option.map (fun n -> Flip_every n) (int_of_string_opt n)
   | [ "dup"; n ] -> Option.map (fun n -> Dup_every n) (int_of_string_opt n)
   | [ "drop"; n ] -> Option.map (fun n -> Drop_every n) (int_of_string_opt n)
+  | [ "corrupt-restore" ] -> Some Corrupt_restore
   | _ -> None
 
 type epoch_obs = {
@@ -83,6 +88,14 @@ type observation = {
   rtt_samples : int;
   max_txs_at_rtt_sample : int;
   final_rto : float;
+  (* crash recovery *)
+  crashes_injected : int;
+  restores : int;
+  recovery_bad : int;
+  restore_over_budget : int;
+  roundtrip_failures : int;
+  snapshots_taken : int;
+  journal_records : int;
   multi : multi_obs option;
   metrics : metrics_probe;
 }
@@ -149,7 +162,7 @@ let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
     let n = !door_count in
     trec "rx packet #%d (%d bytes)" n (Bytes.length b);
     match mutation with
-    | No_mutation -> to_receiver_raw b
+    | No_mutation | Corrupt_restore -> to_receiver_raw b
     | Flip_every k when k > 0 && n mod k = 0 ->
         incr mutated;
         trec "MUTATION flip byte of packet #%d" n;
@@ -279,6 +292,142 @@ let build_reverse ~trace (s : Schedule.t) engine deliver =
       in
       fun b -> Netsim.Outage.send valve b
 
+(* {2 Crash injection}
+
+   A crash drops the endpoint's in-memory state and every packet that
+   arrives during the down window; the restart rebuilds the endpoint
+   from the persisted snapshot + journal.  Everything here is shared by
+   the single- and multi-connection paths. *)
+
+(* Per-run crash bookkeeping: counters the oracle's recovery checks
+   read, plus accumulators for statistics that die with each crashed
+   endpoint instance (the restored instance restarts them at zero). *)
+type crash_track = {
+  mutable ct_crashes : int;
+  mutable ct_restores : int;
+  mutable ct_bad : int;  (* recovery-safety probe failures *)
+  mutable ct_over_budget : int;
+  mutable ct_roundtrip : int;
+  mutable ct_corrupted : bool;  (* Corrupt_restore already applied *)
+  (* pre-crash statistics folded in at each teardown *)
+  mutable ct_failed : int;
+  mutable ct_dups : int;
+  mutable ct_chunks : int;
+  mutable ct_nacks : int;
+  mutable ct_reacks : int;
+  mutable ct_evictions : int;
+  mutable ct_aborts : int;
+  mutable ct_gcs : int;
+  mutable ct_displaced : int;
+  mutable ct_unknown : int;
+  mutable ct_high_water : int;
+}
+
+let crash_track () =
+  {
+    ct_crashes = 0;
+    ct_restores = 0;
+    ct_bad = 0;
+    ct_over_budget = 0;
+    ct_roundtrip = 0;
+    ct_corrupted = false;
+    ct_failed = 0;
+    ct_dups = 0;
+    ct_chunks = 0;
+    ct_nacks = 0;
+    ct_reacks = 0;
+    ct_evictions = 0;
+    ct_aborts = 0;
+    ct_gcs = 0;
+    ct_displaced = 0;
+    ct_unknown = 0;
+    ct_high_water = 0;
+  }
+
+(* The codec must be a fixpoint on every image it produced itself; a
+   re-encode that fails to decode back to the same value means the
+   snapshot format lies about something. *)
+let codec_roundtrip_ok img =
+  match Persist.decode_endpoint (Persist.encode_endpoint img) with
+  | Ok img' -> img' = img
+  | Error _ -> false
+
+(* The Corrupt_restore mutation: flip one byte that the image claims is
+   already {e verified}.  Verified bytes are exactly the ones recovery
+   must preserve faithfully — their TPDUs sit in the ledger, so the
+   sender will never retransmit them and no later traffic can heal the
+   damage.  Returns [None] when the image holds no verified byte yet
+   (the caller retries at the next restore). *)
+let corrupt_receiver_image ~elem_size (ri : Persist.receiver_image) =
+  match ri.Persist.ri_verified with
+  | [] -> None
+  | (vs, _) :: _ ->
+      let rec go = function
+        | [] -> None
+        | (sn, data) :: rest ->
+            let elems = Bytes.length data / elem_size in
+            if vs >= sn && vs < sn + elems then begin
+              let data = Bytes.copy data in
+              let i = (vs - sn) * elem_size in
+              Bytes.set data i
+                (Char.chr (Char.code (Bytes.get data i) lxor 0x01));
+              Some ((sn, data) :: rest)
+            end
+            else Option.map (fun tl -> (sn, data) :: tl) (go rest)
+      in
+      Option.map
+        (fun placed -> { ri with Persist.ri_placed = placed })
+        (go ri.Persist.ri_placed)
+
+let corrupt_image ~elem_size (img : Persist.endpoint_image) =
+  match img with
+  | Persist.Single si ->
+      Option.map
+        (fun rx -> Persist.Single { si with Persist.s_rx = rx })
+        (corrupt_receiver_image ~elem_size si.Persist.s_rx)
+  | Persist.Multi conns ->
+      let rec go = function
+        | [] -> None
+        | (c : Persist.conn_image) :: rest -> (
+            match
+              Option.bind c.Persist.ci_live (corrupt_receiver_image ~elem_size)
+            with
+            | Some rx -> Some ({ c with Persist.ci_live = Some rx } :: rest)
+            | None -> Option.map (fun tl -> c :: tl) (go rest))
+      in
+      Option.map (fun cs -> Persist.Multi cs) (go conns)
+
+(* Recovery-safety probe on a freshly restored endpoint's re-export: a
+   T.ID both in the ledger and among the in-flight verifier images means
+   the endpoint would verify (and deliver) a TPDU it already promised
+   was done — double delivery waiting to happen. *)
+let ledger_in_flight_clash ~acked (ri : Persist.receiver_image) =
+  List.exists
+    (fun (ti : Edc.Verifier.tpdu_image) ->
+      List.mem ti.Edc.Verifier.ti_t_id acked)
+    ri.Persist.ri_tpdus
+
+(* Snapshots are scheduled up front at k·snap_period for every k that
+   lands before the last crash (later ones could never be consulted),
+   so the store never re-arms itself and cannot keep the engine alive. *)
+let schedule_snapshots engine (s : Schedule.t) store export_now =
+  if s.Schedule.crashes <> [] && s.Schedule.snap_period > 0.0 then begin
+    let last =
+      List.fold_left
+        (fun acc (c : Schedule.crash) -> Float.max acc c.Schedule.cr_time)
+        0.0 s.Schedule.crashes
+    in
+    let k = ref 1 in
+    while float_of_int !k *. s.Schedule.snap_period <= last do
+      let at = float_of_int !k *. s.Schedule.snap_period in
+      Netsim.Engine.schedule engine ~delay:at (fun () ->
+          match export_now () with
+          | Some img -> Persist.Store.snapshot store img
+          | None -> ());
+      incr k
+    done
+  end
+
 let run_single ~mutation ~trace (s : Schedule.t) =
   let config = Schedule.config_of s in
   let data = Schedule.data_of s in
@@ -286,9 +435,20 @@ let run_single ~mutation ~trace (s : Schedule.t) =
   let trec fmt = make_trec engine trace fmt in
   let receiver = ref None in
   let sender = ref None in
-  let to_receiver_raw b =
-    match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ()
+  (* A crashed endpoint neither receives nor buffers: the valve discards
+     everything that arrives at the door inside a crash window. *)
+  let crash_valve =
+    Netsim.Blackout.create engine
+      ~windows:
+        (List.map
+           (fun (c : Schedule.crash) ->
+             (c.Schedule.cr_time, c.Schedule.cr_time +. c.Schedule.cr_restart))
+           s.Schedule.crashes)
+      ~deliver:(fun b ->
+        match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ())
+      ()
   in
+  let to_receiver_raw b = Netsim.Blackout.send crash_valve b in
   let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
   let probe0 = probe_start () in
   let reverse_send =
@@ -298,15 +458,128 @@ let run_single ~mutation ~trace (s : Schedule.t) =
   let expected_elems =
     CT.expected_elements config ~data_len:(Bytes.length data)
   in
+  let store = Persist.Store.create () in
+  let persist_opt =
+    if s.Schedule.crashes <> [] then
+      Some (fun ev -> Persist.Store.append store ev)
+    else None
+  in
   let rx =
-    CT.Receiver.create engine config ~send_ack:reverse_send
-      ~capacity:(`Exact expected_elems) ()
+    CT.Receiver.create engine config ?persist:persist_opt
+      ~send_ack:reverse_send ~capacity:(`Exact expected_elems) ()
   in
   receiver := Some rx;
+  let ct = crash_track () in
+  let absorb rx =
+    let v = CT.Receiver.verifier_stats rx in
+    ct.ct_failed <- ct.ct_failed + v.Edc.Verifier.tpdus_failed;
+    ct.ct_dups <- ct.ct_dups + v.Edc.Verifier.duplicates;
+    ct.ct_chunks <- ct.ct_chunks + v.Edc.Verifier.chunks_seen;
+    ct.ct_nacks <- ct.ct_nacks + CT.Receiver.nacks_sent rx;
+    ct.ct_reacks <- ct.ct_reacks + CT.Receiver.reacks_sent rx;
+    ct.ct_evictions <- ct.ct_evictions + CT.Receiver.evictions rx;
+    ct.ct_aborts <- ct.ct_aborts + CT.Receiver.aborts_received rx;
+    ct.ct_high_water <-
+      max ct.ct_high_water
+        (CT.Receiver.governor_stats rx).Transport.Governor.high_water
+  in
+  schedule_snapshots engine s store (fun () ->
+      Option.map
+        (fun rx ->
+          Persist.Single
+            {
+              Persist.s_acked = CT.Receiver.acked_tids rx;
+              s_rx = CT.Receiver.export rx;
+            })
+        !receiver);
+  let restore_now (c : Schedule.crash) =
+    let t0 = Unix.gettimeofday () in
+    match
+      Persist.Store.recover ~elem_size:s.Schedule.elem_size
+        ~quota_elems:expected_elems
+        ~empty:
+          (Persist.Single
+             {
+               Persist.s_acked = [];
+               s_rx = Persist.empty_receiver ~conn:config.CT.conn_id;
+             })
+        store
+    with
+    | Error msg ->
+        ct.ct_bad <- ct.ct_bad + 1;
+        trec "RESTORE failed: %s" msg
+    | Ok (img, torn) ->
+        if torn then trec "RESTORE journal torn, tail discarded";
+        if not (codec_roundtrip_ok img) then
+          ct.ct_roundtrip <- ct.ct_roundtrip + 1;
+        let img =
+          if mutation = Corrupt_restore && not ct.ct_corrupted then
+            match corrupt_image ~elem_size:s.Schedule.elem_size img with
+            | Some img' ->
+                ct.ct_corrupted <- true;
+                incr p.mutated;
+                trec "MUTATION corrupt restored image";
+                img'
+            | None -> img
+          else img
+        in
+        (match img with
+        | Persist.Multi _ -> ct.ct_bad <- ct.ct_bad + 1
+        | Persist.Single si ->
+            let rx =
+              CT.Receiver.restore engine config ?persist:persist_opt
+                ~send_ack:reverse_send ~capacity:(`Exact expected_elems)
+                si.Persist.s_rx ~acked_tids:si.Persist.s_acked
+            in
+            if Obs.enabled then
+              Obs.Metrics.observe_s Persist.m_recovery
+                (Unix.gettimeofday () -. t0);
+            (* Re-export must reproduce the image (structural round
+               trip), unless the restore itself evicted state — then the
+               budget legitimately trimmed the image. *)
+            let re =
+              {
+                Persist.s_acked = CT.Receiver.acked_tids rx;
+                s_rx = CT.Receiver.export rx;
+              }
+            in
+            if CT.Receiver.evictions rx = 0 && Persist.Single re <> img then
+              ct.ct_roundtrip <- ct.ct_roundtrip + 1;
+            if ledger_in_flight_clash ~acked:re.Persist.s_acked re.Persist.s_rx
+            then ct.ct_bad <- ct.ct_bad + 1;
+            let gov = CT.Receiver.governor_stats rx in
+            if
+              s.Schedule.state_budget > 0
+              && gov.Transport.Governor.accounted_bytes
+                 > s.Schedule.state_budget
+            then ct.ct_over_budget <- ct.ct_over_budget + 1;
+            ct.ct_restores <- ct.ct_restores + 1;
+            CT.Receiver.reannounce rx;
+            receiver := Some rx;
+            trec "RESTART receiver after %.4fs down" c.Schedule.cr_restart)
+  in
+  List.iter
+    (fun (c : Schedule.crash) ->
+      Netsim.Engine.schedule engine ~delay:c.Schedule.cr_time (fun () ->
+          match !receiver with
+          | None -> ()
+          | Some rx ->
+              ct.ct_crashes <- ct.ct_crashes + 1;
+              trec "CRASH receiver, down %.4fs" c.Schedule.cr_restart;
+              absorb rx;
+              CT.Receiver.quiesce rx;
+              receiver := None);
+      Netsim.Engine.schedule engine
+        ~delay:(c.Schedule.cr_time +. c.Schedule.cr_restart)
+        (fun () ->
+          match !receiver with None -> restore_now c | Some _ -> ()))
+    s.Schedule.crashes;
   let tx = CT.Sender.create engine config ~send:p.forward_send ~data () in
   sender := Some tx;
   CT.Sender.start tx;
   Netsim.Engine.run ~until:horizon engine;
+  let rx = match !receiver with Some r -> r | None -> rx in
+  absorb rx;
   let delivered = CT.Receiver.contents rx in
   let n = Bytes.length data in
   let ok =
@@ -326,10 +599,19 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     delivered_elems = CT.Receiver.delivered_elems rx;
     retransmissions = CT.Sender.retransmissions tx;
     sack_retransmissions = CT.Sender.sack_retransmissions tx;
-    nacks_sent = CT.Receiver.nacks_sent rx;
+    nacks_sent = ct.ct_nacks;
     tpdus_sent = CT.Sender.tpdus_sent tx;
     packets_sent = CT.Sender.packets_sent tx;
-    verifier = CT.Receiver.verifier_stats rx;
+    (* Whole-epoch counts: pass totals carry across restarts via
+       [epoch_passes]; the other counters are accumulated over every
+       receiver instance the run went through. *)
+    verifier =
+      {
+        Edc.Verifier.tpdus_passed = CT.Receiver.epoch_passes rx;
+        tpdus_failed = ct.ct_failed;
+        duplicates = ct.ct_dups;
+        chunks_seen = ct.ct_chunks;
+      };
     verifier_in_flight = CT.Receiver.verifier_in_flight rx;
     stashed_tpdus = CT.Receiver.stashed_tpdus rx;
     engine_pending = Netsim.Engine.pending engine;
@@ -338,19 +620,26 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     dropper = p.dropper_stats ();
     gateways_malformed = p.gateways_malformed ();
     mutated_packets = !(p.mutated);
-    reacks_sent = CT.Receiver.reacks_sent rx;
+    reacks_sent = ct.ct_reacks;
     aborts_sent = CT.Sender.aborts_sent tx;
-    aborts_received = CT.Receiver.aborts_received rx;
-    receiver_evictions = CT.Receiver.evictions rx;
+    aborts_received = ct.ct_aborts;
+    receiver_evictions = ct.ct_evictions;
     conn_gcs = 0;
     displaced_conns = 0;
     unknown_drops = 0;
-    state_high_water = gov.Transport.Governor.high_water;
+    state_high_water = ct.ct_high_water;
     state_accounted = gov.Transport.Governor.accounted_bytes;
     flood_injected = 0;
     rtt_samples = CT.Sender.rtt_samples tx;
     max_txs_at_rtt_sample = CT.Sender.max_txs_at_rtt_sample tx;
     final_rto = CT.Sender.current_rto tx;
+    crashes_injected = ct.ct_crashes;
+    restores = ct.ct_restores;
+    recovery_bad = ct.ct_bad;
+    restore_over_budget = ct.ct_over_budget;
+    roundtrip_failures = ct.ct_roundtrip;
+    snapshots_taken = Persist.Store.snapshots_taken store;
+    journal_records = Persist.Store.journal_records store;
     multi = None;
     metrics = probe_end probe0;
   }
@@ -375,9 +664,18 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
   let engine = Netsim.Engine.create ~seed:s.seed () in
   let trec fmt = make_trec engine trace fmt in
   let multi = ref None in
-  let to_receiver_raw b =
-    match !multi with Some m -> Transport.Multi.on_packet m b | None -> ()
+  let crash_valve =
+    Netsim.Blackout.create engine
+      ~windows:
+        (List.map
+           (fun (c : Schedule.crash) ->
+             (c.Schedule.cr_time, c.Schedule.cr_time +. c.Schedule.cr_restart))
+           s.Schedule.crashes)
+      ~deliver:(fun b ->
+        match !multi with Some m -> Transport.Multi.on_packet m b | None -> ())
+      ()
   in
+  let to_receiver_raw b = Netsim.Blackout.send crash_valve b in
   let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
   let probe0 = probe_start () in
   (* Reverse traffic is demultiplexed to the per-connection sender by
@@ -403,11 +701,109 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
   let quota_elems =
     CT.expected_elements config ~data_len:s.Schedule.data_len
   in
+  let store = Persist.Store.create () in
+  let persist_opt =
+    if s.Schedule.crashes <> [] then
+      Some (fun ev -> Persist.Store.append store ev)
+    else None
+  in
+  let max_conns = s.Schedule.connections + 8 in
   let m =
-    Transport.Multi.create engine ~config ~quota_elems
-      ~max_conns:(s.Schedule.connections + 8) ~send_ack:reverse_send ()
+    Transport.Multi.create engine ~config ~quota_elems ~max_conns
+      ?persist:persist_opt ~send_ack:reverse_send ()
   in
   multi := Some m;
+  let ct = crash_track () in
+  let absorb m =
+    ct.ct_reacks <- ct.ct_reacks + Transport.Multi.reacks_sent m;
+    ct.ct_evictions <- ct.ct_evictions + Transport.Multi.evictions m;
+    ct.ct_aborts <- ct.ct_aborts + Transport.Multi.aborts_received m;
+    ct.ct_gcs <- ct.ct_gcs + Transport.Multi.conn_gcs m;
+    ct.ct_displaced <- ct.ct_displaced + Transport.Multi.displaced_conns m;
+    ct.ct_unknown <- ct.ct_unknown + Transport.Multi.unknown_drops m;
+    ct.ct_high_water <-
+      max ct.ct_high_water
+        (Transport.Multi.governor_stats m).Transport.Governor.high_water
+  in
+  schedule_snapshots engine s store (fun () ->
+      Option.map
+        (fun m -> Persist.Multi (Transport.Multi.export m))
+        !multi);
+  let restore_now () =
+    let t0 = Unix.gettimeofday () in
+    match
+      Persist.Store.recover ~elem_size:s.Schedule.elem_size ~quota_elems
+        ~empty:(Persist.Multi []) store
+    with
+    | Error msg ->
+        ct.ct_bad <- ct.ct_bad + 1;
+        trec "RESTORE failed: %s" msg
+    | Ok (img, torn) ->
+        if torn then trec "RESTORE journal torn, tail discarded";
+        if not (codec_roundtrip_ok img) then
+          ct.ct_roundtrip <- ct.ct_roundtrip + 1;
+        let img =
+          if mutation = Corrupt_restore && not ct.ct_corrupted then
+            match corrupt_image ~elem_size:s.Schedule.elem_size img with
+            | Some img' ->
+                ct.ct_corrupted <- true;
+                incr p.mutated;
+                trec "MUTATION corrupt restored image";
+                img'
+            | None -> img
+          else img
+        in
+        (match img with
+        | Persist.Single _ -> ct.ct_bad <- ct.ct_bad + 1
+        | Persist.Multi conns ->
+            let m' =
+              Transport.Multi.restore engine ~config ~quota_elems ~max_conns
+                ?persist:persist_opt ~send_ack:reverse_send conns
+            in
+            if Obs.enabled then
+              Obs.Metrics.observe_s Persist.m_recovery
+                (Unix.gettimeofday () -. t0);
+            let re = Transport.Multi.export m' in
+            if
+              Transport.Multi.evictions m' = 0
+              && Transport.Multi.displaced_conns m' = 0
+              && Transport.Multi.conn_gcs m' = 0
+              && Persist.Multi re <> img
+            then ct.ct_roundtrip <- ct.ct_roundtrip + 1;
+            List.iter
+              (fun (ci : Persist.conn_image) ->
+                match ci.Persist.ci_live with
+                | Some ri ->
+                    if ledger_in_flight_clash ~acked:ci.Persist.ci_acked ri
+                    then ct.ct_bad <- ct.ct_bad + 1
+                | None -> ())
+              re;
+            let gov = Transport.Multi.governor_stats m' in
+            if
+              s.Schedule.state_budget > 0
+              && gov.Transport.Governor.accounted_bytes
+                 > s.Schedule.state_budget
+            then ct.ct_over_budget <- ct.ct_over_budget + 1;
+            ct.ct_restores <- ct.ct_restores + 1;
+            Transport.Multi.reannounce m';
+            multi := Some m';
+            trec "RESTART demultiplexer")
+  in
+  List.iter
+    (fun (c : Schedule.crash) ->
+      Netsim.Engine.schedule engine ~delay:c.Schedule.cr_time (fun () ->
+          match !multi with
+          | None -> ()
+          | Some m ->
+              ct.ct_crashes <- ct.ct_crashes + 1;
+              trec "CRASH demultiplexer, down %.4fs" c.Schedule.cr_restart;
+              absorb m;
+              Transport.Multi.teardown m;
+              multi := None);
+      Netsim.Engine.schedule engine
+        ~delay:(c.Schedule.cr_time +. c.Schedule.cr_restart)
+        (fun () -> match !multi with None -> restore_now () | Some _ -> ()))
+    s.Schedule.crashes;
   (* Plan the (connection, epoch) transfers: every connection one epoch,
      connection 1 a second one when the schedule re-opens it. *)
   let eps =
@@ -503,6 +899,8 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
              ~inject:p.door ())
   in
   Netsim.Engine.run ~until:horizon engine;
+  let m = match !multi with Some m -> m | None -> m in
+  absorb m;
   (* Join the driver-side epochs with the receiver-side reports. *)
   let mo_epochs =
     List.map
@@ -571,14 +969,14 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     dropper = p.dropper_stats ();
     gateways_malformed = p.gateways_malformed ();
     mutated_packets = !(p.mutated);
-    reacks_sent = Transport.Multi.reacks_sent m;
+    reacks_sent = ct.ct_reacks;
     aborts_sent = sum CT.Sender.aborts_sent;
-    aborts_received = Transport.Multi.aborts_received m;
-    receiver_evictions = Transport.Multi.evictions m;
-    conn_gcs = Transport.Multi.conn_gcs m;
-    displaced_conns = Transport.Multi.displaced_conns m;
-    unknown_drops = Transport.Multi.unknown_drops m;
-    state_high_water = gov.Transport.Governor.high_water;
+    aborts_received = ct.ct_aborts;
+    receiver_evictions = ct.ct_evictions;
+    conn_gcs = ct.ct_gcs;
+    displaced_conns = ct.ct_displaced;
+    unknown_drops = ct.ct_unknown;
+    state_high_water = ct.ct_high_water;
     state_accounted = gov.Transport.Governor.accounted_bytes;
     flood_injected =
       (match adversary with
@@ -593,6 +991,13 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
           | None -> acc)
         0 eps;
     final_rto = s.Schedule.rto;
+    crashes_injected = ct.ct_crashes;
+    restores = ct.ct_restores;
+    recovery_bad = ct.ct_bad;
+    restore_over_budget = ct.ct_over_budget;
+    roundtrip_failures = ct.ct_roundtrip;
+    snapshots_taken = Persist.Store.snapshots_taken store;
+    journal_records = Persist.Store.journal_records store;
     multi =
       Some
         {

@@ -21,6 +21,11 @@ type mutation =
           injected stack bug the oracle must catch *)
   | Dup_every of int
   | Drop_every of int
+  | Corrupt_restore
+      (** flip one already-verified byte in the first snapshot restored
+          after a crash — a corrupted persisted image the oracle must
+          catch (its TPDU is in the ledger, so no retransmission can
+          heal it) *)
 
 val mutation_to_string : mutation -> string
 val mutation_of_string : string -> mutation option
@@ -89,6 +94,20 @@ type observation = {
       (** highest transmission count of any sampled TPDU; > 1 breaks
           Karn's rule *)
   final_rto : float;  (** sender's RTO at the end of the run *)
+  crashes_injected : int;  (** scheduled crashes actually executed *)
+  restores : int;  (** successful endpoint restores *)
+  recovery_bad : int;
+      (** recovery-safety probe failures: an unreadable snapshot, an
+          image of the wrong endpoint shape, or a restored endpoint
+          whose ledger and in-flight verifier state overlap *)
+  restore_over_budget : int;
+      (** restores whose re-derived governor occupancy exceeded the
+          configured state budget *)
+  roundtrip_failures : int;
+      (** snapshot codec fixpoint or export/restore round-trip
+          mismatches observed at restores *)
+  snapshots_taken : int;  (** full snapshots written to the store *)
+  journal_records : int;  (** journal records appended over the run *)
   multi : multi_obs option;  (** present iff the schedule is multi *)
   metrics : metrics_probe;
 }

@@ -1,6 +1,13 @@
 open Labelling
 
-type profile = Clean | Lossy | Hostile | Hostile_flood | Outage_recover
+type profile =
+  | Clean
+  | Lossy
+  | Hostile
+  | Hostile_flood
+  | Outage_recover
+  | Crash_restart
+  | Crash_flood
 
 let profile_name = function
   | Clean -> "clean"
@@ -8,6 +15,8 @@ let profile_name = function
   | Hostile -> "hostile"
   | Hostile_flood -> "hostile-flood"
   | Outage_recover -> "outage-recover"
+  | Crash_restart -> "crash-restart"
+  | Crash_flood -> "crash-flood"
 
 let profile_of_name = function
   | "clean" -> Some Clean
@@ -15,9 +24,20 @@ let profile_of_name = function
   | "hostile" -> Some Hostile
   | "hostile-flood" -> Some Hostile_flood
   | "outage-recover" -> Some Outage_recover
+  | "crash-restart" -> Some Crash_restart
+  | "crash-flood" -> Some Crash_flood
   | _ -> None
 
-let all_profiles = [ Clean; Lossy; Hostile; Hostile_flood; Outage_recover ]
+let all_profiles =
+  [
+    Clean;
+    Lossy;
+    Hostile;
+    Hostile_flood;
+    Outage_recover;
+    Crash_restart;
+    Crash_flood;
+  ]
 
 type spread = Round_robin | Random_path | Route_change of float
 
@@ -39,6 +59,11 @@ type flood = {
   flood_rate : float;  (** forged packets per simulated second *)
   flood_stop : float;  (** injection ends here *)
   flood_conns : int;  (** distinct bogus connection ids in play *)
+}
+
+type crash = {
+  cr_time : float;  (** the receiver endpoint dies here *)
+  cr_restart : float;  (** downtime before restart from the persisted image *)
 }
 
 type t = {
@@ -78,12 +103,14 @@ type t = {
   ack_blackhole : (float * float) option;
   outage : outage option;
   flood : flood option;
+  crashes : crash list;
+  snap_period : float;  (** full-snapshot interval; 0 = ACK-journal only *)
 }
 
 let faultless s =
   s.loss = 0.0 && s.corrupt = 0.0 && s.duplicate = 0.0 && s.jitter = 0.0
   && s.dropper = None && s.ack_blackhole = None && s.outage = None
-  && s.flood = None
+  && s.flood = None && s.crashes = []
 
 (* Schedules that exercise the demultiplexing receiver (several
    connections, connection reuse, or adversarial connection traffic) run
@@ -189,19 +216,20 @@ let generate ~profile ~seed =
   let data_len =
     match profile with
     | Clean -> int_in rng 1 32768
-    | Lossy | Hostile | Outage_recover -> int_in rng 1 16384
-    | Hostile_flood -> int_in rng 1 8192
+    | Lossy | Hostile | Outage_recover | Crash_restart -> int_in rng 1 16384
+    | Hostile_flood | Crash_flood -> int_in rng 1 8192
   in
   let gateways = List.init (Netsim.Rng.int rng 4) (fun _ -> gen_gateway rng) in
   let jitter =
     match profile with
     | Clean -> 0.0
-    | Lossy | Hostile | Hostile_flood | Outage_recover ->
+    | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
+    | Crash_flood ->
         if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
   in
   let dropper =
     match profile with
-    | Clean | Outage_recover -> None
+    | Clean | Outage_recover | Crash_restart | Crash_flood -> None
     | Lossy | Hostile | Hostile_flood ->
         if Netsim.Rng.bool rng 0.3 then
           Some
@@ -214,9 +242,14 @@ let generate ~profile ~seed =
         else None
   in
   let connections =
-    match profile with Hostile_flood -> int_in rng 2 4 | _ -> 1
+    match profile with
+    | Hostile_flood | Crash_flood -> int_in rng 2 4
+    | _ -> 1
   in
-  let reopen = profile = Hostile_flood && Netsim.Rng.bool rng 0.6 in
+  let reopen =
+    (profile = Hostile_flood || profile = Crash_flood)
+    && Netsim.Rng.bool rng 0.6
+  in
   let ack_blackhole =
     (* a permanently dead reverse path: the sender must give up cleanly
        and the receiver must evict, never leak *)
@@ -232,6 +265,15 @@ let generate ~profile ~seed =
             flood_rate = float_in rng 200.0 2000.0;
             flood_stop = float_in rng 0.2 1.0;
             flood_conns = int_in rng 4 32;
+          }
+    | Crash_flood ->
+        (* lighter than Hostile_flood: the crash-restart machinery is the
+           subject under test, the flood is background pressure *)
+        Some
+          {
+            flood_rate = float_in rng 100.0 1000.0;
+            flood_stop = float_in rng 0.2 0.6;
+            flood_conns = int_in rng 4 16;
           }
     | _ -> None
   in
@@ -269,21 +311,29 @@ let generate ~profile ~seed =
       loss =
         (match profile with
         | Clean -> 0.0
+        | Crash_restart | Crash_flood ->
+            (* light loss: enough to keep TPDUs in flight across crash
+               points, not enough to drown the recovery signal *)
+            if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.03 else 0.0
         | Lossy | Hostile | Hostile_flood | Outage_recover ->
             if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
       corrupt =
         (match profile with
-        | Clean | Lossy | Outage_recover -> 0.0
+        | Clean | Lossy | Outage_recover | Crash_restart -> 0.0
+        | Crash_flood -> float_in rng 0.002 0.02
         | Hostile | Hostile_flood -> float_in rng 0.002 0.04);
       duplicate =
         (match profile with
         | Clean -> 0.0
-        | Lossy | Hostile | Hostile_flood | Outage_recover ->
+        | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
+        | Crash_flood ->
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
       dropper;
       ack_blackhole;
       outage = None (* filled below *);
       flood;
+      crashes = [] (* filled below *);
+      snap_period = 0.0 (* filled below *);
     }
   in
   let rto = estimate_rto base in
@@ -303,28 +353,62 @@ let generate ~profile ~seed =
           }
     | _ -> None
   in
+  (* Crash points land where TPDUs are provably mid-flight: the first a
+     couple of RTOs in, each next one a couple of RTOs after the previous
+     restart, so every crash interrupts live transfer state.  Downtime is
+     a few RTOs — the sender's capped backoff rides it out without
+     approaching the give-up horizon. *)
+  let crashes =
+    match profile with
+    | Crash_restart | Crash_flood ->
+        let n =
+          match profile with Crash_restart -> int_in rng 1 3 | _ -> int_in rng 1 2
+        in
+        let rec gen i t0 acc =
+          if i = 0 then List.rev acc
+          else begin
+            let cr_time = t0 +. float_in rng (2.0 *. rto) (8.0 *. rto) in
+            let cr_restart = float_in rng (2.0 *. rto) (6.0 *. rto) in
+            gen (i - 1) (cr_time +. cr_restart) ({ cr_time; cr_restart } :: acc)
+          end
+        in
+        gen n (float_in rng 0.005 0.05) []
+    | _ -> []
+  in
+  let snap_period =
+    match profile with
+    | Crash_restart | Crash_flood -> float_in rng (5.0 *. rto) (20.0 *. rto)
+    | _ -> 0.0
+  in
   (* The RTO estimator only makes sense against real adversity, and a
      faultless run's quiet-wire oracle must never be exposed to an
      estimator's early samples. *)
   let rto_adaptive =
     profile <> Clean
-    && (not (faultless { base with outage }))
+    && (not (faultless { base with outage; crashes }))
     && Netsim.Rng.bool rng 0.5
   in
   let give_up_txs =
     if base.ack_blackhole <> None then int_in rng 6 10 else 40
   in
   (* The TTL must exceed every legitimate quiet period: the longest gap
-     between retransmissions of one TPDU is 8 RTOs (capped backoff), and
-     an outage adds its whole duration. *)
+     between retransmissions of one TPDU is 8 RTOs (capped backoff), an
+     outage adds its whole duration, and a crash adds its downtime. *)
   let state_ttl =
     let floor_ttl = Float.max (30.0 *. rto) 5.0 in
-    match outage with
-    | Some o -> Float.max floor_ttl (2.0 *. o.out_duration)
-    | None -> floor_ttl
+    let floor_ttl =
+      match outage with
+      | Some o -> Float.max floor_ttl (2.0 *. o.out_duration)
+      | None -> floor_ttl
+    in
+    List.fold_left
+      (fun acc c -> Float.max acc (4.0 *. c.cr_restart))
+      floor_ttl crashes
   in
   let state_budget =
-    match profile with Hostile_flood -> estimate_budget base | _ -> 0
+    match profile with
+    | Hostile_flood | Crash_flood -> estimate_budget base
+    | _ -> 0
   in
   {
     base with
@@ -335,6 +419,8 @@ let generate ~profile ~seed =
     state_ttl;
     state_budget;
     outage;
+    crashes;
+    snap_period;
   }
 
 (* {2 Flat text round-trip}
@@ -474,6 +560,29 @@ let flood_of_string str =
         | _ -> None)
     | _ -> None
 
+let crashes_to_string = function
+  | [] -> "-"
+  | cs ->
+      String.concat ","
+        (List.map
+           (fun c -> Printf.sprintf "%.17g:%.17g" c.cr_time c.cr_restart)
+           cs)
+
+let crashes_of_string str =
+  if str = "-" then Some []
+  else
+    let parse_one tok =
+      match String.split_on_char ':' tok with
+      | [ a; b ] -> (
+          match (float_of_string_opt a, float_of_string_opt b) with
+          | Some cr_time, Some cr_restart -> Some { cr_time; cr_restart }
+          | _ -> None)
+      | _ -> None
+    in
+    let toks = String.split_on_char ',' str in
+    let parsed = List.filter_map parse_one toks in
+    if List.length parsed = List.length toks then Some parsed else None
+
 let to_string s =
   String.concat " "
     [
@@ -509,6 +618,8 @@ let to_string s =
       Printf.sprintf "ack_blackhole=%s" (blackhole_to_string s.ack_blackhole);
       Printf.sprintf "outage=%s" (outage_to_string s.outage);
       Printf.sprintf "flood=%s" (flood_to_string s.flood);
+      Printf.sprintf "crashes=%s" (crashes_to_string s.crashes);
+      Printf.sprintf "snap_period=%.17g" s.snap_period;
     ]
 
 let of_string str =
@@ -560,6 +671,8 @@ let of_string str =
   let* ack_blackhole = Option.bind (find "ack_blackhole") blackhole_of_string in
   let* outage = Option.bind (find "outage") outage_of_string in
   let* flood = Option.bind (find "flood") flood_of_string in
+  let* crashes = Option.bind (find "crashes") crashes_of_string in
+  let* snap_period = flt "snap_period" in
   Some
     {
       seed;
@@ -594,4 +707,111 @@ let of_string str =
       ack_blackhole;
       outage;
       flood;
+      crashes;
+      snap_period;
     }
+
+(* {2 Validation}
+
+   [of_string] accepts any token-level well-formed schedule; [validate]
+   is the semantic gate the CLI runs before handing a replayed schedule
+   to the driver, so a hand-edited spec fails with one readable line
+   instead of an [Invalid_argument] from deep inside the transport. *)
+
+let validate s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let prob name p =
+    if p < 0.0 || p > 1.0 then err "%s must be within [0, 1]" name else Ok ()
+  in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  if s.data_len < 1 then err "data_len must be >= 1"
+  else if s.elem_size < 4 || s.elem_size mod 4 <> 0 then
+    err "elem_size must be a positive multiple of 4"
+  else if s.frame_bytes < s.elem_size || s.frame_bytes mod s.elem_size <> 0 then
+    err "frame_bytes must be a positive multiple of elem_size"
+  else if s.tpdu_elems < 1 then err "tpdu_elems must be >= 1"
+  else if s.tpdu_elems > Edc.Invariant.max_tpdu_elems ~size:s.elem_size then
+    err "tpdu_elems exceeds the error-detection invariant for elem_size %d"
+      s.elem_size
+  else if s.mtu <= Wire.header_size then
+    err "mtu must exceed the %d-byte chunk header" Wire.header_size
+  else if s.window < 1 then err "window must be >= 1"
+  else if s.rto <= 0.0 then err "rto must be positive"
+  else if s.nack_delay <= 0.0 then err "nack_delay must be positive"
+  else if s.give_up_txs < 1 then err "give_up_txs must be >= 1"
+  else if s.state_budget < 0 then err "state_budget cannot be negative"
+  else if s.state_ttl <= 0.0 then err "state_ttl must be positive"
+  else if s.connections < 1 then err "connections must be >= 1"
+  else if s.paths < 1 then err "paths must be >= 1"
+  else if s.skew < 0.0 then err "skew cannot be negative"
+  else if s.jitter < 0.0 then err "jitter cannot be negative"
+  else if s.rate_bps <= 0.0 then err "rate_bps must be positive"
+  else if s.delay < 0.0 then err "delay cannot be negative"
+  else if
+    match s.spread with Route_change p -> p <= 0.0 | _ -> false
+  then err "route-change period must be positive"
+  else if List.exists (fun g -> g.gw_mtu <= Wire.header_size) s.gateways then
+    err "every gateway mtu must exceed the %d-byte chunk header"
+      Wire.header_size
+  else if List.exists (fun g -> g.gw_batch < 1) s.gateways then
+    err "gateway batch must be >= 1"
+  else
+    let* () = prob "loss" s.loss in
+    let* () = prob "corrupt" s.corrupt in
+    let* () = prob "duplicate" s.duplicate in
+    let* () =
+      match s.dropper with
+      | Some d -> prob "dropper loss" d.drop_loss
+      | None -> Ok ()
+    in
+    let* () =
+      match s.ack_blackhole with
+      | Some (t0, dur) ->
+          if t0 < 0.0 || dur < 0.0 then
+            err "ack_blackhole start and duration cannot be negative"
+          else Ok ()
+      | None -> Ok ()
+    in
+    let* () =
+      match s.outage with
+      | Some o ->
+          if o.out_start < 0.0 || o.out_duration < 0.0 then
+            err "outage start and duration cannot be negative"
+          else if o.out_hold && o.out_duration = infinity then
+            err "a hold outage cannot last forever"
+          else Ok ()
+      | None -> Ok ()
+    in
+    let* () =
+      match s.flood with
+      | Some f ->
+          if f.flood_rate <= 0.0 then err "flood_rate must be positive"
+          else if f.flood_stop < 0.0 then err "flood_stop cannot be negative"
+          else if f.flood_conns < 1 then err "flood_conns must be >= 1"
+          else Ok ()
+      | None -> Ok ()
+    in
+    let* () =
+      if
+        List.exists
+          (fun c ->
+            c.cr_time <= 0.0 || c.cr_restart <= 0.0
+            || Float.is_nan c.cr_time || Float.is_nan c.cr_restart
+            || c.cr_restart = infinity)
+          s.crashes
+      then err "crash times and downtimes must be positive and finite"
+      else Ok ()
+    in
+    let* () =
+      let rec ordered = function
+        | a :: (b :: _ as rest) ->
+            if b.cr_time <= a.cr_time +. a.cr_restart then
+              err "crashes must be ordered and non-overlapping"
+            else ordered rest
+        | _ -> Ok ()
+      in
+      ordered s.crashes
+    in
+    if s.snap_period < 0.0 || Float.is_nan s.snap_period then
+      err "snap_period cannot be negative"
+    else Ok ()

@@ -24,6 +24,17 @@ type profile =
       (** a scheduled forward-path outage (packets dropped, or held and
           replayed at resume); the transfer must recover and complete —
           give-up is a violation *)
+  | Crash_restart
+      (** the receiver endpoint crashes mid-transfer (one to three
+          times), losing all in-memory state and any traffic in its down
+          window, then restarts from its journaled snapshot; the
+          transfer must still complete with no double delivery and no
+          papered-over hole *)
+  | Crash_flood
+      (** crash-restart layered on a demultiplexing receiver under
+          connection-flood pressure with a state budget: restored state
+          must re-fit the budget and restored connections must survive
+          the flood's displacement churn *)
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -51,6 +62,12 @@ type flood = {
   flood_rate : float;  (** forged packets per simulated second *)
   flood_stop : float;
   flood_conns : int;  (** distinct bogus connection ids in play *)
+}
+
+type crash = {
+  cr_time : float;  (** the receiver endpoint dies here (simulated s) *)
+  cr_restart : float;
+      (** downtime before it restarts from its persisted image *)
 }
 
 type t = {
@@ -88,6 +105,10 @@ type t = {
           [infinity]) *)
   outage : outage option;  (** forward-path outage window *)
   flood : flood option;  (** connection-flood adversary *)
+  crashes : crash list;
+      (** receiver crash-restart events, ordered, non-overlapping *)
+  snap_period : float;
+      (** full-snapshot interval, seconds; 0 = ACK journalling only *)
 }
 
 val generate : profile:profile -> seed:int -> t
@@ -128,3 +149,12 @@ val to_string : t -> string
 
 val of_string : string -> t option
 (** Inverse of {!to_string}; [None] on any malformed token. *)
+
+val validate : t -> (unit, string) result
+(** Semantic gate over a parsed schedule: every dimension constraint
+    the driver and transport rely on (element alignment, the
+    invariant-region TPDU bound, MTUs that hold a header, positive
+    timers, probabilities in [0, 1], ordered non-overlapping crashes).
+    [generate] satisfies it by construction; hand-edited replay specs
+    get one readable line instead of an exception from deep inside the
+    transport. *)

@@ -12,6 +12,10 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
     [
       (* robustness machinery first — deleting a whole adversary or
          outage removes the most schedule at once *)
+      t "crashes=none" (s.crashes <> [])
+        { s with crashes = []; snap_period = 0.0 };
+      t "snap_period=0" (s.crashes <> [] && s.snap_period > 0.0)
+        { s with snap_period = 0.0 };
       t "flood=none" (s.flood <> None) { s with flood = None };
       t "outage=none" (s.outage <> None) { s with outage = None };
       t "blackhole=none" (s.ack_blackhole <> None)
@@ -39,6 +43,17 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
         { s with frame_bytes = s.elem_size * (s.frame_bytes / s.elem_size / 2) };
     ]
   in
+  (* Dropping crashes one at a time keeps a counterexample that needs,
+     say, only the second crash-restart replayable (the remaining crash
+     list stays ordered and non-overlapping by construction). *)
+  let drop_crashes =
+    List.mapi
+      (fun i _ ->
+        Some
+          ( Printf.sprintf "drop-crash-%d" i,
+            { s with crashes = List.filteri (fun j _ -> j <> i) s.crashes } ))
+      s.crashes
+  in
   let drop_gateways =
     List.mapi
       (fun i _ ->
@@ -58,7 +73,7 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
           } )
     else None
   in
-  List.filter_map Fun.id (base @ drop_gateways @ [ unbatch ])
+  List.filter_map Fun.id (base @ drop_crashes @ drop_gateways @ [ unbatch ])
 
 let still_violating ?mutation s =
   let model = Model.of_schedule s in

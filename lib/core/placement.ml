@@ -52,6 +52,24 @@ let place p chunk =
     end
   end
 
+let spans p = Vreassembly.spans p.tracker
+
+let restore_span p ~sn data =
+  let n = Bytes.length data in
+  if n = 0 || n mod p.elem_size <> 0 then
+    Error "Placement.restore_span: not a whole number of elements"
+  else begin
+    let len = n / p.elem_size in
+    if sn < 0 || len > p.capacity_elems || sn > p.capacity_elems - len then
+      Error "Placement.restore_span: outside destination window"
+    else begin
+      Bytes.blit data 0 p.buf (sn * p.elem_size) n;
+      (match Vreassembly.insert_new p.tracker ~sn ~len ~st:false with
+      | Ok _ | Error `Inconsistent -> ());
+      Ok ()
+    end
+  end
+
 let placed_elems p = Vreassembly.received_elems p.tracker
 
 let is_full p = placed_elems p = p.capacity_elems

@@ -26,6 +26,19 @@ val place : t -> Chunk.t -> (unit, string) result
 val placed_elems : t -> int
 (** Distinct elements placed so far. *)
 
+val spans : t -> (int * int) list
+(** Placed element runs as [(sn, len)] relative to [base_sn], ascending
+    and coalesced — with {!contents} this is the whole recoverable
+    placement state (crash-recovery snapshots serialise exactly these
+    runs and their bytes). *)
+
+val restore_span : t -> sn:int -> bytes -> (unit, string) result
+(** [restore_span p ~sn data] re-places a previously placed run from a
+    persisted snapshot: [data] must be a whole number of elements, which
+    land at element [sn] (relative to [base_sn]).  Fails — never raises
+    — on ragged lengths or out-of-window SNs, so a corrupted snapshot
+    degrades to missing data that retransmission repairs. *)
+
 val is_full : t -> bool
 val contents : t -> bytes
 (** The destination buffer (not a copy). *)

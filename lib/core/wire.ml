@@ -78,6 +78,63 @@ let encode_packet ?capacity chunks =
       Buffer.blit buf 0 b 0 (Buffer.length buf);
       Ok b
 
+(* Checksummed record framing for persisted state (crash-recovery
+   snapshots and journals).  A record is
+
+     LEN (u32 be) | TAG (u8) | payload (LEN bytes) | WSC-2 parity (8)
+
+   with the parity computed over TAG + payload, so a bit flip anywhere
+   in the record body — or a LEN that slices the wrong region — fails
+   the checksum.  Decoding never raises: a bad record is an [Error],
+   and [decode_records] truncates at the first one (torn-write
+   tolerance). *)
+
+let record_overhead = 4 + 1 + 8
+
+let encode_record buf ~tag payload =
+  if tag < 0 || tag > 0xFF then invalid_arg "Wire.encode_record: bad tag";
+  let n = Bytes.length payload in
+  let body = Bytes.create (1 + n) in
+  Bytes.set_uint8 body 0 tag;
+  Bytes.blit payload 0 body 1 n;
+  let par = Wsc2.encode_bytes ~pos:0 body in
+  let len = Bytes.create 4 in
+  Bytes.set_int32_be len 0 (Int32.of_int n);
+  Buffer.add_bytes buf len;
+  Buffer.add_bytes buf body;
+  Buffer.add_bytes buf (Wsc2.parity_to_bytes par)
+
+let decode_record b off =
+  let avail = Bytes.length b - off in
+  if off < 0 || avail < record_overhead then
+    Error "Wire.decode_record: truncated record"
+  else begin
+    let n = get_u32 b off in
+    if n > avail - record_overhead then
+      Error "Wire.decode_record: length prefix exceeds buffer"
+    else begin
+      let body = Bytes.sub b (off + 4) (1 + n) in
+      let expected = Wsc2.parity_of_bytes b (off + 4 + 1 + n) in
+      if not (Wsc2.parity_equal expected (Wsc2.encode_bytes ~pos:0 body)) then
+        Error "Wire.decode_record: checksum mismatch"
+      else
+        let tag = Bytes.get_uint8 body 0 in
+        let payload = Bytes.sub body 1 n in
+        Ok (tag, payload, off + record_overhead + n)
+    end
+  end
+
+let decode_records b off =
+  let n = Bytes.length b in
+  let rec go off acc =
+    if off >= n then (List.rev acc, false)
+    else
+      match decode_record b off with
+      | Ok (tag, payload, off') -> go off' ((tag, payload) :: acc)
+      | Error _ -> (List.rev acc, true)
+  in
+  go off []
+
 let all_zero b off =
   let rec go i = i >= Bytes.length b || (Bytes.get b i = '\000' && go (i + 1)) in
   go off

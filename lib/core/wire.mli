@@ -58,3 +58,31 @@ val decode_packet : bytes -> (Chunk.t list, string) result
 (** Parse all chunks of a packet, stopping at a terminator, at
     end-of-buffer, or at a residue smaller than one header (treated as
     padding only if all-zero). *)
+
+(** {1 Checksummed record framing}
+
+    Length-prefixed, WSC-2-checksummed records for persisted endpoint
+    state (crash-recovery snapshots and their append-only journals):
+    [LEN (u32 be) | TAG (u8) | payload | parity (8 bytes)], with the
+    parity computed over TAG and payload together.  Decoding never
+    raises on malformed input. *)
+
+val record_overhead : int
+(** Framing bytes per record beyond the payload (13). *)
+
+val encode_record : Buffer.t -> tag:int -> bytes -> unit
+(** Append one record.
+    @raise Invalid_argument if [tag] is outside [0, 255]. *)
+
+val decode_record : bytes -> int -> (int * bytes * int, string) result
+(** [decode_record b off] parses one record at [off] and returns
+    [(tag, payload, next_off)].  Fails — never raises — on truncation,
+    a length prefix that overruns the buffer, or a checksum
+    mismatch. *)
+
+val decode_records : bytes -> int -> (int * bytes) list * bool
+(** Parse records back to back until end-of-buffer or the first bad
+    record.  Returns the good prefix and whether decoding stopped early
+    ([true] = torn tail was truncated) — the journal-recovery rule:
+    everything before the first damaged record is trusted, everything
+    after it is discarded. *)

@@ -424,3 +424,77 @@ let stats v =
     duplicates = v.dups;
     chunks_seen = v.seen;
   }
+
+(* Persisted image of one in-flight TPDU: every field of [tpdu_state]
+   that cannot be re-derived, in canonical (sorted) order so that
+   export/import round-trips are comparable structurally.  [born] is
+   deliberately absent — a restored TPDU is re-born at restore time, so
+   its latency figures restart rather than counting the outage. *)
+type tpdu_image = {
+  ti_t_id : int;
+  ti_parity : Wsc2.parity;
+  ti_spans : (int * int) list;
+  ti_total : int option;
+  ti_pairs : int list;
+  ti_x_deltas : (int * int) list;
+  ti_delta_ct : int option;
+  ti_c_id : int option;
+  ti_size : int option;
+  ti_labels_done : bool;
+  ti_expected : Wsc2.parity option;
+  ti_damage : string option;
+  ti_x_spans : (int * int * int * int) list;
+}
+
+let export v =
+  Hashtbl.fold
+    (fun t_id s acc ->
+      {
+        ti_t_id = t_id;
+        ti_parity = Wsc2.snapshot s.acc;
+        ti_spans = Vreassembly.spans s.tracker;
+        ti_total = Vreassembly.total s.tracker;
+        ti_pairs =
+          Hashtbl.fold (fun k () l -> k :: l) s.pairs_done []
+          |> List.sort Int.compare;
+        ti_x_deltas =
+          Hashtbl.fold (fun k d l -> (k, d) :: l) s.x_deltas []
+          |> List.sort compare;
+        ti_delta_ct = s.delta_ct;
+        ti_c_id = s.c_id;
+        ti_size = s.size;
+        ti_labels_done = s.labels_done;
+        ti_expected = s.expected;
+        ti_damage = s.damage;
+        ti_x_spans = List.sort compare s.x_spans;
+      }
+      :: acc)
+    v.tpdus []
+  |> List.sort (fun a b -> Int.compare a.ti_t_id b.ti_t_id)
+
+let import v img =
+  if not (Hashtbl.mem v.tpdus img.ti_t_id) then begin
+    let s = state v img.ti_t_id in
+    (* rebuild the accumulator from its parity: XOR accumulation makes
+       resume-from-snapshot indistinguishable from never stopping *)
+    Wsc2.combine s.acc (Wsc2.of_parity img.ti_parity);
+    List.iter
+      (fun (sn, len) ->
+        match Vreassembly.insert_new s.tracker ~sn ~len ~st:false with
+        | Ok _ | Error `Inconsistent -> ())
+      img.ti_spans;
+    (match img.ti_total with
+    | Some total -> (
+        match Vreassembly.set_total s.tracker total with
+        | Ok () | Error `Inconsistent -> ())
+    | None -> ());
+    List.iter (fun k -> Hashtbl.replace s.pairs_done k ()) img.ti_pairs;
+    List.iter (fun (k, d) -> Hashtbl.replace s.x_deltas k d) img.ti_x_deltas;
+    s.delta_ct <- img.ti_delta_ct;
+    s.c_id <- img.ti_c_id;
+    s.size <- img.ti_size;
+    s.labels_done <- img.ti_labels_done;
+    s.expected <- img.ti_expected;
+    s.damage <- img.ti_damage;
+    s.x_spans <- img.ti_x_spans
+  end

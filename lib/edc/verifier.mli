@@ -92,3 +92,41 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {1 Persistence}
+
+    The paper's compact-state argument made durable: an in-flight TPDU
+    is fully described by its WSC-2 parity, its virtual-reassembly
+    spans, and a handful of label cells — small enough to snapshot on
+    every acknowledgement.  Restoring an image and replaying the
+    remaining chunks is indistinguishable from never having crashed,
+    because WSC-2 accumulation is order-independent XOR. *)
+
+type tpdu_image = {
+  ti_t_id : int;
+  ti_parity : Wsc2.parity;  (** accumulator state, as its parity *)
+  ti_spans : (int * int) list;  (** received [(t_sn, len)] runs *)
+  ti_total : int option;  (** TPDU extent, once known *)
+  ti_pairs : int list;  (** boundary T.SNs already paired *)
+  ti_x_deltas : (int * int) list;  (** X.ID → C.SN - X.SN *)
+  ti_delta_ct : int option;  (** C.SN - T.SN *)
+  ti_c_id : int option;
+  ti_size : int option;
+  ti_labels_done : bool;
+  ti_expected : Wsc2.parity option;  (** ED chunk's parity, if seen *)
+  ti_damage : string option;
+  ti_x_spans : (int * int * int * int) list;
+      (** fresh [(t_sn, len, x_id, x_sn)] runs for X-framing checks *)
+}
+(** Everything about one in-flight TPDU that cannot be re-derived, with
+    all lists in canonical sorted order (export/import round-trips
+    compare structurally equal). *)
+
+val export : t -> tpdu_image list
+(** Images of every in-flight TPDU, ascending by T.ID. *)
+
+val import : t -> tpdu_image -> unit
+(** Recreate one TPDU's state from its image (re-born at the current
+    clock reading).  A T.ID already held is left untouched; a corrupted
+    image degrades to partial state that identical-label retransmission
+    repairs — never an exception. *)

@@ -1,0 +1,28 @@
+type stats = { passed : int; dropped : int }
+
+type t = {
+  engine : Engine.t;
+  windows : (float * float) list;  (* [start, stop) intervals, sorted *)
+  deliver : bytes -> unit;
+  mutable passed : int;
+  mutable dropped : int;
+}
+
+let create engine ~windows ~deliver () =
+  List.iter
+    (fun (start, stop) ->
+      if stop < start then invalid_arg "Blackout.create: window ends before it starts")
+    windows;
+  let windows = List.sort compare windows in
+  { engine; windows; deliver; passed = 0; dropped = 0 }
+
+let down t ~at = List.exists (fun (start, stop) -> at >= start && at < stop) t.windows
+
+let send t b =
+  if down t ~at:(Engine.now t.engine) then t.dropped <- t.dropped + 1
+  else begin
+    t.passed <- t.passed + 1;
+    t.deliver b
+  end
+
+let stats t = { passed = t.passed; dropped = t.dropped }

@@ -1,0 +1,32 @@
+(** A link valve modelling an endpoint that is down across several
+    scheduled windows: packets sent while the simulated clock is inside
+    any [\[start, stop)] window are discarded (a crashed endpoint
+    neither receives nor buffers), and pass through untouched outside
+    all of them.
+
+    This is {!Outage} generalised to multiple [Drop] windows — the shape
+    crash-restart schedules need, where an endpoint may crash (and lose
+    its inbound traffic) more than once per run.  Place it in front of
+    any [deliver] function; it has no rate or delay of its own. *)
+
+type stats = {
+  passed : int;  (** packets forwarded outside every window *)
+  dropped : int;  (** packets discarded inside some window *)
+}
+
+type t
+
+val create :
+  Engine.t ->
+  windows:(float * float) list ->
+  deliver:(bytes -> unit) ->
+  unit ->
+  t
+(** [windows] are [(start, stop)] pairs in simulated seconds, in any
+    order; overlapping windows behave as their union.
+    @raise Invalid_argument if any window ends before it starts. *)
+
+val send : t -> bytes -> unit
+(** Forward or discard one packet according to the clock. *)
+
+val stats : t -> stats

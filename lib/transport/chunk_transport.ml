@@ -180,6 +180,13 @@ module Receiver = struct
     mutable reacks_sent : int;
     mutable evictions : int;
     mutable aborts_received : int;
+    (* crash recovery: [persist] receives one journal event per fresh
+       ACK {e before} the ACK leaves (write-ahead — the receiver never
+       promises bytes it has not made durable); [restored_passes] carries
+       the verified-TPDU count across restarts so the epoch's archive
+       gate survives a crash *)
+    mutable persist : (Persist.event -> unit) option;
+    mutable restored_passes : int;
   }
 
   let gov_key rx t_id = { Governor.conn = rx.config.conn_id; tpdu = t_id }
@@ -199,7 +206,7 @@ module Receiver = struct
     rx.evictions <- rx.evictions + 1
 
   let create engine config ?(bus = Busmodel.create ()) ?governor ?acked
-      ~send_ack ~capacity () =
+      ?persist ~send_ack ~capacity () =
     validate_config config;
     let capacity_elems =
       match capacity with `Exact n | `Quota n -> n
@@ -238,6 +245,8 @@ module Receiver = struct
         reacks_sent = 0;
         evictions = 0;
         aborts_received = 0;
+        persist;
+        restored_passes = 0;
       }
     in
     if own_governor then
@@ -477,18 +486,21 @@ module Receiver = struct
                 { t_id; verdict = Edc.Verifier.Passed } ->
                 (* a passed parity covers every stashed run, so any
                    still-unconfirmed stash is safe to place now *)
-                (match Hashtbl.find_opt rx.corrob t_id with
-                | Some m ->
-                    flush_stash rx m;
-                    List.iter
-                      (fun (sn, len) ->
-                        match
-                          Vreassembly.insert_new rx.verified_cover ~sn ~len
-                            ~st:false
-                        with
-                        | Ok _ | Error `Inconsistent -> ())
+                let placed_runs =
+                  match Hashtbl.find_opt rx.corrob t_id with
+                  | Some m ->
+                      flush_stash rx m;
+                      List.iter
+                        (fun (sn, len) ->
+                          match
+                            Vreassembly.insert_new rx.verified_cover ~sn ~len
+                              ~st:false
+                          with
+                          | Ok _ | Error `Inconsistent -> ())
+                        m.placed_runs;
                       m.placed_runs
-                | None -> ());
+                  | None -> []
+                in
                 Hashtbl.remove rx.corrob t_id;
                 (match Hashtbl.find_opt rx.end_claims t_id with
                 | Some last ->
@@ -505,6 +517,33 @@ module Receiver = struct
                       if Obs.enabled then
                         Obs.Metrics.observe_s m_tpdu_latency dt;
                       Hashtbl.remove rx.first_arrival t_id
+                  | None -> ());
+                  (* write-ahead: the bytes this ACK promises to keep go
+                     to stable storage before the ACK can reach the
+                     sender — otherwise a crash after the ACK leaves a
+                     hole the sender will never refill *)
+                  (match rx.persist with
+                  | Some journal ->
+                      let es = rx.config.elem_size in
+                      let buf = Placement.contents rx.placement in
+                      let runs =
+                        Persist.normalize_runs ~elem_size:es
+                          (List.filter_map
+                             (fun (sn, len) ->
+                               let off = sn * es and n = len * es in
+                               if sn >= 0 && len > 0 && off + n <= Bytes.length buf
+                               then Some (sn, Bytes.sub buf off n)
+                               else None)
+                             placed_runs)
+                      in
+                      journal
+                        (Persist.Acked
+                           {
+                             conn = rx.config.conn_id;
+                             t_id;
+                             end_confirmed = rx.end_confirmed;
+                             runs;
+                           })
                   | None -> ());
                   rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
                 end
@@ -577,6 +616,140 @@ module Receiver = struct
     Hashtbl.fold
       (fun _ m acc -> if m.stash <> [] then acc + 1 else acc)
       rx.corrob 0
+
+  (* {2 Crash recovery} *)
+
+  let epoch_passes rx =
+    rx.restored_passes + (Edc.Verifier.stats rx.verifier).Edc.Verifier.tpdus_passed
+
+  let acked_tids rx =
+    Hashtbl.fold (fun k () acc -> k :: acc) rx.acked []
+    |> List.sort Int.compare
+
+  let sorted_assoc tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+  let export rx : Persist.receiver_image =
+    let es = rx.config.elem_size in
+    let buf = Placement.contents rx.placement in
+    let ri_placed =
+      List.filter_map
+        (fun (sn, len) ->
+          let off = sn * es and n = len * es in
+          if off >= 0 && n > 0 && off + n <= Bytes.length buf then
+            Some (sn, Bytes.sub buf off n)
+          else None)
+        (Placement.spans rx.placement)
+    in
+    let ri_corrob =
+      Hashtbl.fold
+        (fun t_id m acc ->
+          let pi_stash =
+            List.rev m.stash
+            |> List.filter_map (fun (c, t_sn, elems) ->
+                   match Wire.encode_packet [ c ] with
+                   | Ok b -> Some (b, t_sn, elems)
+                   | Error _ -> None)
+          in
+          {
+            Persist.pi_t_id = t_id;
+            pi_delta_data = m.delta_data;
+            pi_delta_ed = m.delta_ed;
+            pi_confirmed = m.confirmed;
+            pi_stash;
+            pi_placed_runs = List.sort compare m.placed_runs;
+          }
+          :: acc)
+        rx.corrob []
+      |> List.sort (fun a b ->
+             Int.compare a.Persist.pi_t_id b.Persist.pi_t_id)
+    in
+    {
+      Persist.ri_conn = rx.config.conn_id;
+      ri_placed;
+      ri_verified = Vreassembly.spans rx.verified_cover;
+      ri_end_confirmed = rx.end_confirmed;
+      ri_end_claims = sorted_assoc rx.end_claims;
+      ri_last_reack = sorted_assoc rx.last_reack;
+      ri_passed = epoch_passes rx;
+      ri_tpdus = Edc.Verifier.export rx.verifier;
+      ri_corrob;
+    }
+
+  (* Rebuild a live receiver from its persisted image.  Conservative
+     re-entry: data already counted into a restored parity is never
+     re-accepted (the restored verifier tracker treats it as duplicate),
+     the ledger in [acked_tids] keeps verified TPDUs from being
+     re-processed, and governor occupancy is re-derived from the
+     restored state — not trusted from the image. *)
+  let restore engine config ?bus ?governor ?acked ?persist ~send_ack ~capacity
+      (img : Persist.receiver_image) ~acked_tids =
+    let rx =
+      create engine config ?bus ?governor ?acked ?persist ~send_ack ~capacity ()
+    in
+    rx.restored_passes <- img.Persist.ri_passed;
+    List.iter
+      (fun (sn, b) ->
+        match Placement.restore_span rx.placement ~sn b with
+        | Ok () | Error _ -> ())
+      img.Persist.ri_placed;
+    List.iter
+      (fun (sn, len) ->
+        match Vreassembly.insert_new rx.verified_cover ~sn ~len ~st:false with
+        | Ok _ | Error `Inconsistent -> ())
+      img.Persist.ri_verified;
+    rx.end_confirmed <- img.Persist.ri_end_confirmed;
+    List.iter
+      (fun (t, last) -> Hashtbl.replace rx.end_claims t last)
+      img.Persist.ri_end_claims;
+    List.iter
+      (fun (t, at) -> Hashtbl.replace rx.last_reack t at)
+      img.Persist.ri_last_reack;
+    List.iter (Edc.Verifier.import rx.verifier) img.Persist.ri_tpdus;
+    List.iter
+      (fun (pi : Persist.corrob_image) ->
+        let stash =
+          List.filter_map
+            (fun (b, t_sn, elems) ->
+              match Wire.decode_packet b with
+              | Ok (c :: _) -> Some (c, t_sn, elems)
+              | Ok [] | Error _ -> None)
+            pi.Persist.pi_stash
+          |> List.rev
+        in
+        Hashtbl.replace rx.corrob pi.Persist.pi_t_id
+          {
+            delta_data = pi.Persist.pi_delta_data;
+            delta_ed = pi.Persist.pi_delta_ed;
+            confirmed = pi.Persist.pi_confirmed;
+            stash;
+            placed_runs = pi.Persist.pi_placed_runs;
+          })
+      img.Persist.ri_corrob;
+    List.iter (fun t -> Hashtbl.replace rx.acked t ()) acked_tids;
+    (* re-derive what the restored soft state costs and account it; the
+       governor, not the image, decides whether it still fits *)
+    let tracked =
+      List.sort_uniq compare
+        (Edc.Verifier.in_flight_ids rx.verifier
+        @ Hashtbl.fold (fun k _ acc -> k :: acc) rx.corrob [])
+    in
+    List.iter (fun t_id -> account rx t_id) tracked;
+    rx
+
+  (* Conservative re-entry into service: re-ACK the whole restored
+     ledger, because any ACK sent in the pre-crash epoch may have been
+     lost with the crash — the sender retransmitting into a restored
+     receiver that stays silent would probe until give-up. *)
+  let reannounce rx =
+    List.iter
+      (fun t_id ->
+        Hashtbl.replace rx.last_reack t_id (Netsim.Engine.now rx.engine);
+        rx.reacks_sent <- rx.reacks_sent + 1;
+        if Obs.enabled then Obs.Metrics.incr m_reacks;
+        rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id))
+      (acked_tids rx)
 end
 
 module Sender = struct
@@ -619,6 +792,10 @@ module Sender = struct
     mutable rto_cur : float;
     mutable rtt_samples : int;
     mutable max_txs_at_sample : int;
+    (* T.IDs acknowledged over the transfer's whole life, including those
+       restored from a persisted image ([restore]); a restored-acked TPDU
+       is rebuilt by the framer but never (re)transmitted *)
+    done_tids : (int, unit) Hashtbl.t;
   }
 
   let rto_min = 2e-3
@@ -684,6 +861,7 @@ module Sender = struct
       rto_cur = config.rto;
       rtt_samples = 0;
       max_txs_at_sample = 0;
+      done_tids = Hashtbl.create 16;
     }
 
   (* The adaptive floor: a TPDU small enough that (data + ED chunk) fits
@@ -708,15 +886,19 @@ module Sender = struct
               let t_id =
                 (List.hd tpdu_chunks).Chunk.header.Header.t.Ftuple.id
               in
-              Queue.add
-                {
-                  t_id;
-                  chunks = tpdu_chunks @ [ ed ];
-                  acked = false;
-                  last_tx = 0.0;
-                  txs = 0;
-                }
-                tx.ready
+              (* a TPDU the restored ledger says is already acknowledged
+                 is rebuilt (the framer's labels are deterministic) but
+                 never queued for transmission *)
+              if not (Hashtbl.mem tx.done_tids t_id) then
+                Queue.add
+                  {
+                    t_id;
+                    chunks = tpdu_chunks @ [ ed ];
+                    acked = false;
+                    last_tx = 0.0;
+                    txs = 0;
+                  }
+                  tx.ready
         end)
       chunks
 
@@ -899,6 +1081,7 @@ module Sender = struct
         if not tp.acked then begin
           note_rtt tx tp;
           tp.acked <- true;
+          Hashtbl.replace tx.done_tids t_id ();
           Hashtbl.remove tx.inflight t_id;
           (* first ACK proves the receiver processed the Open: the
              establishment phase is over *)
@@ -987,6 +1170,46 @@ module Sender = struct
   let srtt tx = if tx.srtt < 0.0 then None else Some tx.srtt
   let rtt_samples tx = tx.rtt_samples
   let max_txs_at_rtt_sample tx = tx.max_txs_at_sample
+
+  (* {2 Crash recovery} *)
+
+  let export tx : Persist.sender_image =
+    {
+      Persist.si_first_tid = tx.first_tid;
+      si_acked =
+        Hashtbl.fold (fun k () acc -> k :: acc) tx.done_tids []
+        |> List.sort Int.compare;
+      si_srtt = (if tx.srtt < 0.0 then None else Some tx.srtt);
+      si_rttvar = tx.rttvar;
+      si_rto_cur = tx.rto_cur;
+      si_tpdu_elems = tx.cur_tpdu_elems;
+    }
+
+  (* Rebuild a sender around the (re-offered) transfer data: the framer's
+     label assignment is deterministic, so the rebuilt TPDUs carry the
+     same T.IDs as before the crash and the restored ledger filters the
+     already-acknowledged ones out of transmission.  Adaptive TPDU sizing
+     re-partitions the stream mid-flight, which breaks that determinism —
+     restoring an adaptive sender is refused. *)
+  let restore engine config ?(announce_open = false) ~send ~data
+      (si : Persist.sender_image) =
+    if config.adaptive then
+      invalid_arg
+        "Chunk_transport.Sender.restore: adaptive TPDU sizing cannot be \
+         restored (label assignment is not deterministic)";
+    let tx =
+      create engine config ~first_tid:si.Persist.si_first_tid ~announce_open
+        ~send ~data ()
+    in
+    List.iter
+      (fun t -> Hashtbl.replace tx.done_tids t ())
+      si.Persist.si_acked;
+    if List.mem si.Persist.si_first_tid si.Persist.si_acked then
+      tx.open_chunk <- None;
+    tx.srtt <- Option.value si.Persist.si_srtt ~default:(-1.0);
+    tx.rttvar <- si.Persist.si_rttvar;
+    tx.rto_cur <- si.Persist.si_rto_cur;
+    tx
 end
 
 type outcome = {

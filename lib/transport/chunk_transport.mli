@@ -83,6 +83,7 @@ module Receiver : sig
     ?bus:Busmodel.t ->
     ?governor:Governor.t ->
     ?acked:(int, unit) Hashtbl.t ->
+    ?persist:(Persist.event -> unit) ->
     send_ack:(bytes -> unit) ->
     capacity:[ `Exact of int | `Quota of int ] ->
     unit ->
@@ -98,7 +99,12 @@ module Receiver : sig
       [config]); pass a shared one (plus a shared [?acked] table) when a
       demultiplexer owns several receivers — the demultiplexer then owns
       the eviction callback and routes per-TPDU evictions to
-      {!evict}. *)
+      {!evict}.
+
+      [?persist] is the write-ahead journal hook: it receives one
+      {!Persist.Acked} event per fresh acknowledgement, {e before} the
+      ACK packet is handed to [send_ack], carrying exactly the placed
+      bytes that ACK promises to keep. *)
 
   val on_packet : t -> bytes -> unit
   (** Feed one packet from the network. *)
@@ -177,6 +183,50 @@ module Receiver : sig
   (** TPDUs evicted because the sender signalled it abandoned them. *)
 
   val governor_stats : t -> Governor.stats
+
+  (** {2 Crash recovery} *)
+
+  val epoch_passes : t -> int
+  (** TPDUs verified over the epoch's whole life, {e including} those
+      verified before a crash and carried over by {!restore} — the
+      archive gate [Multi] uses (the raw {!verifier_stats} counter
+      restarts at zero on restore). *)
+
+  val acked_tids : t -> int list
+  (** The ACK ledger, ascending. *)
+
+  val export : t -> Persist.receiver_image
+  (** Snapshot the receiver's recoverable state (placed bytes, verified
+      cover, verifier parities and spans, corroboration records, re-ACK
+      throttle clocks).  Governor accounting is not exported: it is
+      re-derived on restore. *)
+
+  val restore :
+    Netsim.Engine.t ->
+    config ->
+    ?bus:Busmodel.t ->
+    ?governor:Governor.t ->
+    ?acked:(int, unit) Hashtbl.t ->
+    ?persist:(Persist.event -> unit) ->
+    send_ack:(bytes -> unit) ->
+    capacity:[ `Exact of int | `Quota of int ] ->
+    Persist.receiver_image ->
+    acked_tids:int list ->
+    t
+  (** Rebuild a live receiver from a persisted image.  Conservative:
+      data already counted into a restored parity is never re-accepted
+      (the restored reassembly tracker absorbs it as duplicate), TPDUs
+      in [acked_tids] are only ever re-acknowledged, and governor
+      occupancy is recomputed from the restored state — the governor,
+      not the image, decides whether it still fits the budget (restored
+      state that does not fit is evicted like any other).  A partially
+      corrupted image degrades to partial state that identical-label
+      retransmission repairs; nothing here raises on image content. *)
+
+  val reannounce : t -> unit
+  (** Conservative re-entry into service after {!restore}: re-ACK every
+      TPDU in the restored ledger (counted as re-ACKs), because any ACK
+      sent before the crash may have died with it. *)
 end
 
 (** {1 Sender} *)
@@ -245,6 +295,30 @@ module Sender : sig
   val max_txs_at_rtt_sample : t -> int
   (** The largest transmission count any sampled TPDU had at sampling
       time — Karn's rule holds iff this never exceeds 1. *)
+
+  (** {2 Crash recovery} *)
+
+  val export : t -> Persist.sender_image
+  (** Snapshot the sender's recoverable state: the acknowledged-TPDU
+      ledger and the RTT estimator.  Unacknowledged TPDUs are {e not}
+      serialized — they are rebuilt from the re-offered data on restore
+      and retransmitted with identical labels. *)
+
+  val restore :
+    Netsim.Engine.t ->
+    config ->
+    ?announce_open:bool ->
+    send:(bytes -> unit) ->
+    data:bytes ->
+    Persist.sender_image ->
+    t
+  (** Rebuild a sender from its image around the re-offered [data].  The
+      framer's label assignment is deterministic, so the rebuilt TPDUs
+      carry their pre-crash T.IDs; those in the restored ledger are
+      rebuilt but never (re)transmitted.
+      @raise Invalid_argument if [config.adaptive] is set — adaptive
+      sizing re-partitions the stream mid-flight, so a restored adaptive
+      sender could assign different T.IDs to different bytes. *)
 end
 
 (** {1 One-call scenario driver} *)

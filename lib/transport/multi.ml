@@ -29,6 +29,7 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   quota_elems : int;
   max_conns : int;
+  persist : (Persist.event -> unit) option;
   mutable evictions : int;
   mutable conn_gcs : int;
   mutable displaced : int;
@@ -36,6 +37,8 @@ type t = {
   mutable late_drops : int;
   mutable reacks_multi : int;
 }
+
+let emit m ev = match m.persist with Some f -> f ev | None -> ()
 
 let m_opens = Obs.Metrics.counter "multi_opens_total"
 let m_closes = Obs.Metrics.counter "multi_closes_total"
@@ -56,7 +59,7 @@ let touch_conn m c =
     ~now:(now m);
   Governor.arm m.governor m.engine
 
-let archive _m c =
+let archive m c =
   match c.live with
   | None -> ()
   | Some rx ->
@@ -68,18 +71,23 @@ let archive _m c =
          both ends' point of view it never happened: drop it rather than
          burn an epoch slot.  The sender's retransmissions re-establish
          the connection and deliver the whole stream into the re-opened
-         epoch — at the same position in the sequence. *)
-      if (R.verifier_stats rx).Edc.Verifier.tpdus_passed > 0 then
+         epoch — at the same position in the sequence.  The gate counts
+         passes over the epoch's {e whole} life ([R.epoch_passes]), so an
+         epoch that verified TPDUs before a crash-restart is not dropped
+         just because the restored verifier's counter restarted. *)
+      if R.epoch_passes rx > 0 then
         c.hist <-
           { a_delivered = R.contents rx; a_complete = R.complete rx }
           :: c.hist;
       c.live <- None;
+      emit m (Persist.Archived c.id);
       if Obs.enabled then
         Obs.Metrics.set g_live (max 0 (Obs.Metrics.gauge_value g_live - 1))
 
 let close_conn m c =
   archive m c;
   Governor.remove_conn m.governor ~conn:c.id;
+  emit m (Persist.Closed c.id);
   if Obs.enabled then begin
     Obs.Metrics.incr m_closes;
     if Obs.Trace.active () then
@@ -87,7 +95,7 @@ let close_conn m c =
   end
 
 let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
-    ~send_ack () =
+    ?persist ~send_ack () =
   if quota_elems < 1 || max_conns < 1 then
     invalid_arg "Multi.create: quota_elems and max_conns must be >= 1";
   let m =
@@ -103,6 +111,7 @@ let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
       conns = Hashtbl.create 16;
       quota_elems;
       max_conns;
+      persist;
       evictions = 0;
       conn_gcs = 0;
       displaced = 0;
@@ -154,11 +163,12 @@ let stalest_live m =
   | None -> pick (fun _ -> true)
 
 let new_epoch m c =
+  emit m (Persist.Opened c.id);
   let rx =
     R.create m.engine
       { m.config with conn_id = c.id }
-      ~bus:m.bus ~governor:m.governor ~acked:c.acked ~send_ack:m.send_ack
-      ~capacity:(`Quota m.quota_elems) ()
+      ~bus:m.bus ~governor:m.governor ~acked:c.acked ?persist:m.persist
+      ~send_ack:m.send_ack ~capacity:(`Quota m.quota_elems) ()
   in
   c.live <- Some rx;
   if Obs.enabled then
@@ -356,3 +366,95 @@ let reacks_sent m =
 
 let unknown_drops m = m.unknown_drops
 let late_drops m = m.late_drops
+
+(* {1 Crash recovery} *)
+
+let export m : Persist.conn_image list =
+  Hashtbl.fold
+    (fun id c acc ->
+      {
+        Persist.ci_id = id;
+        ci_acked =
+          Hashtbl.fold (fun k () l -> k :: l) c.acked []
+          |> List.sort Int.compare;
+        ci_hist = List.rev_map (fun a -> (a.a_delivered, a.a_complete)) c.hist;
+        ci_live = Option.map R.export c.live;
+      }
+      :: acc)
+    m.conns []
+  |> List.sort (fun a b -> Int.compare a.Persist.ci_id b.Persist.ci_id)
+
+(* Rebuild a demultiplexer from its persisted image.  Each restored live
+   epoch re-accounts its own soft state against the fresh governor, and
+   the per-connection slot cost is re-asserted — the budget, not the
+   image, decides what survives. *)
+let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
+    (images : Persist.conn_image list) =
+  let m = create engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack () in
+  List.iter
+    (fun (img : Persist.conn_image) ->
+      if not (Hashtbl.mem m.conns img.Persist.ci_id) then begin
+        let c =
+          {
+            id = img.Persist.ci_id;
+            acked = Hashtbl.create 16;
+            last_reack = Hashtbl.create 8;
+            live = None;
+            hist =
+              List.rev_map
+                (fun (d, cm) -> { a_delivered = d; a_complete = cm })
+                img.Persist.ci_hist;
+            last_touch = now m;
+            aborts_acc = 0;
+            reacks_acc = 0;
+          }
+        in
+        List.iter (fun t -> Hashtbl.replace c.acked t ()) img.Persist.ci_acked;
+        Hashtbl.add m.conns c.id c;
+        (match img.Persist.ci_live with
+        | Some ri ->
+            let rx =
+              R.restore m.engine
+                { m.config with conn_id = c.id }
+                ~bus:m.bus ~governor:m.governor ~acked:c.acked
+                ?persist:m.persist ~send_ack:m.send_ack
+                ~capacity:(`Quota m.quota_elems) ri ~acked_tids:[]
+            in
+            c.live <- Some rx;
+            if Obs.enabled then
+              Obs.Metrics.set g_live (Obs.Metrics.gauge_value g_live + 1)
+        | None -> ());
+        touch_conn m c
+      end)
+    images;
+  m
+
+(* Conservative re-entry into service: every TPDU in every restored
+   ledger is re-acknowledged, whether its epoch is live or closed — any
+   ACK from the pre-crash life may have died with the crash. *)
+let reannounce m =
+  Hashtbl.fold (fun id c acc -> (id, c) :: acc) m.conns []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (_, c) ->
+         match c.live with
+         | Some rx -> R.reannounce rx
+         | None ->
+             Hashtbl.fold (fun t_id () l -> t_id :: l) c.acked []
+             |> List.sort Int.compare
+             |> List.iter (fun t_id ->
+                    Hashtbl.replace c.last_reack t_id (now m);
+                    m.reacks_multi <- m.reacks_multi + 1;
+                    m.send_ack (Chunk_transport.ack_packet ~conn_id:c.id ~t_id)))
+
+(* Crash the endpoint: release all soft state so the governor's sweep
+   timer stops re-arming (a dead endpoint must not keep the simulation
+   alive), without archiving anything or emitting journal events — a
+   crash is not a graceful close. *)
+let teardown m =
+  let lives = live_count m in
+  Hashtbl.iter
+    (fun _ c -> match c.live with Some rx -> R.quiesce rx | None -> ())
+    m.conns;
+  Hashtbl.iter (fun id _ -> Governor.remove_conn m.governor ~conn:id) m.conns;
+  if Obs.enabled then
+    Obs.Metrics.set g_live (max 0 (Obs.Metrics.gauge_value g_live - lives))

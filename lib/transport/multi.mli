@@ -37,6 +37,7 @@ val create :
   quota_elems:int ->
   max_conns:int ->
   ?bus:Busmodel.t ->
+  ?persist:(Persist.event -> unit) ->
   send_ack:(bytes -> unit) ->
   unit ->
   t
@@ -44,7 +45,12 @@ val create :
     stream end is signalled in-band by C.ST, so no per-transfer length
     is declared up front); [max_conns] caps simultaneously live
     connections.  [config.state_budget] and [config.state_ttl] govern
-    the shared account. *)
+    the shared account.
+
+    [?persist] is the write-ahead journal hook, forwarded into every
+    epoch receiver: it sees one {!Persist.Acked} record per fresh
+    acknowledgement (before the ACK leaves) plus {!Persist.Opened} /
+    {!Persist.Archived} / {!Persist.Closed} lifecycle records. *)
 
 val on_packet : t -> bytes -> unit
 (** Feed one wire packet: parse the envelope, route signals through the
@@ -94,3 +100,40 @@ val unknown_drops : t -> int
 
 val late_drops : t -> int
 (** Chunks for closed epochs that were not re-acknowledgeable. *)
+
+(** {1 Crash recovery} *)
+
+val export : t -> Persist.conn_image list
+(** Snapshot every connection — ledger, archived epochs, live epoch
+    image — ascending by connection id.  Governor accounting is not
+    exported; it is re-derived on restore. *)
+
+val restore :
+  Netsim.Engine.t ->
+  config:Chunk_transport.config ->
+  quota_elems:int ->
+  max_conns:int ->
+  ?bus:Busmodel.t ->
+  ?persist:(Persist.event -> unit) ->
+  send_ack:(bytes -> unit) ->
+  Persist.conn_image list ->
+  t
+(** Rebuild a demultiplexer from a persisted image.  Conservative
+    re-entry: restored ledgers keep verified TPDUs from being
+    re-processed, restored parities never re-accept bytes already
+    counted into them, and every restored connection re-accounts its
+    slot (and its live epoch's soft state) against a fresh governor —
+    the budget, not the image, decides what survives.  Does not send
+    anything; call {!reannounce} to re-enter service. *)
+
+val reannounce : t -> unit
+(** Re-ACK every TPDU in every restored ledger (live or closed epoch),
+    counted as re-ACKs — any ACK from the pre-crash life may have died
+    with the crash, and a sender retransmitting into a silent restored
+    endpoint would probe until give-up. *)
+
+val teardown : t -> unit
+(** Crash the endpoint: release all soft state and governor accounts at
+    once (so a dead endpoint's sweep timer cannot keep the simulation
+    alive) without archiving epochs or journalling lifecycle events — a
+    crash is not a graceful close. *)

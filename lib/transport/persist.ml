@@ -1,0 +1,682 @@
+open Labelling
+
+(* Persisted endpoint state (paper §3.2 made durable): the receiver's
+   recoverable state is nothing but WSC-2 parities, virtual-reassembly
+   spans, the ACK ledger and the placed bytes — compact enough to
+   snapshot wholesale and journal per acknowledgement.  Everything here
+   is a plain value; the live transport exports to and restores from
+   these images ([Chunk_transport.Receiver.export] / [.restore],
+   [Multi.export] / [.restore]). *)
+
+type corrob_image = {
+  pi_t_id : int;
+  pi_delta_data : int option;
+  pi_delta_ed : int option;
+  pi_confirmed : bool;
+  pi_stash : (bytes * int * int) list;
+  pi_placed_runs : (int * int) list;
+}
+
+type receiver_image = {
+  ri_conn : int;
+  ri_placed : (int * bytes) list;
+  ri_verified : (int * int) list;
+  ri_end_confirmed : int option;
+  ri_end_claims : (int * int) list;
+  ri_last_reack : (int * float) list;
+  ri_passed : int;
+  ri_tpdus : Edc.Verifier.tpdu_image list;
+  ri_corrob : corrob_image list;
+}
+
+type sender_image = {
+  si_first_tid : int;
+  si_acked : int list;
+  si_srtt : float option;
+  si_rttvar : float;
+  si_rto_cur : float;
+  si_tpdu_elems : int;
+}
+
+type single_image = { s_acked : int list; s_rx : receiver_image }
+
+type conn_image = {
+  ci_id : int;
+  ci_acked : int list;
+  ci_hist : (bytes * bool) list;
+  ci_live : receiver_image option;
+}
+
+type endpoint_image = Single of single_image | Multi of conn_image list
+
+type event =
+  | Acked of {
+      conn : int;
+      t_id : int;
+      end_confirmed : int option;
+      runs : (int * bytes) list;
+    }
+  | Opened of int
+  | Archived of int
+  | Closed of int
+
+let empty_receiver ~conn =
+  {
+    ri_conn = conn;
+    ri_placed = [];
+    ri_verified = [];
+    ri_end_confirmed = None;
+    ri_end_claims = [];
+    ri_last_reack = [];
+    ri_passed = 0;
+    ri_tpdus = [];
+    ri_corrob = [];
+  }
+
+(* Merge placed byte runs: sort by SN, then fuse overlapping or adjacent
+   runs (later bytes win on overlap — identical-label retransmission
+   makes overlapping bytes identical anyway).  Keeps journal-applied
+   images in the same canonical shape [Placement.spans] exports, so
+   export(restore(image)) = image holds structurally. *)
+let normalize_runs ~elem_size runs =
+  let runs =
+    List.filter (fun (_, b) -> Bytes.length b > 0) runs
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let fuse (sn_a, ba) (sn_b, bb) =
+    let la = Bytes.length ba / elem_size in
+    let hi =
+      max (sn_a + la) (sn_b + (Bytes.length bb / elem_size))
+    in
+    let out = Bytes.create ((hi - sn_a) * elem_size) in
+    Bytes.blit ba 0 out 0 (Bytes.length ba);
+    Bytes.blit bb 0 out ((sn_b - sn_a) * elem_size) (Bytes.length bb);
+    (sn_a, out)
+  in
+  let rec go = function
+    | ((sn_a, ba) as a) :: ((sn_b, _) as b) :: rest ->
+        if sn_b <= sn_a + (Bytes.length ba / elem_size) then
+          go (fuse a b :: rest)
+        else a :: go (b :: rest)
+    | tail -> tail
+  in
+  go runs
+
+(* Apply one journal entry to an image.  Conservative throughout: an
+   entry for an unknown connection creates it (acknowledged state is
+   durable even if the Open record was torn away), and nothing here can
+   raise. *)
+let spans_of_runs ~elem_size runs =
+  List.map (fun (sn, b) -> (sn, Bytes.length b / elem_size)) runs
+
+let merge_spans existing fresh =
+  let tr = Vreassembly.create () in
+  List.iter
+    (fun (sn, len) ->
+      match Vreassembly.insert_new tr ~sn ~len ~st:false with
+      | Ok _ | Error `Inconsistent -> ())
+    (existing @ fresh);
+  Vreassembly.spans tr
+
+let apply_acked ~elem_size ri ~t_id ~end_confirmed ~runs =
+  {
+    ri with
+    ri_placed = normalize_runs ~elem_size (ri.ri_placed @ runs);
+    ri_verified = merge_spans ri.ri_verified (spans_of_runs ~elem_size runs);
+    ri_end_confirmed =
+      (match end_confirmed with Some _ as e -> e | None -> ri.ri_end_confirmed);
+    ri_end_claims = List.filter (fun (t, _) -> t <> t_id) ri.ri_end_claims;
+    ri_passed = ri.ri_passed + 1;
+    ri_tpdus =
+      List.filter (fun ti -> ti.Edc.Verifier.ti_t_id <> t_id) ri.ri_tpdus;
+    ri_corrob = List.filter (fun pi -> pi.pi_t_id <> t_id) ri.ri_corrob;
+  }
+
+(* The end of the contiguous verified prefix — mirrors the live
+   receiver's completeness rule so an archived epoch reconstructed from
+   a journal reports the same [complete] bit. *)
+let verified_frontier spans =
+  let rec go expect = function
+    | [] -> expect
+    | (s, l) :: rest -> if s > expect then expect else go (max expect (s + l)) rest
+  in
+  go 0 spans
+
+let receiver_complete ri =
+  match ri.ri_end_confirmed with
+  | Some last -> verified_frontier ri.ri_verified > last
+  | None -> false
+
+let receiver_delivered ~elem_size ~quota_elems ri =
+  let buf = Bytes.make (quota_elems * elem_size) '\000' in
+  List.iter
+    (fun (sn, b) ->
+      let off = sn * elem_size in
+      if off >= 0 && off + Bytes.length b <= Bytes.length buf then
+        Bytes.blit b 0 buf off (Bytes.length b))
+    ri.ri_placed;
+  buf
+
+let apply_event ~elem_size ~quota_elems image ev =
+  match (image, ev) with
+  | Single s, Acked { conn; t_id; end_confirmed; runs } ->
+      if conn <> s.s_rx.ri_conn then image
+      else
+        Single
+          {
+            s_acked = List.sort_uniq Int.compare (t_id :: s.s_acked);
+            s_rx = apply_acked ~elem_size s.s_rx ~t_id ~end_confirmed ~runs;
+          }
+  | Single _, (Opened _ | Archived _ | Closed _) -> image
+  | Multi conns, ev ->
+      let cid =
+        match ev with
+        | Acked { conn; _ } | Opened conn | Archived conn | Closed conn -> conn
+      in
+      let conns =
+        if List.exists (fun c -> c.ci_id = cid) conns then conns
+        else
+          (* keep the canonical ascending order [export] produces, so a
+             journal-only image compares equal to a re-export *)
+          List.sort
+            (fun a b -> Int.compare a.ci_id b.ci_id)
+            ({ ci_id = cid; ci_acked = []; ci_hist = []; ci_live = None }
+            :: conns)
+      in
+      let update c =
+        if c.ci_id <> cid then c
+        else
+          match ev with
+          | Acked { t_id; end_confirmed; runs; _ } ->
+              let live =
+                match c.ci_live with
+                | Some ri -> ri
+                | None -> empty_receiver ~conn:cid
+              in
+              {
+                c with
+                ci_acked = List.sort_uniq Int.compare (t_id :: c.ci_acked);
+                ci_live =
+                  Some (apply_acked ~elem_size live ~t_id ~end_confirmed ~runs);
+              }
+          | Opened _ -> { c with ci_live = Some (empty_receiver ~conn:cid) }
+          | Archived _ -> (
+              match c.ci_live with
+              | None -> c
+              | Some ri ->
+                  let hist =
+                    if ri.ri_passed > 0 then
+                      c.ci_hist
+                      @ [
+                          ( receiver_delivered ~elem_size ~quota_elems ri,
+                            receiver_complete ri );
+                        ]
+                    else c.ci_hist
+                  in
+                  { c with ci_hist = hist; ci_live = None })
+          | Closed _ -> (
+              (* Close archives first on the live side; a bare Closed
+                 record (torn Archive) still drops the live epoch. *)
+              match c.ci_live with
+              | None -> c
+              | Some ri ->
+                  let hist =
+                    if ri.ri_passed > 0 then
+                      c.ci_hist
+                      @ [
+                          ( receiver_delivered ~elem_size ~quota_elems ri,
+                            receiver_complete ri );
+                        ]
+                    else c.ci_hist
+                  in
+                  { c with ci_hist = hist; ci_live = None })
+      in
+      Multi (List.map update conns)
+
+let apply_journal ~elem_size ~quota_elems image events =
+  List.fold_left (apply_event ~elem_size ~quota_elems) image events
+
+(* {1 Binary codec}
+
+   Everything rides on [Wire]'s checksummed record framing.  The field
+   codec below never raises on decode: every read is bounds-checked and
+   surfaces [Error]. *)
+
+let version = 1
+let magic = "CSNP"
+
+let w_int buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let w_bool buf v = Buffer.add_char buf (if v then '\001' else '\000')
+let w_float buf v = w_int buf (Int64.to_int (Int64.bits_of_float v))
+
+let w_bytes buf b =
+  w_int buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let w_string buf s = w_bytes buf (Bytes.of_string s)
+
+let w_opt w buf = function
+  | None -> w_bool buf false
+  | Some v ->
+      w_bool buf true;
+      w buf v
+
+let w_list w buf l =
+  w_int buf (List.length l);
+  List.iter (w buf) l
+
+let w_parity buf p = Buffer.add_bytes buf (Wsc2.parity_to_bytes p)
+
+type cur = { b : bytes; mutable off : int }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let need c n =
+  if n < 0 || c.off < 0 || Bytes.length c.b - c.off < n then
+    Error "Persist: truncated field"
+  else Ok ()
+
+let r_int c =
+  let* () = need c 8 in
+  let v = Int64.to_int (Bytes.get_int64_be c.b c.off) in
+  c.off <- c.off + 8;
+  Ok v
+
+let r_bool c =
+  let* () = need c 1 in
+  let v = Bytes.get c.b c.off <> '\000' in
+  c.off <- c.off + 1;
+  Ok v
+
+let r_float c =
+  let* v = r_int c in
+  Ok (Int64.float_of_bits (Int64.of_int v))
+
+let r_bytes c =
+  let* n = r_int c in
+  let* () = need c n in
+  let b = Bytes.sub c.b c.off n in
+  c.off <- c.off + n;
+  Ok b
+
+let r_string c =
+  let* b = r_bytes c in
+  Ok (Bytes.to_string b)
+
+let r_opt r c =
+  let* present = r_bool c in
+  if present then
+    let* v = r c in
+    Ok (Some v)
+  else Ok None
+
+let r_list r c =
+  let* n = r_int c in
+  (* every element costs at least one byte, so a count beyond the
+     remaining bytes can only come from corruption *)
+  let* () = need c (max n 0) in
+  let rec go k acc =
+    if k = 0 then Ok (List.rev acc)
+    else
+      let* v = r c in
+      go (k - 1) (v :: acc)
+  in
+  if n < 0 then Error "Persist: negative count" else go n []
+
+let r_parity c =
+  let* () = need c 8 in
+  let p = Wsc2.parity_of_bytes c.b c.off in
+  c.off <- c.off + 8;
+  Ok p
+
+let w_pair wa wb buf (a, b) =
+  wa buf a;
+  wb buf b
+
+let r_pair ra rb c =
+  let* a = ra c in
+  let* b = rb c in
+  Ok (a, b)
+
+let w_tpdu buf (ti : Edc.Verifier.tpdu_image) =
+  w_int buf ti.ti_t_id;
+  w_parity buf ti.ti_parity;
+  w_list (w_pair w_int w_int) buf ti.ti_spans;
+  w_opt w_int buf ti.ti_total;
+  w_list w_int buf ti.ti_pairs;
+  w_list (w_pair w_int w_int) buf ti.ti_x_deltas;
+  w_opt w_int buf ti.ti_delta_ct;
+  w_opt w_int buf ti.ti_c_id;
+  w_opt w_int buf ti.ti_size;
+  w_bool buf ti.ti_labels_done;
+  w_opt w_parity buf ti.ti_expected;
+  w_opt w_string buf ti.ti_damage;
+  w_list
+    (fun buf (a, b, cc, d) ->
+      w_int buf a;
+      w_int buf b;
+      w_int buf cc;
+      w_int buf d)
+    buf ti.ti_x_spans
+
+let r_tpdu c =
+  let* ti_t_id = r_int c in
+  let* ti_parity = r_parity c in
+  let* ti_spans = r_list (r_pair r_int r_int) c in
+  let* ti_total = r_opt r_int c in
+  let* ti_pairs = r_list r_int c in
+  let* ti_x_deltas = r_list (r_pair r_int r_int) c in
+  let* ti_delta_ct = r_opt r_int c in
+  let* ti_c_id = r_opt r_int c in
+  let* ti_size = r_opt r_int c in
+  let* ti_labels_done = r_bool c in
+  let* ti_expected = r_opt r_parity c in
+  let* ti_damage = r_opt r_string c in
+  let* ti_x_spans =
+    r_list
+      (fun c ->
+        let* a = r_int c in
+        let* b = r_int c in
+        let* cc = r_int c in
+        let* d = r_int c in
+        Ok (a, b, cc, d))
+      c
+  in
+  Ok
+    {
+      Edc.Verifier.ti_t_id;
+      ti_parity;
+      ti_spans;
+      ti_total;
+      ti_pairs;
+      ti_x_deltas;
+      ti_delta_ct;
+      ti_c_id;
+      ti_size;
+      ti_labels_done;
+      ti_expected;
+      ti_damage;
+      ti_x_spans;
+    }
+
+let w_corrob buf pi =
+  w_int buf pi.pi_t_id;
+  w_opt w_int buf pi.pi_delta_data;
+  w_opt w_int buf pi.pi_delta_ed;
+  w_bool buf pi.pi_confirmed;
+  w_list
+    (fun buf (b, t_sn, elems) ->
+      w_bytes buf b;
+      w_int buf t_sn;
+      w_int buf elems)
+    buf pi.pi_stash;
+  w_list (w_pair w_int w_int) buf pi.pi_placed_runs
+
+let r_corrob c =
+  let* pi_t_id = r_int c in
+  let* pi_delta_data = r_opt r_int c in
+  let* pi_delta_ed = r_opt r_int c in
+  let* pi_confirmed = r_bool c in
+  let* pi_stash =
+    r_list
+      (fun c ->
+        let* b = r_bytes c in
+        let* t_sn = r_int c in
+        let* elems = r_int c in
+        Ok (b, t_sn, elems))
+      c
+  in
+  let* pi_placed_runs = r_list (r_pair r_int r_int) c in
+  Ok { pi_t_id; pi_delta_data; pi_delta_ed; pi_confirmed; pi_stash; pi_placed_runs }
+
+let w_receiver buf ri =
+  w_int buf ri.ri_conn;
+  w_list (w_pair w_int w_bytes) buf ri.ri_placed;
+  w_list (w_pair w_int w_int) buf ri.ri_verified;
+  w_opt w_int buf ri.ri_end_confirmed;
+  w_list (w_pair w_int w_int) buf ri.ri_end_claims;
+  w_list (w_pair w_int w_float) buf ri.ri_last_reack;
+  w_int buf ri.ri_passed;
+  w_list w_tpdu buf ri.ri_tpdus;
+  w_list w_corrob buf ri.ri_corrob
+
+let r_receiver c =
+  let* ri_conn = r_int c in
+  let* ri_placed = r_list (r_pair r_int r_bytes) c in
+  let* ri_verified = r_list (r_pair r_int r_int) c in
+  let* ri_end_confirmed = r_opt r_int c in
+  let* ri_end_claims = r_list (r_pair r_int r_int) c in
+  let* ri_last_reack = r_list (r_pair r_int r_float) c in
+  let* ri_passed = r_int c in
+  let* ri_tpdus = r_list r_tpdu c in
+  let* ri_corrob = r_list r_corrob c in
+  Ok
+    {
+      ri_conn;
+      ri_placed;
+      ri_verified;
+      ri_end_confirmed;
+      ri_end_claims;
+      ri_last_reack;
+      ri_passed;
+      ri_tpdus;
+      ri_corrob;
+    }
+
+let w_conn buf ci =
+  w_int buf ci.ci_id;
+  w_list w_int buf ci.ci_acked;
+  w_list (w_pair w_bytes w_bool) buf ci.ci_hist;
+  w_opt w_receiver buf ci.ci_live
+
+let r_conn c =
+  let* ci_id = r_int c in
+  let* ci_acked = r_list r_int c in
+  let* ci_hist = r_list (r_pair r_bytes r_bool) c in
+  let* ci_live = r_opt r_receiver c in
+  Ok { ci_id; ci_acked; ci_hist; ci_live }
+
+(* record tags *)
+let tag_single = 0
+let tag_multi = 1
+let tag_sender = 2
+let tag_acked = 16
+let tag_opened = 17
+let tag_archived = 18
+let tag_closed = 19
+
+let encode_endpoint image =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_uint16_be buf version;
+  let payload = Buffer.create 1024 in
+  let tag =
+    match image with
+    | Single s ->
+        w_list w_int payload s.s_acked;
+        w_receiver payload s.s_rx;
+        tag_single
+    | Multi conns ->
+        w_list w_conn payload conns;
+        tag_multi
+  in
+  Wire.encode_record buf ~tag (Buffer.to_bytes payload);
+  Buffer.to_bytes buf
+
+let check_image_done c =
+  if c.off = Bytes.length c.b then Ok ()
+  else Error "Persist: trailing bytes in image"
+
+let decode_endpoint b =
+  if Bytes.length b < 6 then Error "Persist: image too short"
+  else if Bytes.to_string (Bytes.sub b 0 4) <> magic then
+    Error "Persist: bad magic"
+  else if Bytes.get_uint16_be b 4 <> version then
+    Error "Persist: unsupported snapshot version"
+  else
+    let* tag, payload, next = Wire.decode_record b 6 in
+    if next <> Bytes.length b then Error "Persist: trailing bytes after image"
+    else
+      let c = { b = payload; off = 0 } in
+      if tag = tag_single then begin
+        let* s_acked = r_list r_int c in
+        let* s_rx = r_receiver c in
+        let* () = check_image_done c in
+        Ok (Single { s_acked; s_rx })
+      end
+      else if tag = tag_multi then begin
+        let* conns = r_list r_conn c in
+        let* () = check_image_done c in
+        Ok (Multi conns)
+      end
+      else Error "Persist: unknown image tag"
+
+let encode_sender si =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic;
+  Buffer.add_uint16_be buf version;
+  let payload = Buffer.create 128 in
+  w_int payload si.si_first_tid;
+  w_list w_int payload si.si_acked;
+  w_opt w_float payload si.si_srtt;
+  w_float payload si.si_rttvar;
+  w_float payload si.si_rto_cur;
+  w_int payload si.si_tpdu_elems;
+  Wire.encode_record buf ~tag:tag_sender (Buffer.to_bytes payload);
+  Buffer.to_bytes buf
+
+let decode_sender b =
+  if Bytes.length b < 6 then Error "Persist: image too short"
+  else if Bytes.to_string (Bytes.sub b 0 4) <> magic then
+    Error "Persist: bad magic"
+  else if Bytes.get_uint16_be b 4 <> version then
+    Error "Persist: unsupported snapshot version"
+  else
+    let* tag, payload, _ = Wire.decode_record b 6 in
+    if tag <> tag_sender then Error "Persist: not a sender image"
+    else
+      let c = { b = payload; off = 0 } in
+      let* si_first_tid = r_int c in
+      let* si_acked = r_list r_int c in
+      let* si_srtt = r_opt r_float c in
+      let* si_rttvar = r_float c in
+      let* si_rto_cur = r_float c in
+      let* si_tpdu_elems = r_int c in
+      Ok { si_first_tid; si_acked; si_srtt; si_rttvar; si_rto_cur; si_tpdu_elems }
+
+let encode_event ev =
+  let buf = Buffer.create 64 in
+  let payload = Buffer.create 64 in
+  let tag =
+    match ev with
+    | Acked { conn; t_id; end_confirmed; runs } ->
+        w_int payload conn;
+        w_int payload t_id;
+        w_opt w_int payload end_confirmed;
+        w_list (w_pair w_int w_bytes) payload runs;
+        tag_acked
+    | Opened conn ->
+        w_int payload conn;
+        tag_opened
+    | Archived conn ->
+        w_int payload conn;
+        tag_archived
+    | Closed conn ->
+        w_int payload conn;
+        tag_closed
+  in
+  Wire.encode_record buf ~tag (Buffer.to_bytes payload);
+  Buffer.to_bytes buf
+
+let decode_event (tag, payload) =
+  let c = { b = payload; off = 0 } in
+  if tag = tag_acked then begin
+    let* conn = r_int c in
+    let* t_id = r_int c in
+    let* end_confirmed = r_opt r_int c in
+    let* runs = r_list (r_pair r_int r_bytes) c in
+    Ok (Acked { conn; t_id; end_confirmed; runs })
+  end
+  else if tag = tag_opened then
+    let* conn = r_int c in
+    Ok (Opened conn)
+  else if tag = tag_archived then
+    let* conn = r_int c in
+    Ok (Archived conn)
+  else if tag = tag_closed then
+    let* conn = r_int c in
+    Ok (Closed conn)
+  else Error "Persist: unknown journal tag"
+
+(* Journal decode: the checksummed-record layer truncates at the first
+   torn record; a record whose checksum passes but whose payload does
+   not parse (version skew) also stops replay — everything before it is
+   still trusted. *)
+let decode_journal b =
+  let records, torn = Wire.decode_records b 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, torn)
+    | r :: rest -> (
+        match decode_event r with
+        | Ok ev -> go (ev :: acc) rest
+        | Error _ -> (List.rev acc, true))
+  in
+  go [] records
+
+let m_snap_bytes = Obs.Metrics.histogram "persist_snapshot_bytes"
+let m_journal_records = Obs.Metrics.counter "persist_journal_records_total"
+let m_truncations = Obs.Metrics.counter "persist_journal_truncations_total"
+let m_restores = Obs.Metrics.counter "persist_restores_total"
+let m_recovery = Obs.Metrics.histogram "persist_recovery_wall_us"
+
+module Store = struct
+  type t = {
+    mutable snap : bytes option;
+    journal : Buffer.t;
+    mutable snapshots_taken : int;
+    mutable journal_records : int;
+  }
+
+  let create () =
+    { snap = None; journal = Buffer.create 256; snapshots_taken = 0;
+      journal_records = 0 }
+
+  let snapshot st image =
+    let b = encode_endpoint image in
+    st.snap <- Some b;
+    Buffer.clear st.journal;
+    st.snapshots_taken <- st.snapshots_taken + 1;
+    if Obs.enabled then Obs.Metrics.observe m_snap_bytes (Bytes.length b)
+
+  let append st ev =
+    Buffer.add_bytes st.journal (encode_event ev);
+    st.journal_records <- st.journal_records + 1;
+    if Obs.enabled then Obs.Metrics.incr m_journal_records
+
+  let snapshots_taken st = st.snapshots_taken
+  let journal_records st = st.journal_records
+  let snapshot_bytes st = Option.fold ~none:0 ~some:Bytes.length st.snap
+  let journal_bytes st = Buffer.length st.journal
+
+  let corrupt_tail st =
+    let n = Buffer.length st.journal in
+    if n > 0 then begin
+      let b = Buffer.to_bytes st.journal in
+      Bytes.set b (n - 1) (Char.chr (Char.code (Bytes.get b (n - 1)) lxor 0x55));
+      Buffer.clear st.journal;
+      Buffer.add_bytes st.journal b
+    end
+
+  let recover ~elem_size ~quota_elems ~empty st =
+    let* base =
+      match st.snap with None -> Ok empty | Some b -> decode_endpoint b
+    in
+    let events, torn = decode_journal (Buffer.to_bytes st.journal) in
+    if torn && Obs.enabled then Obs.Metrics.incr m_truncations;
+    if Obs.enabled then Obs.Metrics.incr m_restores;
+    Ok (apply_journal ~elem_size ~quota_elems base events, torn)
+end

@@ -179,6 +179,8 @@ let combine dst src =
 
 let snapshot acc = { p0 = acc.a0; p1 = acc.a1 }
 
+let of_parity p = { a0 = p.p0; a1 = p.p1 }
+
 let encode_bytes ~pos b =
   let acc = create () in
   add_bytes acc ~pos b 0 (Bytes.length b);

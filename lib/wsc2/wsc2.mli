@@ -106,6 +106,13 @@ val snapshot : acc -> parity
 (** The parity of everything absorbed so far; the accumulator remains
     usable. *)
 
+val of_parity : parity -> acc
+(** An accumulator whose state is exactly [parity] — the inverse of
+    {!snapshot}, used to resume incremental accumulation from a
+    persisted image (crash recovery).  Because addition is XOR, resuming
+    from a snapshot and replaying the remaining symbols is
+    indistinguishable from never having stopped. *)
+
 (** {1 One-shot encoding} *)
 
 val encode_bytes : pos:int -> bytes -> parity

@@ -73,6 +73,66 @@ let soak profile n =
   Alcotest.(check int) "no undetected injections" 0
     report.Check.Soak.detect_undetected
 
+let test_corrupt_restore_caught () =
+  (* flip one verified byte in the image restored after a crash: its
+     TPDU is already in the ACK ledger, so no retransmission can heal
+     it — the oracle must notice the corruption, and the shrunk
+     counterexample must still carry a crash (the bug only exists on
+     the recovery path) *)
+  let report =
+    Check.Soak.run_profile ~mutation:Check.Driver.Corrupt_restore
+      ~schedules:12 ~seed:11 Check.Schedule.Crash_restart
+  in
+  Alcotest.(check bool) "bug caught" true (report.Check.Soak.findings <> []);
+  Alcotest.(check bool) "catch shrunk to a replayable schedule" true
+    (List.exists
+       (fun (f : Check.Soak.finding) ->
+         f.Check.Soak.shrunk.Check.Shrink.violations <> []
+         && f.Check.Soak.shrunk.Check.Shrink.schedule.Check.Schedule.crashes
+            <> [])
+       report.Check.Soak.findings)
+
+let test_replay_rejects_invalid_schedule () =
+  (* a hand-edited replay line can parse and still be semantically
+     broken; Schedule.validate is the gate chunks-soak uses to turn
+     that into a one-line error and exit 2 instead of an exception from
+     deep inside the transport *)
+  let base =
+    Check.Schedule.generate ~profile:Check.Schedule.Crash_restart ~seed:3
+  in
+  Alcotest.(check (result unit string))
+    "generated schedules validate" (Ok ())
+    (Check.Schedule.validate base);
+  let overlapping =
+    {
+      base with
+      Check.Schedule.crashes =
+        [
+          { Check.Schedule.cr_time = 0.1; cr_restart = 0.2 };
+          { Check.Schedule.cr_time = 0.15; cr_restart = 0.1 };
+        ];
+    }
+  in
+  (* the broken spec still round-trips the printer — exactly the
+     parseable-but-invalid case the CLI guard exists for *)
+  (match Check.Schedule.of_string (Check.Schedule.to_string overlapping) with
+  | Some s -> Alcotest.(check bool) "broken spec parses" true (s = overlapping)
+  | None -> Alcotest.fail "broken spec should still parse");
+  Alcotest.(check bool) "overlapping crashes rejected" true
+    (Result.is_error (Check.Schedule.validate overlapping));
+  Alcotest.(check bool) "negative downtime rejected" true
+    (Result.is_error
+       (Check.Schedule.validate
+          {
+            base with
+            Check.Schedule.crashes =
+              [ { Check.Schedule.cr_time = 0.1; cr_restart = -0.2 } ];
+          }));
+  Alcotest.(check bool) "negative snap_period rejected" true
+    (Result.is_error
+       (Check.Schedule.validate
+          { base with Check.Schedule.snap_period = -1.0 }))
+
 let test_mutation_caught () =
   (* inject a bug (flip a byte of every 2nd packet at the receiver door)
      and require the oracle to catch it AND the shrinker to keep a
@@ -104,6 +164,14 @@ let suite =
         soak Check.Schedule.Hostile_flood 15);
     Alcotest.test_case "soak: outage-recover profile" `Quick (fun () ->
         soak Check.Schedule.Outage_recover 15);
+    Alcotest.test_case "soak: crash-restart profile" `Quick (fun () ->
+        soak Check.Schedule.Crash_restart 15);
+    Alcotest.test_case "soak: crash-flood profile" `Quick (fun () ->
+        soak Check.Schedule.Crash_flood 10);
     Alcotest.test_case "injected mutation caught and shrunk" `Quick
       test_mutation_caught;
+    Alcotest.test_case "corrupted restore caught and shrunk" `Quick
+      test_corrupt_restore_caught;
+    Alcotest.test_case "replay rejects parseable-but-invalid schedules"
+      `Quick test_replay_rejects_invalid_schedule;
   ]

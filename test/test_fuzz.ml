@@ -91,6 +91,47 @@ let gen_vr_ops =
     in
     list_size (int_range 1 30) op)
 
+(* A real snapshot image to damage: a restored-from-journal endpoint
+   with placed runs, a verified cover, and a confirmed end. *)
+let snapshot_image =
+  lazy
+    (let module P = Transport.Persist in
+    let empty =
+      P.Single { P.s_acked = []; s_rx = P.empty_receiver ~conn:3 }
+    in
+    let img =
+      P.apply_journal ~elem_size:4 ~quota_elems:8 empty
+        [
+          P.Acked
+            {
+              conn = 3;
+              t_id = 0;
+              end_confirmed = Some 3;
+              runs = [ (0, Bytes.of_string "abcdefghijklmnop") ];
+            };
+        ]
+    in
+    P.encode_endpoint img)
+
+(* Every strict prefix of a valid snapshot: torn mid-write. *)
+let gen_truncated_snapshot =
+  QCheck2.Gen.(
+    let* percent = int_range 0 99 in
+    let image = Lazy.force snapshot_image in
+    return (Bytes.sub image 0 (Bytes.length image * percent / 100)))
+
+(* A valid snapshot with one flipped bit — including the magic, the
+   version byte, and the checksum itself. *)
+let gen_bitflipped_snapshot =
+  QCheck2.Gen.(
+    let* pos = int_range 0 10_000 in
+    let* bit = int_range 0 7 in
+    let image = Bytes.copy (Lazy.force snapshot_image) in
+    let i = pos mod Bytes.length image in
+    Bytes.set image i
+      (Char.chr (Char.code (Bytes.get image i) lxor (1 lsl bit)));
+    return image)
+
 let suite =
   [
     Util.qtest ~count:300 "Wire.decode_packet never raises on garbage"
@@ -178,4 +219,33 @@ let suite =
       (fun b ->
         let rx = Compress.Rx.create ~options:Compress.all_on ~size_table () in
         no_exn (fun () -> Compress.Rx.decode_all rx b));
+    Util.qtest ~count:300 "Persist.decode_endpoint never raises on garbage"
+      gen_garbage
+      (fun b -> no_exn (fun () -> Transport.Persist.decode_endpoint b));
+    Util.qtest ~count:300 "Persist.decode_sender never raises on garbage"
+      gen_garbage
+      (fun b -> no_exn (fun () -> Transport.Persist.decode_sender b));
+    Util.qtest ~count:300 "Persist.decode_journal never raises on garbage"
+      gen_garbage
+      (fun b ->
+        (* garbage never yields trusted events by luck: either nothing
+           decodes, or the parsed prefix came from an actually valid
+           record *)
+        no_exn (fun () -> Transport.Persist.decode_journal b));
+    Util.qtest ~count:100 "truncated snapshots are rejected, not mis-read"
+      gen_truncated_snapshot
+      (fun b -> Result.is_error (Transport.Persist.decode_endpoint b));
+    Util.qtest ~count:300 "one flipped bit voids a snapshot"
+      gen_bitflipped_snapshot
+      (fun b -> Result.is_error (Transport.Persist.decode_endpoint b));
+    Util.qtest ~count:20 "unknown snapshot versions are refused"
+      QCheck2.Gen.(int_range 0 255)
+      (fun v ->
+        let image = Bytes.copy (Lazy.force snapshot_image) in
+        (* the version is a big-endian u16 right after the "CSNP"
+           magic; rewrite it to [v] *)
+        Bytes.set image 4 '\000';
+        Bytes.set image 5 (Char.chr v);
+        v = Transport.Persist.version
+        || Result.is_error (Transport.Persist.decode_endpoint image));
   ]

@@ -25,6 +25,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("appendix-b", Test_apxb.suite);
       ("transport", Test_transport.suite);
+      ("persist", Test_persist.suite);
       ("fuzz", Test_fuzz.suite);
       ("parverify", Test_parverify.suite);
       ("check", Test_check.suite);
