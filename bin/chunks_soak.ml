@@ -73,7 +73,11 @@ let write_report ~what path data =
 let run_replay spec mutate =
   match Check.Schedule.of_string spec with
   | None ->
-      Printf.eprintf "error: unparseable schedule\n";
+      (match Check.Schedule.unknown_fields spec with
+      | [] -> Printf.eprintf "error: unparseable schedule\n"
+      | fs ->
+          Printf.eprintf "error: unknown schedule field(s): %s\n"
+            (String.concat ", " fs));
       2
   (* A parseable but semantically broken spec (hand-edited replay line)
      gets one readable diagnostic and exit 2, not an exception from deep
@@ -94,7 +98,9 @@ let run_replay spec mutate =
          evictions=%d conn_gcs=%d aborts tx=%d rx=%d reacks=%d \
          state_high=%d flood=%d rtt_samples=%d final_rto=%.4f\n\
          crashes=%d restores=%d recovery_bad=%d over_budget=%d \
-         roundtrip_fail=%d snapshots=%d journal_records=%d\n"
+         roundtrip_fail=%d snapshots=%d journal_records=%d\n\
+         overlap injected=%d conflicts_seen=%d rejected=%d quarantined=%d \
+         verified_overwrites=%d permuted=%s\n"
         observation.Check.Driver.ok observation.complete observation.gave_up
         observation.retransmissions observation.sack_retransmissions
         observation.nacks_sent
@@ -110,7 +116,15 @@ let run_replay spec mutate =
         observation.crashes_injected observation.restores
         observation.recovery_bad observation.restore_over_budget
         observation.roundtrip_failures observation.snapshots_taken
-        observation.journal_records;
+        observation.journal_records observation.overlap_injected
+        observation.overlap_conflicts_seen observation.overlap_conflicts_rejected
+        observation.overlap_quarantined observation.verified_overwrites
+        (match observation.permuted with
+        | None -> "n/a"
+        | Some p ->
+            if Bytes.equal p.Check.Driver.p_delivered observation.delivered
+            then "identical"
+            else "DIVERGENT");
       let violations = Check.Oracle.check ~schedule ~model ~observation in
       List.iter
         (fun v -> Printf.printf "VIOLATION %s\n" (Check.Oracle.violation_to_string v))
@@ -132,7 +146,8 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
     | Some m -> m
     | None ->
         Printf.eprintf
-          "error: bad --mutate %S (none|flip:N|dup:N|drop:N|corrupt-restore)\n"
+          "error: bad --mutate %S \
+           (none|flip:N|dup:N|drop:N|corrupt-restore|overlap-clobber)\n"
           mutate;
         exit 2
   in
@@ -170,11 +185,17 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                     ~seed p
                 in
                 Printf.printf
-                  "%-8s %5d schedules  %d violations  %d/%d injections undetected  %.1fs\n%!"
+                  "%-8s %5d schedules  %d violations  %d/%d injections \
+                   undetected  overlap %d injected/%d conflicts/%d rejected  \
+                   %.1fs\n\
+                   %!"
                   (Check.Schedule.profile_name p) report.Check.Soak.schedules_run
                   (List.length report.Check.Soak.findings)
                   report.Check.Soak.detect_undetected
-                  report.Check.Soak.detect_trials report.Check.Soak.wall_seconds;
+                  report.Check.Soak.detect_trials report.Check.Soak.ov_injected
+                  report.Check.Soak.ov_conflicts_seen
+                  report.Check.Soak.ov_conflicts_rejected
+                  report.Check.Soak.wall_seconds;
                 List.iteri print_finding report.Check.Soak.findings;
                 report)
               profiles
@@ -268,9 +289,10 @@ let cmd =
       value & opt string "none"
       & info [ "mutate" ] ~docv:"MODE"
           ~doc:
-            "Inject a stack bug (flip:N, dup:N, drop:N, or corrupt-restore \
-             for a corrupted crash snapshot) and require the oracle to \
-             catch it.")
+            "Inject a stack bug (flip:N, dup:N, drop:N, corrupt-restore \
+             for a corrupted crash snapshot, or overlap-clobber for a \
+             validly-sealed forged TPDU that clobbers verified bytes) and \
+             require the oracle to catch it.")
   in
   let replay =
     Arg.(

@@ -11,6 +11,11 @@ type mutation =
   | Drop_every of int  (** swallow every [n]th packet *)
   | Corrupt_restore
       (** flip one already-verified byte in the first restored snapshot *)
+  | Overlap_clobber
+      (** forge a {e correctly sealed} TPDU with divergent bytes over the
+          first data chunk's connection range and inject it ahead of the
+          original — a verified-vs-verified clash no honest network can
+          produce *)
 
 let mutation_to_string = function
   | No_mutation -> "none"
@@ -18,6 +23,7 @@ let mutation_to_string = function
   | Dup_every n -> Printf.sprintf "dup:%d" n
   | Drop_every n -> Printf.sprintf "drop:%d" n
   | Corrupt_restore -> "corrupt-restore"
+  | Overlap_clobber -> "overlap-clobber"
 
 let mutation_of_string str =
   match String.split_on_char ':' str with
@@ -26,6 +32,7 @@ let mutation_of_string str =
   | [ "dup"; n ] -> Option.map (fun n -> Dup_every n) (int_of_string_opt n)
   | [ "drop"; n ] -> Option.map (fun n -> Drop_every n) (int_of_string_opt n)
   | [ "corrupt-restore" ] -> Some Corrupt_restore
+  | [ "overlap-clobber" ] -> Some Overlap_clobber
   | _ -> None
 
 type epoch_obs = {
@@ -51,6 +58,16 @@ type metrics_probe = {
   mp_verified : int;  (* edc_tpdus_passed_total delta *)
   mp_acked : int;  (* transport_acks_total delta *)
   mp_governor_peak : int;  (* governor occupancy high-water this run *)
+}
+
+(* The delivery outcome of the permutation re-run: the same schedule
+   executed with a different overlap-injection seed, so the overlap
+   set's arrival order (and mix) differs while the legitimate transfer
+   is untouched. *)
+type permuted_obs = {
+  p_delivered : bytes;
+  p_complete : bool;
+  p_gave_up : bool;
 }
 
 type observation = {
@@ -98,6 +115,13 @@ type observation = {
   journal_records : int;
   multi : multi_obs option;
   metrics : metrics_probe;
+  (* overlap policy *)
+  overlap_conflicts_seen : int;
+  overlap_conflicts_rejected : int;
+  overlap_quarantined : int;
+  verified_overwrites : int;  (* must stay 0: two verified TPDUs clashing *)
+  overlap_injected : int;  (* overlap-adversary packets put on the wire *)
+  permuted : permuted_obs option;  (* present iff the schedule overlaps *)
 }
 
 (* The probe reads the process-wide registry, so a run's deltas are
@@ -162,7 +186,7 @@ let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
     let n = !door_count in
     trec "rx packet #%d (%d bytes)" n (Bytes.length b);
     match mutation with
-    | No_mutation | Corrupt_restore -> to_receiver_raw b
+    | No_mutation | Corrupt_restore | Overlap_clobber -> to_receiver_raw b
     | Flip_every k when k > 0 && n mod k = 0 ->
         incr mutated;
         trec "MUTATION flip byte of packet #%d" n;
@@ -321,6 +345,11 @@ type crash_track = {
   mutable ct_displaced : int;
   mutable ct_unknown : int;
   mutable ct_high_water : int;
+  (* placement overlap counters die with each crashed instance too *)
+  mutable ct_ov_seen : int;
+  mutable ct_ov_rejected : int;
+  mutable ct_ov_quarantined : int;
+  mutable ct_ov_overwrites : int;
 }
 
 let crash_track () =
@@ -342,7 +371,20 @@ let crash_track () =
     ct_displaced = 0;
     ct_unknown = 0;
     ct_high_water = 0;
+    ct_ov_seen = 0;
+    ct_ov_rejected = 0;
+    ct_ov_quarantined = 0;
+    ct_ov_overwrites = 0;
   }
+
+let absorb_overlap ct (os : Labelling.Placement.overlap_stats) =
+  ct.ct_ov_seen <- ct.ct_ov_seen + os.Labelling.Placement.os_conflicts_seen;
+  ct.ct_ov_rejected <-
+    ct.ct_ov_rejected + os.Labelling.Placement.os_conflicts_rejected;
+  ct.ct_ov_quarantined <-
+    ct.ct_ov_quarantined + os.Labelling.Placement.os_quarantined;
+  ct.ct_ov_overwrites <-
+    ct.ct_ov_overwrites + os.Labelling.Placement.os_verified_overwrites
 
 (* The codec must be a fixpoint on every image it produced itself; a
    re-encode that fails to decode back to the same value means the
@@ -428,7 +470,50 @@ let schedule_snapshots engine (s : Schedule.t) store export_now =
     done
   end
 
-let run_single ~mutation ~trace (s : Schedule.t) =
+(* The Overlap_clobber mutation: a forged TPDU with a {e correct} WSC-2
+   seal over divergent bytes, covering exactly the first data chunk's
+   connection range and injected ahead of it.  The forged TPDU verifies
+   first and locks its bytes under first-verified-wins; the real TPDU
+   still passes its own parity over its own chunks, so the receiver
+   completes with the forged bytes in that window — the data mismatch
+   the oracle must catch.  Forging it requires authoring a {e valid}
+   seal, which no honest network element can do: that is what makes
+   this a stack-bug mutation rather than an adversary mode. *)
+let clobber_tid_base = 900_000
+
+let forge_clobber b =
+  let open Labelling in
+  match Wire.decode_packet b with
+  | Error _ -> None
+  | Ok chunks -> (
+      match List.find_opt Chunk.is_data chunks with
+      | None -> None
+      | Some c -> (
+          let h = c.Chunk.header in
+          let payload =
+            Bytes.init (Bytes.length c.Chunk.payload) (fun i ->
+                Char.chr (Char.code (Bytes.get c.Chunk.payload i) lxor 0xFF))
+          in
+          match
+            Chunk.data ~size:h.Header.size
+              ~c:
+                (Ftuple.v ~id:h.Header.c.Ftuple.id ~sn:h.Header.c.Ftuple.sn
+                   ())
+              ~t:(Ftuple.v ~st:true ~id:clobber_tid_base ~sn:0 ())
+              ~x:(Ftuple.v ~id:clobber_tid_base ~sn:0 ())
+              payload
+          with
+          | Error _ -> None
+          | Ok d -> (
+              match Edc.Encoder.seal [ d ] with
+              | Error _ -> None
+              | Ok ed -> (
+                  match (Wire.encode_packet [ d ], Wire.encode_packet [ ed ])
+                  with
+                  | Ok p1, Ok p2 -> Some [ p1; p2 ]
+                  | _ -> None))))
+
+let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
   let config = Schedule.config_of s in
   let data = Schedule.data_of s in
   let engine = Netsim.Engine.create ~seed:s.seed () in
@@ -448,8 +533,36 @@ let run_single ~mutation ~trace (s : Schedule.t) =
         match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ())
       ()
   in
-  let to_receiver_raw b = Netsim.Blackout.send crash_valve b in
+  (* The overlap adversary taps the door (before its own injections, so
+     it never feeds on itself) and injects straight past the tap. *)
+  let overlapper = ref None in
+  let clobbered = ref 0 in
+  let to_receiver_raw b =
+    (match !overlapper with
+    | Some o -> Netsim.Overlapper.observe o b
+    | None -> ());
+    (if mutation = Overlap_clobber && !clobbered = 0 then
+       match forge_clobber b with
+       | Some pkts ->
+           clobbered := 1;
+           trec "MUTATION forged clobber TPDU ahead of packet";
+           List.iter (Netsim.Blackout.send crash_valve) pkts
+       | None -> ());
+    Netsim.Blackout.send crash_valve b
+  in
   let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
+  (match s.Schedule.overlap with
+  | None -> ()
+  | Some o ->
+      overlapper :=
+        Some
+          (Netsim.Overlapper.create engine
+             ~seed:(s.seed lxor 0x0A51A9 lxor overlap_salt)
+             ~rate:o.Schedule.ov_rate ~stop:o.Schedule.ov_stop
+             ~dup:o.Schedule.ov_dup ~forge:o.Schedule.ov_forge
+             ~resplit:o.Schedule.ov_resplit
+             ~inject:(fun b -> Netsim.Blackout.send crash_valve b)
+             ()));
   let probe0 = probe_start () in
   let reverse_send =
     build_reverse ~trace s engine (fun b ->
@@ -481,7 +594,8 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     ct.ct_aborts <- ct.ct_aborts + CT.Receiver.aborts_received rx;
     ct.ct_high_water <-
       max ct.ct_high_water
-        (CT.Receiver.governor_stats rx).Transport.Governor.high_water
+        (CT.Receiver.governor_stats rx).Transport.Governor.high_water;
+    absorb_overlap ct (CT.Receiver.overlap_stats rx)
   in
   schedule_snapshots engine s store (fun () ->
       Option.map
@@ -619,7 +733,7 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     forward = p.forward_stats ();
     dropper = p.dropper_stats ();
     gateways_malformed = p.gateways_malformed ();
-    mutated_packets = !(p.mutated);
+    mutated_packets = !(p.mutated) + !clobbered;
     reacks_sent = ct.ct_reacks;
     aborts_sent = CT.Sender.aborts_sent tx;
     aborts_received = ct.ct_aborts;
@@ -642,6 +756,15 @@ let run_single ~mutation ~trace (s : Schedule.t) =
     journal_records = Persist.Store.journal_records store;
     multi = None;
     metrics = probe_end probe0;
+    overlap_conflicts_seen = ct.ct_ov_seen;
+    overlap_conflicts_rejected = ct.ct_ov_rejected;
+    overlap_quarantined = ct.ct_ov_quarantined;
+    verified_overwrites = ct.ct_ov_overwrites;
+    overlap_injected =
+      (match !overlapper with
+      | Some o -> (Netsim.Overlapper.stats o).Netsim.Overlapper.injected
+      | None -> 0);
+    permuted = None;
   }
 
 (* T.ID spaces of successive epochs of one connection must be disjoint
@@ -723,7 +846,8 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     ct.ct_unknown <- ct.ct_unknown + Transport.Multi.unknown_drops m;
     ct.ct_high_water <-
       max ct.ct_high_water
-        (Transport.Multi.governor_stats m).Transport.Governor.high_water
+        (Transport.Multi.governor_stats m).Transport.Governor.high_water;
+    absorb_overlap ct (Transport.Multi.overlap_stats m)
   in
   schedule_snapshots engine s store (fun () ->
       Option.map
@@ -1006,8 +1130,34 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
           mo_known_conns = List.length (Transport.Multi.known_conns m);
         };
     metrics = probe_end probe0;
+    overlap_conflicts_seen = ct.ct_ov_seen;
+    overlap_conflicts_rejected = ct.ct_ov_rejected;
+    overlap_quarantined = ct.ct_ov_quarantined;
+    verified_overwrites = ct.ct_ov_overwrites;
+    overlap_injected = 0;
+    permuted = None;
   }
 
 let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
   if Schedule.multi_mode s then run_multi ~mutation ~trace s
-  else run_single ~mutation ~trace s
+  else
+    let o = run_single ~mutation ~trace s in
+    match s.Schedule.overlap with
+    | None -> o
+    | Some _ ->
+        (* Overlap-determinism evidence: re-run with a different
+           overlap-injection seed, so the adversary's arrival order and
+           mix over the same transfer are permuted.  Whatever the
+           interleaving, a completed transfer must deliver byte-identical
+           data — the oracle compares the two deliveries. *)
+        let o2 = run_single ~mutation ~trace:None ~overlap_salt:0x7E12A5 s in
+        {
+          o with
+          permuted =
+            Some
+              {
+                p_delivered = o2.delivered;
+                p_complete = o2.complete;
+                p_gave_up = o2.gave_up;
+              };
+        }

@@ -26,6 +26,15 @@ type mutation =
           after a crash — a corrupted persisted image the oracle must
           catch (its TPDU is in the ledger, so no retransmission can
           heal it) *)
+  | Overlap_clobber
+      (** forge a {e validly sealed} TPDU with divergent bytes over the
+          first observed data chunk's range and inject it ahead — it
+          verifies first, locks the range, and the first-verified-wins
+          policy then rejects the sender's real bytes, so the delivered
+          data diverges from the sent data: the overlap-consistency /
+          data-mismatch checks must catch it.  (No honest network
+          element can author a valid seal, which is why this is a
+          mutation rather than an {!Netsim.Overlapper} mode.) *)
 
 val mutation_to_string : mutation -> string
 val mutation_of_string : string -> mutation option
@@ -54,6 +63,16 @@ type metrics_probe = {
   mp_acked : int;  (** [transport_acks_total] delta over the run *)
   mp_governor_peak : int;
       (** high-water mark of [governor_occupancy_bytes] over the run *)
+}
+
+(** What the second, permuted run of an overlap schedule observed: the
+    same (seed, schedule) re-executed with a different overlap-injection
+    seed, so the adversary's arrival order and mode mix are permuted
+    over the identical legitimate transfer. *)
+type permuted_obs = {
+  p_delivered : bytes;
+  p_complete : bool;
+  p_gave_up : bool;
 }
 
 type observation = {
@@ -110,6 +129,18 @@ type observation = {
   journal_records : int;  (** journal records appended over the run *)
   multi : multi_obs option;  (** present iff the schedule is multi *)
   metrics : metrics_probe;
+  overlap_conflicts_seen : int;
+      (** occupied-with-different-bytes placement collisions *)
+  overlap_conflicts_rejected : int;
+      (** collisions discarded because the incumbent bytes were already
+          WSC-2-verified (first-verified-wins) *)
+  overlap_quarantined : int;
+      (** fresh-vs-fresh collisions held back for the writer's verdict *)
+  verified_overwrites : int;
+      (** verified bytes replaced by different verified bytes — must be
+          zero in every profile (the overlap-consistency check) *)
+  overlap_injected : int;  (** overlap-adversary packets put on the wire *)
+  permuted : permuted_obs option;  (** present iff the schedule overlaps *)
 }
 
 val horizon : float

@@ -156,6 +156,31 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
     fail "snapshot-roundtrip"
       "%d snapshot round-trip mismatches observed at restore"
       o.roundtrip_failures;
+  (* Overlap policy.  Two checks run in {e every} profile:
+     1. Consistency — once a byte range is WSC-2-verified it is
+        immutable: a conflicting write that replaces verified bytes
+        (even with other verified bytes) means delivery can depend on
+        arrival order, so [verified_overwrites] must be exactly zero.
+     2. Determinism — for overlap schedules the driver re-runs the
+        same (seed, schedule) with a permuted overlap-injection order;
+        when both runs complete, they must deliver byte-identical
+        data.  Either the adversary's bytes never reach delivery, or
+        the policy is order-sensitive — and then this catches it. *)
+  if o.verified_overwrites > 0 then
+    fail "overlap-consistency"
+      "%d verified bytes were overwritten by conflicting data \
+       (first-verified-wins violated; %d conflicts seen, %d rejected)"
+      o.verified_overwrites o.overlap_conflicts_seen
+      o.overlap_conflicts_rejected;
+  (match o.permuted with
+  | Some p
+    when o.complete && (not o.gave_up) && p.Driver.p_complete
+         && not p.Driver.p_gave_up ->
+      if not (Bytes.equal o.delivered p.Driver.p_delivered) then
+        fail "overlap-determinism"
+          "permuting overlap arrival order changed delivery at byte %d"
+          (first_diff o.delivered p.Driver.p_delivered)
+  | Some _ | None -> ());
   (match o.multi with
   | None ->
       (* Delivery: the delivered buffer must equal the model's
@@ -185,8 +210,11 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
           o.delivered_elems m.Model.elems;
       (* Without corruption, a TPDU may fail verification only because
          the governor evicted it or the sender aborted it — never
-         because intact data looked damaged. *)
-      if s.Schedule.corrupt = 0.0 then begin
+         because intact data looked damaged.  The overlap adversary is
+         a third legitimate source of failures (its forged TPDUs and
+         poisoned parities are {e built} to fail), so the check only
+         applies when it is absent. *)
+      if s.Schedule.corrupt = 0.0 && s.Schedule.overlap = None then begin
         if
           o.verifier.Edc.Verifier.tpdus_failed
           > o.receiver_evictions + o.aborts_received

@@ -8,6 +8,7 @@ type profile =
   | Outage_recover
   | Crash_restart
   | Crash_flood
+  | Overlap_hostile
 
 let profile_name = function
   | Clean -> "clean"
@@ -17,6 +18,7 @@ let profile_name = function
   | Outage_recover -> "outage-recover"
   | Crash_restart -> "crash-restart"
   | Crash_flood -> "crash-flood"
+  | Overlap_hostile -> "overlap-hostile"
 
 let profile_of_name = function
   | "clean" -> Some Clean
@@ -26,6 +28,7 @@ let profile_of_name = function
   | "outage-recover" -> Some Outage_recover
   | "crash-restart" -> Some Crash_restart
   | "crash-flood" -> Some Crash_flood
+  | "overlap-hostile" -> Some Overlap_hostile
   | _ -> None
 
 let all_profiles =
@@ -37,6 +40,7 @@ let all_profiles =
     Outage_recover;
     Crash_restart;
     Crash_flood;
+    Overlap_hostile;
   ]
 
 type spread = Round_robin | Random_path | Route_change of float
@@ -64,6 +68,14 @@ type flood = {
 type crash = {
   cr_time : float;  (** the receiver endpoint dies here *)
   cr_restart : float;  (** downtime before restart from the persisted image *)
+}
+
+type overlap = {
+  ov_rate : float;  (** injections per simulated second *)
+  ov_stop : float;  (** injection ends here *)
+  ov_dup : bool;  (** divergent duplicates of observed chunks *)
+  ov_forge : bool;  (** forged corroborated TPDUs over observed ranges *)
+  ov_resplit : bool;  (** overlapping gateway-style re-split chains *)
 }
 
 type t = {
@@ -103,6 +115,7 @@ type t = {
   ack_blackhole : (float * float) option;
   outage : outage option;
   flood : flood option;
+  overlap : overlap option;
   crashes : crash list;
   snap_period : float;  (** full-snapshot interval; 0 = ACK-journal only *)
 }
@@ -110,7 +123,7 @@ type t = {
 let faultless s =
   s.loss = 0.0 && s.corrupt = 0.0 && s.duplicate = 0.0 && s.jitter = 0.0
   && s.dropper = None && s.ack_blackhole = None && s.outage = None
-  && s.flood = None && s.crashes = []
+  && s.flood = None && s.overlap = None && s.crashes = []
 
 (* Schedules that exercise the demultiplexing receiver (several
    connections, connection reuse, or adversarial connection traffic) run
@@ -216,7 +229,8 @@ let generate ~profile ~seed =
   let data_len =
     match profile with
     | Clean -> int_in rng 1 32768
-    | Lossy | Hostile | Outage_recover | Crash_restart -> int_in rng 1 16384
+    | Lossy | Hostile | Outage_recover | Crash_restart | Overlap_hostile ->
+        int_in rng 1 16384
     | Hostile_flood | Crash_flood -> int_in rng 1 8192
   in
   let gateways = List.init (Netsim.Rng.int rng 4) (fun _ -> gen_gateway rng) in
@@ -224,12 +238,13 @@ let generate ~profile ~seed =
     match profile with
     | Clean -> 0.0
     | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-    | Crash_flood ->
+    | Crash_flood | Overlap_hostile ->
         if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
   in
   let dropper =
     match profile with
-    | Clean | Outage_recover | Crash_restart | Crash_flood -> None
+    | Clean | Outage_recover | Crash_restart | Crash_flood | Overlap_hostile ->
+        None
     | Lossy | Hostile | Hostile_flood ->
         if Netsim.Rng.bool rng 0.3 then
           Some
@@ -277,6 +292,26 @@ let generate ~profile ~seed =
           }
     | _ -> None
   in
+  let overlap =
+    match profile with
+    | Overlap_hostile ->
+        let ov_dup = Netsim.Rng.bool rng 0.6 in
+        let ov_resplit = Netsim.Rng.bool rng 0.6 in
+        (* the forged-TPDU mode is the one that reliably provokes
+           placement conflicts; keep at least one mode armed *)
+        let ov_forge =
+          Netsim.Rng.bool rng 0.8 || not (ov_dup || ov_resplit)
+        in
+        Some
+          {
+            ov_rate = float_in rng 20.0 200.0;
+            ov_stop = float_in rng 0.2 1.0;
+            ov_dup;
+            ov_forge;
+            ov_resplit;
+          }
+    | _ -> None
+  in
   let base =
     {
       seed;
@@ -311,7 +346,7 @@ let generate ~profile ~seed =
       loss =
         (match profile with
         | Clean -> 0.0
-        | Crash_restart | Crash_flood ->
+        | Crash_restart | Crash_flood | Overlap_hostile ->
             (* light loss: enough to keep TPDUs in flight across crash
                points, not enough to drown the recovery signal *)
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.03 else 0.0
@@ -321,17 +356,19 @@ let generate ~profile ~seed =
         (match profile with
         | Clean | Lossy | Outage_recover | Crash_restart -> 0.0
         | Crash_flood -> float_in rng 0.002 0.02
-        | Hostile | Hostile_flood -> float_in rng 0.002 0.04);
+        | Hostile | Hostile_flood | Overlap_hostile ->
+            float_in rng 0.002 0.04);
       duplicate =
         (match profile with
         | Clean -> 0.0
         | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-        | Crash_flood ->
+        | Crash_flood | Overlap_hostile ->
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
       dropper;
       ack_blackhole;
       outage = None (* filled below *);
       flood;
+      overlap;
       crashes = [] (* filled below *);
       snap_period = 0.0 (* filled below *);
     }
@@ -560,6 +597,30 @@ let flood_of_string str =
         | _ -> None)
     | _ -> None
 
+let overlap_to_string = function
+  | None -> "-"
+  | Some o ->
+      Printf.sprintf "%.17g:%.17g:%b:%b:%b" o.ov_rate o.ov_stop o.ov_dup
+        o.ov_forge o.ov_resplit
+
+let overlap_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ r; s; d; f; re ] -> (
+        match
+          ( float_of_string_opt r,
+            float_of_string_opt s,
+            bool_of_string_opt d,
+            bool_of_string_opt f,
+            bool_of_string_opt re )
+        with
+        | Some ov_rate, Some ov_stop, Some ov_dup, Some ov_forge, Some ov_resplit
+          ->
+            Some (Some { ov_rate; ov_stop; ov_dup; ov_forge; ov_resplit })
+        | _ -> None)
+    | _ -> None
+
 let crashes_to_string = function
   | [] -> "-"
   | cs ->
@@ -618,11 +679,36 @@ let to_string s =
       Printf.sprintf "ack_blackhole=%s" (blackhole_to_string s.ack_blackhole);
       Printf.sprintf "outage=%s" (outage_to_string s.outage);
       Printf.sprintf "flood=%s" (flood_to_string s.flood);
+      Printf.sprintf "overlap=%s" (overlap_to_string s.overlap);
       Printf.sprintf "crashes=%s" (crashes_to_string s.crashes);
       Printf.sprintf "snap_period=%.17g" s.snap_period;
     ]
 
+let known_fields =
+  [
+    "seed"; "profile"; "data_len"; "elem_size"; "tpdu_elems"; "frame_bytes";
+    "mtu"; "window"; "rto"; "sack"; "adaptive"; "nack_delay"; "rto_adaptive";
+    "give_up_txs"; "state_budget"; "state_ttl"; "connections"; "reopen";
+    "paths"; "skew"; "jitter"; "spread"; "rate_bps"; "delay"; "gateways";
+    "loss"; "corrupt"; "duplicate"; "dropper"; "ack_blackhole"; "outage";
+    "flood"; "overlap"; "crashes"; "snap_period";
+  ]
+
+let unknown_fields str =
+  List.filter_map
+    (fun tok ->
+      if tok = "" then None
+      else
+        match String.index_opt tok '=' with
+        | Some i ->
+            let k = String.sub tok 0 i in
+            if List.mem k known_fields then None else Some k
+        | None -> Some tok)
+    (String.split_on_char ' ' (String.trim str))
+
 let of_string str =
+  if unknown_fields str <> [] then None
+  else
   let kvs =
     List.filter_map
       (fun tok ->
@@ -671,6 +757,7 @@ let of_string str =
   let* ack_blackhole = Option.bind (find "ack_blackhole") blackhole_of_string in
   let* outage = Option.bind (find "outage") outage_of_string in
   let* flood = Option.bind (find "flood") flood_of_string in
+  let* overlap = Option.bind (find "overlap") overlap_of_string in
   let* crashes = Option.bind (find "crashes") crashes_of_string in
   let* snap_period = flt "snap_period" in
   Some
@@ -707,6 +794,7 @@ let of_string str =
       ack_blackhole;
       outage;
       flood;
+      overlap;
       crashes;
       snap_period;
     }
@@ -788,6 +876,16 @@ let validate s =
           if f.flood_rate <= 0.0 then err "flood_rate must be positive"
           else if f.flood_stop < 0.0 then err "flood_stop cannot be negative"
           else if f.flood_conns < 1 then err "flood_conns must be >= 1"
+          else Ok ()
+      | None -> Ok ()
+    in
+    let* () =
+      match s.overlap with
+      | Some o ->
+          if o.ov_rate <= 0.0 then err "overlap rate must be positive"
+          else if o.ov_stop < 0.0 then err "overlap stop cannot be negative"
+          else if not (o.ov_dup || o.ov_forge || o.ov_resplit) then
+            err "overlap must enable at least one mode"
           else Ok ()
       | None -> Ok ()
     in

@@ -35,6 +35,14 @@ type profile =
           connection-flood pressure with a state budget: restored state
           must re-fit the budget and restored connections must survive
           the flood's displacement churn *)
+  | Overlap_hostile
+      (** hostile (light loss, corruption, duplication) plus an overlap
+          adversary synthesizing overlapping retransmissions with
+          {e conflicting} bytes: divergent duplicates of observed
+          chunks, forged corroborated TPDUs over observed connection
+          ranges, and overlapping gateway-style re-split chains — the
+          first-verified-wins overlap policy must keep delivery
+          byte-exact and arrival-order deterministic *)
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -68,6 +76,14 @@ type crash = {
   cr_time : float;  (** the receiver endpoint dies here (simulated s) *)
   cr_restart : float;
       (** downtime before it restarts from its persisted image *)
+}
+
+type overlap = {
+  ov_rate : float;  (** injections per simulated second *)
+  ov_stop : float;  (** injection ends here *)
+  ov_dup : bool;  (** divergent duplicates of observed chunks *)
+  ov_forge : bool;  (** forged corroborated TPDUs over observed ranges *)
+  ov_resplit : bool;  (** overlapping gateway-style re-split chains *)
 }
 
 type t = {
@@ -105,6 +121,7 @@ type t = {
           [infinity]) *)
   outage : outage option;  (** forward-path outage window *)
   flood : flood option;  (** connection-flood adversary *)
+  overlap : overlap option;  (** overlap adversary ({!Netsim.Overlapper}) *)
   crashes : crash list;
       (** receiver crash-restart events, ordered, non-overlapping *)
   snap_period : float;
@@ -148,7 +165,14 @@ val to_string : t -> string
     round-trip bit-exactly. *)
 
 val of_string : string -> t option
-(** Inverse of {!to_string}; [None] on any malformed token. *)
+(** Inverse of {!to_string}; [None] on any malformed or unknown
+    token. *)
+
+val unknown_fields : string -> string list
+(** The tokens of a replay spec that name no known schedule field
+    (including bare tokens with no [=]) — what made {!of_string} return
+    [None] on an otherwise well-formed line, for a readable CLI
+    diagnostic. *)
 
 val validate : t -> (unit, string) result
 (** Semantic gate over a parsed schedule: every dimension constraint

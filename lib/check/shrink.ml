@@ -17,6 +17,7 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
       t "snap_period=0" (s.crashes <> [] && s.snap_period > 0.0)
         { s with snap_period = 0.0 };
       t "flood=none" (s.flood <> None) { s with flood = None };
+      t "overlap=none" (s.overlap <> None) { s with overlap = None };
       t "outage=none" (s.outage <> None) { s with outage = None };
       t "blackhole=none" (s.ack_blackhole <> None)
         { s with ack_blackhole = None; give_up_txs = 40 };

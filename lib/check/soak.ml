@@ -11,6 +11,9 @@ type report = {
   findings : finding list;
   detect_trials : int;
   detect_undetected : int;
+  ov_injected : int;
+  ov_conflicts_seen : int;
+  ov_conflicts_rejected : int;
   wall_seconds : float;
 }
 
@@ -33,12 +36,18 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
   let n_findings = ref 0 in
   let detect_trials = ref 0 in
   let detect_undetected = ref 0 in
+  let ov_injected = ref 0 in
+  let ov_seen = ref 0 in
+  let ov_rejected = ref 0 in
   let i = ref 0 in
   while !i < schedules && not (out_of_time ()) do
     let sched_seed = Netsim.Rng.next rng in
     let schedule = Schedule.generate ~profile ~seed:sched_seed in
     let model = Model.of_schedule schedule in
     let observation = Driver.run ~mutation schedule in
+    ov_injected := !ov_injected + observation.Driver.overlap_injected;
+    ov_seen := !ov_seen + observation.Driver.overlap_conflicts_seen;
+    ov_rejected := !ov_rejected + observation.Driver.overlap_conflicts_rejected;
     (match Oracle.check ~schedule ~model ~observation with
     | [] -> ()
     | violations ->
@@ -72,6 +81,9 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     findings = List.rev !findings;
     detect_trials = !detect_trials;
     detect_undetected = !detect_undetected;
+    ov_injected = !ov_injected;
+    ov_conflicts_seen = !ov_seen;
+    ov_conflicts_rejected = !ov_rejected;
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
@@ -114,12 +126,13 @@ let json_of_finding f =
 
 let json_of_report r =
   Printf.sprintf
-    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"wall_seconds\":%.3f}"
+    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"wall_seconds\":%.3f}"
     (json_str (Schedule.profile_name r.profile))
     (json_str (Driver.mutation_to_string r.mutation))
     r.schedules_run
     (String.concat "," (List.map json_of_finding r.findings))
-    r.detect_trials r.detect_undetected r.wall_seconds
+    r.detect_trials r.detect_undetected r.ov_injected r.ov_conflicts_seen
+    r.ov_conflicts_rejected r.wall_seconds
 
 let json_of_reports reports =
   Printf.sprintf "{\"reports\":[%s]}"

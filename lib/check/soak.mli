@@ -16,6 +16,10 @@ type report = {
   detect_trials : int;
       (** Table 1 fault-injection samples interleaved with the soak *)
   detect_undetected : int;  (** trials where wrong data got through *)
+  ov_injected : int;  (** overlap-adversary packets injected, all runs *)
+  ov_conflicts_seen : int;  (** placement byte conflicts observed *)
+  ov_conflicts_rejected : int;
+      (** conflicts discarded by first-verified-wins *)
   wall_seconds : float;
 }
 

@@ -1,5 +1,20 @@
 type level = Conn | Tpdu | External
 
+type kind = Verified_conflict | Fresh_conflict
+
+type report = {
+  rp_fresh : (int * int) list;
+  rp_benign : (int * int) list;
+  rp_conflicts : (int * int * kind) list;
+}
+
+type overlap_stats = {
+  os_conflicts_seen : int;
+  os_conflicts_rejected : int;
+  os_quarantined : int;
+  os_verified_overwrites : int;
+}
+
 type t = {
   level : level;
   base_sn : int;
@@ -7,6 +22,12 @@ type t = {
   capacity_elems : int;
   buf : bytes;
   tracker : Vreassembly.t;  (* reuses interval tracking for fill state *)
+  occ : bytes;  (* one byte per element: the element holds placed data *)
+  lck : bytes;  (* one byte per element: the data is verified-locked *)
+  mutable conflicts_seen : int;
+  mutable conflicts_rejected : int;
+  mutable quarantined : int;
+  mutable verified_overwrites : int;
 }
 
 let create ~level ~base_sn ~capacity_elems ~elem_size =
@@ -19,6 +40,12 @@ let create ~level ~base_sn ~capacity_elems ~elem_size =
     capacity_elems;
     buf = Bytes.make (capacity_elems * elem_size) '\000';
     tracker = Vreassembly.create ();
+    occ = Bytes.make capacity_elems '\000';
+    lck = Bytes.make capacity_elems '\000';
+    conflicts_seen = 0;
+    conflicts_rejected = 0;
+    quarantined = 0;
+    verified_overwrites = 0;
   }
 
 let sn_of p (c : Chunk.t) =
@@ -28,10 +55,103 @@ let sn_of p (c : Chunk.t) =
   | Tpdu -> h.Header.t.Ftuple.sn
   | External -> h.Header.x.Ftuple.sn
 
-let place p chunk =
-  if not (Chunk.is_data chunk) then Error "Placement.place: not a data chunk"
+let occupied p e = Bytes.get p.occ e <> '\000'
+let is_locked p e = Bytes.get p.lck e <> '\000'
+
+(* Do element [e] of the buffer and element [i] of [src] hold the same
+   bytes? *)
+let same p ~src i e =
+  let es = p.elem_size in
+  let rec go k =
+    k = es
+    || Bytes.get src ((i * es) + k) = Bytes.get p.buf ((e * es) + k)
+       && go (k + 1)
+  in
+  go 0
+
+(* The first-verified-wins policy, one element at a time.  [verified]
+   marks a write made on behalf of a TPDU whose WSC-2 parity has already
+   passed; such a write may reclaim bytes from an unverified squatter but
+   must never touch a locked (verified) region that disagrees with it. *)
+let apply p ~sn ~len ~src ~verified ~conn ~tpdu =
+  let es = p.elem_size in
+  let fresh = ref [] and benign = ref [] and conflicts = ref [] in
+  let push acc e =
+    match !acc with
+    | (s, l) :: rest when s + l = e -> acc := (s, l + 1) :: rest
+    | _ -> acc := (e, 1) :: !acc
+  in
+  let push_conflict e k =
+    match !conflicts with
+    | (s, l, k') :: rest when s + l = e && k' = k ->
+        conflicts := (s, l + 1, k') :: rest
+    | _ -> conflicts := (e, 1, k) :: !conflicts
+  in
+  for i = 0 to len - 1 do
+    let e = sn + i in
+    if not (occupied p e) then begin
+      Bytes.blit src (i * es) p.buf (e * es) es;
+      Bytes.set p.occ e '\001';
+      push fresh e
+    end
+    else if same p ~src i e then push benign e
+    else if is_locked p e then begin
+      (* the resident bytes are WSC-2-verified: the newcomer is counted,
+         traced and discarded — whoever verified first owns the bytes *)
+      p.conflicts_seen <- p.conflicts_seen + 1;
+      p.conflicts_rejected <- p.conflicts_rejected + 1;
+      if verified then p.verified_overwrites <- p.verified_overwrites + 1;
+      push_conflict e Verified_conflict
+    end
+    else if verified then begin
+      (* a verified newcomer reclaims bytes an unverified squatter wrote *)
+      p.conflicts_seen <- p.conflicts_seen + 1;
+      Bytes.blit src (i * es) p.buf (e * es) es;
+      push fresh e
+    end
+    else begin
+      (* neither side is verified yet: leave the resident bytes alone and
+         report the run so the caller can quarantine the newcomer until a
+         parity settles the dispute *)
+      p.conflicts_seen <- p.conflicts_seen + 1;
+      p.quarantined <- p.quarantined + 1;
+      push_conflict e Fresh_conflict
+    end
+  done;
+  (* overlap-tolerant accounting: every covered element counts once,
+     however the covering runs arrive (a conflicting element was already
+     occupied, so the whole-run insert stays exact) *)
+  (match Vreassembly.insert_new p.tracker ~sn ~len ~st:false with
+  | Ok _ | Error `Inconsistent -> ());
+  let conflicts = List.rev !conflicts in
+  if conflicts <> [] && Obs.enabled && Obs.Trace.active () then
+    List.iter
+      (fun (s, l, k) ->
+        Obs.Trace.record
+          (Obs.Trace.Overlap
+             {
+               conn;
+               tpdu;
+               sn = s + p.base_sn;
+               elems = l;
+               kind =
+                 (match k with
+                 | Verified_conflict ->
+                     if verified then "verified-clash" else "verified-conflict"
+                 | Fresh_conflict -> "fresh-conflict");
+             }))
+      conflicts;
+  {
+    rp_fresh = List.rev !fresh;
+    rp_benign = List.rev !benign;
+    rp_conflicts = conflicts;
+  }
+
+let checked op p chunk ~verified =
+  if not (Chunk.is_data chunk) then
+    Error (Printf.sprintf "Placement.%s: not a data chunk" op)
   else if chunk.Chunk.header.Header.size <> p.elem_size then
-    Error "Placement.place: element size mismatch"
+    Error (Printf.sprintf "Placement.%s: element size mismatch" op)
   else begin
     let sn = sn_of p chunk - p.base_sn in
     let len = chunk.Chunk.header.Header.len in
@@ -39,17 +159,26 @@ let place p chunk =
        SN can be close to [max_int], where the addition wraps negative
        and would sail past the window check into Bytes.blit. *)
     if sn < 0 || len > p.capacity_elems || sn > p.capacity_elems - len then
-      Error "Placement.place: outside destination window"
-    else begin
-      Bytes.blit chunk.Chunk.payload 0 p.buf (sn * p.elem_size)
-        (len * p.elem_size);
-      (* overlap-tolerant accounting: every covered element counts once,
-         however the covering runs arrive (refragmented retransmissions
-         can partially overlap) *)
-      (match Vreassembly.insert_new p.tracker ~sn ~len ~st:false with
-      | Ok _ | Error `Inconsistent -> ());
-      Ok ()
-    end
+      Error (Printf.sprintf "Placement.%s: outside destination window" op)
+    else
+      let h = chunk.Chunk.header in
+      Ok
+        (apply p ~sn ~len ~src:chunk.Chunk.payload ~verified
+           ~conn:h.Header.c.Ftuple.id ~tpdu:h.Header.t.Ftuple.id)
+  end
+
+let place_checked p chunk = checked "place" p chunk ~verified:false
+let place p chunk = Result.map (fun (_ : report) -> ()) (place_checked p chunk)
+let place_verified p chunk = checked "place_verified" p chunk ~verified:true
+
+let lock_span p ~sn ~len =
+  if sn >= 0 && len > 0 && len <= p.capacity_elems
+     && sn <= p.capacity_elems - len
+  then begin
+    Bytes.fill p.lck sn len '\001';
+    (* locked implies occupied: verified bytes are content, whatever a
+       snapshot restored around them *)
+    Bytes.fill p.occ sn len '\001'
   end
 
 let spans p = Vreassembly.spans p.tracker
@@ -64,6 +193,7 @@ let restore_span p ~sn data =
       Error "Placement.restore_span: outside destination window"
     else begin
       Bytes.blit data 0 p.buf (sn * p.elem_size) n;
+      Bytes.fill p.occ sn len '\001';
       (match Vreassembly.insert_new p.tracker ~sn ~len ~st:false with
       | Ok _ | Error `Inconsistent -> ());
       Ok ()
@@ -75,6 +205,14 @@ let placed_elems p = Vreassembly.received_elems p.tracker
 let is_full p = placed_elems p = p.capacity_elems
 
 let contents p = p.buf
+
+let overlap_stats p =
+  {
+    os_conflicts_seen = p.conflicts_seen;
+    os_conflicts_rejected = p.conflicts_rejected;
+    os_quarantined = p.quarantined;
+    os_verified_overwrites = p.verified_overwrites;
+  }
 
 let holes p =
   let rec gaps expect spans =

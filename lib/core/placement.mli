@@ -6,10 +6,65 @@
     destination buffer regardless of arrival order; a video receiver can
     place each chunk at offset [X.SN * size] of the current frame
     buffer.  Either way the data crosses the memory system exactly once
-    — the core performance argument for chunks. *)
+    — the core performance argument for chunks.
+
+    {2 Overlap policy: first-verified-wins}
+
+    Byte-offset reassembly is notoriously ambiguous under overlapping
+    segments with conflicting content (the classic OS/NIDS divergence);
+    chunks resolve it deterministically.  Per element:
+
+    - {e unplaced}: the newcomer's bytes are written.
+    - {e placed, identical bytes}: benign duplicate, nothing happens.
+    - {e placed, different bytes, resident verified (locked)}: the
+      newcomer is counted, traced ({!Obs.Trace.Overlap}) and discarded —
+      whichever TPDU passed WSC-2 verification first owns the bytes
+      forever.
+    - {e placed, different bytes, resident unverified}: the resident
+      bytes are left alone and the conflict is reported to the caller
+      ({!report.rp_conflicts} with {!Fresh_conflict}), who quarantines
+      the newcomer until one side's parity settles the dispute; a
+      {!place_verified} write then reclaims the bytes from the
+      unverified squatter.
+
+    The result is arrival-order {e determinism}: delivered bytes always
+    come from the first TPDU to pass verification over that region, for
+    every interleaving of an overlap set. *)
 
 type level = Conn | Tpdu | External
 (** Which framing level's SN addresses the destination. *)
+
+type kind =
+  | Verified_conflict
+      (** the resident bytes are verified-locked; the newcomer was
+          discarded *)
+  | Fresh_conflict
+      (** neither side is verified; the resident bytes were kept and the
+          newcomer's run is reported for quarantine *)
+
+type report = {
+  rp_fresh : (int * int) list;
+      (** element runs (relative to [base_sn]) freshly written by this
+          call — including squatter bytes a {!place_verified} write
+          reclaimed *)
+  rp_benign : (int * int) list;
+      (** runs whose resident bytes already equalled the newcomer's *)
+  rp_conflicts : (int * int * kind) list;
+      (** conflicting runs, in ascending order *)
+}
+
+type overlap_stats = {
+  os_conflicts_seen : int;  (** conflicting elements encountered, total *)
+  os_conflicts_rejected : int;
+      (** elements discarded because the resident bytes were verified *)
+  os_quarantined : int;
+      (** fresh-vs-fresh conflict elements deferred to parity *)
+  os_verified_overwrites : int;
+      (** {!place_verified} writes that met locked-different bytes — two
+          WSC-2-verified TPDUs disagreeing about one element.  Impossible
+          without a forged parity; the conformance oracle asserts this
+          stays zero in every profile. *)
+}
 
 type t
 
@@ -18,10 +73,29 @@ val create : level:level -> base_sn:int -> capacity_elems:int -> elem_size:int -
     [base_sn] of the chosen level lands at offset 0. *)
 
 val place : t -> Chunk.t -> (unit, string) result
-(** Copy a data chunk's payload to its home offset.  Fails on control
-    chunks, element-size mismatch, or out-of-window SNs.  Idempotent
-    under duplicates (they overwrite with identical data — duplicate
-    {e rejection} is {!Vreassembly}'s job, placement is merely safe). *)
+(** Copy a data chunk's payload to its home offset under the
+    first-verified-wins policy (conflict outcomes are discarded; use
+    {!place_checked} to see them).  Fails on control chunks,
+    element-size mismatch, or out-of-window SNs.  Idempotent under
+    duplicates; conflicting bytes never clobber a verified region. *)
+
+val place_checked : t -> Chunk.t -> (report, string) result
+(** Like {!place}, returning the per-element outcome so the caller can
+    quarantine {!Fresh_conflict} runs.  Same failure cases. *)
+
+val place_verified : t -> Chunk.t -> (report, string) result
+(** Write on behalf of a TPDU whose parity has {e passed}: overwrites
+    unverified squatters, never locked-different bytes (those increment
+    [os_verified_overwrites] and are reported as {!Verified_conflict}).
+    The caller should then {!lock_span} the runs it now owns
+    ([rp_fresh @ rp_benign]). *)
+
+val lock_span : t -> sn:int -> len:int -> unit
+(** Mark an element run (relative to [base_sn]) as verified: its bytes
+    can never again be overwritten by conflicting data.  Out-of-window
+    runs are ignored.  Locking also marks the run as placed. *)
+
+val overlap_stats : t -> overlap_stats
 
 val placed_elems : t -> int
 (** Distinct elements placed so far. *)
@@ -37,7 +111,9 @@ val restore_span : t -> sn:int -> bytes -> (unit, string) result
     persisted snapshot: [data] must be a whole number of elements, which
     land at element [sn] (relative to [base_sn]).  Fails — never raises
     — on ragged lengths or out-of-window SNs, so a corrupted snapshot
-    degrades to missing data that retransmission repairs. *)
+    degrades to missing data that retransmission repairs.  Restored
+    runs are unlocked; the caller re-locks the verified spans it
+    restored ({!lock_span}). *)
 
 val is_full : t -> bool
 val contents : t -> bytes

@@ -8,6 +8,7 @@ type event =
   | Evict of { conn : int; tpdu : int; reason : string }
   | Conn_open of { conn : int }
   | Conn_close of { conn : int }
+  | Overlap of { conn : int; tpdu : int; sn : int; elems : int; kind : string }
 
 let event_name = function
   | Chunk_rx _ -> "chunk_rx"
@@ -19,6 +20,7 @@ let event_name = function
   | Evict _ -> "evict"
   | Conn_open _ -> "conn_open"
   | Conn_close _ -> "conn_close"
+  | Overlap _ -> "overlap"
 
 (* ---------- JSONL codec ---------- *)
 
@@ -61,6 +63,9 @@ let to_json ~time ev =
           (escape reason)
     | Conn_open { conn } -> Printf.sprintf {|"conn":%d|} conn
     | Conn_close { conn } -> Printf.sprintf {|"conn":%d|} conn
+    | Overlap { conn; tpdu; sn; elems; kind } ->
+        Printf.sprintf {|"conn":%d,"tpdu":%d,"sn":%d,"elems":%d,"kind":"%s"|}
+          conn tpdu sn elems (escape kind)
   in
   Printf.sprintf {|{"t":%s,"ev":"%s",%s}|} (fl time) (event_name ev) fields
 
@@ -181,6 +186,10 @@ let of_json line =
           Evict { conn = int "conn"; tpdu = int "tpdu"; reason = str "reason" }
       | "conn_open" -> Conn_open { conn = int "conn" }
       | "conn_close" -> Conn_close { conn = int "conn" }
+      | "overlap" ->
+          Overlap
+            { conn = int "conn"; tpdu = int "tpdu"; sn = int "sn";
+              elems = int "elems"; kind = str "kind" }
       | _ -> raise Bad
     in
     (time, ev)

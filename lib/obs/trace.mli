@@ -33,11 +33,20 @@ type event =
           or ["deadline"]; [tpdu = -1] is connection-level state) *)
   | Conn_open of { conn : int }
   | Conn_close of { conn : int }
+  | Overlap of { conn : int; tpdu : int; sn : int; elems : int; kind : string }
+      (** a chunk's bytes conflicted with bytes already in the placement
+          buffer; [kind] is ["verified-conflict"] (the resident bytes are
+          WSC-2-verified and the newcomer is discarded),
+          ["fresh-conflict"] (neither side is verified yet; the newcomer
+          is quarantined until its own parity settles the dispute), or
+          ["verified-clash"] (two verified TPDUs disagree — impossible
+          without a forged parity).  [sn]/[elems] locate one conflicting
+          run at placement granularity. *)
 
 val event_name : event -> string
 (** The wire tag: ["chunk_rx"], ["verify_start"], ["verify_done"],
     ["frag"], ["repack"], ["rto_fire"], ["evict"], ["conn_open"],
-    ["conn_close"]. *)
+    ["conn_close"], ["overlap"]. *)
 
 (** {1 Sinks} *)
 

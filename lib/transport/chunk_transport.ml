@@ -147,6 +147,11 @@ module Receiver = struct
     mutable placed_runs : (int * int) list;
         (* (c_sn, elems) runs this TPDU has placed; credited to the
            verified coverage only if the TPDU passes *)
+    mutable quarantine : (Chunk.t * int * int) list;
+        (* (sub-chunk, c_sn, elems) whose bytes conflicted with
+           unverified resident bytes (Placement's fresh-vs-fresh case):
+           re-asserted by a verified write if this TPDU passes, dropped
+           with the epoch otherwise *)
   }
 
   type t = {
@@ -280,12 +285,26 @@ module Receiver = struct
            location. *)
         Busmodel.mem_to_cpu rx.bus nbytes;
         Busmodel.cpu_to_mem rx.bus nbytes;
-        (match Placement.place rx.placement sub with
-        | Ok () ->
+        (match Placement.place_checked rx.placement sub with
+        | Ok rep ->
             (match Hashtbl.find_opt rx.corrob h.Header.t.Ftuple.id with
             | Some m ->
+                (* only bytes this TPDU actually covers (fresh writes and
+                   identical duplicates) are credited; conflicting runs
+                   either lost to a verified owner (discarded by
+                   placement) or wait in quarantine for this TPDU's
+                   parity *)
                 m.placed_runs <-
-                  (h.Header.c.Ftuple.sn + off_elems, elems) :: m.placed_runs
+                  rep.Placement.rp_fresh @ rep.Placement.rp_benign
+                  @ m.placed_runs;
+                if
+                  List.exists
+                    (fun (_, _, k) -> k = Placement.Fresh_conflict)
+                    rep.Placement.rp_conflicts
+                then
+                  m.quarantine <-
+                    (sub, h.Header.c.Ftuple.sn + off_elems, elems)
+                    :: m.quarantine
             | None -> ());
             (* Available to the application the instant it arrived. *)
             Netsim.Stats.add rx.element_delay 0.0
@@ -302,6 +321,7 @@ module Receiver = struct
             confirmed = false;
             stash = [];
             placed_runs = [];
+            quarantine = [];
           }
         in
         Hashtbl.add rx.corrob t_id m;
@@ -373,7 +393,7 @@ module Receiver = struct
           List.fold_left
             (fun acc (c, _, _) -> acc + Bytes.length c.Chunk.payload + 48)
             (16 * List.length m.placed_runs)
-            m.stash
+            (m.stash @ m.quarantine)
     in
     if fp = 0 && stash = 0 then
       Governor.remove rx.governor ~key:(gov_key rx t_id)
@@ -490,13 +510,31 @@ module Receiver = struct
                   match Hashtbl.find_opt rx.corrob t_id with
                   | Some m ->
                       flush_stash rx m;
+                      (* the parity settles this TPDU's quarantined
+                         conflicts: re-assert each held run with a
+                         verified write, which reclaims bytes from any
+                         unverified squatter but never from a locked
+                         region *)
+                      List.iter
+                        (fun (sub, _, _) ->
+                          match Placement.place_verified rx.placement sub with
+                          | Ok rep ->
+                              m.placed_runs <-
+                                rep.Placement.rp_fresh
+                                @ rep.Placement.rp_benign @ m.placed_runs
+                          | Error _ -> ())
+                        (List.rev m.quarantine);
+                      m.quarantine <- [];
                       List.iter
                         (fun (sn, len) ->
-                          match
-                            Vreassembly.insert_new rx.verified_cover ~sn ~len
-                              ~st:false
-                          with
-                          | Ok _ | Error `Inconsistent -> ())
+                          (match
+                             Vreassembly.insert_new rx.verified_cover ~sn ~len
+                               ~st:false
+                           with
+                          | Ok _ | Error `Inconsistent -> ());
+                          (* the verified bytes can never again be
+                             clobbered by conflicting data *)
+                          Placement.lock_span rx.placement ~sn ~len)
                         m.placed_runs;
                       m.placed_runs
                   | None -> []
@@ -581,7 +619,11 @@ module Receiver = struct
 
   let complete rx =
     match rx.capacity with
-    | `Exact _ -> Placement.is_full rx.placement
+    | `Exact n ->
+        (* full is not enough: an element squatted by a TPDU that never
+           verified must not fake completeness — the overlap policy
+           holds delivery until every byte has a WSC-2-verified owner *)
+        Placement.is_full rx.placement && verified_frontier rx >= n
     | `Quota _ -> (
         match rx.end_confirmed with
         | Some last ->
@@ -604,6 +646,8 @@ module Receiver = struct
 
   let element_delay rx = rx.element_delay
   let tpdu_latency rx = rx.tpdu_latency
+  let overlap_stats rx = Placement.overlap_stats rx.placement
+  let verified_elems rx = Vreassembly.received_elems rx.verified_cover
   let verifier_stats rx = Edc.Verifier.stats rx.verifier
   let verifier_in_flight rx = Edc.Verifier.in_flight rx.verifier
   let nacks_sent rx = rx.nacks_sent
@@ -696,8 +740,11 @@ module Receiver = struct
       img.Persist.ri_placed;
     List.iter
       (fun (sn, len) ->
-        match Vreassembly.insert_new rx.verified_cover ~sn ~len ~st:false with
-        | Ok _ | Error `Inconsistent -> ())
+        (match Vreassembly.insert_new rx.verified_cover ~sn ~len ~st:false with
+        | Ok _ | Error `Inconsistent -> ());
+        (* restored runs come back unlocked; re-assert verified
+           ownership so the overlap policy survives the crash *)
+        Placement.lock_span rx.placement ~sn ~len)
       img.Persist.ri_verified;
     rx.end_confirmed <- img.Persist.ri_end_confirmed;
     List.iter
@@ -725,6 +772,9 @@ module Receiver = struct
             confirmed = pi.Persist.pi_confirmed;
             stash;
             placed_runs = pi.Persist.pi_placed_runs;
+            (* quarantined conflicts are not persisted: dropping them
+               degrades to missing data that retransmission repairs *)
+            quarantine = [];
           })
       img.Persist.ri_corrob;
     List.iter (fun t -> Hashtbl.replace rx.acked t ()) acked_tids;

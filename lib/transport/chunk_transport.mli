@@ -119,7 +119,9 @@ module Receiver : sig
   val delivered_elems : t -> int
 
   val complete : t -> bool
-  (** [`Exact] mode: the placement window is full.  [`Quota] mode: a
+  (** [`Exact] mode: the placement window is full {e and} every element
+      is covered by verified TPDUs — an element squatted by a TPDU that
+      never verified cannot fake completeness.  [`Quota] mode: a
       verified TPDU carried the C.ST end-of-connection bit and every
       element up to it is covered by {e verified} TPDUs — bytes placed
       by a TPDU that later failed parity do not count (its
@@ -152,6 +154,14 @@ module Receiver : sig
 
   val tpdu_latency : t -> Netsim.Stats.t
   (** Per-TPDU time from first fragment arrival to verification. *)
+
+  val overlap_stats : t -> Labelling.Placement.overlap_stats
+  (** The placement buffer's conflict counters under the
+      first-verified-wins overlap policy (see
+      {!Labelling.Placement}). *)
+
+  val verified_elems : t -> int
+  (** Elements covered by WSC-2-verified TPDUs so far. *)
 
   val verifier_stats : t -> Edc.Verifier.stats
 

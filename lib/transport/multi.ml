@@ -17,7 +17,29 @@ type conn = {
   mutable last_touch : float;
   mutable aborts_acc : int;
   mutable reacks_acc : int;
+  mutable overlap_acc : Placement.overlap_stats;
+      (* conflict counters of archived epochs; live ones are read
+         directly off their placement buffers *)
 }
+
+let zero_overlap =
+  {
+    Placement.os_conflicts_seen = 0;
+    os_conflicts_rejected = 0;
+    os_quarantined = 0;
+    os_verified_overwrites = 0;
+  }
+
+let add_overlap a b =
+  {
+    Placement.os_conflicts_seen =
+      a.Placement.os_conflicts_seen + b.Placement.os_conflicts_seen;
+    os_conflicts_rejected =
+      a.Placement.os_conflicts_rejected + b.Placement.os_conflicts_rejected;
+    os_quarantined = a.Placement.os_quarantined + b.Placement.os_quarantined;
+    os_verified_overwrites =
+      a.Placement.os_verified_overwrites + b.Placement.os_verified_overwrites;
+  }
 
 type t = {
   engine : Netsim.Engine.t;
@@ -66,6 +88,7 @@ let archive m c =
       R.quiesce rx;
       c.aborts_acc <- c.aborts_acc + R.aborts_received rx;
       c.reacks_acc <- c.reacks_acc + R.reacks_sent rx;
+      c.overlap_acc <- add_overlap c.overlap_acc (R.overlap_stats rx);
       (* An epoch in which no TPDU ever verified delivered nothing to the
          application (and acknowledged nothing to the sender), so from
          both ends' point of view it never happened: drop it rather than
@@ -201,6 +224,7 @@ let handle_open m cid =
           last_touch = now m;
           aborts_acc = 0;
           reacks_acc = 0;
+          overlap_acc = zero_overlap;
         }
       in
       Hashtbl.add m.conns cid c;
@@ -367,6 +391,15 @@ let reacks_sent m =
 let unknown_drops m = m.unknown_drops
 let late_drops m = m.late_drops
 
+let overlap_stats m =
+  Hashtbl.fold
+    (fun _ c acc ->
+      let acc = add_overlap acc c.overlap_acc in
+      match c.live with
+      | Some rx -> add_overlap acc (R.overlap_stats rx)
+      | None -> acc)
+    m.conns zero_overlap
+
 (* {1 Crash recovery} *)
 
 let export m : Persist.conn_image list =
@@ -407,6 +440,7 @@ let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
             last_touch = now m;
             aborts_acc = 0;
             reacks_acc = 0;
+            overlap_acc = zero_overlap;
           }
         in
         List.iter (fun t -> Hashtbl.replace c.acked t ()) img.Persist.ci_acked;

@@ -101,6 +101,11 @@ val unknown_drops : t -> int
 val late_drops : t -> int
 (** Chunks for closed epochs that were not re-acknowledgeable. *)
 
+val overlap_stats : t -> Labelling.Placement.overlap_stats
+(** Overlap-conflict counters summed over every epoch of every
+    connection, live and archived (see {!Labelling.Placement} for the
+    first-verified-wins policy they account). *)
+
 (** {1 Crash recovery} *)
 
 val export : t -> Persist.conn_image list

@@ -71,7 +71,50 @@ let soak profile n =
         f.Check.Soak.violations)
     report.Check.Soak.findings;
   Alcotest.(check int) "no undetected injections" 0
-    report.Check.Soak.detect_undetected
+    report.Check.Soak.detect_undetected;
+  report
+
+let test_overlap_hostile_soak () =
+  (* the overlap adversary must actually provoke conflicts — and the
+     first-verified-wins policy must reject every one of them without a
+     single oracle violation *)
+  let report = soak Check.Schedule.Overlap_hostile 15 in
+  Alcotest.(check bool) "adversary fired" true
+    (report.Check.Soak.ov_injected > 0);
+  Alcotest.(check bool) "conflicts provoked" true
+    (report.Check.Soak.ov_conflicts_seen > 0);
+  Alcotest.(check bool) "conflicts rejected by first-verified-wins" true
+    (report.Check.Soak.ov_conflicts_rejected > 0)
+
+let test_overlap_clobber_caught () =
+  (* a validly-sealed forged TPDU clobbers the first data chunk's range:
+     it verifies first, locks the bytes, and the sender's real data is
+     rejected — the oracle must see the divergent delivery, and the
+     shrinker must keep the overlap conflict alive while minimising *)
+  let report =
+    Check.Soak.run_profile ~mutation:Check.Driver.Overlap_clobber
+      ~schedules:12 ~seed:11 Check.Schedule.Clean
+  in
+  Alcotest.(check bool) "bug caught" true (report.Check.Soak.findings <> []);
+  match
+    List.find_opt
+      (fun (f : Check.Soak.finding) ->
+        f.Check.Soak.shrunk.Check.Shrink.violations <> [])
+      report.Check.Soak.findings
+  with
+  | None -> Alcotest.fail "no finding shrunk to a replayable schedule"
+  | Some f ->
+      (* replay the shrunk schedule: the placement conflict the clobber
+         provokes must have survived minimisation *)
+      let s = f.Check.Soak.shrunk.Check.Shrink.schedule in
+      let o = Check.Driver.run ~mutation:Check.Driver.Overlap_clobber s in
+      Alcotest.(check bool) "conflict preserved in shrunk replay" true
+        (o.Check.Driver.overlap_conflicts_rejected > 0);
+      Alcotest.(check bool) "shrunk replay still violates" true
+        (Check.Oracle.check ~schedule:s
+           ~model:(Check.Model.of_schedule s)
+           ~observation:o
+         <> [])
 
 let test_corrupt_restore_caught () =
   (* flip one verified byte in the image restored after a crash: its
@@ -131,7 +174,15 @@ let test_replay_rejects_invalid_schedule () =
   Alcotest.(check bool) "negative snap_period rejected" true
     (Result.is_error
        (Check.Schedule.validate
-          { base with Check.Schedule.snap_period = -1.0 }))
+          { base with Check.Schedule.snap_period = -1.0 }));
+  (* a spec with a field no release knows is refused outright, and the
+     offender is reported by name for the CLI diagnostic *)
+  let with_bogus = Check.Schedule.to_string base ^ " bogus=1" in
+  Alcotest.(check (list string))
+    "unknown fields reported" [ "bogus" ]
+    (Check.Schedule.unknown_fields with_bogus);
+  Alcotest.(check bool) "unknown-field spec rejected" true
+    (Check.Schedule.of_string with_bogus = None)
 
 let test_mutation_caught () =
   (* inject a bug (flip a byte of every 2nd packet at the receiver door)
@@ -157,21 +208,28 @@ let suite =
       prop_schedule_roundtrip;
     Alcotest.test_case "replay is deterministic" `Quick
       test_replay_determinism;
-    Alcotest.test_case "soak: clean profile" `Quick (fun () -> soak Check.Schedule.Clean 40);
-    Alcotest.test_case "soak: lossy profile" `Quick (fun () -> soak Check.Schedule.Lossy 25);
-    Alcotest.test_case "soak: hostile profile" `Quick (fun () -> soak Check.Schedule.Hostile 25);
+    Alcotest.test_case "soak: clean profile" `Quick (fun () ->
+        ignore (soak Check.Schedule.Clean 40));
+    Alcotest.test_case "soak: lossy profile" `Quick (fun () ->
+        ignore (soak Check.Schedule.Lossy 25));
+    Alcotest.test_case "soak: hostile profile" `Quick (fun () ->
+        ignore (soak Check.Schedule.Hostile 25));
     Alcotest.test_case "soak: hostile-flood profile" `Quick (fun () ->
-        soak Check.Schedule.Hostile_flood 15);
+        ignore (soak Check.Schedule.Hostile_flood 15));
     Alcotest.test_case "soak: outage-recover profile" `Quick (fun () ->
-        soak Check.Schedule.Outage_recover 15);
+        ignore (soak Check.Schedule.Outage_recover 15));
     Alcotest.test_case "soak: crash-restart profile" `Quick (fun () ->
-        soak Check.Schedule.Crash_restart 15);
+        ignore (soak Check.Schedule.Crash_restart 15));
     Alcotest.test_case "soak: crash-flood profile" `Quick (fun () ->
-        soak Check.Schedule.Crash_flood 10);
+        ignore (soak Check.Schedule.Crash_flood 10));
+    Alcotest.test_case "soak: overlap-hostile profile" `Quick
+      test_overlap_hostile_soak;
     Alcotest.test_case "injected mutation caught and shrunk" `Quick
       test_mutation_caught;
     Alcotest.test_case "corrupted restore caught and shrunk" `Quick
       test_corrupt_restore_caught;
+    Alcotest.test_case "overlap clobber caught, shrunk, conflict preserved"
+      `Quick test_overlap_clobber_caught;
     Alcotest.test_case "replay rejects parseable-but-invalid schedules"
       `Quick test_replay_rejects_invalid_schedule;
   ]

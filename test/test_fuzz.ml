@@ -68,6 +68,96 @@ let gen_mutated_packed =
     done;
     return b)
 
+(* A sealed stream plus forged duplicates: copies of real data chunks
+   whose labels are identical but whose payloads diverge (XOR-flipped) —
+   the overlap adversary's dup mode — interleaved at random positions. *)
+let gen_forged_duplicates =
+  QCheck2.Gen.(
+    let* _, chunks = Util.gen_framed_stream in
+    let* keys = list_size (int_range 1 6) (int_range 1 255) in
+    let* shuffle_seed = int_range 0 0xFFFF in
+    let sealed =
+      match Edc.Encoder.seal_tpdus chunks with
+      | Ok s -> s
+      | Error e -> invalid_arg e
+    in
+    let data = List.filter Chunk.is_data sealed in
+    let forged =
+      List.mapi
+        (fun i key ->
+          let victim = List.nth data (i * 31 mod List.length data) in
+          let h = victim.Chunk.header in
+          let payload =
+            Bytes.map
+              (fun c -> Char.chr (Char.code c lxor key))
+              victim.Chunk.payload
+          in
+          match
+            Chunk.data ~size:h.Header.size ~c:h.Header.c ~t:h.Header.t
+              ~x:h.Header.x payload
+          with
+          | Ok c -> c
+          | Error e -> invalid_arg e)
+        keys
+    in
+    return (sealed, Util.shuffle ~seed:shuffle_seed (sealed @ forged)))
+
+(* Forged duplicate labels on divergent payloads, routed through
+   Demux into a Verifier behind an ACK ledger (the receiver's door
+   discipline): nothing raises, no TPDU passes twice, and within any one
+   incarnation of a TPDU's verifier state the fresh-element reports
+   never exceed the TPDU's true extent — a divergent duplicate is
+   either absorbed exactly once by virtual reassembly or poisons the
+   parity, but it can never double-count verified bytes.  (A TPDU that
+   {e failed} may be re-incarnated by late chunks — that is the
+   retransmission path, and its re-placement is what heals squatted
+   bytes — so the bound is per incarnation, and a passing incarnation
+   must have reported exactly the TPDU's extent.) *)
+let prop_forged_duplicates (sealed, pool) =
+  let tpdu_extent = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Chunk.is_data c then begin
+        let t_id = c.Chunk.header.Header.t.Ftuple.id in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt tpdu_extent t_id) in
+        Hashtbl.replace tpdu_extent t_id (prev + c.Chunk.header.Header.len)
+      end)
+    sealed;
+  let extent t_id = Option.value ~default:0 (Hashtbl.find_opt tpdu_extent t_id) in
+  let v = Edc.Verifier.create ~now:(fun () -> 0.0) () in
+  let passed = Hashtbl.create 16 in
+  let fresh = Hashtbl.create 16 in
+  let ok = ref true in
+  let feed c =
+    let t_id = c.Chunk.header.Header.t.Ftuple.id in
+    if not (Hashtbl.mem passed t_id) then
+      List.iter
+        (fun ev ->
+          match ev with
+          | Edc.Verifier.Tpdu_verified { t_id; verdict } ->
+              let n = Option.value ~default:0 (Hashtbl.find_opt fresh t_id) in
+              Hashtbl.remove fresh t_id;
+              if verdict = Edc.Verifier.Passed then begin
+                (* a passing incarnation covered exactly the TPDU *)
+                if n <> extent t_id then ok := false;
+                if Hashtbl.mem passed t_id then ok := false
+                else Hashtbl.replace passed t_id ()
+              end
+              else if n > extent t_id then ok := false
+          | Edc.Verifier.Fresh_data { t_id; elems; _ } ->
+              let prev =
+                Option.value ~default:0 (Hashtbl.find_opt fresh t_id)
+              in
+              Hashtbl.replace fresh t_id (prev + elems);
+              if prev + elems > extent t_id then ok := false
+          | Edc.Verifier.Duplicate_dropped _ -> ())
+        (Edc.Verifier.on_chunk v c)
+  in
+  let d = Demux.create () in
+  Demux.register d Ctype.data feed;
+  Demux.register d Ctype.ed feed;
+  no_exn (fun () -> List.iter (Demux.on_chunk d) pool) && !ok
+
 (* Arbitrary virtual-reassembly operations, with spans drawn from the
    full decoded-label range: negative, zero-length, and near-max_int
    values all reach [Vreassembly] from 64-bit wire fields. *)
@@ -191,6 +281,9 @@ let suite =
     Util.qtest ~count:200 "Packed.decode_packet never raises on mutations"
       gen_mutated_packed
       (fun b -> no_exn (fun () -> Packed.decode_packet b));
+    Util.qtest ~count:200
+      "forged duplicate labels never raise nor double-count"
+      gen_forged_duplicates prop_forged_duplicates;
     Util.qtest ~count:300 "Vreassembly never raises on arbitrary spans"
       gen_vr_ops
       (fun ops ->

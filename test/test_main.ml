@@ -27,6 +27,7 @@ let () =
       ("transport", Test_transport.suite);
       ("persist", Test_persist.suite);
       ("fuzz", Test_fuzz.suite);
+      ("overlap", Test_overlap.suite);
       ("parverify", Test_parverify.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);

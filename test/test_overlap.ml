@@ -1,0 +1,286 @@
+(* Overlap semantics: the first-verified-wins policy
+   (Labelling.Placement) must make delivery deterministic under
+   overlapping writes with conflicting bytes — whatever the arrival
+   order, verified regions hold exactly the verified bytes, and a byte
+   from a never-verified writer can never survive in them. *)
+
+open Labelling
+module CT = Transport.Chunk_transport
+
+(* ------------------------------------------------------------------ *)
+(* Policy table, deterministically (mirrors the Placement doc).        *)
+
+let elem = 4
+let cap = 32
+let truth = Util.deterministic_bytes (cap * elem)
+
+let slice_of sn len = Bytes.sub truth (sn * elem) (len * elem)
+
+let xor_bytes key b =
+  Bytes.map (fun c -> Char.chr (Char.code c lxor key)) b
+
+let mk_chunk ~sn payload =
+  Util.ok_or_fail
+    (Chunk.data ~size:elem
+       ~c:(Ftuple.v ~id:1 ~sn ())
+       ~t:(Ftuple.v ~id:1 ~sn:0 ())
+       ~x:(Ftuple.v ~id:1 ~sn:0 ())
+       payload)
+
+let fresh_placement () =
+  Placement.create ~level:Placement.Conn ~base_sn:0 ~capacity_elems:cap
+    ~elem_size:elem
+
+let lock_owned p (rep : Placement.report) =
+  List.iter
+    (fun (sn, len) -> Placement.lock_span p ~sn ~len)
+    (rep.Placement.rp_fresh @ rep.Placement.rp_benign)
+
+let test_policy_table () =
+  let p = fresh_placement () in
+  (* 1. unplaced: fresh write lands *)
+  let rep = Util.ok_or_fail (Placement.place_checked p (mk_chunk ~sn:0 (slice_of 0 4))) in
+  Alcotest.(check (list (pair int int))) "fresh run" [ (0, 4) ] rep.Placement.rp_fresh;
+  (* 2. identical resident: benign, no conflict *)
+  let rep = Util.ok_or_fail (Placement.place_checked p (mk_chunk ~sn:0 (slice_of 0 4))) in
+  Alcotest.(check (list (pair int int))) "benign run" [ (0, 4) ] rep.Placement.rp_benign;
+  Alcotest.(check int) "no conflicts yet" 0
+    (Placement.overlap_stats p).Placement.os_conflicts_seen;
+  (* 3. fresh-vs-fresh conflict: resident kept, newcomer reported for
+     quarantine *)
+  let rep =
+    Util.ok_or_fail
+      (Placement.place_checked p (mk_chunk ~sn:2 (xor_bytes 0x5A (slice_of 2 4))))
+  in
+  (match rep.Placement.rp_conflicts with
+  | [ (2, 2, Placement.Fresh_conflict) ] -> ()
+  | _ -> Alcotest.fail "expected a fresh conflict over elements 2..3");
+  Alcotest.check Util.bytes_testable "resident bytes kept" (slice_of 0 4)
+    (Bytes.sub (Placement.contents p) 0 (4 * elem));
+  Alcotest.(check int) "quarantined counted" 2
+    (Placement.overlap_stats p).Placement.os_quarantined;
+  (* 4. verified write reclaims unverified squatters... *)
+  let p2 = fresh_placement () in
+  ignore
+    (Util.ok_or_fail
+       (Placement.place_checked p2 (mk_chunk ~sn:0 (xor_bytes 0x77 (slice_of 0 4)))));
+  let rep = Util.ok_or_fail (Placement.place_verified p2 (mk_chunk ~sn:0 (slice_of 0 6))) in
+  lock_owned p2 rep;
+  Alcotest.check Util.bytes_testable "squatter reclaimed" (slice_of 0 6)
+    (Bytes.sub (Placement.contents p2) 0 (6 * elem));
+  (* ...and the locked region then discards conflicting newcomers,
+     verified or not (first-verified-wins) *)
+  let rep =
+    Util.ok_or_fail
+      (Placement.place_checked p2 (mk_chunk ~sn:4 (xor_bytes 0x11 (slice_of 4 4))))
+  in
+  (match rep.Placement.rp_conflicts with
+  | [ (4, 2, Placement.Verified_conflict) ] -> ()
+  | _ -> Alcotest.fail "expected a verified conflict over elements 4..5");
+  let rep =
+    Util.ok_or_fail
+      (Placement.place_verified p2 (mk_chunk ~sn:2 (xor_bytes 0x22 (slice_of 2 2))))
+  in
+  (match rep.Placement.rp_conflicts with
+  | [ (2, 2, Placement.Verified_conflict) ] -> ()
+  | _ -> Alcotest.fail "expected a verified-vs-verified conflict");
+  Alcotest.check Util.bytes_testable "locked bytes immutable" (slice_of 0 6)
+    (Bytes.sub (Placement.contents p2) 0 (6 * elem));
+  let os = Placement.overlap_stats p2 in
+  Alcotest.(check int) "rejections counted" 4 os.Placement.os_conflicts_rejected;
+  Alcotest.(check int) "verified overwrite attempt counted" 2
+    os.Placement.os_verified_overwrites
+
+(* ------------------------------------------------------------------ *)
+(* Placement-level property: random interleavings of verified writes
+   (carrying the true bytes) and fresh writes (honest or divergent)
+   always leave every verified-covered element holding the true bytes —
+   so two permutations of one overlap set agree byte for byte. *)
+
+type wkind = Verified | Fresh_honest | Fresh_divergent of int
+
+let gen_writes =
+  QCheck2.Gen.(
+    let write =
+      let* sn = int_range 0 (cap - 1) in
+      let* len = int_range 1 (min 8 (cap - sn)) in
+      let* kind =
+        oneof
+          [
+            return Verified;
+            return Fresh_honest;
+            map (fun k -> Fresh_divergent k) (int_range 1 255);
+          ]
+      in
+      return (sn, len, kind)
+    in
+    let* ws = list_size (int_range 1 20) write in
+    let* shuffle_seed = int_range 0 0xFFFF in
+    return (ws, shuffle_seed))
+
+let apply_writes ws =
+  let p = fresh_placement () in
+  List.iter
+    (fun (sn, len, kind) ->
+      match kind with
+      | Verified ->
+          let rep =
+            Util.ok_or_fail (Placement.place_verified p (mk_chunk ~sn (slice_of sn len)))
+          in
+          lock_owned p rep
+      | Fresh_honest ->
+          ignore (Util.ok_or_fail (Placement.place_checked p (mk_chunk ~sn (slice_of sn len))))
+      | Fresh_divergent k ->
+          ignore
+            (Util.ok_or_fail
+               (Placement.place_checked p (mk_chunk ~sn (xor_bytes k (slice_of sn len))))))
+    ws;
+  p
+
+let verified_cover ws =
+  let a = Array.make cap false in
+  List.iter
+    (fun (sn, len, kind) ->
+      if kind = Verified then
+        for i = sn to sn + len - 1 do
+          a.(i) <- true
+        done)
+    ws;
+  a
+
+let prop_first_verified_wins (ws, shuffle_seed) =
+  let covered = verified_cover ws in
+  let sound p =
+    (Placement.overlap_stats p).Placement.os_verified_overwrites = 0
+    && Array.for_all Fun.id
+         (Array.init cap (fun i ->
+              (not covered.(i))
+              || Bytes.equal
+                   (Bytes.sub (Placement.contents p) (i * elem) elem)
+                   (Bytes.sub truth (i * elem) elem)))
+  in
+  let a = apply_writes ws in
+  let b = apply_writes (Util.shuffle ~seed:shuffle_seed ws) in
+  sound a && sound b
+  && Array.for_all Fun.id
+       (Array.init cap (fun i ->
+            (not covered.(i))
+            || Bytes.equal
+                 (Bytes.sub (Placement.contents a) (i * elem) elem)
+                 (Bytes.sub (Placement.contents b) (i * elem) elem)))
+
+(* ------------------------------------------------------------------ *)
+(* Receiver-level property: a full transfer's sealed chunks mixed with
+   forged corroborated TPDUs (divergent bytes, garbage parity — the
+   Netsim.Overlapper forge mode) is delivered complete, byte-identical
+   under any two arrival orders, and equal to the sender's stream: no
+   unverified byte survives, because the forged TPDUs always fail
+   WSC-2. *)
+
+let forged_tid_base = 7_000
+
+(* One forged single-chunk TPDU over [sn, sn+len) whose ED chunk agrees
+   with the data chunk's C.SN - T.SN delta (so corroboration admits the
+   bytes) but carries a garbage parity (so verification fails it). *)
+let forge ~idx ~sn ~len ~key ~garbage =
+  let t_id = forged_tid_base + idx in
+  let data =
+    Util.ok_or_fail
+      (Chunk.data ~size:elem
+         ~c:(Ftuple.v ~id:1 ~sn ())
+         ~t:(Ftuple.v ~st:true ~id:t_id ~sn:0 ())
+         ~x:(Ftuple.v ~id:t_id ~sn:0 ())
+         (xor_bytes key (slice_of sn len)))
+  in
+  let ed_payload = Bytes.make 12 '\000' in
+  for i = 0 to 7 do
+    Bytes.set ed_payload i (Char.chr ((garbage + (i * 41)) land 0xFF))
+  done;
+  Bytes.set_int32_be ed_payload 8 (Int32.of_int len);
+  let ed =
+    Util.ok_or_fail
+      (Chunk.control ~kind:Ctype.ed
+         ~c:(Ftuple.v ~id:1 ~sn ())
+         ~t:(Ftuple.v ~id:t_id ~sn:0 ())
+         ~x:Ftuple.zero ed_payload)
+  in
+  [ data; ed ]
+
+let gen_receiver_case =
+  QCheck2.Gen.(
+    let* tpdu_elems = int_range 4 8 in
+    let* n_tpdus = int_range 2 4 in
+    let* frame_elems = int_range 2 6 in
+    let elems = tpdu_elems * n_tpdus in
+    let* forged =
+      list_size (int_range 1 3)
+        (let* sn = int_range 0 (elems - 1) in
+         let* len = int_range 1 (min 4 (elems - sn)) in
+         let* key = int_range 1 255 in
+         let* garbage = int_range 0 0xFFFF in
+         return (sn, len, key, garbage))
+    in
+    let* order_a = int_range 0 0xFFFF in
+    let* order_b = int_range 0 0xFFFF in
+    let* frag_seed = int_range 0 0xFFFF in
+    return (tpdu_elems, n_tpdus, frame_elems, forged, order_a, order_b, frag_seed))
+
+let prop_receiver_order_invariant
+    (tpdu_elems, n_tpdus, frame_elems, forged, order_a, order_b, frag_seed) =
+  let data_len = tpdu_elems * n_tpdus * elem in
+  let stream = Util.deterministic_bytes (cap * elem) in
+  let stream = Bytes.sub stream 0 data_len in
+  let f = Framer.create ~elem_size:elem ~tpdu_elems ~conn_id:1 () in
+  let chunks =
+    Util.ok_or_fail (Framer.frames_of_stream f ~frame_bytes:(frame_elems * elem) stream)
+  in
+  let sealed = Util.ok_or_fail (Edc.Encoder.seal_tpdus chunks) in
+  let forged_chunks =
+    List.concat
+      (List.mapi
+         (fun idx (sn, len, key, garbage) ->
+           if sn + len <= n_tpdus * tpdu_elems then forge ~idx ~sn ~len ~key ~garbage
+           else [])
+         forged)
+  in
+  let pool = Util.fragment_randomly ~seed:frag_seed (sealed @ forged_chunks) in
+  let config =
+    {
+      CT.default_config with
+      conn_id = 1;
+      elem_size = elem;
+      tpdu_elems;
+      state_budget = 0;
+    }
+  in
+  let expected = CT.expected_elements config ~data_len in
+  let deliver order_seed =
+    let engine = Netsim.Engine.create ~seed:1 () in
+    let rx =
+      CT.Receiver.create engine config
+        ~send_ack:(fun _ -> ())
+        ~capacity:(`Exact expected) ()
+    in
+    List.iter (CT.Receiver.on_chunk rx) (Util.shuffle ~seed:order_seed pool);
+    rx
+  in
+  let a = deliver order_a and b = deliver order_b in
+  let os_a = CT.Receiver.overlap_stats a in
+  let os_b = CT.Receiver.overlap_stats b in
+  CT.Receiver.complete a && CT.Receiver.complete b
+  && Bytes.equal (CT.Receiver.contents a) (CT.Receiver.contents b)
+  && Bytes.equal (Bytes.sub (CT.Receiver.contents a) 0 data_len) stream
+  && os_a.Placement.os_verified_overwrites = 0
+  && os_b.Placement.os_verified_overwrites = 0
+  && os_a.Placement.os_conflicts_seen > 0
+  && os_b.Placement.os_conflicts_seen > 0
+
+let suite =
+  [
+    Alcotest.test_case "policy table" `Quick test_policy_table;
+    Util.qtest ~count:300 "verified cover is order-invariant and exact"
+      gen_writes prop_first_verified_wins;
+    Util.qtest ~count:60
+      "receiver delivery is order-invariant under forged overlaps"
+      gen_receiver_case prop_receiver_order_invariant;
+  ]
