@@ -26,7 +26,8 @@ let profiles_of = function
                (String.concat ", " (profile_names ()))))
 
 let print_finding i (f : Check.Soak.finding) =
-  Printf.printf "finding %d:\n" i;
+  Printf.printf "finding %d (schedule seed %d):\n" i
+    f.Check.Soak.schedule.Check.Schedule.seed;
   List.iter
     (fun v -> Printf.printf "  %s\n" (Check.Oracle.violation_to_string v))
     f.Check.Soak.violations;
@@ -100,7 +101,8 @@ let run_replay spec mutate =
          crashes=%d restores=%d recovery_bad=%d over_budget=%d \
          roundtrip_fail=%d snapshots=%d journal_records=%d\n\
          overlap injected=%d conflicts_seen=%d rejected=%d quarantined=%d \
-         verified_overwrites=%d permuted=%s\n"
+         verified_overwrites=%d permuted=%s\n\
+         sheds tx=%d rx=%d shed_elems=%d shed_spans=%s\n"
         observation.Check.Driver.ok observation.complete observation.gave_up
         observation.retransmissions observation.sack_retransmissions
         observation.nacks_sent
@@ -124,7 +126,14 @@ let run_replay spec mutate =
         | Some p ->
             if Bytes.equal p.Check.Driver.p_delivered observation.delivered
             then "identical"
-            else "DIVERGENT");
+            else "DIVERGENT")
+        observation.sheds_sent observation.sheds_received
+        observation.shed_elems
+        (match observation.shed_spans with
+        | [] -> "-"
+        | spans ->
+            String.concat ","
+              (List.map (fun (f, n) -> Printf.sprintf "%d+%d" f n) spans));
       let violations = Check.Oracle.check ~schedule ~model ~observation in
       List.iter
         (fun v -> Printf.printf "VIOLATION %s\n" (Check.Oracle.violation_to_string v))
@@ -147,7 +156,7 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
     | None ->
         Printf.eprintf
           "error: bad --mutate %S \
-           (none|flip:N|dup:N|drop:N|corrupt-restore|overlap-clobber)\n"
+           (none|flip:N|dup:N|drop:N|corrupt-restore|overlap-clobber|shed-clobber)\n"
           mutate;
         exit 2
   in
@@ -187,7 +196,7 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                 Printf.printf
                   "%-8s %5d schedules  %d violations  %d/%d injections \
                    undetected  overlap %d injected/%d conflicts/%d rejected  \
-                   %.1fs\n\
+                   sheds %d/%d honoured/%d elems  %.1fs\n\
                    %!"
                   (Check.Schedule.profile_name p) report.Check.Soak.schedules_run
                   (List.length report.Check.Soak.findings)
@@ -195,7 +204,9 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                   report.Check.Soak.detect_trials report.Check.Soak.ov_injected
                   report.Check.Soak.ov_conflicts_seen
                   report.Check.Soak.ov_conflicts_rejected
-                  report.Check.Soak.wall_seconds;
+                  report.Check.Soak.sheds_signalled
+                  report.Check.Soak.sheds_honoured
+                  report.Check.Soak.shed_elems report.Check.Soak.wall_seconds;
                 List.iteri print_finding report.Check.Soak.findings;
                 report)
               profiles
@@ -290,9 +301,10 @@ let cmd =
       & info [ "mutate" ] ~docv:"MODE"
           ~doc:
             "Inject a stack bug (flip:N, dup:N, drop:N, corrupt-restore \
-             for a corrupted crash snapshot, or overlap-clobber for a \
-             validly-sealed forged TPDU that clobbers verified bytes) and \
-             require the oracle to catch it.")
+             for a corrupted crash snapshot, overlap-clobber for a \
+             validly-sealed forged TPDU that clobbers verified bytes, or \
+             shed-clobber for a stack that sheds a TPDU the schedule \
+             declares mandatory) and require the oracle to catch it.")
   in
   let replay =
     Arg.(

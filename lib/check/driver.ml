@@ -16,6 +16,12 @@ type mutation =
           first data chunk's connection range and inject it ahead of the
           original — a verified-vs-verified clash no honest network can
           produce *)
+  | Shed_clobber
+      (** mis-configure both endpoints to treat TPDU 0 — which the
+          schedule's shed contract does {e not} declare sheddable — as
+          expendable, and swallow its data at the door so the sender's
+          shed policy fires: the stack "completes" with Critical bytes
+          missing, the shed-safety violation the oracle must catch *)
 
 let mutation_to_string = function
   | No_mutation -> "none"
@@ -24,6 +30,7 @@ let mutation_to_string = function
   | Drop_every n -> Printf.sprintf "drop:%d" n
   | Corrupt_restore -> "corrupt-restore"
   | Overlap_clobber -> "overlap-clobber"
+  | Shed_clobber -> "shed-clobber"
 
 let mutation_of_string str =
   match String.split_on_char ':' str with
@@ -33,6 +40,7 @@ let mutation_of_string str =
   | [ "drop"; n ] -> Option.map (fun n -> Drop_every n) (int_of_string_opt n)
   | [ "corrupt-restore" ] -> Some Corrupt_restore
   | [ "overlap-clobber" ] -> Some Overlap_clobber
+  | [ "shed-clobber" ] -> Some Shed_clobber
   | _ -> None
 
 type epoch_obs = {
@@ -95,6 +103,11 @@ type observation = {
   reacks_sent : int;
   aborts_sent : int;
   aborts_received : int;
+  (* partial reliability *)
+  sheds_sent : int;
+  sheds_received : int;
+  shed_elems : int;
+  shed_spans : (int * int) list;
   receiver_evictions : int;
   conn_gcs : int;
   displaced_conns : int;
@@ -177,6 +190,39 @@ let make_trec engine trace fmt =
       | None -> ())
     fmt
 
+(* The Shed_clobber mutation, part 1: both endpoints mis-classify TPDU 0
+   as expendable and (if the schedule did not already) arm the sender's
+   shed policy.  Forcing the {e config} rather than the schedule is what
+   makes the mutation survive the [shed=none] shrink transform — the
+   oracle must catch it from the observed behaviour alone. *)
+let shed_clobber_config (config : CT.config) =
+  let base_classify = config.CT.classify in
+  {
+    config with
+    CT.classify =
+      (fun t_id ->
+        if t_id = 0 then Labelling.Significance.Sheddable 1
+        else base_classify t_id);
+    shed_txs =
+      (if config.CT.shed_txs > 0 then config.CT.shed_txs
+       else if config.CT.give_up_txs > 1 then min 2 (config.CT.give_up_txs - 1)
+       else 0);
+  }
+
+(* Part 2's door predicate: a packet carrying TPDU-0 payload (data or ED
+   chunks).  Signal chunks pass — the shed signal itself must reach the
+   receiver for the clobber to "succeed". *)
+let carries_tid0_payload b =
+  let open Labelling in
+  match Wire.decode_packet b with
+  | Error _ -> false
+  | Ok chunks ->
+      List.exists
+        (fun c ->
+          (Chunk.is_data c || Ctype.equal c.Chunk.header.Header.ctype Ctype.ed)
+          && c.Chunk.header.Header.t.Ftuple.id = 0)
+        chunks
+
 let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
   let trec fmt = make_trec engine trace fmt in
   let mutated = ref 0 in
@@ -187,6 +233,12 @@ let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
     trec "rx packet #%d (%d bytes)" n (Bytes.length b);
     match mutation with
     | No_mutation | Corrupt_restore | Overlap_clobber -> to_receiver_raw b
+    | Shed_clobber ->
+        if carries_tid0_payload b then begin
+          incr mutated;
+          trec "MUTATION swallow TPDU-0 packet #%d" n
+        end
+        else to_receiver_raw b
     | Flip_every k when k > 0 && n mod k = 0 ->
         incr mutated;
         trec "MUTATION flip byte of packet #%d" n;
@@ -215,6 +267,7 @@ let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
     | Some { drop_mode; drop_loss } ->
         let d =
           Netsim.Dropper.create ~mode:drop_mode
+            ~sheddable:(fun t_id -> Schedule.sheddable_tid s ~t_id)
             ~rng:(Netsim.Rng.split (Netsim.Engine.rng engine))
             ~loss:drop_loss ~forward:to_receiver ()
         in
@@ -341,6 +394,8 @@ type crash_track = {
   mutable ct_reacks : int;
   mutable ct_evictions : int;
   mutable ct_aborts : int;
+  mutable ct_sheds : int;
+  mutable ct_shed_elems : int;
   mutable ct_gcs : int;
   mutable ct_displaced : int;
   mutable ct_unknown : int;
@@ -367,6 +422,8 @@ let crash_track () =
     ct_reacks = 0;
     ct_evictions = 0;
     ct_aborts = 0;
+    ct_sheds = 0;
+    ct_shed_elems = 0;
     ct_gcs = 0;
     ct_displaced = 0;
     ct_unknown = 0;
@@ -515,6 +572,9 @@ let forge_clobber b =
 
 let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
   let config = Schedule.config_of s in
+  let config =
+    if mutation = Shed_clobber then shed_clobber_config config else config
+  in
   let data = Schedule.data_of s in
   let engine = Netsim.Engine.create ~seed:s.seed () in
   let trec fmt = make_trec engine trace fmt in
@@ -696,11 +756,19 @@ let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
   absorb rx;
   let delivered = CT.Receiver.contents rx in
   let n = Bytes.length data in
+  let shed_spans = CT.Receiver.shed_spans rx in
+  (* Byte-exact outside the honoured shed spans; the oracle separately
+     checks that every observed shed was contractually permitted. *)
   let ok =
     (not (CT.Sender.gave_up tx))
     && CT.Receiver.complete rx
     && Bytes.length delivered >= n
-    && Bytes.equal (Bytes.sub delivered 0 n) data
+    &&
+    match shed_spans with
+    | [] -> Bytes.equal (Bytes.sub delivered 0 n) data
+    | spans ->
+        CT.equal_outside_sheds ~elem_size:s.Schedule.elem_size ~spans
+          ~expected:data ~delivered
   in
   trec "run end: ok=%b pending=%d" ok (Netsim.Engine.pending engine);
   let gov = CT.Receiver.governor_stats rx in
@@ -737,6 +805,10 @@ let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
     reacks_sent = ct.ct_reacks;
     aborts_sent = CT.Sender.aborts_sent tx;
     aborts_received = ct.ct_aborts;
+    sheds_sent = CT.Sender.sheds_sent tx;
+    sheds_received = CT.Receiver.sheds_received rx;
+    shed_elems = CT.Receiver.shed_elems rx;
+    shed_spans;
     receiver_evictions = ct.ct_evictions;
     conn_gcs = 0;
     displaced_conns = 0;
@@ -784,6 +856,9 @@ type ep = {
 
 let run_multi ~mutation ~trace (s : Schedule.t) =
   let config = Schedule.config_of s in
+  let config =
+    if mutation = Shed_clobber then shed_clobber_config config else config
+  in
   let engine = Netsim.Engine.create ~seed:s.seed () in
   let trec fmt = make_trec engine trace fmt in
   let multi = ref None in
@@ -841,6 +916,8 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     ct.ct_reacks <- ct.ct_reacks + Transport.Multi.reacks_sent m;
     ct.ct_evictions <- ct.ct_evictions + Transport.Multi.evictions m;
     ct.ct_aborts <- ct.ct_aborts + Transport.Multi.aborts_received m;
+    ct.ct_sheds <- ct.ct_sheds + Transport.Multi.sheds_received m;
+    ct.ct_shed_elems <- ct.ct_shed_elems + Transport.Multi.shed_elems m;
     ct.ct_gcs <- ct.ct_gcs + Transport.Multi.conn_gcs m;
     ct.ct_displaced <- ct.ct_displaced + Transport.Multi.displaced_conns m;
     ct.ct_unknown <- ct.ct_unknown + Transport.Multi.unknown_drops m;
@@ -1096,6 +1173,10 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     reacks_sent = ct.ct_reacks;
     aborts_sent = sum CT.Sender.aborts_sent;
     aborts_received = ct.ct_aborts;
+    sheds_sent = sum CT.Sender.sheds_sent;
+    sheds_received = ct.ct_sheds;
+    shed_elems = ct.ct_shed_elems;
+    shed_spans = [];
     receiver_evictions = ct.ct_evictions;
     conn_gcs = ct.ct_gcs;
     displaced_conns = ct.ct_displaced;

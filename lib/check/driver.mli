@@ -35,6 +35,14 @@ type mutation =
           data-mismatch checks must catch it.  (No honest network
           element can author a valid seal, which is why this is a
           mutation rather than an {!Netsim.Overlapper} mode.) *)
+  | Shed_clobber
+      (** mis-configure {e both} endpoints to treat TPDU 0 as expendable
+          (classify it [Sheddable 1] and arm the sender's shed policy)
+          and swallow every packet carrying TPDU-0 data at the receiver
+          door, so the stack sheds a TPDU the schedule's shed contract
+          declares Critical/Normal — the shed-safety check must catch
+          the missing bytes.  Forced directly into the endpoint configs,
+          so it survives the [shed=none] shrink. *)
 
 val mutation_to_string : mutation -> string
 val mutation_of_string : string -> mutation option
@@ -101,6 +109,13 @@ type observation = {
   reacks_sent : int;  (** re-acknowledgements of already-done TPDUs *)
   aborts_sent : int;  (** sender give-ups signalled via [Abort_tpdu] *)
   aborts_received : int;  (** aborts honoured by the receiver *)
+  sheds_sent : int;  (** sender shed decisions signalled via [Shed_tpdu] *)
+  sheds_received : int;  (** sheds honoured by the receiver *)
+  shed_elems : int;  (** elements covered by honoured sheds *)
+  shed_spans : (int * int) list;
+      (** the receiver's honoured shed spans [(first_elem, elems)],
+          ascending; empty in multi mode (sheds are single-transfer
+          only) *)
   receiver_evictions : int;  (** governor deadline/budget evictions *)
   conn_gcs : int;  (** whole connections reclaimed by deadline *)
   displaced_conns : int;  (** live connections displaced by admission *)

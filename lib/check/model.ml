@@ -36,3 +36,20 @@ let of_schedule (s : Schedule.t) =
   in
   let expected = pad (Schedule.data_of s) in
   { elems; elem_size = s.elem_size; n_tpdus; expected; streams }
+
+(* The element span a fixed (non-adaptive) framer gives TPDU [t_id]:
+   [tpdu_elems] each, the last one truncated to the stream end. *)
+let tpdu_span m (s : Schedule.t) ~t_id =
+  if t_id < 0 || t_id >= m.n_tpdus then None
+  else
+    let first = t_id * s.Schedule.tpdu_elems in
+    Some (first, min s.Schedule.tpdu_elems (m.elems - first))
+
+(* The element runs the shed contract permits to be missing: the spans
+   of every sheddable T.ID.  Everything outside them must be delivered
+   byte-exactly whatever the sender sheds. *)
+let sheddable_spans m (s : Schedule.t) =
+  List.filter_map
+    (fun t_id ->
+      if Schedule.sheddable_tid s ~t_id then tpdu_span m s ~t_id else None)
+    (List.init m.n_tpdus (fun i -> i))

@@ -4,6 +4,18 @@ let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.code v.detail
 
 let violation_to_string v = Printf.sprintf "[%s] %s" v.code v.detail
 
+(* Zero-fill the element runs of [spans] so byte comparison ignores
+   exactly the shed spans and nothing else. *)
+let mask_sheds ~elem_size ~spans b =
+  let b = Bytes.copy b in
+  List.iter
+    (fun (first, len) ->
+      let off = first * elem_size and n = len * elem_size in
+      if off >= 0 && n >= 0 && off + n <= Bytes.length b then
+        Bytes.fill b off n '\000')
+    spans;
+  b
+
 (* Where the first delivered byte differs from the model, for diagnosis. *)
 let first_diff a b =
   let n = min (Bytes.length a) (Bytes.length b) in
@@ -181,29 +193,65 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
           "permuting overlap arrival order changed delivery at byte %d"
           (first_diff o.delivered p.Driver.p_delivered)
   | Some _ | None -> ());
+  (* Partial reliability, part one: sheds are legal only under a shed
+     contract.  A receiver that honours a shed with no contract in the
+     schedule has thrown away bytes the model calls mandatory — the
+     shed-clobber mutation trips exactly this. *)
+  if s.Schedule.shed = None && (o.sheds_received > 0 || o.sheds_sent > 0) then
+    fail "shed-safety" "%d sheds honoured (%d signalled) with no shed contract"
+      o.sheds_received o.sheds_sent;
   (match o.multi with
   | None ->
+      (* Partial reliability, part two: every span the receiver honoured
+         as shed must be one the contract declares sheddable (a shed of
+         Critical/Normal elements is data loss whatever the wire did),
+         and sheds must agree with their own bookkeeping. *)
+      let sheddable = Model.sheddable_spans m s in
+      List.iter
+        (fun (first, len) ->
+          if not (List.mem (first, len) sheddable) then
+            fail "shed-safety"
+              "receiver shed span (%d+%d) outside the shed contract" first
+              len)
+        o.shed_spans;
+      if List.length o.shed_spans <> o.sheds_received then
+        fail "shed-safety" "%d shed spans recorded but %d sheds honoured"
+          (List.length o.shed_spans)
+          o.sheds_received;
       (* Delivery: the delivered buffer must equal the model's
          expectation byte for byte — placement by label, across any
          amount of refragmentation and disorder, reconstructs the stream
-         exactly. *)
+         exactly.  Under a shed contract the comparison is masked over
+         exactly the honoured shed spans (shed-liveness itself is the
+         [incomplete]/[gave-up] pair: a shed schedule is never
+         starvable, so the stream must still complete). *)
       if not o.gave_up then begin
         if not o.complete then
           fail "incomplete" "placement holds %d of %d elements"
             o.delivered_elems m.Model.elems;
-        if o.delivered_elems <> m.Model.elems then
-          fail "element-count" "delivered %d elements, model expects %d"
-            o.delivered_elems m.Model.elems;
+        (* Immediate placement means elements of a shed TPDU that landed
+           before the shed are already in the buffer, so the count may
+           sit anywhere between all-shed-elements-missing and none. *)
         if
-          Bytes.length o.delivered = Bytes.length m.Model.expected
-          && not (Bytes.equal o.delivered m.Model.expected)
+          o.delivered_elems < m.Model.elems - o.shed_elems
+          || o.delivered_elems > m.Model.elems
         then
-          fail "data-mismatch" "delivered buffer differs at byte %d"
-            (first_diff o.delivered m.Model.expected)
-        else if Bytes.length o.delivered <> Bytes.length m.Model.expected then
+          fail "element-count"
+            "delivered %d elements, model expects %d less at most %d shed"
+            o.delivered_elems m.Model.elems o.shed_elems;
+        if Bytes.length o.delivered <> Bytes.length m.Model.expected then
           fail "data-mismatch" "delivered %d bytes, model expects %d"
             (Bytes.length o.delivered)
             (Bytes.length m.Model.expected)
+        else begin
+          let elem_size = m.Model.elem_size and spans = o.shed_spans in
+          let want = mask_sheds ~elem_size ~spans m.Model.expected in
+          let got = mask_sheds ~elem_size ~spans o.delivered in
+          if not (Bytes.equal got want) then
+            fail "data-mismatch"
+              "delivered buffer differs at byte %d (outside shed spans)"
+              (first_diff got want)
+        end
       end;
       if o.delivered_elems > m.Model.elems then
         fail "conservation" "placed %d elements, only %d exist"
@@ -213,31 +261,36 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
          because intact data looked damaged.  The overlap adversary is
          a third legitimate source of failures (its forged TPDUs and
          poisoned parities are {e built} to fail), so the check only
-         applies when it is absent. *)
+         applies when it is absent.  Honoured sheds abandon in-flight
+         verifier state exactly like aborts and join the allowance. *)
       if s.Schedule.corrupt = 0.0 && s.Schedule.overlap = None then begin
         if
           o.verifier.Edc.Verifier.tpdus_failed
-          > o.receiver_evictions + o.aborts_received
+          > o.receiver_evictions + o.aborts_received + o.sheds_received
         then
           fail "clean-fail"
             "%d TPDUs failed verification with corruption off (%d \
-             evictions + %d aborts)"
+             evictions + %d aborts + %d sheds)"
             o.verifier.Edc.Verifier.tpdus_failed o.receiver_evictions
-            o.aborts_received;
+            o.aborts_received o.sheds_received;
         if o.gateways_malformed > 0 then
           fail "clean-malformed"
             "%d packets unparseable at gateways with corruption off"
             o.gateways_malformed
       end;
       (* TPDU accounting: a fixed-size framer cuts a known number of
-         TPDUs, and each is verified exactly once. *)
+         TPDUs, and each is either verified exactly once or (under a
+         shed contract) honoured as shed — never both, never neither. *)
       if not o.gave_up then begin
         if
           (not s.Schedule.adaptive)
-          && o.verifier.Edc.Verifier.tpdus_passed <> m.Model.n_tpdus
+          && o.verifier.Edc.Verifier.tpdus_passed
+             <> m.Model.n_tpdus - o.sheds_received
         then
-          fail "tpdu-count" "%d TPDUs passed, model expects exactly %d"
-            o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus;
+          fail "tpdu-count"
+            "%d TPDUs passed, model expects exactly %d (%d shed)"
+            o.verifier.Edc.Verifier.tpdus_passed m.Model.n_tpdus
+            o.sheds_received;
         if
           s.Schedule.adaptive
           && o.verifier.Edc.Verifier.tpdus_passed < m.Model.n_tpdus

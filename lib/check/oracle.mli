@@ -19,6 +19,14 @@
     - [leak-*] — state hygiene: completed transfers leave no verifier
       or stash residue (corruption may invent bounded residue);
     - [sack-off] — feature isolation;
+    - [shed-safety] — partial reliability never sheds mandatory data:
+      every honoured shed span must be declared sheddable by the
+      schedule's shed contract, sheds without a contract are data loss,
+      and outside the honoured spans delivery stays byte-exact (the
+      delivery checks mask exactly the observed shed spans and the
+      element/TPDU accounts shrink by exactly the shed amounts);
+      shed-liveness needs no code of its own — a shed schedule is never
+      starvable, so [gave-up]/[incomplete] already demand completion;
     - [metrics-verify-count]/[metrics-occupancy] — cross-checks against
       the observability layer's own accounting (see DESIGN.md §6): the
       per-run delta of [edc_tpdus_passed_total] must equal that of

@@ -9,6 +9,7 @@ type profile =
   | Crash_restart
   | Crash_flood
   | Overlap_hostile
+  | Degrade_hostile
 
 let profile_name = function
   | Clean -> "clean"
@@ -19,6 +20,7 @@ let profile_name = function
   | Crash_restart -> "crash-restart"
   | Crash_flood -> "crash-flood"
   | Overlap_hostile -> "overlap-hostile"
+  | Degrade_hostile -> "degrade-hostile"
 
 let profile_of_name = function
   | "clean" -> Some Clean
@@ -29,6 +31,7 @@ let profile_of_name = function
   | "crash-restart" -> Some Crash_restart
   | "crash-flood" -> Some Crash_flood
   | "overlap-hostile" -> Some Overlap_hostile
+  | "degrade-hostile" -> Some Degrade_hostile
   | _ -> None
 
 let all_profiles =
@@ -41,6 +44,7 @@ let all_profiles =
     Crash_restart;
     Crash_flood;
     Overlap_hostile;
+    Degrade_hostile;
   ]
 
 type spread = Round_robin | Random_path | Route_change of float
@@ -68,6 +72,13 @@ type flood = {
 type crash = {
   cr_time : float;  (** the receiver endpoint dies here *)
   cr_restart : float;  (** downtime before restart from the persisted image *)
+}
+
+type shed = {
+  sh_every : int;
+      (** every [sh_every]-th TPDU is declared sheddable (the last TPDU
+          never is — it carries the C.ST stream-end marker) *)
+  sh_txs : int;  (** sender sheds a sheddable TPDU after this many txs *)
 }
 
 type overlap = {
@@ -116,6 +127,7 @@ type t = {
   outage : outage option;
   flood : flood option;
   overlap : overlap option;
+  shed : shed option;
   crashes : crash list;
   snap_period : float;  (** full-snapshot interval; 0 = ACK-journal only *)
 }
@@ -123,12 +135,40 @@ type t = {
 let faultless s =
   s.loss = 0.0 && s.corrupt = 0.0 && s.duplicate = 0.0 && s.jitter = 0.0
   && s.dropper = None && s.ack_blackhole = None && s.outage = None
-  && s.flood = None && s.overlap = None && s.crashes = []
+  && s.flood = None && s.overlap = None && s.shed = None && s.crashes = []
 
 (* Schedules that exercise the demultiplexing receiver (several
    connections, connection reuse, or adversarial connection traffic) run
    through the driver's multi-connection path. *)
 let multi_mode s = s.connections > 1 || s.reopen || s.flood <> None
+
+(* The TPDU partition of one stream, mirroring [Framer]'s cutting rules
+   (and [Model.of_schedule]): frames pad to whole elements, a TPDU
+   boundary falls every [tpdu_elems] elements plus once at the stream
+   end.  Only a fixed (non-adaptive) partition is deterministic, which
+   is why a shed schedule forbids [adaptive]. *)
+let n_elems s =
+  let full = s.data_len / s.frame_bytes in
+  let rem = s.data_len mod s.frame_bytes in
+  (full * (s.frame_bytes / s.elem_size))
+  + ((rem + s.elem_size - 1) / s.elem_size)
+
+let n_tpdus s = (n_elems s + s.tpdu_elems - 1) / s.tpdu_elems
+
+(* The shed contract both endpoints (and the oracle) derive from the
+   schedule alone: every [sh_every]-th TPDU is sheddable, except the
+   last — it carries the C.ST stream-end marker, without which a
+   [`Quota] receiver can never learn the stream ended. *)
+let sheddable_tid s ~t_id =
+  match s.shed with
+  | None -> false
+  | Some sh ->
+      let n = n_tpdus s in
+      t_id >= 0 && t_id < n - 1 && t_id mod sh.sh_every = sh.sh_every - 1
+
+let classify_of s t_id =
+  if sheddable_tid s ~t_id then Significance.Sheddable 1
+  else Significance.Normal
 
 let config_of s =
   {
@@ -146,6 +186,8 @@ let config_of s =
     give_up_txs = s.give_up_txs;
     state_budget = s.state_budget;
     state_ttl = s.state_ttl;
+    classify = classify_of s;
+    shed_txs = (match s.shed with None -> 0 | Some sh -> sh.sh_txs);
   }
 
 (* The payload both the driver (what gets sent) and the model (what must
@@ -232,13 +274,17 @@ let generate ~profile ~seed =
     | Lossy | Hostile | Outage_recover | Crash_restart | Overlap_hostile ->
         int_in rng 1 16384
     | Hostile_flood | Crash_flood -> int_in rng 1 8192
+    | Degrade_hostile ->
+        (* enough data for several TPDUs, so the shed pattern has
+           something to bite on *)
+        int_in rng 2048 16384
   in
   let gateways = List.init (Netsim.Rng.int rng 4) (fun _ -> gen_gateway rng) in
   let jitter =
     match profile with
     | Clean -> 0.0
     | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-    | Crash_flood | Overlap_hostile ->
+    | Crash_flood | Overlap_hostile | Degrade_hostile ->
         if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
   in
   let dropper =
@@ -255,6 +301,21 @@ let generate ~profile ~seed =
               drop_loss = float_in rng 0.005 0.05;
             }
         else None
+    | Degrade_hostile ->
+        (* sustained congestion aimed at sheddable traffic only: heavy
+           enough (10-30%) that sheddable TPDUs hit the shed policy's
+           transmission bound while Critical traffic rides through *)
+        Some
+          {
+            drop_mode = Netsim.Dropper.By_class;
+            drop_loss = float_in rng 0.1 0.3;
+          }
+  in
+  let shed =
+    match profile with
+    | Degrade_hostile ->
+        Some { sh_every = int_in rng 2 4; sh_txs = int_in rng 2 4 }
+    | _ -> None
   in
   let connections =
     match profile with
@@ -324,7 +385,10 @@ let generate ~profile ~seed =
       window = int_in rng 1 8;
       rto = 0.0 (* filled below *);
       sack = Netsim.Rng.bool rng 0.5;
-      adaptive = Netsim.Rng.bool rng 0.3;
+      adaptive =
+        (* a shed span is derived from the schedule's fixed TPDU
+           partition, so the partition must not move mid-flight *)
+        Netsim.Rng.bool rng 0.3 && shed = None;
       nack_delay = 0.0 (* filled below *);
       rto_adaptive = false (* filled below *);
       give_up_txs = 40;
@@ -346,15 +410,17 @@ let generate ~profile ~seed =
       loss =
         (match profile with
         | Clean -> 0.0
-        | Crash_restart | Crash_flood | Overlap_hostile ->
+        | Crash_restart | Crash_flood | Overlap_hostile | Degrade_hostile ->
             (* light loss: enough to keep TPDUs in flight across crash
-               points, not enough to drown the recovery signal *)
+               points (or exercise Critical retransmission under
+               degradation), not enough to drown the recovery signal *)
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.03 else 0.0
         | Lossy | Hostile | Hostile_flood | Outage_recover ->
             if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
       corrupt =
         (match profile with
-        | Clean | Lossy | Outage_recover | Crash_restart -> 0.0
+        | Clean | Lossy | Outage_recover | Crash_restart | Degrade_hostile ->
+            0.0
         | Crash_flood -> float_in rng 0.002 0.02
         | Hostile | Hostile_flood | Overlap_hostile ->
             float_in rng 0.002 0.04);
@@ -362,13 +428,14 @@ let generate ~profile ~seed =
         (match profile with
         | Clean -> 0.0
         | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-        | Crash_flood | Overlap_hostile ->
+        | Crash_flood | Overlap_hostile | Degrade_hostile ->
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
       dropper;
       ack_blackhole;
       outage = None (* filled below *);
       flood;
       overlap;
+      shed;
       crashes = [] (* filled below *);
       snap_period = 0.0 (* filled below *);
     }
@@ -530,6 +597,8 @@ let dropper_to_string = function
       Printf.sprintf "random:%.17g" drop_loss
   | Some { drop_mode = Netsim.Dropper.Whole_tpdu; drop_loss } ->
       Printf.sprintf "tpdu:%.17g" drop_loss
+  | Some { drop_mode = Netsim.Dropper.By_class; drop_loss } ->
+      Printf.sprintf "class:%.17g" drop_loss
 
 let dropper_of_string str =
   if str = "-" then Some None
@@ -544,6 +613,11 @@ let dropper_of_string str =
         Option.map
           (fun drop_loss ->
             Some { drop_mode = Netsim.Dropper.Whole_tpdu; drop_loss })
+          (float_of_string_opt p)
+    | [ "class"; p ] ->
+        Option.map
+          (fun drop_loss ->
+            Some { drop_mode = Netsim.Dropper.By_class; drop_loss })
           (float_of_string_opt p)
     | _ -> None
 
@@ -621,6 +695,20 @@ let overlap_of_string str =
         | _ -> None)
     | _ -> None
 
+let shed_to_string = function
+  | None -> "-"
+  | Some sh -> Printf.sprintf "%d:%d" sh.sh_every sh.sh_txs
+
+let shed_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ e; t ] -> (
+        match (int_of_string_opt e, int_of_string_opt t) with
+        | Some sh_every, Some sh_txs -> Some (Some { sh_every; sh_txs })
+        | _ -> None)
+    | _ -> None
+
 let crashes_to_string = function
   | [] -> "-"
   | cs ->
@@ -680,6 +768,7 @@ let to_string s =
       Printf.sprintf "outage=%s" (outage_to_string s.outage);
       Printf.sprintf "flood=%s" (flood_to_string s.flood);
       Printf.sprintf "overlap=%s" (overlap_to_string s.overlap);
+      Printf.sprintf "shed=%s" (shed_to_string s.shed);
       Printf.sprintf "crashes=%s" (crashes_to_string s.crashes);
       Printf.sprintf "snap_period=%.17g" s.snap_period;
     ]
@@ -691,7 +780,7 @@ let known_fields =
     "give_up_txs"; "state_budget"; "state_ttl"; "connections"; "reopen";
     "paths"; "skew"; "jitter"; "spread"; "rate_bps"; "delay"; "gateways";
     "loss"; "corrupt"; "duplicate"; "dropper"; "ack_blackhole"; "outage";
-    "flood"; "overlap"; "crashes"; "snap_period";
+    "flood"; "overlap"; "shed"; "crashes"; "snap_period";
   ]
 
 let unknown_fields str =
@@ -758,6 +847,7 @@ let of_string str =
   let* outage = Option.bind (find "outage") outage_of_string in
   let* flood = Option.bind (find "flood") flood_of_string in
   let* overlap = Option.bind (find "overlap") overlap_of_string in
+  let* shed = Option.bind (find "shed") shed_of_string in
   let* crashes = Option.bind (find "crashes") crashes_of_string in
   let* snap_period = flt "snap_period" in
   Some
@@ -795,6 +885,7 @@ let of_string str =
       outage;
       flood;
       overlap;
+      shed;
       crashes;
       snap_period;
     }
@@ -886,6 +977,27 @@ let validate s =
           else if o.ov_stop < 0.0 then err "overlap stop cannot be negative"
           else if not (o.ov_dup || o.ov_forge || o.ov_resplit) then
             err "overlap must enable at least one mode"
+          else Ok ()
+      | None -> Ok ()
+    in
+    let* () =
+      match s.shed with
+      | Some sh ->
+          if sh.sh_every < 1 then err "shed every must be >= 1"
+          else if sh.sh_txs < 1 then err "shed txs must be >= 1"
+          else if sh.sh_txs >= s.give_up_txs then
+            err "shed txs must be < give_up_txs"
+          else if s.adaptive then
+            err
+              "shed requires adaptive=false (the shed span is derived from \
+               the fixed TPDU partition)"
+          else if s.connections > 1 || s.reopen then
+            err "shed is specified for the single-transfer path only"
+          else if s.crashes <> [] then
+            err
+              "shed cannot combine with crashes (a restored receiver \
+               loses its shed cover while the sender, already shed-ACKed, \
+               never resends the signal)"
           else Ok ()
       | None -> Ok ()
     in

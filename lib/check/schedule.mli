@@ -43,6 +43,14 @@ type profile =
           ranges, and overlapping gateway-style re-split chains — the
           first-verified-wins overlap policy must keep delivery
           byte-exact and arrival-order deterministic *)
+  | Degrade_hostile
+      (** graceful degradation under sustained congestion: a shed
+          contract marks every N-th TPDU sheddable, a significance-aware
+          dropper congestion-drops only sheddable traffic at 10-30%, and
+          the sender's shed policy deliberately abandons sheddable TPDUs
+          after a few transmissions — the stream must still complete,
+          every Critical/Normal byte must arrive byte-exact, and only
+          declared-sheddable spans may be missing *)
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -86,6 +94,15 @@ type overlap = {
   ov_resplit : bool;  (** overlapping gateway-style re-split chains *)
 }
 
+type shed = {
+  sh_every : int;
+      (** every [sh_every]-th TPDU is declared sheddable (the last TPDU
+          never is — it carries the C.ST stream-end marker) *)
+  sh_txs : int;
+      (** the sender sheds a sheddable TPDU after this many
+          transmissions (must be [< give_up_txs]) *)
+}
+
 type t = {
   seed : int;
   profile : profile;
@@ -122,6 +139,10 @@ type t = {
   outage : outage option;  (** forward-path outage window *)
   flood : flood option;  (** connection-flood adversary *)
   overlap : overlap option;  (** overlap adversary ({!Netsim.Overlapper}) *)
+  shed : shed option;
+      (** partial-reliability contract (which TPDUs are sheddable and
+          when the sender sheds them); requires [adaptive = false], the
+          single-transfer path, and no crash events *)
   crashes : crash list;
       (** receiver crash-restart events, ordered, non-overlapping *)
   snap_period : float;
@@ -146,6 +167,22 @@ val multi_mode : t -> bool
     the driver's multi-connection path. *)
 
 val config_of : t -> Transport.Chunk_transport.config
+(** Includes the shed contract: [classify] marks {!sheddable_tid} T.IDs
+    [Sheddable 1] and [shed_txs] arms the sender's shed policy, so both
+    endpoints (and the oracle) derive the same contract from the
+    schedule alone. *)
+
+val n_elems : t -> int
+(** Elements of the single-transfer stream after framing (mirrors the
+    framer's padding rules; what {!Model} calls [elems]). *)
+
+val n_tpdus : t -> int
+(** TPDUs of the single-transfer stream under the fixed partition. *)
+
+val sheddable_tid : t -> t_id:int -> bool
+(** Whether the shed contract declares [t_id] sheddable: every
+    [sh_every]-th TPDU except the last (the C.ST carrier).  Always false
+    without a shed spec. *)
 
 val data_of : t -> bytes
 (** The transfer payload, derived deterministically from the seed

@@ -19,6 +19,7 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
       t "flood=none" (s.flood <> None) { s with flood = None };
       t "overlap=none" (s.overlap <> None) { s with overlap = None };
       t "outage=none" (s.outage <> None) { s with outage = None };
+      t "shed=none" (s.shed <> None) { s with shed = None };
       t "blackhole=none" (s.ack_blackhole <> None)
         { s with ack_blackhole = None; give_up_txs = 40 };
       t "connections=1" (s.connections > 1) { s with connections = 1 };

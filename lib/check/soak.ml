@@ -14,6 +14,9 @@ type report = {
   ov_injected : int;
   ov_conflicts_seen : int;
   ov_conflicts_rejected : int;
+  sheds_signalled : int;
+  sheds_honoured : int;
+  shed_elems : int;
   wall_seconds : float;
 }
 
@@ -39,6 +42,9 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
   let ov_injected = ref 0 in
   let ov_seen = ref 0 in
   let ov_rejected = ref 0 in
+  let sheds_signalled = ref 0 in
+  let sheds_honoured = ref 0 in
+  let shed_elems = ref 0 in
   let i = ref 0 in
   while !i < schedules && not (out_of_time ()) do
     let sched_seed = Netsim.Rng.next rng in
@@ -48,6 +54,9 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     ov_injected := !ov_injected + observation.Driver.overlap_injected;
     ov_seen := !ov_seen + observation.Driver.overlap_conflicts_seen;
     ov_rejected := !ov_rejected + observation.Driver.overlap_conflicts_rejected;
+    sheds_signalled := !sheds_signalled + observation.Driver.sheds_sent;
+    sheds_honoured := !sheds_honoured + observation.Driver.sheds_received;
+    shed_elems := !shed_elems + observation.Driver.shed_elems;
     (match Oracle.check ~schedule ~model ~observation with
     | [] -> ()
     | violations ->
@@ -84,6 +93,9 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     ov_injected = !ov_injected;
     ov_conflicts_seen = !ov_seen;
     ov_conflicts_rejected = !ov_rejected;
+    sheds_signalled = !sheds_signalled;
+    sheds_honoured = !sheds_honoured;
+    shed_elems = !shed_elems;
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
@@ -126,13 +138,14 @@ let json_of_finding f =
 
 let json_of_report r =
   Printf.sprintf
-    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"wall_seconds\":%.3f}"
+    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"sheds_signalled\":%d,\"sheds_honoured\":%d,\"shed_elems\":%d,\"wall_seconds\":%.3f}"
     (json_str (Schedule.profile_name r.profile))
     (json_str (Driver.mutation_to_string r.mutation))
     r.schedules_run
     (String.concat "," (List.map json_of_finding r.findings))
     r.detect_trials r.detect_undetected r.ov_injected r.ov_conflicts_seen
-    r.ov_conflicts_rejected r.wall_seconds
+    r.ov_conflicts_rejected r.sheds_signalled r.sheds_honoured r.shed_elems
+    r.wall_seconds
 
 let json_of_reports reports =
   Printf.sprintf "{\"reports\":[%s]}"

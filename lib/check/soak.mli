@@ -20,6 +20,9 @@ type report = {
   ov_conflicts_seen : int;  (** placement byte conflicts observed *)
   ov_conflicts_rejected : int;
       (** conflicts discarded by first-verified-wins *)
+  sheds_signalled : int;  (** sender shed decisions, all runs *)
+  sheds_honoured : int;  (** sheds the receivers honoured, all runs *)
+  shed_elems : int;  (** elements covered by honoured sheds, all runs *)
   wall_seconds : float;
 }
 

@@ -3,14 +3,20 @@ type signal =
   | Close
   | Resync of { c_sn : int }
   | Abort_tpdu of { t_id : int }
+  | Shed_tpdu of { t_id : int; first_elem : int; elems : int }
 
 let op_open = 1
 let op_close = 2
 let op_resync = 3
 let op_abort = 4
+let op_shed = 5
+
+(* Ops 1-4 carry one i64 argument; op_shed carries three (the abandoned
+   TPDU plus the element span the receiver must account as shed). *)
+let payload_len = function Shed_tpdu _ -> 25 | _ -> 9
 
 let signal_chunk ~conn_id signal =
-  let payload = Bytes.make 9 '\000' in
+  let payload = Bytes.make (payload_len signal) '\000' in
   (match signal with
   | Open { first_csn } ->
       Bytes.set_uint8 payload 0 op_open;
@@ -21,7 +27,12 @@ let signal_chunk ~conn_id signal =
       Bytes.set_int64_be payload 1 (Int64.of_int c_sn)
   | Abort_tpdu { t_id } ->
       Bytes.set_uint8 payload 0 op_abort;
-      Bytes.set_int64_be payload 1 (Int64.of_int t_id));
+      Bytes.set_int64_be payload 1 (Int64.of_int t_id)
+  | Shed_tpdu { t_id; first_elem; elems } ->
+      Bytes.set_uint8 payload 0 op_shed;
+      Bytes.set_int64_be payload 1 (Int64.of_int t_id);
+      Bytes.set_int64_be payload 9 (Int64.of_int first_elem);
+      Bytes.set_int64_be payload 17 (Int64.of_int elems));
   let c = Ftuple.v ~id:conn_id ~sn:0 () in
   match
     Chunk.control ~kind:Ctype.signal ~c ~t:Ftuple.zero ~x:Ftuple.zero payload
@@ -31,18 +42,27 @@ let signal_chunk ~conn_id signal =
 
 let parse_signal chunk =
   let h = chunk.Chunk.header in
+  let len = Bytes.length chunk.Chunk.payload in
   if not (Ctype.equal h.Header.ctype Ctype.signal) then
     Error "Connection.parse_signal: not a signalling chunk"
-  else if Bytes.length chunk.Chunk.payload <> 9 then
+  else if len <> 9 && len <> 25 then
     Error "Connection.parse_signal: bad payload size"
   else begin
     let conn_id = h.Header.c.Ftuple.id in
     let arg = Int64.to_int (Bytes.get_int64_be chunk.Chunk.payload 1) in
-    match Bytes.get_uint8 chunk.Chunk.payload 0 with
-    | 1 when arg >= 0 -> Ok (conn_id, Open { first_csn = arg })
-    | 2 -> Ok (conn_id, Close)
-    | 3 when arg >= 0 -> Ok (conn_id, Resync { c_sn = arg })
-    | 4 when arg >= 0 -> Ok (conn_id, Abort_tpdu { t_id = arg })
+    match (Bytes.get_uint8 chunk.Chunk.payload 0, len) with
+    | 1, 9 when arg >= 0 -> Ok (conn_id, Open { first_csn = arg })
+    | 2, 9 -> Ok (conn_id, Close)
+    | 3, 9 when arg >= 0 -> Ok (conn_id, Resync { c_sn = arg })
+    | 4, 9 when arg >= 0 -> Ok (conn_id, Abort_tpdu { t_id = arg })
+    | 5, 25 when arg >= 0 ->
+        let first_elem =
+          Int64.to_int (Bytes.get_int64_be chunk.Chunk.payload 9)
+        in
+        let elems = Int64.to_int (Bytes.get_int64_be chunk.Chunk.payload 17) in
+        if first_elem >= 0 && elems >= 1 then
+          Ok (conn_id, Shed_tpdu { t_id = arg; first_elem; elems })
+        else Error "Connection.parse_signal: bad shed span"
     | _ -> Error "Connection.parse_signal: bad opcode or argument"
   end
 
@@ -63,7 +83,7 @@ let on_chunk tbl chunk =
         | Open { first_csn } ->
             Hashtbl.replace tbl conn_id (Established { first_csn })
         | Close -> Hashtbl.replace tbl conn_id Closed
-        | Resync _ | Abort_tpdu _ -> ());
+        | Resync _ | Abort_tpdu _ | Shed_tpdu _ -> ());
         `Signal (conn_id, signal))
   else if Chunk.is_data chunk then begin
     let conn_id = h.Header.c.Ftuple.id in

@@ -22,6 +22,13 @@ type signal =
       (** the sender has abandoned TPDU [t_id] (give-up after repeated
           retransmission failure): the receiver should evict any partial
           state it holds for it instead of waiting forever *)
+  | Shed_tpdu of { t_id : int; first_elem : int; elems : int }
+      (** the sender has {e deliberately} abandoned sheddable TPDU
+          [t_id] under congestion (partial reliability, see
+          {!Significance}): the receiver should reclaim partial state
+          like an abort, but additionally count the element span
+          [\[first_elem, first_elem + elems)] as covered-by-shedding so
+          the stream can still complete without those bytes *)
 
 val signal_chunk : conn_id:int -> signal -> Chunk.t
 (** Encode a signal as a control chunk of the connection. *)

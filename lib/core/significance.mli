@@ -1,0 +1,58 @@
+(** Significance classes for partial reliability (ROADMAP item 4).
+
+    The paper's labelling makes every chunk independently placeable and
+    verifiable, which means a congested stack can {e choose} what to
+    lose: each TPDU (or X-level stream) is tagged with a significance
+    class, and sheddable classes may be deliberately abandoned under
+    congestion — the Big Packet Protocol's qualitative-communications
+    idea (per-chunk significance metadata driving drop policy) mapped
+    onto X-level PDUs.
+
+    The contract the classes encode:
+
+    - [Critical] and [Normal] data is fully reliable: it is
+      retransmitted until acknowledged (or the sender gives up entirely,
+      which the conformance oracle treats as a failure unless the path
+      was starved).  No Critical or Normal byte may ever be shed.
+    - [Sheddable level] data may be dropped by the sender (after
+      [shed_txs] transmissions), by a significance-aware network
+      element, or displaced early by governor pressure.  Higher [level]
+      means {e more} willing to shed (an enhancement layer atop an
+      enhancement layer). *)
+
+type t =
+  | Critical  (** must be delivered; never shed, evicted last *)
+  | Normal  (** ordinary fully-reliable data *)
+  | Sheddable of int
+      (** may be abandoned under congestion; the level (>= 1, clamped)
+          orders shedding among sheddable streams — higher level sheds
+          first *)
+
+val normalize : t -> t
+(** Clamp [Sheddable level] to [level >= 1]; identity otherwise. *)
+
+val sheddable : t -> bool
+(** [true] only for [Sheddable _]. *)
+
+val rank : t -> int
+(** Eviction/shedding rank: 0 for [Critical] and [Normal] (never shed),
+    the (clamped) level for [Sheddable].  Governor classes use this
+    directly: higher rank is displaced first. *)
+
+val weight : t -> int
+(** Scheduler weight for interleaving: how many TPDUs a stream of this
+    class may send per round-robin round.  [Critical] = 4, [Normal] = 2,
+    [Sheddable _] = 1 — priority without starvation. *)
+
+val compare : t -> t -> int
+(** Total order by [rank], then constructor ([Critical] < [Normal] among
+    rank-0 classes) — [Critical] first. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["critical"], ["normal"], ["shed:N"] — stable, used by schedule
+    codecs and trace events. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)

@@ -1,6 +1,6 @@
 open Labelling
 
-type mode = Random | Whole_tpdu
+type mode = Random | Whole_tpdu | By_class
 
 type stats = {
   packets_seen : int;
@@ -13,18 +13,21 @@ type t = {
   rng : Rng.t;
   loss : float;
   forward : bytes -> unit;
+  sheddable : int -> bool;  (* [By_class]: which T.IDs may be targeted *)
   doomed : (int, unit) Hashtbl.t;  (* T.IDs with a dropped fragment *)
   mutable seen : int;
   mutable dropped : int;
   mutable doomed_bytes : int;
 }
 
-let create ?(mode = Random) ~rng ~loss ~forward () =
+let create ?(mode = Random) ?(sheddable = fun _ -> false) ~rng ~loss ~forward
+    () =
   {
     mode;
     rng;
     loss;
     forward;
+    sheddable;
     doomed = Hashtbl.create 16;
     seen = 0;
     dropped = 0;
@@ -65,6 +68,38 @@ let on_packet d b =
         List.iter (fun id -> Hashtbl.replace d.doomed id ()) tids
       end
       else d.forward b
+  | By_class ->
+      (* Significance-aware congestion: under pressure the element sheds
+         only packets whose every payload chunk belongs to a sheddable
+         TPDU.  Signal and control chunks are never targeted (the shed
+         protocol itself, Open/Close, ACK re-announcements must survive
+         congestion), so a Critical TPDU never loses a fragment to this
+         element — which is exactly what lets the oracle demand
+         shed-liveness under sustained loss. *)
+      let droppable =
+        match Wire.decode_packet b with
+        | Error _ -> false
+        | Ok chunks ->
+            let payload =
+              List.filter (fun c -> not (Chunk.is_terminator c)) chunks
+            in
+            payload <> []
+            && List.for_all
+                 (fun c ->
+                   (Chunk.is_data c
+                   || Ctype.equal c.Chunk.header.Header.ctype Ctype.ed)
+                   && d.sheddable c.Chunk.header.Header.t.Ftuple.id)
+                 payload
+      in
+      if congestion_drop && droppable then begin
+        d.dropped <- d.dropped + 1;
+        List.iter (fun id -> Hashtbl.replace d.doomed id ()) tids
+      end
+      else begin
+        if List.exists (Hashtbl.mem d.doomed) tids then
+          d.doomed_bytes <- d.doomed_bytes + Bytes.length b;
+        d.forward b
+      end
 
 let reset_epoch d = Hashtbl.reset d.doomed
 

@@ -8,9 +8,16 @@
     fragment — those fragments are dead weight, since the whole TPDU
     will be retransmitted anyway.  [Random] mode is the conventional
     memoryless comparator.  The CLM-TURNER experiment measures the
-    useless bytes each mode lets through. *)
+    useless bytes each mode lets through.
 
-type mode = Random | Whole_tpdu
+    [By_class] is the significance-aware variant (partial reliability):
+    under congestion it sheds only packets whose every payload chunk
+    belongs to a TPDU the [sheddable] classifier marks expendable —
+    signal/control chunks and Critical/Normal TPDUs are never targeted,
+    so graceful degradation costs only the data the endpoints agreed to
+    give up. *)
+
+type mode = Random | Whole_tpdu | By_class
 
 type stats = {
   packets_seen : int;
@@ -23,9 +30,16 @@ type stats = {
 type t
 
 val create :
-  ?mode:mode -> rng:Rng.t -> loss:float -> forward:(bytes -> unit) -> unit -> t
+  ?mode:mode ->
+  ?sheddable:(int -> bool) ->
+  rng:Rng.t ->
+  loss:float ->
+  forward:(bytes -> unit) ->
+  unit ->
+  t
 (** [loss] is the probability of an initial (congestion) drop per
-    packet. *)
+    packet.  [sheddable] (default: nothing is) marks the T.IDs
+    [By_class] mode may target. *)
 
 val on_packet : t -> bytes -> unit
 

@@ -9,6 +9,8 @@ type event =
   | Conn_open of { conn : int }
   | Conn_close of { conn : int }
   | Overlap of { conn : int; tpdu : int; sn : int; elems : int; kind : string }
+  | Shed of { conn : int; tpdu : int; elems : int; cls : string }
+  | Interleave of { conn : int; stream : int; tpdu : int; cls : string }
 
 let event_name = function
   | Chunk_rx _ -> "chunk_rx"
@@ -21,6 +23,8 @@ let event_name = function
   | Conn_open _ -> "conn_open"
   | Conn_close _ -> "conn_close"
   | Overlap _ -> "overlap"
+  | Shed _ -> "shed"
+  | Interleave _ -> "interleave"
 
 (* ---------- JSONL codec ---------- *)
 
@@ -66,6 +70,12 @@ let to_json ~time ev =
     | Overlap { conn; tpdu; sn; elems; kind } ->
         Printf.sprintf {|"conn":%d,"tpdu":%d,"sn":%d,"elems":%d,"kind":"%s"|}
           conn tpdu sn elems (escape kind)
+    | Shed { conn; tpdu; elems; cls } ->
+        Printf.sprintf {|"conn":%d,"tpdu":%d,"elems":%d,"cls":"%s"|} conn tpdu
+          elems (escape cls)
+    | Interleave { conn; stream; tpdu; cls } ->
+        Printf.sprintf {|"conn":%d,"stream":%d,"tpdu":%d,"cls":"%s"|} conn
+          stream tpdu (escape cls)
   in
   Printf.sprintf {|{"t":%s,"ev":"%s",%s}|} (fl time) (event_name ev) fields
 
@@ -190,6 +200,14 @@ let of_json line =
           Overlap
             { conn = int "conn"; tpdu = int "tpdu"; sn = int "sn";
               elems = int "elems"; kind = str "kind" }
+      | "shed" ->
+          Shed
+            { conn = int "conn"; tpdu = int "tpdu"; elems = int "elems";
+              cls = str "cls" }
+      | "interleave" ->
+          Interleave
+            { conn = int "conn"; stream = int "stream"; tpdu = int "tpdu";
+              cls = str "cls" }
       | _ -> raise Bad
     in
     (time, ev)

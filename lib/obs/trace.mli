@@ -42,11 +42,18 @@ type event =
           ["verified-clash"] (two verified TPDUs disagree — impossible
           without a forged parity).  [sn]/[elems] locate one conflicting
           run at placement granularity. *)
+  | Shed of { conn : int; tpdu : int; elems : int; cls : string }
+      (** a sheddable TPDU was deliberately abandoned under congestion
+          (partial reliability); [cls] is the {!Significance} class tag
+          (["shed:N"]) and [elems] the element span given up *)
+  | Interleave of { conn : int; stream : int; tpdu : int; cls : string }
+      (** the priority scheduler emitted one TPDU of stream [stream]
+          (X-level interleaving within connection [conn]) *)
 
 val event_name : event -> string
 (** The wire tag: ["chunk_rx"], ["verify_start"], ["verify_done"],
     ["frag"], ["repack"], ["rto_fire"], ["evict"], ["conn_open"],
-    ["conn_close"], ["overlap"]. *)
+    ["conn_close"], ["overlap"], ["shed"], ["interleave"]. *)
 
 (** {1 Sinks} *)
 

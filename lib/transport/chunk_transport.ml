@@ -15,6 +15,13 @@ type config = {
   give_up_txs : int;
   state_budget : int;
   state_ttl : float;
+  (* partial reliability: [classify] maps a T.ID to its significance
+     class (both endpoints must agree — the class is part of the
+     transfer contract, like the framing); [shed_txs > 0] arms the
+     sender's congestion shed policy, abandoning a sheddable TPDU after
+     that many transmissions instead of retransmitting to give-up *)
+  classify : int -> Significance.t;
+  shed_txs : int;
 }
 
 let default_config =
@@ -33,6 +40,8 @@ let default_config =
     give_up_txs = 40;
     state_budget = 0;
     state_ttl = 60.0;
+    classify = (fun _ -> Significance.Normal);
+    shed_txs = 0;
   }
 
 let validate_config c =
@@ -49,7 +58,11 @@ let validate_config c =
   if c.give_up_txs < 1 then
     invalid_arg "Chunk_transport: give_up_txs must be >= 1";
   if c.state_ttl <= 0.0 then
-    invalid_arg "Chunk_transport: state_ttl must be positive"
+    invalid_arg "Chunk_transport: state_ttl must be positive";
+  if c.shed_txs < 0 then
+    invalid_arg "Chunk_transport: shed_txs must be >= 0";
+  if c.shed_txs > 0 && c.shed_txs >= c.give_up_txs then
+    invalid_arg "Chunk_transport: shed_txs must be < give_up_txs"
 
 (* Total elements the receiver will hold once the stream of [n] bytes is
    framed: only the final frame is padded to a whole element. *)
@@ -104,6 +117,9 @@ let m_nacks = Obs.Metrics.counter "transport_nacks_total"
 let m_rto_fires = Obs.Metrics.counter "transport_rto_fires_total"
 let m_give_ups = Obs.Metrics.counter "transport_give_ups_total"
 let m_aborts_sent = Obs.Metrics.counter "transport_aborts_sent_total"
+let m_sheds_sent = Obs.Metrics.counter "transport_sheds_sent_total"
+let m_sheds_received = Obs.Metrics.counter "transport_sheds_received_total"
+let m_shed_bytes = Obs.Metrics.counter "transport_shed_bytes_total"
 let m_tpdu_latency = Obs.Metrics.histogram "transport_tpdu_latency_us"
 let m_rtt = Obs.Metrics.histogram "transport_rtt_us"
 let m_backoff = Obs.Metrics.histogram "transport_rto_backoff_us"
@@ -172,6 +188,12 @@ module Receiver = struct
        toward completeness (they will be re-placed by the
        identical-label retransmission) *)
     verified_cover : Vreassembly.t;
+    (* element runs deliberately given up by the sender (Shed_tpdu):
+       they count toward stream completion — the degradation contract —
+       but never toward verified delivery, and late chunks for a shed
+       TPDU are dropped rather than re-admitted to the verifier *)
+    shed_cover : Vreassembly.t;
+    shed_tids : (int, unit) Hashtbl.t;
     (* stream-end bookkeeping (`Quota mode): the C.ST bit names the
        connection's final element, but is believed only once the TPDU
        that carried it verifies — a forged or corrupted C.ST must not
@@ -185,6 +207,8 @@ module Receiver = struct
     mutable reacks_sent : int;
     mutable evictions : int;
     mutable aborts_received : int;
+    mutable sheds_received : int;
+    mutable shed_elems : int;
     (* crash recovery: [persist] receives one journal event per fresh
        ACK {e before} the ACK leaves (write-ahead — the receiver never
        promises bytes it has not made durable); [restored_passes] carries
@@ -241,6 +265,8 @@ module Receiver = struct
         nack_armed = Hashtbl.create 32;
         corrob = Hashtbl.create 32;
         verified_cover = Vreassembly.create ();
+        shed_cover = Vreassembly.create ();
+        shed_tids = Hashtbl.create 8;
         end_claims = Hashtbl.create 4;
         end_confirmed = None;
         last_reack = Hashtbl.create 8;
@@ -250,6 +276,8 @@ module Receiver = struct
         reacks_sent = 0;
         evictions = 0;
         aborts_received = 0;
+        sheds_received = 0;
+        shed_elems = 0;
         persist;
         restored_passes = 0;
       }
@@ -398,7 +426,11 @@ module Receiver = struct
     if fp = 0 && stash = 0 then
       Governor.remove rx.governor ~key:(gov_key rx t_id)
     else begin
-      Governor.touch rx.governor ~key:(gov_key rx t_id)
+      (* sheddable state is charged at its significance rank so budget
+         pressure displaces it before any fully-reliable TPDU's state *)
+      Governor.touch rx.governor
+        ~cls:(Significance.rank (rx.config.classify t_id))
+        ~key:(gov_key rx t_id)
         ~bytes:(fp + stash + 64)
         ~now:(Netsim.Engine.now rx.engine);
       Governor.arm rx.governor rx.engine
@@ -415,6 +447,69 @@ module Receiver = struct
       drop_tpdu_state rx t_id;
       Governor.remove rx.governor ~key:(gov_key rx t_id);
       rx.aborts_received <- rx.aborts_received + 1
+    end
+
+  (* An already-verified TPDU whose traffic keeps arriving means the
+     sender never heard the ACK (a lossy or black-holed reverse path):
+     re-acknowledge instead of staying silent, or the sender retransmits
+     to a wall until it gives up.  Throttled per TPDU so a duplication
+     storm does not become an ACK storm. *)
+  let re_ack rx t_id =
+    let now = Netsim.Engine.now rx.engine in
+    let due =
+      match Hashtbl.find_opt rx.last_reack t_id with
+      | Some last -> now -. last >= rx.config.nack_delay
+      | None -> true
+    in
+    if due then begin
+      Hashtbl.replace rx.last_reack t_id now;
+      rx.reacks_sent <- rx.reacks_sent + 1;
+      if Obs.enabled then Obs.Metrics.incr m_reacks;
+      rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
+    end
+
+  (* The sender deliberately abandoned a sheddable TPDU (partial
+     reliability).  Honoured only when this receiver's own classifier
+     agrees the TPDU is sheddable — a forged (or buggy) shed of a
+     Critical TPDU must not truncate the stream — and only when the TPDU
+     has not already been verified and acknowledged (a shed racing a
+     lost ACK changes nothing: the bytes are already delivered).  The
+     span joins [shed_cover] so completion can proceed without it. *)
+  let shed_tpdu rx ~t_id ~first_elem ~elems =
+    if Hashtbl.mem rx.acked t_id || Hashtbl.mem rx.shed_tids t_id then
+      (* a shed racing a lost ACK, or a duplicated shed signal: the
+         sender is still retrying, so re-acknowledge (throttled) *)
+      re_ack rx t_id
+    else if Significance.sheddable (rx.config.classify t_id) then begin
+      drop_tpdu_state rx t_id;
+      Governor.remove rx.governor ~key:(gov_key rx t_id);
+      Hashtbl.replace rx.shed_tids t_id ();
+      (match
+         Vreassembly.insert_new rx.shed_cover ~sn:first_elem ~len:elems
+           ~st:false
+       with
+      | Ok _ | Error `Inconsistent -> ());
+      rx.sheds_received <- rx.sheds_received + 1;
+      rx.shed_elems <- rx.shed_elems + elems;
+      if Obs.enabled then begin
+        Obs.Metrics.incr m_sheds_received;
+        Obs.Metrics.add m_shed_bytes (elems * rx.config.elem_size);
+        if Obs.Trace.active () then
+          Obs.Trace.record
+            (Obs.Trace.Shed
+               {
+                 conn = rx.config.conn_id;
+                 tpdu = t_id;
+                 elems;
+                 cls = Significance.to_string (rx.config.classify t_id);
+               })
+            ~time:(Netsim.Engine.now rx.engine)
+      end;
+      (* the shed is acknowledged like a verified TPDU — the sender
+         stops retrying the signal once this lands; deliberately NOT
+         counted as a fresh verification ACK (the metrics-verify-count
+         oracle check demands acks track verified TPDUs one-for-one) *)
+      rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
     end
 
   (* Release every piece of soft state at once (connection close): the
@@ -437,26 +532,10 @@ module Receiver = struct
     | Ok (conn_id, Connection.Abort_tpdu { t_id })
       when conn_id = rx.config.conn_id ->
         abort_tpdu rx ~t_id
+    | Ok (conn_id, Connection.Shed_tpdu { t_id; first_elem; elems })
+      when conn_id = rx.config.conn_id ->
+        shed_tpdu rx ~t_id ~first_elem ~elems
     | Ok _ | Error _ -> ()
-
-  (* An already-verified TPDU whose traffic keeps arriving means the
-     sender never heard the ACK (a lossy or black-holed reverse path):
-     re-acknowledge instead of staying silent, or the sender retransmits
-     to a wall until it gives up.  Throttled per TPDU so a duplication
-     storm does not become an ACK storm. *)
-  let re_ack rx t_id =
-    let now = Netsim.Engine.now rx.engine in
-    let due =
-      match Hashtbl.find_opt rx.last_reack t_id with
-      | Some last -> now -. last >= rx.config.nack_delay
-      | None -> true
-    in
-    if due then begin
-      Hashtbl.replace rx.last_reack t_id now;
-      rx.reacks_sent <- rx.reacks_sent + 1;
-      if Obs.enabled then Obs.Metrics.incr m_reacks;
-      rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
-    end
 
   let on_chunk rx chunk =
     if Chunk.is_terminator chunk then ()
@@ -478,6 +557,9 @@ module Receiver = struct
          (feeding it would recreate verifier state that can never
          complete), but it is re-acknowledged *)
       if Hashtbl.mem rx.acked t_id then re_ack rx t_id
+      (* a shed TPDU is gone for good: its straggler chunks must not
+         recreate verifier state the sender will never complete *)
+      else if Hashtbl.mem rx.shed_tids t_id then ()
       else begin
         (if Chunk.is_data chunk then begin
            if not (Hashtbl.mem rx.first_arrival t_id) then
@@ -608,32 +690,41 @@ module Receiver = struct
   let stream_end_elems rx =
     Option.map (fun last -> last + 1) rx.end_confirmed
 
-  (* First element not covered by a verified run. *)
-  let verified_frontier rx =
+  (* First element not covered by a verified or deliberately-shed run:
+     sorted-span walk over the merged coverage.  A shed span counts
+     toward stream {e completion} (the degradation contract says those
+     bytes may be missing) but never toward verified delivery. *)
+  let covered_frontier rx =
+    let spans =
+      List.sort compare
+        (Vreassembly.spans rx.verified_cover
+        @ Vreassembly.spans rx.shed_cover)
+    in
     let rec go expect = function
       | [] -> expect
       | (s, l) :: rest ->
           if s > expect then expect else go (max expect (s + l)) rest
     in
-    go 0 (Vreassembly.spans rx.verified_cover)
+    go 0 spans
 
   let complete rx =
     match rx.capacity with
     | `Exact n ->
-        (* full is not enough: an element squatted by a TPDU that never
-           verified must not fake completeness — the overlap policy
-           holds delivery until every byte has a WSC-2-verified owner *)
-        Placement.is_full rx.placement && verified_frontier rx >= n
+        (* a bare element count is not enough: an element squatted by a
+           TPDU that never verified must not fake completeness — the
+           overlap policy holds delivery until every byte has a
+           WSC-2-verified owner or was deliberately shed *)
+        covered_frontier rx >= n
     | `Quota _ -> (
         match rx.end_confirmed with
         | Some last ->
-            (* contiguous coverage of [0, last] by {e verified} TPDUs,
-               not a bare element count: bytes placed by a TPDU that
-               later failed parity (or diverted here by a corrupted
-               C.ID) must not fake completeness — a premature
+            (* contiguous coverage of [0, last] by {e verified} (or
+               shed) TPDUs, not a bare element count: bytes placed by a
+               TPDU that later failed parity (or diverted here by a
+               corrupted C.ID) must not fake completeness — a premature
                "complete" lets a connection archive a buffer the
                pending retransmission was about to correct *)
-            verified_frontier rx > last
+            covered_frontier rx > last
         | None -> false)
 
   (* Whether this receiver holds any soft state for [t_id] (verifier
@@ -654,6 +745,9 @@ module Receiver = struct
   let reacks_sent rx = rx.reacks_sent
   let evictions rx = rx.evictions
   let aborts_received rx = rx.aborts_received
+  let sheds_received rx = rx.sheds_received
+  let shed_elems rx = rx.shed_elems
+  let shed_spans rx = Vreassembly.spans rx.shed_cover
   let governor_stats rx = Governor.stats rx.governor
 
   let stashed_tpdus rx =
@@ -809,6 +903,9 @@ module Sender = struct
     mutable acked : bool;
     mutable last_tx : float;
     mutable txs : int;
+    mutable shed : bool;
+        (* abandoned under the shed policy: the timer now retries the
+           Shed_tpdu signal instead of the data *)
   }
 
   type t = {
@@ -834,6 +931,7 @@ module Sender = struct
     mutable started : bool;
     mutable gave_up : bool;
     mutable aborts_sent : int;
+    mutable sheds_sent : int;
     (* Jacobson estimation state; [srtt < 0] means no sample yet.  The
        configured [rto] doubles as the estimator's ceiling (it is the
        conservative a-priori bound) and the initial value. *)
@@ -906,6 +1004,7 @@ module Sender = struct
       started = false;
       gave_up = false;
       aborts_sent = 0;
+      sheds_sent = 0;
       srtt = -1.0;
       rttvar = 0.0;
       rto_cur = config.rto;
@@ -913,6 +1012,37 @@ module Sender = struct
       max_txs_at_sample = 0;
       done_tids = Hashtbl.create 16;
     }
+
+  (* A sender over pre-cut, pre-sealed TPDUs (each chunk list is the
+     data chunks followed by their ED chunk), transmitted in list order
+     — the hook for {!Interleave}: a priority scheduler decides the
+     order across many X streams, and this sender gives every TPDU the
+     full retransmission/shed machinery without re-framing anything. *)
+  let of_tpdus engine config ?(announce_open = false) ~send tpdus =
+    let first_tid =
+      match tpdus with
+      | [] -> invalid_arg "Chunk_transport.Sender.of_tpdus: no TPDUs"
+      | (t_id, _) :: _ -> t_id
+    in
+    (* a one-element dummy transfer builds a fully-initialised sender;
+       the real TPDUs then replace the framer's queue wholesale *)
+    let tx =
+      create engine config ~first_tid ~announce_open ~send
+        ~data:(Bytes.make config.elem_size '\000')
+        ()
+    in
+    tx.next_frame <- Array.length tx.frames;
+    tx.pending <- [];
+    Queue.clear tx.ready;
+    List.iter
+      (fun (t_id, chunks) ->
+        if chunks = [] then
+          invalid_arg "Chunk_transport.Sender.of_tpdus: empty TPDU";
+        Queue.add
+          { t_id; chunks; acked = false; last_tx = 0.0; txs = 0; shed = false }
+          tx.ready)
+      tpdus;
+    tx
 
   (* The adaptive floor: a TPDU small enough that (data + ED chunk) fits
      one packet, so a single loss forfeits at most one packet's data —
@@ -947,6 +1077,7 @@ module Sender = struct
                     acked = false;
                     last_tx = 0.0;
                     txs = 0;
+                    shed = false;
                   }
                   tx.ready
         end)
@@ -1024,6 +1155,67 @@ module Sender = struct
         if Obs.enabled then Obs.Metrics.incr m_aborts_sent;
         tx.send b
 
+  (* The element span a stored TPDU covers in the connection buffer:
+     its data chunks (everything before the trailing ED chunk) are
+     contiguous by construction, labelled with the connection SN. *)
+  let tpdu_span tp =
+    let data_chunks =
+      match List.rev tp.chunks with _ed :: rev -> List.rev rev | [] -> []
+    in
+    match data_chunks with
+    | [] -> None
+    | first :: _ ->
+        let first_elem = first.Chunk.header.Header.c.Ftuple.sn in
+        let elems =
+          List.fold_left
+            (fun acc c -> acc + c.Chunk.header.Header.len)
+            0 data_chunks
+        in
+        if elems > 0 then Some (first_elem, elems) else None
+
+  (* Deliberate abandonment of a sheddable TPDU under congestion: the
+     Shed_tpdu signal tells the receiver to reclaim partial state {e
+     and} count the span as covered, so the stream finishes without the
+     shed bytes instead of both ends retransmitting them to give-up.
+     Unlike Abort_tpdu (where the deadline sweep is a sufficient
+     backstop), stream completion depends on this signal arriving, so
+     the receiver acknowledges it like a verified TPDU and the
+     retransmission timer re-sends the {e signal} (one small packet, not
+     the data) until that ACK lands. *)
+  let send_shed tx tp =
+    match tpdu_span tp with
+    | None -> ()
+    | Some (first_elem, elems) -> (
+        let s =
+          Connection.signal_chunk ~conn_id:tx.config.conn_id
+            (Connection.Shed_tpdu { t_id = tp.t_id; first_elem; elems })
+        in
+        match Wire.encode_packet [ s ] with
+        | Error _ -> ()
+        | Ok b ->
+            tx.packets_sent <- tx.packets_sent + 1;
+            tx.bytes_sent <- tx.bytes_sent + Bytes.length b;
+            tx.send b)
+
+  (* First shed of a TPDU: count it once and trace it. *)
+  let shed_now tx tp =
+    tp.shed <- true;
+    tx.sheds_sent <- tx.sheds_sent + 1;
+    if Obs.enabled then begin
+      Obs.Metrics.incr m_sheds_sent;
+      if Obs.Trace.active () then
+        Obs.Trace.record
+          (Obs.Trace.Shed
+             {
+               conn = tx.config.conn_id;
+               tpdu = tp.t_id;
+               elems = (match tpdu_span tp with Some (_, e) -> e | None -> 0);
+               cls = Significance.to_string (tx.config.classify tp.t_id);
+             })
+          ~time:(Netsim.Engine.now tx.engine)
+    end;
+    send_shed tx tp
+
   (* Exponential backoff de-synchronises retransmission bursts.  The
      interval doubles from the current (possibly adaptively shrunk) RTO
      but caps at 8× the {e configured} ceiling, so an adaptive sender
@@ -1048,6 +1240,25 @@ module Sender = struct
             if Obs.enabled then Obs.Metrics.incr m_give_ups;
             send_abort tx tp.t_id;
             pump tx
+          end
+          else if tp.shed then begin
+            (* already abandoned: keep retrying the (cheap) shed signal
+               until the receiver's ACK confirms the span is accounted *)
+            tp.txs <- tp.txs + 1;
+            send_shed tx tp;
+            arm_timer tx tp
+          end
+          else if
+            tx.config.shed_txs > 0
+            && tp.txs >= tx.config.shed_txs
+            && Significance.sheddable (tx.config.classify tp.t_id)
+          then begin
+            (* congestion shed: the RTO backoff is the congestion
+               signal — after [shed_txs] transmissions a sheddable TPDU
+               is deliberately given up rather than retransmitted to
+               give-up, freeing the path for Critical/Normal data *)
+            shed_now tx tp;
+            arm_timer tx tp
           end
           else begin
             tx.retrans <- tx.retrans + 1;
@@ -1129,14 +1340,17 @@ module Sender = struct
     | None -> ()
     | Some tp ->
         if not tp.acked then begin
-          note_rtt tx tp;
+          (* an ACK for a shed TPDU confirms the signal, not the data:
+             it must feed neither the RTT estimator (the sample spans
+             the RTO wait) nor the adaptive clean-run counter *)
+          if not tp.shed then note_rtt tx tp;
           tp.acked <- true;
           Hashtbl.replace tx.done_tids t_id ();
           Hashtbl.remove tx.inflight t_id;
           (* first ACK proves the receiver processed the Open: the
              establishment phase is over *)
           if t_id = tx.first_tid then tx.open_chunk <- None;
-          if tx.config.adaptive then begin
+          if tx.config.adaptive && not tp.shed then begin
             tx.clean_acks <- tx.clean_acks + 1;
             (* grow cautiously: a long clean run is needed before the
                TPDU doubles, so a lossy path keeps small TPDUs instead
@@ -1212,6 +1426,7 @@ module Sender = struct
   let sack_retransmissions tx = tx.sack_retrans
   let gave_up tx = tx.gave_up
   let aborts_sent tx = tx.aborts_sent
+  let sheds_sent tx = tx.sheds_sent
   let tpdus_sent tx = tx.tpdus_sent
   let packets_sent tx = tx.packets_sent
   let bytes_sent tx = tx.bytes_sent
@@ -1279,7 +1494,35 @@ type outcome = {
   rtt_samples : int;
   max_txs_at_rtt_sample : int;
   receiver_evictions : int;
+  sheds_sent : int;
+  sheds_received : int;
+  shed_elems : int;
+  shed_spans : (int * int) list;
+  delivered : bytes;
 }
+
+(* Byte-exact outside the shed spans: the partial-reliability delivery
+   contract.  [spans] are element runs ([elem_size] bytes each). *)
+let equal_outside_sheds ~elem_size ~spans ~expected ~delivered =
+  let n = Bytes.length expected in
+  if Bytes.length delivered < n then false
+  else begin
+    let shed = Bytes.make n '\000' in
+    List.iter
+      (fun (sn, len) ->
+        let off = sn * elem_size and nb = len * elem_size in
+        if off >= 0 && nb > 0 && off + nb <= n then
+          Bytes.fill shed off nb '\001')
+      spans;
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if
+        Bytes.get shed i = '\000'
+        && Bytes.get delivered i <> Bytes.get expected i
+      then ok := false
+    done;
+    !ok
+  end
 
 let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
     ?(corrupt = 0.0) ?(duplicate = 0.0) ?(paths = 8) ?(skew = 0.25e-3)
@@ -1347,11 +1590,19 @@ let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
   Netsim.Engine.run engine;
   let delivered = Receiver.contents rx in
   let n = Bytes.length data in
+  let shed_spans = Receiver.shed_spans rx in
   let ok =
     (not (Sender.gave_up tx))
     && Receiver.complete rx
     && Bytes.length delivered >= n
-    && Bytes.equal (Bytes.sub delivered 0 n) data
+    &&
+    (* under partial reliability, "intact" means byte-exact outside the
+       deliberately shed element spans *)
+    match shed_spans with
+    | [] -> Bytes.equal (Bytes.sub delivered 0 n) data
+    | spans ->
+        equal_outside_sheds ~elem_size:config.elem_size ~spans ~expected:data
+          ~delivered
   in
   let sim_time = Netsim.Engine.now engine in
   {
@@ -1372,4 +1623,9 @@ let run ?(seed = 0x5EED) ?(config = default_config) ?(loss = 0.0)
     rtt_samples = Sender.rtt_samples tx;
     max_txs_at_rtt_sample = Sender.max_txs_at_rtt_sample tx;
     receiver_evictions = Receiver.evictions rx;
+    sheds_sent = Sender.sheds_sent tx;
+    sheds_received = Receiver.sheds_received rx;
+    shed_elems = Receiver.shed_elems rx;
+    shed_spans;
+    delivered;
   }

@@ -57,6 +57,23 @@ type config = {
   state_ttl : float;
       (** idle deadline for receiver soft state, seconds (delta-t style:
           state not refreshed within the TTL is evicted) *)
+  classify : int -> Labelling.Significance.t;
+      (** significance class of each TPDU by T.ID (partial reliability).
+          Both endpoints must use the same classifier — the class is
+          part of the transfer contract, like the framing: the sender
+          consults it before shedding, the receiver before {e honouring}
+          a shed (a Shed_tpdu for a TPDU the receiver classifies as
+          Critical/Normal is ignored, so a forged shed cannot truncate
+          the stream), and the governor charges sheddable state at its
+          rank so budget pressure displaces it first.  Default: every
+          TPDU is [Normal] (fully reliable). *)
+  shed_txs : int;
+      (** congestion shed policy: after this many transmissions of a
+          {e sheddable} TPDU the sender deliberately abandons it with a
+          {!Labelling.Connection.Shed_tpdu} signal instead of
+          retransmitting it to give-up — RTO backoff is the congestion
+          signal.  [0] (default) disables shedding; must be
+          [< give_up_txs] otherwise. *)
 }
 
 val default_config : config
@@ -119,12 +136,13 @@ module Receiver : sig
   val delivered_elems : t -> int
 
   val complete : t -> bool
-  (** [`Exact] mode: the placement window is full {e and} every element
-      is covered by verified TPDUs — an element squatted by a TPDU that
-      never verified cannot fake completeness.  [`Quota] mode: a
+  (** [`Exact] mode: every element is covered by verified TPDUs or by
+      honoured sheds — an element squatted by a TPDU that never verified
+      cannot fake completeness, while a deliberately shed span counts as
+      settled without its bytes (partial reliability).  [`Quota] mode: a
       verified TPDU carried the C.ST end-of-connection bit and every
-      element up to it is covered by {e verified} TPDUs — bytes placed
-      by a TPDU that later failed parity do not count (its
+      element up to it is covered by {e verified or shed} TPDUs — bytes
+      placed by a TPDU that later failed parity do not count (its
       identical-label retransmission re-places them). *)
 
   val tracks_tpdu : t -> t_id:int -> bool
@@ -138,6 +156,17 @@ module Receiver : sig
   val abort_tpdu : t -> t_id:int -> unit
   (** Evict all partial state for [t_id] (the sender abandoned it);
       counted in {!aborts_received} if any state existed. *)
+
+  val shed_tpdu : t -> t_id:int -> first_elem:int -> elems:int -> unit
+  (** The sender deliberately abandoned a sheddable TPDU (partial
+      reliability).  Honoured only if this receiver's own [classify]
+      agrees the TPDU is sheddable — a forged shed of a Critical/Normal
+      TPDU is ignored — and only if the TPDU is not already verified.
+      On honour: partial state is dropped, the element span joins the
+      shed cover (so {!complete} can be reached without those bytes),
+      and the shed is acknowledged like a verified TPDU so the sender
+      stops resending the signal.  Duplicates and shed-after-ACK races
+      get a throttled re-ACK. *)
 
   val evict : t -> t_id:int -> unit
   (** Dispose of [t_id]'s soft state after the governor already dropped
@@ -191,6 +220,19 @@ module Receiver : sig
 
   val aborts_received : t -> int
   (** TPDUs evicted because the sender signalled it abandoned them. *)
+
+  val sheds_received : t -> int
+  (** Shed signals honoured (the TPDU was sheddable and not yet
+      verified); forged or duplicate sheds are not counted. *)
+
+  val shed_elems : t -> int
+  (** Elements covered by honoured sheds — bytes deliberately given up
+      under the partial-reliability contract. *)
+
+  val shed_spans : t -> (int * int) list
+  (** The honoured shed cover as [(first_elem, elems)] runs in
+      connection-SN space, ascending — the mask under which delivered
+      bytes are exempt from byte-exactness. *)
 
   val governor_stats : t -> Governor.stats
 
@@ -329,12 +371,35 @@ module Sender : sig
       @raise Invalid_argument if [config.adaptive] is set — adaptive
       sizing re-partitions the stream mid-flight, so a restored adaptive
       sender could assign different T.IDs to different bytes. *)
+
+  val of_tpdus :
+    Netsim.Engine.t ->
+    config ->
+    ?announce_open:bool ->
+    send:(bytes -> unit) ->
+    (int * Labelling.Chunk.t list) list ->
+    t
+  (** A sender over pre-cut, pre-sealed TPDUs (each [(t_id, chunks)]
+      entry is the data chunks followed by their ED chunk), transmitted
+      in list order — the hook for {!Interleave}: a priority scheduler
+      decides the order across many X streams and this sender gives
+      every TPDU the full retransmission/shed machinery without
+      re-framing anything.  The first entry's [t_id] anchors the T.ID
+      space (as [?first_tid] does for {!create}).
+      @raise Invalid_argument on an empty list or an empty TPDU. *)
+
+  val sheds_sent : t -> int
+  (** TPDUs deliberately abandoned under the congestion shed policy
+      ([config.shed_txs]); each is counted once, however many times its
+      shed signal is retried. *)
 end
 
 (** {1 One-call scenario driver} *)
 
 type outcome = {
-  ok : bool;  (** delivered data equals sent data *)
+  ok : bool;
+      (** delivered data equals sent data outside honoured shed spans
+          (byte-exact everywhere when nothing was shed) *)
   sim_time : float;
   sent_bytes : int;  (** application payload bytes offered *)
   wire_bytes : int;  (** bytes put on the forward wire *)
@@ -354,7 +419,24 @@ type outcome = {
       (** Karn's rule holds iff this never exceeds 1 *)
   receiver_evictions : int;
       (** governor evictions applied to the receiver *)
+  sheds_sent : int;  (** TPDUs the sender deliberately abandoned *)
+  sheds_received : int;  (** shed signals the receiver honoured *)
+  shed_elems : int;  (** elements given up under honoured sheds *)
+  shed_spans : (int * int) list;
+      (** honoured shed cover, [(first_elem, elems)] runs ascending *)
+  delivered : bytes;
+      (** the receiver's application buffer, for shed-aware comparison *)
 }
+
+val equal_outside_sheds :
+  elem_size:int ->
+  spans:(int * int) list ->
+  expected:bytes ->
+  delivered:bytes ->
+  bool
+(** The partial-reliability delivery contract: [delivered] matches
+    [expected] byte-for-byte everywhere except inside the shed [spans]
+    (element runs of [elem_size]-byte elements). *)
 
 val run :
   ?seed:int ->

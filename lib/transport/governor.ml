@@ -1,6 +1,6 @@
 type key = { conn : int; tpdu : int }
 
-type entry = { mutable bytes : int; mutable deadline : float }
+type entry = { mutable bytes : int; mutable deadline : float; mutable cls : int }
 
 type stats = {
   accounted_bytes : int;
@@ -54,14 +54,17 @@ let set_on_evict g f = g.on_evict <- f
 
 let over_budget g = g.budget > 0 && g.total > g.budget
 
-(* Oldest deadline = least recently refreshed: the entry a delta-t
-   lifecycle would let die first. *)
+(* Budget victim: the most sheddable class first (higher [cls] rank,
+   see {!Significance.rank}), and within a class the oldest deadline =
+   least recently refreshed — the entry a delta-t lifecycle would let
+   die first.  With every entry at the default class 0 this degenerates
+   to pure oldest-deadline, the pre-significance behaviour. *)
 let oldest g =
   Hashtbl.fold
     (fun k (e : entry) best ->
       match best with
-      | Some (_, d) when d <= e.deadline -> best
-      | _ -> Some (k, e.deadline))
+      | Some (_, d, c) when c > e.cls || (c = e.cls && d <= e.deadline) -> best
+      | _ -> Some (k, e.deadline, e.cls))
     g.tbl None
 
 let drop g k =
@@ -71,15 +74,17 @@ let drop g k =
       g.total <- g.total - e.bytes;
       Hashtbl.remove g.tbl k
 
-let touch g ~key ~bytes ~now =
+let touch ?(cls = 0) g ~key ~bytes ~now =
   let bytes = max 0 bytes in
+  let cls = max 0 cls in
   (match Hashtbl.find_opt g.tbl key with
   | Some e ->
       g.total <- g.total - e.bytes + bytes;
       e.bytes <- bytes;
-      e.deadline <- now +. g.ttl
+      e.deadline <- now +. g.ttl;
+      e.cls <- cls
   | None ->
-      Hashtbl.add g.tbl key { bytes; deadline = now +. g.ttl };
+      Hashtbl.add g.tbl key { bytes; deadline = now +. g.ttl; cls };
       g.total <- g.total + bytes);
   (* Budget enforcement is synchronous: collect victims first so the
      disposal callbacks (which may remove further entries, e.g. a whole
@@ -88,7 +93,7 @@ let touch g ~key ~bytes ~now =
   while over_budget g do
     match oldest g with
     | None -> g.total <- 0 (* unreachable: total > 0 implies an entry *)
-    | Some (k, _) ->
+    | Some (k, _, _) ->
         drop g k;
         g.ev_budget <- g.ev_budget + 1;
         victims := k :: !victims

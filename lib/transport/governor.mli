@@ -47,11 +47,16 @@ val set_on_evict : t -> (key -> unit) -> unit
 (** Install the disposal callback (the owner is usually created after
     the governor). *)
 
-val touch : t -> key:key -> bytes:int -> now:float -> unit
+val touch : ?cls:int -> t -> key:key -> bytes:int -> now:float -> unit
 (** Assert that [key]'s state currently costs [bytes] and refresh its
     deadline to [now + ttl]; creates the entry if missing, then enforces
-    the budget (evicting oldest-deadline entries first — the freshly
-    touched entry goes last, and only if it alone exceeds the budget). *)
+    the budget.  Budget eviction picks the highest [cls] first
+    (sheddable significance rank, see {!Labelling.Significance.rank};
+    default [0] = fully reliable, evicted last) and the oldest deadline
+    within a class — so under pressure sheddable state is displaced
+    before Critical state, and with every entry at class 0 the policy is
+    exactly the old oldest-deadline one.  The freshly touched entry goes
+    last within its class, and only if it alone exceeds the budget. *)
 
 val remove : t -> key:key -> unit
 (** Forget an entry without counting an eviction (normal completion). *)

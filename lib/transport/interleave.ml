@@ -1,0 +1,198 @@
+open Labelling
+
+type stream = {
+  is_name : string;
+  is_cls : Significance.t;
+  is_data : bytes;
+}
+
+type layer = {
+  l_name : string;
+  l_cls : Significance.t;
+  l_first_tid : int;
+  l_n_tpdus : int;
+  l_first_elem : int;
+  l_elems : int;
+}
+
+type t = {
+  tpdus : (int * Chunk.t list) list;
+  classify : int -> Significance.t;
+  total_elems : int;
+  layout : layer list;
+}
+
+let m_interleaved = Obs.Metrics.counter "transport_interleave_tpdus_total"
+
+let ( let* ) = Result.bind
+
+(* Streams before the last are padded to whole TPDUs so every framer
+   but the final one ends exactly on a TPDU boundary — only the final
+   stream's last element may carry C.ST, and no framer is left with a
+   TPDU under construction. *)
+let padded_len ~elem_size ~tpdu_elems ~last len =
+  let quantum = if last then elem_size else elem_size * tpdu_elems in
+  (len + quantum - 1) / quantum * quantum
+
+let pad ~elem_size ~tpdu_elems ~last data =
+  let len = padded_len ~elem_size ~tpdu_elems ~last (Bytes.length data) in
+  if len = Bytes.length data then data
+  else begin
+    let b = Bytes.make len '\000' in
+    Bytes.blit data 0 b 0 (Bytes.length data);
+    b
+  end
+
+let expected ?(elem_size = 4) ?(tpdu_elems = 1024) streams =
+  let n = List.length streams in
+  Bytes.concat Bytes.empty
+    (List.mapi
+       (fun i s -> pad ~elem_size ~tpdu_elems ~last:(i = n - 1) s.is_data)
+       streams)
+
+(* Cut a framer's chunk stream back into sealed TPDUs (data chunks in
+   order, ED chunk appended) keyed by T.ID.  Every TPDU is closed by
+   construction, so the accumulator is empty at the end. *)
+let seal_tpdus chunks =
+  let tpdus = ref [] and pending = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc chunk ->
+        let* () = acc in
+        pending := chunk :: !pending;
+        if chunk.Chunk.header.Header.t.Ftuple.st then begin
+          let data = List.rev !pending in
+          pending := [];
+          let* ed = Edc.Encoder.seal data in
+          let t_id = (List.hd data).Chunk.header.Header.t.Ftuple.id in
+          tpdus := (t_id, data @ [ ed ]) :: !tpdus;
+          Ok ()
+        end
+        else Ok ())
+      (Ok ()) chunks
+  in
+  if !pending <> [] then Error "interleave: unterminated TPDU"
+  else Ok (List.rev !tpdus)
+
+let plan ?(elem_size = 4) ?(tpdu_elems = 1024) ?tid_stride ~conn_id streams =
+  let n = List.length streams in
+  let* () = if n = 0 then Error "interleave: no streams" else Ok () in
+  let* () =
+    if List.exists (fun s -> Bytes.length s.is_data = 0) streams then
+      Error "interleave: empty stream payload"
+    else Ok ()
+  in
+  let elems_of i s =
+    padded_len ~elem_size ~tpdu_elems ~last:(i = n - 1)
+      (Bytes.length s.is_data)
+    / elem_size
+  in
+  let n_tpdus_of i s = (elems_of i s + tpdu_elems - 1) / tpdu_elems in
+  let max_tpdus =
+    List.fold_left max 1 (List.mapi (fun i s -> n_tpdus_of i s) streams)
+  in
+  let stride = match tid_stride with Some st -> st | None -> max_tpdus in
+  let* () =
+    if stride < max_tpdus then
+      Error
+        (Printf.sprintf "interleave: tid_stride %d < largest stream (%d TPDUs)"
+           stride max_tpdus)
+    else Ok ()
+  in
+  (* Frame each stream as one X-level PDU on its own framer: T.ID and
+     X.ID bases [stride] apart, connection SNs laid out sequentially so
+     placement-by-label concatenates the streams in the receiver
+     buffer. *)
+  let offset = ref 0 in
+  let* layers =
+    List.fold_left
+      (fun acc (i, s) ->
+        let* layers = acc in
+        let framer =
+          Framer.create ~elem_size ~tpdu_elems ~first_tid:(i * stride)
+            ~first_xid:(i * stride) ~first_csn:!offset ~conn_id ()
+        in
+        let data = pad ~elem_size ~tpdu_elems ~last:(i = n - 1) s.is_data in
+        let* chunks =
+          if i = n - 1 then Framer.push_last_frame framer data
+          else Framer.push_frame framer data
+        in
+        let* tpdus = seal_tpdus chunks in
+        let layer =
+          {
+            l_name = s.is_name;
+            l_cls = Significance.normalize s.is_cls;
+            l_first_tid = i * stride;
+            l_n_tpdus = n_tpdus_of i s;
+            l_first_elem = !offset;
+            l_elems = elems_of i s;
+          }
+        in
+        offset := !offset + layer.l_elems;
+        Ok ((layer, tpdus) :: layers))
+      (Ok [])
+      (List.mapi (fun i s -> (i, s)) streams)
+  in
+  let layers = List.rev layers in
+  let total_elems = !offset in
+  let layout = List.map fst layers in
+  (* The C.ST carrier is the final stream's final TPDU; shedding it
+     would strand a [`Quota] receiver, so classification promotes it
+     out of the sheddable ranks. *)
+  let final_tid =
+    let l = List.nth layout (n - 1) in
+    l.l_first_tid + l.l_n_tpdus - 1
+  in
+  let layer_arr = Array.of_list layout in
+  let classify t_id =
+    let i = t_id / stride in
+    if
+      t_id < 0 || i >= n
+      || t_id - (i * stride) >= layer_arr.(i).l_n_tpdus
+    then Significance.Normal
+    else begin
+      let cls = layer_arr.(i).l_cls in
+      if t_id = final_tid && Significance.sheddable cls then
+        Significance.Normal
+      else cls
+    end
+  in
+  (* Weighted round-robin: each round grants every stream up to its
+     class weight (Critical 4, Normal 2, Sheddable 1) — priority
+     without starvation. *)
+  let queues =
+    List.map
+      (fun (l, tpdus) ->
+        let q = Queue.create () in
+        List.iter (fun t -> Queue.add t q) tpdus;
+        (l, q))
+      layers
+  in
+  let order = ref [] in
+  let remaining = ref (List.fold_left (fun a (_, q) -> a + Queue.length q) 0 queues) in
+  while !remaining > 0 do
+    List.iteri
+      (fun i (l, q) ->
+        let grant = Significance.weight l.l_cls in
+        for _ = 1 to grant do
+          match Queue.take_opt q with
+          | None -> ()
+          | Some ((t_id, _) as tpdu) ->
+              order := tpdu :: !order;
+              decr remaining;
+              if Obs.enabled then begin
+                Obs.Metrics.incr m_interleaved;
+                if Obs.Trace.active () then
+                  Obs.Trace.record
+                    (Obs.Trace.Interleave
+                       {
+                         conn = conn_id;
+                         stream = i;
+                         tpdu = t_id;
+                         cls = Significance.to_string (classify t_id);
+                       })
+              end
+        done)
+      queues
+  done;
+  Ok { tpdus = List.rev !order; classify; total_elems; layout }

@@ -17,6 +17,8 @@ type conn = {
   mutable last_touch : float;
   mutable aborts_acc : int;
   mutable reacks_acc : int;
+  mutable sheds_acc : int;
+  mutable shed_elems_acc : int;
   mutable overlap_acc : Placement.overlap_stats;
       (* conflict counters of archived epochs; live ones are read
          directly off their placement buffers *)
@@ -88,6 +90,8 @@ let archive m c =
       R.quiesce rx;
       c.aborts_acc <- c.aborts_acc + R.aborts_received rx;
       c.reacks_acc <- c.reacks_acc + R.reacks_sent rx;
+      c.sheds_acc <- c.sheds_acc + R.sheds_received rx;
+      c.shed_elems_acc <- c.shed_elems_acc + R.shed_elems rx;
       c.overlap_acc <- add_overlap c.overlap_acc (R.overlap_stats rx);
       (* An epoch in which no TPDU ever verified delivered nothing to the
          application (and acknowledged nothing to the sender), so from
@@ -224,6 +228,8 @@ let handle_open m cid =
           last_touch = now m;
           aborts_acc = 0;
           reacks_acc = 0;
+          sheds_acc = 0;
+          shed_elems_acc = 0;
           overlap_acc = zero_overlap;
         }
       in
@@ -328,6 +334,17 @@ let on_chunk m chunk =
             | Some ({ live = Some rx; _ } as c) ->
                 c.last_touch <- now m;
                 R.abort_tpdu rx ~t_id
+            | Some _ | None -> ())
+        | Connection.Shed_tpdu { t_id; first_elem; elems } -> (
+            match Hashtbl.find_opt m.conns cid with
+            | Some ({ live = Some rx; _ } as c) ->
+                c.last_touch <- now m;
+                R.shed_tpdu rx ~t_id ~first_elem ~elems
+            | Some c when Hashtbl.mem c.acked t_id ->
+                (* shed signal straggling behind the epoch close while
+                   its ACK was lost: re-acknowledge so the sender stops
+                   retrying the signal *)
+                re_ack_closed m c t_id
             | Some _ | None -> ()))
     | `Data_for _ | `Unknown_connection _ | `Ignored ->
         (* routing is by connection record, not table state: traffic for
@@ -382,6 +399,14 @@ let displaced_conns m = m.displaced
 let aborts_received m =
   Hashtbl.fold (fun _ c acc -> acc + c.aborts_acc) m.conns
     (sum_live m R.aborts_received)
+
+let sheds_received m =
+  Hashtbl.fold (fun _ c acc -> acc + c.sheds_acc) m.conns
+    (sum_live m R.sheds_received)
+
+let shed_elems m =
+  Hashtbl.fold (fun _ c acc -> acc + c.shed_elems_acc) m.conns
+    (sum_live m R.shed_elems)
 
 let reacks_sent m =
   m.reacks_multi
@@ -440,6 +465,8 @@ let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
             last_touch = now m;
             aborts_acc = 0;
             reacks_acc = 0;
+            sheds_acc = 0;
+            shed_elems_acc = 0;
             overlap_acc = zero_overlap;
           }
         in

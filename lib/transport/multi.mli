@@ -90,6 +90,15 @@ val displaced_conns : t -> int
 val aborts_received : t -> int
 (** Abort_tpdu signals honoured (sender give-ups). *)
 
+val sheds_received : t -> int
+(** Shed_tpdu signals honoured across every epoch of every connection
+    (partial reliability: the sender deliberately abandoned a sheddable
+    TPDU under congestion and the receiver's own classifier agreed). *)
+
+val shed_elems : t -> int
+(** Elements covered by honoured sheds across every epoch — bytes
+    deliberately given up under the partial-reliability contract. *)
+
 val reacks_sent : t -> int
 (** ACKs re-sent for closed-epoch stragglers (a duplicate of a TPDU
     already delivered must still be acknowledged or the sender times

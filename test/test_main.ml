@@ -31,4 +31,5 @@ let () =
       ("parverify", Test_parverify.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
+      ("shed", Test_shed.suite);
     ]

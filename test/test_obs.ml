@@ -132,6 +132,8 @@ let all_events =
     T.Evict { conn = 9; tpdu = -1; reason = "deadline" };
     T.Conn_open { conn = 3 };
     T.Conn_close { conn = 3 };
+    T.Shed { conn = 3; tpdu = 5; elems = 64; cls = "shed:2" };
+    T.Interleave { conn = 3; stream = 1; tpdu = 12; cls = "critical" };
   ]
 
 let test_jsonl_roundtrip () =
