@@ -6,8 +6,8 @@
      --json FILE   also write every recorded metric as JSON
                    ({exp id -> {metric -> value}}), e.g. BENCH_results.json
      --only LIST   run only the named comma-separated sections
-                   (figs,table1,apxb,claims,ablation,robust,micro) — used
-                   by CI
+                   (figs,table1,apxb,claims,ablation,robust,flow,micro) —
+                   used by CI
                    for a quick MICRO smoke *)
 
 let sections =
@@ -18,13 +18,14 @@ let sections =
     ("claims", Exp_claims.run);
     ("ablation", Exp_ablation.run);
     ("robust", Exp_robust.run);
+    ("flow", Exp_flow.run);
     ("micro", Micro.run);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--json FILE] [--only \
-     figs,table1,apxb,claims,ablation,robust,micro]";
+     figs,table1,apxb,claims,ablation,robust,flow,micro]";
   exit 2
 
 let () =

@@ -102,6 +102,8 @@ let run_replay spec mutate =
          roundtrip_fail=%d snapshots=%d journal_records=%d\n\
          overlap injected=%d conflicts_seen=%d rejected=%d quarantined=%d \
          verified_overwrites=%d permuted=%s\n\
+         fastpath=%b coherence=%s fp hits=%d misses=%d inserts=%d \
+         invalidations=%d evictions=%d\n\
          sheds tx=%d rx=%d shed_elems=%d shed_spans=%s\n"
         observation.Check.Driver.ok observation.complete observation.gave_up
         observation.retransmissions observation.sack_retransmissions
@@ -127,6 +129,21 @@ let run_replay spec mutate =
             if Bytes.equal p.Check.Driver.p_delivered observation.delivered
             then "identical"
             else "DIVERGENT")
+        schedule.Check.Schedule.fastpath
+        (match observation.coherence with
+        | None -> "n/a"
+        | Some c ->
+            if
+              c.Check.Driver.c_complete = observation.complete
+              && c.Check.Driver.c_gave_up = observation.gave_up
+              && Bytes.equal c.Check.Driver.c_delivered observation.delivered
+            then "identical"
+            else "DIVERGENT")
+        observation.fastpath_stats.Transport.Flowcache.s_hits
+        observation.fastpath_stats.Transport.Flowcache.s_misses
+        observation.fastpath_stats.Transport.Flowcache.s_insertions
+        observation.fastpath_stats.Transport.Flowcache.s_invalidations
+        observation.fastpath_stats.Transport.Flowcache.s_evictions
         observation.sheds_sent observation.sheds_received
         observation.shed_elems
         (match observation.shed_spans with
@@ -196,7 +213,8 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                 Printf.printf
                   "%-8s %5d schedules  %d violations  %d/%d injections \
                    undetected  overlap %d injected/%d conflicts/%d rejected  \
-                   sheds %d/%d honoured/%d elems  %.1fs\n\
+                   sheds %d/%d honoured/%d elems  fastpath %d runs \
+                   %d hits/%d misses/%d invalidations  %.1fs\n\
                    %!"
                   (Check.Schedule.profile_name p) report.Check.Soak.schedules_run
                   (List.length report.Check.Soak.findings)
@@ -206,7 +224,10 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                   report.Check.Soak.ov_conflicts_rejected
                   report.Check.Soak.sheds_signalled
                   report.Check.Soak.sheds_honoured
-                  report.Check.Soak.shed_elems report.Check.Soak.wall_seconds;
+                  report.Check.Soak.shed_elems report.Check.Soak.fp_runs
+                  report.Check.Soak.fp_hits report.Check.Soak.fp_misses
+                  report.Check.Soak.fp_invalidations
+                  report.Check.Soak.wall_seconds;
                 List.iteri print_finding report.Check.Soak.findings;
                 report)
               profiles

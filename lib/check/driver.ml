@@ -78,6 +78,18 @@ type permuted_obs = {
   p_gave_up : bool;
 }
 
+(* The delivery outcome of the cache-off re-run of a fastpath schedule:
+   the same (seed, schedule) executed with [fastpath = false], so every
+   packet takes the decode-everything slow path.  The flow cache claims
+   to be pure acceleration, so the two runs must agree on every delivery
+   observable — the [fastpath-coherence] oracle row compares them. *)
+type coherence_obs = {
+  c_complete : bool;
+  c_gave_up : bool;
+  c_delivered : bytes;
+  c_epochs : epoch_obs list option;  (* multi runs: the per-epoch join *)
+}
+
 type observation = {
   ok : bool;
   complete : bool;
@@ -135,6 +147,12 @@ type observation = {
   verified_overwrites : int;  (* must stay 0: two verified TPDUs clashing *)
   overlap_injected : int;  (* overlap-adversary packets put on the wire *)
   permuted : permuted_obs option;  (* present iff the schedule overlaps *)
+  (* flow-cache fast path *)
+  fastpath_stats : Transport.Flowcache.stats;
+      (* both cache layers summed, across crash incarnations; all zero
+         on slow-path runs *)
+  coherence : coherence_obs option;
+      (* present iff the schedule ran the fast path *)
 }
 
 (* The probe reads the process-wide registry, so a run's deltas are
@@ -589,8 +607,13 @@ let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
            (fun (c : Schedule.crash) ->
              (c.Schedule.cr_time, c.Schedule.cr_time +. c.Schedule.cr_restart))
            s.Schedule.crashes)
-      ~deliver:(fun b ->
-        match !receiver with Some r -> CT.Receiver.on_packet r b | None -> ())
+      ~deliver:
+        (let deliver_rx =
+           if s.Schedule.fastpath then CT.Receiver.ingest
+           else CT.Receiver.on_packet
+         in
+         fun b ->
+           match !receiver with Some r -> deliver_rx r b | None -> ())
       ()
   in
   (* The overlap adversary taps the door (before its own injections, so
@@ -643,7 +666,9 @@ let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
   in
   receiver := Some rx;
   let ct = crash_track () in
+  let fp = ref Transport.Flowcache.zero_stats in
   let absorb rx =
+    fp := Transport.Flowcache.add_stats !fp (CT.Receiver.fastpath_stats rx);
     let v = CT.Receiver.verifier_stats rx in
     ct.ct_failed <- ct.ct_failed + v.Edc.Verifier.tpdus_failed;
     ct.ct_dups <- ct.ct_dups + v.Edc.Verifier.duplicates;
@@ -837,6 +862,8 @@ let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
       | Some o -> (Netsim.Overlapper.stats o).Netsim.Overlapper.injected
       | None -> 0);
     permuted = None;
+    fastpath_stats = !fp;
+    coherence = None;
   }
 
 (* T.ID spaces of successive epochs of one connection must be disjoint
@@ -869,8 +896,13 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
            (fun (c : Schedule.crash) ->
              (c.Schedule.cr_time, c.Schedule.cr_time +. c.Schedule.cr_restart))
            s.Schedule.crashes)
-      ~deliver:(fun b ->
-        match !multi with Some m -> Transport.Multi.on_packet m b | None -> ())
+      ~deliver:
+        (let deliver_m =
+           if s.Schedule.fastpath then Transport.Multi.ingest
+           else Transport.Multi.on_packet
+         in
+         fun b ->
+           match !multi with Some m -> deliver_m m b | None -> ())
       ()
   in
   let to_receiver_raw b = Netsim.Blackout.send crash_valve b in
@@ -912,7 +944,13 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
   in
   multi := Some m;
   let ct = crash_track () in
+  let fp = ref Transport.Flowcache.zero_stats in
   let absorb m =
+    (let f = Transport.Multi.fastpath_stats m in
+     fp :=
+       Transport.Flowcache.add_stats !fp
+         (Transport.Flowcache.add_stats f.Transport.Multi.fp_conn
+            f.Transport.Multi.fp_tpdu));
     ct.ct_reacks <- ct.ct_reacks + Transport.Multi.reacks_sent m;
     ct.ct_evictions <- ct.ct_evictions + Transport.Multi.evictions m;
     ct.ct_aborts <- ct.ct_aborts + Transport.Multi.aborts_received m;
@@ -1033,6 +1071,7 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     in
     ep.ep_tx <- Some tx;
     Hashtbl.replace senders ep.ep_conn tx;
+    trec "start epoch (%d,%d)" ep.ep_conn ep.ep_epoch;
     CT.Sender.start tx
   in
   (* Epoch 0 of every connection starts together; later epochs start
@@ -1070,6 +1109,8 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
         | Some tx when (not ep.ep_done) && CT.Sender.finished tx ->
             ep.ep_done <- true;
             ep.ep_gave_up <- CT.Sender.gave_up tx;
+            trec "epoch (%d,%d) finished gave_up=%b" ep.ep_conn ep.ep_epoch
+              ep.ep_gave_up;
             if ep.ep_epoch = last_of ep.ep_conn then send_close ep.ep_conn
             else begin
               let next =
@@ -1106,8 +1147,19 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
   let mo_epochs =
     List.map
       (fun ep ->
+        (* Join by epoch identity (the Open's announced first C.SN),
+           not by list position: the receiver legitimately drops an
+           epoch in which no TPDU ever verified (a fully-given-up
+           transfer), which would shift every later epoch under a
+           positional join. *)
         let reports = Transport.Multi.epochs m ~conn_id:ep.ep_conn in
-        let r = List.nth_opt reports ep.ep_epoch in
+        let want = Some (ep.ep_epoch * epoch_tid_stride) in
+        let r =
+          List.find_opt
+            (fun (r : Transport.Multi.epoch_report) ->
+              r.Transport.Multi.open_csn = want)
+            reports
+        in
         {
           e_conn = ep.ep_conn;
           e_epoch = ep.ep_epoch;
@@ -1217,28 +1269,55 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     verified_overwrites = ct.ct_ov_overwrites;
     overlap_injected = 0;
     permuted = None;
+    fastpath_stats = !fp;
+    coherence = None;
   }
 
 let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
-  if Schedule.multi_mode s then run_multi ~mutation ~trace s
+  let o =
+    if Schedule.multi_mode s then run_multi ~mutation ~trace s
+    else
+      let o = run_single ~mutation ~trace s in
+      match s.Schedule.overlap with
+      | None -> o
+      | Some _ ->
+          (* Overlap-determinism evidence: re-run with a different
+             overlap-injection seed, so the adversary's arrival order and
+             mix over the same transfer are permuted.  Whatever the
+             interleaving, a completed transfer must deliver byte-identical
+             data — the oracle compares the two deliveries. *)
+          let o2 = run_single ~mutation ~trace:None ~overlap_salt:0x7E12A5 s in
+          {
+            o with
+            permuted =
+              Some
+                {
+                  p_delivered = o2.delivered;
+                  p_complete = o2.complete;
+                  p_gave_up = o2.gave_up;
+                };
+          }
+  in
+  if not s.Schedule.fastpath then o
   else
-    let o = run_single ~mutation ~trace s in
-    match s.Schedule.overlap with
-    | None -> o
-    | Some _ ->
-        (* Overlap-determinism evidence: re-run with a different
-           overlap-injection seed, so the adversary's arrival order and
-           mix over the same transfer are permuted.  Whatever the
-           interleaving, a completed transfer must deliver byte-identical
-           data — the oracle compares the two deliveries. *)
-        let o2 = run_single ~mutation ~trace:None ~overlap_salt:0x7E12A5 s in
-        {
-          o with
-          permuted =
-            Some
-              {
-                p_delivered = o2.delivered;
-                p_complete = o2.complete;
-                p_gave_up = o2.gave_up;
-              };
-        }
+    (* Cache-coherence evidence: the identical (seed, schedule) with the
+       flow cache off.  Determinism makes the wire identical packet for
+       packet, so any observable divergence is the cache's doing — the
+       oracle demands equal completion flags and byte-identical delivery
+       for every epoch. *)
+    let s_off = { s with Schedule.fastpath = false } in
+    let o_off =
+      if Schedule.multi_mode s_off then run_multi ~mutation ~trace:None s_off
+      else run_single ~mutation ~trace:None s_off
+    in
+    {
+      o with
+      coherence =
+        Some
+          {
+            c_complete = o_off.complete;
+            c_gave_up = o_off.gave_up;
+            c_delivered = o_off.delivered;
+            c_epochs = Option.map (fun m -> m.mo_epochs) o_off.multi;
+          };
+    }

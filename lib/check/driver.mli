@@ -83,6 +83,20 @@ type permuted_obs = {
   p_gave_up : bool;
 }
 
+(** What the cache-off re-run of a fastpath schedule observed: the same
+    (seed, schedule) re-executed with [fastpath = false], so every
+    packet takes the decode-everything slow path over an identical wire.
+    The [fastpath-coherence] oracle row demands it agree with the
+    primary run on every delivery observable. *)
+type coherence_obs = {
+  c_complete : bool;
+  c_gave_up : bool;
+  c_delivered : bytes;
+  c_epochs : epoch_obs list option;
+      (** multi runs: the off-run's per-epoch join, for (conn, epoch)
+          pairwise comparison *)
+}
+
 type observation = {
   ok : bool;  (** delivered prefix equals sent data (every epoch) *)
   complete : bool;  (** connection placement buffer fully covered *)
@@ -156,6 +170,11 @@ type observation = {
           zero in every profile (the overlap-consistency check) *)
   overlap_injected : int;  (** overlap-adversary packets put on the wire *)
   permuted : permuted_obs option;  (** present iff the schedule overlaps *)
+  fastpath_stats : Transport.Flowcache.stats;
+      (** flow-cache counters, both layers summed, accumulated across
+          crash incarnations; all zero on slow-path runs *)
+  coherence : coherence_obs option;
+      (** present iff the schedule ran the fast path *)
 }
 
 val horizon : float

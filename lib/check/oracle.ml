@@ -193,6 +193,63 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
           "permuting overlap arrival order changed delivery at byte %d"
           (first_diff o.delivered p.Driver.p_delivered)
   | Some _ | None -> ());
+  (* Flow-cache coherence: the fast path must be pure acceleration.
+     For fastpath schedules the driver re-ran the identical (seed,
+     schedule) with the cache off, so the wire is the same packet for
+     packet and any divergence below is the cache's doing: completion
+     flags must match, and delivery must be byte-identical — the single
+     buffer on point-to-point runs, every (connection, epoch) pair on
+     demultiplexed runs.  Crash-restart schedules run through here too,
+     so a cache surviving a restore it should not survive shows up as a
+     divergent epoch. *)
+  (match o.coherence with
+  | None -> ()
+  | Some c ->
+      if c.Driver.c_complete <> o.complete || c.Driver.c_gave_up <> o.gave_up
+      then
+        fail "fastpath-coherence"
+          "cache-off re-run diverged: complete %b vs %b, gave-up %b vs %b \
+           (cache on vs off)"
+          o.complete c.Driver.c_complete o.gave_up c.Driver.c_gave_up;
+      match (o.multi, c.Driver.c_epochs) with
+      | None, _ ->
+          if not (Bytes.equal o.delivered c.Driver.c_delivered) then
+            fail "fastpath-coherence"
+              "cache on/off deliveries diverge at byte %d"
+              (first_diff o.delivered c.Driver.c_delivered)
+      | Some mo, Some eps ->
+          List.iter
+            (fun (e : Driver.epoch_obs) ->
+              match
+                List.find_opt
+                  (fun (e' : Driver.epoch_obs) ->
+                    e'.Driver.e_conn = e.Driver.e_conn
+                    && e'.Driver.e_epoch = e.Driver.e_epoch)
+                  eps
+              with
+              | None ->
+                  fail "fastpath-coherence"
+                    "connection %d epoch %d missing from the cache-off \
+                     re-run"
+                    e.Driver.e_conn e.Driver.e_epoch
+              | Some e' ->
+                  if e'.Driver.e_complete <> e.Driver.e_complete then
+                    fail "fastpath-coherence"
+                      "connection %d epoch %d: complete %b with the cache, \
+                       %b without"
+                      e.Driver.e_conn e.Driver.e_epoch e.Driver.e_complete
+                      e'.Driver.e_complete;
+                  match (e.Driver.e_delivered, e'.Driver.e_delivered) with
+                  | Some a, Some b when not (Bytes.equal a b) ->
+                      fail "fastpath-coherence"
+                        "connection %d epoch %d: cache on/off deliveries \
+                         diverge at byte %d"
+                        e.Driver.e_conn e.Driver.e_epoch (first_diff a b)
+                  | (Some _ | None), (Some _ | None) -> ())
+            mo.Driver.mo_epochs
+      | Some _, None ->
+          fail "fastpath-coherence"
+            "demultiplexed run but the cache-off re-run reported no epochs");
   (* Partial reliability, part one: sheds are legal only under a shed
      contract.  A receiver that honours a shed with no contract in the
      schedule has thrown away bytes the model calls mandatory — the

@@ -10,6 +10,7 @@ type profile =
   | Crash_flood
   | Overlap_hostile
   | Degrade_hostile
+  | Fastpath_hostile
 
 let profile_name = function
   | Clean -> "clean"
@@ -21,6 +22,7 @@ let profile_name = function
   | Crash_flood -> "crash-flood"
   | Overlap_hostile -> "overlap-hostile"
   | Degrade_hostile -> "degrade-hostile"
+  | Fastpath_hostile -> "fastpath-hostile"
 
 let profile_of_name = function
   | "clean" -> Some Clean
@@ -32,6 +34,7 @@ let profile_of_name = function
   | "crash-flood" -> Some Crash_flood
   | "overlap-hostile" -> Some Overlap_hostile
   | "degrade-hostile" -> Some Degrade_hostile
+  | "fastpath-hostile" -> Some Fastpath_hostile
   | _ -> None
 
 let all_profiles =
@@ -45,6 +48,7 @@ let all_profiles =
     Crash_flood;
     Overlap_hostile;
     Degrade_hostile;
+    Fastpath_hostile;
   ]
 
 type spread = Round_robin | Random_path | Route_change of float
@@ -130,6 +134,11 @@ type t = {
   shed : shed option;
   crashes : crash list;
   snap_period : float;  (** full-snapshot interval; 0 = ACK-journal only *)
+  fastpath : bool;
+      (** deliver through the flow-cache fast path ([Multi.ingest] /
+          [Receiver.ingest]) instead of [on_packet]; the
+          [fastpath-coherence] oracle row re-runs the schedule with the
+          cache off and demands identical outcomes *)
 }
 
 let faultless s =
@@ -271,7 +280,8 @@ let generate ~profile ~seed =
   let data_len =
     match profile with
     | Clean -> int_in rng 1 32768
-    | Lossy | Hostile | Outage_recover | Crash_restart | Overlap_hostile ->
+    | Lossy | Hostile | Outage_recover | Crash_restart | Overlap_hostile
+    | Fastpath_hostile ->
         int_in rng 1 16384
     | Hostile_flood | Crash_flood -> int_in rng 1 8192
     | Degrade_hostile ->
@@ -284,14 +294,14 @@ let generate ~profile ~seed =
     match profile with
     | Clean -> 0.0
     | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-    | Crash_flood | Overlap_hostile | Degrade_hostile ->
+    | Crash_flood | Overlap_hostile | Degrade_hostile | Fastpath_hostile ->
         if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
   in
   let dropper =
     match profile with
     | Clean | Outage_recover | Crash_restart | Crash_flood | Overlap_hostile ->
         None
-    | Lossy | Hostile | Hostile_flood ->
+    | Lossy | Hostile | Hostile_flood | Fastpath_hostile ->
         if Netsim.Rng.bool rng 0.3 then
           Some
             {
@@ -320,11 +330,16 @@ let generate ~profile ~seed =
   let connections =
     match profile with
     | Hostile_flood | Crash_flood -> int_in rng 2 4
+    | Fastpath_hostile ->
+        (* a mix: exercise both the single-receiver and the
+           demultiplexing fast path *)
+        int_in rng 1 3
     | _ -> 1
   in
   let reopen =
-    (profile = Hostile_flood || profile = Crash_flood)
-    && Netsim.Rng.bool rng 0.6
+    ((profile = Hostile_flood || profile = Crash_flood)
+    && Netsim.Rng.bool rng 0.6)
+    || (profile = Fastpath_hostile && Netsim.Rng.bool rng 0.3)
   in
   let ack_blackhole =
     (* a permanently dead reverse path: the sender must give up cleanly
@@ -415,20 +430,22 @@ let generate ~profile ~seed =
                points (or exercise Critical retransmission under
                degradation), not enough to drown the recovery signal *)
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.03 else 0.0
-        | Lossy | Hostile | Hostile_flood | Outage_recover ->
+        | Lossy | Hostile | Hostile_flood | Outage_recover
+        | Fastpath_hostile ->
             if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
       corrupt =
         (match profile with
         | Clean | Lossy | Outage_recover | Crash_restart | Degrade_hostile ->
             0.0
         | Crash_flood -> float_in rng 0.002 0.02
-        | Hostile | Hostile_flood | Overlap_hostile ->
+        | Hostile | Hostile_flood | Overlap_hostile | Fastpath_hostile ->
             float_in rng 0.002 0.04);
       duplicate =
         (match profile with
         | Clean -> 0.0
         | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-        | Crash_flood | Overlap_hostile | Degrade_hostile ->
+        | Crash_flood | Overlap_hostile | Degrade_hostile
+        | Fastpath_hostile ->
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
       dropper;
       ack_blackhole;
@@ -438,6 +455,7 @@ let generate ~profile ~seed =
       shed;
       crashes = [] (* filled below *);
       snap_period = 0.0 (* filled below *);
+      fastpath = profile = Fastpath_hostile (* re-drawn below *);
     }
   in
   let rto = estimate_rto base in
@@ -514,6 +532,14 @@ let generate ~profile ~seed =
     | Hostile_flood | Crash_flood -> estimate_budget base
     | _ -> 0
   in
+  (* Drawn last so the field's introduction leaves every earlier draw
+     of existing profiles' schedules unchanged.  Every profile runs with
+     the cache on a third of the time — the coherence oracle then
+     exercises cache-on-vs-off across the whole fault space, crash
+     restarts included. *)
+  let fastpath =
+    profile = Fastpath_hostile || Netsim.Rng.bool rng (1.0 /. 3.0)
+  in
   {
     base with
     rto;
@@ -525,6 +551,7 @@ let generate ~profile ~seed =
     outage;
     crashes;
     snap_period;
+    fastpath;
   }
 
 (* {2 Flat text round-trip}
@@ -771,6 +798,7 @@ let to_string s =
       Printf.sprintf "shed=%s" (shed_to_string s.shed);
       Printf.sprintf "crashes=%s" (crashes_to_string s.crashes);
       Printf.sprintf "snap_period=%.17g" s.snap_period;
+      Printf.sprintf "fastpath=%b" s.fastpath;
     ]
 
 let known_fields =
@@ -780,7 +808,7 @@ let known_fields =
     "give_up_txs"; "state_budget"; "state_ttl"; "connections"; "reopen";
     "paths"; "skew"; "jitter"; "spread"; "rate_bps"; "delay"; "gateways";
     "loss"; "corrupt"; "duplicate"; "dropper"; "ack_blackhole"; "outage";
-    "flood"; "overlap"; "shed"; "crashes"; "snap_period";
+    "flood"; "overlap"; "shed"; "crashes"; "snap_period"; "fastpath";
   ]
 
 let unknown_fields str =
@@ -850,6 +878,7 @@ let of_string str =
   let* shed = Option.bind (find "shed") shed_of_string in
   let* crashes = Option.bind (find "crashes") crashes_of_string in
   let* snap_period = flt "snap_period" in
+  let* fastpath = bol "fastpath" in
   Some
     {
       seed;
@@ -888,6 +917,7 @@ let of_string str =
       shed;
       crashes;
       snap_period;
+      fastpath;
     }
 
 (* {2 Validation}

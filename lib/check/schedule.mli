@@ -51,6 +51,16 @@ type profile =
           after a few transmissions — the stream must still complete,
           every Critical/Normal byte must arrive byte-exact, and only
           declared-sheddable spans may be missing *)
+  | Fastpath_hostile
+      (** the flow-cache fast path under hostile fire: every packet is
+          delivered through {!Transport.Multi.ingest} /
+          {!Transport.Chunk_transport.Receiver.ingest} while corruption,
+          loss, duplication and congestion drops attack the cached label
+          prefixes, with a mix of single- and multi-connection runs
+          (sometimes with C.ID reuse) churning the connection cache —
+          and the [fastpath-coherence] oracle row replays the whole
+          schedule with the cache off, demanding identical delivery and
+          identical verdicts *)
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -147,6 +157,11 @@ type t = {
       (** receiver crash-restart events, ordered, non-overlapping *)
   snap_period : float;
       (** full-snapshot interval, seconds; 0 = ACK journalling only *)
+  fastpath : bool;
+      (** deliver received packets through the flow-cache fast path
+          ([ingest]) instead of [on_packet]; any schedule may draw it,
+          and the [fastpath-coherence] oracle row re-runs the schedule
+          with the cache off and demands identical outcomes *)
 }
 
 val generate : profile:profile -> seed:int -> t

@@ -17,6 +17,10 @@ type report = {
   sheds_signalled : int;
   sheds_honoured : int;
   shed_elems : int;
+  fp_runs : int;
+  fp_hits : int;
+  fp_misses : int;
+  fp_invalidations : int;
   wall_seconds : float;
 }
 
@@ -45,6 +49,8 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
   let sheds_signalled = ref 0 in
   let sheds_honoured = ref 0 in
   let shed_elems = ref 0 in
+  let fp_runs = ref 0 in
+  let fp = ref Transport.Flowcache.zero_stats in
   let i = ref 0 in
   while !i < schedules && not (out_of_time ()) do
     let sched_seed = Netsim.Rng.next rng in
@@ -57,6 +63,8 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     sheds_signalled := !sheds_signalled + observation.Driver.sheds_sent;
     sheds_honoured := !sheds_honoured + observation.Driver.sheds_received;
     shed_elems := !shed_elems + observation.Driver.shed_elems;
+    if schedule.Schedule.fastpath then incr fp_runs;
+    fp := Transport.Flowcache.add_stats !fp observation.Driver.fastpath_stats;
     (match Oracle.check ~schedule ~model ~observation with
     | [] -> ()
     | violations ->
@@ -96,6 +104,10 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     sheds_signalled = !sheds_signalled;
     sheds_honoured = !sheds_honoured;
     shed_elems = !shed_elems;
+    fp_runs = !fp_runs;
+    fp_hits = !fp.Transport.Flowcache.s_hits;
+    fp_misses = !fp.Transport.Flowcache.s_misses;
+    fp_invalidations = !fp.Transport.Flowcache.s_invalidations;
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
@@ -138,14 +150,14 @@ let json_of_finding f =
 
 let json_of_report r =
   Printf.sprintf
-    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"sheds_signalled\":%d,\"sheds_honoured\":%d,\"shed_elems\":%d,\"wall_seconds\":%.3f}"
+    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"sheds_signalled\":%d,\"sheds_honoured\":%d,\"shed_elems\":%d,\"fastpath_runs\":%d,\"fastpath_hits\":%d,\"fastpath_misses\":%d,\"fastpath_invalidations\":%d,\"wall_seconds\":%.3f}"
     (json_str (Schedule.profile_name r.profile))
     (json_str (Driver.mutation_to_string r.mutation))
     r.schedules_run
     (String.concat "," (List.map json_of_finding r.findings))
     r.detect_trials r.detect_undetected r.ov_injected r.ov_conflicts_seen
     r.ov_conflicts_rejected r.sheds_signalled r.sheds_honoured r.shed_elems
-    r.wall_seconds
+    r.fp_runs r.fp_hits r.fp_misses r.fp_invalidations r.wall_seconds
 
 let json_of_reports reports =
   Printf.sprintf "{\"reports\":[%s]}"

@@ -23,6 +23,10 @@ type report = {
   sheds_signalled : int;  (** sender shed decisions, all runs *)
   sheds_honoured : int;  (** sheds the receivers honoured, all runs *)
   shed_elems : int;  (** elements covered by honoured sheds, all runs *)
+  fp_runs : int;  (** schedules that ran the flow-cache fast path *)
+  fp_hits : int;  (** flow-cache hits, both layers, all runs *)
+  fp_misses : int;  (** flow-cache misses, both layers, all runs *)
+  fp_invalidations : int;  (** eager invalidations, both layers, all runs *)
   wall_seconds : float;
 }
 

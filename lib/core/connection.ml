@@ -12,10 +12,21 @@ let op_abort = 4
 let op_shed = 5
 
 (* Ops 1-4 carry one i64 argument; op_shed carries three (the abandoned
-   TPDU plus the element span the receiver must account as shed). *)
-let payload_len = function Shed_tpdu _ -> 25 | _ -> 9
+   TPDU plus the element span the receiver must account as shed).
+   Every payload ends with an 8-byte WSC-2 parity over the opcode and
+   arguments.  Data chunks can travel unchecked because damage is
+   caught end-to-end by the TPDU-level EDC before anything is believed;
+   a signal is an instruction to the connection table with no later
+   check to fail — an Open whose first C.SN was damaged in flight would
+   establish an epoch under a forged identity — so a signal must prove
+   its own integrity or be dropped like any unparseable chunk (the
+   sender's retransmission machinery re-announces it for free). *)
+let parity_len = 8
+let body_len = function Shed_tpdu _ -> 25 | _ -> 9
+let payload_len sg = body_len sg + parity_len
 
 let signal_chunk ~conn_id signal =
+  let n = body_len signal in
   let payload = Bytes.make (payload_len signal) '\000' in
   (match signal with
   | Open { first_csn } ->
@@ -33,6 +44,7 @@ let signal_chunk ~conn_id signal =
       Bytes.set_int64_be payload 1 (Int64.of_int t_id);
       Bytes.set_int64_be payload 9 (Int64.of_int first_elem);
       Bytes.set_int64_be payload 17 (Int64.of_int elems));
+  Wsc2.parity_blit (Wsc2.encode_bytes ~pos:0 (Bytes.sub payload 0 n)) payload n;
   let c = Ftuple.v ~id:conn_id ~sn:0 () in
   match
     Chunk.control ~kind:Ctype.signal ~c ~t:Ftuple.zero ~x:Ftuple.zero payload
@@ -45,9 +57,17 @@ let parse_signal chunk =
   let len = Bytes.length chunk.Chunk.payload in
   if not (Ctype.equal h.Header.ctype Ctype.signal) then
     Error "Connection.parse_signal: not a signalling chunk"
-  else if len <> 9 && len <> 25 then
+  else if len <> 9 + parity_len && len <> 25 + parity_len then
     Error "Connection.parse_signal: bad payload size"
+  else if
+    not
+      (Wsc2.parity_equal
+         (Wsc2.parity_of_bytes chunk.Chunk.payload (len - parity_len))
+         (Wsc2.encode_bytes ~pos:0
+            (Bytes.sub chunk.Chunk.payload 0 (len - parity_len))))
+  then Error "Connection.parse_signal: parity mismatch"
   else begin
+    let len = len - parity_len in
     let conn_id = h.Header.c.Ftuple.id in
     let arg = Int64.to_int (Bytes.get_int64_be chunk.Chunk.payload 1) in
     match (Bytes.get_uint8 chunk.Chunk.payload 0, len) with

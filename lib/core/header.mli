@@ -17,6 +17,14 @@
       Each tuple holds the SN of the chunk's first element and the ST
       bit of its last element. *)
 
+val max_size : int
+(** Largest representable SIZE field ([0xFFFF]; it is a u16 on the
+    wire). *)
+
+val max_len : int
+(** Largest LEN {!v} accepts ([0x3FFF_FFFF]), keeping [size * len]
+    comfortably inside a native [int] on 64-bit platforms. *)
+
 type t = {
   ctype : Ctype.t;
   size : int;

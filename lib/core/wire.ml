@@ -154,3 +154,168 @@ let decode_packet b =
           else go off' (c :: acc)
   in
   go 0 []
+
+(* Zero-allocation structural packet scanner.
+
+   [Scan.packet] walks a packet image and records the start offset of
+   every non-terminator chunk without building a single [Chunk.t] or
+   copying a payload byte.  The validity predicate is byte-for-byte the
+   one [decode_packet] applies — the scanner accepts a buffer iff
+   [decode_packet] returns [Ok], with the scratch holding exactly the
+   offsets of the chunks [decode_packet] would return, in order.  The
+   checks mirrored from the slow path, per chunk at [off]:
+
+   - LEN within [Header.max_len]                    (Header.v)
+   - data chunk with LEN > 0 has SIZE >= 1          (Header.v; SIZE is a
+     u16 so the upper bound can never trip)
+   - each Ftuple SN non-negative after the exact
+     [Int64.to_int] conversion, each ST byte <= 1   (get_tuple)
+   - announced payload fits the buffer              (decode_chunk)
+   - LEN = 0 terminates the scan, rest of the
+     buffer ignored                                 (decode_packet)
+   - a residue shorter than one header must be
+     all-zero padding                               (decode_packet)
+
+   The TYPE byte needs no check: every u8 is a valid [Ctype.code].  The
+   field readers and [Scan.chunk] skip validation entirely and are only
+   meaningful at offsets a successful [packet] call produced. *)
+
+module Scan = struct
+  (* Bounds-check-free header reads for the validating loop.  These are
+     the same compiler primitives the stdlib builds [Bytes.get_uint16_be]
+     etc. on, minus the bounds check; every call site below runs after
+     [off + header_size <= length b] has been established, and all reads
+     stay inside that header. *)
+  external unsafe_get16 : bytes -> int -> int = "%caml_bytes_get16u"
+  external unsafe_get32 : bytes -> int -> int32 = "%caml_bytes_get32u"
+  external swap16 : int -> int = "%bswap16"
+  external swap32 : int32 -> int32 = "%bswap_int32"
+
+  let u8 b i = Char.code (Bytes.unsafe_get b i)
+
+  let u16 b i =
+    let x = unsafe_get16 b i in
+    if Sys.big_endian then x else swap16 x
+
+  let u32 b i =
+    let x = unsafe_get32 b i in
+    Int32.to_int (if Sys.big_endian then x else swap32 x) land 0xFFFF_FFFF
+
+  type t = {
+    mutable offs : int array;
+    (* dispatch prefix recorded while validating, so the fast path
+       never re-reads it: C.ID, and the TYPE code with the C.ST byte
+       folded into bit 8 *)
+    mutable cids : int array;
+    mutable metas : int array;
+    mutable n : int;
+  }
+
+  let create () =
+    { offs = Array.make 16 0; cids = Array.make 16 0;
+      metas = Array.make 16 0; n = 0 }
+
+  let count s = s.n
+
+  (* Unchecked reads, as documented: [i] must come from a [0, count)
+     loop over the last accepted packet. *)
+  let offset s i = Array.unsafe_get s.offs i
+  let c_id_at s i = Array.unsafe_get s.cids i
+  let ctype_code_at s i = Array.unsafe_get s.metas i land 0xFF
+  let c_st_at s i = Array.unsafe_get s.metas i >= 0x100
+
+  let push s off cid meta =
+    if s.n = Array.length s.offs then begin
+      let grow a =
+        let bigger = Array.make (2 * s.n) 0 in
+        Array.blit a 0 bigger 0 s.n;
+        bigger
+      in
+      s.offs <- grow s.offs;
+      s.cids <- grow s.cids;
+      s.metas <- grow s.metas
+    end;
+    (* the capacity check above keeps [s.n] in bounds for all three *)
+    Array.unsafe_set s.offs s.n off;
+    Array.unsafe_set s.cids s.n cid;
+    Array.unsafe_set s.metas s.n meta;
+    s.n <- s.n + 1
+
+  (* SN validity mirrors [get_tuple]: [Int64.to_int sn >= 0], i.e. bit
+     62 of the big-endian word clear (bit 63 is dropped by [to_int]) —
+     one byte read instead of a boxed [Int64]. *)
+  let tuple_ok b off = u8 b (off + 4) land 0x40 = 0 && u8 b (off + 12) <= 1
+
+  let packet s b =
+    s.n <- 0;
+    let nb = Bytes.length b in
+    let rec go off =
+      if off >= nb then true
+      else if nb - off < header_size then all_zero b off
+      else begin
+        let len = u32 b (off + 3) in
+        if len > Header.max_len then false
+        else begin
+          let code = u8 b off in
+          let is_data = code = 0 in
+          let size = u16 b (off + 1) in
+          if is_data && len > 0 && size < 1 then false
+          else if
+            not
+              (tuple_ok b (off + 7)
+              && tuple_ok b (off + 20)
+              && tuple_ok b (off + 33))
+          then false
+          else if len = 0 then true (* terminator: rest of packet ignored *)
+          else begin
+            let nbytes = if is_data then size * len else len in
+            if nb - (off + header_size) < nbytes then false
+            else begin
+              push s off
+                (u32 b (off + 7))
+                (code lor (u8 b (off + 19) lsl 8));
+              go (off + header_size + nbytes)
+            end
+          end
+        end
+      end
+    in
+    go 0
+
+  let ctype_code b off = Bytes.get_uint8 b off
+  let is_data_chunk b off = Bytes.get_uint8 b off = 0
+  let size b off = Bytes.get_uint16_be b (off + 1)
+  let len b off = get_u32 b (off + 3)
+  let c_id b off = get_u32 b (off + 7)
+  let c_sn b off = Int64.to_int (Bytes.get_int64_be b (off + 11))
+  let c_st b off = Bytes.get_uint8 b (off + 19) = 1
+  let t_id b off = get_u32 b (off + 20)
+  let t_sn b off = Int64.to_int (Bytes.get_int64_be b (off + 24))
+  let t_st b off = Bytes.get_uint8 b (off + 32) = 1
+  let x_id b off = get_u32 b (off + 33)
+  let x_sn b off = Int64.to_int (Bytes.get_int64_be b (off + 37))
+  let x_st b off = Bytes.get_uint8 b (off + 45) = 1
+
+  let tuple b off =
+    Ftuple.v
+      ~st:(Bytes.get_uint8 b (off + 12) = 1)
+      ~id:(get_u32 b off)
+      ~sn:(Int64.to_int (Bytes.get_int64_be b (off + 4)))
+      ()
+
+  let chunk b off =
+    let ctype =
+      match Bytes.get_uint8 b off with 0 -> Ctype.Data | k -> Ctype.Control k
+    in
+    let h =
+      {
+        Header.ctype;
+        size = Bytes.get_uint16_be b (off + 1);
+        len = get_u32 b (off + 3);
+        c = tuple b (off + 7);
+        t = tuple b (off + 20);
+        x = tuple b (off + 33);
+      }
+    in
+    Chunk.make_exn h (Bytes.sub b (off + header_size) (Header.payload_bytes h))
+end

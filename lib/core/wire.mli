@@ -59,6 +59,105 @@ val decode_packet : bytes -> (Chunk.t list, string) result
     end-of-buffer, or at a residue smaller than one header (treated as
     padding only if all-zero). *)
 
+(** {1 Zero-allocation packet scanning}
+
+    The fast-path front end of the flow cache
+    ([Transport.Flowcache]-based dispatch in [Transport.Multi]): walk a
+    packet image once, validating its structure and recording chunk
+    start offsets, without building [Chunk.t] values or copying payload
+    bytes.  Label fields are then read straight out of the buffer at
+    those offsets.
+
+    The scanner is {e exactly} as strict as {!decode_packet}:
+    [Scan.packet] accepts a buffer iff [decode_packet] returns [Ok] on
+    it, and on acceptance the recorded offsets are precisely where the
+    chunks of that [Ok] list start, in order (terminator and padding
+    excluded).  This equivalence is what lets the cached fast path keep
+    the slow path's all-or-nothing packet-drop semantics; it is pinned
+    down by a fuzz property in the test suite. *)
+
+module Scan : sig
+  type t
+  (** Reusable scan scratch: a growable offset array.  Create once per
+      ingest loop and pass to every {!packet} call — steady-state
+      scanning then allocates nothing. *)
+
+  val create : unit -> t
+  (** Fresh scratch (initial capacity 16 chunks, grows as needed). *)
+
+  val packet : t -> bytes -> bool
+  (** [packet s b] validates the whole packet image [b], recording the
+      start offset of each non-terminator chunk in [s].  Returns [false]
+      — and the packet must be dropped whole, exactly like a
+      {!decode_packet} error — on any malformed chunk or non-zero
+      trailing residue.  Resets [s] first, so a scratch can be reused
+      freely. *)
+
+  val count : t -> int
+  (** Number of chunk offsets recorded by the last {!packet} call. *)
+
+  val offset : t -> int -> int
+  (** [offset s i] is the start of the [i]th chunk ([0 <= i <
+      count s]).  Unchecked array access. *)
+
+  val c_id_at : t -> int -> int
+  (** [c_id_at s i] is the [i]th chunk's C.ID, recorded during the
+      validation pass — the demultiplexing key, readable without
+      touching the packet again. *)
+
+  val ctype_code_at : t -> int -> int
+  (** [ctype_code_at s i] is the [i]th chunk's TYPE code (0 = data),
+      recorded during the validation pass. *)
+
+  val c_st_at : t -> int -> bool
+  (** [c_st_at s i] is the [i]th chunk's C.ST bit, recorded during the
+      validation pass. *)
+
+  (** {2 Field readers}
+
+      Each reader takes the packet buffer and a chunk offset produced by
+      a successful {!packet} call; no bounds or validity checks are
+      performed.  Offsets within the 46-byte header are as documented at
+      the top of this file. *)
+
+  val ctype_code : bytes -> int -> int
+  (** Raw TYPE byte ([0] = data; see {!Ctype.of_code}). *)
+
+  val is_data_chunk : bytes -> int -> bool
+  (** [true] iff the TYPE byte is [0].  Note a scanned chunk is never a
+      terminator, so unlike {!Chunk.is_data} there is no LEN caveat. *)
+
+  val size : bytes -> int -> int
+  (** SIZE field (bytes per element). *)
+
+  val len : bytes -> int -> int
+  (** LEN field (element count; payload byte count for control). *)
+
+  val c_id : bytes -> int -> int
+  val c_sn : bytes -> int -> int
+
+  val c_st : bytes -> int -> bool
+  (** Connection-level ID / first-element SN / last-element ST. *)
+
+  val t_id : bytes -> int -> int
+  val t_sn : bytes -> int -> int
+
+  val t_st : bytes -> int -> bool
+  (** TPDU-level ID / first-element SN / last-element ST. *)
+
+  val x_id : bytes -> int -> int
+  val x_sn : bytes -> int -> int
+
+  val x_st : bytes -> int -> bool
+  (** External-PDU-level ID / first-element SN / last-element ST. *)
+
+  val chunk : bytes -> int -> Chunk.t
+  (** Materialise the chunk at a scanned offset — the slow-path
+      fallback's bridge back to {!Chunk.t} processing.  Equal (by
+      {!Chunk.equal}) to what {!decode_chunk} returns there.  Allocates;
+      only called off the fast path. *)
+end
+
 (** {1 Checksummed record framing}
 
     Length-prefixed, WSC-2-checksummed records for persisted endpoint

@@ -121,6 +121,7 @@ let m_sheds_sent = Obs.Metrics.counter "transport_sheds_sent_total"
 let m_sheds_received = Obs.Metrics.counter "transport_sheds_received_total"
 let m_shed_bytes = Obs.Metrics.counter "transport_shed_bytes_total"
 let m_tpdu_latency = Obs.Metrics.histogram "transport_tpdu_latency_us"
+let m_batch = Obs.Metrics.histogram "transport_ingest_batch_packets"
 let m_rtt = Obs.Metrics.histogram "transport_rtt_us"
 let m_backoff = Obs.Metrics.histogram "transport_rto_backoff_us"
 let g_rto = Obs.Metrics.gauge "transport_rto_us"
@@ -216,15 +217,38 @@ module Receiver = struct
        gate survives a crash *)
     mutable persist : (Persist.event -> unit) option;
     mutable restored_passes : int;
+    (* lowest T.ID freshly acknowledged this epoch (verified or
+       shed-honoured), [max_int] before the first.  Under the
+       monotone-label discipline this equals the epoch's first C.SN once
+       the stream head is acknowledged — the epoch's identity recovered
+       from the data labels alone, for epochs whose Open died in
+       flight *)
+    mutable ident_min : int;
+    (* fast path (DESIGN §7): per-TPDU flow cache keyed
+       (C.ID, T.ID) holding the corroborated C.SN - T.SN delta.  An
+       entry exists only while every premise the trimmed dispatch skips
+       re-checking holds — corroboration confirmed, TPDU neither acked
+       nor shed, arrival record present, gap timer armed (sack mode) —
+       so each state transition that breaks one of those premises
+       invalidates eagerly.  Shareable across epochs (Multi passes one
+       cache to every receiver it creates); entries are keyed by C.ID so
+       epoch turnover only has to invalidate its own connection's
+       rows. *)
+    fcache : int Flowcache.t;
+    scan : Wire.Scan.t;
   }
 
   let gov_key rx t_id = { Governor.conn = rx.config.conn_id; tpdu = t_id }
+
+  let invalidate_l1 rx t_id =
+    Flowcache.invalidate rx.fcache ~k1:rx.config.conn_id ~k2:t_id
 
   (* Dispose of every piece of per-TPDU soft state (verifier
      accumulator, corroboration stash, arrival record).  The governor's
      account is the caller's responsibility: the eviction callback has
      already been debited, the abort path has not. *)
   let drop_tpdu_state rx t_id =
+    invalidate_l1 rx t_id;
     ignore (Edc.Verifier.abandon rx.verifier ~t_id);
     Hashtbl.remove rx.corrob t_id;
     Hashtbl.remove rx.first_arrival t_id;
@@ -235,7 +259,7 @@ module Receiver = struct
     rx.evictions <- rx.evictions + 1
 
   let create engine config ?(bus = Busmodel.create ()) ?governor ?acked
-      ?persist ~send_ack ~capacity () =
+      ?persist ?fcache ~send_ack ~capacity () =
     validate_config config;
     let capacity_elems =
       match capacity with `Exact n | `Quota n -> n
@@ -280,6 +304,12 @@ module Receiver = struct
         shed_elems = 0;
         persist;
         restored_passes = 0;
+        ident_min = max_int;
+        fcache =
+          (match fcache with
+          | Some fc -> fc
+          | None -> Flowcache.create ~name:"tpdu" ~slots:512 ());
+        scan = Wire.Scan.create ();
       }
     in
     if own_governor then
@@ -391,13 +421,21 @@ module Receiver = struct
      the simulation alive forever. *)
   let max_nack_rounds = 200
 
+  (* Disarming the gap timer breaks the fast path's "sack implies a
+     timer is armed" premise, so each exit invalidates the TPDU's cache
+     row — otherwise a cached dispatch would skip the re-arm the slow
+     path performs. *)
   let rec arm_nack rx t_id rounds =
     Netsim.Engine.schedule rx.engine ~delay:rx.config.nack_delay (fun () ->
-        if rounds >= max_nack_rounds || Hashtbl.mem rx.acked t_id then
+        if rounds >= max_nack_rounds || Hashtbl.mem rx.acked t_id then begin
+          invalidate_l1 rx t_id;
           Hashtbl.remove rx.nack_armed t_id
+        end
         else
         match Edc.Verifier.missing rx.verifier ~t_id with
-        | None -> Hashtbl.remove rx.nack_armed t_id (* verified or dropped *)
+        | None ->
+            invalidate_l1 rx t_id;
+            Hashtbl.remove rx.nack_armed t_id (* verified or dropped *)
         | Some spans ->
             let need_ed = not (Edc.Verifier.ed_seen rx.verifier ~t_id) in
             if spans <> [] || need_ed then begin
@@ -484,6 +522,7 @@ module Receiver = struct
       drop_tpdu_state rx t_id;
       Governor.remove rx.governor ~key:(gov_key rx t_id);
       Hashtbl.replace rx.shed_tids t_id ();
+      if t_id < rx.ident_min then rx.ident_min <- t_id;
       (match
          Vreassembly.insert_new rx.shed_cover ~sn:first_elem ~len:elems
            ~st:false
@@ -537,6 +576,134 @@ module Receiver = struct
         shed_tpdu rx ~t_id ~first_elem ~elems
     | Ok _ | Error _ -> ()
 
+  (* The verifier-dispatch and governor re-accounting tail of chunk
+     processing, shared verbatim by the slow path ([on_chunk]) and the
+     flow-cache fast path ([ingest]'s cached dispatch): everything from
+     here on is work no cache may skip. *)
+  let verify_and_account rx chunk t_id =
+    let events = Edc.Verifier.on_chunk rx.verifier chunk in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Edc.Verifier.Fresh_data { t_id; t_sn; elems } ->
+            let m = corrob rx t_id in
+            if m.confirmed then place_fresh rx chunk ~t_sn ~elems
+            else m.stash <- (chunk, t_sn, elems) :: m.stash
+        | Edc.Verifier.Tpdu_verified { t_id; verdict = Edc.Verifier.Passed } ->
+            (* a passed parity covers every stashed run, so any
+               still-unconfirmed stash is safe to place now *)
+            let placed_runs =
+              match Hashtbl.find_opt rx.corrob t_id with
+              | Some m ->
+                  flush_stash rx m;
+                  (* the parity settles this TPDU's quarantined
+                     conflicts: re-assert each held run with a
+                     verified write, which reclaims bytes from any
+                     unverified squatter but never from a locked
+                     region *)
+                  List.iter
+                    (fun (sub, _, _) ->
+                      match Placement.place_verified rx.placement sub with
+                      | Ok rep ->
+                          m.placed_runs <-
+                            rep.Placement.rp_fresh
+                            @ rep.Placement.rp_benign @ m.placed_runs
+                      | Error _ -> ())
+                    (List.rev m.quarantine);
+                  m.quarantine <- [];
+                  List.iter
+                    (fun (sn, len) ->
+                      (match
+                         Vreassembly.insert_new rx.verified_cover ~sn ~len
+                           ~st:false
+                       with
+                      | Ok _ | Error `Inconsistent -> ());
+                      (* the verified bytes can never again be
+                         clobbered by conflicting data *)
+                      Placement.lock_span rx.placement ~sn ~len)
+                    m.placed_runs;
+                  m.placed_runs
+              | None -> []
+            in
+            (* verification acks the TPDU: the cached premise "not yet
+               acknowledged" just broke *)
+            invalidate_l1 rx t_id;
+            Hashtbl.remove rx.corrob t_id;
+            (match Hashtbl.find_opt rx.end_claims t_id with
+            | Some last ->
+                rx.end_confirmed <- Some last;
+                Hashtbl.remove rx.end_claims t_id
+            | None -> ());
+            if not (Hashtbl.mem rx.acked t_id) then begin
+              Hashtbl.add rx.acked t_id ();
+              if t_id < rx.ident_min then rx.ident_min <- t_id;
+              if Obs.enabled then Obs.Metrics.incr m_acks;
+              (match Hashtbl.find_opt rx.first_arrival t_id with
+              | Some t0 ->
+                  let dt = Netsim.Engine.now rx.engine -. t0 in
+                  Netsim.Stats.add rx.tpdu_latency dt;
+                  if Obs.enabled then Obs.Metrics.observe_s m_tpdu_latency dt;
+                  Hashtbl.remove rx.first_arrival t_id
+              | None -> ());
+              (* write-ahead: the bytes this ACK promises to keep go
+                 to stable storage before the ACK can reach the
+                 sender — otherwise a crash after the ACK leaves a
+                 hole the sender will never refill *)
+              (match rx.persist with
+              | Some journal ->
+                  let es = rx.config.elem_size in
+                  let buf = Placement.contents rx.placement in
+                  let runs =
+                    Persist.normalize_runs ~elem_size:es
+                      (List.filter_map
+                         (fun (sn, len) ->
+                           let off = sn * es and n = len * es in
+                           if sn >= 0 && len > 0 && off + n <= Bytes.length buf
+                           then Some (sn, Bytes.sub buf off n)
+                           else None)
+                         placed_runs)
+                  in
+                  journal
+                    (Persist.Acked
+                       {
+                         conn = rx.config.conn_id;
+                         t_id;
+                         end_confirmed = rx.end_confirmed;
+                         runs;
+                       })
+              | None -> ());
+              rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
+            end
+        | Edc.Verifier.Tpdu_verified { t_id; verdict = _ } ->
+            (* failed epoch: drop its suspect stash and end claim
+               with it *)
+            invalidate_l1 rx t_id;
+            Hashtbl.remove rx.corrob t_id;
+            Hashtbl.remove rx.end_claims t_id
+        | Edc.Verifier.Duplicate_dropped _ -> ())
+      events;
+    account rx t_id
+
+  (* Install a flow-cache row for [t_id] if — after this chunk's full
+     slow-path processing — every premise the fast path skips
+     re-checking holds.  Keyed by the receiver's own C.ID: a chunk whose
+     (possibly corrupted) C.ID differs can never populate the cache, so
+     invalidation only ever has one key to clear. *)
+  let maybe_cache rx chunk t_id =
+    match Hashtbl.find_opt rx.corrob t_id with
+    | Some { confirmed = true; delta_data = Some delta; _ } ->
+        let h = chunk.Chunk.header in
+        if
+          h.Header.c.Ftuple.id = rx.config.conn_id
+          && (not h.Header.c.Ftuple.st)
+          && (not (Hashtbl.mem rx.acked t_id))
+          && (not (Hashtbl.mem rx.shed_tids t_id))
+          && ((not rx.config.sack) || Hashtbl.mem rx.nack_armed t_id)
+          && Hashtbl.mem rx.first_arrival t_id
+        then
+          Flowcache.insert rx.fcache ~k1:rx.config.conn_id ~k2:t_id delta
+    | Some _ | None -> ()
+
   let on_chunk rx chunk =
     if Chunk.is_terminator chunk then ()
     else if Ctype.equal chunk.Chunk.header.Header.ctype Ctype.signal then
@@ -576,105 +743,8 @@ module Receiver = struct
            end
          end);
         witness rx chunk;
-        let events = Edc.Verifier.on_chunk rx.verifier chunk in
-        List.iter
-          (fun ev ->
-            match ev with
-            | Edc.Verifier.Fresh_data { t_id; t_sn; elems } ->
-                let m = corrob rx t_id in
-                if m.confirmed then place_fresh rx chunk ~t_sn ~elems
-                else m.stash <- (chunk, t_sn, elems) :: m.stash
-            | Edc.Verifier.Tpdu_verified
-                { t_id; verdict = Edc.Verifier.Passed } ->
-                (* a passed parity covers every stashed run, so any
-                   still-unconfirmed stash is safe to place now *)
-                let placed_runs =
-                  match Hashtbl.find_opt rx.corrob t_id with
-                  | Some m ->
-                      flush_stash rx m;
-                      (* the parity settles this TPDU's quarantined
-                         conflicts: re-assert each held run with a
-                         verified write, which reclaims bytes from any
-                         unverified squatter but never from a locked
-                         region *)
-                      List.iter
-                        (fun (sub, _, _) ->
-                          match Placement.place_verified rx.placement sub with
-                          | Ok rep ->
-                              m.placed_runs <-
-                                rep.Placement.rp_fresh
-                                @ rep.Placement.rp_benign @ m.placed_runs
-                          | Error _ -> ())
-                        (List.rev m.quarantine);
-                      m.quarantine <- [];
-                      List.iter
-                        (fun (sn, len) ->
-                          (match
-                             Vreassembly.insert_new rx.verified_cover ~sn ~len
-                               ~st:false
-                           with
-                          | Ok _ | Error `Inconsistent -> ());
-                          (* the verified bytes can never again be
-                             clobbered by conflicting data *)
-                          Placement.lock_span rx.placement ~sn ~len)
-                        m.placed_runs;
-                      m.placed_runs
-                  | None -> []
-                in
-                Hashtbl.remove rx.corrob t_id;
-                (match Hashtbl.find_opt rx.end_claims t_id with
-                | Some last ->
-                    rx.end_confirmed <- Some last;
-                    Hashtbl.remove rx.end_claims t_id
-                | None -> ());
-                if not (Hashtbl.mem rx.acked t_id) then begin
-                  Hashtbl.add rx.acked t_id ();
-                  if Obs.enabled then Obs.Metrics.incr m_acks;
-                  (match Hashtbl.find_opt rx.first_arrival t_id with
-                  | Some t0 ->
-                      let dt = Netsim.Engine.now rx.engine -. t0 in
-                      Netsim.Stats.add rx.tpdu_latency dt;
-                      if Obs.enabled then
-                        Obs.Metrics.observe_s m_tpdu_latency dt;
-                      Hashtbl.remove rx.first_arrival t_id
-                  | None -> ());
-                  (* write-ahead: the bytes this ACK promises to keep go
-                     to stable storage before the ACK can reach the
-                     sender — otherwise a crash after the ACK leaves a
-                     hole the sender will never refill *)
-                  (match rx.persist with
-                  | Some journal ->
-                      let es = rx.config.elem_size in
-                      let buf = Placement.contents rx.placement in
-                      let runs =
-                        Persist.normalize_runs ~elem_size:es
-                          (List.filter_map
-                             (fun (sn, len) ->
-                               let off = sn * es and n = len * es in
-                               if sn >= 0 && len > 0 && off + n <= Bytes.length buf
-                               then Some (sn, Bytes.sub buf off n)
-                               else None)
-                             placed_runs)
-                      in
-                      journal
-                        (Persist.Acked
-                           {
-                             conn = rx.config.conn_id;
-                             t_id;
-                             end_confirmed = rx.end_confirmed;
-                             runs;
-                           })
-                  | None -> ());
-                  rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
-                end
-            | Edc.Verifier.Tpdu_verified { t_id; verdict = _ } ->
-                (* failed epoch: drop its suspect stash and end claim
-                   with it *)
-                Hashtbl.remove rx.corrob t_id;
-                Hashtbl.remove rx.end_claims t_id
-            | Edc.Verifier.Duplicate_dropped _ -> ())
-          events;
-        account rx t_id
+        verify_and_account rx chunk t_id;
+        maybe_cache rx chunk t_id
       end
     end
 
@@ -683,6 +753,53 @@ module Receiver = struct
     match Wire.decode_packet b with
     | Error _ -> ()
     | Ok chunks -> List.iter (on_chunk rx) chunks
+
+  (* Fast-path dispatch of one scanned chunk (DESIGN §7).  Eligible
+     traffic — a data chunk without the C.ST bit, or an ED chunk — whose
+     (C.ID, T.ID) row is cached with a matching connection delta goes
+     straight to [verify_and_account]: the cache row's existence proves
+     the arrival bookkeeping, corroboration witness and
+     acked/shed/timer re-checks the slow path would perform are all
+     settled no-ops for this TPDU.  Anything else (miss, stale delta =
+     corrupt label, signal, C.ST carrier) reports [false] and the caller
+     falls back to [on_chunk]. *)
+  let fast_chunk rx b off =
+    let code = Wire.Scan.ctype_code b off in
+    if (code = 0 || code = 1) && not (Wire.Scan.c_st b off) then begin
+      let t_id = Wire.Scan.t_id b off in
+      match Flowcache.find rx.fcache ~k1:(Wire.Scan.c_id b off) ~k2:t_id with
+      | Some delta when Wire.Scan.c_sn b off - Wire.Scan.t_sn b off = delta ->
+          let chunk = Wire.Scan.chunk b off in
+          if Obs.enabled && Obs.Trace.active () then
+            Obs.Trace.record
+              (Obs.Trace.Chunk_rx
+                 {
+                   conn = rx.config.conn_id;
+                   tpdu = t_id;
+                   bytes = Bytes.length chunk.Chunk.payload;
+                 })
+              ~time:(Netsim.Engine.now rx.engine);
+          verify_and_account rx chunk t_id;
+          true
+      | Some _ | None -> false
+    end
+    else false
+
+  let ingest_scanned rx b off =
+    if not (fast_chunk rx b off) then on_chunk rx (Wire.Scan.chunk b off)
+
+  let ingest rx b =
+    Busmodel.nic_to_mem rx.bus (Bytes.length b);
+    if Wire.Scan.packet rx.scan b then
+      for i = 0 to Wire.Scan.count rx.scan - 1 do
+        ingest_scanned rx b (Wire.Scan.offset rx.scan i)
+      done
+
+  let ingest_batch rx packets =
+    if Obs.enabled then Obs.Metrics.observe m_batch (Array.length packets);
+    Array.iter (ingest rx) packets
+
+  let fastpath_stats rx = Flowcache.stats rx.fcache
 
   let contents rx = Placement.contents rx.placement
   let delivered_elems rx = Placement.placed_elems rx.placement
@@ -760,6 +877,8 @@ module Receiver = struct
   let epoch_passes rx =
     rx.restored_passes + (Edc.Verifier.stats rx.verifier).Edc.Verifier.tpdus_passed
 
+  let ident_tid rx = if rx.ident_min = max_int then None else Some rx.ident_min
+
   let acked_tids rx =
     Hashtbl.fold (fun k () acc -> k :: acc) rx.acked []
     |> List.sort Int.compare
@@ -821,10 +940,11 @@ module Receiver = struct
      the ledger in [acked_tids] keeps verified TPDUs from being
      re-processed, and governor occupancy is re-derived from the
      restored state — not trusted from the image. *)
-  let restore engine config ?bus ?governor ?acked ?persist ~send_ack ~capacity
-      (img : Persist.receiver_image) ~acked_tids =
+  let restore engine config ?bus ?governor ?acked ?persist ?fcache ~send_ack
+      ~capacity (img : Persist.receiver_image) ~acked_tids =
     let rx =
-      create engine config ?bus ?governor ?acked ?persist ~send_ack ~capacity ()
+      create engine config ?bus ?governor ?acked ?persist ?fcache ~send_ack
+        ~capacity ()
     in
     rx.restored_passes <- img.Persist.ri_passed;
     List.iter
@@ -961,11 +1081,16 @@ module Sender = struct
   let create engine config ?(first_tid = 0) ?(announce_open = false) ~send
       ~data () =
     validate_config config;
+    (* The Open announces the stream's first C.SN (= the first T.ID
+       under the label scheme's per-epoch numbering), which identifies
+       the epoch: the receiver distinguishes a reopen from a duplicate
+       piggybacked Open by comparing it against the connection's
+       watermark. *)
     let open_chunk =
       if announce_open then
         Some
           (Connection.signal_chunk ~conn_id:config.conn_id
-             (Connection.Open { first_csn = 0 }))
+             (Connection.Open { first_csn = first_tid }))
       else None
     in
     let open_sz =

@@ -1,18 +1,35 @@
 open Labelling
 module R = Chunk_transport.Receiver
 
-type epoch_report = { delivered : bytes; complete : bool; closed : bool }
+type epoch_report = {
+  delivered : bytes;
+  complete : bool;
+  closed : bool;
+  open_csn : int option;
+}
 
 (* An archived epoch's buffer is safe to hold by reference: the receiver
    that owned it is dropped at archive time, so nothing writes it
    again. *)
-type archived = { a_delivered : bytes; a_complete : bool }
+type archived = {
+  a_delivered : bytes;
+  a_complete : bool;
+  a_open_csn : int option;
+}
 
 type conn = {
   id : int;
   acked : (int, unit) Hashtbl.t;  (* ACK ledger, shared across epochs *)
   last_reack : (int, float) Hashtbl.t;
   mutable live : R.t option;
+  mutable live_open : int option;
+      (* the live epoch's announced Open C.SN; [None] until its Open is
+         seen (implicit establishment) *)
+  mutable open_hwm : int;
+      (* highest Open C.SN ever processed on this connection (-1 before
+         the first): the monotone-label discipline makes any Open at or
+         below the watermark a duplicate or a straggler, never a new
+         epoch *)
   mutable hist : archived list;  (* newest first *)
   mutable last_touch : float;
   mutable aborts_acc : int;
@@ -43,6 +60,20 @@ let add_overlap a b =
       a.Placement.os_verified_overwrites + b.Placement.os_verified_overwrites;
   }
 
+(* An L2 (connection-level) flow-cache entry pins the connection record
+   and the exact receiver incarnation it was populated for.  Validity is
+   re-established physically on every probe — the entry's receiver must
+   still be the connection's live epoch ([rx == fc_rx]) and the stream
+   end must not be confirmed — so epoch turnover, close, displacement
+   and crash restore all invalidate by construction rather than by
+   callback. *)
+type l2_entry = { fc_conn : conn; fc_rx : R.t }
+
+type fastpath_stats = {
+  fp_conn : Flowcache.stats;
+  fp_tpdu : Flowcache.stats;
+}
+
 type t = {
   engine : Netsim.Engine.t;
   config : Chunk_transport.config;
@@ -54,6 +85,9 @@ type t = {
   quota_elems : int;
   max_conns : int;
   persist : (Persist.event -> unit) option;
+  l1 : int Flowcache.t;  (* per-TPDU cache, shared by every receiver *)
+  l2 : l2_entry Flowcache.t;  (* hot-connection dispatch cache *)
+  scan : Wire.Scan.t;
   mutable evictions : int;
   mutable conn_gcs : int;
   mutable displaced : int;
@@ -83,6 +117,17 @@ let touch_conn m c =
     ~now:(now m);
   Governor.arm m.governor m.engine
 
+(* The live epoch's identity: the Open's announced first C.SN when one
+   was processed, else the identity recovered from the data labels
+   themselves — the lowest T.ID the epoch freshly acknowledged, which
+   under the monotone-label discipline equals the first C.SN once the
+   stream head is acknowledged.  An epoch whose Open died in flight
+   (gateways resegment envelopes, so the piggybacked Open travels and
+   dies independently of the data) is thus still identifiable: explicit
+   establishment is an accelerator, not a prerequisite. *)
+let epoch_identity c rx =
+  match c.live_open with Some _ as s -> s | None -> R.ident_tid rx
+
 let archive m c =
   match c.live with
   | None -> ()
@@ -102,11 +147,23 @@ let archive m c =
          passes over the epoch's {e whole} life ([R.epoch_passes]), so an
          epoch that verified TPDUs before a crash-restart is not dropped
          just because the restored verifier's counter restarted. *)
+      let id = epoch_identity c rx in
+      (* raise the watermark past a recovered identity too, so a
+         straggler Open naming this archived epoch cannot be adopted by
+         (or tear down) a later implicitly-established epoch *)
+      (match id with
+      | Some k when k > c.open_hwm -> c.open_hwm <- k
+      | Some _ | None -> ());
       if R.epoch_passes rx > 0 then
         c.hist <-
-          { a_delivered = R.contents rx; a_complete = R.complete rx }
+          {
+            a_delivered = R.contents rx;
+            a_complete = R.complete rx;
+            a_open_csn = id;
+          }
           :: c.hist;
       c.live <- None;
+      c.live_open <- None;
       emit m (Persist.Archived c.id);
       if Obs.enabled then
         Obs.Metrics.set g_live (max 0 (Obs.Metrics.gauge_value g_live - 1))
@@ -122,9 +179,14 @@ let close_conn m c =
   end
 
 let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
-    ?persist ~send_ack () =
+    ?persist ?fastpath_slots ~send_ack () =
   if quota_elems < 1 || max_conns < 1 then
     invalid_arg "Multi.create: quota_elems and max_conns must be >= 1";
+  let slots =
+    match fastpath_slots with
+    | Some n -> n
+    | None -> max 64 (min max_conns 65536)
+  in
   let m =
     {
       engine;
@@ -139,6 +201,9 @@ let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
       quota_elems;
       max_conns;
       persist;
+      l1 = Flowcache.create ~name:"tpdu" ~slots ();
+      l2 = Flowcache.create ~name:"conn" ~slots ();
+      scan = Wire.Scan.create ();
       evictions = 0;
       conn_gcs = 0;
       displaced = 0;
@@ -189,15 +254,19 @@ let stalest_live m =
   | Some _ as v -> v
   | None -> pick (fun _ -> true)
 
-let new_epoch m c =
-  emit m (Persist.Opened c.id);
+let new_epoch ?open_csn m c =
+  emit m (Persist.Opened { conn = c.id; open_csn });
   let rx =
     R.create m.engine
       { m.config with conn_id = c.id }
       ~bus:m.bus ~governor:m.governor ~acked:c.acked ?persist:m.persist
-      ~send_ack:m.send_ack ~capacity:(`Quota m.quota_elems) ()
+      ~fcache:m.l1 ~send_ack:m.send_ack ~capacity:(`Quota m.quota_elems) ()
   in
   c.live <- Some rx;
+  c.live_open <- open_csn;
+  (match open_csn with
+  | Some k when k > c.open_hwm -> c.open_hwm <- k
+  | Some _ | None -> ());
   if Obs.enabled then
     Obs.Metrics.set g_live (Obs.Metrics.gauge_value g_live + 1);
   touch_conn m c
@@ -214,7 +283,18 @@ let ensure_capacity m =
         close_conn m victim
     | None -> ()
 
-let handle_open m cid =
+(* Each epoch's Open announces the stream's first C.SN, and the
+   monotone-label discipline makes those strictly increase across a
+   connection's epochs.  The announced C.SN is therefore the epoch's
+   identity: an Open above the connection's watermark starts a new epoch
+   no matter what state the live one is in (its sender may have given up
+   mid-stream and moved on — waiting for the live epoch to complete
+   would leak the new epoch's chunks into the stuck epoch's buffer),
+   while an Open at or below the watermark can only be a retransmitted
+   duplicate or a straggler from an archived epoch and is ignored.  A
+   forged or duplicated Open can consequently never tear down a live
+   epoch: teardown requires a label the connection has never seen. *)
+let handle_open m cid ~first_csn =
   match Hashtbl.find_opt m.conns cid with
   | None ->
       ensure_capacity m;
@@ -224,6 +304,8 @@ let handle_open m cid =
           acked = Hashtbl.create 16;
           last_reack = Hashtbl.create 8;
           live = None;
+          live_open = None;
+          open_hwm = -1;
           hist = [];
           last_touch = now m;
           aborts_acc = 0;
@@ -239,25 +321,48 @@ let handle_open m cid =
         if Obs.Trace.active () then
           Obs.Trace.record (Obs.Trace.Conn_open { conn = cid }) ~time:(now m)
       end;
-      new_epoch m c
+      new_epoch m c ~open_csn:first_csn
   | Some c -> (
       match c.live with
       | None ->
           (* re-establishment under the same C.ID: fresh epoch, fresh
              placement, but the ACK ledger carries over so the old
-             epoch's stragglers are re-acknowledged, never re-placed *)
-          ensure_capacity m;
-          new_epoch m c
-      | Some rx ->
-          if R.complete rx then begin
-            (* the epoch's stream ended and a new Open arrived — its
-               Close was evidently lost; treat the Open as an implicit
-               close-and-reopen so C.ID reuse survives signal loss *)
-            archive m c;
-            new_epoch m c
+             epoch's stragglers are re-acknowledged, never re-placed.
+             An Open below the watermark is such a straggler itself and
+             must not resurrect its archived epoch.  An Open {e at} the
+             watermark re-establishes only when no archived epoch
+             carries that C.SN: then the epoch's state was lost (a
+             crash restore whose journal kept the Opened record but not
+             the data, or a never-verified epoch the archive dropped)
+             while its sender is evidently still transmitting. *)
+          let already_archived =
+            List.exists (fun a -> a.a_open_csn = Some first_csn) c.hist
+          in
+          if first_csn >= c.open_hwm && not already_archived then begin
+            ensure_capacity m;
+            new_epoch m c ~open_csn:first_csn
           end
-          (* else: a duplicate Open of the live epoch (it piggybacks on
-             every transmission of the first TPDU) — ignore *))
+      | Some _ when first_csn <= c.open_hwm ->
+          (* a duplicate Open of the live epoch (it piggybacks on every
+             transmission of the first TPDU) or a straggler from an
+             archived one — ignore *)
+          ()
+      | Some _ -> (
+          match c.live_open with
+          | None ->
+              (* the live epoch was established implicitly (its Open was
+                 lost or damaged in flight); this is that Open finally
+                 arriving — adopt its identity, and journal the adoption
+                 so a crash replay recovers it too *)
+              c.live_open <- Some first_csn;
+              c.open_hwm <- first_csn;
+              emit m (Persist.Opened { conn = c.id; open_csn = Some first_csn })
+          | Some _ ->
+              (* a newer epoch's Open: close-and-reopen, whether or not
+                 the live epoch ever completed — its Close (or its
+                 sender's remaining data) was evidently lost *)
+              archive m c;
+              new_epoch m c ~open_csn:first_csn))
 
 let re_ack_closed m c t_id =
   let t = now m in
@@ -323,7 +428,7 @@ let on_chunk m chunk =
     match Connection.on_chunk m.table chunk with
     | `Signal (cid, sg) -> (
         match sg with
-        | Connection.Open _ -> handle_open m cid
+        | Connection.Open { first_csn } -> handle_open m cid ~first_csn
         | Connection.Close -> (
             match Hashtbl.find_opt m.conns cid with
             | Some c -> close_conn m c
@@ -359,13 +464,85 @@ let on_packet m b =
   | Error _ -> ()
   | Ok chunks -> List.iter (on_chunk m) chunks
 
+let m_ingest_batch = Obs.Metrics.histogram "transport_ingest_batch_packets"
+
+(* Populate the L2 row for a chunk the slow path just routed: only
+   dispatch-neutral traffic (data without C.ST, or ED) of a live,
+   unfinished epoch qualifies — exactly the premises the fast dispatch
+   re-checks physically on every probe. *)
+let maybe_cache_conn m chunk =
+  let h = chunk.Chunk.header in
+  if
+    (Chunk.is_data chunk || Ctype.equal h.Header.ctype Ctype.ed)
+    && not h.Header.c.Ftuple.st
+  then
+    let cid = h.Header.c.Ftuple.id in
+    match Hashtbl.find_opt m.conns cid with
+    | Some ({ live = Some rx; _ } as c) when R.stream_end_elems rx = None ->
+        Flowcache.insert m.l2 ~k1:cid ~k2:0 { fc_conn = c; fc_rx = rx }
+    | Some _ | None -> ()
+
+(* The flow-cache fast path (DESIGN §7).  One structural scan validates
+   the whole packet (identical accept/drop behaviour to
+   [Wire.decode_packet]); each scanned chunk then probes the
+   connection cache.  A hit proves the chunk needs none of the slow
+   path's dispatch work — [Connection.on_chunk] is side-effect-free for
+   non-C.ST data and ED chunks, the epoch-reopen check cannot fire while
+   the stream end is unconfirmed — so the chunk goes straight to the
+   live receiver (whose own per-TPDU cache may trim further).  Any
+   other chunk, and any chunk whose cached premises no longer hold,
+   falls back to [on_chunk], which repopulates the cache. *)
+let ingest m b =
+  Busmodel.nic_to_mem m.bus (Bytes.length b);
+  if Wire.Scan.packet m.scan b then
+    for i = 0 to Wire.Scan.count m.scan - 1 do
+      let off = Wire.Scan.offset m.scan i in
+      let code = Wire.Scan.ctype_code_at m.scan i in
+      let fast =
+        (code = 0 || code = 1)
+        && (not (Wire.Scan.c_st_at m.scan i))
+        &&
+        let cid = Wire.Scan.c_id_at m.scan i in
+        match Flowcache.find m.l2 ~k1:cid ~k2:0 with
+        | Some e -> (
+            match e.fc_conn.live with
+            | Some rx when rx == e.fc_rx && R.stream_end_elems rx = None ->
+                touch_conn m e.fc_conn;
+                R.ingest_scanned rx b off;
+                true
+            | Some _ | None ->
+                (* the epoch turned over (or closed) under the entry *)
+                Flowcache.invalidate m.l2 ~k1:cid ~k2:0;
+                false)
+        | None -> false
+      in
+      if not fast then begin
+        let chunk = Wire.Scan.chunk b off in
+        on_chunk m chunk;
+        maybe_cache_conn m chunk
+      end
+    done
+
+let ingest_batch m packets =
+  if Obs.enabled then
+    Obs.Metrics.observe m_ingest_batch (Array.length packets);
+  Array.iter (ingest m) packets
+
+let fastpath_stats m =
+  { fp_conn = Flowcache.stats m.l2; fp_tpdu = Flowcache.stats m.l1 }
+
 let epochs m ~conn_id =
   match Hashtbl.find_opt m.conns conn_id with
   | None -> []
   | Some c ->
       List.rev_map
         (fun a ->
-          { delivered = a.a_delivered; complete = a.a_complete; closed = true })
+          {
+            delivered = a.a_delivered;
+            complete = a.a_complete;
+            closed = true;
+            open_csn = a.a_open_csn;
+          })
         c.hist
       @ (match c.live with
         | Some rx ->
@@ -374,6 +551,7 @@ let epochs m ~conn_id =
                 delivered = R.contents rx;
                 complete = R.complete rx;
                 closed = false;
+                open_csn = epoch_identity c rx;
               };
             ]
         | None -> [])
@@ -435,8 +613,18 @@ let export m : Persist.conn_image list =
         ci_acked =
           Hashtbl.fold (fun k () l -> k :: l) c.acked []
           |> List.sort Int.compare;
-        ci_hist = List.rev_map (fun a -> (a.a_delivered, a.a_complete)) c.hist;
+        ci_hist =
+          List.rev_map
+            (fun a -> (a.a_delivered, a.a_complete, a.a_open_csn))
+            c.hist;
         ci_live = Option.map R.export c.live;
+        (* snapshot the best-known identity, announced or recovered —
+           the restored endpoint's receiver starts with an empty
+           fresh-ACK record and could not re-derive it *)
+        ci_live_open =
+          (match c.live with
+          | Some rx -> epoch_identity c rx
+          | None -> c.live_open);
       }
       :: acc)
     m.conns []
@@ -458,9 +646,17 @@ let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
             acked = Hashtbl.create 16;
             last_reack = Hashtbl.create 8;
             live = None;
+            live_open = img.Persist.ci_live_open;
+            open_hwm =
+              List.fold_left
+                (fun acc (_, _, k) ->
+                  match k with Some k -> max acc k | None -> acc)
+                (match img.Persist.ci_live_open with Some k -> k | None -> -1)
+                img.Persist.ci_hist;
             hist =
               List.rev_map
-                (fun (d, cm) -> { a_delivered = d; a_complete = cm })
+                (fun (d, cm, k) ->
+                  { a_delivered = d; a_complete = cm; a_open_csn = k })
                 img.Persist.ci_hist;
             last_touch = now m;
             aborts_acc = 0;
@@ -478,7 +674,7 @@ let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
               R.restore m.engine
                 { m.config with conn_id = c.id }
                 ~bus:m.bus ~governor:m.governor ~acked:c.acked
-                ?persist:m.persist ~send_ack:m.send_ack
+                ?persist:m.persist ~fcache:m.l1 ~send_ack:m.send_ack
                 ~capacity:(`Quota m.quota_elems) ri ~acked_tids:[]
             in
             c.live <- Some rx;

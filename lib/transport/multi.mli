@@ -21,10 +21,18 @@
     connection is displaced — never the freshest, so an Open flood
     displaces its own connections, not refreshing legitimate ones. *)
 
-type epoch_report = { delivered : bytes; complete : bool; closed : bool }
+type epoch_report = {
+  delivered : bytes;
+  complete : bool;
+  closed : bool;
+  open_csn : int option;
+}
 (** One epoch's outcome at the receiver: the placed bytes, whether
-    every expected element arrived, and whether the epoch saw its
-    Close (or C.ST) — the unit the multi-connection oracle checks. *)
+    every expected element arrived, whether the epoch saw its Close (or
+    C.ST), and the first C.SN its Open announced — the epoch's identity
+    under the monotone-label discipline, [None] only when the epoch was
+    established implicitly and its Open never arrived.  This is the
+    unit the multi-connection oracle checks. *)
 
 type t
 (** A multi-connection receiving endpoint: the connection table, one
@@ -38,6 +46,7 @@ val create :
   max_conns:int ->
   ?bus:Busmodel.t ->
   ?persist:(Persist.event -> unit) ->
+  ?fastpath_slots:int ->
   send_ack:(bytes -> unit) ->
   unit ->
   t
@@ -50,12 +59,47 @@ val create :
     [?persist] is the write-ahead journal hook, forwarded into every
     epoch receiver: it sees one {!Persist.Acked} record per fresh
     acknowledgement (before the ACK leaves) plus {!Persist.Opened} /
-    {!Persist.Archived} / {!Persist.Closed} lifecycle records. *)
+    {!Persist.Archived} / {!Persist.Closed} lifecycle records.
+
+    [?fastpath_slots] sizes the two flow caches of the {!ingest} fast
+    path (rounded up to a power of two; default derived from
+    [max_conns]).  Hostile or skewed workloads that overflow the caches
+    degrade to slow-path throughput, never to different behaviour. *)
 
 val on_packet : t -> bytes -> unit
 (** Feed one wire packet: parse the envelope, route signals through the
     connection table and data to the owning epoch's receiver
     (unparseable packets are dropped, as on a real wire). *)
+
+val ingest : t -> bytes -> unit
+(** Feed one wire packet through the layered flow-cache fast path
+    (DESIGN §7): a single zero-allocation structural scan
+    ({!Labelling.Wire.Scan}) replaces full decoding, hot-connection
+    chunks dispatch via the connection cache straight to the live
+    epoch's receiver (bypassing the signalling table and demux lookups),
+    and TPDUs with a corroborated delta trim further via the per-TPDU
+    cache.  Signals, C.ST carriers, cache misses and any anomaly (stale
+    epoch, corrupt label prefix, confirmed stream end) fall back to the
+    {!on_packet} slow path chunk by chunk, repopulating the caches.
+    Behaviourally identical to {!on_packet} on every input — malformed
+    packets are dropped whole; delivery is byte-identical — as asserted
+    by the [fastpath-coherence] oracle row across every soak profile. *)
+
+val ingest_batch : t -> bytes array -> unit
+(** {!ingest} over a batch of packets, amortising per-call dispatch
+    cost; records batch occupancy in the
+    [transport_ingest_batch_packets] histogram. *)
+
+type fastpath_stats = {
+  fp_conn : Flowcache.stats;  (** connection-level (L2) cache *)
+  fp_tpdu : Flowcache.stats;  (** per-TPDU (L1) cache, shared by all receivers *)
+}
+(** Counters of the two fast-path cache layers. *)
+
+val fastpath_stats : t -> fastpath_stats
+(** Flow-cache counters accumulated since creation.  Probes are counted
+    only on the {!ingest} path, so a pure {!on_packet} endpoint reports
+    all-zero stats. *)
 
 val epochs : t -> conn_id:int -> epoch_report list
 (** Delivered buffers of the connection's epochs, oldest first; the last

@@ -43,8 +43,9 @@ type single_image = { s_acked : int list; s_rx : receiver_image }
 type conn_image = {
   ci_id : int;
   ci_acked : int list;
-  ci_hist : (bytes * bool) list;
+  ci_hist : (bytes * bool * int option) list;
   ci_live : receiver_image option;
+  ci_live_open : int option;
 }
 
 type endpoint_image = Single of single_image | Multi of conn_image list
@@ -56,7 +57,7 @@ type event =
       end_confirmed : int option;
       runs : (int * bytes) list;
     }
-  | Opened of int
+  | Opened of { conn : int; open_csn : int option }
   | Archived of int
   | Closed of int
 
@@ -171,7 +172,9 @@ let apply_event ~elem_size ~quota_elems image ev =
   | Multi conns, ev ->
       let cid =
         match ev with
-        | Acked { conn; _ } | Opened conn | Archived conn | Closed conn -> conn
+        | Acked { conn; _ } | Opened { conn; _ } | Archived conn | Closed conn
+          ->
+            conn
       in
       let conns =
         if List.exists (fun c -> c.ci_id = cid) conns then conns
@@ -180,7 +183,13 @@ let apply_event ~elem_size ~quota_elems image ev =
              journal-only image compares equal to a re-export *)
           List.sort
             (fun a b -> Int.compare a.ci_id b.ci_id)
-            ({ ci_id = cid; ci_acked = []; ci_hist = []; ci_live = None }
+            ({
+               ci_id = cid;
+               ci_acked = [];
+               ci_hist = [];
+               ci_live = None;
+               ci_live_open = None;
+             }
             :: conns)
       in
       let update c =
@@ -198,8 +207,29 @@ let apply_event ~elem_size ~quota_elems image ev =
                 ci_acked = List.sort_uniq Int.compare (t_id :: c.ci_acked);
                 ci_live =
                   Some (apply_acked ~elem_size live ~t_id ~end_confirmed ~runs);
+                (* identity recovery under the monotone-label
+                   discipline: each fresh ACK bounds the epoch's first
+                   C.SN from above, so the running minimum converges on
+                   it — covering epochs whose Open died in flight and
+                   never produced an Opened record *)
+                ci_live_open =
+                  Some
+                    (match c.ci_live_open with
+                    | Some k -> min k t_id
+                    | None -> t_id);
               }
-          | Opened _ -> { c with ci_live = Some (empty_receiver ~conn:cid) }
+          | Opened { open_csn; _ } ->
+              (* A second Opened record while an epoch is live is an
+                 adoption: the epoch was established implicitly (its Open
+                 lost in flight) and this is its identity finally
+                 arriving.  Keep the replayed receiver state — only the
+                 C.SN changes. *)
+              let live =
+                match c.ci_live with
+                | Some _ as l -> l
+                | None -> Some (empty_receiver ~conn:cid)
+              in
+              { c with ci_live = live; ci_live_open = open_csn }
           | Archived _ -> (
               match c.ci_live with
               | None -> c
@@ -209,11 +239,12 @@ let apply_event ~elem_size ~quota_elems image ev =
                       c.ci_hist
                       @ [
                           ( receiver_delivered ~elem_size ~quota_elems ri,
-                            receiver_complete ri );
+                            receiver_complete ri,
+                            c.ci_live_open );
                         ]
                     else c.ci_hist
                   in
-                  { c with ci_hist = hist; ci_live = None })
+                  { c with ci_hist = hist; ci_live = None; ci_live_open = None })
           | Closed _ -> (
               (* Close archives first on the live side; a bare Closed
                  record (torn Archive) still drops the live epoch. *)
@@ -225,11 +256,12 @@ let apply_event ~elem_size ~quota_elems image ev =
                       c.ci_hist
                       @ [
                           ( receiver_delivered ~elem_size ~quota_elems ri,
-                            receiver_complete ri );
+                            receiver_complete ri,
+                            c.ci_live_open );
                         ]
                     else c.ci_hist
                   in
-                  { c with ci_hist = hist; ci_live = None })
+                  { c with ci_hist = hist; ci_live = None; ci_live_open = None })
       in
       Multi (List.map update conns)
 
@@ -467,18 +499,31 @@ let r_receiver c =
       ri_corrob;
     }
 
+let w_hist_entry buf (d, complete, open_csn) =
+  w_bytes buf d;
+  w_bool buf complete;
+  w_opt w_int buf open_csn
+
+let r_hist_entry c =
+  let* d = r_bytes c in
+  let* complete = r_bool c in
+  let* open_csn = r_opt r_int c in
+  Ok (d, complete, open_csn)
+
 let w_conn buf ci =
   w_int buf ci.ci_id;
   w_list w_int buf ci.ci_acked;
-  w_list (w_pair w_bytes w_bool) buf ci.ci_hist;
-  w_opt w_receiver buf ci.ci_live
+  w_list w_hist_entry buf ci.ci_hist;
+  w_opt w_receiver buf ci.ci_live;
+  w_opt w_int buf ci.ci_live_open
 
 let r_conn c =
   let* ci_id = r_int c in
   let* ci_acked = r_list r_int c in
-  let* ci_hist = r_list (r_pair r_bytes r_bool) c in
+  let* ci_hist = r_list r_hist_entry c in
   let* ci_live = r_opt r_receiver c in
-  Ok { ci_id; ci_acked; ci_hist; ci_live }
+  let* ci_live_open = r_opt r_int c in
+  Ok { ci_id; ci_acked; ci_hist; ci_live; ci_live_open }
 
 (* record tags *)
 let tag_single = 0
@@ -579,8 +624,9 @@ let encode_event ev =
         w_opt w_int payload end_confirmed;
         w_list (w_pair w_int w_bytes) payload runs;
         tag_acked
-    | Opened conn ->
+    | Opened { conn; open_csn } ->
         w_int payload conn;
+        w_opt w_int payload open_csn;
         tag_opened
     | Archived conn ->
         w_int payload conn;
@@ -601,9 +647,11 @@ let decode_event (tag, payload) =
     let* runs = r_list (r_pair r_int r_bytes) c in
     Ok (Acked { conn; t_id; end_confirmed; runs })
   end
-  else if tag = tag_opened then
+  else if tag = tag_opened then begin
     let* conn = r_int c in
-    Ok (Opened conn)
+    let* open_csn = r_opt r_int c in
+    Ok (Opened { conn; open_csn })
+  end
   else if tag = tag_archived then
     let* conn = r_int c in
     Ok (Archived conn)

@@ -82,9 +82,13 @@ type single_image = {
 type conn_image = {
   ci_id : int;  (** connection id *)
   ci_acked : int list;  (** per-connection ACK ledger, ascending *)
-  ci_hist : (bytes * bool) list;
-      (** archived epochs, oldest first, as (delivered bytes, complete) *)
+  ci_hist : (bytes * bool * int option) list;
+      (** archived epochs, oldest first, as (delivered bytes, complete,
+          announced Open C.SN) — the C.SN is [None] for an epoch that
+          was only ever established implicitly *)
   ci_live : receiver_image option;  (** the live epoch, if any *)
+  ci_live_open : int option;
+      (** the live epoch's announced Open C.SN, when one was seen *)
 }
 (** One connection of a [Multi] endpoint. *)
 
@@ -102,7 +106,10 @@ type event =
     }
       (** Written {e before} the ACK packet leaves: the durable record
           of what the receiver told the sender it may forget. *)
-  | Opened of int  (** a fresh epoch started on this connection *)
+  | Opened of { conn : int; open_csn : int option }
+      (** a fresh epoch started on this connection, with the Open
+          chunk's announced first C.SN when the epoch was established
+          explicitly *)
   | Archived of int  (** the live epoch was archived on this connection *)
   | Closed of int  (** the connection was closed *)
 

@@ -66,6 +66,22 @@ let test_signal_roundtrip () =
       Connection.Close;
       Connection.Resync { c_sn = 77 } ]
 
+(* A signal must prove its own integrity: unlike data, whose damage the
+   TPDU-level EDC catches end-to-end, a damaged Open would establish an
+   epoch under a forged first C.SN with no later check to fail. *)
+let test_signal_parity_rejects_damage () =
+  let chunk =
+    Connection.signal_chunk ~conn_id:42 (Connection.Open { first_csn = 1000 })
+  in
+  for i = 0 to Bytes.length chunk.Chunk.payload - 1 do
+    let damaged = Bytes.copy chunk.Chunk.payload in
+    Bytes.set_uint8 damaged i (Bytes.get_uint8 damaged i lxor 0x10);
+    let forged = Util.ok_or_fail (Chunk.make chunk.Chunk.header damaged) in
+    match Connection.parse_signal forged with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "flipped bit at payload byte %d went undetected" i
+  done
+
 let test_connection_lifecycle () =
   let tbl = Connection.create () in
   let data = data_chunk () in
@@ -285,6 +301,8 @@ let suite =
     Alcotest.test_case "demux default handler" `Quick test_demux_default;
     Alcotest.test_case "demux whole packets" `Quick test_demux_packet;
     Alcotest.test_case "signal roundtrip" `Quick test_signal_roundtrip;
+    Alcotest.test_case "signal parity rejects damage" `Quick
+      test_signal_parity_rejects_damage;
     Alcotest.test_case "connection lifecycle" `Quick test_connection_lifecycle;
     Alcotest.test_case "in-band C.ST closes" `Quick test_inband_cst_closes;
     Alcotest.test_case "multi: close then reopen reuses C.ID" `Quick

@@ -1,0 +1,345 @@
+(* The flow-cache fast path is pure acceleration: unit tests of the
+   cache structure itself, fuzz agreement of the structural scanner with
+   the slow decoder, and properties pinning [Multi.ingest] to
+   byte-identical delivery with [Multi.on_packet] under packet
+   permutation, epoch reuse and crash-restore. *)
+
+open Labelling
+module CT = Transport.Chunk_transport
+module FC = Transport.Flowcache
+
+(* --- the cache structure ------------------------------------------ *)
+
+let test_cache_basics () =
+  let c = FC.create ~name:"test-basics" ~slots:8 () in
+  Alcotest.(check int) "slots rounded to a power of two" 8 (FC.slots c);
+  Alcotest.(check bool) "empty cache misses" true (FC.find c ~k1:3 ~k2:9 = None);
+  FC.insert c ~k1:3 ~k2:9 "v";
+  Alcotest.(check (option string)) "hit after insert" (Some "v")
+    (FC.find c ~k1:3 ~k2:9);
+  Alcotest.(check bool) "other key still misses" true
+    (FC.find c ~k1:3 ~k2:10 = None);
+  FC.invalidate c ~k1:3 ~k2:9;
+  Alcotest.(check bool) "miss after invalidate" true
+    (FC.find c ~k1:3 ~k2:9 = None);
+  let s = FC.stats c in
+  Alcotest.(check int) "hits" 1 s.FC.s_hits;
+  Alcotest.(check int) "misses" 3 s.FC.s_misses;
+  Alcotest.(check int) "insertions" 1 s.FC.s_insertions;
+  Alcotest.(check int) "invalidations" 1 s.FC.s_invalidations;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.25 (FC.hit_rate s)
+
+let test_cache_eviction () =
+  (* direct-mapped: some other key must land in key 1's slot; inserting
+     it displaces the older entry and counts one eviction *)
+  let c = FC.create ~name:"test-evict" ~slots:8 () in
+  FC.insert c ~k1:1 ~k2:0 1;
+  let rec displace k =
+    if k > 10_000 then Alcotest.fail "no colliding key found"
+    else begin
+      FC.insert c ~k1:k ~k2:0 k;
+      if FC.find c ~k1:1 ~k2:0 = None then k else displace (k + 1)
+    end
+  in
+  let k = displace 2 in
+  Alcotest.(check (option int)) "displacing key resident" (Some k)
+    (FC.find c ~k1:k ~k2:0);
+  Alcotest.(check bool) "eviction counted" true
+    ((FC.stats c).FC.s_evictions >= 1)
+
+let test_cache_negative_key_rejected () =
+  let c = FC.create ~name:"test-neg" ~slots:4 () in
+  Alcotest.check_raises "negative keys are reserved"
+    (Invalid_argument "Flowcache.insert: keys are non-negative wire IDs")
+    (fun () -> FC.insert c ~k1:(-1) ~k2:0 ())
+
+let test_cache_clear () =
+  let c = FC.create ~name:"test-clear" ~slots:16 () in
+  for k = 1 to 5 do
+    FC.insert c ~k1:k ~k2:7 k
+  done;
+  FC.clear c;
+  for k = 1 to 5 do
+    Alcotest.(check bool) "cleared" true (FC.find c ~k1:k ~k2:7 = None)
+  done;
+  (* every inserted entry either survived to be cleared (invalidation)
+     or was displaced by a colliding insert (eviction) *)
+  let s = FC.stats c in
+  Alcotest.(check int) "all five entries accounted" 5
+    (s.FC.s_invalidations + s.FC.s_evictions)
+
+(* --- scanner agreement with the decoder --------------------------- *)
+
+(* Random garbage: mirrors [Test_fuzz.gen_garbage]. *)
+let gen_garbage =
+  QCheck2.Gen.(
+    let* n = int_range 0 300 in
+    let* seed = int_range 0 0xFFFFF in
+    return
+      (Bytes.init n (fun i ->
+           Char.chr ((seed + (i * 2654435761)) land 0xFF))))
+
+(* A valid packet image, optionally damaged by a random burst. *)
+let gen_image =
+  QCheck2.Gen.(
+    let* _, chunks = Util.gen_framed_stream in
+    let* damage = bool in
+    let* burst_off = int_range 0 200 in
+    let* burst_len = int_range 1 16 in
+    let* seed = int_range 0 0xFFFF in
+    let image =
+      match Wire.encode_packet ~capacity:2048 chunks with
+      | Ok b -> b
+      | Error _ -> (
+          match
+            Wire.encode_packet (List.filteri (fun i _ -> i < 3) chunks)
+          with
+          | Ok b -> b
+          | Error _ -> Bytes.create 64)
+    in
+    if not damage then return image
+    else begin
+      let b = Bytes.copy image in
+      for k = 0 to burst_len - 1 do
+        let i = (burst_off + k) mod Bytes.length b in
+        Bytes.set b i (Char.chr ((seed + (k * 37)) land 0xFF))
+      done;
+      return b
+    end)
+
+(* [Scan.packet] accepts iff [decode_packet] returns [Ok], and then the
+   recorded offsets, cached label prefix and materialised chunks agree
+   exactly with the decoded chunk list. *)
+let scan_agrees b =
+  let scan = Wire.Scan.create () in
+  let accepted = Wire.Scan.packet scan b in
+  match Wire.decode_packet b with
+  | Error _ -> not accepted
+  | Ok chunks ->
+      let chunks = List.filter (fun c -> not (Chunk.is_terminator c)) chunks in
+      accepted
+      && Wire.Scan.count scan = List.length chunks
+      && List.for_all2
+           (fun i c ->
+             let off = Wire.Scan.offset scan i in
+             let h = c.Chunk.header in
+             Chunk.equal (Wire.Scan.chunk b off) c
+             && Wire.Scan.c_id_at scan i = h.Header.c.Ftuple.id
+             && Wire.Scan.ctype_code_at scan i = Ctype.code h.Header.ctype
+             && Wire.Scan.c_st_at scan i = h.Header.c.Ftuple.st
+             && Wire.Scan.c_id b off = h.Header.c.Ftuple.id
+             && Wire.Scan.c_sn b off = h.Header.c.Ftuple.sn
+             && Wire.Scan.t_id b off = h.Header.t.Ftuple.id
+             && Wire.Scan.t_sn b off = h.Header.t.Ftuple.sn)
+           (List.init (List.length chunks) Fun.id)
+           chunks
+
+let prop_scan_garbage =
+  QCheck2.Test.make ~name:"scan agrees with decode_packet on garbage"
+    ~count:2000 gen_garbage scan_agrees
+
+let prop_scan_images =
+  QCheck2.Test.make ~name:"scan agrees with decode_packet on (damaged) packets"
+    ~count:1000 gen_image scan_agrees
+
+(* --- Multi: cache-on vs cache-off --------------------------------- *)
+
+let multi_config =
+  { CT.default_config with CT.elem_size = 4; tpdu_elems = 16 }
+
+let mk_multi () =
+  let engine = Netsim.Engine.create ~seed:42 () in
+  Transport.Multi.create engine ~config:multi_config ~quota_elems:4096
+    ~max_conns:8
+    ~send_ack:(fun _ -> ())
+    ()
+
+(* One connection's wire life: Open, each sealed TPDU as its own
+   packet, Close. *)
+let conn_packets ?(first_tid = 0) ~conn ~seed nbytes =
+  let framer =
+    Framer.create ~elem_size:4 ~tpdu_elems:16 ~conn_id:conn ~first_tid ()
+  in
+  let data =
+    Bytes.init nbytes (fun i -> Char.chr ((seed + (i * 31)) land 0xFF))
+  in
+  let chunks =
+    match Framer.push_frame ~last:true framer data with
+    | Ok cs -> cs
+    | Error e -> failwith e
+  in
+  let sealed =
+    match Edc.Encoder.seal_tpdus chunks with
+    | Ok cs -> cs
+    | Error e -> failwith e
+  in
+  let packet cs =
+    match Wire.encode_packet cs with Ok b -> b | Error e -> failwith e
+  in
+  let open_p =
+    packet
+      [ Connection.signal_chunk ~conn_id:conn (Open { first_csn = first_tid }) ]
+  in
+  let close_p = packet [ Connection.signal_chunk ~conn_id:conn Close ] in
+  (data, (open_p :: List.map (fun c -> packet [ c ]) sealed) @ [ close_p ])
+
+let epochs_equal a b =
+  let eq (x : Transport.Multi.epoch_report) (y : Transport.Multi.epoch_report)
+      =
+    Bytes.equal x.Transport.Multi.delivered y.Transport.Multi.delivered
+    && x.Transport.Multi.complete = y.Transport.Multi.complete
+    && x.Transport.Multi.closed = y.Transport.Multi.closed
+  in
+  Transport.Multi.known_conns a = Transport.Multi.known_conns b
+  && List.for_all
+       (fun cid ->
+         List.equal eq
+           (Transport.Multi.epochs a ~conn_id:cid)
+           (Transport.Multi.epochs b ~conn_id:cid))
+       (Transport.Multi.known_conns a)
+
+(* A multi-connection packet mix under an arbitrary permutation (which
+   reorders signals against data and interleaves connections) plus
+   duplicated packets: the fast path must stay byte-identical with the
+   slow path — including on traffic that arrives before its Open. *)
+let gen_permuted_mix =
+  QCheck2.Gen.(
+    let* n_conns = int_range 1 3 in
+    let* sizes = list_repeat n_conns (map (fun n -> 4 * n) (int_range 12 225)) in
+    let* seed = int_range 0 255 in
+    let* dup = int_range 0 5 in
+    let* shuffle_seed = int_range 0 0xFFFF in
+    let* batch = int_range 1 7 in
+    let all =
+      List.concat
+        (List.mapi
+           (fun i nbytes ->
+             snd (conn_packets ~conn:(i + 1) ~seed:(seed + i) nbytes))
+           sizes)
+    in
+    let arr = Array.of_list all in
+    let n = Array.length arr in
+    let rng = Netsim.Rng.create ~seed:shuffle_seed in
+    let dups =
+      Array.init dup (fun _ -> arr.(Netsim.Rng.int rng n))
+    in
+    let mix = Array.append arr dups in
+    (* Fisher-Yates with the deterministic sim RNG *)
+    for i = Array.length mix - 1 downto 1 do
+      let j = Netsim.Rng.int rng (i + 1) in
+      let t = mix.(i) in
+      mix.(i) <- mix.(j);
+      mix.(j) <- t
+    done;
+    return (mix, batch))
+
+let prop_permuted_mix =
+  QCheck2.Test.make
+    ~name:"ingest_batch delivers byte-identically to on_packet" ~count:60
+    gen_permuted_mix
+    (fun (mix, batch) ->
+      let m_slow = mk_multi () and m_fast = mk_multi () in
+      Array.iter (Transport.Multi.on_packet m_slow) mix;
+      let i = ref 0 in
+      let n = Array.length mix in
+      while !i < n do
+        let k = min batch (n - !i) in
+        Transport.Multi.ingest_batch m_fast (Array.sub mix !i k);
+        i := !i + k
+      done;
+      epochs_equal m_slow m_fast)
+
+(* --- invalidation on epoch reuse ---------------------------------- *)
+
+let test_epoch_reuse_invalidates () =
+  let m_slow = mk_multi () and m_fast = mk_multi () in
+  let d0, epoch0 = conn_packets ~conn:5 ~seed:1 600 in
+  let d1, epoch1 = conn_packets ~conn:5 ~seed:77 ~first_tid:100_000 600 in
+  let feed m deliver = List.iter deliver (epoch0 @ epoch1) |> ignore; m in
+  let m_slow = feed m_slow (Transport.Multi.on_packet m_slow) in
+  let m_fast = feed m_fast (Transport.Multi.ingest m_fast) in
+  Alcotest.(check bool) "cache-on identical to cache-off" true
+    (epochs_equal m_slow m_fast);
+  (match Transport.Multi.epochs m_fast ~conn_id:5 with
+  | [ e0; e1 ] ->
+      Alcotest.(check bool) "epoch 0 complete" true e0.Transport.Multi.complete;
+      Alcotest.(check bool) "epoch 1 complete" true e1.Transport.Multi.complete;
+      Alcotest.(check bool) "epoch 0 bytes" true
+        (Bytes.equal (Bytes.sub e0.Transport.Multi.delivered 0 600) d0);
+      Alcotest.(check bool) "epoch 1 bytes" true
+        (Bytes.equal (Bytes.sub e1.Transport.Multi.delivered 0 600) d1)
+  | es -> Alcotest.failf "expected 2 epochs, got %d" (List.length es));
+  (* the stale epoch-0 entry was caught by the physical revalidation and
+     torn down, never served *)
+  let fp = Transport.Multi.fastpath_stats m_fast in
+  Alcotest.(check bool) "conn-cache invalidated on epoch turnover" true
+    (fp.Transport.Multi.fp_conn.FC.s_invalidations >= 1)
+
+(* --- crash restore starts cold ------------------------------------ *)
+
+let test_crash_restore_fresh_cache () =
+  let m0 = mk_multi () in
+  let d0, packets = conn_packets ~conn:3 ~seed:9 700 in
+  List.iter (Transport.Multi.ingest m0) packets;
+  let warm = Transport.Multi.fastpath_stats m0 in
+  Alcotest.(check bool) "pre-crash cache saw traffic" true
+    (warm.Transport.Multi.fp_conn.FC.s_hits > 0);
+  let image = Transport.Multi.export m0 in
+  Transport.Multi.teardown m0;
+  let engine = Netsim.Engine.create ~seed:43 () in
+  let m1 =
+    Transport.Multi.restore engine ~config:multi_config ~quota_elems:4096
+      ~max_conns:8
+      ~send_ack:(fun _ -> ())
+      image
+  in
+  (* the caches are NOT part of the persisted image: a restored endpoint
+     starts cold and repopulates from live traffic *)
+  let cold = Transport.Multi.fastpath_stats m1 in
+  Alcotest.(check int) "restored conn cache cold" 0
+    (cold.Transport.Multi.fp_conn.FC.s_hits
+    + cold.Transport.Multi.fp_conn.FC.s_misses
+    + cold.Transport.Multi.fp_conn.FC.s_insertions);
+  Alcotest.(check int) "restored tpdu cache cold" 0
+    (cold.Transport.Multi.fp_tpdu.FC.s_hits
+    + cold.Transport.Multi.fp_tpdu.FC.s_misses
+    + cold.Transport.Multi.fp_tpdu.FC.s_insertions);
+  (* post-crash retransmissions leave delivery untouched: the restored
+     ledger re-acks them, and the replayed Open cannot resurrect its
+     archived epoch (its C.SN is at the connection's watermark) *)
+  List.iter (Transport.Multi.ingest m1) packets;
+  (match Transport.Multi.epochs m1 ~conn_id:3 with
+  | [ e ] ->
+      Alcotest.(check bool) "restored epoch bytes intact" true
+        (Bytes.equal (Bytes.sub e.Transport.Multi.delivered 0 700) d0)
+  | es -> Alcotest.failf "expected 1 epoch, got %d" (List.length es));
+  (* fresh traffic — a reopen with a higher Open C.SN — flows through
+     the fast path and repopulates the cold cache *)
+  let d1, epoch1 = conn_packets ~conn:3 ~seed:10 ~first_tid:100_000 500 in
+  List.iter (Transport.Multi.ingest m1) epoch1;
+  (match Transport.Multi.epochs m1 ~conn_id:3 with
+  | [ _; e1 ] ->
+      Alcotest.(check bool) "reopened epoch complete" true
+        e1.Transport.Multi.complete;
+      Alcotest.(check bool) "reopened epoch bytes intact" true
+        (Bytes.equal (Bytes.sub e1.Transport.Multi.delivered 0 500) d1)
+  | es -> Alcotest.failf "expected 2 epochs, got %d" (List.length es));
+  let after = Transport.Multi.fastpath_stats m1 in
+  Alcotest.(check bool) "restored cache repopulates" true
+    (after.Transport.Multi.fp_conn.FC.s_insertions > 0)
+
+let suite =
+  [
+    Alcotest.test_case "cache basics" `Quick test_cache_basics;
+    Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "cache rejects negative keys" `Quick
+      test_cache_negative_key_rejected;
+    Alcotest.test_case "cache clear" `Quick test_cache_clear;
+    QCheck_alcotest.to_alcotest prop_scan_garbage;
+    QCheck_alcotest.to_alcotest prop_scan_images;
+    QCheck_alcotest.to_alcotest prop_permuted_mix;
+    Alcotest.test_case "epoch reuse invalidates the conn cache" `Quick
+      test_epoch_reuse_invalidates;
+    Alcotest.test_case "crash restore starts with a cold cache" `Quick
+      test_crash_restore_fresh_cache;
+  ]

@@ -31,5 +31,6 @@ let () =
       ("parverify", Test_parverify.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
+      ("flowcache", Test_flowcache.suite);
       ("shed", Test_shed.suite);
     ]
