@@ -388,8 +388,164 @@ let rob_shed () =
         (float_of_int sheds))
     [ 0.10; 0.20; 0.30 ]
 
+(* ROB-ISOLATE: the blast radius of a byzantine peer.  Six honest
+   senders share a Multi endpoint with a byzantine adversary holding two
+   more connections (25% of the eight peers).  The adversary speaks
+   valid wire format — every per-chunk check accepts its flaps, sealed
+   garbage TPDUs, contradictory ACKs and forged sheds — so only the
+   endpoint's anomaly scoring and quarantine stand between it and the
+   honest connections' state.  Measure the honest transfers' completion
+   time with the adversary absent vs present: containment means the
+   honest goodput keeps at least 0.9x of its clean value. *)
+let rob_isolate () =
+  let module CT = Transport.Chunk_transport in
+  section "ROB-ISOLATE" "honest goodput with 25% byzantine peers";
+  let honest = 6 and byz_conns = 2 in
+  let bytes_per_conn = 32768 in
+  let config = { CT.default_config with CT.rto = 0.05; window = 8 } in
+  let run_endpoint ~attack =
+    let engine = Netsim.Engine.create ~seed () in
+    let multi = ref None in
+    let byzantine = ref None in
+    let senders : (int, CT.Sender.t) Hashtbl.t = Hashtbl.create 8 in
+    let demux_reverse b =
+      match Labelling.Wire.decode_packet b with
+      | Error _ -> ()
+      | Ok chunks ->
+          List.iter
+            (fun ch ->
+              if not (Labelling.Chunk.is_terminator ch) then
+                let cid =
+                  ch.Labelling.Chunk.header.Labelling.Header.c
+                    .Labelling.Ftuple.id
+                in
+                match Hashtbl.find_opt senders cid with
+                | Some tx -> CT.Sender.on_chunk tx ch
+                | None -> ())
+            chunks
+    in
+    (* the adversary taps the door for its replay ring, exactly like the
+       conformance driver's wiring, and injects past the honest links *)
+    let door b =
+      (match !byzantine with
+      | Some bz -> Netsim.Byzantine.observe bz b
+      | None -> ());
+      match !multi with Some m -> Transport.Multi.on_packet m b | None -> ()
+    in
+    let forward =
+      Netsim.Link.create engine ~name:"fwd" ~rate_bps:100e6 ~delay:1e-3
+        ~mtu:config.CT.mtu ~deliver:door ()
+    in
+    let reverse =
+      Netsim.Link.create engine ~name:"ack" ~rate_bps:100e6 ~delay:1e-3
+        ~mtu:config.CT.mtu ~deliver:demux_reverse ()
+    in
+    let quota_elems =
+      CT.expected_elements config ~data_len:bytes_per_conn
+    in
+    let m =
+      Transport.Multi.create engine ~config ~quota_elems
+        ~max_conns:(honest + 8)
+        ~send_ack:(fun b -> ignore (Netsim.Link.send reverse b))
+        ()
+    in
+    multi := Some m;
+    List.iter
+      (fun cid ->
+        let tx =
+          CT.Sender.create engine
+            { config with CT.conn_id = cid }
+            ~announce_open:true
+            ~send:(fun b -> ignore (Netsim.Link.send forward b))
+            ~data:(transfer_data bytes_per_conn) ()
+        in
+        Hashtbl.replace senders cid tx;
+        CT.Sender.start tx)
+      (List.init honest (fun i -> i + 1));
+    if attack then
+      byzantine :=
+        Some
+          (Netsim.Byzantine.create engine ~seed:(seed lxor 0xB12A97)
+             ~rate:400.0 ~stop:10.0 ~conns:byz_conns
+             ~legit_conns:(List.init honest (fun i -> i + 1))
+             ~elem_size:config.CT.elem_size ~acks:true ~sheds:true
+             ~replay:true ~garbage:true
+             ~inject:(fun b ->
+               match !multi with
+               | Some m -> Transport.Multi.on_packet m b
+               | None -> ())
+             ~inject_ack:demux_reverse ());
+    (* poll for the moment every honest transfer completes; the engine
+       then drains the adversary's remaining schedule *)
+    let done_at = ref None in
+    let rec poll () =
+      if !done_at = None then
+        if Hashtbl.fold (fun _ tx ok -> ok && CT.Sender.finished tx) senders true
+        then done_at := Some (Netsim.Engine.now engine)
+        else Netsim.Engine.schedule engine ~delay:0.002 poll
+    in
+    Netsim.Engine.schedule engine ~delay:0.002 poll;
+    Netsim.Engine.run engine;
+    Hashtbl.iter
+      (fun _ tx ->
+        assert (CT.Sender.finished tx);
+        assert (not (CT.Sender.gave_up tx)))
+      senders;
+    let t =
+      match !done_at with Some t -> t | None -> Netsim.Engine.now engine
+    in
+    let goodput = float_of_int (honest * bytes_per_conn) *. 8.0 /. t in
+    let honest_boxed =
+      List.fold_left
+        (fun acc cid ->
+          match Transport.Multi.conn_stats m ~conn_id:cid with
+          | None -> acc
+          | Some cs ->
+              if
+                cs.Transport.Multi.cs_quarantines > 0
+                || cs.Transport.Multi.cs_poisoned
+              then acc + 1
+              else acc)
+        0
+        (List.init honest (fun i -> i + 1))
+    in
+    (goodput, t, Transport.Multi.quarantines m, honest_boxed, m)
+  in
+  let clean_bps, clean_t, _, _, _ = run_endpoint ~attack:false in
+  let byz_bps, byz_t, quarantines, honest_boxed, m =
+    run_endpoint ~attack:true
+  in
+  let ratio = byz_bps /. clean_bps in
+  Printf.printf
+    "  honest goodput clean %.3f Mb/s (%.3f sim s); under 25%% byzantine \
+     peers %.3f Mb/s (%.3f sim s) = %.3fx\n"
+    (clean_bps /. 1e6) clean_t (byz_bps /. 1e6) byz_t ratio;
+  Printf.printf
+    "  quarantines %d, honest connections boxed %d, quarantine drops %d, \
+     anomalies %d\n"
+    quarantines honest_boxed
+    (Transport.Multi.quarantine_drops m)
+    (Transport.Multi.anomalies m);
+  (* the acceptance claim: containment keeps honest goodput >= 0.9x and
+     never boxes an honest connection *)
+  assert (ratio >= 0.9);
+  assert (honest_boxed = 0);
+  assert (quarantines > 0);
+  Util_bench.Metrics.record ~exp:"ROB-ISOLATE" "honest goodput bps clean"
+    clean_bps;
+  Util_bench.Metrics.record ~exp:"ROB-ISOLATE" "honest goodput bps byz"
+    byz_bps;
+  Util_bench.Metrics.record ~exp:"ROB-ISOLATE" "goodput ratio" ratio;
+  Util_bench.Metrics.record ~exp:"ROB-ISOLATE" "quarantines"
+    (float_of_int quarantines);
+  Util_bench.Metrics.record ~exp:"ROB-ISOLATE" "honest boxed"
+    (float_of_int honest_boxed);
+  Util_bench.Metrics.record ~exp:"ROB-ISOLATE" "quarantine drops"
+    (float_of_int (Transport.Multi.quarantine_drops m))
+
 let run () =
   rob_rto ();
   rob_abort ();
   rob_recover ();
-  rob_shed ()
+  rob_shed ();
+  rob_isolate ()

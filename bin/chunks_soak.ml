@@ -104,7 +104,9 @@ let run_replay spec mutate =
          verified_overwrites=%d permuted=%s\n\
          fastpath=%b coherence=%s fp hits=%d misses=%d inserts=%d \
          invalidations=%d evictions=%d\n\
-         sheds tx=%d rx=%d shed_elems=%d shed_spans=%s\n"
+         sheds tx=%d rx=%d shed_elems=%d shed_spans=%s\n\
+         anomalies=%d quarantines=%d qdrops=%d poisoned=%d \
+         sheds_refused=%d byz=%s\n"
         observation.Check.Driver.ok observation.complete observation.gave_up
         observation.retransmissions observation.sack_retransmissions
         observation.nacks_sent
@@ -150,7 +152,17 @@ let run_replay spec mutate =
         | [] -> "-"
         | spans ->
             String.concat ","
-              (List.map (fun (f, n) -> Printf.sprintf "%d+%d" f n) spans));
+              (List.map (fun (f, n) -> Printf.sprintf "%d+%d" f n) spans))
+        observation.anomalies observation.quarantines
+        observation.quarantine_drops observation.conns_poisoned
+        observation.sheds_refused
+        (match observation.byz with
+        | None -> "n/a"
+        | Some b ->
+            Printf.sprintf "%d injected/%d flaps/%d honest-boxed"
+              b.Check.Driver.bo_stats.Netsim.Byzantine.injected
+              b.Check.Driver.bo_stats.Netsim.Byzantine.flaps
+              b.Check.Driver.bo_honest_quarantined);
       let violations = Check.Oracle.check ~schedule ~model ~observation in
       List.iter
         (fun v -> Printf.printf "VIOLATION %s\n" (Check.Oracle.violation_to_string v))
@@ -173,7 +185,7 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
     | None ->
         Printf.eprintf
           "error: bad --mutate %S \
-           (none|flip:N|dup:N|drop:N|corrupt-restore|overlap-clobber|shed-clobber)\n"
+           (none|flip:N|dup:N|drop:N|corrupt-restore|overlap-clobber|shed-clobber|byz-clobber)\n"
           mutate;
         exit 2
   in
@@ -214,7 +226,8 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                   "%-8s %5d schedules  %d violations  %d/%d injections \
                    undetected  overlap %d injected/%d conflicts/%d rejected  \
                    sheds %d/%d honoured/%d elems  fastpath %d runs \
-                   %d hits/%d misses/%d invalidations  %.1fs\n\
+                   %d hits/%d misses/%d invalidations  byz %d injected/%d \
+                   flaps/%d quarantines/%d refused/%d honest-boxed  %.1fs\n\
                    %!"
                   (Check.Schedule.profile_name p) report.Check.Soak.schedules_run
                   (List.length report.Check.Soak.findings)
@@ -227,6 +240,10 @@ let run_soak list_profiles profile schedules seconds seed json metrics mutate
                   report.Check.Soak.shed_elems report.Check.Soak.fp_runs
                   report.Check.Soak.fp_hits report.Check.Soak.fp_misses
                   report.Check.Soak.fp_invalidations
+                  report.Check.Soak.bz_injected report.Check.Soak.bz_flaps
+                  report.Check.Soak.bz_quarantines
+                  report.Check.Soak.bz_quarantine_drops
+                  report.Check.Soak.bz_honest_quarantined
                   report.Check.Soak.wall_seconds;
                 List.iteri print_finding report.Check.Soak.findings;
                 report)
@@ -323,9 +340,11 @@ let cmd =
           ~doc:
             "Inject a stack bug (flip:N, dup:N, drop:N, corrupt-restore \
              for a corrupted crash snapshot, overlap-clobber for a \
-             validly-sealed forged TPDU that clobbers verified bytes, or \
+             validly-sealed forged TPDU that clobbers verified bytes, \
              shed-clobber for a stack that sheds a TPDU the schedule \
-             declares mandatory) and require the oracle to catch it.")
+             declares mandatory, or byz-clobber for a stack whose \
+             byzantine quarantine is disabled) and require the oracle to \
+             catch it.")
   in
   let replay =
     Arg.(

@@ -22,6 +22,12 @@ type mutation =
           expendable, and swallow its data at the door so the sender's
           shed policy fires: the stack "completes" with Critical bytes
           missing, the shed-safety violation the oracle must catch *)
+  | Byz_clobber
+      (** disable the anomaly-scoring quarantine ([anomaly_budget = 0])
+          so a byzantine peer runs unboxed: its flap churn accumulates
+          unbounded per-connection state, the isolation-budget violation
+          the oracle must catch — proving the defense, not luck, is
+          what contains the peer *)
 
 let mutation_to_string = function
   | No_mutation -> "none"
@@ -31,6 +37,7 @@ let mutation_to_string = function
   | Corrupt_restore -> "corrupt-restore"
   | Overlap_clobber -> "overlap-clobber"
   | Shed_clobber -> "shed-clobber"
+  | Byz_clobber -> "byz-clobber"
 
 let mutation_of_string str =
   match String.split_on_char ':' str with
@@ -41,6 +48,7 @@ let mutation_of_string str =
   | [ "corrupt-restore" ] -> Some Corrupt_restore
   | [ "overlap-clobber" ] -> Some Overlap_clobber
   | [ "shed-clobber" ] -> Some Shed_clobber
+  | [ "byz-clobber" ] -> Some Byz_clobber
   | _ -> None
 
 type epoch_obs = {
@@ -89,6 +97,36 @@ type coherence_obs = {
   c_delivered : bytes;
   c_epochs : epoch_obs list option;  (* multi runs: the per-epoch join *)
 }
+
+(* Per-connection containment accounting for one byzantine connection,
+   as the endpoint saw it at quiescence. *)
+type byz_conn_obs = {
+  bc_conn : int;
+  bc_epochs : int;  (* epochs the peer ever started on this C.ID *)
+  bc_hist_bytes : int;  (* archived bytes parked on the endpoint *)
+  bc_quarantines : int;  (* admissions revoked *)
+  bc_boxed : bool;  (* still boxed (or poisoned) at quiescence *)
+}
+
+(* The byzantine adversary's own accounting plus the endpoint-side view
+   of its connections — what the isolation-budget oracle row bounds. *)
+type byz_obs = {
+  bo_stats : Netsim.Byzantine.stats;
+  bo_conns : byz_conn_obs list;
+  bo_honest_quarantined : int;
+      (* honest connections ever boxed — must stay 0: every scored
+         anomaly is provably authored, so no attacker can talk an
+         honest connection into the penalty box *)
+  bo_sender_bogus_acks : int;
+      (* fabricated ACK/NACKs the honest senders detected and ignored *)
+}
+
+(* The honest per-epoch outcomes of the blast-radius re-run: the same
+   (seed, schedule, mutation) with the byzantine peer removed.  The
+   adversary's RNG is its own and its packets bypass the shared links,
+   so the honest wire is byte-identical across the two runs — any
+   honest-outcome divergence is containment failure. *)
+type blast_obs = { b_epochs : epoch_obs list }
 
 type observation = {
   ok : bool;
@@ -153,6 +191,16 @@ type observation = {
          on slow-path runs *)
   coherence : coherence_obs option;
       (* present iff the schedule ran the fast path *)
+  (* byzantine containment (DESIGN §10); counters accumulate across
+     crash incarnations like every other endpoint statistic *)
+  anomalies : int;
+  sig_damage : int;
+  quarantines : int;
+  quarantine_drops : int;
+  conns_poisoned : int;
+  sheds_refused : int;
+  byz : byz_obs option;  (* present iff the schedule runs the adversary *)
+  blast : blast_obs option;  (* present iff [byz] is *)
 }
 
 (* The probe reads the process-wide registry, so a run's deltas are
@@ -250,7 +298,8 @@ let build_plumbing ~mutation ~trace (s : Schedule.t) engine to_receiver_raw =
     let n = !door_count in
     trec "rx packet #%d (%d bytes)" n (Bytes.length b);
     match mutation with
-    | No_mutation | Corrupt_restore | Overlap_clobber -> to_receiver_raw b
+    | No_mutation | Corrupt_restore | Overlap_clobber | Byz_clobber ->
+        to_receiver_raw b
     | Shed_clobber ->
         if carries_tid0_payload b then begin
           incr mutated;
@@ -423,6 +472,13 @@ type crash_track = {
   mutable ct_ov_rejected : int;
   mutable ct_ov_quarantined : int;
   mutable ct_ov_overwrites : int;
+  (* containment counters (multi path only) *)
+  mutable ct_anomalies : int;
+  mutable ct_sig_damage : int;
+  mutable ct_quarantines : int;
+  mutable ct_quar_drops : int;
+  mutable ct_poisoned : int;
+  mutable ct_sheds_refused : int;
 }
 
 let crash_track () =
@@ -450,6 +506,12 @@ let crash_track () =
     ct_ov_rejected = 0;
     ct_ov_quarantined = 0;
     ct_ov_overwrites = 0;
+    ct_anomalies = 0;
+    ct_sig_damage = 0;
+    ct_quarantines = 0;
+    ct_quar_drops = 0;
+    ct_poisoned = 0;
+    ct_sheds_refused = 0;
   }
 
 let absorb_overlap ct (os : Labelling.Placement.overlap_stats) =
@@ -864,6 +926,14 @@ let run_single ~mutation ~trace ?(overlap_salt = 0) (s : Schedule.t) =
     permuted = None;
     fastpath_stats = !fp;
     coherence = None;
+    anomalies = 0;
+    sig_damage = 0;
+    quarantines = 0;
+    quarantine_drops = 0;
+    conns_poisoned = 0;
+    sheds_refused = 0;
+    byz = None;
+    blast = None;
   }
 
 (* T.ID spaces of successive epochs of one connection must be disjoint
@@ -905,29 +975,37 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
            match !multi with Some m -> deliver_m m b | None -> ())
       ()
   in
-  let to_receiver_raw b = Netsim.Blackout.send crash_valve b in
+  (* The byzantine peer taps the door for its replay ring (before its
+     own injections, so it never feeds on itself). *)
+  let byzantine = ref None in
+  let to_receiver_raw b =
+    (match !byzantine with
+    | Some bz -> Netsim.Byzantine.observe bz b
+    | None -> ());
+    Netsim.Blackout.send crash_valve b
+  in
   let p = build_plumbing ~mutation ~trace s engine to_receiver_raw in
   let probe0 = probe_start () in
   (* Reverse traffic is demultiplexed to the per-connection sender by
      the C.ID every control chunk carries. *)
   let senders : (int, CT.Sender.t) Hashtbl.t = Hashtbl.create 8 in
-  let reverse_send =
-    build_reverse ~trace s engine (fun b ->
-        match Labelling.Wire.decode_packet b with
-        | Error _ -> ()
-        | Ok chunks ->
-            List.iter
-              (fun ch ->
-                if not (Labelling.Chunk.is_terminator ch) then
-                  let cid =
-                    ch.Labelling.Chunk.header.Labelling.Header.c
-                      .Labelling.Ftuple.id
-                  in
-                  match Hashtbl.find_opt senders cid with
-                  | Some tx -> CT.Sender.on_chunk tx ch
-                  | None -> ())
-              chunks)
+  let demux_reverse b =
+    match Labelling.Wire.decode_packet b with
+    | Error _ -> ()
+    | Ok chunks ->
+        List.iter
+          (fun ch ->
+            if not (Labelling.Chunk.is_terminator ch) then
+              let cid =
+                ch.Labelling.Chunk.header.Labelling.Header.c
+                  .Labelling.Ftuple.id
+              in
+              match Hashtbl.find_opt senders cid with
+              | Some tx -> CT.Sender.on_chunk tx ch
+              | None -> ())
+          chunks
   in
+  let reverse_send = build_reverse ~trace s engine demux_reverse in
   let quota_elems =
     CT.expected_elements config ~data_len:s.Schedule.data_len
   in
@@ -938,9 +1016,15 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     else None
   in
   let max_conns = s.Schedule.connections + 8 in
+  (* The byz-clobber mutation switches the quarantine off wholesale —
+     at creation and at every restore, so a crash cannot silently
+     re-arm the defense mid-mutation. *)
+  let anomaly_budget =
+    match mutation with Byz_clobber -> Some 0 | _ -> None
+  in
   let m =
     Transport.Multi.create engine ~config ~quota_elems ~max_conns
-      ?persist:persist_opt ~send_ack:reverse_send ()
+      ?persist:persist_opt ?anomaly_budget ~send_ack:reverse_send ()
   in
   multi := Some m;
   let ct = crash_track () in
@@ -962,6 +1046,13 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     ct.ct_high_water <-
       max ct.ct_high_water
         (Transport.Multi.governor_stats m).Transport.Governor.high_water;
+    ct.ct_anomalies <- ct.ct_anomalies + Transport.Multi.anomalies m;
+    ct.ct_sig_damage <- ct.ct_sig_damage + Transport.Multi.sig_damage m;
+    ct.ct_quarantines <- ct.ct_quarantines + Transport.Multi.quarantines m;
+    ct.ct_quar_drops <- ct.ct_quar_drops + Transport.Multi.quarantine_drops m;
+    ct.ct_poisoned <- ct.ct_poisoned + Transport.Multi.conns_poisoned m;
+    ct.ct_sheds_refused <-
+      ct.ct_sheds_refused + Transport.Multi.sheds_refused m;
     absorb_overlap ct (Transport.Multi.overlap_stats m)
   in
   schedule_snapshots engine s store (fun () ->
@@ -997,7 +1088,8 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
         | Persist.Multi conns ->
             let m' =
               Transport.Multi.restore engine ~config ~quota_elems ~max_conns
-                ?persist:persist_opt ~send_ack:reverse_send conns
+                ?persist:persist_opt ?anomaly_budget ~send_ack:reverse_send
+                conns
             in
             if Obs.enabled then
               Obs.Metrics.observe_s Persist.m_recovery
@@ -1140,6 +1232,26 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
              ~bogus_conns:f.Schedule.flood_conns ~elem_size:s.Schedule.elem_size
              ~inject:p.door ())
   in
+  (* The byzantine peer: own RNG (so removing it leaves every honest
+     draw untouched), forward injection straight past its own tap at
+     the door, reverse injection straight into the sender demux —
+     bypassing the shared ACK link, so forged reverse traffic cannot
+     perturb honest ACK serialisation.  Both properties together make
+     the blast-radius re-run a true counterfactual. *)
+  (match s.Schedule.byz with
+  | None -> ()
+  | Some b ->
+      byzantine :=
+        Some
+          (Netsim.Byzantine.create engine ~seed:(s.seed lxor 0xB12A97)
+             ~rate:b.Schedule.bz_rate ~stop:b.Schedule.bz_stop
+             ~conns:b.Schedule.bz_conns
+             ~legit_conns:(List.init s.Schedule.connections (fun i -> i + 1))
+             ~elem_size:s.Schedule.elem_size ~acks:b.Schedule.bz_acks
+             ~sheds:b.Schedule.bz_sheds ~replay:b.Schedule.bz_replay
+             ~garbage:b.Schedule.bz_garbage
+             ~inject:(fun b -> Netsim.Blackout.send crash_valve b)
+             ~inject_ack:demux_reverse ()));
   Netsim.Engine.run ~until:horizon engine;
   let m = match !multi with Some m -> m | None -> m in
   absorb m;
@@ -1199,6 +1311,53 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
       duplicates = 0;
       chunks_seen = 0;
     }
+  in
+  (* The endpoint-side view of the byzantine connections at quiescence.
+     The quarantine ledger survives crashes (it is persisted per
+     connection image), so [conn_stats] on the final incarnation is the
+     whole run's story. *)
+  let byz_report =
+    match !byzantine with
+    | None -> None
+    | Some bz ->
+        let conn_view cid =
+          match Transport.Multi.conn_stats m ~conn_id:cid with
+          | Some cs ->
+              {
+                bc_conn = cid;
+                bc_epochs = cs.Transport.Multi.cs_epochs;
+                bc_hist_bytes = cs.Transport.Multi.cs_hist_bytes;
+                bc_quarantines = cs.Transport.Multi.cs_quarantines;
+                bc_boxed = cs.Transport.Multi.cs_quarantined;
+              }
+          | None ->
+              {
+                bc_conn = cid;
+                bc_epochs = 0;
+                bc_hist_bytes = 0;
+                bc_quarantines = 0;
+                bc_boxed = false;
+              }
+        in
+        let honest_quarantined =
+          List.fold_left
+            (fun acc i ->
+              match Transport.Multi.conn_stats m ~conn_id:(i + 1) with
+              | Some cs
+                when cs.Transport.Multi.cs_quarantines > 0
+                     || cs.Transport.Multi.cs_poisoned ->
+                  acc + 1
+              | _ -> acc)
+            0
+            (List.init s.Schedule.connections Fun.id)
+        in
+        Some
+          {
+            bo_stats = Netsim.Byzantine.stats bz;
+            bo_conns = List.map conn_view (Netsim.Byzantine.conn_ids bz);
+            bo_honest_quarantined = honest_quarantined;
+            bo_sender_bogus_acks = sum CT.Sender.bogus_acks;
+          }
   in
   {
     ok;
@@ -1271,11 +1430,46 @@ let run_multi ~mutation ~trace (s : Schedule.t) =
     permuted = None;
     fastpath_stats = !fp;
     coherence = None;
+    anomalies = ct.ct_anomalies;
+    sig_damage = ct.ct_sig_damage;
+    quarantines = ct.ct_quarantines;
+    quarantine_drops = ct.ct_quar_drops;
+    conns_poisoned = ct.ct_poisoned;
+    sheds_refused = ct.ct_sheds_refused;
+    byz = byz_report;
+    blast = None;
   }
 
 let run ?(mutation = No_mutation) ?trace (s : Schedule.t) =
   let o =
-    if Schedule.multi_mode s then run_multi ~mutation ~trace s
+    if Schedule.multi_mode s then begin
+      let o = run_multi ~mutation ~trace s in
+      match s.Schedule.byz with
+      | None -> o
+      | Some _ ->
+          (* Blast-radius evidence: the identical (seed, schedule,
+             mutation) with the byzantine peer removed.  The peer's RNG
+             and wire paths are disjoint from every honest draw, so the
+             honest traffic is byte-identical — the oracle demands the
+             honest per-epoch outcomes agree exactly.  Forced through
+             [run_multi] even when the byz-free schedule would qualify
+             for the single path: the comparison must differ by the
+             adversary alone, not by the endpoint topology. *)
+          let o2 =
+            run_multi ~mutation ~trace:None { s with Schedule.byz = None }
+          in
+          {
+            o with
+            blast =
+              Some
+                {
+                  b_epochs =
+                    (match o2.multi with
+                    | Some m -> m.mo_epochs
+                    | None -> []);
+                };
+          }
+    end
     else
       let o = run_single ~mutation ~trace s in
       match s.Schedule.overlap with

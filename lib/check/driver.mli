@@ -43,6 +43,13 @@ type mutation =
           declares Critical/Normal — the shed-safety check must catch
           the missing bytes.  Forced directly into the endpoint configs,
           so it survives the [shed=none] shrink. *)
+  | Byz_clobber
+      (** disable the anomaly-scoring quarantine ([anomaly_budget = 0]
+          at creation {e and} at every restore) so the byzantine peer
+          runs unboxed: its Open/Close flapping accumulates
+          per-connection epochs without bound, the isolation-budget
+          violation the oracle must catch.  Proves the containment is
+          the defense's doing, not an accident of the schedule. *)
 
 val mutation_to_string : mutation -> string
 val mutation_of_string : string -> mutation option
@@ -96,6 +103,39 @@ type coherence_obs = {
       (** multi runs: the off-run's per-epoch join, for (conn, epoch)
           pairwise comparison *)
 }
+
+(** The endpoint-side containment view of one byzantine connection at
+    quiescence (the quarantine ledger is persisted per connection, so
+    this is the whole run's story even across crashes). *)
+type byz_conn_obs = {
+  bc_conn : int;
+  bc_epochs : int;  (** epochs the peer ever started on this C.ID *)
+  bc_hist_bytes : int;  (** archived-epoch bytes parked on the endpoint *)
+  bc_quarantines : int;  (** admissions revoked *)
+  bc_boxed : bool;  (** still boxed (or poisoned) at quiescence *)
+}
+
+(** What the byzantine adversary did and what it cost the endpoint —
+    the [isolation-budget] oracle row bounds {!byz_conn_obs} and the
+    [honest-immunity] row demands [bo_honest_quarantined = 0]. *)
+type byz_obs = {
+  bo_stats : Netsim.Byzantine.stats;
+  bo_conns : byz_conn_obs list;
+  bo_honest_quarantined : int;
+      (** honest connections ever boxed or poisoned — must stay 0:
+          only provably-authored anomalies are scored *)
+  bo_sender_bogus_acks : int;
+      (** fabricated ACK/NACKs the honest senders detected and
+          ignored *)
+}
+
+(** The honest per-epoch outcomes of the blast-radius re-run: the same
+    (seed, schedule, mutation) with the byzantine peer removed.  The
+    peer's RNG is its own and its packets bypass the shared links, so
+    the honest wire is byte-identical across the two runs; the
+    [blast-radius] oracle row demands the honest outcomes agree
+    exactly. *)
+type blast_obs = { b_epochs : epoch_obs list }
 
 type observation = {
   ok : bool;  (** delivered prefix equals sent data (every epoch) *)
@@ -175,6 +215,17 @@ type observation = {
           crash incarnations; all zero on slow-path runs *)
   coherence : coherence_obs option;
       (** present iff the schedule ran the fast path *)
+  anomalies : int;
+      (** protocol anomalies attributed to connections, scored and
+          unscored alike *)
+  sig_damage : int;
+      (** structurally valid signal chunks whose payload failed parity *)
+  quarantines : int;  (** admissions revoked across all connections *)
+  quarantine_drops : int;  (** events refused from boxed connections *)
+  conns_poisoned : int;  (** connections torn down by exception bulkheads *)
+  sheds_refused : int;  (** shed signals refused by the local classifier *)
+  byz : byz_obs option;  (** present iff the schedule runs the adversary *)
+  blast : blast_obs option;  (** present iff [byz] is *)
 }
 
 val horizon : float

@@ -404,4 +404,114 @@ let check ~(schedule : Schedule.t) ~(model : Model.t)
       if mo.Driver.mo_live_conns > 0 then
         fail "multi-live" "%d connections still live after quiescence"
           mo.Driver.mo_live_conns);
+  (* Byzantine containment (DESIGN §10).  The exception bulkhead must
+     never have fired in any profile: a poisoned connection means some
+     input made the endpoint throw, which the bulkhead contained — but
+     the throw itself is the bug to surface. *)
+  if o.conns_poisoned > 0 then
+    fail "bulkhead-poisoned"
+      "%d connections poisoned by exception bulkheads (the endpoint threw \
+       while processing their traffic)"
+      o.conns_poisoned;
+  (match o.byz with
+  | None -> ()
+  | Some b ->
+      (* Honest immunity: only provably-authored anomalies are scored,
+         so no byzantine input may ever talk an honest connection into
+         the penalty box. *)
+      if b.Driver.bo_honest_quarantined > 0 then
+        fail "honest-immunity"
+          "%d honest connections were quarantined under byzantine fire"
+          b.Driver.bo_honest_quarantined;
+      (* Isolation budget, part one — hard state caps per byzantine
+         connection.  Quarantine bounds an attacker to ~8 epochs per
+         admission and the re-admission backoff bounds admissions within
+         the attack window, with a wide margin below 64; each archived
+         flap epoch parks at most one quota-sized placement buffer. *)
+      let epoch_buf_cap = s.Schedule.data_len + (s.Schedule.tpdu_elems * s.Schedule.elem_size) in
+      List.iter
+        (fun (bc : Driver.byz_conn_obs) ->
+          if bc.Driver.bc_epochs > 64 then
+            fail "isolation-budget"
+              "byzantine conn %d started %d epochs (cap 64)"
+              bc.Driver.bc_conn bc.Driver.bc_epochs;
+          if bc.Driver.bc_hist_bytes > 64 * epoch_buf_cap then
+            fail "isolation-budget"
+              "byzantine conn %d parked %d archived bytes (cap %d)"
+              bc.Driver.bc_conn bc.Driver.bc_hist_bytes
+              (64 * epoch_buf_cap))
+        b.Driver.bo_conns;
+      (* Isolation budget, part two — the defense actually fired.  A
+         connection accumulates at most 8 epochs per scoring life (the
+         9th scored Open trips the box first), and a restore resets the
+         score at most once per crash; epochs beyond that bound are
+         only reachable through a quarantine-and-readmit cycle, so at
+         least one revocation must have been counted.  This is the row
+         that catches the byz-clobber mutation: with the budget
+         disabled the peer flaps far past the bound and the revocation
+         count stays zero. *)
+      List.iter
+        (fun (bc : Driver.byz_conn_obs) ->
+          if
+            bc.Driver.bc_epochs > 8 * (1 + o.restores)
+            && o.quarantines = 0
+          then
+            fail "isolation-budget"
+              "byzantine conn %d started %d epochs (> %d) yet no admission \
+               was ever revoked — the quarantine never fired"
+              bc.Driver.bc_conn bc.Driver.bc_epochs
+              (8 * (1 + o.restores)))
+        b.Driver.bo_conns;
+      (* Blast radius: the byz-free re-run (same seed, schedule and
+         mutation; the adversary's RNG and wire paths are disjoint from
+         every honest draw) must report identical honest per-epoch
+         outcomes.  Any divergence means byzantine traffic leaked into
+         honest delivery — containment failed. *)
+      match o.blast with
+      | None ->
+          fail "blast-radius"
+            "byzantine schedule ran without its byz-free counterfactual"
+      | Some bl -> (
+          match o.multi with
+          | None ->
+              fail "blast-radius"
+                "byzantine schedule ran outside the multi path"
+          | Some mo ->
+              List.iter
+                (fun (e : Driver.epoch_obs) ->
+                  match
+                    List.find_opt
+                      (fun (e' : Driver.epoch_obs) ->
+                        e'.Driver.e_conn = e.Driver.e_conn
+                        && e'.Driver.e_epoch = e.Driver.e_epoch)
+                      bl.Driver.b_epochs
+                  with
+                  | None ->
+                      fail "blast-radius"
+                        "conn %d epoch %d missing from the byz-free re-run"
+                        e.Driver.e_conn e.Driver.e_epoch
+                  | Some e' ->
+                      if
+                        e'.Driver.e_complete <> e.Driver.e_complete
+                        || e'.Driver.e_gave_up <> e.Driver.e_gave_up
+                      then
+                        fail "blast-radius"
+                          "conn %d epoch %d: complete %b / gave-up %b under \
+                           byzantine fire, %b / %b without"
+                          e.Driver.e_conn e.Driver.e_epoch e.Driver.e_complete
+                          e.Driver.e_gave_up e'.Driver.e_complete
+                          e'.Driver.e_gave_up;
+                      match (e.Driver.e_delivered, e'.Driver.e_delivered) with
+                      | Some a, Some b when not (Bytes.equal a b) ->
+                          fail "blast-radius"
+                            "conn %d epoch %d: delivery under byzantine fire \
+                             diverges from the byz-free run at byte %d"
+                            e.Driver.e_conn e.Driver.e_epoch (first_diff a b)
+                      | Some _, None | None, Some _ ->
+                          fail "blast-radius"
+                            "conn %d epoch %d: delivered on one side of the \
+                             byz-free comparison only"
+                            e.Driver.e_conn e.Driver.e_epoch
+                      | (Some _ | None), _ -> ())
+                mo.Driver.mo_epochs));
   List.rev !vs

@@ -11,6 +11,7 @@ type profile =
   | Overlap_hostile
   | Degrade_hostile
   | Fastpath_hostile
+  | Byzantine_hostile
 
 let profile_name = function
   | Clean -> "clean"
@@ -23,6 +24,7 @@ let profile_name = function
   | Overlap_hostile -> "overlap-hostile"
   | Degrade_hostile -> "degrade-hostile"
   | Fastpath_hostile -> "fastpath-hostile"
+  | Byzantine_hostile -> "byzantine-hostile"
 
 let profile_of_name = function
   | "clean" -> Some Clean
@@ -35,6 +37,7 @@ let profile_of_name = function
   | "overlap-hostile" -> Some Overlap_hostile
   | "degrade-hostile" -> Some Degrade_hostile
   | "fastpath-hostile" -> Some Fastpath_hostile
+  | "byzantine-hostile" -> Some Byzantine_hostile
   | _ -> None
 
 let all_profiles =
@@ -49,6 +52,7 @@ let all_profiles =
     Overlap_hostile;
     Degrade_hostile;
     Fastpath_hostile;
+    Byzantine_hostile;
   ]
 
 type spread = Round_robin | Random_path | Route_change of float
@@ -91,6 +95,20 @@ type overlap = {
   ov_dup : bool;  (** divergent duplicates of observed chunks *)
   ov_forge : bool;  (** forged corroborated TPDUs over observed ranges *)
   ov_resplit : bool;  (** overlapping gateway-style re-split chains *)
+}
+
+type byz = {
+  bz_rate : float;  (** hostile actions per simulated second *)
+  bz_stop : float;  (** the byzantine peer goes quiet here *)
+  bz_conns : int;  (** distinct byzantine connection ids in play *)
+  bz_acks : bool;
+      (** ACKs for never-sent TPDUs and contradictory ACK/NACK pairs on
+          the reverse path *)
+  bz_sheds : bool;  (** forged [Shed_tpdu] naming honest Critical TPDUs *)
+  bz_replay : bool;  (** verbatim replays of signals from archived epochs *)
+  bz_garbage : bool;
+      (** extra label-plausible garbage TPDUs sealed with self-consistent
+          WSC-2 parities (they verify; the labels are the only lie) *)
 }
 
 type t = {
@@ -139,17 +157,23 @@ type t = {
           [Receiver.ingest]) instead of [on_packet]; the
           [fastpath-coherence] oracle row re-runs the schedule with the
           cache off and demands identical outcomes *)
+  byz : byz option;
+      (** a wire-conformant but protocol-violating peer; the
+          [blast-radius] oracle row re-runs the schedule with this peer
+          removed and demands identical honest outcomes *)
 }
 
 let faultless s =
   s.loss = 0.0 && s.corrupt = 0.0 && s.duplicate = 0.0 && s.jitter = 0.0
   && s.dropper = None && s.ack_blackhole = None && s.outage = None
   && s.flood = None && s.overlap = None && s.shed = None && s.crashes = []
+  && s.byz = None
 
 (* Schedules that exercise the demultiplexing receiver (several
    connections, connection reuse, or adversarial connection traffic) run
    through the driver's multi-connection path. *)
-let multi_mode s = s.connections > 1 || s.reopen || s.flood <> None
+let multi_mode s =
+  s.connections > 1 || s.reopen || s.flood <> None || s.byz <> None
 
 (* The TPDU partition of one stream, mirroring [Framer]'s cutting rules
    (and [Model.of_schedule]): frames pad to whole elements, a TPDU
@@ -283,7 +307,7 @@ let generate ~profile ~seed =
     | Lossy | Hostile | Outage_recover | Crash_restart | Overlap_hostile
     | Fastpath_hostile ->
         int_in rng 1 16384
-    | Hostile_flood | Crash_flood -> int_in rng 1 8192
+    | Hostile_flood | Crash_flood | Byzantine_hostile -> int_in rng 1 8192
     | Degrade_hostile ->
         (* enough data for several TPDUs, so the shed pattern has
            something to bite on *)
@@ -294,12 +318,14 @@ let generate ~profile ~seed =
     match profile with
     | Clean -> 0.0
     | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
-    | Crash_flood | Overlap_hostile | Degrade_hostile | Fastpath_hostile ->
+    | Crash_flood | Overlap_hostile | Degrade_hostile | Fastpath_hostile
+    | Byzantine_hostile ->
         if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 3e-4 else 0.0
   in
   let dropper =
     match profile with
-    | Clean | Outage_recover | Crash_restart | Crash_flood | Overlap_hostile ->
+    | Clean | Outage_recover | Crash_restart | Crash_flood | Overlap_hostile
+    | Byzantine_hostile ->
         None
     | Lossy | Hostile | Hostile_flood | Fastpath_hostile ->
         if Netsim.Rng.bool rng 0.3 then
@@ -333,6 +359,9 @@ let generate ~profile ~seed =
     | Fastpath_hostile ->
         (* a mix: exercise both the single-receiver and the
            demultiplexing fast path *)
+        int_in rng 1 3
+    | Byzantine_hostile ->
+        (* the honest population the blast-radius oracle watches *)
         int_in rng 1 3
     | _ -> 1
   in
@@ -425,7 +454,8 @@ let generate ~profile ~seed =
       loss =
         (match profile with
         | Clean -> 0.0
-        | Crash_restart | Crash_flood | Overlap_hostile | Degrade_hostile ->
+        | Crash_restart | Crash_flood | Overlap_hostile | Degrade_hostile
+        | Byzantine_hostile ->
             (* light loss: enough to keep TPDUs in flight across crash
                points (or exercise Critical retransmission under
                degradation), not enough to drown the recovery signal *)
@@ -435,7 +465,10 @@ let generate ~profile ~seed =
             if Netsim.Rng.bool rng 0.7 then float_in rng 0.0 0.08 else 0.0);
       corrupt =
         (match profile with
-        | Clean | Lossy | Outage_recover | Crash_restart | Degrade_hostile ->
+        | Clean | Lossy | Outage_recover | Crash_restart | Degrade_hostile
+        | Byzantine_hostile ->
+            (* no corruption: keeps anomaly attribution unambiguous, so
+               the blast-radius comparison isolates byzantine effects *)
             0.0
         | Crash_flood -> float_in rng 0.002 0.02
         | Hostile | Hostile_flood | Overlap_hostile | Fastpath_hostile ->
@@ -445,7 +478,7 @@ let generate ~profile ~seed =
         | Clean -> 0.0
         | Lossy | Hostile | Hostile_flood | Outage_recover | Crash_restart
         | Crash_flood | Overlap_hostile | Degrade_hostile
-        | Fastpath_hostile ->
+        | Fastpath_hostile | Byzantine_hostile ->
             if Netsim.Rng.bool rng 0.5 then float_in rng 0.0 0.05 else 0.0);
       dropper;
       ack_blackhole;
@@ -456,6 +489,7 @@ let generate ~profile ~seed =
       crashes = [] (* filled below *);
       snap_period = 0.0 (* filled below *);
       fastpath = profile = Fastpath_hostile (* re-drawn below *);
+      byz = None (* drawn last, below *);
     }
   in
   let rto = estimate_rto base in
@@ -495,11 +529,22 @@ let generate ~profile ~seed =
           end
         in
         gen n (float_in rng 0.005 0.05) []
+    | Byzantine_hostile ->
+        (* occasionally crash mid-attack: quarantine state must survive
+           the restore (persisted in the connection images) *)
+        if Netsim.Rng.bool rng 0.3 then begin
+          let cr_time = float_in rng (2.0 *. rto) (8.0 *. rto) in
+          let cr_restart = float_in rng (2.0 *. rto) (6.0 *. rto) in
+          [ { cr_time; cr_restart } ]
+        end
+        else []
     | _ -> []
   in
   let snap_period =
     match profile with
     | Crash_restart | Crash_flood -> float_in rng (5.0 *. rto) (20.0 *. rto)
+    | Byzantine_hostile when crashes <> [] ->
+        float_in rng (5.0 *. rto) (20.0 *. rto)
     | _ -> 0.0
   in
   (* The RTO estimator only makes sense against real adversity, and a
@@ -540,6 +585,25 @@ let generate ~profile ~seed =
   let fastpath =
     profile = Fastpath_hostile || Netsim.Rng.bool rng (1.0 /. 3.0)
   in
+  (* Drawn after [fastpath] under the same drawn-last rule.  The flap
+     rate is kept high enough that an unquarantined peer demonstrably
+     exceeds the isolation budget, which is what lets the byz-clobber
+     mutation be caught. *)
+  let byz =
+    match profile with
+    | Byzantine_hostile ->
+        Some
+          {
+            bz_rate = float_in rng 150.0 400.0;
+            bz_stop = float_in rng 0.5 1.0;
+            bz_conns = int_in rng 1 2;
+            bz_acks = Netsim.Rng.bool rng 0.6;
+            bz_sheds = Netsim.Rng.bool rng 0.6;
+            bz_replay = Netsim.Rng.bool rng 0.6;
+            bz_garbage = Netsim.Rng.bool rng 0.6;
+          }
+    | _ -> None
+  in
   {
     base with
     rto;
@@ -552,6 +616,7 @@ let generate ~profile ~seed =
     crashes;
     snap_period;
     fastpath;
+    byz;
   }
 
 (* {2 Flat text round-trip}
@@ -722,6 +787,47 @@ let overlap_of_string str =
         | _ -> None)
     | _ -> None
 
+let byz_to_string = function
+  | None -> "-"
+  | Some b ->
+      Printf.sprintf "%.17g:%.17g:%d:%b:%b:%b:%b" b.bz_rate b.bz_stop
+        b.bz_conns b.bz_acks b.bz_sheds b.bz_replay b.bz_garbage
+
+let byz_of_string str =
+  if str = "-" then Some None
+  else
+    match String.split_on_char ':' str with
+    | [ r; s; c; a; sh; rp; g ] -> (
+        match
+          ( float_of_string_opt r,
+            float_of_string_opt s,
+            int_of_string_opt c,
+            bool_of_string_opt a,
+            bool_of_string_opt sh,
+            bool_of_string_opt rp,
+            bool_of_string_opt g )
+        with
+        | ( Some bz_rate,
+            Some bz_stop,
+            Some bz_conns,
+            Some bz_acks,
+            Some bz_sheds,
+            Some bz_replay,
+            Some bz_garbage ) ->
+            Some
+              (Some
+                 {
+                   bz_rate;
+                   bz_stop;
+                   bz_conns;
+                   bz_acks;
+                   bz_sheds;
+                   bz_replay;
+                   bz_garbage;
+                 })
+        | _ -> None)
+    | _ -> None
+
 let shed_to_string = function
   | None -> "-"
   | Some sh -> Printf.sprintf "%d:%d" sh.sh_every sh.sh_txs
@@ -799,6 +905,7 @@ let to_string s =
       Printf.sprintf "crashes=%s" (crashes_to_string s.crashes);
       Printf.sprintf "snap_period=%.17g" s.snap_period;
       Printf.sprintf "fastpath=%b" s.fastpath;
+      Printf.sprintf "byz=%s" (byz_to_string s.byz);
     ]
 
 let known_fields =
@@ -808,7 +915,7 @@ let known_fields =
     "give_up_txs"; "state_budget"; "state_ttl"; "connections"; "reopen";
     "paths"; "skew"; "jitter"; "spread"; "rate_bps"; "delay"; "gateways";
     "loss"; "corrupt"; "duplicate"; "dropper"; "ack_blackhole"; "outage";
-    "flood"; "overlap"; "shed"; "crashes"; "snap_period"; "fastpath";
+    "flood"; "overlap"; "shed"; "crashes"; "snap_period"; "fastpath"; "byz";
   ]
 
 let unknown_fields str =
@@ -879,6 +986,7 @@ let of_string str =
   let* crashes = Option.bind (find "crashes") crashes_of_string in
   let* snap_period = flt "snap_period" in
   let* fastpath = bol "fastpath" in
+  let* byz = Option.bind (find "byz") byz_of_string in
   Some
     {
       seed;
@@ -918,6 +1026,7 @@ let of_string str =
       crashes;
       snap_period;
       fastpath;
+      byz;
     }
 
 (* {2 Validation}
@@ -1007,6 +1116,19 @@ let validate s =
           else if o.ov_stop < 0.0 then err "overlap stop cannot be negative"
           else if not (o.ov_dup || o.ov_forge || o.ov_resplit) then
             err "overlap must enable at least one mode"
+          else Ok ()
+      | None -> Ok ()
+    in
+    let* () =
+      match s.byz with
+      | Some b ->
+          if b.bz_rate <= 0.0 then err "byz rate must be positive"
+          else if b.bz_stop < 0.0 then err "byz stop cannot be negative"
+          else if b.bz_conns < 1 then err "byz conns must be >= 1"
+          else if s.shed <> None then
+            err
+              "byz cannot combine with shed (shed is specified for the \
+               single-transfer path; byz forces the multi path)"
           else Ok ()
       | None -> Ok ()
     in

@@ -61,6 +61,17 @@ type profile =
           and the [fastpath-coherence] oracle row replays the whole
           schedule with the cache off, demanding identical delivery and
           identical verdicts *)
+  | Byzantine_hostile
+      (** a wire-conformant but protocol-violating peer alongside the
+          honest population: Open/Close flapping that parks archived
+          epochs, label-plausible garbage TPDUs sealed with
+          self-consistent parities, ACKs for never-sent TPDUs and
+          contradictory ACK/NACK pairs, forged [Shed_tpdu] naming honest
+          Critical streams, and verbatim replays of archived-epoch
+          signals — the receiver's anomaly scoring must quarantine the
+          byzantine connections while the [blast-radius] oracle row
+          re-runs the schedule without the attacker and demands
+          identical honest outcomes *)
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -113,6 +124,20 @@ type shed = {
           transmissions (must be [< give_up_txs]) *)
 }
 
+type byz = {
+  bz_rate : float;  (** hostile actions per simulated second *)
+  bz_stop : float;  (** the byzantine peer goes quiet here *)
+  bz_conns : int;  (** distinct byzantine connection ids in play *)
+  bz_acks : bool;
+      (** ACKs for never-sent TPDUs and contradictory ACK/NACK pairs on
+          the reverse path *)
+  bz_sheds : bool;  (** forged [Shed_tpdu] naming honest Critical TPDUs *)
+  bz_replay : bool;  (** verbatim replays of signals from archived epochs *)
+  bz_garbage : bool;
+      (** extra label-plausible garbage TPDUs sealed with self-consistent
+          WSC-2 parities (they verify; the labels are the only lie) *)
+}
+
 type t = {
   seed : int;
   profile : profile;
@@ -162,6 +187,11 @@ type t = {
           ([ingest]) instead of [on_packet]; any schedule may draw it,
           and the [fastpath-coherence] oracle row re-runs the schedule
           with the cache off and demands identical outcomes *)
+  byz : byz option;
+      (** byzantine peer ({!Netsim.Byzantine}): valid wire format,
+          violated protocol; forces the multi path, and the
+          [blast-radius] oracle row re-runs the schedule with the peer
+          removed and demands identical honest outcomes *)
 }
 
 val generate : profile:profile -> seed:int -> t
@@ -178,8 +208,8 @@ val faultless : t -> bool
 
 val multi_mode : t -> bool
 (** The schedule exercises the demultiplexing receiver (more than one
-    connection, connection reuse, or a flood adversary) and runs through
-    the driver's multi-connection path. *)
+    connection, connection reuse, a flood adversary, or a byzantine
+    peer) and runs through the driver's multi-connection path. *)
 
 val config_of : t -> Transport.Chunk_transport.config
 (** Includes the shed contract: [classify] marks {!sheddable_tid} T.IDs

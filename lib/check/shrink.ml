@@ -17,6 +17,7 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
       t "snap_period=0" (s.crashes <> [] && s.snap_period > 0.0)
         { s with snap_period = 0.0 };
       t "flood=none" (s.flood <> None) { s with flood = None };
+      t "byz=none" (s.byz <> None) { s with byz = None };
       t "overlap=none" (s.overlap <> None) { s with overlap = None };
       t "outage=none" (s.outage <> None) { s with outage = None };
       t "shed=none" (s.shed <> None) { s with shed = None };
@@ -65,6 +66,33 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
             { s with gateways = List.filteri (fun j _ -> j <> i) s.gateways } ))
       s.gateways
   in
+  (* Disarming one byzantine mode at a time (or dropping to one byz
+     connection, or halving the flap rate) isolates which behaviour the
+     counterexample actually needs. *)
+  let shrink_byz =
+    match s.byz with
+    | None -> []
+    | Some b ->
+        let w name cond v =
+          t name cond { s with byz = Some v }
+        in
+        [
+          w "byz-acks=off" b.Schedule.bz_acks
+            { b with Schedule.bz_acks = false };
+          w "byz-sheds=off" b.Schedule.bz_sheds
+            { b with Schedule.bz_sheds = false };
+          w "byz-replay=off" b.Schedule.bz_replay
+            { b with Schedule.bz_replay = false };
+          w "byz-garbage=off" b.Schedule.bz_garbage
+            { b with Schedule.bz_garbage = false };
+          w "byz-conns=1"
+            (b.Schedule.bz_conns > 1)
+            { b with Schedule.bz_conns = 1 };
+          w "byz-halve-rate"
+            (b.Schedule.bz_rate > 50.0)
+            { b with Schedule.bz_rate = b.Schedule.bz_rate /. 2.0 };
+        ]
+  in
   let unbatch =
     if List.exists (fun g -> g.Schedule.gw_batch > 1) s.gateways then
       Some
@@ -76,7 +104,8 @@ let transforms (s : Schedule.t) : (string * Schedule.t) list =
           } )
     else None
   in
-  List.filter_map Fun.id (base @ drop_crashes @ drop_gateways @ [ unbatch ])
+  List.filter_map Fun.id
+    (base @ shrink_byz @ drop_crashes @ drop_gateways @ [ unbatch ])
 
 let still_violating ?mutation s =
   let model = Model.of_schedule s in

@@ -21,6 +21,12 @@ type report = {
   fp_hits : int;
   fp_misses : int;
   fp_invalidations : int;
+  bz_injected : int;
+  bz_flaps : int;
+  bz_anomalies : int;
+  bz_quarantines : int;
+  bz_quarantine_drops : int;
+  bz_honest_quarantined : int;
   wall_seconds : float;
 }
 
@@ -51,6 +57,12 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
   let shed_elems = ref 0 in
   let fp_runs = ref 0 in
   let fp = ref Transport.Flowcache.zero_stats in
+  let bz_injected = ref 0 in
+  let bz_flaps = ref 0 in
+  let bz_anomalies = ref 0 in
+  let bz_quarantines = ref 0 in
+  let bz_quarantine_drops = ref 0 in
+  let bz_honest_quarantined = ref 0 in
   let i = ref 0 in
   while !i < schedules && not (out_of_time ()) do
     let sched_seed = Netsim.Rng.next rng in
@@ -65,6 +77,17 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     shed_elems := !shed_elems + observation.Driver.shed_elems;
     if schedule.Schedule.fastpath then incr fp_runs;
     fp := Transport.Flowcache.add_stats !fp observation.Driver.fastpath_stats;
+    bz_anomalies := !bz_anomalies + observation.Driver.anomalies;
+    bz_quarantines := !bz_quarantines + observation.Driver.quarantines;
+    bz_quarantine_drops :=
+      !bz_quarantine_drops + observation.Driver.quarantine_drops;
+    (match observation.Driver.byz with
+    | None -> ()
+    | Some b ->
+        bz_injected := !bz_injected + b.Driver.bo_stats.Netsim.Byzantine.injected;
+        bz_flaps := !bz_flaps + b.Driver.bo_stats.Netsim.Byzantine.flaps;
+        bz_honest_quarantined :=
+          !bz_honest_quarantined + b.Driver.bo_honest_quarantined);
     (match Oracle.check ~schedule ~model ~observation with
     | [] -> ()
     | violations ->
@@ -108,6 +131,12 @@ let run_profile ?(mutation = Driver.No_mutation) ?(schedules = 1000) ?seconds
     fp_hits = !fp.Transport.Flowcache.s_hits;
     fp_misses = !fp.Transport.Flowcache.s_misses;
     fp_invalidations = !fp.Transport.Flowcache.s_invalidations;
+    bz_injected = !bz_injected;
+    bz_flaps = !bz_flaps;
+    bz_anomalies = !bz_anomalies;
+    bz_quarantines = !bz_quarantines;
+    bz_quarantine_drops = !bz_quarantine_drops;
+    bz_honest_quarantined = !bz_honest_quarantined;
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
@@ -150,14 +179,16 @@ let json_of_finding f =
 
 let json_of_report r =
   Printf.sprintf
-    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"sheds_signalled\":%d,\"sheds_honoured\":%d,\"shed_elems\":%d,\"fastpath_runs\":%d,\"fastpath_hits\":%d,\"fastpath_misses\":%d,\"fastpath_invalidations\":%d,\"wall_seconds\":%.3f}"
+    "{\"profile\":%s,\"mutation\":%s,\"schedules_run\":%d,\"findings\":[%s],\"detect_trials\":%d,\"detect_undetected\":%d,\"overlap_injected\":%d,\"overlap_conflicts_seen\":%d,\"overlap_conflicts_rejected\":%d,\"sheds_signalled\":%d,\"sheds_honoured\":%d,\"shed_elems\":%d,\"fastpath_runs\":%d,\"fastpath_hits\":%d,\"fastpath_misses\":%d,\"fastpath_invalidations\":%d,\"byz_injected\":%d,\"byz_flaps\":%d,\"byz_anomalies\":%d,\"byz_quarantines\":%d,\"byz_quarantine_drops\":%d,\"byz_honest_quarantined\":%d,\"wall_seconds\":%.3f}"
     (json_str (Schedule.profile_name r.profile))
     (json_str (Driver.mutation_to_string r.mutation))
     r.schedules_run
     (String.concat "," (List.map json_of_finding r.findings))
     r.detect_trials r.detect_undetected r.ov_injected r.ov_conflicts_seen
     r.ov_conflicts_rejected r.sheds_signalled r.sheds_honoured r.shed_elems
-    r.fp_runs r.fp_hits r.fp_misses r.fp_invalidations r.wall_seconds
+    r.fp_runs r.fp_hits r.fp_misses r.fp_invalidations r.bz_injected
+    r.bz_flaps r.bz_anomalies r.bz_quarantines r.bz_quarantine_drops
+    r.bz_honest_quarantined r.wall_seconds
 
 let json_of_reports reports =
   Printf.sprintf "{\"reports\":[%s]}"

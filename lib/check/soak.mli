@@ -27,6 +27,14 @@ type report = {
   fp_hits : int;  (** flow-cache hits, both layers, all runs *)
   fp_misses : int;  (** flow-cache misses, both layers, all runs *)
   fp_invalidations : int;  (** eager invalidations, both layers, all runs *)
+  bz_injected : int;  (** byzantine-adversary packets injected, all runs *)
+  bz_flaps : int;  (** byzantine Open/garbage/Close cycles, all runs *)
+  bz_anomalies : int;  (** endpoint anomalies attributed, all runs *)
+  bz_quarantines : int;  (** admissions revoked, all runs *)
+  bz_quarantine_drops : int;  (** events refused from boxed conns, all runs *)
+  bz_honest_quarantined : int;
+      (** honest connections ever boxed under byzantine fire — the
+          [honest-immunity] row demands this stays 0 *)
   wall_seconds : float;
 }
 

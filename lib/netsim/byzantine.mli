@@ -1,0 +1,77 @@
+(** A byzantine peer: valid wire format, violated protocol.
+
+    Unlike the connection-flood {!module:Check.Adversary} (garbage that
+    fails structural guards) and the {!Overlapper} (conflicting bytes
+    that fail WSC-2 verification), this adversary emits traffic every
+    per-chunk check {e accepts} — the hostility is entirely semantic:
+
+    - Open/Close flapping on its own connections, each cycle parking
+      one verified-then-archived epoch in the receiver's history;
+    - label-plausible garbage TPDUs sealed with self-consistent WSC-2
+      parities (they place and verify; the stream they describe never
+      existed);
+    - ACKs for never-sent T.IDs immediately contradicted by NACKs;
+    - forged [Shed_tpdu] signals naming honest, non-sheddable TPDUs;
+    - verbatim replays of signals observed from archived epochs.
+
+    Per-chunk validation therefore cannot contain it; only
+    connection-level anomaly scoring and quarantine
+    ({!Transport.Multi}) can.  The [blast-radius] oracle row proves the
+    containment by re-running every schedule without this peer. *)
+
+type t
+
+type stats = {
+  injected : int;  (** packets injected (both directions) *)
+  flaps : int;  (** Open/garbage/Close cycles *)
+  garbage_tpdus : int;  (** sealed garbage TPDUs sent *)
+  bogus_acks : int;  (** contradictory ACK/NACK pairs sent *)
+  forged_sheds : int;  (** forged [Shed_tpdu] signals sent *)
+  replayed : int;  (** replayed archived-epoch signals *)
+}
+
+val conn_base : int
+(** First byzantine C.ID; the peer's own connections are
+    [conn_base .. conn_base + conns - 1], disjoint from every
+    legitimate and every other adversary's range, so attacker bytes
+    stay attributable. *)
+
+val tid_base : int
+(** First garbage T.ID (each garbage TPDU uses a fresh one — reusing a
+    ledgered T.ID would be re-ACKed instead of placed). *)
+
+val create :
+  Engine.t ->
+  seed:int ->
+  rate:float ->
+  stop:float ->
+  conns:int ->
+  legit_conns:int list ->
+  elem_size:int ->
+  acks:bool ->
+  sheds:bool ->
+  replay:bool ->
+  garbage:bool ->
+  inject:(bytes -> unit) ->
+  inject_ack:(bytes -> unit) ->
+  unit ->
+  t
+(** Start flapping at [rate] actions per simulated second until [stop].
+    Every action is one flap cycle; each armed extra mode ([acks],
+    [sheds], [replay], [garbage]) additionally fires on a rotating
+    pick.  [inject] delivers forward-path packets at the receiver's
+    door; [inject_ack] delivers reverse-path packets to the sender
+    side.
+
+    @raise Invalid_argument if [rate <= 0] or [conns < 1]. *)
+
+val observe : t -> bytes -> unit
+(** Show the adversary a forward-path packet (a wire tap).  Replayable
+    signals are kept in a small ring for the [replay] mode; Close is
+    excluded (see DESIGN's threat model for why an unauthenticated
+    replayed Close cannot be defended and is out of scope). *)
+
+val conn_ids : t -> int list
+(** The peer's own connection ids. *)
+
+val stats : t -> stats

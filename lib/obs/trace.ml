@@ -11,6 +11,7 @@ type event =
   | Overlap of { conn : int; tpdu : int; sn : int; elems : int; kind : string }
   | Shed of { conn : int; tpdu : int; elems : int; cls : string }
   | Interleave of { conn : int; stream : int; tpdu : int; cls : string }
+  | Quarantine of { conn : int; score : int; until : float }
 
 let event_name = function
   | Chunk_rx _ -> "chunk_rx"
@@ -25,6 +26,7 @@ let event_name = function
   | Overlap _ -> "overlap"
   | Shed _ -> "shed"
   | Interleave _ -> "interleave"
+  | Quarantine _ -> "quarantine"
 
 (* ---------- JSONL codec ---------- *)
 
@@ -76,6 +78,8 @@ let to_json ~time ev =
     | Interleave { conn; stream; tpdu; cls } ->
         Printf.sprintf {|"conn":%d,"stream":%d,"tpdu":%d,"cls":"%s"|} conn
           stream tpdu (escape cls)
+    | Quarantine { conn; score; until } ->
+        Printf.sprintf {|"conn":%d,"score":%d,"until":%s|} conn score (fl until)
   in
   Printf.sprintf {|{"t":%s,"ev":"%s",%s}|} (fl time) (event_name ev) fields
 
@@ -208,6 +212,9 @@ let of_json line =
           Interleave
             { conn = int "conn"; stream = int "stream"; tpdu = int "tpdu";
               cls = str "cls" }
+      | "quarantine" ->
+          Quarantine
+            { conn = int "conn"; score = int "score"; until = num "until" }
       | _ -> raise Bad
     in
     (time, ev)

@@ -49,11 +49,17 @@ type event =
   | Interleave of { conn : int; stream : int; tpdu : int; cls : string }
       (** the priority scheduler emitted one TPDU of stream [stream]
           (X-level interleaving within connection [conn]) *)
+  | Quarantine of { conn : int; score : int; until : float }
+      (** the demultiplexer revoked connection [conn]'s admission: its
+          anomaly [score] exhausted the error budget and traffic is
+          refused until simulated time [until] ([infinity] for a
+          poisoned connection torn down by an exception bulkhead) *)
 
 val event_name : event -> string
 (** The wire tag: ["chunk_rx"], ["verify_start"], ["verify_done"],
     ["frag"], ["repack"], ["rto_fire"], ["evict"], ["conn_open"],
-    ["conn_close"], ["overlap"], ["shed"], ["interleave"]. *)
+    ["conn_close"], ["overlap"], ["shed"], ["interleave"],
+    ["quarantine"]. *)
 
 (** {1 Sinks} *)
 

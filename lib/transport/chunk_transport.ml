@@ -210,6 +210,7 @@ module Receiver = struct
     mutable aborts_received : int;
     mutable sheds_received : int;
     mutable shed_elems : int;
+    mutable sheds_refused : int;
     (* crash recovery: [persist] receives one journal event per fresh
        ACK {e before} the ACK leaves (write-ahead — the receiver never
        promises bytes it has not made durable); [restored_passes] carries
@@ -302,6 +303,7 @@ module Receiver = struct
         aborts_received = 0;
         sheds_received = 0;
         shed_elems = 0;
+        sheds_refused = 0;
         persist;
         restored_passes = 0;
         ident_min = max_int;
@@ -550,6 +552,13 @@ module Receiver = struct
          oracle check demands acks track verified TPDUs one-for-one) *)
       rx.send_ack (ack_packet ~conn_id:rx.config.conn_id ~t_id)
     end
+    else
+      (* the local classifier says this TPDU is not sheddable: a forged
+         (or misclassified) shed of Critical/Normal traffic.  Refused
+         silently — honouring it would truncate the stream — but
+         counted, so the demultiplexer's anomaly accounting can see how
+         often this connection is named by forged sheds *)
+      rx.sheds_refused <- rx.sheds_refused + 1
 
   (* Release every piece of soft state at once (connection close): the
      governor account is cleared entry by entry so a shared governor
@@ -864,6 +873,7 @@ module Receiver = struct
   let aborts_received rx = rx.aborts_received
   let sheds_received rx = rx.sheds_received
   let shed_elems rx = rx.shed_elems
+  let sheds_refused rx = rx.sheds_refused
   let shed_spans rx = Vreassembly.spans rx.shed_cover
   let governor_stats rx = Governor.stats rx.governor
 
@@ -1052,6 +1062,10 @@ module Sender = struct
     mutable gave_up : bool;
     mutable aborts_sent : int;
     mutable sheds_sent : int;
+    (* ACK/NACK traffic naming a T.ID this sender never transmitted:
+       nothing to do but ignore it, yet worth counting — a peer that
+       manufactures acknowledgements is lying about the conversation *)
+    mutable bogus_acks : int;
     (* Jacobson estimation state; [srtt < 0] means no sample yet.  The
        configured [rto] doubles as the estimator's ceiling (it is the
        conservative a-priori bound) and the initial value. *)
@@ -1130,6 +1144,7 @@ module Sender = struct
       gave_up = false;
       aborts_sent = 0;
       sheds_sent = 0;
+      bogus_acks = 0;
       srtt = -1.0;
       rttvar = 0.0;
       rto_cur = config.rto;
@@ -1462,7 +1477,11 @@ module Sender = struct
 
   let on_ack tx t_id =
     match Hashtbl.find_opt tx.inflight t_id with
-    | None -> ()
+    | None ->
+        (* an ACK for a finished TPDU is a routine re-ACK; one for a
+           T.ID never sent is fabricated *)
+        if not (Hashtbl.mem tx.done_tids t_id) then
+          tx.bogus_acks <- tx.bogus_acks + 1
     | Some tp ->
         if not tp.acked then begin
           (* an ACK for a shed TPDU confirms the signal, not the data:
@@ -1495,7 +1514,11 @@ module Sender = struct
      asked. *)
   let on_nack tx t_id ~need_ed ~spans =
     match Hashtbl.find_opt tx.inflight t_id with
-    | None -> () (* already acknowledged: stale NACK *)
+    | None ->
+        (* already acknowledged: stale NACK — unless the T.ID was never
+           sent at all, which only a fabricating peer produces *)
+        if not (Hashtbl.mem tx.done_tids t_id) then
+          tx.bogus_acks <- tx.bogus_acks + 1
     | Some tp ->
         let data_chunks, ed =
           match List.rev tp.chunks with
@@ -1552,6 +1575,7 @@ module Sender = struct
   let gave_up tx = tx.gave_up
   let aborts_sent tx = tx.aborts_sent
   let sheds_sent tx = tx.sheds_sent
+  let bogus_acks tx = tx.bogus_acks
   let tpdus_sent tx = tx.tpdus_sent
   let packets_sent tx = tx.packets_sent
   let bytes_sent tx = tx.bytes_sent

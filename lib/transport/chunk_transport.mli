@@ -268,6 +268,12 @@ module Receiver : sig
   (** Elements covered by honoured sheds — bytes deliberately given up
       under the partial-reliability contract. *)
 
+  val sheds_refused : t -> int
+  (** Shed signals refused because the local classifier says the named
+      TPDU is not sheddable: a forged (or misclassified) shed of
+      Critical/Normal traffic.  Refusal is silent on the wire; the
+      count feeds the demultiplexer's anomaly accounting. *)
+
   val shed_spans : t -> (int * int) list
   (** The honoured shed cover as [(first_elem, elems)] runs in
       connection-SN space, ascending — the mask under which delivered
@@ -442,6 +448,11 @@ module Sender : sig
   (** TPDUs deliberately abandoned under the congestion shed policy
       ([config.shed_txs]); each is counted once, however many times its
       shed signal is retried. *)
+
+  val bogus_acks : t -> int
+  (** ACK or NACK traffic naming a T.ID this sender never transmitted
+      (not in flight, never finished): fabricated acknowledgements,
+      ignored on receipt but counted. *)
 end
 
 (** {1 One-call scenario driver} *)

@@ -158,13 +158,18 @@ let zero_stats =
     s_evictions = 0;
   }
 
+(* Counters are non-negative, so the only overflow is past [max_int];
+   saturate there instead of wrapping to a negative total — a soak
+   aggregating reports forever should read "pegged", not garbage. *)
+let sat_add a b = let s = a + b in if s < 0 then max_int else s
+
 let add_stats a b =
   {
-    s_hits = a.s_hits + b.s_hits;
-    s_misses = a.s_misses + b.s_misses;
-    s_insertions = a.s_insertions + b.s_insertions;
-    s_invalidations = a.s_invalidations + b.s_invalidations;
-    s_evictions = a.s_evictions + b.s_evictions;
+    s_hits = sat_add a.s_hits b.s_hits;
+    s_misses = sat_add a.s_misses b.s_misses;
+    s_insertions = sat_add a.s_insertions b.s_insertions;
+    s_invalidations = sat_add a.s_invalidations b.s_invalidations;
+    s_evictions = sat_add a.s_evictions b.s_evictions;
   }
 
 let hit_rate s =

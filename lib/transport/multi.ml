@@ -39,6 +39,24 @@ type conn = {
   mutable overlap_acc : Placement.overlap_stats;
       (* conflict counters of archived epochs; live ones are read
          directly off their placement buffers *)
+  mutable sheds_refused_acc : int;
+  (* {2 Containment} — anomaly scoring and quarantine (DESIGN §10).
+     Only anomalies this connection {e provably authored} feed the
+     score: explicit re-establishment churn (each such Open names a
+     fresh C.SN above the watermark, which a replay cannot do twice)
+     and late traffic with unledgered T.IDs.  Spoofable or replayable
+     events — stale Opens, forged sheds naming this connection,
+     parity-damaged signals — are counted in [anomalies] but never
+     scored, or an attacker could talk an honest connection into the
+     penalty box. *)
+  mutable epochs_started : int;
+  mutable hist_bytes : int;  (* archived-epoch buffer bytes parked *)
+  mutable anomalies : int;  (* every anomaly, scored or not *)
+  mutable anomaly_score : int;
+  mutable last_anomaly : float;
+  mutable quarantined_until : float;  (* > now means boxed *)
+  mutable quarantine_count : int;  (* admissions revoked so far *)
+  mutable poisoned : bool;  (* bulkhead teardown: permanent *)
 }
 
 let zero_overlap =
@@ -88,12 +106,20 @@ type t = {
   l1 : int Flowcache.t;  (* per-TPDU cache, shared by every receiver *)
   l2 : l2_entry Flowcache.t;  (* hot-connection dispatch cache *)
   scan : Wire.Scan.t;
+  anomaly_budget : int;  (* quarantine trip threshold; 0 disables *)
+  quarantine_base : float;  (* first penalty-box duration *)
+  anomaly_decay : float;  (* quiet time that forgives the score *)
   mutable evictions : int;
   mutable conn_gcs : int;
   mutable displaced : int;
   mutable unknown_drops : int;
   mutable late_drops : int;
   mutable reacks_multi : int;
+  mutable anomalies_total : int;
+  mutable sig_damage : int;  (* parity-damaged signal chunks dropped *)
+  mutable quarantines : int;  (* admissions revoked, all connections *)
+  mutable quarantine_drops : int;  (* events refused while boxed *)
+  mutable conns_poisoned : int;
 }
 
 let emit m ev = match m.persist with Some f -> f ev | None -> ()
@@ -104,6 +130,10 @@ let m_conn_gcs = Obs.Metrics.counter "multi_conn_gcs_total"
 let m_displaced = Obs.Metrics.counter "multi_displaced_total"
 let m_unknown = Obs.Metrics.counter "multi_unknown_drops_total"
 let m_late = Obs.Metrics.counter "multi_late_drops_total"
+let m_anomalies = Obs.Metrics.counter "multi_anomalies_total"
+let m_quarantines = Obs.Metrics.counter "multi_quarantines_total"
+let m_quarantine_drops = Obs.Metrics.counter "multi_quarantine_drops_total"
+let m_poisoned = Obs.Metrics.counter "multi_conns_poisoned_total"
 let g_live = Obs.Metrics.gauge "multi_live_conns"
 
 let now m = Netsim.Engine.now m.engine
@@ -154,14 +184,22 @@ let archive m c =
       (match id with
       | Some k when k > c.open_hwm -> c.open_hwm <- k
       | Some _ | None -> ());
-      if R.epoch_passes rx > 0 then
+      c.sheds_refused_acc <- c.sheds_refused_acc + R.sheds_refused rx;
+      if R.epoch_passes rx > 0 then begin
+        let delivered = R.contents rx in
+        (* archived buffers are outside the governor's account (nothing
+           writes or re-admits them), so their total is exactly the
+           state a flapping peer can park for free — tracked per
+           connection for the isolation-budget oracle row *)
+        c.hist_bytes <- c.hist_bytes + Bytes.length delivered;
         c.hist <-
           {
-            a_delivered = R.contents rx;
+            a_delivered = delivered;
             a_complete = R.complete rx;
             a_open_csn = id;
           }
-          :: c.hist;
+          :: c.hist
+      end;
       c.live <- None;
       c.live_open <- None;
       emit m (Persist.Archived c.id);
@@ -178,10 +216,119 @@ let close_conn m c =
       Obs.Trace.record (Obs.Trace.Conn_close { conn = c.id }) ~time:(now m)
   end
 
+(* {1 Containment: anomaly scoring, quarantine, bulkheads}
+
+   A byzantine peer speaks valid wire format, so per-chunk validation
+   passes everything it sends; what gives it away is the {e pattern} —
+   Open/Close flapping that parks an archived epoch per cycle, garbage
+   traffic against its own closed epochs, fabricated acknowledgements.
+   Each connection carries an anomaly score; exhausting the error
+   budget revokes its admission for an exponentially growing penalty,
+   which bounds the state and work one hostile connection can cost the
+   endpoint without touching any honest connection (the [blast-radius]
+   oracle row holds the defense to that claim). *)
+
+let quarantine_active m c = c.poisoned || c.quarantined_until > now m
+
+let quarantine_drop m =
+  m.quarantine_drops <- m.quarantine_drops + 1;
+  if Obs.enabled then Obs.Metrics.incr m_quarantine_drops
+
+let enter_quarantine m c =
+  let score = c.anomaly_score in
+  c.quarantine_count <- c.quarantine_count + 1;
+  (* exponential re-admission backoff: a peer that re-offends right
+     after re-admission is boxed for twice as long each time (capped
+     at 2^8 so the arithmetic stays tame) *)
+  let dur =
+    m.quarantine_base *. (2.0 ** float_of_int (min 8 (c.quarantine_count - 1)))
+  in
+  c.quarantined_until <- now m +. dur;
+  c.anomaly_score <- 0;
+  m.quarantines <- m.quarantines + 1;
+  (* the live epoch's state is reclaimed, and the L2 row is dropped so
+     the fast path cannot keep serving a boxed connection (the physical
+     [rx == fc_rx] probe would also catch it — the live receiver is
+     gone — but the row itself must not linger) *)
+  Flowcache.invalidate m.l2 ~k1:c.id ~k2:0;
+  close_conn m c;
+  if Obs.enabled then begin
+    Obs.Metrics.incr m_quarantines;
+    if Obs.Trace.active () then
+      Obs.Trace.record
+        (Obs.Trace.Quarantine
+           { conn = c.id; score; until = c.quarantined_until })
+        ~time:(now m)
+  end
+
+(* A scored anomaly: only for events the connection provably authored
+   (see the [conn] field comments).  The score forgives itself after a
+   quiet [anomaly_decay], so honest connections whose rare anomalies
+   are spread over the transfer never accumulate toward the budget. *)
+let note_scored m c ~weight =
+  c.anomalies <- c.anomalies + 1;
+  m.anomalies_total <- m.anomalies_total + 1;
+  if Obs.enabled then Obs.Metrics.incr m_anomalies;
+  if m.anomaly_budget > 0 && not (quarantine_active m c) then begin
+    let t = now m in
+    if t -. c.last_anomaly > m.anomaly_decay then c.anomaly_score <- 0;
+    c.last_anomaly <- t;
+    c.anomaly_score <- c.anomaly_score + weight;
+    if c.anomaly_score >= m.anomaly_budget then enter_quarantine m c
+  end
+
+(* An unscored anomaly: observed and counted, but spoofable or
+   replayable — anyone on the path could have named this connection, so
+   it must never push the connection toward the penalty box. *)
+let note_unscored m c =
+  c.anomalies <- c.anomalies + 1;
+  m.anomalies_total <- m.anomalies_total + 1;
+  if Obs.enabled then Obs.Metrics.incr m_anomalies
+
+(* Scored weights: re-establishment churn is the byzantine signature
+   (4 per cycle, 8 cycles inside one decay window trip the default
+   budget of 32), late unledgered traffic is corroborating evidence.
+   An honest connection's worst legitimate episode — displacement under
+   flood pressure followed by its sender's catch-up retransmissions —
+   scores one churn plus a handful of late drops, far under budget. *)
+let w_churn = 4
+let w_late = 1
+
+(* Exception bulkhead: a connection whose processing throws is torn
+   down and permanently boxed instead of letting the exception kill the
+   endpoint (or worse, leave half-mutated per-connection state in
+   service).  Resource-exhaustion exceptions are not containable at
+   connection granularity and re-raise. *)
+let poison m ~conn_id =
+  match Hashtbl.find_opt m.conns conn_id with
+  | None -> ()
+  | Some c ->
+      if not c.poisoned then begin
+        c.poisoned <- true;
+        m.conns_poisoned <- m.conns_poisoned + 1;
+        Flowcache.invalidate m.l2 ~k1:conn_id ~k2:0;
+        close_conn m c;
+        if Obs.enabled then begin
+          Obs.Metrics.incr m_poisoned;
+          if Obs.Trace.active () then
+            Obs.Trace.record
+              (Obs.Trace.Quarantine
+                 { conn = conn_id; score = c.anomaly_score; until = infinity })
+              ~time:(now m)
+        end
+      end
+
+let bulkhead m ~conn_id exn =
+  match exn with
+  | Out_of_memory | Stack_overflow -> raise exn
+  | _ -> poison m ~conn_id
+
 let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
-    ?persist ?fastpath_slots ~send_ack () =
+    ?persist ?fastpath_slots ?(anomaly_budget = 32) ~send_ack () =
   if quota_elems < 1 || max_conns < 1 then
     invalid_arg "Multi.create: quota_elems and max_conns must be >= 1";
+  if anomaly_budget < 0 then
+    invalid_arg "Multi.create: anomaly_budget must be >= 0";
   let slots =
     match fastpath_slots with
     | Some n -> n
@@ -204,12 +351,24 @@ let create engine ~config ~quota_elems ~max_conns ?(bus = Busmodel.create ())
       l1 = Flowcache.create ~name:"tpdu" ~slots ();
       l2 = Flowcache.create ~name:"conn" ~slots ();
       scan = Wire.Scan.create ();
+      anomaly_budget;
+      (* both containment clocks scale with the configured round trip:
+         the first box outlasts a retransmission burst, and the decay
+         window comfortably covers one displacement-and-catch-up
+         episode without spanning two unrelated ones *)
+      quarantine_base = Float.max 0.25 (4.0 *. config.rto);
+      anomaly_decay = Float.max 1.0 (8.0 *. config.rto);
       evictions = 0;
       conn_gcs = 0;
       displaced = 0;
       unknown_drops = 0;
       late_drops = 0;
       reacks_multi = 0;
+      anomalies_total = 0;
+      sig_damage = 0;
+      quarantines = 0;
+      quarantine_drops = 0;
+      conns_poisoned = 0;
     }
   in
   Governor.set_on_evict m.governor (fun key ->
@@ -264,6 +423,7 @@ let new_epoch ?open_csn m c =
   in
   c.live <- Some rx;
   c.live_open <- open_csn;
+  c.epochs_started <- c.epochs_started + 1;
   (match open_csn with
   | Some k when k > c.open_hwm -> c.open_hwm <- k
   | Some _ | None -> ());
@@ -313,6 +473,15 @@ let handle_open m cid ~first_csn =
           sheds_acc = 0;
           shed_elems_acc = 0;
           overlap_acc = zero_overlap;
+          sheds_refused_acc = 0;
+          epochs_started = 0;
+          hist_bytes = 0;
+          anomalies = 0;
+          anomaly_score = 0;
+          last_anomaly = 0.0;
+          quarantined_until = 0.0;
+          quarantine_count = 0;
+          poisoned = false;
         }
       in
       Hashtbl.add m.conns cid c;
@@ -322,6 +491,12 @@ let handle_open m cid ~first_csn =
           Obs.Trace.record (Obs.Trace.Conn_open { conn = cid }) ~time:(now m)
       end;
       new_epoch m c ~open_csn:first_csn
+  | Some c when quarantine_active m c ->
+      (* admission revoked: the Open is refused outright (a flapping
+         peer's whole point is getting fresh epochs admitted).  The
+         first Open after the penalty expires re-establishes normally —
+         re-admission is lazy, no timer needed. *)
+      quarantine_drop m
   | Some c -> (
       match c.live with
       | None ->
@@ -339,14 +514,29 @@ let handle_open m cid ~first_csn =
             List.exists (fun a -> a.a_open_csn = Some first_csn) c.hist
           in
           if first_csn >= c.open_hwm && not already_archived then begin
-            ensure_capacity m;
-            new_epoch m c ~open_csn:first_csn
+            (* churn: only an Open naming a fresh C.SN can re-establish,
+               and under the monotone-label discipline only the
+               connection's own sender produces fresh C.SNs — a
+               replayed Open bounces off the watermark below.  Honest
+               re-establishment (reopen after Close, recovery after
+               displacement) is rare; sustained churn is flapping. *)
+            note_scored m c ~weight:w_churn;
+            if quarantine_active m c then quarantine_drop m
+            else begin
+              ensure_capacity m;
+              new_epoch m c ~open_csn:first_csn
+            end
           end
+          else
+            (* a stale Open — a retransmitted duplicate or a replay of
+               an archived epoch's Open.  Counted, never scored: a
+               replayed signal says nothing about who is replaying. *)
+            note_unscored m c
       | Some _ when first_csn <= c.open_hwm ->
           (* a duplicate Open of the live epoch (it piggybacks on every
              transmission of the first TPDU) or a straggler from an
-             archived one — ignore *)
-          ()
+             archived one — ignore; only the straggler is anomalous *)
+          if c.live_open <> Some first_csn then note_unscored m c
       | Some _ -> (
           match c.live_open with
           | None ->
@@ -360,9 +550,15 @@ let handle_open m cid ~first_csn =
           | Some _ ->
               (* a newer epoch's Open: close-and-reopen, whether or not
                  the live epoch ever completed — its Close (or its
-                 sender's remaining data) was evidently lost *)
-              archive m c;
-              new_epoch m c ~open_csn:first_csn))
+                 sender's remaining data) was evidently lost.  Scored
+                 like any other churn: tearing down a live epoch with a
+                 fresh label is exactly one flap half-cycle. *)
+              note_scored m c ~weight:w_churn;
+              if quarantine_active m c then quarantine_drop m
+              else begin
+                archive m c;
+                new_epoch m c ~open_csn:first_csn
+              end))
 
 let re_ack_closed m c t_id =
   let t = now m in
@@ -383,74 +579,107 @@ let route m chunk =
   | None ->
       m.unknown_drops <- m.unknown_drops + 1;
       if Obs.enabled then Obs.Metrics.incr m_unknown
+  | Some c when quarantine_active m c -> quarantine_drop m
   | Some c -> (
-      match c.live with
-      | Some rx ->
-          (* Data or ED traffic with a TPDU label this epoch has never
-             seen, arriving after the epoch's stream end was verified
-             (C.ST), is the start of the next epoch whose Open was lost
-             or damaged in flight — the Open piggybacks on every
-             envelope, but a corrupted copy must not let the new
-             epoch's chunks leak into the finished epoch's buffer.
-             Implicit close-and-reopen, exactly as for a late Open. *)
-          let h = chunk.Chunk.header in
-          let t_id = h.Header.t.Ftuple.id in
-          let rx =
-            if
-              R.complete rx
-              && (Chunk.is_data chunk
-                 || Ctype.equal h.Header.ctype Ctype.ed)
-              && (not (Hashtbl.mem c.acked t_id))
-              && not (R.tracks_tpdu rx ~t_id)
-            then begin
-              archive m c;
-              new_epoch m c;
-              match c.live with Some fresh -> fresh | None -> rx
+      try
+        match c.live with
+        | Some rx ->
+            (* Data or ED traffic with a TPDU label this epoch has never
+               seen, arriving after the epoch's stream end was verified
+               (C.ST), is the start of the next epoch whose Open was lost
+               or damaged in flight — the Open piggybacks on every
+               envelope, but a corrupted copy must not let the new
+               epoch's chunks leak into the finished epoch's buffer.
+               Implicit close-and-reopen, exactly as for a late Open.
+               Deliberately {e not} scored as churn: it is data-driven,
+               so anyone who can forge a data label could otherwise talk
+               this connection into the penalty box. *)
+            let h = chunk.Chunk.header in
+            let t_id = h.Header.t.Ftuple.id in
+            let rx =
+              if
+                R.complete rx
+                && (Chunk.is_data chunk
+                   || Ctype.equal h.Header.ctype Ctype.ed)
+                && (not (Hashtbl.mem c.acked t_id))
+                && not (R.tracks_tpdu rx ~t_id)
+              then begin
+                archive m c;
+                new_epoch m c;
+                match c.live with Some fresh -> fresh | None -> rx
+              end
+              else rx
+            in
+            touch_conn m c;
+            R.on_chunk rx chunk
+        | None ->
+            (* closed epoch: stale retransmissions of acknowledged TPDUs
+               get their ACK again (the ledger outlives the epoch); other
+               traffic for a closed connection is refused.  An unledgered
+               T.ID here is scored: every T.ID an honest sender ever used
+               is in the ledger (or was declared given-up while the epoch
+               was live), so persistent late garbage is authored traffic,
+               not a replay. *)
+            let t_id = chunk.Chunk.header.Header.t.Ftuple.id in
+            if Hashtbl.mem c.acked t_id then re_ack_closed m c t_id
+            else begin
+              m.late_drops <- m.late_drops + 1;
+              if Obs.enabled then Obs.Metrics.incr m_late;
+              note_scored m c ~weight:w_late
             end
-            else rx
-          in
-          touch_conn m c;
-          R.on_chunk rx chunk
-      | None ->
-          (* closed epoch: stale retransmissions of acknowledged TPDUs
-             get their ACK again (the ledger outlives the epoch); other
-             traffic for a closed connection is refused *)
-          let t_id = chunk.Chunk.header.Header.t.Ftuple.id in
-          if Hashtbl.mem c.acked t_id then re_ack_closed m c t_id
-          else begin
-            m.late_drops <- m.late_drops + 1;
-            if Obs.enabled then Obs.Metrics.incr m_late
-          end)
+      with e -> bulkhead m ~conn_id:cid e)
 
 let on_chunk m chunk =
   if Chunk.is_terminator chunk then ()
   else
     match Connection.on_chunk m.table chunk with
     | `Signal (cid, sg) -> (
-        match sg with
-        | Connection.Open { first_csn } -> handle_open m cid ~first_csn
-        | Connection.Close -> (
-            match Hashtbl.find_opt m.conns cid with
-            | Some c -> close_conn m c
-            | None -> ())
-        | Connection.Resync _ -> ()
-        | Connection.Abort_tpdu { t_id } -> (
-            match Hashtbl.find_opt m.conns cid with
-            | Some ({ live = Some rx; _ } as c) ->
-                c.last_touch <- now m;
-                R.abort_tpdu rx ~t_id
-            | Some _ | None -> ())
-        | Connection.Shed_tpdu { t_id; first_elem; elems } -> (
-            match Hashtbl.find_opt m.conns cid with
-            | Some ({ live = Some rx; _ } as c) ->
-                c.last_touch <- now m;
-                R.shed_tpdu rx ~t_id ~first_elem ~elems
-            | Some c when Hashtbl.mem c.acked t_id ->
-                (* shed signal straggling behind the epoch close while
-                   its ACK was lost: re-acknowledge so the sender stops
-                   retrying the signal *)
-                re_ack_closed m c t_id
-            | Some _ | None -> ()))
+        match Hashtbl.find_opt m.conns cid with
+        | Some c when quarantine_active m c ->
+            (* no signal is served while boxed — in particular no Close
+               (which would archive) and no shed (which would mutate the
+               shed cover); the penalty box is a full service stop *)
+            quarantine_drop m
+        | found -> (
+            try
+              match sg with
+              | Connection.Open { first_csn } -> handle_open m cid ~first_csn
+              | Connection.Close -> (
+                  match found with Some c -> close_conn m c | None -> ())
+              | Connection.Resync _ -> ()
+              | Connection.Abort_tpdu { t_id } -> (
+                  match found with
+                  | Some ({ live = Some rx; _ } as c) ->
+                      c.last_touch <- now m;
+                      R.abort_tpdu rx ~t_id
+                  | Some _ | None -> ())
+              | Connection.Shed_tpdu { t_id; first_elem; elems } -> (
+                  match found with
+                  | Some ({ live = Some rx; _ } as c) ->
+                      c.last_touch <- now m;
+                      let refused = R.sheds_refused rx in
+                      R.shed_tpdu rx ~t_id ~first_elem ~elems;
+                      (* a refused shed named a TPDU this connection's
+                         classifier protects: forged (or badly
+                         misclassified).  Unscored — the signal names
+                         its victim, not its author. *)
+                      if R.sheds_refused rx > refused then note_unscored m c
+                  | Some c when Hashtbl.mem c.acked t_id ->
+                      (* shed signal straggling behind the epoch close
+                         while its ACK was lost: re-acknowledge so the
+                         sender stops retrying the signal *)
+                      re_ack_closed m c t_id
+                  | Some _ | None -> ())
+            with e -> bulkhead m ~conn_id:cid e))
+    | `Ignored
+      when Ctype.equal chunk.Chunk.header.Header.ctype Ctype.signal ->
+        (* a structurally valid signal chunk whose payload failed its
+           WSC-2 parity (or shape) check: silently dropped, but counted
+           — corruption in flight and tampering look identical here *)
+        m.sig_damage <- m.sig_damage + 1;
+        (match Hashtbl.find_opt m.conns chunk.Chunk.header.Header.c.Ftuple.id with
+        | Some c -> note_unscored m c
+        | None -> ())
     | `Data_for _ | `Unknown_connection _ | `Ignored ->
         (* routing is by connection record, not table state: traffic for
            a live epoch must keep flowing after the C.ST data chunk
@@ -594,6 +823,38 @@ let reacks_sent m =
 let unknown_drops m = m.unknown_drops
 let late_drops m = m.late_drops
 
+let sheds_refused m =
+  Hashtbl.fold (fun _ c acc -> acc + c.sheds_refused_acc) m.conns
+    (sum_live m R.sheds_refused)
+
+let anomalies m = m.anomalies_total
+let sig_damage m = m.sig_damage
+let quarantines m = m.quarantines
+let quarantine_drops m = m.quarantine_drops
+let conns_poisoned m = m.conns_poisoned
+
+type conn_stats = {
+  cs_epochs : int;
+  cs_hist_bytes : int;
+  cs_anomalies : int;
+  cs_quarantines : int;
+  cs_quarantined : bool;
+  cs_poisoned : bool;
+}
+
+let conn_stats m ~conn_id =
+  Option.map
+    (fun c ->
+      {
+        cs_epochs = c.epochs_started;
+        cs_hist_bytes = c.hist_bytes;
+        cs_anomalies = c.anomalies;
+        cs_quarantines = c.quarantine_count;
+        cs_quarantined = quarantine_active m c;
+        cs_poisoned = c.poisoned;
+      })
+    (Hashtbl.find_opt m.conns conn_id)
+
 let overlap_stats m =
   Hashtbl.fold
     (fun _ c acc ->
@@ -625,6 +886,13 @@ let export m : Persist.conn_image list =
           (match c.live with
           | Some rx -> epoch_identity c rx
           | None -> c.live_open);
+        (* containment survives the crash: a boxed peer must not get a
+           fresh budget by crashing the endpoint.  The score itself is
+           not persisted — an un-tripped budget refills on restart,
+           which errs on the side of honest connections. *)
+        ci_quar_until = c.quarantined_until;
+        ci_quar_count = c.quarantine_count;
+        ci_poisoned = c.poisoned;
       }
       :: acc)
     m.conns []
@@ -634,9 +902,12 @@ let export m : Persist.conn_image list =
    epoch re-accounts its own soft state against the fresh governor, and
    the per-connection slot cost is re-asserted — the budget, not the
    image, decides what survives. *)
-let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
-    (images : Persist.conn_image list) =
-  let m = create engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack () in
+let restore engine ~config ~quota_elems ~max_conns ?bus ?persist
+    ?anomaly_budget ~send_ack (images : Persist.conn_image list) =
+  let m =
+    create engine ~config ~quota_elems ~max_conns ?bus ?persist
+      ?anomaly_budget ~send_ack ()
+  in
   List.iter
     (fun (img : Persist.conn_image) ->
       if not (Hashtbl.mem m.conns img.Persist.ci_id) then begin
@@ -664,6 +935,22 @@ let restore engine ~config ~quota_elems ~max_conns ?bus ?persist ~send_ack
             sheds_acc = 0;
             shed_elems_acc = 0;
             overlap_acc = zero_overlap;
+            sheds_refused_acc = 0;
+            (* epoch and state accounting re-derived from the image, so
+               the isolation-budget bound spans the crash *)
+            epochs_started =
+              List.length img.Persist.ci_hist
+              + (if img.Persist.ci_live <> None then 1 else 0);
+            hist_bytes =
+              List.fold_left
+                (fun acc (d, _, _) -> acc + Bytes.length d)
+                0 img.Persist.ci_hist;
+            anomalies = 0;
+            anomaly_score = 0;
+            last_anomaly = 0.0;
+            quarantined_until = img.Persist.ci_quar_until;
+            quarantine_count = img.Persist.ci_quar_count;
+            poisoned = img.Persist.ci_poisoned;
           }
         in
         List.iter (fun t -> Hashtbl.replace c.acked t ()) img.Persist.ci_acked;

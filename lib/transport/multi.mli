@@ -19,7 +19,24 @@
     pressure (admission under flood).  When the budget would still be
     exceeded, or the live-connection cap is hit, the {e stalest} live
     connection is displaced — never the freshest, so an Open flood
-    displaces its own connections, not refreshing legitimate ones. *)
+    displaces its own connections, not refreshing legitimate ones.
+
+    {b Containment} (DESIGN §10): a byzantine peer speaks valid wire
+    format, so per-chunk validation passes everything it sends; the
+    demultiplexer therefore scores {e patterns} per connection.  Only
+    anomalies a connection provably authored are scored — explicit
+    re-establishment churn (a fresh Open C.SN above the watermark,
+    which a replay cannot produce) and late traffic with unledgered
+    T.IDs — while spoofable events (stale Opens, forged sheds naming
+    the connection, parity-damaged signals) are counted but never
+    scored, so no attacker can talk an honest connection into the
+    penalty box.  A connection whose score exhausts the error budget
+    has its admission revoked: its live epoch's state is reclaimed and
+    every event it sources is refused until an exponentially growing
+    re-admission backoff expires.  Exceptions thrown while processing
+    one connection's traffic are bulkheaded: the connection is torn
+    down and permanently boxed ({!poison}) instead of killing the
+    endpoint. *)
 
 type epoch_report = {
   delivered : bytes;
@@ -47,6 +64,7 @@ val create :
   ?bus:Busmodel.t ->
   ?persist:(Persist.event -> unit) ->
   ?fastpath_slots:int ->
+  ?anomaly_budget:int ->
   send_ack:(bytes -> unit) ->
   unit ->
   t
@@ -64,7 +82,17 @@ val create :
     [?fastpath_slots] sizes the two flow caches of the {!ingest} fast
     path (rounded up to a power of two; default derived from
     [max_conns]).  Hostile or skewed workloads that overflow the caches
-    degrade to slow-path throughput, never to different behaviour. *)
+    degrade to slow-path throughput, never to different behaviour.
+
+    [?anomaly_budget] (default 32) is the scored-anomaly threshold at
+    which a connection's admission is revoked; [0] disables quarantine
+    entirely (the [byz-clobber] mutation uses this to prove the
+    defense is what contains a byzantine peer).  The penalty-box and
+    score-decay clocks derive from [config.rto]:
+    [max 0.25 (4 * rto)] seconds for the first box (doubling per
+    revocation, capped at 2{^8}) and [max 1.0 (8 * rto)] for the quiet
+    time that forgives an accumulated score.
+    @raise Invalid_argument if [anomaly_budget < 0]. *)
 
 val on_packet : t -> bytes -> unit
 (** Feed one wire packet: parse the envelope, route signals through the
@@ -154,6 +182,53 @@ val unknown_drops : t -> int
 val late_drops : t -> int
 (** Chunks for closed epochs that were not re-acknowledgeable. *)
 
+(** {1 Containment} *)
+
+val sheds_refused : t -> int
+(** Shed signals refused across every epoch of every connection — the
+    named TPDU was not sheddable under the local classifier (forged or
+    misclassified sheds; see
+    {!Chunk_transport.Receiver.sheds_refused}). *)
+
+val anomalies : t -> int
+(** Protocol anomalies observed across all connections, scored and
+    unscored alike: re-establishment churn, late unledgered traffic,
+    stale Opens, refused sheds, parity-damaged signals. *)
+
+val sig_damage : t -> int
+(** Structurally valid signal chunks whose payload failed its WSC-2
+    parity or shape check — dropped silently (corruption and tampering
+    are indistinguishable here). *)
+
+val quarantines : t -> int
+(** Admissions revoked (penalty-box entries) across all connections. *)
+
+val quarantine_drops : t -> int
+(** Events refused because their source connection was boxed. *)
+
+val conns_poisoned : t -> int
+(** Connections permanently torn down by the exception bulkhead. *)
+
+val poison : t -> conn_id:int -> unit
+(** Tear the connection down (reclaiming its live epoch's state) and
+    permanently refuse its traffic.  Called by the internal exception
+    bulkheads; public so operators and tests can isolate a connection
+    by hand.  Unknown connections are ignored; poisoning is
+    idempotent. *)
+
+type conn_stats = {
+  cs_epochs : int;  (** epochs ever started (including the live one) *)
+  cs_hist_bytes : int;  (** archived-epoch buffer bytes parked *)
+  cs_anomalies : int;  (** anomalies attributed, scored and unscored *)
+  cs_quarantines : int;  (** admissions revoked so far *)
+  cs_quarantined : bool;  (** currently boxed (or poisoned) *)
+  cs_poisoned : bool;
+}
+(** Per-connection containment accounting — what the isolation-budget
+    oracle row bounds for byzantine connections. *)
+
+val conn_stats : t -> conn_id:int -> conn_stats option
+
 val overlap_stats : t -> Labelling.Placement.overlap_stats
 (** Overlap-conflict counters summed over every epoch of every
     connection, live and archived (see {!Labelling.Placement} for the
@@ -173,6 +248,7 @@ val restore :
   max_conns:int ->
   ?bus:Busmodel.t ->
   ?persist:(Persist.event -> unit) ->
+  ?anomaly_budget:int ->
   send_ack:(bytes -> unit) ->
   Persist.conn_image list ->
   t

@@ -46,6 +46,12 @@ type conn_image = {
   ci_hist : (bytes * bool * int option) list;
   ci_live : receiver_image option;
   ci_live_open : int option;
+  (* containment state (Multi's anomaly quarantine): a boxed or
+     poisoned peer must not earn a fresh admission by crashing the
+     endpoint *)
+  ci_quar_until : float;
+  ci_quar_count : int;
+  ci_poisoned : bool;
 }
 
 type endpoint_image = Single of single_image | Multi of conn_image list
@@ -189,6 +195,9 @@ let apply_event ~elem_size ~quota_elems image ev =
                ci_hist = [];
                ci_live = None;
                ci_live_open = None;
+               ci_quar_until = 0.0;
+               ci_quar_count = 0;
+               ci_poisoned = false;
              }
             :: conns)
       in
@@ -274,7 +283,9 @@ let apply_journal ~elem_size ~quota_elems image events =
    codec below never raises on decode: every read is bounds-checked and
    surfaces [Error]. *)
 
-let version = 1
+(* v2: conn images gained the containment fields (quarantine deadline,
+   admission-revocation count, poisoned flag) *)
+let version = 2
 let magic = "CSNP"
 
 let w_int buf v =
@@ -283,7 +294,15 @@ let w_int buf v =
   Buffer.add_bytes buf b
 
 let w_bool buf v = Buffer.add_char buf (if v then '\001' else '\000')
-let w_float buf v = w_int buf (Int64.to_int (Int64.bits_of_float v))
+
+(* The IEEE bits go to the wire whole.  Bouncing them through an OCaml
+   int (as [w_int] would) truncates to 63 bits and the reader's
+   sign-extension then negates any float with magnitude >= 2.0 — the
+   quarantine deadline was the first persisted float to cross that. *)
+let w_float buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.bits_of_float v);
+  Buffer.add_bytes buf b
 
 let w_bytes buf b =
   w_int buf (Bytes.length b);
@@ -325,8 +344,10 @@ let r_bool c =
   Ok v
 
 let r_float c =
-  let* v = r_int c in
-  Ok (Int64.float_of_bits (Int64.of_int v))
+  let* () = need c 8 in
+  let v = Int64.float_of_bits (Bytes.get_int64_be c.b c.off) in
+  c.off <- c.off + 8;
+  Ok v
 
 let r_bytes c =
   let* n = r_int c in
@@ -515,7 +536,10 @@ let w_conn buf ci =
   w_list w_int buf ci.ci_acked;
   w_list w_hist_entry buf ci.ci_hist;
   w_opt w_receiver buf ci.ci_live;
-  w_opt w_int buf ci.ci_live_open
+  w_opt w_int buf ci.ci_live_open;
+  w_float buf ci.ci_quar_until;
+  w_int buf ci.ci_quar_count;
+  w_bool buf ci.ci_poisoned
 
 let r_conn c =
   let* ci_id = r_int c in
@@ -523,7 +547,20 @@ let r_conn c =
   let* ci_hist = r_list r_hist_entry c in
   let* ci_live = r_opt r_receiver c in
   let* ci_live_open = r_opt r_int c in
-  Ok { ci_id; ci_acked; ci_hist; ci_live; ci_live_open }
+  let* ci_quar_until = r_float c in
+  let* ci_quar_count = r_int c in
+  let* ci_poisoned = r_bool c in
+  Ok
+    {
+      ci_id;
+      ci_acked;
+      ci_hist;
+      ci_live;
+      ci_live_open;
+      ci_quar_until;
+      ci_quar_count;
+      ci_poisoned;
+    }
 
 (* record tags *)
 let tag_single = 0

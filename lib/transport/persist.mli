@@ -89,6 +89,13 @@ type conn_image = {
   ci_live : receiver_image option;  (** the live epoch, if any *)
   ci_live_open : int option;
       (** the live epoch's announced Open C.SN, when one was seen *)
+  ci_quar_until : float;
+      (** the connection's quarantine deadline (simulated time); [0.]
+          when it was never boxed — containment must survive a crash,
+          or a boxed peer could earn a fresh admission by forcing a
+          restart *)
+  ci_quar_count : int;  (** admissions revoked so far (backoff input) *)
+  ci_poisoned : bool;  (** torn down by an exception bulkhead: permanent *)
 }
 (** One connection of a [Multi] endpoint. *)
 
@@ -145,7 +152,7 @@ val verified_frontier : (int * int) list -> int
 (** {1 Codec} *)
 
 val version : int
-(** Snapshot format version (1).  The rule: any change to the field
+(** Snapshot format version (2).  The rule: any change to the field
     layout bumps this, and a decoder rejects images whose version it
     does not know — there is no cross-version repair. *)
 

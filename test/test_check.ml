@@ -116,6 +116,55 @@ let test_overlap_clobber_caught () =
            ~observation:o
          <> [])
 
+let test_byzantine_hostile_soak () =
+  (* the byzantine peer must actually fire — and the anomaly scoring
+     must box it (quarantines observed) without ever boxing an honest
+     connection or tripping a single oracle row, including the
+     blast-radius re-run every byzantine schedule performs *)
+  let report = soak Check.Schedule.Byzantine_hostile 15 in
+  Alcotest.(check bool) "adversary fired" true
+    (report.Check.Soak.bz_injected > 0);
+  Alcotest.(check bool) "flap cycles ran" true
+    (report.Check.Soak.bz_flaps > 0);
+  Alcotest.(check bool) "quarantine fired" true
+    (report.Check.Soak.bz_quarantines > 0);
+  Alcotest.(check bool) "boxed connections refused events" true
+    (report.Check.Soak.bz_quarantine_drops > 0);
+  Alcotest.(check int) "no honest connection ever boxed" 0
+    report.Check.Soak.bz_honest_quarantined
+
+let test_byz_clobber_caught () =
+  (* switch the quarantine off (anomaly budget 0) and require the
+     isolation-budget oracle row to notice the unbounded epoch churn,
+     and the shrinker to keep the byzantine peer in the minimised
+     counterexample (the violation needs it) *)
+  let report =
+    Check.Soak.run_profile ~mutation:Check.Driver.Byz_clobber ~schedules:8
+      ~seed:11 Check.Schedule.Byzantine_hostile
+  in
+  Alcotest.(check bool) "bug caught" true (report.Check.Soak.findings <> []);
+  match
+    List.find_opt
+      (fun (f : Check.Soak.finding) ->
+        f.Check.Soak.shrunk.Check.Shrink.violations <> [])
+      report.Check.Soak.findings
+  with
+  | None -> Alcotest.fail "no finding shrunk to a replayable schedule"
+  | Some f ->
+      let s = f.Check.Soak.shrunk.Check.Shrink.schedule in
+      Alcotest.(check bool) "shrunk schedule keeps the byzantine peer" true
+        (s.Check.Schedule.byz <> None);
+      let o = Check.Driver.run ~mutation:Check.Driver.Byz_clobber s in
+      Alcotest.(check int) "defense really was off in the replay" 0
+        o.Check.Driver.quarantines;
+      Alcotest.(check bool) "shrunk replay still violates" true
+        (List.exists
+           (fun (v : Check.Oracle.violation) ->
+             v.Check.Oracle.code = "isolation-budget")
+           (Check.Oracle.check ~schedule:s
+              ~model:(Check.Model.of_schedule s)
+              ~observation:o))
+
 let test_corrupt_restore_caught () =
   (* flip one verified byte in the image restored after a crash: its
      TPDU is already in the ACK ledger, so no retransmission can heal
@@ -224,6 +273,10 @@ let suite =
         ignore (soak Check.Schedule.Crash_flood 10));
     Alcotest.test_case "soak: overlap-hostile profile" `Quick
       test_overlap_hostile_soak;
+    Alcotest.test_case "soak: byzantine-hostile profile" `Quick
+      test_byzantine_hostile_soak;
+    Alcotest.test_case "byz clobber caught, shrunk, peer preserved" `Quick
+      test_byz_clobber_caught;
     Alcotest.test_case "injected mutation caught and shrunk" `Quick
       test_mutation_caught;
     Alcotest.test_case "corrupted restore caught and shrunk" `Quick

@@ -150,13 +150,13 @@ type rig = {
   senders : (int, CT.Sender.t) Hashtbl.t;
 }
 
-let make_rig ?(quota_elems = 1024) () =
+let make_rig ?(quota_elems = 1024) ?anomaly_budget () =
   let engine = Netsim.Engine.create ~seed:19 () in
   let senders = Hashtbl.create 4 in
   let multi = ref None in
   let m =
     Transport.Multi.create engine ~config:multi_config ~quota_elems
-      ~max_conns:8
+      ~max_conns:8 ?anomaly_budget
       ~send_ack:(fun b ->
         Netsim.Engine.schedule engine ~delay:1e-4 (fun () ->
             match Wire.decode_packet b with
@@ -248,6 +248,109 @@ let test_multi_resync_harmless () =
   Netsim.Engine.run rig.engine;
   check_epoch rig ~conn:3 ~epoch:0 ~complete:true d
 
+let test_multi_quarantine_trips_and_releases () =
+  (* Open/Close churn is the scored anomaly: each explicit
+     re-establishment adds weight, and a small budget boxes the
+     connection; while boxed every event from it is refused.  After the
+     penalty expires the connection is re-admitted and a real transfer
+     completes — quarantine is containment, not a death sentence. *)
+  let rig = make_rig ~anomaly_budget:8 () in
+  let d0 = Util.deterministic_bytes 1500 in
+  let tx0 = start_transfer rig ~conn:4 ~epoch:0 d0 in
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "epoch 0 done" true (CT.Sender.finished tx0);
+  send_signal rig ~conn:4 Connection.Close;
+  Netsim.Engine.run rig.engine;
+  (* churn: two more explicit re-establishments exhaust the budget.
+     Run the engine only a few ms forward — a full drain would advance
+     simulated time past the penalty window before we can look at it *)
+  let t0 = Netsim.Engine.now rig.engine in
+  send_signal rig ~conn:4 (Connection.Open { first_csn = 100_000 });
+  send_signal rig ~conn:4 Connection.Close;
+  send_signal rig ~conn:4 (Connection.Open { first_csn = 200_000 });
+  Netsim.Engine.run ~until:(t0 +. 0.01) rig.engine;
+  Alcotest.(check int) "churn tripped one quarantine" 1
+    (Transport.Multi.quarantines rig.multi);
+  (match Transport.Multi.conn_stats rig.multi ~conn_id:4 with
+  | None -> Alcotest.fail "conn 4 unknown"
+  | Some cs ->
+      Alcotest.(check bool) "conn 4 boxed" true
+        cs.Transport.Multi.cs_quarantined;
+      Alcotest.(check int) "one quarantine on record" 1
+        cs.Transport.Multi.cs_quarantines;
+      Alcotest.(check bool) "not poisoned" false
+        cs.Transport.Multi.cs_poisoned);
+  (* while boxed, everything from the connection is refused *)
+  let drops0 = Transport.Multi.quarantine_drops rig.multi in
+  let epochs0 = List.length (Transport.Multi.epochs rig.multi ~conn_id:4) in
+  send_signal rig ~conn:4 (Connection.Open { first_csn = 300_000 });
+  Netsim.Engine.run ~until:(t0 +. 0.02) rig.engine;
+  Alcotest.(check bool) "boxed Open refused" true
+    (Transport.Multi.quarantine_drops rig.multi > drops0);
+  Alcotest.(check int) "refused Open made no epoch" epochs0
+    (List.length (Transport.Multi.epochs rig.multi ~conn_id:4));
+  (* after the penalty window, the connection earns its way back *)
+  Netsim.Engine.schedule rig.engine ~delay:0.4 (fun () -> ());
+  Netsim.Engine.run rig.engine;
+  let d1 = Util.deterministic_bytes 1500 in
+  let tx1 = start_transfer rig ~conn:4 ~epoch:9 d1 in
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "re-admitted transfer completes" true
+    (CT.Sender.finished tx1);
+  Alcotest.(check int) "no second quarantine" 1
+    (Transport.Multi.quarantines rig.multi)
+
+let test_multi_quarantine_survives_restore () =
+  (* the penalty box is part of the crash image (persist v2): a boxed
+     connection restored from a snapshot is still boxed, with its
+     quarantine count intact — a crash must not amnesty an attacker *)
+  let rig = make_rig ~anomaly_budget:8 () in
+  let d0 = Util.deterministic_bytes 1200 in
+  let tx0 = start_transfer rig ~conn:6 ~epoch:0 d0 in
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check bool) "epoch 0 done" true (CT.Sender.finished tx0);
+  send_signal rig ~conn:6 Connection.Close;
+  send_signal rig ~conn:6 (Connection.Open { first_csn = 100_000 });
+  send_signal rig ~conn:6 Connection.Close;
+  send_signal rig ~conn:6 (Connection.Open { first_csn = 200_000 });
+  Netsim.Engine.run rig.engine;
+  Alcotest.(check int) "boxed before the crash" 1
+    (Transport.Multi.quarantines rig.multi);
+  let module P = Transport.Persist in
+  let encoded = P.encode_endpoint (P.Multi (Transport.Multi.export rig.multi)) in
+  Transport.Multi.teardown rig.multi;
+  let engine = Netsim.Engine.create ~seed:20 () in
+  let m1 =
+    match P.decode_endpoint encoded with
+    | Error e -> Alcotest.fail e
+    | Ok (P.Single _) -> Alcotest.fail "endpoint shape changed"
+    | Ok (P.Multi cs) ->
+        Transport.Multi.restore engine ~config:multi_config ~quota_elems:1024
+          ~max_conns:8 ~anomaly_budget:8
+          ~send_ack:(fun _ -> ())
+          cs
+  in
+  (match Transport.Multi.conn_stats m1 ~conn_id:6 with
+  | None -> Alcotest.fail "conn 6 lost across restore"
+  | Some cs ->
+      Alcotest.(check bool) "still boxed after restore" true
+        cs.Transport.Multi.cs_quarantined;
+      Alcotest.(check int) "quarantine count restored" 1
+        cs.Transport.Multi.cs_quarantines);
+  (* and the restored box still refuses events *)
+  let drops0 = Transport.Multi.quarantine_drops m1 in
+  let epochs0 = List.length (Transport.Multi.epochs m1 ~conn_id:6) in
+  (match
+     Wire.encode_packet
+       [ Connection.signal_chunk ~conn_id:6 (Connection.Open { first_csn = 300_000 }) ]
+   with
+  | Ok b -> Transport.Multi.on_packet m1 b
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "restored box refuses the Open" true
+    (Transport.Multi.quarantine_drops m1 > drops0);
+  Alcotest.(check int) "refused Open made no epoch" epochs0
+    (List.length (Transport.Multi.epochs m1 ~conn_id:6))
+
 let test_multi_abort_recovers () =
   (* a forged Abort_tpdu for an in-flight TPDU evicts its partial state;
      the sender (which never abandoned it) retransmits under the
@@ -313,4 +416,8 @@ let suite =
       `Quick test_multi_abort_recovers;
     Alcotest.test_case "multi: concurrent connections" `Quick
       test_multi_concurrent_conns;
+    Alcotest.test_case "multi: churn quarantine trips and releases" `Quick
+      test_multi_quarantine_trips_and_releases;
+    Alcotest.test_case "multi: quarantine survives crash restore" `Quick
+      test_multi_quarantine_survives_restore;
   ]

@@ -68,6 +68,54 @@ let test_cache_clear () =
   Alcotest.(check int) "all five entries accounted" 5
     (s.FC.s_invalidations + s.FC.s_evictions)
 
+(* --- stats algebra ------------------------------------------------ *)
+
+(* Soak reports fold [add_stats] over arbitrarily many runs in whatever
+   grouping the loop happens to use, so the fold must not care: the
+   operation is associative and commutative with [zero_stats] as
+   identity, and saturates at [max_int] instead of wrapping negative. *)
+let gen_stats =
+  QCheck2.Gen.(
+    let field = oneof [ int_range 0 1000; return max_int; return (max_int / 2) ] in
+    let* s_hits = field in
+    let* s_misses = field in
+    let* s_insertions = field in
+    let* s_invalidations = field in
+    let* s_evictions = field in
+    return
+      { FC.s_hits; s_misses; s_insertions; s_invalidations; s_evictions })
+
+let stats_eq (a : FC.stats) (b : FC.stats) =
+  a.FC.s_hits = b.FC.s_hits
+  && a.FC.s_misses = b.FC.s_misses
+  && a.FC.s_insertions = b.FC.s_insertions
+  && a.FC.s_invalidations = b.FC.s_invalidations
+  && a.FC.s_evictions = b.FC.s_evictions
+
+let stats_sane (s : FC.stats) =
+  s.FC.s_hits >= 0 && s.FC.s_misses >= 0 && s.FC.s_insertions >= 0
+  && s.FC.s_invalidations >= 0 && s.FC.s_evictions >= 0
+
+let prop_stats_algebra =
+  QCheck2.Test.make ~name:"add_stats is a commutative monoid that saturates"
+    ~count:500
+    QCheck2.Gen.(triple gen_stats gen_stats gen_stats)
+    (fun (a, b, c) ->
+      stats_eq (FC.add_stats a b) (FC.add_stats b a)
+      && stats_eq
+           (FC.add_stats a (FC.add_stats b c))
+           (FC.add_stats (FC.add_stats a b) c)
+      && stats_eq (FC.add_stats a FC.zero_stats) a
+      && stats_eq (FC.add_stats FC.zero_stats a) a
+      && stats_sane (FC.add_stats a (FC.add_stats b c)))
+
+let test_stats_saturate () =
+  let pegged = { FC.zero_stats with FC.s_hits = max_int } in
+  let s = FC.add_stats pegged { FC.zero_stats with FC.s_hits = 1 } in
+  Alcotest.(check int) "saturates at max_int, never wraps" max_int s.FC.s_hits;
+  let s2 = FC.add_stats pegged pegged in
+  Alcotest.(check int) "pegged + pegged stays pegged" max_int s2.FC.s_hits
+
 (* --- scanner agreement with the decoder --------------------------- *)
 
 (* Random garbage: mirrors [Test_fuzz.gen_garbage]. *)
@@ -147,10 +195,10 @@ let prop_scan_images =
 let multi_config =
   { CT.default_config with CT.elem_size = 4; tpdu_elems = 16 }
 
-let mk_multi () =
+let mk_multi ?anomaly_budget () =
   let engine = Netsim.Engine.create ~seed:42 () in
   Transport.Multi.create engine ~config:multi_config ~quota_elems:4096
-    ~max_conns:8
+    ~max_conns:8 ?anomaly_budget
     ~send_ack:(fun _ -> ())
     ()
 
@@ -249,6 +297,69 @@ let prop_permuted_mix =
       done;
       epochs_equal m_slow m_fast)
 
+(* --- ingest_batch edges ------------------------------------------- *)
+
+let test_batch_empty () =
+  let m = mk_multi () in
+  Transport.Multi.ingest_batch m [||];
+  Alcotest.(check (list int)) "no connections appear" []
+    (Transport.Multi.known_conns m);
+  let fp = Transport.Multi.fastpath_stats m in
+  Alcotest.(check int) "no cache traffic" 0
+    (fp.Transport.Multi.fp_conn.FC.s_hits
+    + fp.Transport.Multi.fp_conn.FC.s_misses)
+
+let test_batch_single_packet () =
+  (* a degenerate batch of one packet per call is just [ingest] *)
+  let m_slow = mk_multi () and m_fast = mk_multi () in
+  let _, packets = conn_packets ~conn:2 ~seed:3 900 in
+  List.iter (Transport.Multi.on_packet m_slow) packets;
+  List.iter (fun p -> Transport.Multi.ingest_batch m_fast [| p |]) packets;
+  Alcotest.(check bool) "singleton batches identical to on_packet" true
+    (epochs_equal m_slow m_fast)
+
+let test_batch_spanning_quarantine () =
+  (* One batch carries a whole scored re-establishment: epoch 0 of conn
+     5, then a reopen whose churn trips a tiny anomaly budget, then an
+     innocent conn 6.  The quarantine lands mid-batch; the fast path
+     must refuse the boxed connection's remaining packets (no stale
+     cache entry may serve it) while conn 6 sails through — and the
+     batch must stay byte-identical with the slow path under the same
+     budget. *)
+  let budget = 4 in
+  let m_slow = mk_multi ~anomaly_budget:budget ()
+  and m_fast = mk_multi ~anomaly_budget:budget () in
+  let d0, epoch0 = conn_packets ~conn:5 ~seed:1 600 in
+  let _, epoch1 = conn_packets ~conn:5 ~seed:77 ~first_tid:100_000 600 in
+  let d6, honest = conn_packets ~conn:6 ~seed:8 480 in
+  let batch = Array.of_list (epoch0 @ epoch1 @ honest) in
+  Array.iter (Transport.Multi.on_packet m_slow) batch;
+  Transport.Multi.ingest_batch m_fast batch;
+  Alcotest.(check bool) "fast path identical to slow path" true
+    (epochs_equal m_slow m_fast);
+  Alcotest.(check int) "reopen churn tripped the box" 1
+    (Transport.Multi.quarantines m_fast);
+  Alcotest.(check bool) "boxed packets refused" true
+    (Transport.Multi.quarantine_drops m_fast > 0);
+  (match Transport.Multi.conn_stats m_fast ~conn_id:5 with
+  | None -> Alcotest.fail "conn 5 unknown"
+  | Some cs ->
+      Alcotest.(check bool) "conn 5 is in the box" true
+        cs.Transport.Multi.cs_quarantined);
+  (* the quarantined reopen never became an epoch; epoch 0 is intact *)
+  (match Transport.Multi.epochs m_fast ~conn_id:5 with
+  | [ e0 ] ->
+      Alcotest.(check bool) "epoch 0 bytes intact" true
+        (Bytes.equal (Bytes.sub e0.Transport.Multi.delivered 0 600) d0)
+  | es -> Alcotest.failf "expected 1 epoch on conn 5, got %d" (List.length es));
+  (* the innocent connection later in the same batch is untouched *)
+  match Transport.Multi.epochs m_fast ~conn_id:6 with
+  | [ e ] ->
+      Alcotest.(check bool) "conn 6 complete" true e.Transport.Multi.complete;
+      Alcotest.(check bool) "conn 6 bytes intact" true
+        (Bytes.equal (Bytes.sub e.Transport.Multi.delivered 0 480) d6)
+  | es -> Alcotest.failf "expected 1 epoch on conn 6, got %d" (List.length es)
+
 (* --- invalidation on epoch reuse ---------------------------------- *)
 
 let test_epoch_reuse_invalidates () =
@@ -335,9 +446,16 @@ let suite =
     Alcotest.test_case "cache rejects negative keys" `Quick
       test_cache_negative_key_rejected;
     Alcotest.test_case "cache clear" `Quick test_cache_clear;
+    QCheck_alcotest.to_alcotest prop_stats_algebra;
+    Alcotest.test_case "add_stats saturates" `Quick test_stats_saturate;
     QCheck_alcotest.to_alcotest prop_scan_garbage;
     QCheck_alcotest.to_alcotest prop_scan_images;
     QCheck_alcotest.to_alcotest prop_permuted_mix;
+    Alcotest.test_case "ingest_batch of an empty batch" `Quick test_batch_empty;
+    Alcotest.test_case "ingest_batch of singleton batches" `Quick
+      test_batch_single_packet;
+    Alcotest.test_case "ingest_batch spanning a mid-batch quarantine" `Quick
+      test_batch_spanning_quarantine;
     Alcotest.test_case "epoch reuse invalidates the conn cache" `Quick
       test_epoch_reuse_invalidates;
     Alcotest.test_case "crash restore starts with a cold cache" `Quick

@@ -137,6 +137,30 @@ let prop_codec_fixpoint (seed, data_len, cut_pct) =
   in
   Persist.decode_endpoint (Persist.encode_endpoint img) = Ok img
 
+(* Regression: the float codec used to bounce the IEEE bits through a
+   63-bit OCaml int, so any persisted float with magnitude >= 2.0 came
+   back sign-flipped (the quarantine deadline was the first field big
+   enough to hit it).  Round-trip floats across the whole range through
+   a conn image, whose [ci_quar_until] is the only float-bearing field
+   reachable without a full receiver. *)
+let prop_float_roundtrip v =
+  let img =
+    Persist.Multi
+      [
+        {
+          Persist.ci_id = 1;
+          ci_acked = [];
+          ci_hist = [];
+          ci_live = None;
+          ci_live_open = None;
+          ci_quar_until = v;
+          ci_quar_count = 0;
+          ci_poisoned = false;
+        };
+      ]
+  in
+  Persist.decode_endpoint (Persist.encode_endpoint img) = Ok img
+
 let run_at sn s = (sn, Bytes.of_string s)
 
 let test_journal_replay () =
@@ -293,6 +317,15 @@ let suite =
       QCheck2.Gen.(
         tup3 (int_range 0 10_000) (int_range 256 4_000) (int_range 0 100))
       prop_codec_fixpoint;
+    Util.qtest ~count:200 "persisted floats round-trip beyond magnitude 2"
+      QCheck2.Gen.(
+        oneof
+          [
+            float_range (-1e9) 1e9;
+            float_range (-4.0) 4.0;
+            oneofl [ 0.0; 2.0; -2.0; 2.25; max_float; -.max_float ];
+          ])
+      prop_float_roundtrip;
     Alcotest.test_case "journal replay rebuilds the canonical image" `Quick
       test_journal_replay;
     Alcotest.test_case "torn journal tail dropped, prefix kept" `Quick
